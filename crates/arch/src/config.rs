@@ -1,0 +1,391 @@
+//! The configuration "bitstream": everything the compiler decides and the
+//! simulator executes (§3.6 of the paper).
+//!
+//! A [`MachineConfig`] binds a validated parallel-pattern
+//! [`Program`](plasticine_ppir::Program) onto a chip: each inner controller
+//! becomes a [`ComputeCfg`] over one or more physical PCUs (after
+//! partitioning and outer-loop unrolling), each scratchpad becomes a
+//! [`MemoryCfg`] over one or more PMUs, each off-chip transfer gets
+//! [`AgCfg`] address generators, outer controllers land in switch control
+//! boxes, and every producer→consumer data movement is a routed
+//! [`LinkCfg`] with a hop count on one of the three static networks.
+
+use crate::geom::{AgId, SiteId, SwitchId};
+use crate::params::PlasticineParams;
+use plasticine_ppir::{BankingMode, CtrlId, DramId, SramId};
+use serde::{Deserialize, Serialize};
+
+/// Which static network a link uses (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetClass {
+    /// Word-level scalar network.
+    Scalar,
+    /// Multi-word vector network (one word per lane).
+    Vector,
+    /// Bit-level control network (tokens, credits).
+    Control,
+}
+
+/// Identifier of a logical unit within a [`MachineConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UnitId(pub u32);
+
+/// An inner compute controller bound to physical PCUs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeCfg {
+    /// The ppir inner controller this unit group implements.
+    pub ctrl: CtrlId,
+    /// All physical PCUs used, across copies and pipeline partitions.
+    pub sites: Vec<SiteId>,
+    /// Outer-loop unroll duplicates executing concurrently.
+    pub copies: usize,
+    /// Physical PCUs chained per copy (result of stage partitioning).
+    pub pcus_per_copy: usize,
+    /// Total pipeline latency in stages across the chained PCUs, including
+    /// the cross-lane reduction tree when present.
+    pub pipeline_depth: usize,
+    /// SIMD lanes used by the innermost counter.
+    pub lanes: usize,
+}
+
+/// A scratchpad bound to physical PMUs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryCfg {
+    /// The ppir scratchpad.
+    pub sram: SramId,
+    /// Physical PMUs holding it (several when the logical memory exceeds
+    /// one PMU's capacity, is duplicated for parallel random reads, or is
+    /// unrolled along with its producer).
+    pub sites: Vec<SiteId>,
+    /// N-buffer depth configured (1 = single buffer).
+    pub nbuf: usize,
+    /// Banking mode programmed into the address decoders.
+    pub banking: BankingMode,
+}
+
+/// Whether an AG issues dense bursts or sparse element streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgMode {
+    /// Dense burst commands (tile loads/stores).
+    Dense,
+    /// Sparse address streams through the coalescing unit (gather/scatter).
+    Sparse,
+}
+
+/// An off-chip transfer controller bound to address generators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgCfg {
+    /// The ppir transfer controller.
+    pub ctrl: CtrlId,
+    /// Address generators allocated (unrolled transfers get several).
+    pub ags: Vec<AgId>,
+    /// Dense or sparse addressing.
+    pub mode: AgMode,
+}
+
+/// An outer controller mapped into a switch control box (§3.5: "outer
+/// controllers are mapped to control logic in switches").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OuterCtrlCfg {
+    /// The ppir outer controller.
+    pub ctrl: CtrlId,
+    /// Hosting switch.
+    pub switch: SwitchId,
+}
+
+/// One logical unit of the configured machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UnitCfg {
+    /// Compute pipeline on PCUs.
+    Compute(ComputeCfg),
+    /// Scratchpad on PMUs.
+    Memory(MemoryCfg),
+    /// Off-chip transfer on AGs.
+    Ag(AgCfg),
+    /// Outer control in a switch.
+    Outer(OuterCtrlCfg),
+}
+
+impl UnitCfg {
+    /// The ppir controller this unit implements, if any.
+    pub fn ctrl(&self) -> Option<CtrlId> {
+        match self {
+            UnitCfg::Compute(c) => Some(c.ctrl),
+            UnitCfg::Ag(a) => Some(a.ctrl),
+            UnitCfg::Outer(o) => Some(o.ctrl),
+            UnitCfg::Memory(_) => None,
+        }
+    }
+}
+
+/// A routed point-to-point connection on one of the static networks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkCfg {
+    /// Producer unit.
+    pub src: UnitId,
+    /// Consumer unit.
+    pub dst: UnitId,
+    /// Network class.
+    pub class: NetClass,
+    /// Switches traversed, in order (for congestion accounting).
+    pub path: Vec<SwitchId>,
+    /// Registered hops — the link's pipeline latency in cycles.
+    pub hops: usize,
+}
+
+/// Placement of each DRAM buffer in the physical address space.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DramAlloc {
+    /// Byte base address of each [`DramId`], indexed by id.
+    pub base: Vec<u64>,
+}
+
+impl DramAlloc {
+    /// Base byte address of a buffer.
+    pub fn base_of(&self, id: DramId) -> u64 {
+        self.base[id.0 as usize]
+    }
+}
+
+/// Static resource usage of a configuration (Table 7's utilization columns
+/// are these counts over the chip totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Physical PCUs occupied.
+    pub pcus: usize,
+    /// Physical PMUs occupied.
+    pub pmus: usize,
+    /// Address generators occupied.
+    pub ags: usize,
+    /// Switch control boxes hosting outer controllers.
+    pub switch_ctrls: usize,
+}
+
+/// A fully placed-and-routed accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Architecture parameters the configuration targets.
+    pub params: PlasticineParams,
+    /// Name of the source program.
+    pub program_name: String,
+    /// All logical units.
+    pub units: Vec<UnitCfg>,
+    /// All routed links.
+    pub links: Vec<LinkCfg>,
+    /// DRAM buffer placement.
+    pub alloc: DramAlloc,
+    /// Static resource usage.
+    pub usage: ResourceUsage,
+}
+
+impl MachineConfig {
+    /// Utilization fractions `(pcu, pmu, ag)` over the chip's totals.
+    pub fn utilization(&self) -> (f64, f64, f64) {
+        (
+            self.usage.pcus as f64 / self.params.num_pcus() as f64,
+            self.usage.pmus as f64 / self.params.num_pmus() as f64,
+            self.usage.ags as f64 / self.params.ags as f64,
+        )
+    }
+
+    /// The logical unit implementing a given ppir controller, if any.
+    pub fn unit_for_ctrl(&self, ctrl: CtrlId) -> Option<UnitId> {
+        self.units
+            .iter()
+            .position(|u| u.ctrl() == Some(ctrl))
+            .map(|i| UnitId(i as u32))
+    }
+
+    /// The logical memory unit holding a given scratchpad, if any.
+    pub fn unit_for_sram(&self, sram: SramId) -> Option<UnitId> {
+        self.units
+            .iter()
+            .position(|u| matches!(u, UnitCfg::Memory(m) if m.sram == sram))
+            .map(|i| UnitId(i as u32))
+    }
+
+    /// All links into a unit.
+    pub fn links_in(&self, dst: UnitId) -> impl Iterator<Item = &LinkCfg> {
+        self.links.iter().filter(move |l| l.dst == dst)
+    }
+
+    /// All links out of a unit.
+    pub fn links_out(&self, src: UnitId) -> impl Iterator<Item = &LinkCfg> {
+        self.links.iter().filter(move |l| l.src == src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_config() -> MachineConfig {
+        MachineConfig {
+            params: PlasticineParams::paper_final(),
+            program_name: "empty".into(),
+            units: vec![],
+            links: vec![],
+            alloc: DramAlloc::default(),
+            usage: ResourceUsage::default(),
+        }
+    }
+
+    #[test]
+    fn utilization_of_empty_config_is_zero() {
+        let c = empty_config();
+        assert_eq!(c.utilization(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn unit_lookup_by_ctrl_and_sram() {
+        let mut c = empty_config();
+        c.units.push(UnitCfg::Compute(ComputeCfg {
+            ctrl: CtrlId(3),
+            sites: vec![SiteId(0)],
+            copies: 1,
+            pcus_per_copy: 1,
+            pipeline_depth: 6,
+            lanes: 16,
+        }));
+        c.units.push(UnitCfg::Memory(MemoryCfg {
+            sram: SramId(1),
+            sites: vec![SiteId(1)],
+            nbuf: 2,
+            banking: BankingMode::Strided,
+        }));
+        assert_eq!(c.unit_for_ctrl(CtrlId(3)), Some(UnitId(0)));
+        assert_eq!(c.unit_for_ctrl(CtrlId(9)), None);
+        assert_eq!(c.unit_for_sram(SramId(1)), Some(UnitId(1)));
+        assert_eq!(c.unit_for_sram(SramId(0)), None);
+    }
+
+    #[test]
+    fn link_queries_filter_by_endpoint() {
+        let mut c = empty_config();
+        c.links.push(LinkCfg {
+            src: UnitId(0),
+            dst: UnitId(1),
+            class: NetClass::Vector,
+            path: vec![],
+            hops: 3,
+        });
+        c.links.push(LinkCfg {
+            src: UnitId(1),
+            dst: UnitId(0),
+            class: NetClass::Control,
+            path: vec![],
+            hops: 2,
+        });
+        assert_eq!(c.links_in(UnitId(1)).count(), 1);
+        assert_eq!(c.links_out(UnitId(1)).count(), 1);
+        assert_eq!(c.links_in(UnitId(0)).next().unwrap().hops, 2);
+    }
+
+    #[test]
+    fn dram_alloc_indexes_by_id() {
+        let a = DramAlloc {
+            base: vec![0, 4096, 1 << 20],
+        };
+        assert_eq!(a.base_of(DramId(0)), 0);
+        assert_eq!(a.base_of(DramId(2)), 1 << 20);
+    }
+}
+
+/// Errors while saving or loading a configuration "bitstream".
+#[derive(Debug)]
+pub enum BitstreamError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid configuration.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamError::Io(e) => write!(f, "bitstream io error: {e}"),
+            BitstreamError::Format(e) => write!(f, "bitstream format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BitstreamError::Io(e) => Some(e),
+            BitstreamError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Serializes the configuration to its on-disk "bitstream" form
+    /// (§3.6: "a static configuration 'bitstream' for the architecture" —
+    /// ours is structured JSON rather than packed bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Format`] if serialization fails.
+    pub fn to_bitstream(&self) -> Result<String, BitstreamError> {
+        serde_json::to_string_pretty(self).map_err(BitstreamError::Format)
+    }
+
+    /// Parses a configuration from its bitstream form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Format`] on malformed input.
+    pub fn from_bitstream(s: &str) -> Result<MachineConfig, BitstreamError> {
+        serde_json::from_str(s).map_err(BitstreamError::Format)
+    }
+
+    /// Writes the bitstream to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError`] on filesystem or serialization failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), BitstreamError> {
+        let s = self.to_bitstream()?;
+        std::fs::write(path, s).map_err(BitstreamError::Io)
+    }
+
+    /// Reads a bitstream from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError`] on filesystem or parse failure.
+    pub fn load(path: &std::path::Path) -> Result<MachineConfig, BitstreamError> {
+        let s = std::fs::read_to_string(path).map_err(BitstreamError::Io)?;
+        MachineConfig::from_bitstream(&s)
+    }
+}
+
+#[cfg(test)]
+mod bitstream_tests {
+    use super::*;
+    use plasticine_ppir::CtrlId;
+
+    #[test]
+    fn bitstream_roundtrips() {
+        let mut c = MachineConfig {
+            params: PlasticineParams::paper_final(),
+            program_name: "rt".into(),
+            units: vec![],
+            links: vec![],
+            alloc: DramAlloc { base: vec![0, 4096] },
+            usage: ResourceUsage::default(),
+        };
+        c.units.push(UnitCfg::Compute(ComputeCfg {
+            ctrl: CtrlId(1),
+            sites: vec![SiteId(3)],
+            copies: 2,
+            pcus_per_copy: 1,
+            pipeline_depth: 6,
+            lanes: 16,
+        }));
+        let s = c.to_bitstream().unwrap();
+        let back = MachineConfig::from_bitstream(&s).unwrap();
+        assert_eq!(back, c);
+        assert!(MachineConfig::from_bitstream("not json").is_err());
+    }
+}

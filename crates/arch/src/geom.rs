@@ -1,0 +1,264 @@
+//! Chip geometry: the checkerboard unit grid, the switch fabric, and
+//! address-generator placement (Figure 5 of the paper).
+//!
+//! Units sit in a `cols × rows` grid, alternating PCU and PMU. Switches sit
+//! at the `(cols+1) × (rows+1)` grid intersections; each unit connects to
+//! the switch at its north-west corner. Address generators attach to the
+//! switches on the chip's left and right edges. All three networks (scalar,
+//! vector, control) share this topology (§3.3).
+
+use crate::params::{GridMix, PlasticineParams};
+use serde::{Deserialize, Serialize};
+
+/// Kind of a unit site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// Pattern Compute Unit.
+    Pcu,
+    /// Pattern Memory Unit.
+    Pmu,
+}
+
+/// Identifier of a unit site on the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+/// Identifier of a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// Identifier of an address generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AgId(pub u32);
+
+/// One unit site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Site {
+    /// PCU or PMU.
+    pub kind: SiteKind,
+    /// Grid column.
+    pub x: usize,
+    /// Grid row.
+    pub y: usize,
+}
+
+/// The instantiated chip topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    cols: usize,
+    rows: usize,
+    sites: Vec<Site>,
+    ags: usize,
+}
+
+impl Topology {
+    /// Builds the topology for a parameter set.
+    pub fn new(params: &PlasticineParams) -> Topology {
+        let mut sites = Vec::with_capacity(params.cols * params.rows);
+        for y in 0..params.rows {
+            for x in 0..params.cols {
+                let kind = match params.mix {
+                    GridMix::Checkerboard => {
+                        if (x + y) % 2 == 0 {
+                            SiteKind::Pcu
+                        } else {
+                            SiteKind::Pmu
+                        }
+                    }
+                    GridMix::PmuHeavy => {
+                        if x % 3 == 0 {
+                            SiteKind::Pcu
+                        } else {
+                            SiteKind::Pmu
+                        }
+                    }
+                };
+                sites.push(Site { kind, x, y });
+            }
+        }
+        Topology {
+            cols: params.cols,
+            rows: params.rows,
+            sites,
+            ags: params.ags,
+        }
+    }
+
+    /// Unit-grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Unit-grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// All unit sites in row-major order.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Looks up a site.
+    pub fn site(&self, id: SiteId) -> Site {
+        self.sites[id.0 as usize]
+    }
+
+    /// All sites of a given kind.
+    pub fn sites_of(&self, kind: SiteKind) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind)
+            .map(|(i, _)| SiteId(i as u32))
+            .collect()
+    }
+
+    /// Switch-grid columns.
+    pub fn switch_cols(&self) -> usize {
+        self.cols + 1
+    }
+
+    /// Switch-grid rows.
+    pub fn switch_rows(&self) -> usize {
+        self.rows + 1
+    }
+
+    /// Total number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switch_cols() * self.switch_rows()
+    }
+
+    /// The switch at switch-grid coordinates `(sx, sy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn switch_at(&self, sx: usize, sy: usize) -> SwitchId {
+        assert!(sx < self.switch_cols() && sy < self.switch_rows());
+        SwitchId((sy * self.switch_cols() + sx) as u32)
+    }
+
+    /// Switch-grid coordinates of a switch.
+    pub fn switch_xy(&self, s: SwitchId) -> (usize, usize) {
+        let sc = self.switch_cols();
+        ((s.0 as usize) % sc, (s.0 as usize) / sc)
+    }
+
+    /// The switch a unit site connects to (its north-west corner).
+    pub fn site_switch(&self, id: SiteId) -> SwitchId {
+        let s = self.site(id);
+        self.switch_at(s.x, s.y)
+    }
+
+    /// Neighbouring switches (mesh: N/S/E/W).
+    pub fn switch_neighbors(&self, s: SwitchId) -> Vec<SwitchId> {
+        let (x, y) = self.switch_xy(s);
+        let mut out = Vec::with_capacity(4);
+        if x > 0 {
+            out.push(self.switch_at(x - 1, y));
+        }
+        if x + 1 < self.switch_cols() {
+            out.push(self.switch_at(x + 1, y));
+        }
+        if y > 0 {
+            out.push(self.switch_at(x, y - 1));
+        }
+        if y + 1 < self.switch_rows() {
+            out.push(self.switch_at(x, y + 1));
+        }
+        out
+    }
+
+    /// Number of address generators.
+    pub fn num_ags(&self) -> usize {
+        self.ags
+    }
+
+    /// The edge switch an address generator attaches to. AGs alternate
+    /// between the left and right chip edges, walking down the rows
+    /// (Figure 5 shows AGs on two sides).
+    pub fn ag_switch(&self, ag: AgId) -> SwitchId {
+        let i = ag.0 as usize;
+        let side_right = i % 2 == 1;
+        let row = (i / 2) % self.switch_rows();
+        let x = if side_right { self.switch_cols() - 1 } else { 0 };
+        self.switch_at(x, row)
+    }
+
+    /// Manhattan distance between two switches, in hops.
+    pub fn switch_distance(&self, a: SwitchId, b: SwitchId) -> usize {
+        let (ax, ay) = self.switch_xy(a);
+        let (bx, by) = self.switch_xy(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(&PlasticineParams::paper_final())
+    }
+
+    #[test]
+    fn checkerboard_splits_sites_evenly() {
+        let t = topo();
+        assert_eq!(t.sites().len(), 128);
+        assert_eq!(t.sites_of(SiteKind::Pcu).len(), 64);
+        assert_eq!(t.sites_of(SiteKind::Pmu).len(), 64);
+    }
+
+    #[test]
+    fn neighbours_of_pcu_include_pmus() {
+        let t = topo();
+        // In a checkerboard every horizontal/vertical neighbour differs.
+        let s0 = t.site(SiteId(0));
+        let s1 = t.site(SiteId(1));
+        assert_ne!(s0.kind, s1.kind);
+    }
+
+    #[test]
+    fn switch_grid_is_one_larger() {
+        let t = topo();
+        assert_eq!(t.num_switches(), 17 * 9);
+        assert_eq!(t.switch_xy(t.switch_at(16, 8)), (16, 8));
+    }
+
+    #[test]
+    fn corner_switches_have_two_neighbors() {
+        let t = topo();
+        assert_eq!(t.switch_neighbors(t.switch_at(0, 0)).len(), 2);
+        assert_eq!(t.switch_neighbors(t.switch_at(16, 8)).len(), 2);
+        assert_eq!(t.switch_neighbors(t.switch_at(5, 5)).len(), 4);
+    }
+
+    #[test]
+    fn ags_land_on_left_and_right_edges() {
+        let t = topo();
+        for i in 0..t.num_ags() {
+            let sw = t.ag_switch(AgId(i as u32));
+            let (x, _) = t.switch_xy(sw);
+            assert!(x == 0 || x == t.switch_cols() - 1, "AG {i} at x={x}");
+        }
+    }
+
+    #[test]
+    fn switch_distance_is_manhattan() {
+        let t = topo();
+        let a = t.switch_at(0, 0);
+        let b = t.switch_at(3, 4);
+        assert_eq!(t.switch_distance(a, b), 7);
+        assert_eq!(t.switch_distance(a, a), 0);
+    }
+
+    #[test]
+    fn site_switch_is_northwest_corner() {
+        let t = topo();
+        let id = SiteId(17); // row 1, col 1
+        let s = t.site(id);
+        assert_eq!((s.x, s.y), (1, 1));
+        assert_eq!(t.switch_xy(t.site_switch(id)), (1, 1));
+    }
+}

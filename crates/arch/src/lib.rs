@@ -1,0 +1,35 @@
+//! # plasticine-arch — the Plasticine architecture description
+//!
+//! Parameterized description of the Plasticine chip (§3 of the paper):
+//!
+//! * [`PlasticineParams`] — the Table 3 design space, with
+//!   [`PlasticineParams::paper_final`] reproducing the published 16×8,
+//!   16-lane, 6-stage configuration;
+//! * [`Topology`] — the checkerboard PCU/PMU grid, switch fabric, and
+//!   address-generator placement of Figure 5;
+//! * [`MachineConfig`] — the configuration "bitstream" produced by the
+//!   compiler and executed by the simulator: logical units bound to
+//!   physical sites plus routed inter-unit links.
+//!
+//! # Examples
+//!
+//! ```
+//! use plasticine_arch::{PlasticineParams, Topology, SiteKind};
+//! let params = PlasticineParams::paper_final();
+//! let topo = Topology::new(&params);
+//! assert_eq!(topo.sites_of(SiteKind::Pcu).len(), 64);
+//! assert_eq!(params.total_scratchpad_bytes(), 16 << 20);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod geom;
+mod params;
+
+pub use config::{
+    AgCfg, AgMode, BitstreamError, ComputeCfg, DramAlloc, LinkCfg, MachineConfig, MemoryCfg,
+    NetClass, OuterCtrlCfg, ResourceUsage, UnitCfg, UnitId,
+};
+pub use geom::{AgId, Site, SiteId, SiteKind, SwitchId, Topology};
+pub use params::{GridMix, ParamError, PcuParams, PlasticineParams, PmuParams};

@@ -1,0 +1,289 @@
+//! Architecture parameters (Table 3 of the paper).
+//!
+//! Plasticine is a *parameterized* architecture: the number of lanes,
+//! stages, registers, and IO ports of each unit type is chosen by
+//! design-space exploration (§3.7). [`PlasticineParams::paper_final`]
+//! reproduces the published final configuration; the DSE harness sweeps the
+//! same ranges as Figure 7.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How PCU and PMU sites are mixed on the grid (§3.7: "we also
+/// experimented with multiple ratios of PMUs to PCUs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum GridMix {
+    /// 1:1 checkerboard (the paper's final choice).
+    #[default]
+    Checkerboard,
+    /// 2:1 PMUs to PCUs (every third column is a PCU).
+    PmuHeavy,
+}
+
+/// Pattern Compute Unit parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PcuParams {
+    /// SIMD lanes (Table 3: 4–32, final 16).
+    pub lanes: usize,
+    /// Pipeline stages of functional units (1–16, final 6).
+    pub stages: usize,
+    /// Pipeline registers per FU per stage (2–16, final 6).
+    pub regs_per_stage: usize,
+    /// Scalar inputs (1–16, final 6).
+    pub scalar_ins: usize,
+    /// Scalar outputs (1–6, final 5).
+    pub scalar_outs: usize,
+    /// Vector inputs (1–10, final 3).
+    pub vector_ins: usize,
+    /// Vector outputs (1–6, final 3).
+    pub vector_outs: usize,
+    /// Depth of each input FIFO in vector words.
+    pub fifo_depth: usize,
+    /// Programmable counters in the chain.
+    pub counters: usize,
+}
+
+impl PcuParams {
+    /// The paper's final selection (Table 3).
+    pub fn paper_final() -> PcuParams {
+        PcuParams {
+            lanes: 16,
+            stages: 6,
+            regs_per_stage: 6,
+            scalar_ins: 6,
+            scalar_outs: 5,
+            vector_ins: 3,
+            vector_outs: 3,
+            fifo_depth: 16,
+            counters: 4,
+        }
+    }
+}
+
+impl Default for PcuParams {
+    fn default() -> PcuParams {
+        PcuParams::paper_final()
+    }
+}
+
+/// Pattern Memory Unit parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PmuParams {
+    /// Scalar pipeline stages for address calculation (final 4).
+    pub stages: usize,
+    /// Registers per stage (final 6).
+    pub regs_per_stage: usize,
+    /// Scalar inputs (final 4).
+    pub scalar_ins: usize,
+    /// Scalar outputs (final 0 — read data leaves on vector buses).
+    pub scalar_outs: usize,
+    /// Vector inputs (final 3).
+    pub vector_ins: usize,
+    /// Vector outputs (final 1).
+    pub vector_outs: usize,
+    /// SRAM banks (= PCU lanes, final 16).
+    pub banks: usize,
+    /// Capacity of one bank in KiB (final 16 → 256 KiB per PMU).
+    pub bank_kb: usize,
+    /// Depth of each input FIFO in vector words.
+    pub fifo_depth: usize,
+    /// Programmable counters.
+    pub counters: usize,
+}
+
+impl PmuParams {
+    /// The paper's final selection (Table 3).
+    pub fn paper_final() -> PmuParams {
+        PmuParams {
+            stages: 4,
+            regs_per_stage: 6,
+            scalar_ins: 4,
+            scalar_outs: 0,
+            vector_ins: 3,
+            vector_outs: 1,
+            banks: 16,
+            bank_kb: 16,
+            fifo_depth: 16,
+            counters: 2,
+        }
+    }
+
+    /// Total scratchpad capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.banks * self.bank_kb * 1024
+    }
+
+    /// Total scratchpad capacity in 32-bit words.
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_bytes() / 4
+    }
+}
+
+impl Default for PmuParams {
+    fn default() -> PmuParams {
+        PmuParams::paper_final()
+    }
+}
+
+/// Whole-chip parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlasticineParams {
+    /// Unit-grid columns (paper: 16).
+    pub cols: usize,
+    /// Unit-grid rows (paper: 8).
+    pub rows: usize,
+    /// PCU parameters.
+    pub pcu: PcuParams,
+    /// PMU parameters.
+    pub pmu: PmuParams,
+    /// Address generators on the chip's left/right edges (paper: 34).
+    pub ags: usize,
+    /// Coalescing units = DDR channels (paper: 4).
+    pub coalescing_units: usize,
+    /// PCU/PMU mix on the grid.
+    pub mix: GridMix,
+    /// Core clock in GHz (paper: 1 GHz).
+    pub clock_ghz: f64,
+    /// Pipeline latency per switch hop in cycles (links are registered).
+    pub hop_latency: u64,
+    /// Entries in each coalescing unit's coalescing cache.
+    pub coalesce_entries: usize,
+}
+
+impl PlasticineParams {
+    /// The paper's final 16×8 configuration.
+    pub fn paper_final() -> PlasticineParams {
+        PlasticineParams {
+            cols: 16,
+            rows: 8,
+            pcu: PcuParams::paper_final(),
+            pmu: PmuParams::paper_final(),
+            ags: 34,
+            coalescing_units: 4,
+            mix: GridMix::Checkerboard,
+            clock_ghz: 1.0,
+            hop_latency: 1,
+            coalesce_entries: 64,
+        }
+    }
+
+    /// Number of PCUs on the chip (checkerboard: half the sites, rounded up
+    /// so a 16×8 grid gives 64).
+    pub fn num_pcus(&self) -> usize {
+        match self.mix {
+            GridMix::Checkerboard => (self.cols * self.rows).div_ceil(2),
+            GridMix::PmuHeavy => self.cols.div_ceil(3) * self.rows,
+        }
+    }
+
+    /// Number of PMUs on the chip.
+    pub fn num_pmus(&self) -> usize {
+        self.cols * self.rows - self.num_pcus()
+    }
+
+    /// Peak single-precision FLOPS: every FU in every lane/stage of every
+    /// PCU retires one fused multiply-add (2 FLOPs) per cycle. The paper's
+    /// final configuration yields 12.3 TFLOPS (§4.2).
+    pub fn peak_flops(&self) -> f64 {
+        2.0 * self.num_pcus() as f64
+            * self.pcu.lanes as f64
+            * self.pcu.stages as f64
+            * self.clock_ghz
+            * 1e9
+    }
+
+    /// Total on-chip scratchpad capacity in bytes.
+    pub fn total_scratchpad_bytes(&self) -> usize {
+        self.num_pmus() * self.pmu.capacity_bytes()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.cols == 0 || self.rows == 0 {
+            return Err(ParamError("grid must be non-empty".into()));
+        }
+        if self.pcu.lanes == 0 || !self.pcu.lanes.is_power_of_two() {
+            return Err(ParamError("PCU lanes must be a nonzero power of two".into()));
+        }
+        if self.pcu.stages == 0 {
+            return Err(ParamError("PCU needs at least one stage".into()));
+        }
+        if self.pmu.banks == 0 {
+            return Err(ParamError("PMU needs at least one bank".into()));
+        }
+        if self.coalescing_units == 0 {
+            return Err(ParamError("need at least one coalescing unit".into()));
+        }
+        if self.ags < self.coalescing_units {
+            return Err(ParamError(
+                "need at least one address generator per coalescing unit".into(),
+            ));
+        }
+        if self.clock_ghz <= 0.0 {
+            return Err(ParamError("clock must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PlasticineParams {
+    fn default() -> PlasticineParams {
+        PlasticineParams::paper_final()
+    }
+}
+
+/// Invalid-parameter error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(pub String);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid architecture parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_final_matches_table3() {
+        let p = PlasticineParams::paper_final();
+        assert_eq!(p.num_pcus(), 64);
+        assert_eq!(p.num_pmus(), 64);
+        assert_eq!(p.pcu.lanes, 16);
+        assert_eq!(p.pcu.stages, 6);
+        assert_eq!(p.pmu.capacity_bytes(), 256 * 1024);
+        // 16 MB total scratchpad (§4.2).
+        assert_eq!(p.total_scratchpad_bytes(), 16 * 1024 * 1024);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn peak_flops_matches_paper() {
+        // §4.2: 12.3 single-precision TFLOPS.
+        let p = PlasticineParams::paper_final();
+        let tflops = p.peak_flops() / 1e12;
+        assert!((tflops - 12.288).abs() < 0.01, "peak = {tflops} TFLOPS");
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut p = PlasticineParams::paper_final();
+        p.pcu.lanes = 12;
+        assert!(p.validate().is_err());
+        let mut p = PlasticineParams::paper_final();
+        p.cols = 0;
+        assert!(p.validate().is_err());
+        let mut p = PlasticineParams::paper_final();
+        p.ags = 2;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the chip geometry and parameter space.
+
+use plasticine_arch::{GridMix, PlasticineParams, SiteKind, Topology};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = PlasticineParams> {
+    (2usize..20, 2usize..12, prop::sample::select(vec![GridMix::Checkerboard, GridMix::PmuHeavy]))
+        .prop_map(|(cols, rows, mix)| PlasticineParams {
+            cols,
+            rows,
+            mix,
+            ..PlasticineParams::paper_final()
+        })
+}
+
+proptest! {
+    #[test]
+    fn site_partition_is_exact(p in params_strategy()) {
+        let t = Topology::new(&p);
+        let pcus = t.sites_of(SiteKind::Pcu).len();
+        let pmus = t.sites_of(SiteKind::Pmu).len();
+        prop_assert_eq!(pcus + pmus, p.cols * p.rows);
+        prop_assert_eq!(pcus, p.num_pcus());
+        prop_assert_eq!(pmus, p.num_pmus());
+    }
+
+    #[test]
+    fn every_site_has_a_valid_switch(p in params_strategy()) {
+        let t = Topology::new(&p);
+        for i in 0..t.sites().len() {
+            let sw = t.site_switch(plasticine_arch::SiteId(i as u32));
+            let (x, y) = t.switch_xy(sw);
+            prop_assert!(x < t.switch_cols());
+            prop_assert!(y < t.switch_rows());
+        }
+    }
+
+    #[test]
+    fn switch_distance_is_a_metric(p in params_strategy(),
+                                   a in (0usize..20, 0usize..12),
+                                   b in (0usize..20, 0usize..12),
+                                   c in (0usize..20, 0usize..12)) {
+        let t = Topology::new(&p);
+        let clampxy = |(x, y): (usize, usize)| {
+            t.switch_at(x.min(t.switch_cols() - 1), y.min(t.switch_rows() - 1))
+        };
+        let (a, b, c) = (clampxy(a), clampxy(b), clampxy(c));
+        let d = |x, y| t.switch_distance(x, y);
+        prop_assert_eq!(d(a, a), 0);
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c));
+    }
+
+    #[test]
+    fn neighbors_are_mutual_and_adjacent(p in params_strategy(), sx in 0usize..20, sy in 0usize..12) {
+        let t = Topology::new(&p);
+        let s = t.switch_at(sx.min(t.switch_cols() - 1), sy.min(t.switch_rows() - 1));
+        for n in t.switch_neighbors(s) {
+            prop_assert_eq!(t.switch_distance(s, n), 1);
+            prop_assert!(t.switch_neighbors(n).contains(&s));
+        }
+    }
+
+    #[test]
+    fn ag_switches_stay_on_the_edge(p in params_strategy()) {
+        let t = Topology::new(&p);
+        for i in 0..p.ags {
+            let (x, _) = t.switch_xy(t.ag_switch(plasticine_arch::AgId(i as u32)));
+            prop_assert!(x == 0 || x == t.switch_cols() - 1);
+        }
+    }
+
+    #[test]
+    fn scratchpad_capacity_consistent(bank_kb in 1usize..64, banks in 1usize..32) {
+        let mut p = PlasticineParams::paper_final();
+        p.pmu.bank_kb = bank_kb;
+        p.pmu.banks = banks;
+        prop_assert_eq!(p.pmu.capacity_bytes(), bank_kb * banks * 1024);
+        prop_assert_eq!(p.total_scratchpad_bytes(), p.num_pmus() * bank_kb * banks * 1024);
+    }
+}

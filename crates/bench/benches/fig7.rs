@@ -1,0 +1,121 @@
+//! Regenerates **Figure 7** — normalized PCU area overheads while sweeping
+//! each PCU parameter, with previously-tuned parameters fixed exactly as
+//! the paper's panel captions specify. Invalid points print as `x`
+//! (the figure's × marks).
+//!
+//! ```sh
+//! cargo bench -p plasticine-bench --bench fig7
+//! ```
+
+use plasticine_compiler::{build_virtual, Analysis};
+use plasticine_models::dse::{average_row, sweep, PcuParamKind, SweepSpec, SweepRow};
+use plasticine_models::AreaModel;
+use plasticine_workloads::{all, Scale};
+
+fn print_panel(caption: &str, values: &[usize], rows: &[SweepRow]) {
+    println!("\n=== {caption} ===");
+    print!("{:<14}", "Benchmark");
+    for v in values {
+        print!("{v:>6}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<14}", row.app);
+        for p in &row.points {
+            match p.overhead {
+                Some(o) => print!("{:>5.0}%", 100.0 * o),
+                None => print!("{:>6}", "x"),
+            }
+        }
+        println!();
+    }
+    print!("{:<14}", "Average");
+    for p in average_row(rows) {
+        match p.overhead {
+            Some(o) => print!("{:>5.0}%", 100.0 * o),
+            None => print!("{:>6}", "x"),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // Figure 7 uses the 12 benchmarks of Table 6 (CNN excluded).
+    let apps: Vec<_> = all(Scale::tiny())
+        .into_iter()
+        .filter(|b| b.name != "CNN")
+        .map(|b| {
+            let an = Analysis::run(&b.program);
+            let v = build_virtual(&b.program, &an);
+            (b.name, v)
+        })
+        .collect();
+    let model = AreaModel::new();
+
+    // The sequential tuning order of §3.7: each panel fixes the parameters
+    // already chosen (panel captions of Figure 7).
+    let panels: Vec<(&str, SweepSpec)> = vec![
+        (
+            "7a. Stages per PCU",
+            SweepSpec {
+                target: PcuParamKind::Stages,
+                values: (4..=16).collect(),
+                fixed: vec![],
+            },
+        ),
+        (
+            "7b. Registers per FU (6 stages)",
+            SweepSpec {
+                target: PcuParamKind::Regs,
+                values: (2..=16).collect(),
+                fixed: vec![(PcuParamKind::Stages, 6)],
+            },
+        ),
+        (
+            "7c. Scalar inputs (6 stages, 6 regs)",
+            SweepSpec {
+                target: PcuParamKind::ScalarIns,
+                values: (1..=10).collect(),
+                fixed: vec![(PcuParamKind::Stages, 6), (PcuParamKind::Regs, 6)],
+            },
+        ),
+        (
+            "7d. Scalar outputs (6 stages, 6 regs, 6 scalar-ins)",
+            SweepSpec {
+                target: PcuParamKind::ScalarOuts,
+                values: (1..=6).collect(),
+                fixed: vec![
+                    (PcuParamKind::Stages, 6),
+                    (PcuParamKind::Regs, 6),
+                    (PcuParamKind::ScalarIns, 6),
+                ],
+            },
+        ),
+        (
+            "7e. Vector inputs (6 stages, 6 regs)",
+            SweepSpec {
+                target: PcuParamKind::VectorIns,
+                values: (2..=10).collect(),
+                fixed: vec![(PcuParamKind::Stages, 6), (PcuParamKind::Regs, 6)],
+            },
+        ),
+        (
+            "7f. Vector outputs (6 stages, 6 regs, 3 vector-ins)",
+            SweepSpec {
+                target: PcuParamKind::VectorOuts,
+                values: (1..=6).collect(),
+                fixed: vec![
+                    (PcuParamKind::Stages, 6),
+                    (PcuParamKind::Regs, 6),
+                    (PcuParamKind::VectorIns, 3),
+                ],
+            },
+        ),
+    ];
+
+    for (caption, spec) in panels {
+        let rows = sweep(&apps, &spec, &model);
+        print_panel(caption, &spec.values, &rows);
+    }
+    println!("\npaper reference: minima near stages=5..6, regs=4..6; scalar/vector IO flat after app minimum");
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Table 5** — the component-wise area breakdown of the
+//! Plasticine chip — from the parameterized area model, next to the
+//! paper's published values.
+//!
+//! ```sh
+//! cargo bench -p plasticine-bench --bench table5
+//! ```
+
+use plasticine_arch::PlasticineParams;
+use plasticine_models::AreaModel;
+
+fn row(name: &str, ours: f64, paper: f64) {
+    let delta = if paper > 0.0 {
+        100.0 * (ours - paper) / paper
+    } else {
+        0.0
+    };
+    println!("{name:<28} {ours:>10.3} {paper:>10.3} {delta:>+8.1}%");
+}
+
+fn main() {
+    let params = PlasticineParams::paper_final();
+    let m = AreaModel::new();
+    let chip = m.chip(&params);
+
+    println!("Table 5: Plasticine area breakdown (mm², 28 nm)");
+    println!("{:<28} {:>10} {:>10} {:>9}", "Component", "model", "paper", "delta");
+    println!("{}", "-".repeat(60));
+    println!("-- one PCU --");
+    row("  FUs", chip.pcu.fus, 0.622);
+    row("  Registers", chip.pcu.registers, 0.144);
+    row("  FIFOs", chip.pcu.fifos, 0.082);
+    row("  Control", chip.pcu.control, 0.001);
+    row("  Total (single PCU)", chip.pcu.total(), 0.849);
+    println!("-- one PMU --");
+    row("  Scratchpad (256KB)", chip.pmu.scratchpad, 0.477);
+    row("  FIFOs", chip.pmu.fifos, 0.024);
+    row("  Registers", chip.pmu.registers, 0.023);
+    row("  FUs", chip.pmu.fus, 0.007);
+    row("  Control", chip.pmu.control, 0.001);
+    row("  Total (single PMU)", chip.pmu.total(), 0.532);
+    println!("-- chip --");
+    row("Interconnect", chip.interconnect, 18.796);
+    row("Memory controller", chip.memory_controller, 5.616);
+    row("64 PCUs", chip.pcus_total, 64.0 * 0.849);
+    row("64 PMUs", chip.pmus_total, 64.0 * 0.532);
+    row("Plasticine total", chip.total, 112.796);
+    println!();
+    println!(
+        "peak compute: {:.1} TFLOPS (paper: 12.3); scratchpad: {} MB (paper: 16)",
+        params.peak_flops() / 1e12,
+        params.total_scratchpad_bytes() >> 20
+    );
+    assert!((chip.total - 112.796).abs() < 0.5, "area model drifted");
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Table 6** — estimated successive and (cumulative) area
+//! overheads of generalizing benchmark-specific ASICs into the Plasticine
+//! fabric — next to the paper's published chain.
+//!
+//! ```sh
+//! cargo bench -p plasticine-bench --bench table6
+//! ```
+
+use plasticine_compiler::{build_virtual, Analysis};
+use plasticine_models::dse::table6;
+use plasticine_models::AreaModel;
+use plasticine_workloads::{all, Scale};
+
+/// Paper values: (a, b, c, d, e) successive overheads per benchmark.
+const PAPER: &[(&str, [f64; 5])] = &[
+    ("InnerProduct", [2.64, 1.21, 2.66, 1.53, 1.02]),
+    ("OuterProduct", [1.54, 2.07, 1.83, 1.00, 1.02]),
+    ("BlackScholes", [2.05, 1.05, 1.59, 1.18, 1.10]),
+    ("TPCHQ6", [2.26, 1.15, 3.90, 1.24, 1.15]),
+    ("GEMM", [1.63, 1.45, 1.62, 1.00, 1.02]),
+    ("GDA", [1.95, 1.79, 3.03, 1.34, 1.01]),
+    ("LogReg", [1.55, 1.91, 1.73, 1.00, 1.02]),
+    ("SGD", [7.67, 1.09, 1.82, 1.41, 1.02]),
+    ("Kmeans", [2.81, 1.88, 1.74, 1.00, 1.02]),
+    ("SMDV", [5.03, 1.24, 4.04, 1.36, 1.06]),
+    ("PageRank", [7.14, 1.18, 3.39, 1.46, 1.03]),
+    ("BFS", [2.91, 1.38, 2.14, 1.21, 1.03]),
+    ("GeoMean", [2.77, 1.41, 2.32, 1.21, 1.04]),
+];
+
+fn main() {
+    let apps: Vec<_> = all(Scale::tiny())
+        .into_iter()
+        .filter(|b| b.name != "CNN") // the paper's Table 6 has 12 apps
+        .map(|b| {
+            let an = Analysis::run(&b.program);
+            let v = build_virtual(&b.program, &an);
+            (b.name, v)
+        })
+        .collect();
+    let rows = table6(&apps, &AreaModel::new());
+
+    println!("Table 6: area overheads of generalization (successive, cumulative)");
+    println!(
+        "{:<14} {:>6} {:>13} {:>13} {:>13} {:>13}   | paper (a..e)",
+        "Benchmark", "a", "b (cum)", "c (cum)", "d (cum)", "e (cum)"
+    );
+    println!("{}", "-".repeat(110));
+    for r in &rows {
+        let c = r.cumulative();
+        let paper = PAPER
+            .iter()
+            .find(|(n, _)| *n == r.app)
+            .map(|(_, v)| *v)
+            .unwrap_or([f64::NAN; 5]);
+        println!(
+            "{:<14} {:>6.2} {:>5.2} ({:>5.2}) {:>5.2} ({:>5.2}) {:>5.2} ({:>5.2}) {:>5.2} ({:>5.2})   | {:.2} {:.2} {:.2} {:.2} {:.2}",
+            r.app, r.a, r.b, c[1], r.c, c[2], r.d, c[3], r.e, c[4],
+            paper[0], paper[1], paper[2], paper[3], paper[4],
+        );
+    }
+    let gm = rows.last().expect("geomean row");
+    println!();
+    println!(
+        "geomean sanity: a={:.2} (paper 2.77), e={:.2} (paper 1.04), total cum={:.1}x (paper 11.5x)",
+        gm.a,
+        gm.e,
+        gm.cumulative()[4]
+    );
+}

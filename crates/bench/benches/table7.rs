@@ -1,0 +1,117 @@
+//! Regenerates **Table 7** — utilization, power, performance, and
+//! performance-per-Watt of Plasticine versus the Stratix V FPGA baseline —
+//! by compiling and cycle-accurately simulating every Table 4 benchmark
+//! and pricing the same workloads on the analytic FPGA model.
+//!
+//! Absolute numbers differ from the paper (our substrate is a simulator
+//! and an analytic board model at scaled-down sizes); the comparison
+//! target is the *shape*: which benchmarks win big, which are
+//! bandwidth-parity, where the sparse apps land.
+//!
+//! ```sh
+//! cargo bench -p plasticine-bench --bench table7
+//! ```
+
+use plasticine_arch::PlasticineParams;
+use plasticine_compiler::compile;
+use plasticine_fpga::FpgaModel;
+use plasticine_models::PowerModel;
+use plasticine_ppir::Machine;
+use plasticine_sim::{simulate, SimOptions};
+use plasticine_workloads::{all, Scale};
+
+/// Paper Table 7: (speedup, perf/W) per benchmark.
+const PAPER: &[(&str, f64, f64)] = &[
+    ("InnerProduct", 1.4, 1.6),
+    ("OuterProduct", 6.7, 6.1),
+    ("BlackScholes", 5.1, 5.8),
+    ("TPCHQ6", 1.4, 1.5),
+    ("GEMM", 33.0, 24.4),
+    ("GDA", 40.0, 25.9),
+    ("LogReg", 11.4, 9.2),
+    ("SGD", 6.7, 15.9),
+    ("Kmeans", 6.1, 11.3),
+    ("CNN", 95.1, 76.9),
+    ("SMDV", 8.3, 9.3),
+    ("PageRank", 14.2, 18.2),
+    ("BFS", 7.3, 11.4),
+];
+
+fn main() {
+    let params = PlasticineParams::paper_final();
+    let power_model = PowerModel::new();
+    let fpga = FpgaModel::new();
+
+    println!("Table 7: Plasticine vs FPGA (measured at Scale::small; paper values right)");
+    println!(
+        "{:<14} {:>9} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} | {:>8} {:>8} | {:>7} {:>7}",
+        "Benchmark", "Cycles", "PCU%", "PMU%", "AG%", "FU%", "Reg%", "Watts",
+        "Speedup", "Perf/W", "paperS", "paperPW"
+    );
+    println!("{}", "-".repeat(118));
+    let mut ratios = Vec::new();
+    for bench in all(Scale::small()) {
+        let out = compile(&bench.program, &params)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let mut m = Machine::new(&bench.program);
+        bench.load(&mut m);
+        let r = simulate(&bench.program, &out, &mut m, &SimOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        bench
+            .verify(&m)
+            .unwrap_or_else(|e| panic!("verification: {e}"));
+
+        let (pcu_u, pmu_u, ag_u) = out.config.utilization();
+        let fu = r.fu_utilization(&out.config);
+        let reg = r.reg_utilization(&out.config);
+        let p = power_model.estimate(&r, &out.config);
+        let fe = fpga.estimate(&bench.fpga);
+        let speedup = fe.seconds / r.seconds(params.clock_ghz);
+        let perf_w = speedup * fe.power_w / p.total_w;
+        let (_, ps, ppw) = PAPER
+            .iter()
+            .find(|(n, _, _)| *n == bench.name)
+            .copied()
+            .unwrap_or(("", f64::NAN, f64::NAN));
+        println!(
+            "{:<14} {:>9} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>6.1}% {:>7.1} | {:>7.1}x {:>7.1}x | {:>6.1}x {:>6.1}x",
+            bench.name,
+            r.cycles,
+            100.0 * pcu_u,
+            100.0 * pmu_u,
+            100.0 * ag_u,
+            100.0 * fu,
+            100.0 * reg,
+            p.total_w,
+            speedup,
+            perf_w,
+            ps,
+            ppw,
+        );
+        ratios.push((bench.name.clone(), speedup, ps));
+    }
+    println!();
+
+    // Shape check: rank correlation between our speedups and the paper's.
+    let mut ours: Vec<_> = ratios.iter().map(|(_, s, _)| *s).collect();
+    let mut papers: Vec<_> = ratios.iter().map(|(_, _, p)| *p).collect();
+    let rank = |v: &mut Vec<f64>| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap());
+        let mut r = vec![0usize; v.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos;
+        }
+        r
+    };
+    let ra = rank(&mut ours);
+    let rb = rank(&mut papers);
+    let n = ra.len() as f64;
+    let d2: f64 = ra
+        .iter()
+        .zip(&rb)
+        .map(|(&a, &b)| ((a as f64) - (b as f64)).powi(2))
+        .sum();
+    let spearman = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+    println!("speedup rank correlation vs paper (Spearman): {spearman:.2}");
+}

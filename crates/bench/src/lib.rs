@@ -1,0 +1,1 @@
+//! Benchmark harness library (targets live in `benches/`).

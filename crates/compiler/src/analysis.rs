@@ -1,0 +1,517 @@
+//! Structural analysis of the controller tree: parents, schedules, unroll
+//! factors, memory producer/consumer relations, and N-buffer depths.
+
+use plasticine_ppir::{
+    CtrlBody, CtrlId, Expr, FuncId, InnerOp, Program, RegId, Schedule, SramId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// How a controller touches a memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// The controller writes the memory.
+    Write,
+    /// The controller reads the memory.
+    Read,
+}
+
+/// Result of analysing a program's controller tree.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Parent of each controller (`None` for the root).
+    pub parent: Vec<Option<CtrlId>>,
+    /// Schedule governing each controller (its parent's schedule; the root
+    /// gets `Sequential`).
+    pub governing: Vec<Schedule>,
+    /// Position of each controller among its siblings.
+    pub child_index: Vec<usize>,
+    /// Unroll copies of each controller: the product of ancestor counter
+    /// `par` factors and, for inner controllers, the `par` factors of all
+    /// but the innermost counter of their own chain.
+    pub copies: Vec<usize>,
+    /// SIMD lanes of each inner controller (innermost counter's `par`).
+    pub lanes: Vec<usize>,
+    /// Unroll copies attributable to *ancestors only* (excludes the inner
+    /// controller's own outer counters). `copies / anc_copies` is the
+    /// intra-invocation parallelism; `anc_copies` bounds how many
+    /// invocations of the controller may be in flight concurrently.
+    pub anc_copies: Vec<usize>,
+    /// Controllers accessing each scratchpad, with access kind.
+    pub sram_access: HashMap<SramId, Vec<(CtrlId, Access)>>,
+    /// Controllers accessing each register.
+    pub reg_access: HashMap<RegId, Vec<(CtrlId, Access)>>,
+    /// Derived N-buffer depth for each scratchpad.
+    pub nbuf: HashMap<SramId, usize>,
+    /// Depth of each controller (root = 0).
+    pub depth: Vec<usize>,
+}
+
+impl Analysis {
+    /// Runs the analysis.
+    pub fn run(p: &Program) -> Analysis {
+        let n = p.ctrls().len();
+        let mut parent = vec![None; n];
+        let mut governing = vec![Schedule::Sequential; n];
+        let mut child_index = vec![0usize; n];
+        let mut depth = vec![0usize; n];
+
+        // Parent / schedule / order.
+        p.walk(|id, d| {
+            depth[id.0 as usize] = d;
+            if let CtrlBody::Outer { schedule, children } = &p.ctrl(id).body {
+                for (ci, &ch) in children.iter().enumerate() {
+                    parent[ch.0 as usize] = Some(id);
+                    governing[ch.0 as usize] = *schedule;
+                    child_index[ch.0 as usize] = ci;
+                }
+            }
+        });
+
+        // Copies and lanes.
+        let mut copies = vec![1usize; n];
+        let mut lanes = vec![1usize; n];
+        let mut anc_copies = vec![1usize; n];
+        for id in 0..n {
+            let cid = CtrlId(id as u32);
+            let ctrl = p.ctrl(cid);
+            // Ancestor par product.
+            let mut c = 1usize;
+            let mut cur = parent[id];
+            while let Some(a) = cur {
+                c *= p.ctrl(a).total_par();
+                cur = parent[a.0 as usize];
+            }
+            anc_copies[id] = c;
+            if ctrl.is_outer() {
+                copies[id] = c;
+            } else {
+                // Own chain: all but innermost multiply copies; innermost is
+                // the SIMD width.
+                let own = &ctrl.cchain;
+                let own_outer: usize = own
+                    .iter()
+                    .take(own.len().saturating_sub(1))
+                    .map(|k| k.par.max(1))
+                    .product();
+                copies[id] = c * own_outer;
+                lanes[id] = own.last().map(|k| k.par.max(1)).unwrap_or(1);
+            }
+        }
+
+        // Memory accesses.
+        let mut sram_access: HashMap<SramId, Vec<(CtrlId, Access)>> = HashMap::new();
+        let mut reg_access: HashMap<RegId, Vec<(CtrlId, Access)>> = HashMap::new();
+        for &cid in &p.inner_ctrls() {
+            let CtrlBody::Inner(op) = &p.ctrl(cid).body else {
+                continue;
+            };
+            let rec_sram = |s: SramId, a: Access, m: &mut HashMap<_, Vec<_>>| {
+                m.entry(s).or_insert_with(Vec::new).push((cid, a));
+            };
+            let func_reads = |f: FuncId,
+                                  srams: &mut HashMap<SramId, Vec<(CtrlId, Access)>>,
+                                  regs: &mut HashMap<RegId, Vec<(CtrlId, Access)>>| {
+                for nodexpr in p.func(f).nodes() {
+                    match nodexpr {
+                        Expr::Load { mem, .. } => {
+                            srams.entry(*mem).or_default().push((cid, Access::Read));
+                        }
+                        Expr::ReadReg(r) => {
+                            regs.entry(*r).or_default().push((cid, Access::Read));
+                        }
+                        _ => {}
+                    }
+                }
+            };
+            match op {
+                InnerOp::Map(m) => {
+                    func_reads(m.body, &mut sram_access, &mut reg_access);
+                    for w in &m.writes {
+                        rec_sram(w.sram, Access::Write, &mut sram_access);
+                        // Read-modify-write accumulation also reads.
+                        if matches!(w.mode, plasticine_ppir::WriteMode::Accumulate(_)) {
+                            rec_sram(w.sram, Access::Read, &mut sram_access);
+                        }
+                        func_reads(w.addr, &mut sram_access, &mut reg_access);
+                    }
+                }
+                InnerOp::Fold(fl) => {
+                    func_reads(fl.map, &mut sram_access, &mut reg_access);
+                    for w in &fl.writes {
+                        rec_sram(w.sram, Access::Write, &mut sram_access);
+                        if matches!(w.mode, plasticine_ppir::WriteMode::Accumulate(_)) {
+                            rec_sram(w.sram, Access::Read, &mut sram_access);
+                        }
+                        func_reads(w.addr, &mut sram_access, &mut reg_access);
+                    }
+                    for r in fl.out_regs.iter().flatten() {
+                        reg_access.entry(*r).or_default().push((cid, Access::Write));
+                    }
+                }
+                InnerOp::Filter(fi) => {
+                    func_reads(fi.body, &mut sram_access, &mut reg_access);
+                    rec_sram(fi.out, Access::Write, &mut sram_access);
+                    reg_access
+                        .entry(fi.count_reg)
+                        .or_default()
+                        .push((cid, Access::Write));
+                }
+                InnerOp::RegWrite(rw) => {
+                    func_reads(rw.func, &mut sram_access, &mut reg_access);
+                    reg_access
+                        .entry(rw.reg)
+                        .or_default()
+                        .push((cid, Access::Write));
+                }
+                InnerOp::LoadTile(t) => {
+                    func_reads(t.dram_base, &mut sram_access, &mut reg_access);
+                    rec_sram(t.sram, Access::Write, &mut sram_access);
+                }
+                InnerOp::StoreTile(t) => {
+                    func_reads(t.dram_base, &mut sram_access, &mut reg_access);
+                    rec_sram(t.sram, Access::Read, &mut sram_access);
+                }
+                InnerOp::Gather(g) => {
+                    func_reads(g.base, &mut sram_access, &mut reg_access);
+                    rec_sram(g.indices, Access::Read, &mut sram_access);
+                    rec_sram(g.dst, Access::Write, &mut sram_access);
+                }
+                InnerOp::Scatter(s) => {
+                    func_reads(s.base, &mut sram_access, &mut reg_access);
+                    rec_sram(s.indices, Access::Read, &mut sram_access);
+                    rec_sram(s.src, Access::Read, &mut sram_access);
+                }
+            }
+        }
+
+        let mut an = Analysis {
+            parent,
+            governing,
+            child_index,
+            copies,
+            lanes,
+            anc_copies,
+            sram_access,
+            reg_access,
+            nbuf: HashMap::new(),
+            depth,
+        };
+        an.compute_nbuf(p);
+        an
+    }
+
+    /// Path from a controller up to the root (inclusive).
+    fn path_to_root(&self, mut c: CtrlId) -> Vec<CtrlId> {
+        let mut path = vec![c];
+        while let Some(pa) = self.parent[c.0 as usize] {
+            path.push(pa);
+            c = pa;
+        }
+        path
+    }
+
+    /// Lowest common ancestor of two controllers, together with the two
+    /// children of the LCA on each side (used for pipeline distance).
+    pub fn lca(&self, a: CtrlId, b: CtrlId) -> (CtrlId, Option<CtrlId>, Option<CtrlId>) {
+        let pa = self.path_to_root(a);
+        let pb = self.path_to_root(b);
+        let sa: HashSet<u32> = pa.iter().map(|c| c.0).collect();
+        // First node on b's path that is also on a's path.
+        let lca = *pb.iter().find(|c| sa.contains(&c.0)).expect("common root");
+        let side = |path: &[CtrlId]| {
+            let pos = path.iter().position(|c| *c == lca).unwrap();
+            if pos == 0 {
+                None
+            } else {
+                Some(path[pos - 1])
+            }
+        };
+        (lca, side(&pa), side(&pb))
+    }
+
+    /// Derives N-buffer depths (§3.5): a memory written by a child at
+    /// dependency-stage `i` and read by a child at dependency-stage `j` of a
+    /// coarse-grain-pipelined controller is M-buffered with
+    /// `M = (j - i) + 1`, where stages are longest-path depths in the
+    /// sibling dependency DAG (edges follow shared-memory dataflow in
+    /// program order). Sequential and streaming parents need a single
+    /// buffer (streaming communication uses FIFOs instead).
+    fn compute_nbuf(&mut self, p: &Program) {
+        // Dependency stage of every controller within its parent.
+        let stages = self.pipeline_stages(p);
+        for (sram, accesses) in &self.sram_access {
+            let mut depth = p.sram(*sram).nbuf.unwrap_or(1);
+            for (wc, wa) in accesses {
+                if *wa != Access::Write {
+                    continue;
+                }
+                for (rc, ra) in accesses {
+                    if *ra != Access::Read || rc == wc {
+                        continue;
+                    }
+                    let (lca, wside, rside) = self.lca(*wc, *rc);
+                    let CtrlBody::Outer { schedule, .. } = &p.ctrl(lca).body else {
+                        continue;
+                    };
+                    if *schedule != Schedule::Pipelined {
+                        continue;
+                    }
+                    if let (Some(ws), Some(rs)) = (wside, rside) {
+                        let wi = stages[ws.0 as usize];
+                        let ri = stages[rs.0 as usize];
+                        if ri >= wi {
+                            depth = depth.max(ri - wi + 1);
+                        }
+                    }
+                }
+            }
+            self.nbuf.insert(*sram, depth);
+        }
+    }
+
+    /// Memory footprint (srams touched with the given access) of a whole
+    /// subtree.
+    pub fn subtree_srams(&self, p: &Program, root: CtrlId, want: Access) -> HashSet<SramId> {
+        let mut subtree = HashSet::new();
+        let mut stack = vec![root];
+        while let Some(c) = stack.pop() {
+            subtree.insert(c.0);
+            if let CtrlBody::Outer { children, .. } = &p.ctrl(c).body {
+                stack.extend(children.iter().copied());
+            }
+        }
+        let mut out = HashSet::new();
+        for (s, accs) in &self.sram_access {
+            if accs
+                .iter()
+                .any(|(c, a)| *a == want && subtree.contains(&c.0))
+            {
+                out.insert(*s);
+            }
+        }
+        out
+    }
+
+    /// Longest-path dependency stage of each controller among its siblings
+    /// (children with no dependencies are stage 0).
+    fn pipeline_stages(&self, p: &Program) -> Vec<usize> {
+        let mut stages = vec![0usize; p.ctrls().len()];
+        p.walk(|id, _| {
+            if let CtrlBody::Outer { children, .. } = &p.ctrl(id).body {
+                let writes: Vec<HashSet<SramId>> = children
+                    .iter()
+                    .map(|&c| self.subtree_srams(p, c, Access::Write))
+                    .collect();
+                let reads: Vec<HashSet<SramId>> = children
+                    .iter()
+                    .map(|&c| self.subtree_srams(p, c, Access::Read))
+                    .collect();
+                for (j, &cj) in children.iter().enumerate() {
+                    let mut st = 0usize;
+                    for (i, &ci) in children.iter().enumerate().take(j) {
+                        if writes[i].intersection(&reads[j]).next().is_some() {
+                            st = st.max(stages[ci.0 as usize] + 1);
+                        }
+                    }
+                    stages[cj.0 as usize] = st;
+                }
+            }
+        });
+        stages
+    }
+
+    /// Dependency edges among the children of an outer controller:
+    /// `(producer_idx, consumer_idx, buffer_depth)` for every pair of
+    /// children connected by a shared scratchpad in program order. The
+    /// buffer depth is the minimum N-buffer depth over the shared
+    /// scratchpads — the credit count of the coarse-grain pipeline (§3.5).
+    pub fn sibling_deps(&self, p: &Program, parent: CtrlId) -> Vec<(usize, usize, usize)> {
+        let CtrlBody::Outer { children, .. } = &p.ctrl(parent).body else {
+            return Vec::new();
+        };
+        let writes: Vec<HashSet<SramId>> = children
+            .iter()
+            .map(|&c| self.subtree_srams(p, c, Access::Write))
+            .collect();
+        let reads: Vec<HashSet<SramId>> = children
+            .iter()
+            .map(|&c| self.subtree_srams(p, c, Access::Read))
+            .collect();
+        let mut out = Vec::new();
+        for j in 0..children.len() {
+            for i in 0..j {
+                let shared: Vec<SramId> =
+                    writes[i].intersection(&reads[j]).copied().collect();
+                if shared.is_empty() {
+                    continue;
+                }
+                let depth = shared
+                    .iter()
+                    .map(|s| self.nbuf_of(*s))
+                    .min()
+                    .unwrap_or(1);
+                out.push((i, j, depth));
+            }
+        }
+        out
+    }
+
+    /// N-buffer depth for a scratchpad (1 if untouched).
+    pub fn nbuf_of(&self, s: SramId) -> usize {
+        self.nbuf.get(&s).copied().unwrap_or(1)
+    }
+
+    /// Writers of a scratchpad.
+    pub fn writers(&self, s: SramId) -> Vec<CtrlId> {
+        self.sram_access
+            .get(&s)
+            .map(|v| {
+                v.iter()
+                    .filter(|(_, a)| *a == Access::Write)
+                    .map(|(c, _)| *c)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Readers of a scratchpad.
+    pub fn readers(&self, s: SramId) -> Vec<CtrlId> {
+        self.sram_access
+            .get(&s)
+            .map(|v| {
+                v.iter()
+                    .filter(|(_, a)| *a == Access::Read)
+                    .map(|(c, _)| *c)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_ppir::*;
+
+    /// Pipelined pipeline: load → compute → store over an outer tile loop.
+    fn pipelined_program() -> (Program, SramId, SramId) {
+        let mut b = ProgramBuilder::new("pipe");
+        let d = b.dram("d", DType::F32, 1024);
+        let o = b.dram("o", DType::F32, 1024);
+        let tile_in = b.sram("tile_in", DType::F32, &[64]);
+        let tile_out = b.sram("tile_out", DType::F32, &[64]);
+
+        let mut base = Func::new("base");
+        let t = b.fresh_index(); // outer tile index (declared below via counter)
+        let _ = t;
+        let z = base.konst(Elem::I32(0));
+        base.set_outputs(vec![z]);
+        let base = b.func(base);
+
+        let ld = b.inner(
+            "ld",
+            vec![],
+            InnerOp::LoadTile(TileTransfer {
+                dram: d,
+                dram_base: base,
+                rows: 1,
+                cols: 64,
+                dram_row_stride: 64,
+                sram: tile_in,
+            }),
+        );
+        let i = b.counter(0, 64, 1, 16);
+        let mut body = Func::new("sq");
+        let iv = body.index(i.index);
+        let v = body.load(tile_in, vec![iv]);
+        let sq = body.binary(BinOp::Mul, v, v);
+        body.set_outputs(vec![sq]);
+        let body = b.func(body);
+        let mut addr = Func::new("addr");
+        let iv = addr.index(i.index);
+        addr.set_outputs(vec![iv]);
+        let addr = b.func(addr);
+        let comp = b.inner(
+            "sq",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: tile_out,
+                    addr,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                }],
+            }),
+        );
+        let st = b.inner(
+            "st",
+            vec![],
+            InnerOp::StoreTile(TileTransfer {
+                dram: o,
+                dram_base: base,
+                rows: 1,
+                cols: 64,
+                dram_row_stride: 64,
+                sram: tile_out,
+            }),
+        );
+        let tiles = b.counter(0, 16, 1, 2);
+        let root = b.outer("tiles", Schedule::Pipelined, vec![tiles], vec![ld, comp, st]);
+        let p = b.finish(root).unwrap();
+        (p, tile_in, tile_out)
+    }
+
+    #[test]
+    fn nbuf_reflects_pipeline_distance() {
+        let (p, tin, tout) = pipelined_program();
+        let an = Analysis::run(&p);
+        // tile_in: written by child 0 (ld), read by child 1 (sq) → 2 buffers.
+        assert_eq!(an.nbuf_of(tin), 2);
+        // tile_out: written by child 1, read by child 2 → 2 buffers.
+        assert_eq!(an.nbuf_of(tout), 2);
+    }
+
+    #[test]
+    fn copies_multiply_ancestor_par() {
+        let (p, _, _) = pipelined_program();
+        let an = Analysis::run(&p);
+        // Root has par 2, so every child has 2 copies.
+        for inner in p.inner_ctrls() {
+            assert_eq!(an.copies[inner.0 as usize], 2, "{}", p.ctrl(inner).name);
+        }
+    }
+
+    #[test]
+    fn lanes_take_innermost_par() {
+        let (p, _, _) = pipelined_program();
+        let an = Analysis::run(&p);
+        let comp = p
+            .inner_ctrls()
+            .into_iter()
+            .find(|c| p.ctrl(*c).name == "sq")
+            .unwrap();
+        assert_eq!(an.lanes[comp.0 as usize], 16);
+    }
+
+    #[test]
+    fn access_sets_are_complete() {
+        let (p, tin, tout) = pipelined_program();
+        let an = Analysis::run(&p);
+        assert_eq!(an.writers(tin).len(), 1);
+        assert_eq!(an.readers(tin).len(), 1);
+        assert_eq!(an.writers(tout).len(), 1);
+        assert_eq!(an.readers(tout).len(), 1);
+    }
+
+    #[test]
+    fn lca_of_siblings_is_parent() {
+        let (p, _, _) = pipelined_program();
+        let an = Analysis::run(&p);
+        let inner = p.inner_ctrls();
+        let (lca, a, b) = an.lca(inner[0], inner[2]);
+        assert_eq!(lca, p.root());
+        assert_eq!(a, Some(inner[0]));
+        assert_eq!(b, Some(inner[2]));
+    }
+}

@@ -1,0 +1,492 @@
+//! Final assembly: units, links, DRAM allocation → [`MachineConfig`].
+
+use crate::analysis::{Access, Analysis};
+use crate::error::CompileError;
+use crate::partition::{partition, ChunkStats};
+use crate::place::{place, Placement};
+use crate::route::{path_hops, RouteLimits, Router};
+use crate::vunit::{build_virtual, VirtualDesign};
+use plasticine_arch::{
+    AgCfg, AgMode, ComputeCfg, DramAlloc, LinkCfg, MachineConfig, MemoryCfg, NetClass,
+    OuterCtrlCfg, ResourceUsage, SwitchId, Topology, UnitCfg, UnitId,
+};
+use plasticine_ppir::{CBound, CtrlBody, CtrlId, Program, SramId};
+use std::collections::HashMap;
+
+/// Everything the compiler produces: the runnable configuration plus the
+/// intermediate artifacts the area models and DSE consume.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The placed-and-routed configuration.
+    pub config: MachineConfig,
+    /// Virtual design before partitioning.
+    pub virtual_design: VirtualDesign,
+    /// Partition result per virtual PCU.
+    pub chunks: Vec<Vec<ChunkStats>>,
+    /// Physical placement.
+    pub placement: Placement,
+    /// Controller-tree analysis.
+    pub analysis: Analysis,
+}
+
+/// Compilation options beyond the architecture parameters.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Routing track budgets.
+    pub route_limits: RouteLimits,
+}
+
+impl CompileOptions {
+    /// Default options.
+    pub fn new() -> CompileOptions {
+        CompileOptions::default()
+    }
+}
+
+/// Compiles a program for a parameter set (§3.6's full pipeline: virtual
+/// units → partitioning → placement → routing → configuration).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the parameters are invalid, a virtual unit
+/// cannot be partitioned, the chip runs out of units, or routing fails.
+pub fn compile(
+    p: &Program,
+    params: &plasticine_arch::PlasticineParams,
+) -> Result<CompileOutput, CompileError> {
+    compile_with(p, params, &CompileOptions::new())
+}
+
+/// [`compile`] with explicit options.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with(
+    p: &Program,
+    params: &plasticine_arch::PlasticineParams,
+    opts: &CompileOptions,
+) -> Result<CompileOutput, CompileError> {
+    params.validate()?;
+    let an = Analysis::run(p);
+    let mut v = build_virtual(p, &an);
+
+    // Clamp SIMD widths to the architecture: an innermost `par` wider than
+    // the PCU's lanes is realized as extra unroll copies.
+    for u in &mut v.pcus {
+        if u.lanes > params.pcu.lanes {
+            u.copies *= u.lanes.div_ceil(params.pcu.lanes);
+            if u.reduction_lanes > 1 {
+                u.reduction_lanes = params.pcu.lanes;
+            }
+            u.lanes = params.pcu.lanes;
+        }
+    }
+
+    let chunks: Vec<Vec<ChunkStats>> = v
+        .pcus
+        .iter()
+        .map(|u| partition(u, &params.pcu))
+        .collect::<Result<_, _>>()?;
+
+    let topo = Topology::new(params);
+    let placement = place(p, &an, &v, &chunks, params, &topo)?;
+
+    // ---- Units ----
+    let np = v.pcus.len();
+    let nm = v.pmus.len();
+    let na = v.ags.len();
+    let mut units: Vec<UnitCfg> = Vec::with_capacity(np + nm + na + v.outers.len());
+    for (i, u) in v.pcus.iter().enumerate() {
+        units.push(UnitCfg::Compute(ComputeCfg {
+            ctrl: u.ctrl,
+            sites: placement.pcu_sites[i].clone(),
+            copies: u.copies,
+            pcus_per_copy: chunks[i].len(),
+            pipeline_depth: chunks[i].iter().map(|c| c.stages).sum(),
+            lanes: u.lanes,
+        }));
+    }
+    for (j, m) in v.pmus.iter().enumerate() {
+        units.push(UnitCfg::Memory(MemoryCfg {
+            sram: m.sram,
+            sites: placement.pmu_sites[j].clone(),
+            nbuf: m.nbuf,
+            banking: m.banking,
+        }));
+    }
+    for (k, a) in v.ags.iter().enumerate() {
+        units.push(UnitCfg::Ag(AgCfg {
+            ctrl: a.ctrl,
+            ags: placement.ag_ids[k].clone(),
+            mode: if a.sparse { AgMode::Sparse } else { AgMode::Dense },
+        }));
+    }
+    for (l, &oc) in v.outers.iter().enumerate() {
+        units.push(UnitCfg::Outer(OuterCtrlCfg {
+            ctrl: oc,
+            switch: placement.outer_switches[l],
+        }));
+    }
+
+    // Lookup: ctrl → unit, sram → unit.
+    let mut unit_of_ctrl: HashMap<CtrlId, UnitId> = HashMap::new();
+    let mut unit_of_sram: HashMap<SramId, UnitId> = HashMap::new();
+    for (i, u) in units.iter().enumerate() {
+        match u {
+            UnitCfg::Memory(m) => {
+                unit_of_sram.insert(m.sram, UnitId(i as u32));
+            }
+            _ => {
+                if let Some(c) = u.ctrl() {
+                    unit_of_ctrl.insert(c, UnitId(i as u32));
+                }
+            }
+        }
+    }
+
+    // Anchor switches per unit copy.
+    let anchor = |uid: UnitId, copy: usize, last: bool| -> SwitchId {
+        match &units[uid.0 as usize] {
+            UnitCfg::Compute(c) => {
+                let per = c.pcus_per_copy.max(1);
+                let base = (copy % c.copies.max(1)) * per;
+                let idx = if last { base + per - 1 } else { base };
+                topo.site_switch(c.sites[idx.min(c.sites.len() - 1)])
+            }
+            UnitCfg::Memory(m) => topo.site_switch(m.sites[copy % m.sites.len()]),
+            UnitCfg::Ag(a) => topo.ag_switch(a.ags[copy % a.ags.len()]),
+            UnitCfg::Outer(o) => o.switch,
+        }
+    };
+
+    // ---- Links ----
+    let mut router = Router::new(&topo, opts.route_limits);
+    let mut links: Vec<LinkCfg> = Vec::new();
+    let add_link = |router: &mut Router,
+                        links: &mut Vec<LinkCfg>,
+                        src: UnitId,
+                        sa: SwitchId,
+                        dst: UnitId,
+                        da: SwitchId,
+                        class: NetClass|
+     -> Result<(), CompileError> {
+        let path = router.route(sa, da, class)?;
+        let hops = path_hops(&path);
+        links.push(LinkCfg {
+            src,
+            dst,
+            class,
+            path,
+            hops,
+        });
+        Ok(())
+    };
+
+    // 1. Intra-unit chunk chains (vector).
+    for (i, u) in v.pcus.iter().enumerate() {
+        let per = chunks[i].len();
+        if per < 2 {
+            continue;
+        }
+        let uid = UnitId(i as u32);
+        for copy in 0..u.copies {
+            for j in 0..per - 1 {
+                let s = topo.site_switch(placement.pcu_sites[i][copy * per + j]);
+                let d = topo.site_switch(placement.pcu_sites[i][copy * per + j + 1]);
+                add_link(&mut router, &mut links, uid, s, uid, d, NetClass::Vector)?;
+            }
+        }
+    }
+
+    // 2/3. Scratchpad traffic between memories and compute/AG units.
+    for (sram, accs) in &an.sram_access {
+        let Some(&mem_uid) = unit_of_sram.get(sram) else {
+            continue;
+        };
+        for (ctrl, acc) in accs {
+            let Some(&cu_uid) = unit_of_ctrl.get(ctrl) else {
+                continue;
+            };
+            let copies = an.copies[ctrl.0 as usize].max(1);
+            for copy in 0..copies {
+                match acc {
+                    Access::Read => {
+                        let s = anchor(mem_uid, copy, false);
+                        let d = anchor(cu_uid, copy, false);
+                        add_link(&mut router, &mut links, mem_uid, s, cu_uid, d, NetClass::Vector)?;
+                    }
+                    Access::Write => {
+                        let s = anchor(cu_uid, copy, true);
+                        let d = anchor(mem_uid, copy, false);
+                        add_link(&mut router, &mut links, cu_uid, s, mem_uid, d, NetClass::Vector)?;
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Register traffic (scalar network).
+    for (_reg, accs) in &an.reg_access {
+        let writers: Vec<CtrlId> = accs
+            .iter()
+            .filter(|(_, a)| *a == Access::Write)
+            .map(|(c, _)| *c)
+            .collect();
+        let readers: Vec<CtrlId> = accs
+            .iter()
+            .filter(|(_, a)| *a == Access::Read)
+            .map(|(c, _)| *c)
+            .collect();
+        for w in &writers {
+            for r in &readers {
+                if w == r {
+                    continue;
+                }
+                let (Some(&wu), Some(&ru)) = (unit_of_ctrl.get(w), unit_of_ctrl.get(r)) else {
+                    continue;
+                };
+                let s = anchor(wu, 0, true);
+                let d = anchor(ru, 0, false);
+                add_link(&mut router, &mut links, wu, s, ru, d, NetClass::Scalar)?;
+            }
+        }
+        // Counter bounds reading this register also need the broadcast.
+        for (ci, ctrl) in p.ctrls().iter().enumerate() {
+            let reads = ctrl.cchain.iter().any(|k| {
+                matches!(k.min, CBound::Reg(r) if r == *_reg)
+                    || matches!(k.max, CBound::Reg(r) if r == *_reg)
+            });
+            if !reads {
+                continue;
+            }
+            let cid = CtrlId(ci as u32);
+            for w in &writers {
+                if *w == cid {
+                    continue;
+                }
+                let (Some(&wu), Some(&ru)) = (unit_of_ctrl.get(w), unit_of_ctrl.get(&cid)) else {
+                    continue;
+                };
+                let s = anchor(wu, 0, true);
+                let d = anchor(ru, 0, false);
+                add_link(&mut router, &mut links, wu, s, ru, d, NetClass::Scalar)?;
+            }
+        }
+    }
+
+    // 5. Control: parent ↔ children (token out, done/credit back).
+    for &oc in &v.outers {
+        let Some(&pu) = unit_of_ctrl.get(&oc) else {
+            continue;
+        };
+        if let CtrlBody::Outer { children, .. } = &p.ctrl(oc).body {
+            for ch in children {
+                // Memory-only children do not exist; every child controller
+                // has a unit (compute, AG, or outer).
+                let Some(&cu) = unit_of_ctrl.get(ch) else {
+                    continue;
+                };
+                let ps = anchor(pu, 0, false);
+                let cs = anchor(cu, 0, false);
+                add_link(&mut router, &mut links, pu, ps, cu, cs, NetClass::Control)?;
+                add_link(&mut router, &mut links, cu, cs, pu, ps, NetClass::Control)?;
+            }
+        }
+    }
+
+    // ---- DRAM allocation: 4 KiB-aligned, sequential ----
+    let mut base = Vec::with_capacity(p.drams().len());
+    let mut cursor: u64 = 0;
+    for d in p.drams() {
+        base.push(cursor);
+        let bytes = (d.len as u64) * 4;
+        cursor += bytes.div_ceil(4096) * 4096;
+    }
+
+    let usage = ResourceUsage {
+        pcus: placement.pcu_sites.iter().map(|s| s.len()).sum(),
+        pmus: placement.pmu_sites.iter().map(|s| s.len()).sum(),
+        ags: placement.ag_ids.iter().map(|s| s.len()).sum(),
+        switch_ctrls: v.outers.len(),
+    };
+
+    let config = MachineConfig {
+        params: params.clone(),
+        program_name: p.name().to_string(),
+        units,
+        links,
+        alloc: DramAlloc { base },
+        usage,
+    };
+
+    Ok(CompileOutput {
+        config,
+        virtual_design: v,
+        chunks,
+        placement,
+        analysis: an,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_arch::PlasticineParams;
+    use plasticine_ppir::*;
+
+    /// Tiled vector-add: load two tiles, add, store, over 4 tiles.
+    fn vadd_tiled(par_tiles: usize) -> Program {
+        let n = 256usize;
+        let tile = 64usize;
+        let mut b = ProgramBuilder::new("vadd");
+        let da = b.dram("a", DType::F32, n);
+        let db = b.dram("b", DType::F32, n);
+        let dc = b.dram("c", DType::F32, n);
+        let sa = b.sram("ta", DType::F32, &[tile]);
+        let sb = b.sram("tb", DType::F32, &[tile]);
+        let sc = b.sram("tc", DType::F32, &[tile]);
+        let t = b.counter(0, (n / tile) as i64, 1, par_tiles);
+        let tidx = t.index;
+        let mut basef = Func::new("base");
+        let ti = basef.index(tidx);
+        let tl = basef.konst(Elem::I32(tile as i32));
+        let off = basef.binary(BinOp::Mul, ti, tl);
+        basef.set_outputs(vec![off]);
+        let basef = b.func(basef);
+        let lda = b.inner(
+            "ld_a",
+            vec![],
+            InnerOp::LoadTile(TileTransfer {
+                dram: da,
+                dram_base: basef,
+                rows: 1,
+                cols: tile,
+                dram_row_stride: tile,
+                sram: sa,
+            }),
+        );
+        let ldb = b.inner(
+            "ld_b",
+            vec![],
+            InnerOp::LoadTile(TileTransfer {
+                dram: db,
+                dram_base: basef,
+                rows: 1,
+                cols: tile,
+                dram_row_stride: tile,
+                sram: sb,
+            }),
+        );
+        let i = b.counter(0, tile as i64, 1, 16);
+        let mut body = Func::new("add");
+        let iv = body.index(i.index);
+        let av = body.load(sa, vec![iv]);
+        let bv = body.load(sb, vec![iv]);
+        let s = body.binary(BinOp::Add, av, bv);
+        body.set_outputs(vec![s]);
+        let body = b.func(body);
+        let mut wa = Func::new("wa");
+        let iv = wa.index(i.index);
+        wa.set_outputs(vec![iv]);
+        let wa = b.func(wa);
+        let add = b.inner(
+            "add",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: sc,
+                    addr: wa,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                }],
+            }),
+        );
+        let st = b.inner(
+            "st_c",
+            vec![],
+            InnerOp::StoreTile(TileTransfer {
+                dram: dc,
+                dram_base: basef,
+                rows: 1,
+                cols: tile,
+                dram_row_stride: tile,
+                sram: sc,
+            }),
+        );
+        let root = b.outer("tiles", Schedule::Pipelined, vec![t], vec![lda, ldb, add, st]);
+        b.finish(root).unwrap()
+    }
+
+    #[test]
+    fn vadd_compiles_on_paper_params() {
+        let p = vadd_tiled(1);
+        let out = compile(&p, &PlasticineParams::paper_final()).unwrap();
+        let cfg = &out.config;
+        // 1 compute unit, 3 memories, 3 AGs, 1 outer controller.
+        assert_eq!(out.virtual_design.pcus.len(), 1);
+        assert_eq!(out.virtual_design.pmus.len(), 3);
+        assert_eq!(out.virtual_design.ags.len(), 3);
+        assert_eq!(cfg.usage.pcus, 1);
+        assert_eq!(cfg.usage.pmus, 3);
+        assert_eq!(cfg.usage.ags, 3);
+        // Double buffering inferred on all three tiles.
+        for u in &cfg.units {
+            if let UnitCfg::Memory(m) = u {
+                assert_eq!(m.nbuf, 2, "sram {:?}", m.sram);
+            }
+        }
+        // Links exist and have latency.
+        assert!(!cfg.links.is_empty());
+        assert!(cfg.links.iter().all(|l| l.hops >= 2));
+        // DRAM buffers are 4K-aligned and disjoint.
+        let bases = &cfg.alloc.base;
+        assert_eq!(bases.len(), 3);
+        assert!(bases.iter().all(|b| b % 4096 == 0));
+        // n=256 floats = 1024 B → rounded up to one 4096 B page.
+        assert_eq!(bases[1] - bases[0], 4096);
+        assert_eq!(bases[2], 8192);
+    }
+
+    #[test]
+    fn unrolling_multiplies_resources() {
+        let p1 = vadd_tiled(1);
+        let p2 = vadd_tiled(2);
+        let params = PlasticineParams::paper_final();
+        let o1 = compile(&p1, &params).unwrap();
+        let o2 = compile(&p2, &params).unwrap();
+        assert_eq!(o2.config.usage.pcus, 2 * o1.config.usage.pcus);
+        assert_eq!(o2.config.usage.ags, 2 * o1.config.usage.ags);
+        assert_eq!(o2.config.usage.pmus, 2 * o1.config.usage.pmus);
+    }
+
+    #[test]
+    fn lane_clamping_creates_copies() {
+        let p = vadd_tiled(1);
+        let mut params = PlasticineParams::paper_final();
+        params.pcu.lanes = 4; // program asks for 16
+        let out = compile(&p, &params).unwrap();
+        let u = &out.virtual_design.pcus[0];
+        assert_eq!(u.lanes, 4);
+        assert_eq!(u.copies, 4);
+        assert_eq!(out.config.usage.pcus, 4);
+    }
+
+    #[test]
+    fn oversubscription_is_reported() {
+        let p = vadd_tiled(80); // 80 copies of everything
+        let err = compile(&p, &PlasticineParams::paper_final()).unwrap_err();
+        assert!(matches!(err, CompileError::OutOfResources { .. }), "{err}");
+    }
+
+    #[test]
+    fn utilization_is_consistent() {
+        let p = vadd_tiled(4);
+        let out = compile(&p, &PlasticineParams::paper_final()).unwrap();
+        let (pcu_u, pmu_u, ag_u) = out.config.utilization();
+        assert!(pcu_u > 0.0 && pcu_u <= 1.0);
+        assert!(pmu_u > 0.0 && pmu_u <= 1.0);
+        assert!(ag_u > 0.0 && ag_u <= 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Compiler error type.
+
+use crate::partition::PartitionError;
+use plasticine_arch::ParamError;
+use std::fmt;
+
+/// Why compilation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The architecture parameters are internally inconsistent.
+    BadParams(ParamError),
+    /// A virtual unit cannot be realized under the parameters.
+    Partition(PartitionError),
+    /// The design needs more physical resources than the chip has.
+    OutOfResources {
+        /// Resource kind ("PCU", "PMU", "AG").
+        kind: &'static str,
+        /// Units required.
+        need: usize,
+        /// Units available.
+        have: usize,
+    },
+    /// The router could not find a path within the track budget.
+    Unroutable {
+        /// Network class that ran out of tracks.
+        class: &'static str,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::BadParams(e) => write!(f, "{e}"),
+            CompileError::Partition(e) => write!(f, "{e}"),
+            CompileError::OutOfResources { kind, need, have } => {
+                write!(f, "out of {kind}s: need {need}, have {have}")
+            }
+            CompileError::Unroutable { class } => {
+                write!(f, "unroutable: {class} network out of tracks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::BadParams(e) => Some(e),
+            CompileError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PartitionError> for CompileError {
+    fn from(e: PartitionError) -> CompileError {
+        CompileError::Partition(e)
+    }
+}
+
+impl From<ParamError> for CompileError {
+    fn from(e: ParamError) -> CompileError {
+        CompileError::BadParams(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CompileError::OutOfResources {
+            kind: "PCU",
+            need: 80,
+            have: 64,
+        };
+        assert!(e.to_string().contains("80"));
+        assert!(e.to_string().contains("64"));
+    }
+}

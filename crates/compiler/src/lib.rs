@@ -1,0 +1,44 @@
+//! # plasticine-compiler — pattern IR → Plasticine configurations
+//!
+//! The compiler pipeline of §3.6 of the paper:
+//!
+//! 1. [`analysis`] — controller-tree analysis: schedules, unroll factors,
+//!    memory producer/consumer relations, N-buffer depths;
+//! 2. [`vunit`] — *virtual units*: each inner controller becomes an
+//!    unbounded-resource dataflow unit, each scratchpad a virtual PMU with
+//!    its address datapaths;
+//! 3. `partition` — greedy splitting of virtual PCUs into physical chunks
+//!    under the Table 3 limits (also the engine of the Figure 7 DSE);
+//! 4. `place` — greedy centroid placement onto the checkerboard grid;
+//! 5. `route` — BFS routing over the switch mesh with bounded tracks;
+//! 6. `emit` — assembly into a [`plasticine_arch::MachineConfig`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use plasticine_arch::PlasticineParams;
+//! use plasticine_compiler::compile;
+//! # fn get_program() -> plasticine_ppir::Program { unimplemented!() }
+//! let program = get_program();
+//! let out = compile(&program, &PlasticineParams::paper_final())?;
+//! println!("{} PCUs used", out.config.usage.pcus);
+//! # Ok::<(), plasticine_compiler::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod emit;
+mod error;
+pub mod partition;
+mod place;
+mod route;
+pub mod vunit;
+
+pub use analysis::{Access, Analysis};
+pub use emit::{compile, compile_with, CompileOptions, CompileOutput};
+pub use error::CompileError;
+pub use partition::{partition, pcus_required, ChunkStats, PartitionError};
+pub use place::{place, pmus_per_copy, Placement};
+pub use route::{path_hops, RouteLimits, Router};
+pub use vunit::{build_virtual, VOp, VSrc, VirtualAg, VirtualDesign, VirtualPcu, VirtualPmu};

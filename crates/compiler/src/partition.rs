@@ -1,0 +1,576 @@
+//! Partitioning virtual PCUs into physical PCUs (§3.6).
+//!
+//! A virtual PCU has unbounded stages, registers, and IO. A physical PCU
+//! has the limits of [`PcuParams`]. The partitioner splits the virtual
+//! unit's topologically-ordered op list into *chunks*, each realizable as
+//! one physical PCU, chained through the vector network. The cost metric
+//! mirrors the paper's: "number of physical stages, live variables per
+//! stage, and scalar and vector input/output buses required".
+//!
+//! This function is also the engine of the Figure 7 design-space sweep:
+//! for a candidate parameter set, the number of physical PCUs an
+//! application needs *is* the partitioner's chunk count (× unroll copies),
+//! and parameter sets for which some virtual unit cannot be split at all
+//! are the ×-marked invalid points.
+
+use crate::vunit::{VSrc, VirtualPcu};
+use plasticine_arch::PcuParams;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Resource footprint of one chunk (= one physical PCU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChunkStats {
+    /// ALU stages used (including reduction-tree stages in the final chunk).
+    pub stages: usize,
+    /// Peak live values crossing any stage boundary (pipeline registers
+    /// needed per lane).
+    pub max_live: usize,
+    /// Vector input buses used.
+    pub vec_ins: usize,
+    /// Vector output buses used.
+    pub vec_outs: usize,
+    /// Scalar input buses used.
+    pub scal_ins: usize,
+    /// Scalar output buses used.
+    pub scal_outs: usize,
+}
+
+/// Why a virtual unit cannot be realized under a parameter set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Some single operation's operand set already exceeds the IO limits.
+    OpTooWide {
+        /// Virtual unit name.
+        unit: String,
+        /// Index of the offending op.
+        op: usize,
+    },
+    /// The cross-lane reduction tree does not fit in one PCU's stages.
+    ReductionTooDeep {
+        /// Virtual unit name.
+        unit: String,
+        /// Stages the tree needs.
+        needed: usize,
+        /// Stages available.
+        have: usize,
+    },
+    /// The pattern's own IO (inputs or outputs) exceeds what a single chunk
+    /// can ever provide.
+    IoTooWide {
+        /// Virtual unit name.
+        unit: String,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::OpTooWide { unit, op } => {
+                write!(f, "unit `{unit}`: op {op} exceeds PCU IO limits by itself")
+            }
+            PartitionError::ReductionTooDeep { unit, needed, have } => write!(
+                f,
+                "unit `{unit}`: reduction tree needs {needed} stages, PCU has {have}"
+            ),
+            PartitionError::IoTooWide { unit } => {
+                write!(f, "unit `{unit}`: pattern IO exceeds PCU limits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Use positions of each value: op index, or `OUTPUT` for pattern outputs.
+const OUTPUT: usize = usize::MAX;
+
+struct Uses {
+    /// For op `i`: positions that consume its result.
+    op_uses: Vec<Vec<usize>>,
+    /// For vector input `k`: positions that consume it.
+    vecin_uses: Vec<Vec<usize>>,
+}
+
+fn collect_uses(v: &VirtualPcu) -> Uses {
+    let mut op_uses = vec![Vec::new(); v.ops.len()];
+    let mut vecin_uses = vec![Vec::new(); v.vec_ins];
+    for (i, op) in v.ops.iter().enumerate() {
+        for s in &op.srcs {
+            match s {
+                VSrc::Op(j) => op_uses[*j].push(i),
+                VSrc::VecIn(k) => vecin_uses[*k].push(i),
+                _ => {}
+            }
+        }
+    }
+    for out in &v.outputs {
+        match out {
+            VSrc::Op(j) => op_uses[*j].push(OUTPUT),
+            VSrc::VecIn(k) => vecin_uses[*k].push(OUTPUT),
+            _ => {}
+        }
+    }
+    Uses {
+        op_uses,
+        vecin_uses,
+    }
+}
+
+/// Computes the stats of chunk `[s, e)`; `is_last` charges pattern outputs,
+/// scalar outs, and the reduction tree to this chunk.
+fn chunk_stats(v: &VirtualPcu, uses: &Uses, s: usize, e: usize, is_last: bool) -> ChunkStats {
+    let in_chunk = |pos: usize| pos >= s && pos < e;
+
+    // Vector inputs: original streams used here + live-in op values.
+    let mut vec_in_streams: HashSet<(bool, usize)> = HashSet::new();
+    let mut scal_in_ids: HashSet<usize> = HashSet::new();
+    for i in s..e {
+        for src in &v.ops[i].srcs {
+            match src {
+                VSrc::VecIn(k) => {
+                    vec_in_streams.insert((false, *k));
+                }
+                VSrc::Op(j) if *j < s => {
+                    vec_in_streams.insert((true, *j));
+                }
+                VSrc::ScalIn(k) => {
+                    scal_in_ids.insert(*k);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Vector outputs: op values produced here and used later or as outputs.
+    let mut vec_out_vals: HashSet<usize> = HashSet::new();
+    for i in s..e {
+        if uses.op_uses[i].iter().any(|&u| u == OUTPUT || u >= e) {
+            vec_out_vals.insert(i);
+        }
+    }
+    // Pattern outputs whose source is not an op (passthrough inputs or
+    // counter values) leave from the last chunk.
+    let mut extra_outs = 0usize;
+    if is_last {
+        for out in &v.outputs {
+            match out {
+                VSrc::Op(_) => {}
+                _ => extra_outs += 1,
+            }
+        }
+    }
+
+    // Register pressure: live intervals within the chunk.
+    // Each interval is (birth_boundary, death_boundary]: crossing stage
+    // boundary k (between local stage k-1 and k) for birth < k <= death.
+    let mut intervals: Vec<(usize, usize)> = Vec::new();
+    for i in s..e {
+        let local_birth = i - s;
+        let last_local = uses.op_uses[i]
+            .iter()
+            .filter(|&&u| u != OUTPUT && in_chunk(u))
+            .max()
+            .copied();
+        if let Some(last) = last_local {
+            intervals.push((local_birth, last - s));
+        }
+        // Exports tap the output crossbar at production; no further carry.
+    }
+    // External values (vector inputs / live-ins): held in the input FIFO
+    // until first use, then carried to last use.
+    let ext_intervals =
+        |positions: &[usize], intervals: &mut Vec<(usize, usize)>| {
+            let local: Vec<usize> = positions
+                .iter()
+                .filter(|&&u| u != OUTPUT && in_chunk(u))
+                .map(|&u| u - s)
+                .collect();
+            if let (Some(&first), Some(&last)) = (local.iter().min(), local.iter().max()) {
+                if first != last {
+                    intervals.push((first, last));
+                }
+            }
+        };
+    for k in 0..v.vec_ins {
+        ext_intervals(&uses.vecin_uses[k], &mut intervals);
+    }
+    for j in 0..s {
+        ext_intervals(&uses.op_uses[j], &mut intervals);
+    }
+
+    let n_stages = e - s;
+    let mut max_live = 0usize;
+    for k in 1..n_stages {
+        let crossing = intervals
+            .iter()
+            .filter(|(b, d)| *b < k && k <= *d)
+            .count();
+        max_live = max_live.max(crossing);
+    }
+    // Even a single value in flight needs one register per stage.
+    if n_stages > 0 {
+        max_live = max_live.max(1);
+    }
+
+    let red = if is_last { reduction_stages(v) } else { 0 };
+    ChunkStats {
+        stages: n_stages + red,
+        max_live,
+        vec_ins: vec_in_streams.len(),
+        vec_outs: vec_out_vals.len() + extra_outs,
+        scal_ins: scal_in_ids.len(),
+        scal_outs: if is_last { v.scal_outs } else { 0 },
+    }
+}
+
+fn reduction_stages(v: &VirtualPcu) -> usize {
+    if v.reduction_lanes > 1 {
+        (v.reduction_lanes as f64).log2().ceil() as usize + 1
+    } else {
+        0
+    }
+}
+
+fn fits(st: &ChunkStats, p: &PcuParams) -> bool {
+    st.stages <= p.stages
+        && st.max_live <= p.regs_per_stage
+        && st.vec_ins <= p.vector_ins
+        && st.vec_outs <= p.vector_outs
+        && st.scal_ins <= p.scalar_ins
+        && st.scal_outs <= p.scalar_outs
+}
+
+/// Splits a virtual PCU into physical chunks under the given parameters.
+///
+/// Returns one [`ChunkStats`] per physical PCU required (for one copy; the
+/// caller multiplies by the unroll factor).
+///
+/// # Errors
+///
+/// Returns [`PartitionError`] when the unit cannot be realized under the
+/// parameters at all — the ×-marked points of Figure 7.
+pub fn partition(v: &VirtualPcu, p: &PcuParams) -> Result<Vec<ChunkStats>, PartitionError> {
+    let red = reduction_stages(v);
+    if red > p.stages {
+        return Err(PartitionError::ReductionTooDeep {
+            unit: v.name.clone(),
+            needed: red,
+            have: p.stages,
+        });
+    }
+    let uses = collect_uses(v);
+
+    if v.ops.is_empty() {
+        // Pure passthrough / reduction-only pipes still occupy one PCU.
+        let st = chunk_stats(v, &uses, 0, 0, true);
+        let st = ChunkStats {
+            stages: st.stages.max(1),
+            max_live: st.max_live.max(1),
+            ..st
+        };
+        if st.vec_ins > p.vector_ins
+            || st.vec_outs > p.vector_outs
+            || st.scal_ins > p.scalar_ins
+            || st.scal_outs > p.scalar_outs
+        {
+            return Err(PartitionError::IoTooWide {
+                unit: v.name.clone(),
+            });
+        }
+        return Ok(vec![st]);
+    }
+
+    // Preferred: the reduction tree shares the final op chunk. Fallback:
+    // give the reduction its own PCU (cross-PCU tree) when the final op
+    // chunk cannot absorb it.
+    match greedy_chunks(v, &uses, p, true) {
+        Ok(chunks) => Ok(chunks),
+        Err(first_err) => {
+            if red == 0 {
+                return Err(first_err);
+            }
+            let mut chunks = greedy_chunks(v, &uses, p, false).map_err(|_| first_err)?;
+            chunks.push(ChunkStats {
+                stages: red,
+                max_live: 1,
+                vec_ins: 1,
+                vec_outs: v.vec_outs,
+                scal_ins: 0,
+                scal_outs: v.scal_outs,
+            });
+            Ok(chunks)
+        }
+    }
+}
+
+/// The greedy splitting loop. `charge_red` attributes the reduction tree
+/// (and final scalar outputs) to the chunk holding the last op.
+fn greedy_chunks(
+    v: &VirtualPcu,
+    uses: &Uses,
+    p: &PcuParams,
+    charge_red: bool,
+) -> Result<Vec<ChunkStats>, PartitionError> {
+    let n = v.ops.len();
+    let mut chunks = Vec::new();
+    let mut s = 0usize;
+    const LOOKAHEAD: usize = 4;
+    while s < n {
+        // Longest feasible end, with a small lookahead past the first
+        // failure (adding an op can *reduce* vector outs by consuming a
+        // live value locally).
+        let mut best_end = None;
+        let mut misses = 0usize;
+        for e in (s + 1)..=n {
+            let is_last = e == n && charge_red;
+            let st = chunk_stats(v, uses, s, e, is_last);
+            if fits(&st, p) {
+                best_end = Some(e);
+                misses = 0;
+            } else {
+                misses += 1;
+                if best_end.is_some() && misses > LOOKAHEAD {
+                    break;
+                }
+            }
+        }
+        let Some(e) = best_end else {
+            // Not even a single op fits.
+            let st = chunk_stats(v, uses, s, s + 1, s + 1 == n && charge_red);
+            if st.stages > p.stages && s + 1 == n {
+                return Err(PartitionError::ReductionTooDeep {
+                    unit: v.name.clone(),
+                    needed: st.stages,
+                    have: p.stages,
+                });
+            }
+            return Err(PartitionError::OpTooWide {
+                unit: v.name.clone(),
+                op: s,
+            });
+        };
+        chunks.push(chunk_stats(v, uses, s, e, e == n && charge_red));
+        s = e;
+    }
+    Ok(chunks)
+}
+
+/// Total physical PCUs for a virtual unit under `p`, including unroll
+/// copies. `None` if unrealizable.
+pub fn pcus_required(v: &VirtualPcu, p: &PcuParams) -> Option<usize> {
+    partition(v, p).ok().map(|c| c.len() * v.copies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vunit::VOp;
+    use plasticine_ppir::CtrlId;
+
+    /// A straight-line chain of `n` ops, each consuming the previous.
+    fn chain(n: usize) -> VirtualPcu {
+        let ops = (0..n)
+            .map(|i| VOp {
+                srcs: if i == 0 {
+                    vec![VSrc::VecIn(0)]
+                } else {
+                    vec![VSrc::Op(i - 1)]
+                },
+                heavy: false,
+            })
+            .collect::<Vec<_>>();
+        VirtualPcu {
+            name: format!("chain{n}"),
+            ctrl: CtrlId(0),
+            outputs: vec![VSrc::Op(n - 1)],
+            ops,
+            vec_ins: 1,
+            scal_ins: 0,
+            vec_outs: 1,
+            scal_outs: 0,
+            reduction_lanes: 0,
+            lanes: 16,
+            copies: 1,
+        }
+    }
+
+    fn paper() -> PcuParams {
+        PcuParams::paper_final()
+    }
+
+    #[test]
+    fn small_unit_fits_one_pcu() {
+        let v = chain(4);
+        let chunks = partition(&v, &paper()).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].stages, 4);
+        assert_eq!(chunks[0].vec_ins, 1);
+        assert_eq!(chunks[0].vec_outs, 1);
+    }
+
+    #[test]
+    fn long_chain_splits_into_ceil_n_over_s() {
+        // An 80-op pipeline at 6 stages → 14 PCUs (BlackScholes in §3.7).
+        let v = chain(80);
+        let chunks = partition(&v, &paper()).unwrap();
+        assert_eq!(chunks.len(), 14);
+        assert!(chunks.iter().all(|c| c.stages <= 6));
+        // Chained chunks talk over one vector bus each.
+        for c in &chunks {
+            assert!(c.vec_ins <= 1);
+            assert!(c.vec_outs <= 1);
+        }
+    }
+
+    #[test]
+    fn reduction_tree_needs_five_stages_at_16_lanes() {
+        let mut v = chain(1);
+        v.reduction_lanes = 16;
+        v.scal_outs = 1;
+        v.vec_outs = 0;
+        v.outputs = vec![VSrc::Op(0)];
+        // Paper: at least 5 stages for a full cross-lane reduction; with the
+        // op itself that is 6 → fits exactly at the paper's 6 stages.
+        let chunks = partition(&v, &paper()).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].stages, 6);
+        // At 4 stages the tree alone does not fit → invalid point (Fig 7a ×).
+        let small = PcuParams {
+            stages: 4,
+            ..paper()
+        };
+        assert!(matches!(
+            partition(&v, &small),
+            Err(PartitionError::ReductionTooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn register_pressure_forces_extra_cuts() {
+        // Produce 3 values early, consume them late: with few registers the
+        // unit must split more.
+        let mut ops = Vec::new();
+        // ops 0..3: independent values from vector inputs
+        for k in 0..3 {
+            ops.push(VOp {
+                srcs: vec![VSrc::VecIn(k)],
+                heavy: false,
+            });
+        }
+        // ops 3..9: a chain off op 0
+        for i in 3..9 {
+            ops.push(VOp {
+                srcs: vec![VSrc::Op(i - 1)],
+                heavy: false,
+            });
+        }
+        // op 9, 10: consume the stashed values 1 and 2
+        ops.push(VOp {
+            srcs: vec![VSrc::Op(8), VSrc::Op(1)],
+            heavy: false,
+        });
+        ops.push(VOp {
+            srcs: vec![VSrc::Op(9), VSrc::Op(2)],
+            heavy: false,
+        });
+        let v = VirtualPcu {
+            name: "pressure".into(),
+            ctrl: CtrlId(0),
+            outputs: vec![VSrc::Op(10)],
+            ops,
+            vec_ins: 3,
+            scal_ins: 0,
+            vec_outs: 1,
+            scal_outs: 0,
+            reduction_lanes: 0,
+            lanes: 16,
+            copies: 1,
+        };
+        let plenty = partition(&v, &paper()).unwrap();
+        let tight = PcuParams {
+            regs_per_stage: 2,
+            ..paper()
+        };
+        let squeezed = partition(&v, &tight).unwrap();
+        assert!(
+            squeezed.len() >= plenty.len(),
+            "fewer registers cannot need fewer PCUs"
+        );
+        for c in &squeezed {
+            assert!(c.max_live <= 2);
+        }
+    }
+
+    #[test]
+    fn op_with_too_many_vector_operands_is_invalid() {
+        let v = VirtualPcu {
+            name: "wide".into(),
+            ctrl: CtrlId(0),
+            ops: vec![VOp {
+                srcs: vec![VSrc::VecIn(0), VSrc::VecIn(1)],
+                heavy: false,
+            }],
+            outputs: vec![VSrc::Op(0)],
+            vec_ins: 2,
+            scal_ins: 0,
+            vec_outs: 1,
+            scal_outs: 0,
+            reduction_lanes: 0,
+            lanes: 16,
+            copies: 1,
+        };
+        let one_in = PcuParams {
+            vector_ins: 1,
+            ..paper()
+        };
+        assert!(matches!(
+            partition(&v, &one_in),
+            Err(PartitionError::OpTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_pipe_occupies_one_pcu() {
+        let v = VirtualPcu {
+            name: "copy".into(),
+            ctrl: CtrlId(0),
+            ops: vec![],
+            outputs: vec![VSrc::VecIn(0)],
+            vec_ins: 1,
+            scal_ins: 0,
+            vec_outs: 1,
+            scal_outs: 0,
+            reduction_lanes: 0,
+            lanes: 16,
+            copies: 1,
+        };
+        let chunks = partition(&v, &paper()).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].stages >= 1);
+    }
+
+    #[test]
+    fn pcus_required_multiplies_copies() {
+        let mut v = chain(10);
+        v.copies = 4;
+        assert_eq!(pcus_required(&v, &paper()), Some(8));
+    }
+
+    #[test]
+    fn sweep_monotone_in_stages() {
+        // More stages per PCU never increases the PCU count.
+        let v = chain(37);
+        let mut prev = usize::MAX;
+        for stages in 4..=16 {
+            let p = PcuParams {
+                stages,
+                ..paper()
+            };
+            let n = partition(&v, &p).unwrap().len();
+            assert!(n <= prev, "stages={stages}: {n} > {prev}");
+            prev = n;
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Greedy placement of logical units onto physical sites.
+//!
+//! Units are placed in program order; each allocation picks the free sites
+//! of the right kind closest to the centroid of already-placed
+//! communication partners, which keeps producer→consumer paths short for
+//! the router. This approximates the paper's hierarchical binding (§3.6):
+//! "datapath and control path placement and routing" over fewer than 1000
+//! nodes per level, where greedy heuristics suffice.
+
+use crate::analysis::Analysis;
+use crate::error::CompileError;
+use crate::partition::ChunkStats;
+use crate::vunit::VirtualDesign;
+use plasticine_arch::{AgId, PlasticineParams, SiteId, SiteKind, Topology};
+use plasticine_ppir::{BankingMode, CtrlId, Program, SramId};
+use std::collections::HashMap;
+
+/// Physical sites assigned to every logical unit.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per virtual PCU: `copies × chunks` physical PCU sites, copy-major
+    /// (copy 0's chain first).
+    pub pcu_sites: Vec<Vec<SiteId>>,
+    /// Per virtual PMU: `copies × pmus_per_copy` physical PMU sites.
+    pub pmu_sites: Vec<Vec<SiteId>>,
+    /// Physical PMUs one copy of each virtual PMU occupies.
+    pub pmus_per_copy: Vec<usize>,
+    /// Per virtual AG: one physical AG per copy.
+    pub ag_ids: Vec<Vec<AgId>>,
+    /// Per outer controller (in `VirtualDesign::outers` order): hosting
+    /// switch.
+    pub outer_switches: Vec<plasticine_arch::SwitchId>,
+}
+
+/// Physical PMUs required by one copy of a virtual PMU.
+///
+/// Duplication banking replicates the contents across the banks of the PMU,
+/// so a duplicated memory's capacity is a single bank.
+pub fn pmus_per_copy(
+    words: usize,
+    nbuf: usize,
+    banking: BankingMode,
+    params: &PlasticineParams,
+) -> usize {
+    let cap = match banking {
+        BankingMode::Duplication => params.pmu.bank_kb * 1024 / 4,
+        _ => params.pmu.capacity_words(),
+    };
+    (words * nbuf).div_ceil(cap).max(1)
+}
+
+struct FreeSites {
+    free: Vec<SiteId>,
+}
+
+impl FreeSites {
+    fn new(topo: &Topology, kind: SiteKind) -> FreeSites {
+        FreeSites {
+            free: topo.sites_of(kind),
+        }
+    }
+
+    /// Takes the `n` free sites nearest `(cx, cy)`.
+    fn take_near(&mut self, topo: &Topology, n: usize, cx: f64, cy: f64) -> Option<Vec<SiteId>> {
+        if self.free.len() < n {
+            return None;
+        }
+        self.free.sort_by(|a, b| {
+            let sa = topo.site(*a);
+            let sb = topo.site(*b);
+            let da = (sa.x as f64 - cx).abs() + (sa.y as f64 - cy).abs();
+            let db = (sb.x as f64 - cx).abs() + (sb.y as f64 - cy).abs();
+            da.partial_cmp(&db).unwrap().then(a.cmp(b))
+        });
+        Some(self.free.drain(..n).collect())
+    }
+}
+
+fn centroid(topo: &Topology, sites: &[SiteId]) -> Option<(f64, f64)> {
+    if sites.is_empty() {
+        return None;
+    }
+    let (mut x, mut y) = (0.0, 0.0);
+    for &s in sites {
+        let st = topo.site(s);
+        x += st.x as f64;
+        y += st.y as f64;
+    }
+    Some((x / sites.len() as f64, y / sites.len() as f64))
+}
+
+/// Runs placement.
+///
+/// # Errors
+///
+/// Returns [`CompileError::OutOfResources`] if the design needs more PCUs,
+/// PMUs, or AGs than the chip provides.
+pub fn place(
+    p: &Program,
+    an: &Analysis,
+    v: &VirtualDesign,
+    chunks: &[Vec<ChunkStats>],
+    params: &PlasticineParams,
+    topo: &Topology,
+) -> Result<Placement, CompileError> {
+    let mut pcus = FreeSites::new(topo, SiteKind::Pcu);
+    let mut pmus = FreeSites::new(topo, SiteKind::Pmu);
+    let mut free_ags: Vec<AgId> = (0..params.ags as u32).map(AgId).collect();
+
+    // Totals check up front for a clear error message.
+    let need_pcus: usize = v
+        .pcus
+        .iter()
+        .zip(chunks)
+        .map(|(u, c)| u.copies * c.len())
+        .sum();
+    if need_pcus > pcus.free.len() {
+        return Err(CompileError::OutOfResources {
+            kind: "PCU",
+            need: need_pcus,
+            have: pcus.free.len(),
+        });
+    }
+    let per_copy: Vec<usize> = v
+        .pmus
+        .iter()
+        .map(|m| pmus_per_copy(m.words, m.nbuf, m.banking, params))
+        .collect();
+    let need_pmus: usize = v
+        .pmus
+        .iter()
+        .zip(&per_copy)
+        .map(|(m, pc)| m.copies * pc)
+        .sum();
+    if need_pmus > pmus.free.len() {
+        return Err(CompileError::OutOfResources {
+            kind: "PMU",
+            need: need_pmus,
+            have: pmus.free.len(),
+        });
+    }
+    let need_ags: usize = v.ags.iter().map(|a| a.copies).sum();
+    if need_ags > free_ags.len() {
+        return Err(CompileError::OutOfResources {
+            kind: "AG",
+            need: need_ags,
+            have: free_ags.len(),
+        });
+    }
+
+    let mut pcu_sites: Vec<Vec<SiteId>> = vec![Vec::new(); v.pcus.len()];
+    let mut pmu_sites: Vec<Vec<SiteId>> = vec![Vec::new(); v.pmus.len()];
+    let mut ag_ids: Vec<Vec<AgId>> = vec![Vec::new(); v.ags.len()];
+
+    // Index maps for partner lookup.
+    let pcu_of_ctrl: HashMap<CtrlId, usize> =
+        v.pcus.iter().enumerate().map(|(i, u)| (u.ctrl, i)).collect();
+    let pmu_of_sram: HashMap<SramId, usize> =
+        v.pmus.iter().enumerate().map(|(i, m)| (m.sram, i)).collect();
+
+    // Placement order: walk inner controllers in program order; place each
+    // compute unit, then any scratchpads it touches that are unplaced.
+    let center = (
+        (params.cols as f64 - 1.0) / 2.0,
+        (params.rows as f64 - 1.0) / 2.0,
+    );
+    let mut order: Vec<(Option<usize>, Vec<usize>)> = Vec::new(); // (pcu idx, sram idxs)
+    {
+        let mut sram_done = vec![false; v.pmus.len()];
+        for cid in p.inner_ctrls() {
+            let pcu = pcu_of_ctrl.get(&cid).copied();
+            let mut touched: Vec<usize> = Vec::new();
+            for (s, accs) in &an.sram_access {
+                if accs.iter().any(|(c, _)| *c == cid) {
+                    let mi = pmu_of_sram[s];
+                    if !sram_done[mi] {
+                        sram_done[mi] = true;
+                        touched.push(mi);
+                    }
+                }
+            }
+            touched.sort_unstable();
+            order.push((pcu, touched));
+        }
+        // Any scratchpad never touched (dead) still gets placed at the end.
+        for (mi, done) in sram_done.iter().enumerate() {
+            if !done {
+                order.push((None, vec![mi]));
+            }
+        }
+    }
+
+    for (pcu_idx, sram_idxs) in order {
+        if let Some(ui) = pcu_idx {
+            let u = &v.pcus[ui];
+            let n = u.copies * chunks[ui].len();
+            // Partners: scratchpads it reads/writes that are already placed.
+            let mut partner_sites: Vec<SiteId> = Vec::new();
+            for (s, accs) in &an.sram_access {
+                if accs.iter().any(|(c, _)| *c == u.ctrl) {
+                    partner_sites.extend(pmu_sites[pmu_of_sram[s]].iter().copied());
+                }
+            }
+            let (cx, cy) = centroid(topo, &partner_sites).unwrap_or(center);
+            pcu_sites[ui] = pcus
+                .take_near(topo, n, cx, cy)
+                .expect("checked total above");
+        }
+        for mi in sram_idxs {
+            let m = &v.pmus[mi];
+            let n = m.copies * per_copy[mi];
+            let mut partner_sites: Vec<SiteId> = Vec::new();
+            for (c, _) in an.sram_access.get(&m.sram).into_iter().flatten() {
+                if let Some(&ui) = pcu_of_ctrl.get(c) {
+                    partner_sites.extend(pcu_sites[ui].iter().copied());
+                }
+            }
+            let (cx, cy) = centroid(topo, &partner_sites).unwrap_or(center);
+            pmu_sites[mi] = pmus
+                .take_near(topo, n, cx, cy)
+                .expect("checked total above");
+        }
+    }
+
+    // AGs: allocate nearest to the scratchpads they fill/drain. Free AGs are
+    // consumed nearest-first.
+    for (ai, a) in v.ags.iter().enumerate() {
+        let mut partner_sites: Vec<SiteId> = Vec::new();
+        for (s, accs) in &an.sram_access {
+            if accs.iter().any(|(c, _)| *c == a.ctrl) {
+                partner_sites.extend(pmu_sites[pmu_of_sram[s]].iter().copied());
+            }
+        }
+        let (cx, cy) = centroid(topo, &partner_sites).unwrap_or(center);
+        free_ags.sort_by(|x, y| {
+            let dx = topo.switch_xy(topo.ag_switch(*x));
+            let dy = topo.switch_xy(topo.ag_switch(*y));
+            let da = (dx.0 as f64 - cx).abs() + (dx.1 as f64 - cy).abs();
+            let db = (dy.0 as f64 - cx).abs() + (dy.1 as f64 - cy).abs();
+            da.partial_cmp(&db).unwrap().then(x.cmp(y))
+        });
+        ag_ids[ai] = free_ags.drain(..a.copies).collect();
+    }
+
+    // Outer controllers: host each in the switch nearest its children's
+    // centroid.
+    let mut outer_switches = Vec::with_capacity(v.outers.len());
+    for &oc in &v.outers {
+        let mut child_sites: Vec<SiteId> = Vec::new();
+        if let plasticine_ppir::CtrlBody::Outer { children, .. } = &p.ctrl(oc).body {
+            for ch in children {
+                if let Some(&ui) = pcu_of_ctrl.get(ch) {
+                    child_sites.extend(pcu_sites[ui].iter().copied());
+                }
+            }
+        }
+        let (cx, cy) = centroid(topo, &child_sites).unwrap_or(center);
+        let sx = (cx.round() as usize).min(topo.switch_cols() - 1);
+        let sy = (cy.round() as usize).min(topo.switch_rows() - 1);
+        outer_switches.push(topo.switch_at(sx, sy));
+    }
+
+    Ok(Placement {
+        pcu_sites,
+        pmu_sites,
+        pmus_per_copy: per_copy,
+        ag_ids,
+        outer_switches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmus_per_copy_respects_capacity_and_duplication() {
+        let p = PlasticineParams::paper_final();
+        // 64K words = 256KB: exactly one PMU.
+        assert_eq!(pmus_per_copy(65536, 1, BankingMode::Strided, &p), 1);
+        // Double buffering doubles the requirement.
+        assert_eq!(pmus_per_copy(65536, 2, BankingMode::Strided, &p), 2);
+        // Duplication shrinks capacity to one bank (4K words).
+        assert_eq!(pmus_per_copy(4096, 1, BankingMode::Duplication, &p), 1);
+        assert_eq!(pmus_per_copy(4097, 1, BankingMode::Duplication, &p), 2);
+        // Tiny memories still take one PMU.
+        assert_eq!(pmus_per_copy(1, 1, BankingMode::Strided, &p), 1);
+    }
+}

@@ -1,0 +1,649 @@
+//! Virtual units: the abstracted unit representation of §3.6.
+//!
+//! Each inner controller becomes a [`VirtualPcu`] — a dataflow graph of ALU
+//! operations with unbounded stages, registers, and IO — and each
+//! scratchpad a [`VirtualPmu`]. Virtual units are later *partitioned* into
+//! physical units obeying the architecture parameters; the same procedure
+//! drives the design-space exploration of Figure 7 (the number of physical
+//! PCUs a parameter choice implies is exactly the partitioner's output).
+//!
+//! Address computation is split the way the hardware splits it (§3.2):
+//! expression nodes feeding only scratchpad-load addresses run on the PMU's
+//! address datapath and are *excluded* from the PCU graph; the load itself
+//! becomes a vector input to the PCU.
+
+use crate::analysis::Analysis;
+use plasticine_ppir::{
+    BankingMode, CtrlBody, CtrlId, Expr, Func, InnerOp, Program, SramId, UnaryOp,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Source of one operand of a virtual ALU op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VSrc {
+    /// Result of an earlier op in the same virtual unit (a pipeline-register
+    /// value).
+    Op(usize),
+    /// A vector input stream (data arriving from a PMU or another PCU).
+    VecIn(usize),
+    /// A scalar input (runtime parameter or register broadcast).
+    ScalIn(usize),
+    /// Free source: constant or counter value (generated inside the PCU).
+    Free,
+}
+
+/// One ALU operation of a virtual PCU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VOp {
+    /// Operand sources.
+    pub srcs: Vec<VSrc>,
+    /// Whether this is an iterative (transcendental) op — same pipeline
+    /// slot, higher energy.
+    pub heavy: bool,
+}
+
+/// A virtual Pattern Compute Unit: one inner controller's dataflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualPcu {
+    /// Diagnostic name (the controller's).
+    pub name: String,
+    /// The controller implemented.
+    pub ctrl: CtrlId,
+    /// ALU ops in topological order.
+    pub ops: Vec<VOp>,
+    /// Distinct vector input streams (one per scratchpad-load site).
+    pub vec_ins: usize,
+    /// Distinct scalar inputs (params + register reads).
+    pub scal_ins: usize,
+    /// Values leaving on vector buses (pattern outputs written to PMUs).
+    pub outputs: Vec<VSrc>,
+    /// Vector output buses required.
+    pub vec_outs: usize,
+    /// Scalar output buses required (fold results, filter counts).
+    pub scal_outs: usize,
+    /// Lanes of cross-lane reduction required (0 = none; `lanes` for Fold).
+    pub reduction_lanes: usize,
+    /// SIMD lanes used.
+    pub lanes: usize,
+    /// Unroll copies.
+    pub copies: usize,
+}
+
+impl VirtualPcu {
+    /// Pipeline stages the reduction tree adds (log2(lanes) tree levels plus
+    /// one accumulation stage — the paper's "at least 5 stages for a full
+    /// cross-lane reduction" at 16 lanes).
+    pub fn reduction_stages(&self) -> usize {
+        if self.reduction_lanes > 1 {
+            (self.reduction_lanes as f64).log2().ceil() as usize + 1
+        } else {
+            0
+        }
+    }
+
+    /// Total ALU stages including reduction.
+    pub fn total_stages(&self) -> usize {
+        self.ops.len() + self.reduction_stages()
+    }
+}
+
+/// A virtual Pattern Memory Unit: one scratchpad plus its address datapaths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualPmu {
+    /// The scratchpad held.
+    pub sram: SramId,
+    /// Logical capacity in 32-bit words (one buffer).
+    pub words: usize,
+    /// N-buffer depth (multiplies the capacity requirement).
+    pub nbuf: usize,
+    /// Banking mode.
+    pub banking: BankingMode,
+    /// ALU ops on the write-address datapath (max over writers).
+    pub write_addr_ops: usize,
+    /// ALU ops on the read-address datapath (max over readers).
+    pub read_addr_ops: usize,
+    /// Unroll copies (scratchpads private to an unrolled subtree are
+    /// duplicated with it).
+    pub copies: usize,
+}
+
+impl VirtualPmu {
+    /// Words of SRAM this virtual PMU must provide per copy.
+    ///
+    /// Duplication banking replicates content in every bank, so the usable
+    /// capacity of a physical PMU shrinks by its bank count; we account for
+    /// that at allocation time, not here.
+    pub fn required_words(&self) -> usize {
+        self.words * self.nbuf
+    }
+}
+
+/// A virtual address generator: one off-chip transfer controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualAg {
+    /// The transfer controller.
+    pub ctrl: CtrlId,
+    /// Dense (tile) or sparse (gather/scatter) addressing.
+    pub sparse: bool,
+    /// Whether data flows to DRAM (store/scatter) or from it.
+    pub store: bool,
+    /// ALU ops on the AG's scalar address datapath.
+    pub addr_ops: usize,
+    /// Unroll copies.
+    pub copies: usize,
+}
+
+/// The complete virtual design of a program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualDesign {
+    /// Virtual compute units (one per compute inner controller).
+    pub pcus: Vec<VirtualPcu>,
+    /// Virtual memory units (one per scratchpad).
+    pub pmus: Vec<VirtualPmu>,
+    /// Virtual address generators (one per transfer controller).
+    pub ags: Vec<VirtualAg>,
+    /// Outer controllers (mapped to switch control boxes).
+    pub outers: Vec<CtrlId>,
+}
+
+/// Collects the expression nodes needed for *values* (not load addresses):
+/// DFS from `roots`, treating `Load` nodes as leaves.
+fn value_nodes(f: &Func, roots: &[usize]) -> HashSet<usize> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<usize> = roots.to_vec();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        match &f.nodes()[n] {
+            Expr::Unary(_, a) => stack.push(a.0 as usize),
+            Expr::Binary(_, a, b) => {
+                stack.push(a.0 as usize);
+                stack.push(b.0 as usize);
+            }
+            Expr::Mux(c, a, b) => {
+                stack.push(c.0 as usize);
+                stack.push(a.0 as usize);
+                stack.push(b.0 as usize);
+            }
+            // Loads are vector inputs: their address subgraph belongs to the
+            // PMU, so we stop here.
+            Expr::Load { .. } => {}
+            _ => {}
+        }
+    }
+    seen
+}
+
+/// Collects all nodes reachable from `roots` (descending through loads too,
+/// since nested loads on an address path run on chained PMU datapaths).
+fn collect_subgraph(f: &Func, roots: &[usize]) -> HashSet<usize> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<usize> = roots.to_vec();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        match &f.nodes()[n] {
+            Expr::Unary(_, a) => stack.push(a.0 as usize),
+            Expr::Binary(_, a, b) => {
+                stack.push(a.0 as usize);
+                stack.push(b.0 as usize);
+            }
+            Expr::Mux(c, a, b) => {
+                stack.push(c.0 as usize);
+                stack.push(a.0 as usize);
+                stack.push(b.0 as usize);
+            }
+            Expr::Load { addr, .. } => stack.extend(addr.iter().map(|e| e.0 as usize)),
+            _ => {}
+        }
+    }
+    seen
+}
+
+fn count_alu(f: &Func, nodes: &HashSet<usize>) -> usize {
+    nodes
+        .iter()
+        .filter(|&&n| {
+            matches!(
+                f.nodes()[n],
+                Expr::Unary(..) | Expr::Binary(..) | Expr::Mux(..)
+            )
+        })
+        .count()
+}
+
+/// Number of ALU ops in an entire (scalar) function — for AG and PMU
+/// write-address datapaths.
+fn func_alu_ops(f: &Func) -> usize {
+    let all: HashSet<usize> = (0..f.nodes().len()).collect();
+    count_alu(f, &all)
+}
+
+/// Extraction of a compute graph from a pattern-body function.
+struct GraphExtract {
+    ops: Vec<VOp>,
+    vec_ins: usize,
+    scal_ins: usize,
+    /// Func node id → source, for resolving outputs.
+    map: Vec<Option<VSrc>>,
+}
+
+fn extract_graph(f: &Func) -> GraphExtract {
+    let roots: Vec<usize> = f.outputs().iter().map(|o| o.0 as usize).collect();
+    let needed = value_nodes(f, &roots);
+    let mut ops: Vec<VOp> = Vec::new();
+    let mut vec_ins = 0usize;
+    let mut scal_ins = 0usize;
+    let mut map: Vec<Option<VSrc>> = vec![None; f.nodes().len()];
+    for n in 0..f.nodes().len() {
+        if !needed.contains(&n) {
+            continue;
+        }
+        let src = match &f.nodes()[n] {
+            Expr::Const(_) | Expr::Index(_) | Expr::Arg(_) => VSrc::Free,
+            Expr::Param(_) | Expr::ReadReg(_) => {
+                scal_ins += 1;
+                VSrc::ScalIn(scal_ins - 1)
+            }
+            Expr::Load { .. } => {
+                vec_ins += 1;
+                VSrc::VecIn(vec_ins - 1)
+            }
+            Expr::Unary(op, a) => {
+                let srcs = vec![map[a.0 as usize].expect("dep resolved")];
+                ops.push(VOp {
+                    srcs,
+                    heavy: matches!(
+                        op,
+                        UnaryOp::Exp | UnaryOp::Ln | UnaryOp::Sqrt | UnaryOp::Recip
+                    ),
+                });
+                VSrc::Op(ops.len() - 1)
+            }
+            Expr::Binary(_, a, b) => {
+                let srcs = vec![
+                    map[a.0 as usize].expect("dep resolved"),
+                    map[b.0 as usize].expect("dep resolved"),
+                ];
+                ops.push(VOp { srcs, heavy: false });
+                VSrc::Op(ops.len() - 1)
+            }
+            Expr::Mux(c, a, b) => {
+                let srcs = vec![
+                    map[c.0 as usize].expect("dep resolved"),
+                    map[a.0 as usize].expect("dep resolved"),
+                    map[b.0 as usize].expect("dep resolved"),
+                ];
+                ops.push(VOp { srcs, heavy: false });
+                VSrc::Op(ops.len() - 1)
+            }
+        };
+        map[n] = Some(src);
+    }
+    GraphExtract {
+        ops,
+        vec_ins,
+        scal_ins,
+        map,
+    }
+}
+
+fn outputs_of(g: &GraphExtract, f: &Func, slots: impl Iterator<Item = usize>) -> Vec<VSrc> {
+    slots
+        .map(|s| {
+            let node = f.outputs()[s].0 as usize;
+            g.map[node].expect("output resolved")
+        })
+        .collect()
+}
+
+/// Builds the virtual design for a program under an analysis.
+pub fn build_virtual(p: &Program, an: &Analysis) -> VirtualDesign {
+    let mut pcus = Vec::new();
+    let mut ags = Vec::new();
+    let mut outers = Vec::new();
+
+    // Per-sram address-datapath op maxima.
+    let mut write_addr: std::collections::HashMap<SramId, usize> = Default::default();
+    let mut read_addr: std::collections::HashMap<SramId, usize> = Default::default();
+
+    let note_read_addrs = |f: &Func, read_addr: &mut std::collections::HashMap<SramId, usize>| {
+        for n in f.nodes() {
+            if let Expr::Load { mem, addr } = n {
+                let roots: Vec<usize> = addr.iter().map(|e| e.0 as usize).collect();
+                let ops = count_alu(f, &collect_subgraph(f, &roots));
+                let e = read_addr.entry(*mem).or_insert(0);
+                *e = (*e).max(ops);
+            }
+        }
+    };
+
+    p.walk(|cid, _| {
+        let ctrl = p.ctrl(cid);
+        let copies = an.copies[cid.0 as usize];
+        let lanes = an.lanes[cid.0 as usize];
+        match &ctrl.body {
+            CtrlBody::Outer { .. } => outers.push(cid),
+            CtrlBody::Inner(op) => match op {
+                InnerOp::Map(m) => {
+                    let f = p.func(m.body);
+                    let g = extract_graph(f);
+                    note_read_addrs(f, &mut read_addr);
+                    for w in &m.writes {
+                        let wf = p.func(w.addr);
+                        note_read_addrs(wf, &mut read_addr);
+                        let e = write_addr.entry(w.sram).or_insert(0);
+                        *e = (*e).max(func_alu_ops(wf));
+                    }
+                    let outputs = outputs_of(&g, f, m.writes.iter().map(|w| w.value_slot));
+                    pcus.push(VirtualPcu {
+                        name: ctrl.name.clone(),
+                        ctrl: cid,
+                        vec_ins: g.vec_ins,
+                        scal_ins: g.scal_ins,
+                        outputs,
+                        vec_outs: m.writes.len(),
+                        scal_outs: 0,
+                        reduction_lanes: 0,
+                        lanes,
+                        copies,
+                        ops: g.ops,
+                    });
+                }
+                InnerOp::Fold(fl) => {
+                    let f = p.func(fl.map);
+                    let g = extract_graph(f);
+                    note_read_addrs(f, &mut read_addr);
+                    for w in &fl.writes {
+                        let wf = p.func(w.addr);
+                        let e = write_addr.entry(w.sram).or_insert(0);
+                        *e = (*e).max(func_alu_ops(wf));
+                    }
+                    let n_slots = f.outputs().len();
+                    let outputs = outputs_of(&g, f, 0..n_slots);
+                    pcus.push(VirtualPcu {
+                        name: ctrl.name.clone(),
+                        ctrl: cid,
+                        vec_ins: g.vec_ins,
+                        scal_ins: g.scal_ins,
+                        outputs,
+                        vec_outs: fl.writes.len(),
+                        scal_outs: fl.out_regs.iter().flatten().count(),
+                        reduction_lanes: if lanes > 1 { lanes } else { 2 },
+                        lanes,
+                        copies,
+                        ops: g.ops,
+                    });
+                }
+                InnerOp::Filter(fi) => {
+                    let f = p.func(fi.body);
+                    let g = extract_graph(f);
+                    note_read_addrs(f, &mut read_addr);
+                    let e = write_addr.entry(fi.out).or_insert(0);
+                    *e = (*e).max(1); // compaction counter add
+                    let n = f.outputs().len();
+                    let outputs = outputs_of(&g, f, 0..n);
+                    pcus.push(VirtualPcu {
+                        name: ctrl.name.clone(),
+                        ctrl: cid,
+                        vec_ins: g.vec_ins,
+                        scal_ins: g.scal_ins,
+                        outputs,
+                        vec_outs: 1,
+                        scal_outs: 1,
+                        reduction_lanes: 0,
+                        lanes,
+                        copies,
+                        ops: g.ops,
+                    });
+                }
+                InnerOp::RegWrite(rw) => {
+                    let f = p.func(rw.func);
+                    let g = extract_graph(f);
+                    note_read_addrs(f, &mut read_addr);
+                    let outputs = outputs_of(&g, f, 0..1);
+                    pcus.push(VirtualPcu {
+                        name: ctrl.name.clone(),
+                        ctrl: cid,
+                        vec_ins: g.vec_ins,
+                        scal_ins: g.scal_ins,
+                        outputs,
+                        vec_outs: 0,
+                        scal_outs: 1,
+                        reduction_lanes: 0,
+                        lanes: 1,
+                        copies,
+                        ops: g.ops,
+                    });
+                }
+                InnerOp::LoadTile(t) => {
+                    ags.push(VirtualAg {
+                        ctrl: cid,
+                        sparse: false,
+                        store: false,
+                        addr_ops: func_alu_ops(p.func(t.dram_base)) + 2,
+                        copies,
+                    });
+                    let e = write_addr.entry(t.sram).or_insert(0);
+                    *e = (*e).max(1);
+                }
+                InnerOp::StoreTile(t) => {
+                    ags.push(VirtualAg {
+                        ctrl: cid,
+                        sparse: false,
+                        store: true,
+                        addr_ops: func_alu_ops(p.func(t.dram_base)) + 2,
+                        copies,
+                    });
+                    let e = read_addr.entry(t.sram).or_insert(0);
+                    *e = (*e).max(1);
+                }
+                InnerOp::Gather(gt) => {
+                    ags.push(VirtualAg {
+                        ctrl: cid,
+                        sparse: true,
+                        store: false,
+                        addr_ops: func_alu_ops(p.func(gt.base)) + 2,
+                        copies,
+                    });
+                    let e = read_addr.entry(gt.indices).or_insert(0);
+                    *e = (*e).max(1);
+                    let e = write_addr.entry(gt.dst).or_insert(0);
+                    *e = (*e).max(1);
+                }
+                InnerOp::Scatter(st) => {
+                    ags.push(VirtualAg {
+                        ctrl: cid,
+                        sparse: true,
+                        store: true,
+                        addr_ops: func_alu_ops(p.func(st.base)) + 2,
+                        copies,
+                    });
+                    let e = read_addr.entry(st.indices).or_insert(0);
+                    *e = (*e).max(1);
+                    let e = read_addr.entry(st.src).or_insert(0);
+                    *e = (*e).max(1);
+                }
+            },
+        }
+    });
+
+    // PMUs: scratchpads are replicated to match the unroll of their most
+    // parallel accessor — each unrolled consumer gets its own read port,
+    // exactly the paper's CNN mapping ("each PCU requires 2 PMUs; one PMU
+    // to hold kernel weights, the other to store the output feature map").
+    // Broadcast fills from a less-unrolled producer land in every replica.
+    let mut pmus = Vec::new();
+    for (i, s) in p.srams().iter().enumerate() {
+        let sid = SramId(i as u32);
+        let copies = an
+            .writers(sid)
+            .iter()
+            .chain(an.readers(sid).iter())
+            .map(|c| an.copies[c.0 as usize])
+            .max()
+            .unwrap_or(1);
+        pmus.push(VirtualPmu {
+            sram: sid,
+            words: s.capacity(),
+            nbuf: an.nbuf_of(sid),
+            banking: s.banking,
+            write_addr_ops: write_addr.get(&sid).copied().unwrap_or(0),
+            read_addr_ops: read_addr.get(&sid).copied().unwrap_or(0),
+            copies,
+        });
+    }
+
+    VirtualDesign {
+        pcus,
+        pmus,
+        ags,
+        outers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_ppir::*;
+
+    /// y = sum_i a[i] * b[i] — one fold with two vector inputs and one op.
+    fn inner_product() -> Program {
+        let mut b = ProgramBuilder::new("ip");
+        let sa = b.sram("a", DType::F32, &[64]);
+        let sb = b.sram("b", DType::F32, &[64]);
+        let acc = b.reg("acc", DType::F32);
+        let i = b.counter(0, 64, 1, 16);
+        let mut map = Func::new("mul");
+        let iv = map.index(i.index);
+        let av = map.load(sa, vec![iv]);
+        let bv = map.load(sb, vec![iv]);
+        let m = map.binary(BinOp::Mul, av, bv);
+        map.set_outputs(vec![m]);
+        let map = b.func(map);
+        let fold = b.inner(
+            "dot",
+            vec![i],
+            InnerOp::Fold(FoldPipe {
+                map,
+                combine: vec![BinOp::Add],
+                init: vec![FoldInit::Const(Elem::F32(0.0))],
+                out_regs: vec![Some(acc)],
+                writes: vec![],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![fold]);
+        b.finish(root).unwrap()
+    }
+
+    #[test]
+    fn inner_product_virtual_shape() {
+        let p = inner_product();
+        let an = Analysis::run(&p);
+        let v = build_virtual(&p, &an);
+        assert_eq!(v.pcus.len(), 1);
+        let pcu = &v.pcus[0];
+        assert_eq!(pcu.ops.len(), 1, "one multiply");
+        assert_eq!(pcu.vec_ins, 2, "two load streams");
+        assert_eq!(pcu.scal_outs, 1, "fold result to a register");
+        assert_eq!(pcu.reduction_lanes, 16);
+        // 16-lane reduction: log2(16) + 1 = 5 extra stages (§3.7).
+        assert_eq!(pcu.reduction_stages(), 5);
+        assert_eq!(pcu.total_stages(), 6);
+        assert_eq!(v.pmus.len(), 2);
+    }
+
+    #[test]
+    fn load_address_math_goes_to_pmu() {
+        // body: out = a[2*i + 1] + 1 — the 2*i+1 runs on the PMU.
+        let mut b = ProgramBuilder::new("addr");
+        let sa = b.sram("a", DType::I32, &[64]);
+        let so = b.sram("o", DType::I32, &[64]);
+        let i = b.counter(0, 32, 1, 8);
+        let mut body = Func::new("body");
+        let iv = body.index(i.index);
+        let two = body.konst(Elem::I32(2));
+        let one = body.konst(Elem::I32(1));
+        let t = body.binary(BinOp::Mul, iv, two);
+        let addr = body.binary(BinOp::Add, t, one);
+        let v = body.load(sa, vec![addr]);
+        let r = body.binary(BinOp::Add, v, one);
+        body.set_outputs(vec![r]);
+        let body = b.func(body);
+        let mut wa = Func::new("wa");
+        let iv = wa.index(i.index);
+        wa.set_outputs(vec![iv]);
+        let wa = b.func(wa);
+        let mp = b.inner(
+            "m",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: so,
+                    addr: wa,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                }],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![mp]);
+        let p = b.finish(root).unwrap();
+        let an = Analysis::run(&p);
+        let v = build_virtual(&p, &an);
+        let pcu = &v.pcus[0];
+        // Only the final +1 runs on the PCU.
+        assert_eq!(pcu.ops.len(), 1);
+        // The 2*i+1 (2 ops) runs on the PMU read-address path of `a`.
+        let pmu_a = v.pmus.iter().find(|m| m.sram == SramId(0)).unwrap();
+        assert_eq!(pmu_a.read_addr_ops, 2);
+    }
+
+    #[test]
+    fn transfers_become_ags() {
+        let mut b = ProgramBuilder::new("xfer");
+        let d = b.dram("d", DType::F32, 256);
+        let s = b.sram("s", DType::F32, &[64]);
+        let mut base = Func::new("base");
+        let z = base.konst(Elem::I32(0));
+        base.set_outputs(vec![z]);
+        let base = b.func(base);
+        let ld = b.inner(
+            "ld",
+            vec![],
+            InnerOp::LoadTile(TileTransfer {
+                dram: d,
+                dram_base: base,
+                rows: 1,
+                cols: 64,
+                dram_row_stride: 64,
+                sram: s,
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![ld]);
+        let p = b.finish(root).unwrap();
+        let an = Analysis::run(&p);
+        let v = build_virtual(&p, &an);
+        assert_eq!(v.ags.len(), 1);
+        assert!(!v.ags[0].sparse);
+        assert!(!v.ags[0].store);
+        assert_eq!(v.pcus.len(), 0);
+    }
+
+    #[test]
+    fn nbuf_multiplies_pmu_requirement() {
+        let pmu = VirtualPmu {
+            sram: SramId(0),
+            words: 4096,
+            nbuf: 3,
+            banking: BankingMode::Strided,
+            write_addr_ops: 1,
+            read_addr_ops: 1,
+            copies: 1,
+        };
+        assert_eq!(pmu.required_words(), 12288);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the partitioner and router.
+
+use plasticine_arch::{NetClass, PcuParams, PlasticineParams, Topology};
+use plasticine_compiler::{partition, RouteLimits, Router, VOp, VSrc, VirtualPcu};
+use plasticine_ppir::CtrlId;
+use proptest::prelude::*;
+
+/// Random DAG of ops: each op consumes 1–2 sources drawn from earlier ops
+/// or vector inputs.
+fn random_unit() -> impl Strategy<Value = VirtualPcu> {
+    (1usize..60, 1usize..4, any::<u64>(), any::<bool>()).prop_map(
+        |(n_ops, n_vin, seed, reduce)| {
+            let mut ops = Vec::with_capacity(n_ops);
+            let mut s = seed;
+            let mut next = || {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            for i in 0..n_ops {
+                let n_srcs = 1 + (next() % 2) as usize;
+                let srcs = (0..n_srcs)
+                    .map(|_| {
+                        let pick = next() as usize % (i + n_vin);
+                        if pick < i {
+                            VSrc::Op(pick)
+                        } else {
+                            VSrc::VecIn(pick - i)
+                        }
+                    })
+                    .collect();
+                ops.push(VOp { srcs, heavy: false });
+            }
+            VirtualPcu {
+                name: "rand".into(),
+                ctrl: CtrlId(0),
+                outputs: vec![VSrc::Op(n_ops - 1)],
+                ops,
+                vec_ins: n_vin,
+                scal_ins: 0,
+                vec_outs: 1,
+                scal_outs: if reduce { 1 } else { 0 },
+                reduction_lanes: if reduce { 16 } else { 0 },
+                lanes: 16,
+                copies: 1,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_chunks_respect_all_limits(v in random_unit()) {
+        let p = PcuParams::paper_final();
+        if let Ok(chunks) = partition(&v, &p) {
+            prop_assert!(!chunks.is_empty());
+            for c in &chunks {
+                prop_assert!(c.stages <= p.stages, "stages {}", c.stages);
+                prop_assert!(c.max_live <= p.regs_per_stage);
+                prop_assert!(c.vec_ins <= p.vector_ins);
+                prop_assert!(c.vec_outs <= p.vector_outs);
+                prop_assert!(c.scal_ins <= p.scalar_ins);
+                prop_assert!(c.scal_outs <= p.scalar_outs);
+            }
+            // Op conservation: ALU stages across chunks ≥ op count
+            // (reduction stages add on top).
+            let total: usize = chunks.iter().map(|c| c.stages).sum();
+            let red = if v.reduction_lanes > 1 { 5 } else { 0 };
+            prop_assert!(total >= v.ops.len() + red || v.ops.is_empty());
+            prop_assert!(total <= v.ops.len() + red + chunks.len());
+        }
+    }
+
+    #[test]
+    fn more_generous_params_never_need_more_chunks(v in random_unit()) {
+        let tight = PcuParams::paper_final();
+        let mut loose = tight;
+        loose.stages = 16;
+        loose.regs_per_stage = 16;
+        loose.vector_ins = 10;
+        loose.vector_outs = 6;
+        if let (Ok(a), Ok(b)) = (partition(&v, &tight), partition(&v, &loose)) {
+            prop_assert!(b.len() <= a.len(), "loose {} > tight {}", b.len(), a.len());
+        }
+    }
+
+    #[test]
+    fn router_paths_are_connected_and_within_budget(
+        pairs in prop::collection::vec(((0usize..17, 0usize..9), (0usize..17, 0usize..9)), 1..40)
+    ) {
+        let topo = Topology::new(&PlasticineParams::paper_final());
+        let mut router = Router::new(&topo, RouteLimits::default());
+        let mut edge_use: std::collections::HashMap<_, usize> = Default::default();
+        for ((ax, ay), (bx, by)) in pairs {
+            let a = topo.switch_at(ax, ay);
+            let b = topo.switch_at(bx, by);
+            let Ok(path) = router.route(a, b, NetClass::Vector) else {
+                // Saturation is a legal outcome; budgets were respected up
+                // to this point, which is what the counters below check.
+                continue;
+            };
+            prop_assert_eq!(path[0], a);
+            prop_assert_eq!(*path.last().unwrap(), b);
+            for w in path.windows(2) {
+                prop_assert_eq!(topo.switch_distance(w[0], w[1]), 1, "non-adjacent hop");
+                *edge_use.entry((w[0], w[1])).or_default() += 1;
+            }
+        }
+        for (_, n) in edge_use {
+            prop_assert!(n <= RouteLimits::default().vector_tracks);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-checks of DDR timing behaviour: bank-level parallelism and the
+//! four-activate window.
+
+use plasticine_dram::{DramConfig, DramSystem, MemRequest};
+
+fn cfg() -> DramConfig {
+    DramConfig {
+        refresh: false,
+        ..DramConfig::default()
+    }
+}
+
+fn run(addrs: &[u64]) -> u64 {
+    let mut mem = DramSystem::new(cfg());
+    let mut issued = 0usize;
+    let mut done = 0usize;
+    while done < addrs.len() {
+        while issued < addrs.len() && mem.can_accept(addrs[issued]) {
+            mem.push(MemRequest {
+                id: issued as u64,
+                addr: addrs[issued],
+                is_write: false,
+            })
+            .unwrap();
+            issued += 1;
+        }
+        done += mem.tick().len();
+        assert!(mem.now() < 1_000_000, "deadlock");
+    }
+    mem.now()
+}
+
+/// Addresses that all live in one channel but walk across banks.
+fn bank_stride(cfg: &DramConfig) -> u64 {
+    // Lines interleave channels; rows fill before banks advance.
+    (cfg.row_bytes / cfg.line_bytes) * cfg.channels as u64 * cfg.line_bytes
+}
+
+#[test]
+fn different_banks_overlap_row_activations() {
+    let c = cfg();
+    let stride = bank_stride(&c);
+    // 8 row misses in 8 different banks of one channel...
+    let spread: Vec<u64> = (0..8u64).map(|i| i * stride).collect();
+    // ...versus 8 row misses serialized in a single bank.
+    let same_bank_row = stride * (c.banks * c.ranks) as u64;
+    let serial: Vec<u64> = (0..8u64).map(|i| i * same_bank_row).collect();
+    let t_spread = run(&spread);
+    let t_serial = run(&serial);
+    assert!(
+        t_spread * 2 < t_serial,
+        "bank parallelism should at least halve latency: {t_spread} vs {t_serial}"
+    );
+}
+
+#[test]
+fn four_activate_window_throttles_activation_bursts() {
+    let c = cfg();
+    let stride = bank_stride(&c);
+    // 8 activates on one rank: the 5th..8th must wait for tFAW windows.
+    let addrs: Vec<u64> = (0..8u64).map(|i| i * stride).collect();
+    let t = run(&addrs);
+    let faw = c.ns_to_cycles(c.timing.t_faw_ns);
+    // Two tFAW windows must elapse before the 8th activate may issue.
+    let floor = faw + c.ns_to_cycles(c.timing.t_rcd_ns + c.timing.t_cas_ns + c.timing.t_burst_ns);
+    assert!(t >= floor, "tFAW not enforced: {t} < {floor}");
+}
+
+#[test]
+fn channels_serve_independent_streams_in_parallel() {
+    let c = cfg();
+    // All requests in channel 0 vs spread over 4 channels.
+    let one_ch: Vec<u64> = (0..256u64).map(|i| i * c.channels as u64 * 64).collect();
+    let all_ch: Vec<u64> = (0..256u64).map(|i| i * 64).collect();
+    let t_one = run(&one_ch);
+    let t_all = run(&all_ch);
+    assert!(
+        (t_all as f64) < 0.4 * t_one as f64,
+        "4 channels should give ~4x: {t_all} vs {t_one}"
+    );
+}

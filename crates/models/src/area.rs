@@ -1,0 +1,259 @@
+//! 28 nm area model, calibrated to the paper's published synthesis results
+//! (Table 5).
+//!
+//! We cannot re-run Synopsys Design Compiler, but the paper publishes a
+//! complete component-level breakdown of the final chip: per-PCU areas of
+//! FUs / pipeline registers / FIFOs / control, per-PMU areas of scratchpad /
+//! FIFOs / registers / FUs / control, plus interconnect and memory
+//! controller totals. This module inverts that breakdown into per-component
+//! unit areas and rebuilds parameterized area functions, so that (a) the
+//! Table 5 totals are reproduced exactly at the paper's parameters and
+//! (b) the design-space exploration of §3.7 can price arbitrary parameter
+//! choices.
+
+use plasticine_arch::{PcuParams, PlasticineParams, PmuParams};
+use serde::{Deserialize, Serialize};
+
+/// Unit areas in mm² (28 nm), inverted from Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaConstants {
+    /// One 32-bit floating-point-capable reconfigurable FU.
+    pub fu: f64,
+    /// One 32-bit pipeline register.
+    pub reg: f64,
+    /// One 32-bit word-slot of PCU input FIFO.
+    pub pcu_fifo_word: f64,
+    /// PCU control box (counters, state machines, LUTs).
+    pub pcu_control: f64,
+    /// Output crossbar per output bus per lane.
+    pub pcu_xbar_per_bus_lane: f64,
+    /// Scratchpad SRAM per KiB (includes banking decoders).
+    pub sram_per_kb: f64,
+    /// One 32-bit word-slot of PMU input FIFO.
+    pub pmu_fifo_word: f64,
+    /// One PMU address-datapath register.
+    pub pmu_reg: f64,
+    /// One PMU scalar ALU stage.
+    pub pmu_fu: f64,
+    /// PMU control box.
+    pub pmu_control: f64,
+    /// One switch (all three networks).
+    pub switch: f64,
+    /// One address generator.
+    pub ag: f64,
+    /// One coalescing unit (buffers + coalescing cache + arbitration).
+    pub coalescing_unit: f64,
+}
+
+impl Default for AreaConstants {
+    fn default() -> AreaConstants {
+        // Inversion of Table 5 at the paper-final parameters:
+        //   PCU: FUs 0.622 over 16 lanes × 6 stages;
+        //        registers 0.144 over 16 × 6 × 6;
+        //        FIFOs 0.082 over (3 vec-in × 16 lanes + 6 scal-in) × 16 deep;
+        //        control 0.001; crossbar folded into the FIFO/control resid.
+        //   PMU: scratchpad 0.477 over 256 KiB; FIFOs 0.024 over
+        //        (3 × 16 + 4) × 16 slots; registers 0.023 over 4 × 6;
+        //        FUs 0.007 over 4 stages; control 0.001.
+        //   Interconnect 18.796 over 17 × 9 switches;
+        //   Memory controller 5.616 over 4 CUs + 34 AGs.
+        AreaConstants {
+            fu: 0.622 / 96.0,
+            reg: 0.144 / 576.0,
+            pcu_fifo_word: 0.082 / ((3.0 * 16.0 + 6.0) * 16.0),
+            pcu_control: 0.001,
+            pcu_xbar_per_bus_lane: 0.0,
+            sram_per_kb: 0.477 / 256.0,
+            pmu_fifo_word: 0.024 / ((3.0 * 16.0 + 4.0) * 16.0),
+            pmu_reg: 0.023 / 24.0,
+            pmu_fu: 0.007 / 4.0,
+            pmu_control: 0.001,
+            switch: 18.796 / 153.0,
+            ag: 0.08,
+            coalescing_unit: (5.616 - 34.0 * 0.08) / 4.0,
+        }
+    }
+}
+
+/// Per-component breakdown of one PCU.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PcuArea {
+    /// Functional units.
+    pub fus: f64,
+    /// Pipeline registers.
+    pub registers: f64,
+    /// Input FIFOs.
+    pub fifos: f64,
+    /// Control box.
+    pub control: f64,
+}
+
+impl PcuArea {
+    /// Total mm².
+    pub fn total(&self) -> f64 {
+        self.fus + self.registers + self.fifos + self.control
+    }
+}
+
+/// Per-component breakdown of one PMU.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PmuArea {
+    /// Banked scratchpad SRAM.
+    pub scratchpad: f64,
+    /// Input FIFOs.
+    pub fifos: f64,
+    /// Address-datapath registers.
+    pub registers: f64,
+    /// Address-datapath ALUs.
+    pub fus: f64,
+    /// Control box.
+    pub control: f64,
+}
+
+impl PmuArea {
+    /// Total mm².
+    pub fn total(&self) -> f64 {
+        self.scratchpad + self.fifos + self.registers + self.fus + self.control
+    }
+}
+
+/// Chip-level breakdown (Table 5's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChipArea {
+    /// One PCU.
+    pub pcu: PcuArea,
+    /// One PMU.
+    pub pmu: PmuArea,
+    /// All PCUs.
+    pub pcus_total: f64,
+    /// All PMUs.
+    pub pmus_total: f64,
+    /// Interconnect (all switches).
+    pub interconnect: f64,
+    /// Memory controller (coalescing units + AGs).
+    pub memory_controller: f64,
+    /// Whole chip.
+    pub total: f64,
+}
+
+/// The area model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaModel {
+    /// Unit areas.
+    pub k: AreaConstants,
+}
+
+impl AreaModel {
+    /// Model with default (paper-calibrated) constants.
+    pub fn new() -> AreaModel {
+        AreaModel::default()
+    }
+
+    /// Area of one PCU with the given parameters.
+    pub fn pcu(&self, p: &PcuParams) -> PcuArea {
+        let lanes = p.lanes as f64;
+        let stages = p.stages as f64;
+        let fifo_slots = (p.vector_ins as f64 * lanes + p.scalar_ins as f64)
+            * p.fifo_depth as f64;
+        PcuArea {
+            fus: self.k.fu * lanes * stages,
+            registers: self.k.reg * lanes * stages * p.regs_per_stage as f64,
+            fifos: self.k.pcu_fifo_word * fifo_slots
+                + self.k.pcu_xbar_per_bus_lane
+                    * (p.vector_outs as f64 * lanes + p.scalar_outs as f64),
+            control: self.k.pcu_control,
+        }
+    }
+
+    /// Area of one PMU with the given parameters.
+    pub fn pmu(&self, m: &PmuParams) -> PmuArea {
+        let kb = (m.banks * m.bank_kb) as f64;
+        let fifo_slots =
+            (m.vector_ins as f64 * 16.0 + m.scalar_ins as f64) * m.fifo_depth as f64;
+        PmuArea {
+            scratchpad: self.k.sram_per_kb * kb,
+            fifos: self.k.pmu_fifo_word * fifo_slots,
+            registers: self.k.pmu_reg * (m.stages * m.regs_per_stage) as f64,
+            fus: self.k.pmu_fu * m.stages as f64,
+            control: self.k.pmu_control,
+        }
+    }
+
+    /// Full chip breakdown — regenerates Table 5 for arbitrary parameters.
+    pub fn chip(&self, params: &PlasticineParams) -> ChipArea {
+        let pcu = self.pcu(&params.pcu);
+        let pmu = self.pmu(&params.pmu);
+        let switches = ((params.cols + 1) * (params.rows + 1)) as f64;
+        let pcus_total = pcu.total() * params.num_pcus() as f64;
+        let pmus_total = pmu.total() * params.num_pmus() as f64;
+        let interconnect = self.k.switch * switches;
+        let memory_controller = self.k.ag * params.ags as f64
+            + self.k.coalescing_unit * params.coalescing_units as f64;
+        ChipArea {
+            pcu,
+            pmu,
+            pcus_total,
+            pmus_total,
+            interconnect,
+            memory_controller,
+            total: pcus_total + pmus_total + interconnect + memory_controller,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_final_pcu_matches_table5() {
+        let m = AreaModel::new();
+        let a = m.pcu(&PcuParams::paper_final());
+        assert!((a.fus - 0.622).abs() < 1e-9, "fus {}", a.fus);
+        assert!((a.registers - 0.144).abs() < 1e-9);
+        assert!((a.fifos - 0.082).abs() < 1e-9);
+        assert!((a.total() - 0.849).abs() < 1e-3, "total {}", a.total());
+    }
+
+    #[test]
+    fn paper_final_pmu_matches_table5() {
+        let m = AreaModel::new();
+        let a = m.pmu(&PmuParams::paper_final());
+        assert!((a.scratchpad - 0.477).abs() < 1e-9);
+        assert!((a.fifos - 0.024).abs() < 1e-9);
+        assert!((a.registers - 0.023).abs() < 1e-9);
+        assert!((a.fus - 0.007).abs() < 1e-9);
+        assert!((a.total() - 0.532).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_final_chip_is_113_mm2() {
+        let m = AreaModel::new();
+        let c = m.chip(&PlasticineParams::paper_final());
+        assert!((c.interconnect - 18.796).abs() < 1e-6);
+        assert!((c.memory_controller - 5.616).abs() < 1e-6);
+        // Paper: 112.77–112.8 mm².
+        assert!((c.total - 112.8).abs() < 0.3, "total {}", c.total);
+    }
+
+    #[test]
+    fn area_scales_with_parameters() {
+        let m = AreaModel::new();
+        let base = m.pcu(&PcuParams::paper_final());
+        let mut wide = PcuParams::paper_final();
+        wide.lanes = 32;
+        let w = m.pcu(&wide);
+        assert!(w.fus > 1.9 * base.fus);
+        let mut deep = PcuParams::paper_final();
+        deep.stages = 12;
+        let d = m.pcu(&deep);
+        assert!((d.fus / base.fus - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratchpad_dominates_pmu() {
+        let m = AreaModel::new();
+        let a = m.pmu(&PmuParams::paper_final());
+        assert!(a.scratchpad / a.total() > 0.85);
+    }
+}

@@ -1,0 +1,605 @@
+//! Design-space exploration (§3.7): the engine behind Figure 7, Table 3,
+//! and Table 6.
+//!
+//! The methodology follows the paper: for a candidate parameter value, each
+//! benchmark's virtual PCUs are partitioned into physical PCUs under that
+//! value (invalid points — where some virtual unit cannot be realized at
+//! all — are the × marks of Figure 7); the benchmark's "PCU area" is the
+//! resulting unit count times the area of one PCU, sized tightly for
+//! everything not under the sweep; overheads are normalized to the
+//! benchmark's own minimum over the sweep.
+
+use crate::area::AreaModel;
+use plasticine_arch::{PcuParams, PmuParams};
+use plasticine_compiler::{partition, ChunkStats, VirtualDesign};
+use serde::{Deserialize, Serialize};
+
+/// Which PCU parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PcuParamKind {
+    /// Pipeline stages (Figure 7a).
+    Stages,
+    /// Registers per FU (Figure 7b).
+    Regs,
+    /// Scalar inputs (Figure 7c).
+    ScalarIns,
+    /// Scalar outputs (Figure 7d).
+    ScalarOuts,
+    /// Vector inputs (Figure 7e).
+    VectorIns,
+    /// Vector outputs (Figure 7f).
+    VectorOuts,
+}
+
+impl PcuParamKind {
+    /// Sets the field on a parameter set.
+    pub fn apply(self, p: &mut PcuParams, v: usize) {
+        match self {
+            PcuParamKind::Stages => p.stages = v,
+            PcuParamKind::Regs => p.regs_per_stage = v,
+            PcuParamKind::ScalarIns => p.scalar_ins = v,
+            PcuParamKind::ScalarOuts => p.scalar_outs = v,
+            PcuParamKind::VectorIns => p.vector_ins = v,
+            PcuParamKind::VectorOuts => p.vector_outs = v,
+        }
+    }
+
+    /// Panel label as in Figure 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            PcuParamKind::Stages => "Stages",
+            PcuParamKind::Regs => "Registers",
+            PcuParamKind::ScalarIns => "ScalarIns",
+            PcuParamKind::ScalarOuts => "ScalarOuts",
+            PcuParamKind::VectorIns => "VectorIns",
+            PcuParamKind::VectorOuts => "VectorOuts",
+        }
+    }
+}
+
+/// The Table 3 sweep bounds: everything not yet tuned is left unrestricted
+/// at its maximum.
+pub fn unrestricted() -> PcuParams {
+    PcuParams {
+        lanes: 16,
+        stages: 16,
+        regs_per_stage: 16,
+        scalar_ins: 16,
+        scalar_outs: 6,
+        vector_ins: 10,
+        vector_outs: 6,
+        fifo_depth: 16,
+        counters: 4,
+    }
+}
+
+/// One point of a sweep: `None` overhead means the value is invalid for the
+/// application (× in Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The parameter value.
+    pub value: usize,
+    /// `AreaPCU / MinPCU − 1`, or `None` when unrealizable.
+    pub overhead: Option<f64>,
+}
+
+/// One benchmark's sweep results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Benchmark name.
+    pub app: String,
+    /// One point per swept value.
+    pub points: Vec<SweepPoint>,
+}
+
+/// A parameter sweep specification: the target, its values, and the
+/// already-tuned parameters fixed at their chosen values (Figure 7's panel
+/// captions: "Registers per FU *with 6 stages*", …).
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Parameter under study.
+    pub target: PcuParamKind,
+    /// Candidate values.
+    pub values: Vec<usize>,
+    /// Previously-tuned parameters.
+    pub fixed: Vec<(PcuParamKind, usize)>,
+}
+
+/// Absolute benchmark PCU area (mm²) for one candidate value, or `None` if
+/// unrealizable.
+fn candidate_area(
+    design: &VirtualDesign,
+    spec: &SweepSpec,
+    value: usize,
+    model: &AreaModel,
+) -> Option<f64> {
+    // Feasibility parameters: target + fixed; the rest unrestricted.
+    let mut feas = unrestricted();
+    for (k, v) in &spec.fixed {
+        k.apply(&mut feas, *v);
+    }
+    spec.target.apply(&mut feas, value);
+
+    let mut total_pcus = 0usize;
+    let mut all_chunks: Vec<ChunkStats> = Vec::new();
+    for u in &design.pcus {
+        let mut u = u.clone();
+        if u.lanes > feas.lanes {
+            u.copies *= u.lanes.div_ceil(feas.lanes);
+            if u.reduction_lanes > 1 {
+                u.reduction_lanes = feas.lanes;
+            }
+            u.lanes = feas.lanes;
+        }
+        let chunks = partition(&u, &feas).ok()?;
+        total_pcus += chunks.len() * u.copies;
+        all_chunks.extend(chunks);
+    }
+    if total_pcus == 0 {
+        return Some(0.0);
+    }
+
+    // Pricing: the target and fixed parameters at their chosen values,
+    // everything else tightly sized to the maximum observed usage.
+    let used = |f: fn(&ChunkStats) -> usize| all_chunks.iter().map(f).max().unwrap_or(1).max(1);
+    let mut price = PcuParams {
+        lanes: 16,
+        stages: used(|c| c.stages),
+        regs_per_stage: used(|c| c.max_live),
+        scalar_ins: used(|c| c.scal_ins),
+        scalar_outs: used(|c| c.scal_outs),
+        vector_ins: used(|c| c.vec_ins),
+        vector_outs: used(|c| c.vec_outs),
+        fifo_depth: 16,
+        counters: 4,
+    };
+    for (k, v) in &spec.fixed {
+        k.apply(&mut price, *v);
+    }
+    spec.target.apply(&mut price, value);
+
+    Some(model.pcu(&price).total() * total_pcus as f64)
+}
+
+/// Runs a Figure 7 sweep over a set of benchmarks.
+pub fn sweep(apps: &[(String, VirtualDesign)], spec: &SweepSpec, model: &AreaModel) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for (name, design) in apps {
+        let areas: Vec<Option<f64>> = spec
+            .values
+            .iter()
+            .map(|&v| candidate_area(design, spec, v, model))
+            .collect();
+        let min = areas
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let points = spec
+            .values
+            .iter()
+            .zip(&areas)
+            .map(|(&value, a)| SweepPoint {
+                value,
+                overhead: a.map(|x| if min > 0.0 { x / min - 1.0 } else { 0.0 }),
+            })
+            .collect();
+        rows.push(SweepRow {
+            app: name.clone(),
+            points,
+        });
+    }
+    rows
+}
+
+/// Average overhead across benchmarks at each value (the "Average" row of
+/// Figure 7); invalid points are excluded from the average.
+pub fn average_row(rows: &[SweepRow]) -> Vec<SweepPoint> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let n_vals = rows[0].points.len();
+    (0..n_vals)
+        .map(|i| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter_map(|r| r.points[i].overhead)
+                .collect();
+            SweepPoint {
+                value: rows[0].points[i].value,
+                overhead: if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                },
+            }
+        })
+        .collect()
+}
+
+/// Table 6: estimated successive and cumulative area overheads of
+/// generalizing ASIC designs into the Plasticine fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub app: String,
+    /// a. Reconfigurable heterogeneous units vs ASIC.
+    pub a: f64,
+    /// b. Homogeneous PMUs (successive).
+    pub b: f64,
+    /// c. Homogeneous PCUs (successive).
+    pub c: f64,
+    /// d. PMUs generalized across applications (successive).
+    pub d: f64,
+    /// e. PCUs generalized across applications (successive).
+    pub e: f64,
+}
+
+impl OverheadRow {
+    /// Cumulative overhead after each column.
+    pub fn cumulative(&self) -> [f64; 5] {
+        [
+            self.a,
+            self.a * self.b,
+            self.a * self.b * self.c,
+            self.a * self.b * self.c * self.d,
+            self.a * self.b * self.c * self.d * self.e,
+        ]
+    }
+}
+
+/// ASIC discount factors: reconfigurable components pay for operand muxing,
+/// opcode storage, and configurable banking that a fixed-function design
+/// omits.
+const ASIC_FU_DISCOUNT: f64 = 2.2;
+const ASIC_SRAM_DISCOUNT: f64 = 1.25;
+const ASIC_AG_DISCOUNT: f64 = 2.0;
+
+fn pmu_params_for_kb(kb: usize, m: &VirtualPmuLike) -> PmuParams {
+    PmuParams {
+        stages: m.stages.max(1),
+        regs_per_stage: 6,
+        scalar_ins: 4,
+        scalar_outs: 0,
+        vector_ins: 3,
+        vector_outs: 1,
+        banks: 16,
+        bank_kb: kb.div_ceil(16).max(1),
+        fifo_depth: 16,
+        counters: 2,
+    }
+}
+
+struct VirtualPmuLike {
+    kb: usize,
+    stages: usize,
+    copies: usize,
+}
+
+/// Computes the Table 6 overhead chain for one benchmark.
+pub fn overheads(design: &VirtualDesign, model: &AreaModel) -> OverheadRow {
+    let k = &model.k;
+    let paper_pcu = PcuParams::paper_final();
+    let paper_pmu = PmuParams::paper_final();
+
+    let pmus: Vec<VirtualPmuLike> = design
+        .pmus
+        .iter()
+        .map(|m| VirtualPmuLike {
+            kb: (m.required_words() * 4).div_ceil(1024).max(1),
+            stages: m.write_addr_ops.max(m.read_addr_ops).max(1),
+            copies: m.copies,
+        })
+        .collect();
+
+    // ---- ASIC baseline: exact compute + exact memory, no config logic ----
+    let mut asic = 0.0;
+    for u in &design.pcus {
+        let per_lane_ops = u.ops.len() as f64 + u.reduction_stages() as f64;
+        asic += u.copies as f64
+            * (per_lane_ops * u.lanes as f64 * k.fu / ASIC_FU_DISCOUNT
+                + per_lane_ops * u.lanes as f64 * 2.0 * k.reg);
+    }
+    for m in &pmus {
+        asic += m.copies as f64 * (m.kb as f64 * k.sram_per_kb / ASIC_SRAM_DISCOUNT);
+    }
+    for a in &design.ags {
+        asic += a.copies as f64 * k.ag / ASIC_AG_DISCOUNT;
+    }
+    let asic = asic.max(1e-6);
+
+    // ---- a. heterogeneous reconfigurable units (exact per-unit sizing) ----
+    let hetero_pcus: f64 = design
+        .pcus
+        .iter()
+        .map(|u| {
+            let chunks = partition(u, &unrestricted()).unwrap_or_default();
+            let stages: usize = chunks.iter().map(|c| c.stages).sum();
+            let p = PcuParams {
+                lanes: u.lanes.max(1),
+                stages: stages.max(1),
+                regs_per_stage: chunks.iter().map(|c| c.max_live).max().unwrap_or(1).max(1),
+                scalar_ins: u.scal_ins.max(1),
+                scalar_outs: u.scal_outs,
+                vector_ins: u.vec_ins.max(1),
+                vector_outs: u.vec_outs.max(1),
+                fifo_depth: 16,
+                counters: 4,
+            };
+            u.copies as f64 * model.pcu(&p).total()
+        })
+        .sum();
+    let hetero_pmus: f64 = pmus
+        .iter()
+        .map(|m| m.copies as f64 * model.pmu(&pmu_params_for_kb(m.kb, m)).total())
+        .sum();
+    let ags_area: f64 = design.ags.iter().map(|a| a.copies as f64 * k.ag).sum();
+    let cum_a = hetero_pcus + hetero_pmus + ags_area;
+
+    // ---- b. homogeneous PMUs within the benchmark (sized to the max) ----
+    let max_kb = pmus.iter().map(|m| m.kb).max().unwrap_or(1);
+    let max_stages = pmus.iter().map(|m| m.stages).max().unwrap_or(1);
+    let homog_pmu = model
+        .pmu(&pmu_params_for_kb(
+            max_kb,
+            &VirtualPmuLike {
+                kb: max_kb,
+                stages: max_stages,
+                copies: 1,
+            },
+        ))
+        .total();
+    let n_pmu_units: f64 = pmus.iter().map(|m| m.copies as f64).sum();
+    let cum_b = hetero_pcus + homog_pmu * n_pmu_units + ags_area;
+
+    // ---- c. homogeneous PCUs within the benchmark ----
+    // Search the best uniform stage count; registers and IO are sized to
+    // the benchmark's maxima; lanes are uniform at the widest pipe (narrow
+    // sequential pipes now waste lanes — the paper's PageRank effect).
+    let uni_lanes = design.pcus.iter().map(|u| u.lanes).max().unwrap_or(16);
+    let mut best_c = f64::INFINITY;
+    for stages in 2..=16usize {
+        let mut feas = unrestricted();
+        feas.stages = stages;
+        let mut n = 0usize;
+        let mut chunks_all: Vec<ChunkStats> = Vec::new();
+        let mut ok = true;
+        for u in &design.pcus {
+            match partition(u, &feas) {
+                Ok(ch) => {
+                    n += ch.len() * u.copies;
+                    chunks_all.extend(ch);
+                }
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || n == 0 {
+            continue;
+        }
+        let p = PcuParams {
+            lanes: uni_lanes,
+            stages,
+            regs_per_stage: chunks_all.iter().map(|c| c.max_live).max().unwrap_or(1).max(1),
+            scalar_ins: chunks_all.iter().map(|c| c.scal_ins).max().unwrap_or(1).max(1),
+            scalar_outs: chunks_all.iter().map(|c| c.scal_outs).max().unwrap_or(0),
+            vector_ins: chunks_all.iter().map(|c| c.vec_ins).max().unwrap_or(1).max(1),
+            vector_outs: chunks_all.iter().map(|c| c.vec_outs).max().unwrap_or(1).max(1),
+            fifo_depth: 16,
+            counters: 4,
+        };
+        best_c = best_c.min(n as f64 * model.pcu(&p).total());
+    }
+    if !best_c.is_finite() {
+        best_c = hetero_pcus;
+    }
+    let cum_c = best_c + homog_pmu * n_pmu_units + ags_area;
+
+    // ---- d. PMUs generalized across applications (paper-final 256 KiB) ----
+    let paper_pmu_area = model.pmu(&paper_pmu).total();
+    let pmu_units_d: f64 = pmus
+        .iter()
+        .map(|m| {
+            (m.copies * m.kb.div_ceil(paper_pmu.banks * paper_pmu.bank_kb).max(1)) as f64
+        })
+        .sum();
+    let cum_d = best_c + paper_pmu_area * pmu_units_d + ags_area;
+
+    // ---- e. PCUs generalized across applications (paper-final params) ----
+    let mut n_e = 0usize;
+    for u in &design.pcus {
+        let mut u = u.clone();
+        if u.lanes > paper_pcu.lanes {
+            u.copies *= u.lanes.div_ceil(paper_pcu.lanes);
+            u.lanes = paper_pcu.lanes;
+        }
+        if let Ok(ch) = partition(&u, &paper_pcu) {
+            n_e += ch.len() * u.copies;
+        }
+    }
+    let cum_e = n_e as f64 * model.pcu(&paper_pcu).total() + paper_pmu_area * pmu_units_d + ags_area;
+
+    let a = cum_a / asic;
+    OverheadRow {
+        app: String::new(),
+        a,
+        b: cum_b / cum_a,
+        c: cum_c / cum_b,
+        d: cum_d / cum_c,
+        e: cum_e / cum_d,
+    }
+}
+
+/// Table 6 for a benchmark suite, with the geometric-mean row appended.
+pub fn table6(apps: &[(String, VirtualDesign)], model: &AreaModel) -> Vec<OverheadRow> {
+    let mut rows: Vec<OverheadRow> = apps
+        .iter()
+        .map(|(name, d)| {
+            let mut r = overheads(d, model);
+            r.app = name.clone();
+            r
+        })
+        .collect();
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        let gm = |f: fn(&OverheadRow) -> f64| {
+            (rows.iter().map(|r| f(r).max(1e-12).ln()).sum::<f64>() / n).exp()
+        };
+        rows.push(OverheadRow {
+            app: "GeoMean".into(),
+            a: gm(|r| r.a),
+            b: gm(|r| r.b),
+            c: gm(|r| r.c),
+            d: gm(|r| r.d),
+            e: gm(|r| r.e),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_compiler::{VOp, VSrc, VirtualAg, VirtualPcu, VirtualPmu};
+    use plasticine_ppir::{BankingMode, CtrlId, SramId};
+
+    fn chain_design(n_ops: usize, words: usize) -> VirtualDesign {
+        let ops = (0..n_ops)
+            .map(|i| VOp {
+                srcs: if i == 0 {
+                    vec![VSrc::VecIn(0)]
+                } else {
+                    vec![VSrc::Op(i - 1)]
+                },
+                heavy: false,
+            })
+            .collect::<Vec<_>>();
+        VirtualDesign {
+            pcus: vec![VirtualPcu {
+                name: "p".into(),
+                ctrl: CtrlId(1),
+                outputs: vec![VSrc::Op(n_ops - 1)],
+                ops,
+                vec_ins: 1,
+                scal_ins: 0,
+                vec_outs: 1,
+                scal_outs: 0,
+                reduction_lanes: 0,
+                lanes: 16,
+                copies: 1,
+            }],
+            pmus: vec![VirtualPmu {
+                sram: SramId(0),
+                words,
+                nbuf: 1,
+                banking: BankingMode::Strided,
+                write_addr_ops: 1,
+                read_addr_ops: 1,
+                copies: 1,
+            }],
+            ags: vec![VirtualAg {
+                ctrl: CtrlId(2),
+                sparse: false,
+                store: false,
+                addr_ops: 2,
+                copies: 1,
+            }],
+            outers: vec![CtrlId(0)],
+        }
+    }
+
+    #[test]
+    fn stage_sweep_minimum_at_even_divisor() {
+        let apps = vec![("chain12".to_string(), chain_design(12, 4096))];
+        let spec = SweepSpec {
+            target: PcuParamKind::Stages,
+            values: (4..=16).collect(),
+            fixed: vec![],
+        };
+        let rows = sweep(&apps, &spec, &AreaModel::new());
+        let pts = &rows[0].points;
+        // All points valid for a plain chain.
+        assert!(pts.iter().all(|p| p.overhead.is_some()));
+        // 12 ops divide evenly at 4, 6, 12: those should be no worse than 5.
+        let get = |v: usize| {
+            pts.iter()
+                .find(|p| p.value == v)
+                .unwrap()
+                .overhead
+                .unwrap()
+        };
+        assert!(get(6) <= get(5) + 1e-9);
+        assert!(get(12) <= get(11) + 1e-9);
+        // The minimum has zero overhead by construction.
+        let min = pts
+            .iter()
+            .filter_map(|p| p.overhead)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min.abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_marks_small_stage_counts_invalid() {
+        let mut d = chain_design(2, 1024);
+        d.pcus[0].reduction_lanes = 16;
+        d.pcus[0].scal_outs = 1;
+        let apps = vec![("fold".to_string(), d)];
+        let spec = SweepSpec {
+            target: PcuParamKind::Stages,
+            values: (4..=8).collect(),
+            fixed: vec![],
+        };
+        let rows = sweep(&apps, &spec, &AreaModel::new());
+        let pts = &rows[0].points;
+        // 16-lane reduction needs 5 stages: 4 is ×.
+        assert!(pts[0].overhead.is_none(), "stages=4 must be invalid");
+        assert!(pts[1].overhead.is_some(), "stages=5 must be valid");
+    }
+
+    #[test]
+    fn overhead_chain_is_ordered_and_positive() {
+        let d = chain_design(20, 16384);
+        let r = overheads(&d, &AreaModel::new());
+        assert!(r.a > 1.0, "reconfigurable units cost more than ASIC: {}", r.a);
+        assert!(r.b >= 1.0 - 1e-9);
+        assert!(r.c >= 1.0 - 1e-9);
+        assert!(r.d >= 1.0 - 1e-9);
+        let cum = r.cumulative();
+        assert!(cum[4] >= cum[0] - 1e-9);
+    }
+
+    #[test]
+    fn geomean_row_is_appended() {
+        let apps = vec![
+            ("a".to_string(), chain_design(8, 2048)),
+            ("b".to_string(), chain_design(30, 65536)),
+        ];
+        let rows = table6(&apps, &AreaModel::new());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].app, "GeoMean");
+        let gm = (rows[0].a * rows[1].a).sqrt();
+        assert!((rows[2].a - gm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_row_skips_invalid_points() {
+        let mut d = chain_design(2, 1024);
+        d.pcus[0].reduction_lanes = 16;
+        d.pcus[0].scal_outs = 1;
+        let apps = vec![
+            ("fold".to_string(), d),
+            ("chain".to_string(), chain_design(6, 1024)),
+        ];
+        let spec = SweepSpec {
+            target: PcuParamKind::Stages,
+            values: (4..=8).collect(),
+            fixed: vec![],
+        };
+        let rows = sweep(&apps, &spec, &AreaModel::new());
+        let avg = average_row(&rows);
+        // stages=4: only the chain contributes, but an average still exists.
+        assert!(avg[0].overhead.is_some());
+    }
+}

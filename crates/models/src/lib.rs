@@ -1,0 +1,22 @@
+//! # plasticine-models — area, power, and design-space exploration
+//!
+//! The modelling half of the paper's methodology:
+//!
+//! * [`AreaModel`] — a 28 nm component-level area model inverted from the
+//!   paper's published synthesis breakdown (Table 5), able to price
+//!   arbitrary PCU/PMU parameterizations;
+//! * [`PowerModel`] — event-energy power estimation over the simulator's
+//!   activity counters (PrimeTime-with-traces methodology, §4.2),
+//!   anchored at the paper's 49 W peak and Table 7 power range;
+//! * [`dse`] — the §3.7 design-space exploration: parameter sweeps with
+//!   benchmark-normalized area overheads (Figure 7) and the
+//!   ASIC-to-generalized-fabric overhead chain (Table 6).
+
+#![warn(missing_docs)]
+
+mod area;
+pub mod dse;
+mod power;
+
+pub use area::{AreaConstants, AreaModel, ChipArea, PcuArea, PmuArea};
+pub use power::{EnergyConstants, PowerEstimate, PowerModel};

@@ -1,0 +1,368 @@
+//! The controller hierarchy: nested parallel patterns as pipelines.
+//!
+//! Following DHDL (§3.6 of the paper), a program is a tree of controllers.
+//! *Outer* controllers contain only other controllers and carry a
+//! [`Schedule`] — sequential, coarse-grained pipelined, or streaming
+//! (Figure 6). *Inner* controllers contain a single [`InnerOp`]: a dataflow
+//! pipeline (Map / Fold / Filter), an off-chip transfer (tile load/store,
+//! gather/scatter), or a scalar register write.
+//!
+//! Every controller owns a counter chain ([`Counter`]) generating its loop
+//! indices; an inner controller's innermost counter may carry a `par` factor
+//! that the compiler maps to SIMD lanes, and outer counters' `par` factors
+//! unroll their subtree across units.
+
+use crate::expr::{BinOp, DramId, FuncId, IndexId, ParamId, RegId, SramId};
+use crate::types::Elem;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a controller within a [`Program`](crate::program::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CtrlId(pub u32);
+
+/// Execution discipline of an outer controller's children (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Schedule {
+    /// One data-dependent child active at a time; tokens circulate per
+    /// iteration. Used for loop-carried dependencies.
+    Sequential,
+    /// Children overlap across iterations of the parent's counter chain;
+    /// intermediate memories are M-buffered and backpressure is enforced
+    /// with credits.
+    #[default]
+    Pipelined,
+    /// Children form a fine-grained pipeline communicating through FIFOs;
+    /// a child fires whenever its input FIFOs are non-empty and output
+    /// FIFOs are non-full.
+    Streaming,
+}
+
+/// A counter bound that is resolved at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CBound {
+    /// Compile-time constant.
+    Const(i64),
+    /// The current value of a scalar register (data-dependent trip count,
+    /// e.g. a BFS frontier size).
+    Reg(RegId),
+    /// A runtime parameter.
+    Param(ParamId),
+}
+
+impl From<i64> for CBound {
+    fn from(v: i64) -> CBound {
+        CBound::Const(v)
+    }
+}
+
+/// One programmable counter in a chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counter {
+    /// The loop index this counter produces.
+    pub index: IndexId,
+    /// Inclusive lower bound.
+    pub min: CBound,
+    /// Exclusive upper bound.
+    pub max: CBound,
+    /// Step per iteration (must be positive).
+    pub stride: i64,
+    /// Parallelization factor: number of simultaneous index values.
+    pub par: usize,
+}
+
+/// Destination and mode of a value written by a compute pipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipeWrite {
+    /// Scratchpad being written.
+    pub sram: SramId,
+    /// Address function: outputs are the multi-dimensional coordinates
+    /// (one output per dimension of the target scratchpad). Runs on the
+    /// PMU's write-address datapath.
+    pub addr: FuncId,
+    /// Which output slot of the pipe supplies the value.
+    pub value_slot: usize,
+    /// Plain write or read-modify-write accumulation.
+    pub mode: WriteMode,
+}
+
+/// Write discipline of a [`PipeWrite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WriteMode {
+    /// Overwrite the addressed word.
+    Overwrite,
+    /// `mem[addr] = op(mem[addr], value)` — the on-the-fly accumulation
+    /// used by dense HashReduce (the op must be associative).
+    Accumulate(BinOp),
+}
+
+/// A `Map` pattern: the body runs once per index tuple; each output slot may
+/// be written to scratchpads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapPipe {
+    /// The per-index body (Table 1's `f`). Multi-output.
+    pub body: FuncId,
+    /// Scratchpad writes fed by the body's outputs.
+    pub writes: Vec<PipeWrite>,
+}
+
+/// Initial value of a fold accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FoldInit {
+    /// Reset to a constant at every invocation of the pipe.
+    Const(Elem),
+    /// Resume from the output register's current value (accumulation across
+    /// invocations; the register must be initialized by the host or an
+    /// earlier controller).
+    Resume,
+}
+
+/// A `Fold` pattern: map then reduce with associative combine ops.
+///
+/// The combine function is restricted to one associative [`BinOp`] per
+/// output slot — exactly what the PCU's cross-lane reduction tree
+/// implements. (General 2-argument combine functions would not map to the
+/// tree; none of the paper's benchmarks require them.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldPipe {
+    /// The per-index map (Table 1's `f`). One output per fold slot.
+    pub map: FuncId,
+    /// Associative combine op per slot (Table 1's `r`).
+    pub combine: Vec<BinOp>,
+    /// Initial accumulator value per slot.
+    pub init: Vec<FoldInit>,
+    /// Register receiving each slot's final value (`None` to discard).
+    pub out_regs: Vec<Option<RegId>>,
+    /// Optional scratchpad writes of final values (one write per slot max;
+    /// `value_slot` selects the fold slot). The address function sees only
+    /// ancestor indices (the pipe's own counters are exhausted).
+    pub writes: Vec<PipeWrite>,
+}
+
+/// A `FlatMap` specialized to conditional selection (filter): per index the
+/// body produces values plus a trailing predicate; when the predicate is
+/// truthy the values are appended (compacted across lanes by the PCU's
+/// coalescing hardware) to a scratchpad.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterPipe {
+    /// Body whose outputs are `[v0, .., v{k-1}, predicate]`.
+    pub body: FuncId,
+    /// Destination scratchpad; group `j` of iteration `n` lands at linear
+    /// address `emitted_before * k + j`.
+    pub out: SramId,
+    /// Register receiving the total number of emitted *groups*.
+    pub count_reg: RegId,
+}
+
+/// A dense DRAM↔scratchpad tile transfer, mapped to address generators
+/// issuing burst commands (§3.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileTransfer {
+    /// DRAM buffer.
+    pub dram: DramId,
+    /// Scalar function computing the element offset of the tile's first
+    /// element in DRAM (may read ancestor indices, params, registers).
+    pub dram_base: FuncId,
+    /// Number of rows in the tile (1 for a flat vector).
+    pub rows: usize,
+    /// Contiguous elements per row.
+    pub cols: usize,
+    /// DRAM stride between row starts, in elements (= matrix width).
+    pub dram_row_stride: usize,
+    /// Destination/source scratchpad (filled/read row-major from offset 0).
+    pub sram: SramId,
+}
+
+/// A sparse DRAM read:
+/// `dst[i] = dram[base + indices[idx_base + i]]` for `i < len`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatherOp {
+    /// DRAM buffer.
+    pub dram: DramId,
+    /// Scalar base-offset function.
+    pub base: FuncId,
+    /// Scratchpad of `I32` element offsets.
+    pub indices: SramId,
+    /// First index read from `indices` (supports CSR row slices).
+    pub idx_base: CBound,
+    /// Destination scratchpad.
+    pub dst: SramId,
+    /// Number of elements to gather.
+    pub len: CBound,
+}
+
+/// A sparse DRAM write:
+/// `dram[base + indices[idx_base + i]] = src[i]` for `i < len`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScatterOp {
+    /// DRAM buffer.
+    pub dram: DramId,
+    /// Scalar base-offset function.
+    pub base: FuncId,
+    /// Scratchpad of `I32` element offsets.
+    pub indices: SramId,
+    /// First index read from `indices`.
+    pub idx_base: CBound,
+    /// Source scratchpad.
+    pub src: SramId,
+    /// Number of elements to scatter.
+    pub len: CBound,
+}
+
+/// A scalar register update `reg = f()`, used for loop-carried scalar state
+/// (frontier sizes, convergence flags). Maps to control/scalar logic in a
+/// switch or a single-lane PCU stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegWrite {
+    /// Destination register.
+    pub reg: RegId,
+    /// Single-output scalar function.
+    pub func: FuncId,
+}
+
+/// The work performed by an inner (leaf) controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InnerOp {
+    /// Dense DRAM → scratchpad transfer.
+    LoadTile(TileTransfer),
+    /// Dense scratchpad → DRAM transfer.
+    StoreTile(TileTransfer),
+    /// Sparse DRAM read.
+    Gather(GatherOp),
+    /// Sparse DRAM write.
+    Scatter(ScatterOp),
+    /// Map pattern.
+    Map(MapPipe),
+    /// Fold pattern.
+    Fold(FoldPipe),
+    /// FlatMap/filter pattern.
+    Filter(FilterPipe),
+    /// Scalar register update.
+    RegWrite(RegWrite),
+}
+
+impl InnerOp {
+    /// Short mnemonic for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            InnerOp::LoadTile(_) => "load_tile",
+            InnerOp::StoreTile(_) => "store_tile",
+            InnerOp::Gather(_) => "gather",
+            InnerOp::Scatter(_) => "scatter",
+            InnerOp::Map(_) => "map",
+            InnerOp::Fold(_) => "fold",
+            InnerOp::Filter(_) => "filter",
+            InnerOp::RegWrite(_) => "reg_write",
+        }
+    }
+
+    /// Whether this op touches off-chip memory.
+    pub fn is_transfer(&self) -> bool {
+        matches!(
+            self,
+            InnerOp::LoadTile(_) | InnerOp::StoreTile(_) | InnerOp::Gather(_) | InnerOp::Scatter(_)
+        )
+    }
+}
+
+/// Body of a controller: either nested children or a leaf op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CtrlBody {
+    /// An outer controller: contains only other controllers.
+    Outer {
+        /// Execution discipline of the children.
+        schedule: Schedule,
+        /// Child controllers, in program order (data dependencies between
+        /// siblings are inferred from their memory footprints).
+        children: Vec<CtrlId>,
+    },
+    /// An inner controller: a single leaf op.
+    Inner(InnerOp),
+}
+
+/// One node of the controller tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Controller {
+    /// Diagnostic name.
+    pub name: String,
+    /// Counter chain (outermost first; empty = run exactly once per parent
+    /// iteration).
+    pub cchain: Vec<Counter>,
+    /// Children or leaf op.
+    pub body: CtrlBody,
+}
+
+impl Controller {
+    /// Whether this is an outer controller.
+    pub fn is_outer(&self) -> bool {
+        matches!(self.body, CtrlBody::Outer { .. })
+    }
+
+    /// Total parallelization factor of the counter chain.
+    pub fn total_par(&self) -> usize {
+        self.cchain.iter().map(|c| c.par.max(1)).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbound_from_i64() {
+        assert_eq!(CBound::from(5i64), CBound::Const(5));
+    }
+
+    #[test]
+    fn inner_op_classification() {
+        let t = TileTransfer {
+            dram: DramId(0),
+            dram_base: FuncId(0),
+            rows: 1,
+            cols: 16,
+            dram_row_stride: 16,
+            sram: SramId(0),
+        };
+        let op = InnerOp::LoadTile(t);
+        assert!(op.is_transfer());
+        assert_eq!(op.kind_name(), "load_tile");
+        let rw = InnerOp::RegWrite(RegWrite {
+            reg: RegId(0),
+            func: FuncId(0),
+        });
+        assert!(!rw.is_transfer());
+    }
+
+    #[test]
+    fn total_par_multiplies_counters() {
+        let c = Controller {
+            name: "c".into(),
+            cchain: vec![
+                Counter {
+                    index: IndexId(0),
+                    min: 0.into(),
+                    max: 8.into(),
+                    stride: 1,
+                    par: 2,
+                },
+                Counter {
+                    index: IndexId(1),
+                    min: 0.into(),
+                    max: 64.into(),
+                    stride: 1,
+                    par: 16,
+                },
+            ],
+            body: CtrlBody::Outer {
+                schedule: Schedule::Pipelined,
+                children: vec![],
+            },
+        };
+        assert_eq!(c.total_par(), 32);
+        assert!(c.is_outer());
+    }
+
+    #[test]
+    fn default_schedule_is_pipelined() {
+        assert_eq!(Schedule::default(), Schedule::Pipelined);
+    }
+}

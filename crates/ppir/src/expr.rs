@@ -1,0 +1,608 @@
+//! Dataflow expression graphs — the bodies of parallel patterns.
+//!
+//! A [`Func`] is a small arena of [`Expr`] nodes with one or more designated
+//! outputs. Funcs appear as pattern bodies (`f`, `g` in Table 1 of the
+//! paper), combine functions (`r`), key/value functions (`k`, `v`), and
+//! address-calculation datapaths inside Pattern Memory Units.
+//!
+//! Expressions are pure: all memory writes happen at pattern boundaries
+//! (see [`crate::ctrl`]). Memory *reads* are permitted inside a Func via
+//! [`ExprKind::Load`], mirroring how a PCU consumes vector operands
+//! streamed out of PMUs.
+
+use crate::types::{Elem, TypeError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an expression node within one [`Func`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExprId(pub u32);
+
+/// Identifier of a loop index produced by a counter somewhere in the
+/// controller hierarchy. Allocated by
+/// [`ProgramBuilder`](crate::program::ProgramBuilder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IndexId(pub u32);
+
+/// Identifier of a runtime scalar parameter of the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub u32);
+
+/// Identifier of a scalar register (written by `Fold`, readable anywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegId(pub u32);
+
+/// Identifier of an on-chip scratchpad memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SramId(pub u32);
+
+/// Identifier of an off-chip DRAM buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramId(pub u32);
+
+/// Identifier of a [`Func`] within a [`Program`](crate::program::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Binary word-level operations supported by Plasticine functional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition (wrapping for integers).
+    Add,
+    /// Subtraction (wrapping for integers).
+    Sub,
+    /// Multiplication (wrapping for integers).
+    Mul,
+    /// Division. Integer division by zero yields 0 (hardware-defined).
+    Div,
+    /// Remainder. Integer remainder by zero yields 0.
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise AND (integers only).
+    And,
+    /// Bitwise OR (integers only).
+    Or,
+    /// Bitwise XOR (integers only).
+    Xor,
+    /// Logical shift left (integers only).
+    Shl,
+    /// Arithmetic shift right (integers only).
+    Shr,
+    /// Less-than comparison, produces `I32` 0/1.
+    Lt,
+    /// Less-or-equal comparison, produces `I32` 0/1.
+    Le,
+    /// Greater-than comparison, produces `I32` 0/1.
+    Gt,
+    /// Greater-or-equal comparison, produces `I32` 0/1.
+    Ge,
+    /// Equality comparison, produces `I32` 0/1.
+    Eq,
+    /// Inequality comparison, produces `I32` 0/1.
+    Ne,
+}
+
+impl BinOp {
+    /// Whether this op produces an `I32` predicate regardless of input type.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether this op is only defined on integer words.
+    pub fn is_integer_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
+    }
+
+    /// Whether this op is associative (and therefore legal as a pattern
+    /// combine function that hardware may reassociate across lanes).
+    ///
+    /// Floating-point `Add`/`Mul` are treated as associative, matching the
+    /// paper's use of FP summation in reduction trees.
+    pub fn is_associative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::Min
+                | BinOp::Max
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary word-level operations.
+///
+/// Transcendental ops (`Exp`, `Ln`, `Sqrt`, `Recip`) model the iterative
+/// floating-point units present in the Plasticine FU (Black-Scholes in the
+/// paper's benchmark suite requires them); the simulator charges them extra
+/// energy but the same single-issue pipeline slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise NOT (integers only).
+    Not,
+    /// Absolute value.
+    Abs,
+    /// Natural exponential (floats only).
+    Exp,
+    /// Natural logarithm (floats only).
+    Ln,
+    /// Square root (floats only).
+    Sqrt,
+    /// Reciprocal (floats only).
+    Recip,
+    /// Convert integer word to float.
+    I2F,
+    /// Convert float word to integer (truncating).
+    F2I,
+}
+
+impl UnaryOp {
+    /// Whether this op only accepts float inputs.
+    pub fn is_float_only(self) -> bool {
+        matches!(
+            self,
+            UnaryOp::Exp | UnaryOp::Ln | UnaryOp::Sqrt | UnaryOp::Recip | UnaryOp::F2I
+        )
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnaryOp::Neg => "neg",
+            UnaryOp::Not => "not",
+            UnaryOp::Abs => "abs",
+            UnaryOp::Exp => "exp",
+            UnaryOp::Ln => "ln",
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Recip => "recip",
+            UnaryOp::I2F => "i2f",
+            UnaryOp::F2I => "f2i",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One node in an expression graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A compile-time constant word.
+    Const(Elem),
+    /// The current value of a loop counter (always `I32`).
+    Index(IndexId),
+    /// A runtime scalar parameter.
+    Param(ParamId),
+    /// The current value of a scalar register.
+    ReadReg(RegId),
+    /// A formal argument of the function (combine functions take args 0 and 1).
+    Arg(u8),
+    /// A read from scratchpad memory at a (possibly multi-dimensional) address.
+    Load {
+        /// The scratchpad being read.
+        mem: SramId,
+        /// One coordinate expression per scratchpad dimension.
+        addr: Vec<ExprId>,
+    },
+    /// A unary operation.
+    Unary(UnaryOp, ExprId),
+    /// A binary operation.
+    Binary(BinOp, ExprId, ExprId),
+    /// Ternary select: if the first operand is truthy, the second, else the third.
+    Mux(ExprId, ExprId, ExprId),
+}
+
+/// An expression graph with designated outputs.
+///
+/// Nodes are stored in a flat arena; an [`ExprId`] may only reference nodes
+/// with a smaller id, so every `Func` is a DAG in topological order by
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use plasticine_ppir::{Func, BinOp, Elem, IndexId};
+/// let mut f = Func::new("double");
+/// let i = f.index(IndexId(0));
+/// let two = f.konst(Elem::I32(2));
+/// let d = f.binary(BinOp::Mul, i, two);
+/// f.set_outputs(vec![d]);
+/// assert_eq!(f.num_ops(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Func {
+    name: String,
+    nodes: Vec<Expr>,
+    outputs: Vec<ExprId>,
+}
+
+impl Func {
+    /// Creates an empty function with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Func {
+        Func {
+            name: name.into(),
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The diagnostic name of this function.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Expr] {
+        &self.nodes
+    }
+
+    /// The designated output nodes.
+    pub fn outputs(&self) -> &[ExprId] {
+        &self.outputs
+    }
+
+    /// Number of nodes that map to ALU operations (excludes constants,
+    /// indices, params, register reads, and args, which map to operand
+    /// sources rather than pipeline stages).
+    pub fn num_ops(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n,
+                    Expr::Unary(..) | Expr::Binary(..) | Expr::Mux(..) | Expr::Load { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Adds a node, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node references an id that does not yet exist (which
+    /// would break the topological-order invariant).
+    pub fn push(&mut self, e: Expr) -> ExprId {
+        let next = self.nodes.len() as u32;
+        let check = |id: ExprId| assert!(id.0 < next, "expr {} references future node", next);
+        match &e {
+            Expr::Unary(_, a) => check(*a),
+            Expr::Binary(_, a, b) => {
+                check(*a);
+                check(*b);
+            }
+            Expr::Mux(c, a, b) => {
+                check(*c);
+                check(*a);
+                check(*b);
+            }
+            Expr::Load { addr, .. } => addr.iter().for_each(|&a| check(a)),
+            _ => {}
+        }
+        self.nodes.push(e);
+        ExprId(next)
+    }
+
+    /// Convenience: push a constant.
+    pub fn konst(&mut self, v: impl Into<Elem>) -> ExprId {
+        self.push(Expr::Const(v.into()))
+    }
+
+    /// Convenience: push an index read.
+    pub fn index(&mut self, i: IndexId) -> ExprId {
+        self.push(Expr::Index(i))
+    }
+
+    /// Convenience: push a parameter read.
+    pub fn param(&mut self, p: ParamId) -> ExprId {
+        self.push(Expr::Param(p))
+    }
+
+    /// Convenience: push a register read.
+    pub fn read_reg(&mut self, r: RegId) -> ExprId {
+        self.push(Expr::ReadReg(r))
+    }
+
+    /// Convenience: push a formal-argument read.
+    pub fn arg(&mut self, n: u8) -> ExprId {
+        self.push(Expr::Arg(n))
+    }
+
+    /// Convenience: push a unary op.
+    pub fn unary(&mut self, op: UnaryOp, a: ExprId) -> ExprId {
+        self.push(Expr::Unary(op, a))
+    }
+
+    /// Convenience: push a binary op.
+    pub fn binary(&mut self, op: BinOp, a: ExprId, b: ExprId) -> ExprId {
+        self.push(Expr::Binary(op, a, b))
+    }
+
+    /// Convenience: push a select.
+    pub fn mux(&mut self, c: ExprId, t: ExprId, f: ExprId) -> ExprId {
+        self.push(Expr::Mux(c, t, f))
+    }
+
+    /// Convenience: push a scratchpad load.
+    pub fn load(&mut self, mem: SramId, addr: Vec<ExprId>) -> ExprId {
+        self.push(Expr::Load { mem, addr })
+    }
+
+    /// Designates the outputs of the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output id is out of range.
+    pub fn set_outputs(&mut self, outputs: Vec<ExprId>) {
+        for o in &outputs {
+            assert!((o.0 as usize) < self.nodes.len(), "output out of range");
+        }
+        self.outputs = outputs;
+    }
+
+    /// Whether the function reads any scratchpad.
+    pub fn has_loads(&self) -> bool {
+        self.nodes.iter().any(|n| matches!(n, Expr::Load { .. }))
+    }
+
+    /// All scratchpads this function reads, deduplicated, in first-use order.
+    pub fn loaded_srams(&self) -> Vec<SramId> {
+        let mut out: Vec<SramId> = Vec::new();
+        for n in &self.nodes {
+            if let Expr::Load { mem, .. } = n {
+                if !out.contains(mem) {
+                    out.push(*mem);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates a single binary op on two words.
+///
+/// # Errors
+///
+/// Returns [`TypeError`] on mixed-type operands or integer-only ops applied
+/// to floats.
+pub fn eval_binop(op: BinOp, a: Elem, b: Elem) -> Result<Elem, TypeError> {
+    use BinOp::*;
+    if op.is_integer_only() {
+        let (x, y) = (a.as_i32()?, b.as_i32()?);
+        let v = match op {
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl(y as u32),
+            Shr => x.wrapping_shr(y as u32),
+            _ => unreachable!(),
+        };
+        return Ok(Elem::I32(v));
+    }
+    match (a, b) {
+        (Elem::I32(x), Elem::I32(y)) => {
+            let v = match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                Rem => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+                Min => x.min(y),
+                Max => x.max(y),
+                Lt => (x < y) as i32,
+                Le => (x <= y) as i32,
+                Gt => (x > y) as i32,
+                Ge => (x >= y) as i32,
+                Eq => (x == y) as i32,
+                Ne => (x != y) as i32,
+                _ => unreachable!(),
+            };
+            Ok(Elem::I32(v))
+        }
+        (Elem::F32(x), Elem::F32(y)) => {
+            if op.is_comparison() {
+                let v = match op {
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    Eq => x == y,
+                    Ne => x != y,
+                    _ => unreachable!(),
+                };
+                return Ok(Elem::I32(v as i32));
+            }
+            let v = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Rem => x % y,
+                Min => x.min(y),
+                Max => x.max(y),
+                _ => unreachable!(),
+            };
+            Ok(Elem::F32(v))
+        }
+        (a, b) => Err(TypeError {
+            expected: a.dtype(),
+            found: b.dtype(),
+        }),
+    }
+}
+
+/// Evaluates a single unary op on a word.
+///
+/// # Errors
+///
+/// Returns [`TypeError`] on float-only ops applied to integers or `Not`/`I2F`
+/// applied to floats.
+pub fn eval_unop(op: UnaryOp, a: Elem) -> Result<Elem, TypeError> {
+    use UnaryOp::*;
+    match op {
+        Neg => match a {
+            Elem::I32(v) => Ok(Elem::I32(v.wrapping_neg())),
+            Elem::F32(v) => Ok(Elem::F32(-v)),
+        },
+        Abs => match a {
+            Elem::I32(v) => Ok(Elem::I32(v.wrapping_abs())),
+            Elem::F32(v) => Ok(Elem::F32(v.abs())),
+        },
+        Not => Ok(Elem::I32(!a.as_i32()?)),
+        I2F => Ok(Elem::F32(a.as_i32()? as f32)),
+        Exp => Ok(Elem::F32(a.as_f32()?.exp())),
+        Ln => Ok(Elem::F32(a.as_f32()?.ln())),
+        Sqrt => Ok(Elem::F32(a.as_f32()?.sqrt())),
+        Recip => Ok(Elem::F32(a.as_f32()?.recip())),
+        F2I => Ok(Elem::I32(a.as_f32()? as i32)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_forward_references() {
+        let mut f = Func::new("bad");
+        let a = f.konst(Elem::I32(1));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = f.clone();
+            g.binary(BinOp::Add, a, ExprId(99));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn num_ops_counts_alu_nodes_only() {
+        let mut f = Func::new("f");
+        let i = f.index(IndexId(0));
+        let c = f.konst(Elem::I32(3));
+        let m = f.binary(BinOp::Mul, i, c);
+        let n = f.unary(UnaryOp::Neg, m);
+        f.set_outputs(vec![n]);
+        assert_eq!(f.num_ops(), 2);
+        assert_eq!(f.nodes().len(), 4);
+    }
+
+    #[test]
+    fn loaded_srams_dedupes_in_order() {
+        let mut f = Func::new("f");
+        let i = f.index(IndexId(0));
+        let a = f.load(SramId(2), vec![i]);
+        let b = f.load(SramId(1), vec![i]);
+        let c = f.load(SramId(2), vec![i]);
+        let s = f.binary(BinOp::Add, a, b);
+        let s = f.binary(BinOp::Add, s, c);
+        f.set_outputs(vec![s]);
+        assert_eq!(f.loaded_srams(), vec![SramId(2), SramId(1)]);
+        assert!(f.has_loads());
+    }
+
+    #[test]
+    fn int_arith_wraps_and_handles_div_zero() {
+        assert_eq!(
+            eval_binop(BinOp::Add, Elem::I32(i32::MAX), Elem::I32(1)).unwrap(),
+            Elem::I32(i32::MIN)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, Elem::I32(5), Elem::I32(0)).unwrap(),
+            Elem::I32(0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Rem, Elem::I32(5), Elem::I32(0)).unwrap(),
+            Elem::I32(0)
+        );
+    }
+
+    #[test]
+    fn float_comparison_produces_i32() {
+        assert_eq!(
+            eval_binop(BinOp::Lt, Elem::F32(1.0), Elem::F32(2.0)).unwrap(),
+            Elem::I32(1)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Ge, Elem::F32(1.0), Elem::F32(2.0)).unwrap(),
+            Elem::I32(0)
+        );
+    }
+
+    #[test]
+    fn mixed_types_rejected() {
+        assert!(eval_binop(BinOp::Add, Elem::I32(1), Elem::F32(1.0)).is_err());
+        assert!(eval_binop(BinOp::And, Elem::F32(1.0), Elem::I32(1)).is_err());
+    }
+
+    #[test]
+    fn unary_conversions() {
+        assert_eq!(eval_unop(UnaryOp::I2F, Elem::I32(3)).unwrap(), Elem::F32(3.0));
+        assert_eq!(eval_unop(UnaryOp::F2I, Elem::F32(3.7)).unwrap(), Elem::I32(3));
+        assert!(eval_unop(UnaryOp::Exp, Elem::I32(1)).is_err());
+    }
+
+    #[test]
+    fn associativity_classification() {
+        assert!(BinOp::Add.is_associative());
+        assert!(BinOp::Min.is_associative());
+        assert!(!BinOp::Sub.is_associative());
+        assert!(!BinOp::Div.is_associative());
+    }
+
+    #[test]
+    fn shifts_mask_like_hardware() {
+        assert_eq!(
+            eval_binop(BinOp::Shl, Elem::I32(1), Elem::I32(33)).unwrap(),
+            Elem::I32(2)
+        );
+    }
+}

@@ -1,0 +1,969 @@
+//! Host reference interpreter for parallel-pattern programs.
+//!
+//! The interpreter executes a [`Program`] with *sequential* semantics:
+//! controllers run depth-first in program order, ignoring schedules and
+//! parallelization factors. Because the programming model guarantees that
+//! schedules and `par` factors only affect performance (the compiler
+//! inserts N-buffering to preserve values), the interpreter's final memory
+//! state is the golden reference against which the cycle-accurate simulator
+//! is checked, element for element.
+
+use crate::ctrl::{
+    CBound, CtrlBody, CtrlId, Counter, FilterPipe, FoldInit, FoldPipe, GatherOp, InnerOp, MapPipe,
+    PipeWrite, RegWrite, ScatterOp, TileTransfer, WriteMode,
+};
+use crate::expr::{eval_binop, eval_unop, DramId, Expr, Func, FuncId, RegId, SramId};
+use crate::program::Program;
+use crate::trace::{DramRange, LeafWork, NullSink, TraceSink};
+use crate::types::{Elem, TypeError};
+use std::fmt;
+
+/// Runtime error raised by the interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// A word of the wrong type reached an operation.
+    Type(TypeError),
+    /// Scratchpad access out of bounds.
+    SramOob {
+        /// Scratchpad name.
+        mem: String,
+        /// Offending linear or per-dim coordinate.
+        addr: i64,
+    },
+    /// DRAM access out of bounds.
+    DramOob {
+        /// Buffer name.
+        mem: String,
+        /// Offending element offset.
+        addr: i64,
+    },
+    /// A `FoldInit::Resume` slot has no output register to resume from.
+    ResumeWithoutReg {
+        /// Controller name.
+        ctrl: String,
+    },
+    /// A filter emitted more groups than its output scratchpad holds.
+    FilterOverflow {
+        /// Controller name.
+        ctrl: String,
+    },
+    /// A counter bound resolved to a negative trip count configuration.
+    BadBound {
+        /// Controller name.
+        ctrl: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Type(e) => write!(f, "{e}"),
+            RunError::SramOob { mem, addr } => {
+                write!(f, "scratchpad `{mem}` access out of bounds at {addr}")
+            }
+            RunError::DramOob { mem, addr } => {
+                write!(f, "dram `{mem}` access out of bounds at {addr}")
+            }
+            RunError::ResumeWithoutReg { ctrl } => {
+                write!(f, "fold `{ctrl}` resumes a slot with no output register")
+            }
+            RunError::FilterOverflow { ctrl } => {
+                write!(f, "filter `{ctrl}` overflowed its output scratchpad")
+            }
+            RunError::BadBound { ctrl } => {
+                write!(f, "controller `{ctrl}` has an invalid runtime bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<TypeError> for RunError {
+    fn from(e: TypeError) -> RunError {
+        RunError::Type(e)
+    }
+}
+
+/// Counters accumulated during interpretation, used for sanity cross-checks
+/// against the simulator's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Pattern-body evaluations (one per index tuple of each compute pipe).
+    pub body_invocations: u64,
+    /// Words read from DRAM (dense + sparse).
+    pub dram_reads: u64,
+    /// Words written to DRAM (dense + sparse).
+    pub dram_writes: u64,
+    /// Words written to scratchpads by compute pipes.
+    pub sram_writes: u64,
+}
+
+/// Interpreter state: one program plus its memories.
+#[derive(Debug, Clone)]
+pub struct Machine<'p> {
+    prog: &'p Program,
+    drams: Vec<Vec<Elem>>,
+    srams: Vec<Vec<Elem>>,
+    regs: Vec<Elem>,
+    params: Vec<Elem>,
+    indices: Vec<i64>,
+    cur_work: LeafWork,
+    /// Accumulated statistics.
+    pub stats: InterpStats,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine with zero-initialized memories for `prog`.
+    pub fn new(prog: &'p Program) -> Machine<'p> {
+        Machine {
+            prog,
+            drams: prog
+                .drams()
+                .iter()
+                .map(|d| vec![Elem::zero(d.dtype); d.len])
+                .collect(),
+            srams: prog
+                .srams()
+                .iter()
+                .map(|s| vec![Elem::zero(s.dtype); s.capacity()])
+                .collect(),
+            regs: prog.regs().iter().map(|r| Elem::zero(r.dtype)).collect(),
+            params: prog.params().iter().map(|p| Elem::zero(p.dtype)).collect(),
+            indices: vec![0; prog.num_indices() as usize],
+            cur_work: LeafWork::default(),
+            stats: InterpStats::default(),
+        }
+    }
+
+    /// Copies host data into a DRAM buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the buffer.
+    pub fn write_dram(&mut self, id: DramId, data: &[Elem]) {
+        let buf = &mut self.drams[id.0 as usize];
+        assert!(data.len() <= buf.len(), "host data exceeds buffer");
+        buf[..data.len()].copy_from_slice(data);
+    }
+
+    /// Reads back a DRAM buffer.
+    pub fn dram_data(&self, id: DramId) -> &[Elem] {
+        &self.drams[id.0 as usize]
+    }
+
+    /// Reads back a scratchpad.
+    pub fn sram_data(&self, id: SramId) -> &[Elem] {
+        &self.srams[id.0 as usize]
+    }
+
+    /// Sets a runtime parameter.
+    pub fn set_param(&mut self, id: crate::expr::ParamId, v: Elem) {
+        self.params[id.0 as usize] = v;
+    }
+
+    /// Sets a register (e.g. to seed an accumulating fold).
+    pub fn set_reg(&mut self, id: RegId, v: Elem) {
+        self.regs[id.0 as usize] = v;
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, id: RegId) -> Elem {
+        self.regs[id.0 as usize]
+    }
+
+    /// Executes the whole program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on out-of-bounds accesses, type errors, or
+    /// invalid runtime bounds.
+    pub fn run(&mut self) -> Result<(), RunError> {
+        self.run_traced(&mut NullSink)
+    }
+
+    /// Executes the whole program, reporting structural events and leaf
+    /// work to `sink` (see [`TraceSink`]). The cycle-accurate simulator
+    /// replays the recorded trace for timing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_traced(&mut self, sink: &mut dyn TraceSink) -> Result<(), RunError> {
+        self.exec_ctrl(self.prog.root(), sink)
+    }
+
+    fn exec_ctrl(&mut self, id: CtrlId, sink: &mut dyn TraceSink) -> Result<(), RunError> {
+        let ctrl = self.prog.ctrl(id);
+        let dims = self.resolve_cchain(&ctrl.cchain, &ctrl.name)?;
+        match &ctrl.body {
+            CtrlBody::Outer { children, .. } => {
+                let children = children.clone();
+                sink.outer_enter(id);
+                self.iterate(&dims, 0, &mut |m| {
+                    sink.outer_iter(id);
+                    for &c in &children {
+                        m.exec_ctrl(c, sink)?;
+                    }
+                    Ok(())
+                })?;
+                sink.outer_exit(id);
+                Ok(())
+            }
+            CtrlBody::Inner(op) => {
+                let op = op.clone();
+                let name = ctrl.name.clone();
+                self.cur_work = LeafWork::default();
+                self.exec_inner(&name, &dims, &op)?;
+                let work = std::mem::take(&mut self.cur_work);
+                sink.leaf(id, work);
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves counter bounds to concrete `(index, min, max, stride)` tuples.
+    fn resolve_cchain(
+        &self,
+        cchain: &[Counter],
+        ctrl_name: &str,
+    ) -> Result<Vec<(usize, i64, i64, i64)>, RunError> {
+        cchain
+            .iter()
+            .map(|c| {
+                let min = self.resolve_bound(c.min)?;
+                let max = self.resolve_bound(c.max)?;
+                if c.stride < 1 {
+                    return Err(RunError::BadBound {
+                        ctrl: ctrl_name.to_string(),
+                    });
+                }
+                Ok((c.index.0 as usize, min, max, c.stride))
+            })
+            .collect()
+    }
+
+    fn resolve_bound(&self, b: CBound) -> Result<i64, RunError> {
+        Ok(match b {
+            CBound::Const(v) => v,
+            CBound::Reg(r) => self.regs[r.0 as usize].as_i32()? as i64,
+            CBound::Param(p) => self.params[p.0 as usize].as_i32()? as i64,
+        })
+    }
+
+    /// Nested iteration over resolved counter dims, invoking `act` per tuple.
+    fn iterate(
+        &mut self,
+        dims: &[(usize, i64, i64, i64)],
+        d: usize,
+        act: &mut dyn FnMut(&mut Self) -> Result<(), RunError>,
+    ) -> Result<(), RunError> {
+        if d == dims.len() {
+            return act(self);
+        }
+        let (idx, min, max, stride) = dims[d];
+        let mut v = min;
+        while v < max {
+            self.indices[idx] = v;
+            self.iterate(dims, d + 1, act)?;
+            v += stride;
+        }
+        Ok(())
+    }
+
+    /// Evaluates a function in the current index environment.
+    fn eval(&mut self, fid: FuncId, args: &[Elem]) -> Result<Vec<Elem>, RunError> {
+        let f: &Func = self.prog.func(fid);
+        let mut vals: Vec<Elem> = Vec::with_capacity(f.nodes().len());
+        for node in f.nodes() {
+            let v = match node {
+                Expr::Const(c) => *c,
+                Expr::Index(i) => Elem::I32(self.indices[i.0 as usize] as i32),
+                Expr::Param(p) => self.params[p.0 as usize],
+                Expr::ReadReg(r) => self.regs[r.0 as usize],
+                Expr::Arg(n) => args[*n as usize],
+                Expr::Load { mem, addr } => {
+                    let coords: Vec<i64> = addr
+                        .iter()
+                        .map(|&a| vals[a.0 as usize].as_i32().map(|v| v as i64))
+                        .collect::<Result<_, _>>()?;
+                    let sram = self.prog.sram(*mem);
+                    let off = sram.flatten(&coords).ok_or_else(|| RunError::SramOob {
+                        mem: sram.name.clone(),
+                        addr: *coords.first().unwrap_or(&-1),
+                    })?;
+                    self.srams[mem.0 as usize][off]
+                }
+                Expr::Unary(op, a) => eval_unop(*op, vals[a.0 as usize])?,
+                Expr::Binary(op, a, b) => eval_binop(*op, vals[a.0 as usize], vals[b.0 as usize])?,
+                Expr::Mux(c, t, e) => {
+                    if vals[c.0 as usize].is_truthy() {
+                        vals[t.0 as usize]
+                    } else {
+                        vals[e.0 as usize]
+                    }
+                }
+            };
+            vals.push(v);
+        }
+        Ok(f.outputs().iter().map(|&o| vals[o.0 as usize]).collect())
+    }
+
+    fn eval_scalar(&mut self, fid: FuncId) -> Result<Elem, RunError> {
+        Ok(self.eval(fid, &[])?[0])
+    }
+
+    fn sram_write_linear(&mut self, id: SramId, off: i64, v: Elem) -> Result<(), RunError> {
+        let buf = &mut self.srams[id.0 as usize];
+        if off < 0 || off as usize >= buf.len() {
+            return Err(RunError::SramOob {
+                mem: self.prog.sram(id).name.clone(),
+                addr: off,
+            });
+        }
+        buf[off as usize] = v;
+        Ok(())
+    }
+
+    fn sram_read_linear(&self, id: SramId, off: i64) -> Result<Elem, RunError> {
+        let buf = &self.srams[id.0 as usize];
+        if off < 0 || off as usize >= buf.len() {
+            return Err(RunError::SramOob {
+                mem: self.prog.sram(id).name.clone(),
+                addr: off,
+            });
+        }
+        Ok(buf[off as usize])
+    }
+
+    fn dram_read(&self, id: DramId, off: i64) -> Result<Elem, RunError> {
+        let buf = &self.drams[id.0 as usize];
+        if off < 0 || off as usize >= buf.len() {
+            return Err(RunError::DramOob {
+                mem: self.prog.dram(id).name.clone(),
+                addr: off,
+            });
+        }
+        Ok(buf[off as usize])
+    }
+
+    fn dram_write(&mut self, id: DramId, off: i64, v: Elem) -> Result<(), RunError> {
+        let buf = &mut self.drams[id.0 as usize];
+        if off < 0 || off as usize >= buf.len() {
+            return Err(RunError::DramOob {
+                mem: self.prog.dram(id).name.clone(),
+                addr: off,
+            });
+        }
+        buf[off as usize] = v;
+        Ok(())
+    }
+
+    /// Applies one pipe write given already-evaluated body outputs.
+    fn apply_write(&mut self, w: &PipeWrite, outs: &[Elem]) -> Result<(), RunError> {
+        let coords: Vec<i64> = self
+            .eval(w.addr, &[])?
+            .iter()
+            .map(|e| e.as_i32().map(|v| v as i64))
+            .collect::<Result<_, _>>()?;
+        let sram = self.prog.sram(w.sram);
+        let off = sram.flatten(&coords).ok_or_else(|| RunError::SramOob {
+            mem: sram.name.clone(),
+            addr: *coords.first().unwrap_or(&-1),
+        })? as i64;
+        let v = outs[w.value_slot];
+        let stored = match w.mode {
+            WriteMode::Overwrite => v,
+            WriteMode::Accumulate(op) => {
+                let old = self.sram_read_linear(w.sram, off)?;
+                eval_binop(op, old, v)?
+            }
+        };
+        self.stats.sram_writes += 1;
+        self.sram_write_linear(w.sram, off, stored)
+    }
+
+    fn exec_inner(
+        &mut self,
+        name: &str,
+        dims: &[(usize, i64, i64, i64)],
+        op: &InnerOp,
+    ) -> Result<(), RunError> {
+        match op {
+            InnerOp::Map(m) => self.exec_map(dims, m),
+            InnerOp::Fold(f) => self.exec_fold(name, dims, f),
+            InnerOp::Filter(f) => self.exec_filter(name, dims, f),
+            InnerOp::RegWrite(rw) => self.exec_regwrite(dims, rw),
+            InnerOp::LoadTile(t) => self.exec_tuplewise(dims, &mut |m| m.load_tile(t)),
+            InnerOp::StoreTile(t) => self.exec_tuplewise(dims, &mut |m| m.store_tile(t)),
+            InnerOp::Gather(g) => self.exec_tuplewise(dims, &mut |m| m.gather(g)),
+            InnerOp::Scatter(s) => self.exec_tuplewise(dims, &mut |m| m.scatter(s)),
+        }
+    }
+
+    fn exec_tuplewise(
+        &mut self,
+        dims: &[(usize, i64, i64, i64)],
+        act: &mut dyn FnMut(&mut Self) -> Result<(), RunError>,
+    ) -> Result<(), RunError> {
+        self.iterate(dims, 0, act)
+    }
+
+    fn exec_map(&mut self, dims: &[(usize, i64, i64, i64)], m: &MapPipe) -> Result<(), RunError> {
+        self.iterate(dims, 0, &mut |s| {
+            s.stats.body_invocations += 1;
+            s.cur_work.trips += 1;
+            let outs = s.eval(m.body, &[])?;
+            for w in &m.writes {
+                s.apply_write(w, &outs)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn exec_fold(
+        &mut self,
+        name: &str,
+        dims: &[(usize, i64, i64, i64)],
+        f: &FoldPipe,
+    ) -> Result<(), RunError> {
+        let n = f.combine.len();
+        let mut acc: Vec<Elem> = Vec::with_capacity(n);
+        for (slot, init) in f.init.iter().enumerate() {
+            match init {
+                FoldInit::Const(v) => acc.push(*v),
+                FoldInit::Resume => {
+                    let reg = f.out_regs[slot].ok_or_else(|| RunError::ResumeWithoutReg {
+                        ctrl: name.to_string(),
+                    })?;
+                    acc.push(self.regs[reg.0 as usize]);
+                }
+            }
+        }
+        self.iterate(dims, 0, &mut |s| {
+            s.stats.body_invocations += 1;
+            s.cur_work.trips += 1;
+            let outs = s.eval(f.map, &[])?;
+            for slot in 0..n {
+                acc[slot] = eval_binop(f.combine[slot], acc[slot], outs[slot])?;
+            }
+            Ok(())
+        })?;
+        for (slot, reg) in f.out_regs.iter().enumerate() {
+            if let Some(r) = reg {
+                self.regs[r.0 as usize] = acc[slot];
+            }
+        }
+        for w in &f.writes {
+            self.apply_write(w, &acc)?;
+        }
+        Ok(())
+    }
+
+    fn exec_filter(
+        &mut self,
+        name: &str,
+        dims: &[(usize, i64, i64, i64)],
+        f: &FilterPipe,
+    ) -> Result<(), RunError> {
+        let k = self.prog.func(f.body).outputs().len() - 1;
+        let cap = self.prog.sram(f.out).capacity();
+        let mut count: i64 = 0;
+        self.iterate(dims, 0, &mut |s| {
+            s.stats.body_invocations += 1;
+            s.cur_work.trips += 1;
+            let outs = s.eval(f.body, &[])?;
+            if outs[k].is_truthy() {
+                if (count as usize + 1) * k > cap {
+                    return Err(RunError::FilterOverflow {
+                        ctrl: name.to_string(),
+                    });
+                }
+                for (j, &v) in outs[..k].iter().enumerate() {
+                    s.stats.sram_writes += 1;
+                    s.sram_write_linear(f.out, count * k as i64 + j as i64, v)?;
+                }
+                count += 1;
+            }
+            Ok(())
+        })?;
+        self.cur_work.emitted = count as u64;
+        self.regs[f.count_reg.0 as usize] = Elem::I32(count as i32);
+        Ok(())
+    }
+
+    fn exec_regwrite(
+        &mut self,
+        dims: &[(usize, i64, i64, i64)],
+        rw: &RegWrite,
+    ) -> Result<(), RunError> {
+        self.iterate(dims, 0, &mut |s| {
+            s.cur_work.trips += 1;
+            let v = s.eval_scalar(rw.func)?;
+            s.regs[rw.reg.0 as usize] = v;
+            Ok(())
+        })
+    }
+
+    fn load_tile(&mut self, t: &TileTransfer) -> Result<(), RunError> {
+        let base = self.eval_scalar(t.dram_base)?.as_i32()? as i64;
+        for r in 0..t.rows {
+            self.cur_work.dram.push(DramRange {
+                dram: t.dram,
+                offset: base + (r * t.dram_row_stride) as i64,
+                len: t.cols as u32,
+                is_write: false,
+            });
+            self.cur_work.trips += t.cols as u64;
+            for c in 0..t.cols {
+                let v = self.dram_read(t.dram, base + (r * t.dram_row_stride + c) as i64)?;
+                self.stats.dram_reads += 1;
+                self.sram_write_linear(t.sram, (r * t.cols + c) as i64, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn store_tile(&mut self, t: &TileTransfer) -> Result<(), RunError> {
+        let base = self.eval_scalar(t.dram_base)?.as_i32()? as i64;
+        for r in 0..t.rows {
+            self.cur_work.dram.push(DramRange {
+                dram: t.dram,
+                offset: base + (r * t.dram_row_stride) as i64,
+                len: t.cols as u32,
+                is_write: true,
+            });
+            self.cur_work.trips += t.cols as u64;
+            for c in 0..t.cols {
+                let v = self.sram_read_linear(t.sram, (r * t.cols + c) as i64)?;
+                self.stats.dram_writes += 1;
+                self.dram_write(t.dram, base + (r * t.dram_row_stride + c) as i64, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn gather(&mut self, g: &GatherOp) -> Result<(), RunError> {
+        let base = self.eval_scalar(g.base)?.as_i32()? as i64;
+        let len = self.resolve_bound(g.len)?;
+        let ib = self.resolve_bound(g.idx_base)?;
+        for i in 0..len {
+            let idx = self.sram_read_linear(g.indices, ib + i)?.as_i32()? as i64;
+            self.cur_work.dram.push(DramRange {
+                dram: g.dram,
+                offset: base + idx,
+                len: 1,
+                is_write: false,
+            });
+            self.cur_work.trips += 1;
+            let v = self.dram_read(g.dram, base + idx)?;
+            self.stats.dram_reads += 1;
+            self.sram_write_linear(g.dst, i, v)?;
+        }
+        Ok(())
+    }
+
+    fn scatter(&mut self, s: &ScatterOp) -> Result<(), RunError> {
+        let base = self.eval_scalar(s.base)?.as_i32()? as i64;
+        let len = self.resolve_bound(s.len)?;
+        let ib = self.resolve_bound(s.idx_base)?;
+        for i in 0..len {
+            let idx = self.sram_read_linear(s.indices, ib + i)?.as_i32()? as i64;
+            self.cur_work.dram.push(DramRange {
+                dram: s.dram,
+                offset: base + idx,
+                len: 1,
+                is_write: true,
+            });
+            self.cur_work.trips += 1;
+            let v = self.sram_read_linear(s.src, i)?;
+            self.stats.dram_writes += 1;
+            self.dram_write(s.dram, base + idx, v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::Schedule;
+    use crate::expr::BinOp;
+    use crate::program::ProgramBuilder;
+    use crate::types::DType;
+
+    /// out[i] = a[i] + b[i] over a 16-element tile loaded from DRAM.
+    fn build_vadd() -> (Program, DramId, DramId, DramId) {
+        let mut b = ProgramBuilder::new("vadd");
+        let da = b.dram("a", DType::F32, 16);
+        let db = b.dram("b", DType::F32, 16);
+        let dc = b.dram("c", DType::F32, 16);
+        let sa = b.sram("ta", DType::F32, &[16]);
+        let sb = b.sram("tb", DType::F32, &[16]);
+        let sc = b.sram("tc", DType::F32, &[16]);
+
+        let mut zero = Func::new("zero");
+        let z = zero.konst(Elem::I32(0));
+        zero.set_outputs(vec![z]);
+        let zero = b.func(zero);
+
+        let lda = b.inner(
+            "load_a",
+            vec![],
+            InnerOp::LoadTile(TileTransfer {
+                dram: da,
+                dram_base: zero,
+                rows: 1,
+                cols: 16,
+                dram_row_stride: 16,
+                sram: sa,
+            }),
+        );
+        let ldb = b.inner(
+            "load_b",
+            vec![],
+            InnerOp::LoadTile(TileTransfer {
+                dram: db,
+                dram_base: zero,
+                rows: 1,
+                cols: 16,
+                dram_row_stride: 16,
+                sram: sb,
+            }),
+        );
+
+        let i = b.counter(0, 16, 1, 4);
+        let idx = i.index;
+        let mut body = Func::new("add");
+        let ii = body.index(idx);
+        let av = body.load(sa, vec![ii]);
+        let bv = body.load(sb, vec![ii]);
+        let sum = body.binary(BinOp::Add, av, bv);
+        body.set_outputs(vec![sum]);
+        let body = b.func(body);
+        let mut addr = Func::new("addr");
+        let ii = addr.index(idx);
+        addr.set_outputs(vec![ii]);
+        let addr = b.func(addr);
+        let add = b.inner(
+            "add",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: sc,
+                    addr,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                }],
+            }),
+        );
+        let st = b.inner(
+            "store_c",
+            vec![],
+            InnerOp::StoreTile(TileTransfer {
+                dram: dc,
+                dram_base: zero,
+                rows: 1,
+                cols: 16,
+                dram_row_stride: 16,
+                sram: sc,
+            }),
+        );
+        let root = b.outer(
+            "root",
+            Schedule::Sequential,
+            vec![],
+            vec![lda, ldb, add, st],
+        );
+        (b.finish(root).unwrap(), da, db, dc)
+    }
+
+    #[test]
+    fn vadd_end_to_end() {
+        let (p, da, db, dc) = build_vadd();
+        let mut m = Machine::new(&p);
+        let a: Vec<Elem> = (0..16).map(|i| Elem::F32(i as f32)).collect();
+        let bv: Vec<Elem> = (0..16).map(|i| Elem::F32(10.0 * i as f32)).collect();
+        m.write_dram(da, &a);
+        m.write_dram(db, &bv);
+        m.run().unwrap();
+        for i in 0..16 {
+            assert_eq!(m.dram_data(dc)[i], Elem::F32(11.0 * i as f32));
+        }
+        assert_eq!(m.stats.body_invocations, 16);
+        assert_eq!(m.stats.dram_reads, 32);
+        assert_eq!(m.stats.dram_writes, 16);
+    }
+
+    #[test]
+    fn fold_sums_indices() {
+        let mut b = ProgramBuilder::new("sum");
+        let r = b.reg("acc", DType::I32);
+        let i = b.counter(0, 10, 1, 1);
+        let mut map = Func::new("id");
+        let ii = map.index(i.index);
+        map.set_outputs(vec![ii]);
+        let map = b.func(map);
+        let fold = b.inner(
+            "sum",
+            vec![i],
+            InnerOp::Fold(FoldPipe {
+                map,
+                combine: vec![BinOp::Add],
+                init: vec![FoldInit::Const(Elem::I32(0))],
+                out_regs: vec![Some(r)],
+                writes: vec![],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![fold]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        m.run().unwrap();
+        assert_eq!(m.reg(r), Elem::I32(45));
+    }
+
+    #[test]
+    fn fold_resume_accumulates_across_invocations() {
+        let mut b = ProgramBuilder::new("resume");
+        let r = b.reg("acc", DType::I32);
+        let outer_i = b.counter(0, 3, 1, 1);
+        let inner_i = b.counter(0, 4, 1, 1);
+        let mut map = Func::new("one");
+        let one = map.konst(Elem::I32(1));
+        map.set_outputs(vec![one]);
+        let map = b.func(map);
+        let fold = b.inner(
+            "count",
+            vec![inner_i],
+            InnerOp::Fold(FoldPipe {
+                map,
+                combine: vec![BinOp::Add],
+                init: vec![FoldInit::Resume],
+                out_regs: vec![Some(r)],
+                writes: vec![],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![outer_i], vec![fold]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        m.run().unwrap();
+        // 3 outer iterations x 4 inner elements
+        assert_eq!(m.reg(r), Elem::I32(12));
+    }
+
+    #[test]
+    fn filter_compacts_and_counts() {
+        let mut b = ProgramBuilder::new("filter");
+        let out = b.sram("out", DType::I32, &[16]);
+        let cnt = b.reg("cnt", DType::I32);
+        let i = b.counter(0, 10, 1, 1);
+        let mut body = Func::new("even");
+        let ii = body.index(i.index);
+        let two = body.konst(Elem::I32(2));
+        let m2 = body.binary(BinOp::Rem, ii, two);
+        let zero = body.konst(Elem::I32(0));
+        let pred = body.binary(BinOp::Eq, m2, zero);
+        body.set_outputs(vec![ii, pred]);
+        let body = b.func(body);
+        let fi = b.inner(
+            "keep_even",
+            vec![i],
+            InnerOp::Filter(FilterPipe {
+                body,
+                out,
+                count_reg: cnt,
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![fi]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        m.run().unwrap();
+        assert_eq!(m.reg(cnt), Elem::I32(5));
+        let got: Vec<i32> = (0..5)
+            .map(|i| m.sram_data(out)[i].as_i32().unwrap())
+            .collect();
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let mut b = ProgramBuilder::new("gs");
+        let src = b.dram("src", DType::I32, 32);
+        let dst = b.dram("dst", DType::I32, 32);
+        let idx = b.sram("idx", DType::I32, &[8]);
+        let tmp = b.sram("tmp", DType::I32, &[8]);
+        let mut zero = Func::new("zero");
+        let z = zero.konst(Elem::I32(0));
+        zero.set_outputs(vec![z]);
+        let zero = b.func(zero);
+
+        // Fill idx[i] = 3*i (on-chip) so gather pulls a strided pattern.
+        let i = b.counter(0, 8, 1, 1);
+        let mut body = Func::new("idxgen");
+        let ii = body.index(i.index);
+        let three = body.konst(Elem::I32(3));
+        let v = body.binary(BinOp::Mul, ii, three);
+        body.set_outputs(vec![v]);
+        let body = b.func(body);
+        let mut addr = Func::new("addr");
+        let ii = addr.index(i.index);
+        addr.set_outputs(vec![ii]);
+        let addr = b.func(addr);
+        let gen = b.inner(
+            "idxgen",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: idx,
+                    addr,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                }],
+            }),
+        );
+        let ga = b.inner(
+            "gather",
+            vec![],
+            InnerOp::Gather(GatherOp {
+                dram: src,
+                base: zero,
+                indices: idx,
+                idx_base: CBound::Const(0),
+                dst: tmp,
+                len: CBound::Const(8),
+            }),
+        );
+        let sc = b.inner(
+            "scatter",
+            vec![],
+            InnerOp::Scatter(ScatterOp {
+                dram: dst,
+                base: zero,
+                indices: idx,
+                idx_base: CBound::Const(0),
+                src: tmp,
+                len: CBound::Const(8),
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![gen, ga, sc]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        let data: Vec<Elem> = (0..32).map(|i| Elem::I32(100 + i)).collect();
+        m.write_dram(src, &data);
+        m.run().unwrap();
+        for i in 0..8 {
+            assert_eq!(m.dram_data(dst)[3 * i], Elem::I32(100 + 3 * i as i32));
+        }
+    }
+
+    #[test]
+    fn reg_dependent_bound() {
+        let mut b = ProgramBuilder::new("dyn");
+        let n = b.reg("n", DType::I32);
+        let acc = b.reg("acc", DType::I32);
+        // n = 7
+        let mut setn = Func::new("setn");
+        let seven = setn.konst(Elem::I32(7));
+        setn.set_outputs(vec![seven]);
+        let setn = b.func(setn);
+        let set = b.inner(
+            "setn",
+            vec![],
+            InnerOp::RegWrite(RegWrite { reg: n, func: setn }),
+        );
+        // acc = sum over 0..n of 1
+        let i = b.counter(CBound::Const(0), CBound::Reg(n), 1, 1);
+        let mut one = Func::new("one");
+        let o = one.konst(Elem::I32(1));
+        one.set_outputs(vec![o]);
+        let one = b.func(one);
+        let fold = b.inner(
+            "count",
+            vec![i],
+            InnerOp::Fold(FoldPipe {
+                map: one,
+                combine: vec![BinOp::Add],
+                init: vec![FoldInit::Const(Elem::I32(0))],
+                out_regs: vec![Some(acc)],
+                writes: vec![],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![set, fold]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        m.run().unwrap();
+        assert_eq!(m.reg(acc), Elem::I32(7));
+    }
+
+    #[test]
+    fn sram_oob_reported() {
+        let mut b = ProgramBuilder::new("oob");
+        let out = b.sram("out", DType::I32, &[4]);
+        let i = b.counter(0, 8, 1, 1);
+        let mut body = Func::new("id");
+        let ii = body.index(i.index);
+        body.set_outputs(vec![ii]);
+        let body = b.func(body);
+        let mut addr = Func::new("addr");
+        let ii = addr.index(i.index);
+        addr.set_outputs(vec![ii]);
+        let addr = b.func(addr);
+        let mp = b.inner(
+            "p",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: out,
+                    addr,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                }],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![mp]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        assert!(matches!(m.run(), Err(RunError::SramOob { .. })));
+    }
+
+    #[test]
+    fn accumulate_write_is_dense_hash_reduce() {
+        // Histogram: bins[i % 3] += 1 — the canonical dense HashReduce.
+        let mut b = ProgramBuilder::new("hist");
+        let bins = b.sram("bins", DType::I32, &[3]);
+        let i = b.counter(0, 9, 1, 1);
+        let mut body = Func::new("one");
+        let o = body.konst(Elem::I32(1));
+        body.set_outputs(vec![o]);
+        let body = b.func(body);
+        let mut key = Func::new("key");
+        let ii = key.index(i.index);
+        let three = key.konst(Elem::I32(3));
+        let k = key.binary(BinOp::Rem, ii, three);
+        key.set_outputs(vec![k]);
+        let key = b.func(key);
+        let mp = b.inner(
+            "hist",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: bins,
+                    addr: key,
+                    value_slot: 0,
+                    mode: WriteMode::Accumulate(BinOp::Add),
+                }],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![mp]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        m.run().unwrap();
+        for i in 0..3 {
+            assert_eq!(m.sram_data(bins)[i], Elem::I32(3));
+        }
+    }
+}

@@ -1,0 +1,938 @@
+//! Whole-program container, builder API, and structural validation.
+//!
+//! A [`Program`] is the unit handed to the compiler and the host
+//! interpreter: memory declarations, expression functions, and a controller
+//! tree. Programs are constructed through [`ProgramBuilder`], which
+//! allocates all identifiers, and are immutable once built — the builder's
+//! [`finish`](ProgramBuilder::finish) runs a full structural validation so
+//! that downstream passes can index without re-checking.
+
+use crate::ctrl::{CBound, Controller, CtrlBody, CtrlId, Counter, InnerOp, Schedule};
+use crate::expr::{DramId, Expr, Func, FuncId, IndexId, ParamId, RegId, SramId};
+use crate::mem::{BankingMode, DramBuf, Param, Reg, Sram};
+use crate::types::DType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Structural validation error for a program under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A referenced id does not exist.
+    UnknownId {
+        /// Kind of object ("sram", "func", ...).
+        kind: &'static str,
+        /// The missing id.
+        id: u32,
+    },
+    /// A controller appears as a child of two parents (or of itself).
+    NotATree {
+        /// The offending controller id.
+        ctrl: u32,
+    },
+    /// The root controller is not an outer controller.
+    RootNotOuter,
+    /// A function references a loop index not defined on the path to its use.
+    IndexOutOfScope {
+        /// Function name.
+        func: String,
+        /// The out-of-scope index id.
+        index: u32,
+    },
+    /// A counter has a non-positive stride or zero parallelization.
+    BadCounter {
+        /// Controller name.
+        ctrl: String,
+    },
+    /// An address function's output count does not match the target
+    /// scratchpad's dimensionality.
+    AddrArity {
+        /// Address function name.
+        func: String,
+        /// Scratchpad dimensionality.
+        expected: usize,
+        /// Coordinates the function produces.
+        found: usize,
+    },
+    /// A pipe write references an output slot the body does not produce.
+    BadValueSlot {
+        /// Controller name.
+        ctrl: String,
+        /// The nonexistent slot.
+        slot: usize,
+    },
+    /// Fold metadata lengths (combine/init/out_regs) disagree with the map
+    /// function's output count.
+    FoldArity {
+        /// Controller name.
+        ctrl: String,
+    },
+    /// A fold combine op is not associative.
+    NonAssociativeCombine {
+        /// Controller name.
+        ctrl: String,
+    },
+    /// A filter body has fewer than two outputs (needs ≥1 value + predicate).
+    FilterArity {
+        /// Controller name.
+        ctrl: String,
+    },
+    /// A tile transfer does not fit in its scratchpad.
+    TileTooLarge {
+        /// Controller name.
+        ctrl: String,
+    },
+    /// A function has no outputs where at least one is required.
+    NoOutputs {
+        /// Function name.
+        func: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnknownId { kind, id } => write!(f, "unknown {kind} id {id}"),
+            ValidateError::NotATree { ctrl } => {
+                write!(f, "controller {ctrl} has multiple parents")
+            }
+            ValidateError::RootNotOuter => write!(f, "root controller must be outer"),
+            ValidateError::IndexOutOfScope { func, index } => {
+                write!(f, "function `{func}` reads index {index} outside its scope")
+            }
+            ValidateError::BadCounter { ctrl } => {
+                write!(f, "controller `{ctrl}` has a counter with stride < 1 or par < 1")
+            }
+            ValidateError::AddrArity {
+                func,
+                expected,
+                found,
+            } => write!(
+                f,
+                "address function `{func}` produces {found} coordinates, scratchpad has {expected} dims"
+            ),
+            ValidateError::BadValueSlot { ctrl, slot } => {
+                write!(f, "controller `{ctrl}` writes from nonexistent output slot {slot}")
+            }
+            ValidateError::FoldArity { ctrl } => {
+                write!(f, "fold `{ctrl}` combine/init/out_regs lengths disagree with map outputs")
+            }
+            ValidateError::NonAssociativeCombine { ctrl } => {
+                write!(f, "fold `{ctrl}` uses a non-associative combine op")
+            }
+            ValidateError::FilterArity { ctrl } => {
+                write!(f, "filter `{ctrl}` body needs at least one value and a predicate output")
+            }
+            ValidateError::TileTooLarge { ctrl } => {
+                write!(f, "tile transfer `{ctrl}` exceeds scratchpad capacity")
+            }
+            ValidateError::NoOutputs { func } => write!(f, "function `{func}` has no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// An immutable, validated parallel-pattern program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    drams: Vec<DramBuf>,
+    srams: Vec<Sram>,
+    regs: Vec<Reg>,
+    params: Vec<Param>,
+    funcs: Vec<Func>,
+    ctrls: Vec<Controller>,
+    root: CtrlId,
+    num_indices: u32,
+}
+
+impl Program {
+    /// Program name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All DRAM buffers.
+    pub fn drams(&self) -> &[DramBuf] {
+        &self.drams
+    }
+
+    /// All scratchpads.
+    pub fn srams(&self) -> &[Sram] {
+        &self.srams
+    }
+
+    /// All scalar registers.
+    pub fn regs(&self) -> &[Reg] {
+        &self.regs
+    }
+
+    /// All runtime parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// All expression functions.
+    pub fn funcs(&self) -> &[Func] {
+        &self.funcs
+    }
+
+    /// All controllers (tree nodes).
+    pub fn ctrls(&self) -> &[Controller] {
+        &self.ctrls
+    }
+
+    /// The root controller.
+    pub fn root(&self) -> CtrlId {
+        self.root
+    }
+
+    /// Number of distinct loop indices allocated.
+    pub fn num_indices(&self) -> u32 {
+        self.num_indices
+    }
+
+    /// Looks up a DRAM buffer.
+    pub fn dram(&self, id: DramId) -> &DramBuf {
+        &self.drams[id.0 as usize]
+    }
+
+    /// Looks up a scratchpad.
+    pub fn sram(&self, id: SramId) -> &Sram {
+        &self.srams[id.0 as usize]
+    }
+
+    /// Looks up a register.
+    pub fn reg(&self, id: RegId) -> &Reg {
+        &self.regs[id.0 as usize]
+    }
+
+    /// Looks up a function.
+    pub fn func(&self, id: FuncId) -> &Func {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Looks up a controller.
+    pub fn ctrl(&self, id: CtrlId) -> &Controller {
+        &self.ctrls[id.0 as usize]
+    }
+
+    /// Iterates the controller tree depth-first (parents before children),
+    /// calling `f` with (id, depth).
+    pub fn walk(&self, mut f: impl FnMut(CtrlId, usize)) {
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((id, depth)) = stack.pop() {
+            f(id, depth);
+            if let CtrlBody::Outer { children, .. } = &self.ctrl(id).body {
+                for &c in children.iter().rev() {
+                    stack.push((c, depth + 1));
+                }
+            }
+        }
+    }
+
+    /// All inner (leaf) controllers in program order.
+    pub fn inner_ctrls(&self) -> Vec<CtrlId> {
+        let mut out = Vec::new();
+        self.walk(|id, _| {
+            if !self.ctrl(id).is_outer() {
+                out.push(id);
+            }
+        });
+        out
+    }
+
+    /// Total number of ALU operations across all functions — a proxy for the
+    /// application's compute footprint, used by the area models.
+    pub fn total_ops(&self) -> usize {
+        self.funcs.iter().map(|f| f.num_ops()).sum()
+    }
+
+    /// A copy of the program with every outer controller's schedule mapped
+    /// through `f` (used by the control-scheme ablation studies; the tree
+    /// structure is unchanged, so the result stays valid).
+    pub fn with_schedules(&self, f: impl Fn(Schedule) -> Schedule) -> Program {
+        let mut p = self.clone();
+        for c in &mut p.ctrls {
+            if let CtrlBody::Outer { schedule, .. } = &mut c.body {
+                *schedule = f(*schedule);
+            }
+        }
+        p
+    }
+
+    /// A copy of the program with one scratchpad's banking mode replaced
+    /// (used by the banking ablation studies).
+    pub fn with_banking(&self, sram: SramId, banking: BankingMode) -> Program {
+        let mut p = self.clone();
+        p.srams[sram.0 as usize].banking = banking;
+        p
+    }
+}
+
+/// Incremental builder for [`Program`]s.
+///
+/// # Examples
+///
+/// ```
+/// use plasticine_ppir::*;
+/// let mut b = ProgramBuilder::new("axpy");
+/// let x = b.dram("x", DType::F32, 64);
+/// let y = b.dram("y", DType::F32, 64);
+/// # let _ = (x, y);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    drams: Vec<DramBuf>,
+    srams: Vec<Sram>,
+    regs: Vec<Reg>,
+    params: Vec<Param>,
+    funcs: Vec<Func>,
+    ctrls: Vec<Controller>,
+    num_indices: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            drams: Vec::new(),
+            srams: Vec::new(),
+            regs: Vec::new(),
+            params: Vec::new(),
+            funcs: Vec::new(),
+            ctrls: Vec::new(),
+            num_indices: 0,
+        }
+    }
+
+    /// Declares a DRAM buffer.
+    pub fn dram(&mut self, name: &str, dtype: DType, len: usize) -> DramId {
+        self.drams.push(DramBuf {
+            name: name.into(),
+            dtype,
+            len,
+        });
+        DramId(self.drams.len() as u32 - 1)
+    }
+
+    /// Declares a scratchpad with default (strided) banking.
+    pub fn sram(&mut self, name: &str, dtype: DType, dims: &[usize]) -> SramId {
+        self.sram_banked(name, dtype, dims, BankingMode::Strided)
+    }
+
+    /// Declares a scratchpad with an explicit banking mode.
+    pub fn sram_banked(
+        &mut self,
+        name: &str,
+        dtype: DType,
+        dims: &[usize],
+        banking: BankingMode,
+    ) -> SramId {
+        self.srams.push(Sram {
+            name: name.into(),
+            dtype,
+            dims: dims.to_vec(),
+            banking,
+            nbuf: None,
+        });
+        SramId(self.srams.len() as u32 - 1)
+    }
+
+    /// Declares a scalar register.
+    pub fn reg(&mut self, name: &str, dtype: DType) -> RegId {
+        self.regs.push(Reg {
+            name: name.into(),
+            dtype,
+        });
+        RegId(self.regs.len() as u32 - 1)
+    }
+
+    /// Declares a runtime parameter.
+    pub fn param(&mut self, name: &str, dtype: DType) -> ParamId {
+        self.params.push(Param {
+            name: name.into(),
+            dtype,
+        });
+        ParamId(self.params.len() as u32 - 1)
+    }
+
+    /// Allocates a fresh loop index.
+    pub fn fresh_index(&mut self) -> IndexId {
+        let id = IndexId(self.num_indices);
+        self.num_indices += 1;
+        id
+    }
+
+    /// Registers a function.
+    pub fn func(&mut self, f: Func) -> FuncId {
+        self.funcs.push(f);
+        FuncId(self.funcs.len() as u32 - 1)
+    }
+
+    /// Creates a counter (allocating its index) for chaining into a
+    /// controller. `par` is the parallelization factor.
+    pub fn counter(
+        &mut self,
+        min: impl Into<CBound>,
+        max: impl Into<CBound>,
+        stride: i64,
+        par: usize,
+    ) -> Counter {
+        Counter {
+            index: self.fresh_index(),
+            min: min.into(),
+            max: max.into(),
+            stride,
+            par,
+        }
+    }
+
+    /// Adds an outer controller.
+    pub fn outer(
+        &mut self,
+        name: &str,
+        schedule: Schedule,
+        cchain: Vec<Counter>,
+        children: Vec<CtrlId>,
+    ) -> CtrlId {
+        self.ctrls.push(Controller {
+            name: name.into(),
+            cchain,
+            body: CtrlBody::Outer { schedule, children },
+        });
+        CtrlId(self.ctrls.len() as u32 - 1)
+    }
+
+    /// Adds an inner (leaf) controller.
+    pub fn inner(&mut self, name: &str, cchain: Vec<Counter>, op: InnerOp) -> CtrlId {
+        self.ctrls.push(Controller {
+            name: name.into(),
+            cchain,
+            body: CtrlBody::Inner(op),
+        });
+        CtrlId(self.ctrls.len() as u32 - 1)
+    }
+
+    /// Validates and freezes the program with `root` as the tree root.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found. Validation checks id
+    /// ranges, tree shape, counter sanity, index scoping, write arities,
+    /// fold metadata, and tile sizes.
+    pub fn finish(self, root: CtrlId) -> Result<Program, ValidateError> {
+        let p = Program {
+            name: self.name,
+            drams: self.drams,
+            srams: self.srams,
+            regs: self.regs,
+            params: self.params,
+            funcs: self.funcs,
+            ctrls: self.ctrls,
+            root,
+            num_indices: self.num_indices,
+        };
+        validate(&p)?;
+        Ok(p)
+    }
+}
+
+fn check_ctrl_id(p: &Program, id: CtrlId) -> Result<(), ValidateError> {
+    if (id.0 as usize) < p.ctrls.len() {
+        Ok(())
+    } else {
+        Err(ValidateError::UnknownId {
+            kind: "controller",
+            id: id.0,
+        })
+    }
+}
+
+fn check_func_id(p: &Program, id: FuncId) -> Result<&Func, ValidateError> {
+    p.funcs
+        .get(id.0 as usize)
+        .ok_or(ValidateError::UnknownId {
+            kind: "func",
+            id: id.0,
+        })
+}
+
+fn check_sram_id(p: &Program, id: SramId) -> Result<&Sram, ValidateError> {
+    p.srams
+        .get(id.0 as usize)
+        .ok_or(ValidateError::UnknownId {
+            kind: "sram",
+            id: id.0,
+        })
+}
+
+fn check_dram_id(p: &Program, id: DramId) -> Result<&DramBuf, ValidateError> {
+    p.drams
+        .get(id.0 as usize)
+        .ok_or(ValidateError::UnknownId {
+            kind: "dram",
+            id: id.0,
+        })
+}
+
+fn check_reg_id(p: &Program, id: RegId) -> Result<&Reg, ValidateError> {
+    p.regs.get(id.0 as usize).ok_or(ValidateError::UnknownId {
+        kind: "reg",
+        id: id.0,
+    })
+}
+
+/// Checks that a function only references in-scope indices and existing ids.
+fn check_func_scope(
+    p: &Program,
+    fid: FuncId,
+    scope: &HashSet<IndexId>,
+    require_output: bool,
+) -> Result<(), ValidateError> {
+    let f = check_func_id(p, fid)?;
+    if require_output && f.outputs().is_empty() {
+        return Err(ValidateError::NoOutputs {
+            func: f.name().to_string(),
+        });
+    }
+    for node in f.nodes() {
+        match node {
+            Expr::Index(i) => {
+                if !scope.contains(i) {
+                    return Err(ValidateError::IndexOutOfScope {
+                        func: f.name().to_string(),
+                        index: i.0,
+                    });
+                }
+            }
+            Expr::Param(pp) => {
+                if pp.0 as usize >= p.params.len() {
+                    return Err(ValidateError::UnknownId {
+                        kind: "param",
+                        id: pp.0,
+                    });
+                }
+            }
+            Expr::ReadReg(r) => {
+                check_reg_id(p, *r)?;
+            }
+            Expr::Load { mem, addr } => {
+                let s = check_sram_id(p, *mem)?;
+                if addr.len() != s.dims.len() {
+                    return Err(ValidateError::AddrArity {
+                        func: f.name().to_string(),
+                        expected: s.dims.len(),
+                        found: addr.len(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_cbound(p: &Program, b: CBound) -> Result<(), ValidateError> {
+    match b {
+        CBound::Const(_) => Ok(()),
+        CBound::Reg(r) => check_reg_id(p, r).map(|_| ()),
+        CBound::Param(pp) => {
+            if (pp.0 as usize) < p.params.len() {
+                Ok(())
+            } else {
+                Err(ValidateError::UnknownId {
+                    kind: "param",
+                    id: pp.0,
+                })
+            }
+        }
+    }
+}
+
+fn check_writes(
+    p: &Program,
+    ctrl_name: &str,
+    writes: &[crate::ctrl::PipeWrite],
+    n_slots: usize,
+    scope: &HashSet<IndexId>,
+) -> Result<(), ValidateError> {
+    for w in writes {
+        let s = check_sram_id(p, w.sram)?;
+        let af = check_func_id(p, w.addr)?;
+        if af.outputs().len() != s.dims.len() {
+            return Err(ValidateError::AddrArity {
+                func: af.name().to_string(),
+                expected: s.dims.len(),
+                found: af.outputs().len(),
+            });
+        }
+        check_func_scope(p, w.addr, scope, true)?;
+        if w.value_slot >= n_slots {
+            return Err(ValidateError::BadValueSlot {
+                ctrl: ctrl_name.to_string(),
+                slot: w.value_slot,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Full structural validation (run automatically by
+/// [`ProgramBuilder::finish`]).
+pub fn validate(p: &Program) -> Result<(), ValidateError> {
+    check_ctrl_id(p, p.root)?;
+    if !p.ctrl(p.root).is_outer() {
+        return Err(ValidateError::RootNotOuter);
+    }
+
+    // Tree shape: every controller has at most one parent and no controller
+    // is its own ancestor.
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(p.root.0);
+    let mut stack = vec![(p.root, HashSet::<IndexId>::new())];
+    while let Some((id, mut scope)) = stack.pop() {
+        let c = p.ctrl(id);
+        for cnt in &c.cchain {
+            if cnt.stride < 1 || cnt.par < 1 {
+                return Err(ValidateError::BadCounter {
+                    ctrl: c.name.clone(),
+                });
+            }
+            check_cbound(p, cnt.min)?;
+            check_cbound(p, cnt.max)?;
+            scope.insert(cnt.index);
+        }
+        match &c.body {
+            CtrlBody::Outer { children, .. } => {
+                for &ch in children {
+                    check_ctrl_id(p, ch)?;
+                    if !seen.insert(ch.0) {
+                        return Err(ValidateError::NotATree { ctrl: ch.0 });
+                    }
+                    stack.push((ch, scope.clone()));
+                }
+            }
+            CtrlBody::Inner(op) => check_inner(p, c, op, &scope)?,
+        }
+    }
+    Ok(())
+}
+
+fn check_inner(
+    p: &Program,
+    c: &Controller,
+    op: &InnerOp,
+    scope: &HashSet<IndexId>,
+) -> Result<(), ValidateError> {
+    // Scope for functions that run *after* the pipe's own counters finish
+    // (fold finals): ancestors only.
+    let outer_scope: HashSet<IndexId> = {
+        let own: HashSet<IndexId> = c.cchain.iter().map(|k| k.index).collect();
+        scope.difference(&own).copied().collect()
+    };
+    match op {
+        InnerOp::LoadTile(t) | InnerOp::StoreTile(t) => {
+            check_dram_id(p, t.dram)?;
+            let s = check_sram_id(p, t.sram)?;
+            check_func_scope(p, t.dram_base, &outer_scope, true)?;
+            if t.rows * t.cols > s.capacity() {
+                return Err(ValidateError::TileTooLarge {
+                    ctrl: c.name.clone(),
+                });
+            }
+        }
+        InnerOp::Gather(g) => {
+            check_dram_id(p, g.dram)?;
+            check_sram_id(p, g.indices)?;
+            check_sram_id(p, g.dst)?;
+            check_func_scope(p, g.base, &outer_scope, true)?;
+            check_cbound(p, g.len)?;
+            check_cbound(p, g.idx_base)?;
+        }
+        InnerOp::Scatter(s) => {
+            check_dram_id(p, s.dram)?;
+            check_sram_id(p, s.indices)?;
+            check_sram_id(p, s.src)?;
+            check_func_scope(p, s.base, &outer_scope, true)?;
+            check_cbound(p, s.len)?;
+            check_cbound(p, s.idx_base)?;
+        }
+        InnerOp::Map(m) => {
+            let body = check_func_id(p, m.body)?;
+            let n = body.outputs().len();
+            check_func_scope(p, m.body, scope, true)?;
+            check_writes(p, &c.name, &m.writes, n, scope)?;
+        }
+        InnerOp::Fold(fl) => {
+            let map = check_func_id(p, fl.map)?;
+            let n = map.outputs().len();
+            check_func_scope(p, fl.map, scope, true)?;
+            if fl.combine.len() != n || fl.init.len() != n || fl.out_regs.len() != n {
+                return Err(ValidateError::FoldArity {
+                    ctrl: c.name.clone(),
+                });
+            }
+            for op in &fl.combine {
+                if !op.is_associative() {
+                    return Err(ValidateError::NonAssociativeCombine {
+                        ctrl: c.name.clone(),
+                    });
+                }
+            }
+            for r in fl.out_regs.iter().flatten() {
+                check_reg_id(p, *r)?;
+            }
+            check_writes(p, &c.name, &fl.writes, n, &outer_scope)?;
+        }
+        InnerOp::Filter(fi) => {
+            let body = check_func_id(p, fi.body)?;
+            if body.outputs().len() < 2 {
+                return Err(ValidateError::FilterArity {
+                    ctrl: c.name.clone(),
+                });
+            }
+            check_func_scope(p, fi.body, scope, true)?;
+            check_sram_id(p, fi.out)?;
+            check_reg_id(p, fi.count_reg)?;
+        }
+        InnerOp::RegWrite(rw) => {
+            check_reg_id(p, rw.reg)?;
+            check_func_scope(p, rw.func, scope, true)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::{FilterPipe, FoldInit, FoldPipe, MapPipe, PipeWrite, WriteMode};
+    use crate::expr::BinOp;
+    use crate::types::Elem;
+
+    /// Builds a trivial valid program: out[i] = 2 * i for i in 0..16.
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        let out = b.sram("out", DType::I32, &[16]);
+        let i = b.counter(0, 16, 1, 1);
+        let idx = i.index;
+        let mut body = Func::new("body");
+        let iv = body.index(idx);
+        let two = body.konst(Elem::I32(2));
+        let v = body.binary(BinOp::Mul, iv, two);
+        body.set_outputs(vec![v]);
+        let mut addr = Func::new("addr");
+        let a = addr.index(idx);
+        addr.set_outputs(vec![a]);
+        let body = b.func(body);
+        let addr = b.func(addr);
+        let pipe = b.inner(
+            "double",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: out,
+                    addr,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                }],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
+        b.finish(root).expect("tiny program validates")
+    }
+
+    #[test]
+    fn tiny_program_validates() {
+        let p = tiny();
+        assert_eq!(p.inner_ctrls().len(), 1);
+        assert_eq!(p.total_ops(), 1);
+        assert_eq!(p.num_indices(), 1);
+    }
+
+    #[test]
+    fn root_must_be_outer() {
+        let mut b = ProgramBuilder::new("bad");
+        let r = b.reg("r", DType::I32);
+        let mut f = Func::new("f");
+        let c = f.konst(Elem::I32(1));
+        f.set_outputs(vec![c]);
+        let f = b.func(f);
+        let inner = b.inner("i", vec![], InnerOp::RegWrite(crate::ctrl::RegWrite { reg: r, func: f }));
+        assert_eq!(b.finish(inner), Err(ValidateError::RootNotOuter));
+    }
+
+    #[test]
+    fn duplicate_child_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let r = b.reg("r", DType::I32);
+        let mut f = Func::new("f");
+        let c = f.konst(Elem::I32(1));
+        f.set_outputs(vec![c]);
+        let f = b.func(f);
+        let inner = b.inner("i", vec![], InnerOp::RegWrite(crate::ctrl::RegWrite { reg: r, func: f }));
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![inner, inner]);
+        assert!(matches!(b.finish(root), Err(ValidateError::NotATree { .. })));
+    }
+
+    #[test]
+    fn out_of_scope_index_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let out = b.sram("out", DType::I32, &[16]);
+        let stray = b.fresh_index();
+        let i = b.counter(0, 16, 1, 1);
+        let mut body = Func::new("body");
+        let iv = body.index(stray); // not defined by any counter on the path
+        body.set_outputs(vec![iv]);
+        let mut addr = Func::new("addr");
+        let a = addr.index(i.index);
+        addr.set_outputs(vec![a]);
+        let body = b.func(body);
+        let addr = b.func(addr);
+        let pipe = b.inner(
+            "p",
+            vec![i],
+            InnerOp::Map(MapPipe {
+                body,
+                writes: vec![PipeWrite {
+                    sram: out,
+                    addr,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                }],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
+        assert!(matches!(
+            b.finish(root),
+            Err(ValidateError::IndexOutOfScope { .. })
+        ));
+    }
+
+    #[test]
+    fn fold_rejects_non_associative_combine() {
+        let mut b = ProgramBuilder::new("bad");
+        let r = b.reg("acc", DType::I32);
+        let i = b.counter(0, 8, 1, 1);
+        let mut map = Func::new("m");
+        let iv = map.index(i.index);
+        map.set_outputs(vec![iv]);
+        let map = b.func(map);
+        let pipe = b.inner(
+            "f",
+            vec![i],
+            InnerOp::Fold(FoldPipe {
+                map,
+                combine: vec![BinOp::Sub],
+                init: vec![FoldInit::Const(Elem::I32(0))],
+                out_regs: vec![Some(r)],
+                writes: vec![],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
+        assert!(matches!(
+            b.finish(root),
+            Err(ValidateError::NonAssociativeCombine { .. })
+        ));
+    }
+
+    #[test]
+    fn fold_arity_mismatch_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let r = b.reg("acc", DType::I32);
+        let i = b.counter(0, 8, 1, 1);
+        let mut map = Func::new("m");
+        let iv = map.index(i.index);
+        map.set_outputs(vec![iv]);
+        let map = b.func(map);
+        let pipe = b.inner(
+            "f",
+            vec![i],
+            InnerOp::Fold(FoldPipe {
+                map,
+                combine: vec![BinOp::Add, BinOp::Add],
+                init: vec![FoldInit::Const(Elem::I32(0))],
+                out_regs: vec![Some(r)],
+                writes: vec![],
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
+        assert!(matches!(b.finish(root), Err(ValidateError::FoldArity { .. })));
+    }
+
+    #[test]
+    fn filter_needs_predicate() {
+        let mut b = ProgramBuilder::new("bad");
+        let out = b.sram("out", DType::I32, &[16]);
+        let cnt = b.reg("cnt", DType::I32);
+        let i = b.counter(0, 8, 1, 1);
+        let mut body = Func::new("b");
+        let iv = body.index(i.index);
+        body.set_outputs(vec![iv]); // only one output: no predicate
+        let body = b.func(body);
+        let pipe = b.inner(
+            "f",
+            vec![i],
+            InnerOp::Filter(FilterPipe {
+                body,
+                out,
+                count_reg: cnt,
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
+        assert!(matches!(b.finish(root), Err(ValidateError::FilterArity { .. })));
+    }
+
+    #[test]
+    fn tile_too_large_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let d = b.dram("d", DType::F32, 1024);
+        let s = b.sram("s", DType::F32, &[16]);
+        let mut base = Func::new("base");
+        let z = base.konst(Elem::I32(0));
+        base.set_outputs(vec![z]);
+        let base = b.func(base);
+        let pipe = b.inner(
+            "ld",
+            vec![],
+            InnerOp::LoadTile(crate::ctrl::TileTransfer {
+                dram: d,
+                dram_base: base,
+                rows: 2,
+                cols: 16,
+                dram_row_stride: 32,
+                sram: s,
+            }),
+        );
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
+        assert!(matches!(b.finish(root), Err(ValidateError::TileTooLarge { .. })));
+    }
+
+    #[test]
+    fn walk_visits_in_program_order() {
+        let p = tiny();
+        let mut order = Vec::new();
+        p.walk(|id, depth| order.push((id.0, depth)));
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0].1, 0); // root first
+        assert_eq!(order[1].1, 1);
+    }
+
+    #[test]
+    fn validate_error_messages_nonempty() {
+        let errs = [
+            ValidateError::RootNotOuter,
+            ValidateError::UnknownId { kind: "sram", id: 3 },
+            ValidateError::NotATree { ctrl: 1 },
+            ValidateError::FoldArity { ctrl: "x".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Execution traces: the bridge between functional execution and the
+//! cycle-accurate simulator.
+//!
+//! The reference interpreter can record *what work happened* — how many
+//! index tuples each leaf controller processed, which DRAM elements each
+//! transfer touched, how many groups a filter emitted — without any notion
+//! of time. The simulator replays this trace against a compiled machine
+//! configuration to obtain cycle counts, exactly as
+//! trace-driven memory-system simulators (DRAMSim2 among them) separate
+//! functional concerns from timing concerns.
+
+use crate::ctrl::CtrlId;
+use crate::expr::DramId;
+use serde::{Deserialize, Serialize};
+
+/// One contiguous run of DRAM elements touched by a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramRange {
+    /// Buffer touched.
+    pub dram: DramId,
+    /// First element offset.
+    pub offset: i64,
+    /// Elements (contiguous).
+    pub len: u32,
+    /// Write (store/scatter) or read (load/gather).
+    pub is_write: bool,
+}
+
+/// Work performed by one invocation of a leaf controller (a full sweep of
+/// its own counter chain).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LeafWork {
+    /// Index tuples processed.
+    pub trips: u64,
+    /// Groups emitted (filters only).
+    pub emitted: u64,
+    /// DRAM elements touched (transfers only). Dense rows appear as long
+    /// ranges; sparse accesses as single-element ranges in access order.
+    pub dram: Vec<DramRange>,
+}
+
+/// Receives structural events while the interpreter runs.
+///
+/// Events arrive in functional (program) order:
+/// `outer_enter → (outer_iter → child events...)* → outer_exit` for each
+/// outer-controller invocation, and one `leaf` per leaf invocation.
+pub trait TraceSink {
+    /// An outer controller's invocation begins.
+    fn outer_enter(&mut self, ctrl: CtrlId);
+    /// One iteration of the outer controller's own counter chain begins.
+    fn outer_iter(&mut self, ctrl: CtrlId);
+    /// The outer controller's invocation ends.
+    fn outer_exit(&mut self, ctrl: CtrlId);
+    /// A leaf controller completed one invocation.
+    fn leaf(&mut self, ctrl: CtrlId, work: LeafWork);
+}
+
+/// A sink that discards everything (used by plain `run`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn outer_enter(&mut self, _: CtrlId) {}
+    fn outer_iter(&mut self, _: CtrlId) {}
+    fn outer_exit(&mut self, _: CtrlId) {}
+    fn leaf(&mut self, _: CtrlId, _: LeafWork) {}
+}
+
+/// A recorded execution tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceNode {
+    /// An outer controller invocation: children grouped per own-iteration.
+    Outer {
+        /// The controller.
+        ctrl: CtrlId,
+        /// `iters[i]` holds the child invocations of iteration `i`, in
+        /// program order.
+        iters: Vec<Vec<TraceNode>>,
+    },
+    /// A leaf invocation.
+    Leaf {
+        /// The controller.
+        ctrl: CtrlId,
+        /// Its work.
+        work: LeafWork,
+    },
+}
+
+impl TraceNode {
+    /// The controller this node belongs to.
+    pub fn ctrl(&self) -> CtrlId {
+        match self {
+            TraceNode::Outer { ctrl, .. } | TraceNode::Leaf { ctrl, .. } => *ctrl,
+        }
+    }
+
+    /// Total leaf invocations in this subtree.
+    pub fn leaf_count(&self) -> u64 {
+        match self {
+            TraceNode::Leaf { .. } => 1,
+            TraceNode::Outer { iters, .. } => iters
+                .iter()
+                .flat_map(|c| c.iter())
+                .map(TraceNode::leaf_count)
+                .sum(),
+        }
+    }
+
+    /// Total index tuples across all leaf invocations.
+    pub fn total_trips(&self) -> u64 {
+        match self {
+            TraceNode::Leaf { work, .. } => work.trips,
+            TraceNode::Outer { iters, .. } => iters
+                .iter()
+                .flat_map(|c| c.iter())
+                .map(TraceNode::total_trips)
+                .sum(),
+        }
+    }
+}
+
+/// A [`TraceSink`] that builds the full [`TraceNode`] tree.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    /// Stack of (ctrl, iters-in-progress); the current iteration is the
+    /// last element of `iters`.
+    stack: Vec<(CtrlId, Vec<Vec<TraceNode>>)>,
+    root: Option<TraceNode>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// The finished trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if recording never happened or is unbalanced.
+    pub fn into_trace(self) -> TraceNode {
+        assert!(self.stack.is_empty(), "unbalanced trace recording");
+        self.root.expect("no trace recorded")
+    }
+
+    fn attach(&mut self, node: TraceNode) {
+        match self.stack.last_mut() {
+            Some((_, iters)) => {
+                if iters.is_empty() {
+                    // Leaf arriving before any outer_iter: tolerate by
+                    // opening an implicit iteration.
+                    iters.push(Vec::new());
+                }
+                iters.last_mut().expect("iteration open").push(node);
+            }
+            None => self.root = Some(node),
+        }
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn outer_enter(&mut self, ctrl: CtrlId) {
+        self.stack.push((ctrl, Vec::new()));
+    }
+
+    fn outer_iter(&mut self, ctrl: CtrlId) {
+        let (c, iters) = self.stack.last_mut().expect("outer_iter without enter");
+        debug_assert_eq!(*c, ctrl);
+        iters.push(Vec::new());
+    }
+
+    fn outer_exit(&mut self, ctrl: CtrlId) {
+        let (c, iters) = self.stack.pop().expect("outer_exit without enter");
+        assert_eq!(c, ctrl, "unbalanced outer controller events");
+        self.attach(TraceNode::Outer { ctrl, iters });
+    }
+
+    fn leaf(&mut self, ctrl: CtrlId, work: LeafWork) {
+        self.attach(TraceNode::Leaf { ctrl, work });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_builds_tree() {
+        let mut r = TraceRecorder::new();
+        r.outer_enter(CtrlId(0));
+        r.outer_iter(CtrlId(0));
+        r.leaf(
+            CtrlId(1),
+            LeafWork {
+                trips: 10,
+                ..LeafWork::default()
+            },
+        );
+        r.outer_iter(CtrlId(0));
+        r.leaf(
+            CtrlId(1),
+            LeafWork {
+                trips: 5,
+                ..LeafWork::default()
+            },
+        );
+        r.outer_exit(CtrlId(0));
+        let t = r.into_trace();
+        assert_eq!(t.ctrl(), CtrlId(0));
+        assert_eq!(t.leaf_count(), 2);
+        assert_eq!(t.total_trips(), 15);
+        if let TraceNode::Outer { iters, .. } = &t {
+            assert_eq!(iters.len(), 2);
+        } else {
+            panic!("expected outer node");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no trace recorded")]
+    fn empty_recorder_panics() {
+        TraceRecorder::new().into_trace();
+    }
+}

@@ -1,0 +1,238 @@
+//! Scalar element types and values flowing through parallel-pattern programs.
+//!
+//! Plasticine functional units operate on 32-bit words that are either
+//! two's-complement integers or IEEE-754 single-precision floats (§3.1 of the
+//! paper). [`Elem`] is the dynamically-typed word used by the host
+//! interpreter and the simulator; [`DType`] is its static type tag.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static type of a 32-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// 32-bit two's-complement integer.
+    #[default]
+    I32,
+    /// IEEE-754 single-precision float.
+    F32,
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::I32 => write!(f, "i32"),
+            DType::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+/// A dynamically-typed 32-bit word.
+///
+/// # Examples
+///
+/// ```
+/// use plasticine_ppir::Elem;
+/// let a = Elem::F32(1.5);
+/// let b = Elem::F32(2.5);
+/// assert_eq!(a.dtype(), b.dtype());
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum Elem {
+    /// An integer word.
+    I32(i32),
+    /// A float word.
+    F32(f32),
+}
+
+impl Elem {
+    /// The zero value of the given type.
+    pub fn zero(dtype: DType) -> Elem {
+        match dtype {
+            DType::I32 => Elem::I32(0),
+            DType::F32 => Elem::F32(0.0),
+        }
+    }
+
+    /// The static type of this value.
+    pub fn dtype(self) -> DType {
+        match self {
+            Elem::I32(_) => DType::I32,
+            Elem::F32(_) => DType::F32,
+        }
+    }
+
+    /// The raw 32-bit pattern of this word, as stored in scratchpads and DRAM.
+    pub fn to_bits(self) -> u32 {
+        match self {
+            Elem::I32(v) => v as u32,
+            Elem::F32(v) => v.to_bits(),
+        }
+    }
+
+    /// Reinterprets a raw 32-bit pattern as a word of type `dtype`.
+    pub fn from_bits(bits: u32, dtype: DType) -> Elem {
+        match dtype {
+            DType::I32 => Elem::I32(bits as i32),
+            DType::F32 => Elem::F32(f32::from_bits(bits)),
+        }
+    }
+
+    /// Interprets this word as an integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError`] if the word is a float.
+    pub fn as_i32(self) -> Result<i32, TypeError> {
+        match self {
+            Elem::I32(v) => Ok(v),
+            Elem::F32(_) => Err(TypeError {
+                expected: DType::I32,
+                found: DType::F32,
+            }),
+        }
+    }
+
+    /// Interprets this word as a float.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError`] if the word is an integer.
+    pub fn as_f32(self) -> Result<f32, TypeError> {
+        match self {
+            Elem::F32(v) => Ok(v),
+            Elem::I32(_) => Err(TypeError {
+                expected: DType::F32,
+                found: DType::I32,
+            }),
+        }
+    }
+
+    /// Whether this word is "truthy" (non-zero) when used as a predicate.
+    ///
+    /// Comparisons in the IR produce `I32(0)` / `I32(1)`.
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Elem::I32(v) => v != 0,
+            Elem::F32(v) => v != 0.0,
+        }
+    }
+}
+
+impl PartialEq for Elem {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Elem::I32(a), Elem::I32(b)) => a == b,
+            // Bitwise equality: scratchpads store bit patterns, so NaN == NaN here.
+            (Elem::F32(a), Elem::F32(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Elem::I32(v) => write!(f, "{v}"),
+            Elem::F32(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i32> for Elem {
+    fn from(v: i32) -> Elem {
+        Elem::I32(v)
+    }
+}
+
+impl From<f32> for Elem {
+    fn from(v: f32) -> Elem {
+        Elem::F32(v)
+    }
+}
+
+/// Error produced when a word of one type is used where the other is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeError {
+    /// The type the operation required.
+    pub expected: DType,
+    /// The type that was found.
+    pub found: DType,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "type mismatch: expected {}, found {}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_requested_dtype() {
+        assert_eq!(Elem::zero(DType::I32), Elem::I32(0));
+        assert_eq!(Elem::zero(DType::F32), Elem::F32(0.0));
+    }
+
+    #[test]
+    fn bits_roundtrip_i32() {
+        for v in [0i32, 1, -1, i32::MIN, i32::MAX, 42] {
+            let e = Elem::I32(v);
+            assert_eq!(Elem::from_bits(e.to_bits(), DType::I32), e);
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip_f32() {
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE] {
+            let e = Elem::F32(v);
+            assert_eq!(Elem::from_bits(e.to_bits(), DType::F32), e);
+        }
+    }
+
+    #[test]
+    fn nan_is_bitwise_equal_to_itself() {
+        let nan = Elem::F32(f32::NAN);
+        assert_eq!(nan, nan);
+    }
+
+    #[test]
+    fn as_i32_rejects_float() {
+        let err = Elem::F32(1.0).as_i32().unwrap_err();
+        assert_eq!(err.expected, DType::I32);
+        assert_eq!(err.found, DType::F32);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn as_f32_rejects_int() {
+        assert!(Elem::I32(1).as_f32().is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Elem::I32(1).is_truthy());
+        assert!(!Elem::I32(0).is_truthy());
+        assert!(Elem::F32(0.5).is_truthy());
+        assert!(!Elem::F32(0.0).is_truthy());
+    }
+
+    #[test]
+    fn cross_type_values_are_not_equal() {
+        assert_ne!(Elem::I32(0), Elem::F32(0.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Elem::I32(-3).to_string(), "-3");
+        assert_eq!(DType::F32.to_string(), "f32");
+    }
+}

@@ -1,0 +1,141 @@
+//! Tests for the ablation-support program transforms and sparse index
+//! bases.
+
+use plasticine_ppir::*;
+
+fn mini_program() -> Program {
+    let mut b = ProgramBuilder::new("mini");
+    let d = b.dram("d", DType::I32, 64);
+    let s = b.sram_banked("s", DType::I32, &[64], BankingMode::Duplication);
+    let mut zero = Func::new("z");
+    let z = zero.konst(Elem::I32(0));
+    zero.set_outputs(vec![z]);
+    let zero = b.func(zero);
+    let ld = b.inner(
+        "ld",
+        vec![],
+        InnerOp::LoadTile(TileTransfer {
+            dram: d,
+            dram_base: zero,
+            rows: 1,
+            cols: 64,
+            dram_row_stride: 64,
+            sram: s,
+        }),
+    );
+    let inner = b.outer("mid", Schedule::Pipelined, vec![], vec![ld]);
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![inner]);
+    b.finish(root).unwrap()
+}
+
+#[test]
+fn with_schedules_rewrites_every_outer() {
+    let p = mini_program();
+    let q = p.with_schedules(|_| Schedule::Streaming);
+    let mut seen = 0;
+    for c in q.ctrls() {
+        if let CtrlBody::Outer { schedule, .. } = &c.body {
+            assert_eq!(*schedule, Schedule::Streaming);
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 2);
+    // Original untouched.
+    if let CtrlBody::Outer { schedule, .. } = &p.ctrl(p.root()).body {
+        assert_eq!(*schedule, Schedule::Sequential);
+    }
+}
+
+#[test]
+fn with_banking_rewrites_only_the_target() {
+    let p = mini_program();
+    let q = p.with_banking(SramId(0), BankingMode::Strided);
+    assert_eq!(q.sram(SramId(0)).banking, BankingMode::Strided);
+    assert_eq!(p.sram(SramId(0)).banking, BankingMode::Duplication);
+}
+
+#[test]
+fn gather_idx_base_offsets_the_index_window() {
+    // idx = [0,1,2,...,7]; gather 3 elements starting at idx_base=4:
+    // dst = src[idx[4..7]] = src[4..7].
+    let mut b = ProgramBuilder::new("gslice");
+    let src = b.dram("src", DType::I32, 32);
+    let idx = b.sram("idx", DType::I32, &[8]);
+    let dst = b.sram("dst", DType::I32, &[8]);
+    let mut zero = Func::new("z");
+    let z = zero.konst(Elem::I32(0));
+    zero.set_outputs(vec![z]);
+    let zero = b.func(zero);
+    let i = b.counter(0, 8, 1, 1);
+    let mut iota = Func::new("iota");
+    let iv = iota.index(i.index);
+    iota.set_outputs(vec![iv]);
+    let iota = b.func(iota);
+    let mut wa = Func::new("wa");
+    let iv = wa.index(i.index);
+    wa.set_outputs(vec![iv]);
+    let wa = b.func(wa);
+    let gen = b.inner(
+        "gen",
+        vec![i],
+        InnerOp::Map(MapPipe {
+            body: iota,
+            writes: vec![PipeWrite {
+                sram: idx,
+                addr: wa,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let ga = b.inner(
+        "gather",
+        vec![],
+        InnerOp::Gather(GatherOp {
+            dram: src,
+            base: zero,
+            indices: idx,
+            idx_base: CBound::Const(4),
+            dst,
+            len: CBound::Const(3),
+        }),
+    );
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![gen, ga]);
+    let p = b.finish(root).unwrap();
+    let mut m = Machine::new(&p);
+    let data: Vec<Elem> = (0..32).map(|v| Elem::I32(1000 + v)).collect();
+    m.write_dram(src, &data);
+    m.run().unwrap();
+    for j in 0..3 {
+        assert_eq!(m.sram_data(dst)[j], Elem::I32(1004 + j as i32));
+    }
+    assert_eq!(m.sram_data(dst)[3], Elem::I32(0), "beyond len untouched");
+}
+
+#[test]
+fn gather_idx_base_out_of_range_is_a_runtime_error() {
+    let mut b = ProgramBuilder::new("oob");
+    let src = b.dram("src", DType::I32, 32);
+    let idx = b.sram("idx", DType::I32, &[4]);
+    let dst = b.sram("dst", DType::I32, &[4]);
+    let mut zero = Func::new("z");
+    let z = zero.konst(Elem::I32(0));
+    zero.set_outputs(vec![z]);
+    let zero = b.func(zero);
+    let ga = b.inner(
+        "gather",
+        vec![],
+        InnerOp::Gather(GatherOp {
+            dram: src,
+            base: zero,
+            indices: idx,
+            idx_base: CBound::Const(3),
+            dst,
+            len: CBound::Const(3), // reads idx[3..6] — out of bounds
+        }),
+    );
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![ga]);
+    let p = b.finish(root).unwrap();
+    let mut m = Machine::new(&p);
+    assert!(matches!(m.run(), Err(RunError::SramOob { .. })));
+}

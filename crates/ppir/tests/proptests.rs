@@ -1,0 +1,190 @@
+//! Property-based tests for the pattern IR and reference interpreter.
+
+use plasticine_ppir::*;
+use proptest::prelude::*;
+
+/// Builds `out[i] = i * mul + add` over `0..n` and runs it.
+fn run_affine_map(n: usize, mul: i32, add: i32, par: usize) -> Vec<i32> {
+    let mut b = ProgramBuilder::new("affine");
+    let out = b.sram("out", DType::I32, &[n.max(1)]);
+    let i = b.counter(0, n as i64, 1, par);
+    let idx = i.index;
+    let mut body = Func::new("body");
+    let iv = body.index(idx);
+    let m = body.konst(Elem::I32(mul));
+    let a = body.konst(Elem::I32(add));
+    let t = body.binary(BinOp::Mul, iv, m);
+    let v = body.binary(BinOp::Add, t, a);
+    body.set_outputs(vec![v]);
+    let body = b.func(body);
+    let mut addr = Func::new("addr");
+    let iv = addr.index(idx);
+    addr.set_outputs(vec![iv]);
+    let addr = b.func(addr);
+    let pipe = b.inner(
+        "map",
+        vec![i],
+        InnerOp::Map(MapPipe {
+            body,
+            writes: vec![PipeWrite {
+                sram: out,
+                addr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
+    let p = b.finish(root).unwrap();
+    let mut m = Machine::new(&p);
+    m.run().unwrap();
+    m.sram_data(out)[..n]
+        .iter()
+        .map(|e| e.as_i32().unwrap())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn map_matches_host_loop(n in 0usize..64, mul in -100i32..100, add in -100i32..100,
+                             par in 1usize..8) {
+        let got = run_affine_map(n, mul, add, par);
+        let want: Vec<i32> = (0..n as i32).map(|i| i.wrapping_mul(mul).wrapping_add(add)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn associative_ops_reassociate(op in prop::sample::select(vec![
+            BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max,
+            BinOp::And, BinOp::Or, BinOp::Xor]),
+        a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        let ab_c = eval_binop(op, eval_binop(op, Elem::I32(a), Elem::I32(b)).unwrap(), Elem::I32(c)).unwrap();
+        let a_bc = eval_binop(op, Elem::I32(a), eval_binop(op, Elem::I32(b), Elem::I32(c)).unwrap()).unwrap();
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn fold_sum_matches_host(vals in prop::collection::vec(-1000i32..1000, 0..64)) {
+        let n = vals.len();
+        let mut b = ProgramBuilder::new("sum");
+        let data = b.sram("data", DType::I32, &[n.max(1)]);
+        let acc = b.reg("acc", DType::I32);
+        // Seed the scratchpad via a map from constants is awkward; instead
+        // preload through DRAM tile load.
+        let d = b.dram("d", DType::I32, n.max(1));
+        let mut zero = Func::new("zero");
+        let z = zero.konst(Elem::I32(0));
+        zero.set_outputs(vec![z]);
+        let zero = b.func(zero);
+        let ld = b.inner("ld", vec![], InnerOp::LoadTile(TileTransfer {
+            dram: d, dram_base: zero, rows: 1, cols: n.max(1), dram_row_stride: n.max(1), sram: data,
+        }));
+        let i = b.counter(0, n as i64, 1, 4);
+        let mut map = Func::new("rd");
+        let iv = map.index(i.index);
+        let v = map.load(data, vec![iv]);
+        map.set_outputs(vec![v]);
+        let map = b.func(map);
+        let fold = b.inner("fold", vec![i], InnerOp::Fold(FoldPipe {
+            map,
+            combine: vec![BinOp::Add],
+            init: vec![FoldInit::Const(Elem::I32(0))],
+            out_regs: vec![Some(acc)],
+            writes: vec![],
+        }));
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![ld, fold]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        let elems: Vec<Elem> = vals.iter().map(|&v| Elem::I32(v)).collect();
+        m.write_dram(d, &elems);
+        m.run().unwrap();
+        let want: i32 = vals.iter().fold(0i32, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(m.reg(acc), Elem::I32(want));
+    }
+
+    #[test]
+    fn filter_preserves_order_and_count(vals in prop::collection::vec(-50i32..50, 0..48),
+                                        threshold in -50i32..50) {
+        let n = vals.len();
+        let mut b = ProgramBuilder::new("filter");
+        let d = b.dram("d", DType::I32, n.max(1));
+        let data = b.sram("data", DType::I32, &[n.max(1)]);
+        let out = b.sram("out", DType::I32, &[n.max(1)]);
+        let cnt = b.reg("cnt", DType::I32);
+        let mut zero = Func::new("zero");
+        let z = zero.konst(Elem::I32(0));
+        zero.set_outputs(vec![z]);
+        let zero = b.func(zero);
+        let ld = b.inner("ld", vec![], InnerOp::LoadTile(TileTransfer {
+            dram: d, dram_base: zero, rows: 1, cols: n.max(1), dram_row_stride: n.max(1), sram: data,
+        }));
+        let i = b.counter(0, n as i64, 1, 2);
+        let mut body = Func::new("keep");
+        let iv = body.index(i.index);
+        let v = body.load(data, vec![iv]);
+        let t = body.konst(Elem::I32(threshold));
+        let pred = body.binary(BinOp::Lt, v, t);
+        body.set_outputs(vec![v, pred]);
+        let body = b.func(body);
+        let fi = b.inner("filter", vec![i], InnerOp::Filter(FilterPipe {
+            body, out, count_reg: cnt,
+        }));
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![ld, fi]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        let elems: Vec<Elem> = vals.iter().map(|&v| Elem::I32(v)).collect();
+        m.write_dram(d, &elems);
+        m.run().unwrap();
+        let want: Vec<i32> = vals.iter().copied().filter(|&v| v < threshold).collect();
+        prop_assert_eq!(m.reg(cnt), Elem::I32(want.len() as i32));
+        let got: Vec<i32> = m.sram_data(out)[..want.len()].iter()
+            .map(|e| e.as_i32().unwrap()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tile_roundtrip_preserves_data(rows in 1usize..8, cols in 1usize..16, stride_extra in 0usize..8,
+                                     seedvals in prop::collection::vec(any::<i32>(), 256)) {
+        let stride = cols + stride_extra;
+        let dram_len = rows * stride + cols;
+        let mut b = ProgramBuilder::new("tile");
+        let src = b.dram("src", DType::I32, dram_len);
+        let dst = b.dram("dst", DType::I32, dram_len);
+        let tile = b.sram("tile", DType::I32, &[rows, cols]);
+        let mut zero = Func::new("zero");
+        let z = zero.konst(Elem::I32(0));
+        zero.set_outputs(vec![z]);
+        let zero = b.func(zero);
+        let ld = b.inner("ld", vec![], InnerOp::LoadTile(TileTransfer {
+            dram: src, dram_base: zero, rows, cols, dram_row_stride: stride, sram: tile,
+        }));
+        let st = b.inner("st", vec![], InnerOp::StoreTile(TileTransfer {
+            dram: dst, dram_base: zero, rows, cols, dram_row_stride: stride, sram: tile,
+        }));
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![ld, st]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        let data: Vec<Elem> = (0..dram_len).map(|i| Elem::I32(seedvals[i % 256])).collect();
+        m.write_dram(src, &data);
+        m.run().unwrap();
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(m.dram_data(dst)[r * stride + c], data[r * stride + c]);
+            }
+        }
+    }
+
+    #[test]
+    fn sram_flatten_within_capacity(d0 in 1usize..10, d1 in 1usize..10, c0 in 0i64..10, c1 in 0i64..10) {
+        let s = Sram { name: "s".into(), dtype: DType::I32, dims: vec![d0, d1],
+                       banking: BankingMode::Strided, nbuf: None };
+        match s.flatten(&[c0, c1]) {
+            Some(off) => {
+                prop_assert!((c0 as usize) < d0 && (c1 as usize) < d1);
+                prop_assert!(off < s.capacity());
+                prop_assert_eq!(off, c0 as usize * d1 + c1 as usize);
+            }
+            None => prop_assert!(c0 as usize >= d0 || c1 as usize >= d1),
+        }
+    }
+}

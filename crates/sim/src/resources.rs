@@ -1,0 +1,386 @@
+//! Shared cycle-granular resources: invocation slots, scratchpad ports,
+//! address generators, the DRAM system, and activity counters.
+
+use crate::model::SimModel;
+use plasticine_arch::{PlasticineParams, UnitId};
+use plasticine_dram::{
+    CoalescingUnit, DramConfig, DramStats, DramSystem, ElemRequest, MemRequest,
+};
+use plasticine_ppir::CtrlId;
+use std::collections::HashMap;
+
+/// Dynamic activity accumulated during simulation — the input to the power
+/// model and the source of Table 7's utilization columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Activity {
+    /// ALU operations executed (element granularity).
+    pub fu_ops: u64,
+    /// Iterative (transcendental) ops among them.
+    pub heavy_ops: u64,
+    /// Reduction-tree ops.
+    pub red_ops: u64,
+    /// Words read from scratchpads.
+    pub sram_reads: u64,
+    /// Words written to scratchpads.
+    pub sram_writes: u64,
+    /// Vector-register traffic proxy: vectors issued × pipeline stages.
+    pub reg_traffic: u64,
+    /// Vector payload × hops moved on the vector network (word-hops).
+    pub net_word_hops: u64,
+    /// Scalar and control messages.
+    pub ctrl_msgs: u64,
+    /// PCU-cycles spent actively issuing (for clock gating in the power
+    /// model).
+    pub pcu_busy_cycles: u64,
+    /// PMU-cycles with at least one port active.
+    pub pmu_busy_cycles: u64,
+    /// AG-cycles spent issuing.
+    pub ag_busy_cycles: u64,
+}
+
+/// Error while simulating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The functional interpreter failed.
+    Run(plasticine_ppir::RunError),
+    /// The schedule made no progress for too long.
+    Deadlock {
+        /// Cycle at which the simulation gave up.
+        cycle: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Run(e) => write!(f, "functional execution failed: {e}"),
+            SimError::Deadlock { cycle } => {
+                write!(f, "simulation deadlocked at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<plasticine_ppir::RunError> for SimError {
+    fn from(e: plasticine_ppir::RunError) -> SimError {
+        SimError::Run(e)
+    }
+}
+
+/// Bits of elem-request ids reserved for the per-job sequence number.
+const ELEM_SEQ_BITS: u64 = 24;
+
+/// Shared simulation resources, reset per cycle where appropriate.
+#[derive(Debug)]
+pub struct Resources {
+    /// Current cycle.
+    pub now: u64,
+    slots: HashMap<CtrlId, usize>,
+    read_tokens: HashMap<UnitId, usize>,
+    write_tokens: HashMap<UnitId, usize>,
+    mem_ports: HashMap<UnitId, usize>,
+    /// The DRAM timing model.
+    pub dram: DramSystem,
+    cus: Vec<CoalescingUnit>,
+    line_done: HashMap<u64, u64>,
+    elem_done: HashMap<u64, u64>,
+    req_job: HashMap<u64, u64>,
+    req_elem: HashMap<u64, u64>,
+    next_dense: u64,
+    next_elem_seq: HashMap<u64, u64>,
+    coalescing: bool,
+    /// Accumulated activity.
+    pub activity: Activity,
+}
+
+impl Resources {
+    /// Builds the resource pool for a model.
+    pub fn new(model: &SimModel, params: &PlasticineParams, dram_cfg: DramConfig) -> Resources {
+        let line_bytes = dram_cfg.line_bytes;
+        let n_cus = params.coalescing_units.max(1);
+        let cus = (0..n_cus)
+            .map(|k| {
+                CoalescingUnit::with_namespace(
+                    params.coalesce_entries,
+                    line_bytes,
+                    (1 << 62) + (k as u64) * (1 << 56),
+                )
+            })
+            .collect();
+        Resources {
+            now: 0,
+            slots: model.ctrl_slots.clone(),
+            read_tokens: HashMap::new(),
+            write_tokens: HashMap::new(),
+            mem_ports: model.mem_ports.clone(),
+            dram: DramSystem::new(dram_cfg),
+            cus,
+            line_done: HashMap::new(),
+            elem_done: HashMap::new(),
+            req_job: HashMap::new(),
+            req_elem: HashMap::new(),
+            next_dense: 0,
+            next_elem_seq: HashMap::new(),
+            coalescing: true,
+            activity: Activity::default(),
+        }
+    }
+
+    /// Enables or disables coalescing of sparse element requests.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalescing = on;
+    }
+
+    /// Starts a cycle: refreshes port tokens, advances DRAM, distributes
+    /// completions to their jobs.
+    pub fn begin_cycle(&mut self) {
+        for (u, cap) in &self.mem_ports {
+            self.read_tokens.insert(*u, *cap);
+            self.write_tokens.insert(*u, *cap);
+        }
+        for cu in &mut self.cus {
+            cu.issue(&mut self.dram);
+        }
+        let completions = self.dram.tick();
+        // Route dense completions to jobs.
+        for c in &completions {
+            if let Some(job) = self.req_job.remove(&c.id) {
+                *self.line_done.entry(job).or_insert(0) += 1;
+            } else if let Some(job) = self.req_elem.remove(&c.id) {
+                *self.elem_done.entry(job).or_insert(0) += 1;
+            }
+        }
+        // Route coalesced element completions to jobs.
+        for cu in &mut self.cus {
+            for e in cu.absorb(&completions) {
+                let job = e.id >> ELEM_SEQ_BITS;
+                *self.elem_done.entry(job).or_insert(0) += 1;
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Tries to reserve an invocation slot for a controller.
+    pub fn acquire_slot(&mut self, ctrl: CtrlId) -> bool {
+        match self.slots.get_mut(&ctrl) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            Some(_) => false,
+            None => true, // controllers without hardware (shouldn't happen)
+        }
+    }
+
+    /// Releases an invocation slot.
+    pub fn release_slot(&mut self, ctrl: CtrlId) {
+        if let Some(n) = self.slots.get_mut(&ctrl) {
+            *n += 1;
+        }
+    }
+
+    /// Tries to consume one read port per listed memory unit (duplicates
+    /// demand multiple ports) and one write port per written unit, all or
+    /// nothing.
+    pub fn acquire_ports(&mut self, reads: &[UnitId], writes: &[UnitId]) -> bool {
+        let mut rd_demand: HashMap<UnitId, usize> = HashMap::new();
+        for u in reads {
+            *rd_demand.entry(*u).or_insert(0) += 1;
+        }
+        let mut wr_demand: HashMap<UnitId, usize> = HashMap::new();
+        for u in writes {
+            *wr_demand.entry(*u).or_insert(0) += 1;
+        }
+        let ok_r = rd_demand
+            .iter()
+            .all(|(u, n)| self.read_tokens.get(u).copied().unwrap_or(*n) >= *n);
+        let ok_w = wr_demand
+            .iter()
+            .all(|(u, n)| self.write_tokens.get(u).copied().unwrap_or(*n) >= *n);
+        if !(ok_r && ok_w) {
+            return false;
+        }
+        for (u, n) in &rd_demand {
+            if let Some(t) = self.read_tokens.get_mut(u) {
+                *t -= n;
+            }
+        }
+        for (u, n) in &wr_demand {
+            if let Some(t) = self.write_tokens.get_mut(u) {
+                *t -= n;
+            }
+        }
+        if !reads.is_empty() || !writes.is_empty() {
+            self.activity.pmu_busy_cycles += 1;
+        }
+        true
+    }
+
+    /// Pushes one dense line request for a job. Returns false on
+    /// backpressure.
+    pub fn push_dense(&mut self, job: u64, byte_addr: u64, is_write: bool) -> bool {
+        if !self.dram.can_accept(byte_addr) {
+            return false;
+        }
+        let id = self.next_dense;
+        self.next_dense += 1;
+        match self.dram.push(MemRequest {
+            id,
+            addr: byte_addr,
+            is_write,
+        }) {
+            Ok(()) => {
+                self.req_job.insert(id, job);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Pushes one sparse element request through the coalescing unit owning
+    /// the element's channel. Returns false on backpressure.
+    pub fn push_sparse(&mut self, job: u64, byte_addr: u64, is_write: bool) -> bool {
+        if !self.coalescing {
+            // Ablation: every element is its own DRAM burst.
+            if !self.dram.can_accept(byte_addr) {
+                return false;
+            }
+            let id = self.next_dense;
+            match self.dram.push(MemRequest {
+                id,
+                addr: byte_addr & !63,
+                is_write,
+            }) {
+                Ok(()) => {
+                    self.next_dense += 1;
+                    // Report it back through the element channel.
+                    self.req_elem.insert(id, job);
+                    true
+                }
+                Err(_) => false,
+            }
+        } else {
+        let chan = self.dram.config().map(byte_addr).channel;
+        let n_cus = self.cus.len();
+        let cu = &mut self.cus[chan % n_cus];
+        let seq = self.next_elem_seq.entry(job).or_insert(0);
+        let id = (job << ELEM_SEQ_BITS) | (*seq & ((1 << ELEM_SEQ_BITS) - 1));
+        if cu.try_push(ElemRequest {
+            id,
+            byte_addr,
+            is_write,
+        }) {
+            *seq += 1;
+            true
+        } else {
+            false
+        }
+        }
+    }
+
+    /// Takes the number of dense-line completions accumulated for a job.
+    pub fn take_lines(&mut self, job: u64) -> u64 {
+        self.line_done.remove(&job).unwrap_or(0)
+    }
+
+    /// Takes the number of element completions accumulated for a job.
+    pub fn take_elems(&mut self, job: u64) -> u64 {
+        self.elem_done.remove(&job).unwrap_or(0)
+    }
+
+    /// Aggregate DRAM statistics.
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.stats()
+    }
+
+    /// Aggregate coalescing statistics (summed over units).
+    pub fn coalesce_stats(&self) -> plasticine_dram::CoalesceStats {
+        let mut s = plasticine_dram::CoalesceStats::default();
+        for cu in &self.cus {
+            s.elem_requests += cu.stats.elem_requests;
+            s.line_requests += cu.stats.line_requests;
+            s.merged += cu.stats.merged;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_model() -> SimModel {
+        SimModel {
+            compute: HashMap::new(),
+            transfer: HashMap::new(),
+            outer: HashMap::new(),
+            ctrl_slots: HashMap::new(),
+            mem_ports: HashMap::new(),
+            dram_base: vec![],
+            sram_words: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn slots_are_counted() {
+        let mut m = empty_model();
+        m.ctrl_slots.insert(CtrlId(0), 2);
+        let mut r = Resources::new(
+            &m,
+            &PlasticineParams::paper_final(),
+            DramConfig::default(),
+        );
+        assert!(r.acquire_slot(CtrlId(0)));
+        assert!(r.acquire_slot(CtrlId(0)));
+        assert!(!r.acquire_slot(CtrlId(0)));
+        r.release_slot(CtrlId(0));
+        assert!(r.acquire_slot(CtrlId(0)));
+    }
+
+    #[test]
+    fn ports_reset_each_cycle() {
+        let mut m = empty_model();
+        m.mem_ports.insert(UnitId(0), 1);
+        let mut r = Resources::new(
+            &m,
+            &PlasticineParams::paper_final(),
+            DramConfig::default(),
+        );
+        r.begin_cycle();
+        assert!(r.acquire_ports(&[UnitId(0)], &[]));
+        assert!(!r.acquire_ports(&[UnitId(0)], &[]));
+        // Write port is independent.
+        assert!(r.acquire_ports(&[], &[UnitId(0)]));
+        r.begin_cycle();
+        assert!(r.acquire_ports(&[UnitId(0)], &[]));
+    }
+
+    #[test]
+    fn dense_and_sparse_requests_complete() {
+        let m = empty_model();
+        let mut r = Resources::new(
+            &m,
+            &PlasticineParams::paper_final(),
+            DramConfig {
+                refresh: false,
+                ..DramConfig::default()
+            },
+        );
+        assert!(r.push_dense(7, 0, false));
+        assert!(r.push_sparse(9, 4096, false));
+        let mut lines = 0;
+        let mut elems = 0;
+        for _ in 0..10_000 {
+            r.begin_cycle();
+            lines += r.take_lines(7);
+            elems += r.take_elems(9);
+            if lines == 1 && elems == 1 {
+                break;
+            }
+        }
+        assert_eq!(lines, 1);
+        assert_eq!(elems, 1);
+    }
+}

@@ -1,0 +1,446 @@
+//! The hierarchical scheduler: controller-tree state machines implementing
+//! the three control protocols of §3.5 (sequential, coarse-grained
+//! pipelining with tokens and credits, streaming) over the shared
+//! [`Resources`].
+
+use crate::model::{SimModel, TransferModel};
+use crate::resources::Resources;
+use plasticine_dram::lines_for_range;
+use plasticine_ppir::{CtrlId, LeafWork, Schedule, TraceNode};
+
+/// One node of the runtime schedule tree.
+#[derive(Debug)]
+pub enum Node {
+    /// An outer-controller invocation.
+    Outer(OuterNode),
+    /// A leaf invocation.
+    Leaf(LeafNode),
+}
+
+impl Node {
+    /// Builds the schedule tree from a recorded trace.
+    pub fn build(trace: TraceNode, model: &SimModel, next_job: &mut u64) -> Node {
+        match trace {
+            TraceNode::Leaf { ctrl, work } => {
+                let job = *next_job;
+                *next_job += 1;
+                Node::Leaf(LeafNode {
+                    ctrl,
+                    work,
+                    job,
+                    state: LeafState::Idle,
+                    slot_released: false,
+                })
+            }
+            TraceNode::Outer { ctrl, iters } => {
+                let om = model.outer.get(&ctrl).expect("outer model");
+                let n_children = om.children.len();
+                let iters: Vec<Vec<Option<Node>>> = iters
+                    .into_iter()
+                    .map(|ch| {
+                        ch.into_iter()
+                            .map(|t| Some(Node::build(t, model, next_job)))
+                            .collect()
+                    })
+                    .collect();
+                let n_iters = iters.len();
+                Node::Outer(OuterNode {
+                    ctrl,
+                    schedule: om.schedule,
+                    width: om.width,
+                    deps: om.deps.clone(),
+                    n_children,
+                    n_iters,
+                    iters,
+                    started: vec![0; n_children],
+                    completed: vec![Vec::new(); n_children],
+                    water: vec![0; n_children],
+                    active: Vec::new(),
+                    holds_slot: false,
+                    done: false,
+                    seq_cursor: (0, 0),
+                })
+            }
+        }
+    }
+
+    /// Advances one cycle. Returns true when the node has fully completed.
+    pub fn tick(&mut self, res: &mut Resources, model: &SimModel) -> bool {
+        match self {
+            Node::Leaf(l) => l.tick(res, model),
+            Node::Outer(o) => o.tick(res, model),
+        }
+    }
+
+    /// Whether the node still occupies its hardware (a draining pipeline
+    /// has released the unit: the next invocation streams in behind it).
+    fn occupying(&self) -> bool {
+        match self {
+            Node::Leaf(l) => !matches!(l.state, LeafState::Drain { .. } | LeafState::Done),
+            Node::Outer(o) => !o.done,
+        }
+    }
+}
+
+/// Runtime state of an outer-controller invocation.
+#[derive(Debug)]
+pub struct OuterNode {
+    ctrl: CtrlId,
+    schedule: Schedule,
+    width: usize,
+    deps: Vec<(usize, usize, usize)>,
+    n_children: usize,
+    n_iters: usize,
+    /// `iters[i][j]` is taken (`None`) once started.
+    iters: Vec<Vec<Option<Node>>>,
+    started: Vec<usize>,
+    completed: Vec<Vec<bool>>,
+    /// Contiguous completed-iteration prefix per child.
+    water: Vec<usize>,
+    active: Vec<(usize, usize, Node)>,
+    holds_slot: bool,
+    done: bool,
+    seq_cursor: (usize, usize),
+}
+
+impl OuterNode {
+    fn mark_done(&mut self, iter: usize, child: usize) {
+        let c = &mut self.completed[child];
+        if c.len() <= iter {
+            c.resize(iter + 1, false);
+        }
+        c[iter] = true;
+        while self.water[child] < c.len() && c[self.water[child]] {
+            self.water[child] += 1;
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.active.is_empty() && self.water.iter().all(|&w| w >= self.n_iters)
+    }
+
+    fn tick(&mut self, res: &mut Resources, model: &SimModel) -> bool {
+        if self.done {
+            return true;
+        }
+        if !self.holds_slot {
+            if !res.acquire_slot(self.ctrl) {
+                return false;
+            }
+            self.holds_slot = true;
+            res.activity.ctrl_msgs += 1; // parent token
+        }
+        if self.n_iters == 0 {
+            self.finish(res);
+            return true;
+        }
+        // Tick active children; retire completed ones.
+        let mut i = 0;
+        while i < self.active.len() {
+            let (it, ch, node) = &mut self.active[i];
+            if node.tick(res, model) {
+                let (it, ch) = (*it, *ch);
+                self.active.swap_remove(i);
+                self.mark_done(it, ch);
+                res.activity.ctrl_msgs += 1; // done token back to parent
+            } else {
+                i += 1;
+            }
+        }
+        // Start new children under the protocol.
+        match self.schedule {
+            Schedule::Sequential => self.start_sequential(),
+            Schedule::Pipelined | Schedule::Streaming => self.start_pipelined(),
+        }
+        if self.all_done() {
+            self.finish(res);
+            return true;
+        }
+        false
+    }
+
+    fn finish(&mut self, res: &mut Resources) {
+        if self.holds_slot {
+            res.release_slot(self.ctrl);
+            self.holds_slot = false;
+        }
+        self.done = true;
+    }
+
+    /// Sequential: one child at a time, program order, iteration by
+    /// iteration ("only one data dependent child is active at any time").
+    fn start_sequential(&mut self) {
+        if !self.active.is_empty() {
+            return;
+        }
+        let (mut it, mut ch) = self.seq_cursor;
+        // Skip over already-finished positions.
+        while it < self.n_iters {
+            if ch >= self.n_children {
+                it += 1;
+                ch = 0;
+                continue;
+            }
+            break;
+        }
+        if it >= self.n_iters {
+            return;
+        }
+        if let Some(node) = self.iters[it][ch].take() {
+            self.active.push((it, ch, node));
+            self.started[ch] = self.started[ch].max(it + 1);
+        }
+        self.seq_cursor = (it, ch + 1);
+    }
+
+    /// Coarse-grained pipelining: children overlap across parent
+    /// iterations, gated by tokens (producers finished the same iteration),
+    /// credits (consumers at most `depth-1` iterations behind), per-child
+    /// hardware width, and in-order starts.
+    fn start_pipelined(&mut self) {
+        for ch in 0..self.n_children {
+            loop {
+                let i = self.started[ch];
+                if i >= self.n_iters {
+                    break;
+                }
+                let in_flight = self
+                    .active
+                    .iter()
+                    .filter(|(_, c, n)| *c == ch && n.occupying())
+                    .count();
+                if in_flight >= self.width {
+                    break;
+                }
+                // Tokens: all producers have finished iteration i.
+                let tokens_ok = self
+                    .deps
+                    .iter()
+                    .filter(|(_, c, _)| *c == ch)
+                    .all(|(pr, _, _)| self.water[*pr] > i);
+                if !tokens_ok {
+                    break;
+                }
+                // Credits: don't run further ahead of any consumer than the
+                // buffer between allows.
+                let credits_ok = self
+                    .deps
+                    .iter()
+                    .filter(|(pr, _, _)| *pr == ch)
+                    .all(|(_, co, depth)| i < self.water[*co] + *depth);
+                if !credits_ok {
+                    break;
+                }
+                let Some(node) = self.iters[i][ch].take() else {
+                    break;
+                };
+                self.active.push((i, ch, node));
+                self.started[ch] = i + 1;
+            }
+        }
+    }
+}
+
+/// Runtime state of a leaf invocation.
+#[derive(Debug)]
+pub struct LeafNode {
+    ctrl: CtrlId,
+    work: LeafWork,
+    job: u64,
+    state: LeafState,
+    slot_released: bool,
+}
+
+#[derive(Debug)]
+enum LeafState {
+    Idle,
+    Issue {
+        remaining: u64,
+    },
+    Xfer {
+        /// (byte address, is_write) — lines for dense, elements for sparse.
+        reqs: Vec<(u64, bool)>,
+        next: usize,
+        outstanding: u64,
+        issued_requests: u64,
+    },
+    Drain {
+        finish: u64,
+        xfer: bool,
+    },
+    Done,
+}
+
+impl LeafNode {
+    fn tick(&mut self, res: &mut Resources, model: &SimModel) -> bool {
+        loop {
+            match &mut self.state {
+                LeafState::Idle => {
+                    if !res.acquire_slot(self.ctrl) {
+                        return false;
+                    }
+                    if let Some(cm) = model.compute.get(&self.ctrl) {
+                        let vecs = self.work.trips.div_ceil(cm.lanes as u64);
+                        self.state = LeafState::Issue {
+                            remaining: vecs * cm.issue_factor,
+                        };
+                    } else if let Some(tm) = model.transfer.get(&self.ctrl) {
+                        let mut reqs = Vec::new();
+                        if tm.sparse {
+                            for r in &self.work.dram {
+                                let base = model.dram_base[r.dram.0 as usize];
+                                for k in 0..r.len {
+                                    reqs.push((
+                                        base + (r.offset as u64 + k as u64) * 4,
+                                        r.is_write,
+                                    ));
+                                }
+                            }
+                        } else {
+                            for r in &self.work.dram {
+                                let base = model.dram_base[r.dram.0 as usize];
+                                let start = base + r.offset as u64 * 4;
+                                for line in lines_for_range(start, r.len as u64 * 4, 64) {
+                                    reqs.push((line, r.is_write));
+                                }
+                            }
+                        }
+                        self.state = LeafState::Xfer {
+                            reqs,
+                            next: 0,
+                            outstanding: 0,
+                            issued_requests: 0,
+                        };
+                    } else {
+                        // No hardware (empty program corner): finish next cycle.
+                        self.state = LeafState::Drain {
+                            finish: res.now + 1,
+                            xfer: false,
+                        };
+                        return false;
+                    }
+                    // Fall through to make progress in the same cycle.
+                }
+                LeafState::Issue { remaining } => {
+                    if *remaining == 0 {
+                        let cm = &model.compute[&self.ctrl];
+                        // The pipeline drains behind the next invocation:
+                        // release the unit as soon as issuing completes.
+                        res.release_slot(self.ctrl);
+                        self.slot_released = true;
+                        self.state = LeafState::Drain {
+                            finish: res.now + cm.in_hops + cm.depth as u64 + cm.out_hops,
+                            xfer: false,
+                        };
+                        continue;
+                    }
+                    let cm = &model.compute[&self.ctrl];
+                    let mut issued_any = false;
+                    for _ in 0..cm.own_copies {
+                        if *remaining == 0 {
+                            break;
+                        }
+                        if res.acquire_ports(&cm.reads, &cm.writes) {
+                            *remaining -= 1;
+                            issued_any = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    if issued_any {
+                        res.activity.pcu_busy_cycles +=
+                            (cm.phys_pcus / cm.slots.max(1)).max(1) as u64;
+                    }
+                    return false;
+                }
+                LeafState::Xfer {
+                    reqs,
+                    next,
+                    outstanding,
+                    issued_requests,
+                } => {
+                    let tm: &TransferModel = &model.transfer[&self.ctrl];
+                    *outstanding = outstanding
+                        .saturating_sub(if tm.sparse {
+                            res.take_elems(self.job)
+                        } else {
+                            res.take_lines(self.job)
+                        });
+                    let mut pushed = 0usize;
+                    while pushed < tm.copies && *next < reqs.len() {
+                        let (addr, w) = reqs[*next];
+                        let ok = if tm.sparse {
+                            res.push_sparse(self.job, addr, w)
+                        } else {
+                            res.push_dense(self.job, addr, w)
+                        };
+                        if !ok {
+                            break;
+                        }
+                        *next += 1;
+                        *outstanding += 1;
+                        *issued_requests += 1;
+                        pushed += 1;
+                    }
+                    if pushed > 0 {
+                        res.activity.ag_busy_cycles += 1;
+                    }
+                    if *next == reqs.len() && *outstanding == 0 {
+                        res.release_slot(self.ctrl);
+                        self.slot_released = true;
+                        self.state = LeafState::Drain {
+                            finish: res.now + tm.hops,
+                            xfer: true,
+                        };
+                    }
+                    return false;
+                }
+                LeafState::Drain { finish, xfer } => {
+                    if res.now < *finish {
+                        return false;
+                    }
+                    let xfer = *xfer;
+                    self.retire(res, model, xfer);
+                    self.state = LeafState::Done;
+                    return true;
+                }
+                LeafState::Done => return true,
+            }
+        }
+    }
+
+    /// Books completion activity.
+    fn retire(&mut self, res: &mut Resources, model: &SimModel, _xfer: bool) {
+        if !self.slot_released {
+            res.release_slot(self.ctrl);
+        }
+        if let Some(cm) = model.compute.get(&self.ctrl) {
+            let a = &mut res.activity;
+            a.fu_ops += self.work.trips * cm.ops_per_trip;
+            a.heavy_ops += self.work.trips * cm.heavy_per_trip;
+            let vecs = self.work.trips.div_ceil(cm.lanes as u64);
+            a.red_ops += vecs * cm.red_ops_per_vec;
+            a.fu_ops += vecs * cm.red_ops_per_vec;
+            let (rd, wr) = model.sram_words.get(&self.ctrl).copied().unwrap_or((0, 0));
+            a.sram_reads += self.work.trips * rd;
+            if self.work.emitted > 0 {
+                a.sram_writes += self.work.emitted;
+            } else {
+                a.sram_writes += self.work.trips * wr;
+            }
+            a.reg_traffic += vecs * cm.depth as u64 * cm.lanes as u64;
+            a.net_word_hops += vecs * cm.lanes as u64 * (cm.in_hops + cm.out_hops);
+        }
+        // Transfers: DRAM traffic is counted by the DRAM model itself; the
+        // network share:
+        if let Some(tm) = model.transfer.get(&self.ctrl) {
+            let words: u64 = self
+                .work
+                .dram
+                .iter()
+                .map(|r| r.len as u64)
+                .sum();
+            res.activity.net_word_hops += words * tm.hops;
+        }
+    }
+}

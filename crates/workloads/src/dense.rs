@@ -1,0 +1,511 @@
+//! Dense streaming benchmarks: InnerProduct, OuterProduct, Black-Scholes,
+//! and TPC-H Query 6 (Table 4).
+
+use crate::util::*;
+use crate::{Bench, Scale};
+use plasticine_fpga::AppProfile;
+use plasticine_ppir::*;
+
+/// Inner product of two `N`-element vectors: tiled, double-buffered loads
+/// feeding a 16-lane `Fold` that accumulates across tiles.
+pub fn inner_product(scale: Scale) -> Bench {
+    let tile = 512usize;
+    let tiles = 8 * scale.0;
+    let n = tile * tiles;
+    let mut b = ProgramBuilder::new("InnerProduct");
+    let da = b.dram("a", DType::F32, n);
+    let db = b.dram("b", DType::F32, n);
+    let acc = b.reg("acc", DType::F32);
+    let sa = b.sram("ta", DType::F32, &[tile]);
+    let sb = b.sram("tb", DType::F32, &[tile]);
+
+    let t = b.counter(0, tiles as i64, 1, 2);
+    let base = affine_func(&mut b, &[(t.index, tile as i64)], 0);
+    let ld_a = load_1d(&mut b, "ld_a", da, base, sa, tile);
+    let ld_b = load_1d(&mut b, "ld_b", db, base, sb, tile);
+
+    let i = b.counter(0, tile as i64, 1, 16);
+    let mut map = Func::new("mul");
+    let iv = map.index(i.index);
+    let av = map.load(sa, vec![iv]);
+    let bv = map.load(sb, vec![iv]);
+    let m = map.binary(BinOp::Mul, av, bv);
+    map.set_outputs(vec![m]);
+    let map = b.func(map);
+    let dot = b.inner(
+        "dot",
+        vec![i],
+        InnerOp::Fold(FoldPipe {
+            map,
+            combine: vec![BinOp::Add],
+            init: vec![FoldInit::Resume],
+            out_regs: vec![Some(acc)],
+            writes: vec![],
+        }),
+    );
+    let tiles_loop = b.outer("tiles", Schedule::Pipelined, vec![t], vec![ld_a, ld_b, dot]);
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![tiles_loop]);
+    let program = b.finish(root).expect("inner product validates");
+
+    let a: Vec<Elem> = (0..n)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 1) - 0.5))
+        .collect();
+    let bv: Vec<Elem> = (0..n)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 2) - 0.5))
+        .collect();
+    let mut golden = 0.0f32;
+    for i in 0..n {
+        golden += a[i].as_f32().unwrap() * bv[i].as_f32().unwrap();
+    }
+
+    Bench {
+        name: "InnerProduct".into(),
+        program,
+        inputs: vec![(da, a), (db, bv)],
+        expect_drams: vec![],
+        expect_regs: vec![(acc, Elem::F32(golden))],
+        fpga: AppProfile {
+            name: "InnerProduct".into(),
+            total_ops: 2.0 * n as f64,
+            fp_muls: n as f64,
+            fp_adds: n as f64,
+            ops_per_elem: 2.0,
+            dense_bytes: 8.0 * n as f64,
+            random_elems: 0.0,
+            buffer_kb: 2.0 * tile as f64 * 4.0 * 2.0 / 1024.0,
+            app_parallelism: 32.0,
+            sequential_frac: 0.0,
+            serial_iters: 0.0,
+            serial_cycles: 0.0,
+        },
+    }
+}
+
+/// Outer product `c[i][j] = a[i]·b[j]`: tiled over both output dimensions,
+/// exploiting the temporal reuse of the vector tiles.
+pub fn outer_product(scale: Scale) -> Bench {
+    let t = 64usize;
+    let n = 128 * scale.0; // vector length; output n×n
+    let nt = n / t;
+    let mut b = ProgramBuilder::new("OuterProduct");
+    let da = b.dram("a", DType::F32, n);
+    let db = b.dram("b", DType::F32, n);
+    let dc = b.dram("c", DType::F32, n * n);
+    let sa = b.sram("ta", DType::F32, &[t]);
+    let sb = b.sram("tb", DType::F32, &[t]);
+    let sc = b.sram("tc", DType::F32, &[t, t]);
+
+    let ti = b.counter(0, nt as i64, 1, 2);
+    let tj = b.counter(0, nt as i64, 1, 2);
+    let (tii, tji) = (ti.index, tj.index);
+    let base_a = affine_func(&mut b, &[(tii, t as i64)], 0);
+    let base_b = affine_func(&mut b, &[(tji, t as i64)], 0);
+    let base_c = affine_func(&mut b, &[(tii, (t * n) as i64), (tji, t as i64)], 0);
+    let ld_a = load_1d(&mut b, "ld_a", da, base_a, sa, t);
+    let ld_b = load_1d(&mut b, "ld_b", db, base_b, sb, t);
+
+    let i = b.counter(0, t as i64, 1, 2);
+    let j = b.counter(0, t as i64, 1, 16);
+    let (ii, ji) = (i.index, j.index);
+    let mut body = Func::new("op");
+    let av = {
+        let iv = body.index(ii);
+        body.load(sa, vec![iv])
+    };
+    let bv = {
+        let jv = body.index(ji);
+        body.load(sb, vec![jv])
+    };
+    let m = body.binary(BinOp::Mul, av, bv);
+    body.set_outputs(vec![m]);
+    let body = b.func(body);
+    let waddr = coords_func(&mut b, &[ii, ji]);
+    let compute = b.inner(
+        "outer",
+        vec![i, j],
+        InnerOp::Map(MapPipe {
+            body,
+            writes: vec![PipeWrite {
+                sram: sc,
+                addr: waddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let st = store_2d(&mut b, "st_c", dc, base_c, sc, t, t, n);
+    let tiles = b.outer(
+        "tiles",
+        Schedule::Pipelined,
+        vec![ti, tj],
+        vec![ld_a, ld_b, compute, st],
+    );
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![tiles]);
+    let program = b.finish(root).expect("outer product validates");
+
+    let a: Vec<Elem> = (0..n)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 3)))
+        .collect();
+    let bv: Vec<Elem> = (0..n)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 4)))
+        .collect();
+    let mut c = vec![Elem::F32(0.0); n * n];
+    for i in 0..n {
+        for j in 0..n {
+            c[i * n + j] =
+                Elem::F32(a[i].as_f32().unwrap() * bv[j].as_f32().unwrap());
+        }
+    }
+
+    Bench {
+        name: "OuterProduct".into(),
+        program,
+        inputs: vec![(da, a), (db, bv)],
+        expect_drams: vec![(dc, c)],
+        expect_regs: vec![],
+        fpga: AppProfile {
+            name: "OuterProduct".into(),
+            total_ops: (n * n) as f64,
+            fp_muls: (n * n) as f64,
+            fp_adds: 0.0,
+            ops_per_elem: 1.0,
+            // The FPGA cannot hold the large multi-ported output tiles
+            // (the paper's stated limiter), forcing smaller tiles and a
+            // refetch of the input vectors per output block — roughly
+            // doubling its DRAM traffic.
+            dense_bytes: 4.0 * (2 * n * n) as f64,
+            random_elems: 0.0,
+            // An FPGA struggles to instantiate many multi-ported tile
+            // buffers; each lane group needs a double-buffered t×t tile.
+            buffer_kb: (t * t * 4 * 2) as f64 / 1024.0,
+            app_parallelism: 32.0,
+            sequential_frac: 0.0,
+            serial_iters: 0.0,
+            serial_cycles: 0.0,
+        },
+    }
+}
+
+/// Black-Scholes European option pricing: a deep floating-point pipeline
+/// (ln/exp/sqrt/div) streamed over option records.
+pub fn black_scholes(scale: Scale) -> Bench {
+    let tile = 512usize;
+    let tiles = 4 * scale.0.max(2);
+    let n = tile * tiles;
+    let (r, v) = (0.05f32, 0.2f32);
+
+    let mut b = ProgramBuilder::new("BlackScholes");
+    let d_s = b.dram("spot", DType::F32, n);
+    let d_k = b.dram("strike", DType::F32, n);
+    let d_t = b.dram("time", DType::F32, n);
+    let d_call = b.dram("call", DType::F32, n);
+    let d_put = b.dram("put", DType::F32, n);
+    let ss = b.sram("ts", DType::F32, &[tile]);
+    let sk = b.sram("tk", DType::F32, &[tile]);
+    let st_ = b.sram("tt", DType::F32, &[tile]);
+    let sc = b.sram("tcall", DType::F32, &[tile]);
+    let sp = b.sram("tput", DType::F32, &[tile]);
+
+    let t = b.counter(0, tiles as i64, 1, 4);
+    let base = affine_func(&mut b, &[(t.index, tile as i64)], 0);
+    let ld_s = load_1d(&mut b, "ld_s", d_s, base, ss, tile);
+    let ld_k = load_1d(&mut b, "ld_k", d_k, base, sk, tile);
+    let ld_t = load_1d(&mut b, "ld_t", d_t, base, st_, tile);
+
+    let i = b.counter(0, tile as i64, 1, 16);
+    let ii = i.index;
+    let mut f = Func::new("bs");
+    let iv = f.index(ii);
+    let s = f.load(ss, vec![iv]);
+    let k = f.load(sk, vec![iv]);
+    let tm = f.load(st_, vec![iv]);
+    let rc = f.konst(Elem::F32(r));
+    let vc = f.konst(Elem::F32(v));
+    let half = f.konst(Elem::F32(0.5));
+    let one = f.konst(Elem::F32(1.0));
+    // d1 = (ln(S/K) + (r + v²/2)·t) / (v·√t)
+    let sk_ratio = f.binary(BinOp::Div, s, k);
+    let ln_sk = f.unary(UnaryOp::Ln, sk_ratio);
+    let v2 = f.binary(BinOp::Mul, vc, vc);
+    let v2h = f.binary(BinOp::Mul, v2, half);
+    let drift = f.binary(BinOp::Add, rc, v2h);
+    let drift_t = f.binary(BinOp::Mul, drift, tm);
+    let num = f.binary(BinOp::Add, ln_sk, drift_t);
+    let sqrt_t = f.unary(UnaryOp::Sqrt, tm);
+    let vsqrt = f.binary(BinOp::Mul, vc, sqrt_t);
+    let d1 = f.binary(BinOp::Div, num, vsqrt);
+    let d2 = f.binary(BinOp::Sub, d1, vsqrt);
+    let cnd1 = append_norm_cdf(&mut f, d1);
+    let cnd2 = append_norm_cdf(&mut f, d2);
+    // e^{-r t}
+    let rt = f.binary(BinOp::Mul, rc, tm);
+    let nrt = f.unary(UnaryOp::Neg, rt);
+    let ert = f.unary(UnaryOp::Exp, nrt);
+    let kd = f.binary(BinOp::Mul, k, ert);
+    // call = S·Φ(d1) − K·e^{-rt}·Φ(d2)
+    let s_cnd1 = f.binary(BinOp::Mul, s, cnd1);
+    let k_cnd2 = f.binary(BinOp::Mul, kd, cnd2);
+    let call = f.binary(BinOp::Sub, s_cnd1, k_cnd2);
+    // put = K·e^{-rt}·(1−Φ(d2)) − S·(1−Φ(d1))
+    let om_cnd2 = f.binary(BinOp::Sub, one, cnd2);
+    let om_cnd1 = f.binary(BinOp::Sub, one, cnd1);
+    let k_om = f.binary(BinOp::Mul, kd, om_cnd2);
+    let s_om = f.binary(BinOp::Mul, s, om_cnd1);
+    let put = f.binary(BinOp::Sub, k_om, s_om);
+    f.set_outputs(vec![call, put]);
+    let f = b.func(f);
+    let wa = coords_func(&mut b, &[ii]);
+    let wa2 = coords_func(&mut b, &[ii]);
+    let compute = b.inner(
+        "bs",
+        vec![i],
+        InnerOp::Map(MapPipe {
+            body: f,
+            writes: vec![
+                PipeWrite {
+                    sram: sc,
+                    addr: wa,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                },
+                PipeWrite {
+                    sram: sp,
+                    addr: wa2,
+                    value_slot: 1,
+                    mode: WriteMode::Overwrite,
+                },
+            ],
+        }),
+    );
+    let st_c = store_1d(&mut b, "st_call", d_call, base, sc, tile);
+    let st_p = store_1d(&mut b, "st_put", d_put, base, sp, tile);
+    let tiles_loop = b.outer(
+        "tiles",
+        Schedule::Pipelined,
+        vec![t],
+        vec![ld_s, ld_k, ld_t, compute, st_c, st_p],
+    );
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![tiles_loop]);
+    let program = b.finish(root).expect("black-scholes validates");
+
+    let spot: Vec<Elem> = (0..n)
+        .map(|i| Elem::F32(20.0 + 80.0 * hash_unit_f32(i as u64, 5)))
+        .collect();
+    let strike: Vec<Elem> = (0..n)
+        .map(|i| Elem::F32(20.0 + 80.0 * hash_unit_f32(i as u64, 6)))
+        .collect();
+    let time: Vec<Elem> = (0..n)
+        .map(|i| Elem::F32(0.1 + 2.0 * hash_unit_f32(i as u64, 7)))
+        .collect();
+    let cnd = norm_cdf;
+    let mut call = vec![Elem::F32(0.0); n];
+    let mut put = vec![Elem::F32(0.0); n];
+    for i in 0..n {
+        let (s, k, tm) = (
+            spot[i].as_f32().unwrap(),
+            strike[i].as_f32().unwrap(),
+            time[i].as_f32().unwrap(),
+        );
+        let vsqrt = v * tm.sqrt();
+        let d1 = ((s / k).ln() + (r + v * v * 0.5) * tm) / vsqrt;
+        let d2 = d1 - vsqrt;
+        let kd = k * (-r * tm).exp();
+        call[i] = Elem::F32(s * cnd(d1) - kd * cnd(d2));
+        put[i] = Elem::F32(kd * (1.0 - cnd(d2)) - s * (1.0 - cnd(d1)));
+    }
+
+    Bench {
+        name: "BlackScholes".into(),
+        program,
+        inputs: vec![(d_s, spot), (d_k, strike), (d_t, time)],
+        expect_drams: vec![(d_call, call), (d_put, put)],
+        expect_regs: vec![],
+        fpga: AppProfile {
+            name: "BlackScholes".into(),
+            total_ops: 61.0 * n as f64,
+            fp_muls: 26.0 * n as f64,
+            fp_adds: 35.0 * n as f64,
+            ops_per_elem: 61.0,
+            dense_bytes: 20.0 * n as f64,
+            random_elems: 0.0,
+            buffer_kb: 5.0 * tile as f64 * 4.0 * 2.0 / 1024.0,
+            app_parallelism: 32.0,
+            sequential_frac: 0.0,
+            serial_iters: 0.0,
+            serial_cycles: 0.0,
+        },
+    }
+}
+
+/// TPC-H Query 6: a filter-reduce over line items (predicated fold — the
+/// conditional-selection special case of `FlatMap`, §2.1).
+pub fn tpchq6(scale: Scale) -> Bench {
+    let tile = 512usize;
+    let tiles = 8 * scale.0;
+    let n = tile * tiles;
+    let mut b = ProgramBuilder::new("TPCHQ6");
+    let d_date = b.dram("shipdate", DType::I32, n);
+    let d_disc = b.dram("discount", DType::I32, n);
+    let d_qty = b.dram("quantity", DType::I32, n);
+    let d_price = b.dram("price", DType::I32, n);
+    let s_date = b.sram("t_date", DType::I32, &[tile]);
+    let s_disc = b.sram("t_disc", DType::I32, &[tile]);
+    let s_qty = b.sram("t_qty", DType::I32, &[tile]);
+    let s_price = b.sram("t_price", DType::I32, &[tile]);
+    let revenue = b.reg("revenue", DType::I32);
+
+    let t = b.counter(0, tiles as i64, 1, 2);
+    let base = affine_func(&mut b, &[(t.index, tile as i64)], 0);
+    let l1 = load_1d(&mut b, "ld_date", d_date, base, s_date, tile);
+    let l2 = load_1d(&mut b, "ld_disc", d_disc, base, s_disc, tile);
+    let l3 = load_1d(&mut b, "ld_qty", d_qty, base, s_qty, tile);
+    let l4 = load_1d(&mut b, "ld_price", d_price, base, s_price, tile);
+
+    let i = b.counter(0, tile as i64, 1, 16);
+    let mut f = Func::new("q6");
+    let iv = f.index(i.index);
+    let date = f.load(s_date, vec![iv]);
+    let disc = f.load(s_disc, vec![iv]);
+    let qty = f.load(s_qty, vec![iv]);
+    let price = f.load(s_price, vec![iv]);
+    let d_lo = f.konst(Elem::I32(3650));
+    let d_hi = f.konst(Elem::I32(4015));
+    let disc_lo = f.konst(Elem::I32(5));
+    let disc_hi = f.konst(Elem::I32(7));
+    let q_hi = f.konst(Elem::I32(24));
+    let zero = f.konst(Elem::I32(0));
+    let p1 = f.binary(BinOp::Ge, date, d_lo);
+    let p2 = f.binary(BinOp::Lt, date, d_hi);
+    let p3 = f.binary(BinOp::Ge, disc, disc_lo);
+    let p4 = f.binary(BinOp::Le, disc, disc_hi);
+    let p5 = f.binary(BinOp::Lt, qty, q_hi);
+    let p12 = f.binary(BinOp::And, p1, p2);
+    let p34 = f.binary(BinOp::And, p3, p4);
+    let p1234 = f.binary(BinOp::And, p12, p34);
+    let pred = f.binary(BinOp::And, p1234, p5);
+    let val = f.binary(BinOp::Mul, price, disc);
+    let sel = f.mux(pred, val, zero);
+    f.set_outputs(vec![sel]);
+    let f = b.func(f);
+    let fold = b.inner(
+        "q6",
+        vec![i],
+        InnerOp::Fold(FoldPipe {
+            map: f,
+            combine: vec![BinOp::Add],
+            init: vec![FoldInit::Resume],
+            out_regs: vec![Some(revenue)],
+            writes: vec![],
+        }),
+    );
+    let tiles_loop = b.outer(
+        "tiles",
+        Schedule::Pipelined,
+        vec![t],
+        vec![l1, l2, l3, l4, fold],
+    );
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![tiles_loop]);
+    let program = b.finish(root).expect("tpchq6 validates");
+
+    let date: Vec<Elem> = (0..n)
+        .map(|i| Elem::I32((hash_u64(i as u64, 8) % 7300) as i32))
+        .collect();
+    let disc: Vec<Elem> = (0..n)
+        .map(|i| Elem::I32((hash_u64(i as u64, 9) % 11) as i32))
+        .collect();
+    let qty: Vec<Elem> = (0..n)
+        .map(|i| Elem::I32((hash_u64(i as u64, 10) % 50) as i32))
+        .collect();
+    let price: Vec<Elem> = (0..n)
+        .map(|i| Elem::I32((hash_u64(i as u64, 11) % 1000) as i32))
+        .collect();
+    let mut rev: i32 = 0;
+    for i in 0..n {
+        let d = date[i].as_i32().unwrap();
+        let dc = disc[i].as_i32().unwrap();
+        let q = qty[i].as_i32().unwrap();
+        if (3650..4015).contains(&d) && (5..=7).contains(&dc) && q < 24 {
+            rev = rev.wrapping_add(price[i].as_i32().unwrap().wrapping_mul(dc));
+        }
+    }
+
+    Bench {
+        name: "TPCHQ6".into(),
+        program,
+        inputs: vec![
+            (d_date, date),
+            (d_disc, disc),
+            (d_qty, qty),
+            (d_price, price),
+        ],
+        expect_drams: vec![],
+        expect_regs: vec![(revenue, Elem::I32(rev))],
+        fpga: AppProfile {
+            name: "TPCHQ6".into(),
+            total_ops: 12.0 * n as f64,
+            fp_muls: 0.0,
+            fp_adds: 0.0,
+            ops_per_elem: 12.0,
+            dense_bytes: 16.0 * n as f64,
+            random_elems: 0.0,
+            buffer_kb: 4.0 * tile as f64 * 4.0 * 2.0 / 1024.0,
+            app_parallelism: 32.0,
+            sequential_frac: 0.0,
+            serial_iters: 0.0,
+            serial_cycles: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_product_functional() {
+        inner_product(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn outer_product_functional() {
+        outer_product(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn black_scholes_functional() {
+        black_scholes(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn tpchq6_functional() {
+        tpchq6(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn black_scholes_prices_satisfy_put_call_parity() {
+        // call − put = S − K·e^{−rt} under the model's own CND surrogate.
+        let bench = black_scholes(Scale::tiny());
+        let m = bench.run_and_verify().unwrap();
+        let spot = &bench.inputs[0].1;
+        let strike = &bench.inputs[1].1;
+        let time = &bench.inputs[2].1;
+        let call = m.dram_data(bench.expect_drams[0].0);
+        let put = m.dram_data(bench.expect_drams[1].0);
+        for i in (0..spot.len()).step_by(97) {
+            let s = spot[i].as_f32().unwrap();
+            let k = strike[i].as_f32().unwrap();
+            let t = time[i].as_f32().unwrap();
+            let lhs = call[i].as_f32().unwrap() - put[i].as_f32().unwrap();
+            let rhs = s - k * (-0.05 * t).exp();
+            assert!((lhs - rhs).abs() < 1e-2, "parity at {i}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn tpchq6_revenue_is_nonzero_and_selective() {
+        let bench = tpchq6(Scale::tiny());
+        let m = bench.run_and_verify().unwrap();
+        let rev = m.reg(bench.expect_regs[0].0).as_i32().unwrap();
+        assert!(rev > 0, "filter should select some rows");
+    }
+}

@@ -1,0 +1,793 @@
+//! Machine-learning kernels: GDA, LogReg, SGD, and K-means (Table 4).
+
+use crate::util::*;
+use crate::{Bench, Scale};
+use plasticine_fpga::AppProfile;
+use plasticine_ppir::*;
+
+/// Gaussian discriminant analysis: the covariance accumulation
+/// `Σ += (x − μ[y]) (x − μ[y])ᵀ`, with the per-class mean vector read
+/// through a *duplicated* scratchpad (data-dependent on-chip gather, §3.2).
+pub fn gda(scale: Scale) -> Bench {
+    let d = 32usize;
+    let pt = 16usize;
+    let blocks = 2 * scale.0;
+    let p = pt * blocks;
+    let classes = 2usize;
+
+    let mut b = ProgramBuilder::new("GDA");
+    let d_x = b.dram("x", DType::F32, p * d);
+    let d_y = b.dram("y", DType::I32, p);
+    let d_mu = b.dram("mu", DType::F32, classes * d);
+    let d_sigma = b.dram("sigma", DType::F32, d * d);
+    let s_mu = b.sram_banked("s_mu", DType::F32, &[classes, d], BankingMode::Duplication);
+    let s_x = b.sram("s_x", DType::F32, &[pt, d]);
+    let s_y = b.sram("s_y", DType::I32, &[pt]);
+    let s_sigma = b.sram("s_sigma", DType::F32, &[d, d]);
+
+    let zero = const_func(&mut b, 0);
+    let ld_mu = load_1d(&mut b, "ld_mu", d_mu, zero, s_mu, classes * d);
+
+    // Zero the covariance accumulator.
+    let zi = b.counter(0, d as i64, 1, 1);
+    let zj = b.counter(0, d as i64, 1, 16);
+    let (zii, zji) = (zi.index, zj.index);
+    let mut zf = Func::new("zero");
+    let z = zf.konst(Elem::F32(0.0));
+    zf.set_outputs(vec![z]);
+    let zf = b.func(zf);
+    let zaddr = coords_func(&mut b, &[zii, zji]);
+    let zero_sigma = b.inner(
+        "zero_sigma",
+        vec![zi, zj],
+        InnerOp::Map(MapPipe {
+            body: zf,
+            writes: vec![PipeWrite {
+                sram: s_sigma,
+                addr: zaddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+
+    // Point blocks.
+    let pb = b.counter(0, blocks as i64, 1, 2);
+    let pbi = pb.index;
+    let base_x = affine_func(&mut b, &[(pbi, (pt * d) as i64)], 0);
+    let base_y = affine_func(&mut b, &[(pbi, pt as i64)], 0);
+    let ld_x = load_1d(&mut b, "ld_x", d_x, base_x, s_x, pt * d);
+    let ld_y = load_1d(&mut b, "ld_y", d_y, base_y, s_y, pt);
+
+    // Per point: accumulate the outer product of (x − μ[y]).
+    let cp = b.counter(0, pt as i64, 1, 1);
+    let pi = cp.index;
+    let ci = b.counter(0, d as i64, 1, 2);
+    let cj = b.counter(0, d as i64, 1, 16);
+    let (iii, jji) = (ci.index, cj.index);
+    let mut f = Func::new("outer");
+    let pv = f.index(pi);
+    let iv = f.index(iii);
+    let jv = f.index(jji);
+    let y = f.load(s_y, vec![pv]);
+    let xi = f.load(s_x, vec![pv, iv]);
+    let xj = f.load(s_x, vec![pv, jv]);
+    let mui = f.load(s_mu, vec![y, iv]);
+    let muj = f.load(s_mu, vec![y, jv]);
+    let di = f.binary(BinOp::Sub, xi, mui);
+    let dj = f.binary(BinOp::Sub, xj, muj);
+    let prod = f.binary(BinOp::Mul, di, dj);
+    f.set_outputs(vec![prod]);
+    let f = b.func(f);
+    let saddr = coords_func(&mut b, &[iii, jji]);
+    let acc = b.inner(
+        "acc",
+        vec![ci, cj],
+        InnerOp::Map(MapPipe {
+            body: f,
+            writes: vec![PipeWrite {
+                sram: s_sigma,
+                addr: saddr,
+                value_slot: 0,
+                mode: WriteMode::Accumulate(BinOp::Add),
+            }],
+        }),
+    );
+    let pts = b.outer("pts", Schedule::Sequential, vec![cp], vec![acc]);
+    let blocks_loop = b.outer(
+        "blocks",
+        Schedule::Pipelined,
+        vec![pb],
+        vec![ld_x, ld_y, pts],
+    );
+    let st_sigma = store_1d(&mut b, "st_sigma", d_sigma, zero, s_sigma, d * d);
+    let root = b.outer(
+        "root",
+        Schedule::Sequential,
+        vec![],
+        vec![ld_mu, zero_sigma, blocks_loop, st_sigma],
+    );
+    let program = b.finish(root).expect("gda validates");
+
+    // Data + golden.
+    let x: Vec<Elem> = (0..p * d)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 30)))
+        .collect();
+    let y: Vec<Elem> = (0..p)
+        .map(|i| Elem::I32((hash_u64(i as u64, 31) % classes as u64) as i32))
+        .collect();
+    let mu: Vec<Elem> = (0..classes * d)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 32)))
+        .collect();
+    let mut sigma = vec![0.0f32; d * d];
+    for pp in 0..p {
+        let cls = y[pp].as_i32().unwrap() as usize;
+        for i in 0..d {
+            for j in 0..d {
+                let di = x[pp * d + i].as_f32().unwrap() - mu[cls * d + i].as_f32().unwrap();
+                let dj = x[pp * d + j].as_f32().unwrap() - mu[cls * d + j].as_f32().unwrap();
+                sigma[i * d + j] += di * dj;
+            }
+        }
+    }
+    let sigma: Vec<Elem> = sigma.into_iter().map(Elem::F32).collect();
+
+    Bench {
+        name: "GDA".into(),
+        program,
+        inputs: vec![(d_x, x), (d_y, y), (d_mu, mu)],
+        expect_drams: vec![(d_sigma, sigma)],
+        expect_regs: vec![],
+        fpga: AppProfile {
+            name: "GDA".into(),
+            total_ops: (p * d * d * 4) as f64,
+            fp_muls: (p * d * d) as f64,
+            fp_adds: (p * d * d * 3) as f64,
+            ops_per_elem: 4.0,
+            dense_bytes: 4.0 * (p * d + p + d * d) as f64,
+            random_elems: 0.0,
+            buffer_kb: ((pt * d + d * d + classes * d) * 4 * 2) as f64 / 1024.0,
+            app_parallelism: 48.0,
+            sequential_frac: 0.0,
+            // The per-point covariance accumulation is loop-carried on Σ.
+            serial_iters: p as f64,
+            serial_cycles: (d * d / 16 + 30) as f64,
+        },
+    }
+}
+
+/// Shared structure of LogReg and SGD: per-point dot product + scalar link
+/// + vector update, with a sequential point loop.
+struct GradientSpec {
+    name: &'static str,
+    logistic: bool,
+    alpha: f32,
+    iters: usize,
+}
+
+fn gradient_bench(scale: Scale, spec: GradientSpec) -> Bench {
+    let d = 128usize;
+    let pt = 16usize;
+    let blocks = 2 * scale.0;
+    let p = pt * blocks;
+
+    let mut b = ProgramBuilder::new(spec.name);
+    let d_x = b.dram("x", DType::F32, p * d);
+    let d_y = b.dram("y", DType::F32, p);
+    let d_w = b.dram("w", DType::F32, d);
+    let s_x = b.sram("s_x", DType::F32, &[pt, d]);
+    let s_y = b.sram("s_y", DType::F32, &[pt]);
+    let s_w = b.sram("s_w", DType::F32, &[d]);
+    let s_grad = b.sram("s_grad", DType::F32, &[d]);
+    let z = b.reg("z", DType::F32);
+    let g = b.reg("g", DType::F32);
+
+    let zero = const_func(&mut b, 0);
+
+    // w := 0
+    let cw = b.counter(0, d as i64, 1, 16);
+    let cwi = cw.index;
+    let mut zf = Func::new("zerof");
+    let zc = zf.konst(Elem::F32(0.0));
+    zf.set_outputs(vec![zc]);
+    let zf = b.func(zf);
+    let waddr = coords_func(&mut b, &[cwi]);
+    let zero_w = b.inner(
+        "zero_w",
+        vec![cw],
+        InnerOp::Map(MapPipe {
+            body: zf,
+            writes: vec![PipeWrite {
+                sram: s_w,
+                addr: waddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+
+    // grad := 0 (per iteration; LogReg only, but harmless for SGD).
+    let cg = b.counter(0, d as i64, 1, 16);
+    let cgi = cg.index;
+    let gaddr = coords_func(&mut b, &[cgi]);
+    let zero_grad = b.inner(
+        "zero_grad",
+        vec![cg],
+        InnerOp::Map(MapPipe {
+            body: zf,
+            writes: vec![PipeWrite {
+                sram: s_grad,
+                addr: gaddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+
+    // Point blocks.
+    let pb = b.counter(0, blocks as i64, 1, 1);
+    let pbi = pb.index;
+    let base_x = affine_func(&mut b, &[(pbi, (pt * d) as i64)], 0);
+    let base_y = affine_func(&mut b, &[(pbi, pt as i64)], 0);
+    let ld_x = load_1d(&mut b, "ld_x", d_x, base_x, s_x, pt * d);
+    let ld_y = load_1d(&mut b, "ld_y", d_y, base_y, s_y, pt);
+
+    let cp = b.counter(0, pt as i64, 1, 1);
+    let pi = cp.index;
+
+    // z = w · x[p]
+    let ck = b.counter(0, d as i64, 1, 16);
+    let cki = ck.index;
+    let mut dotf = Func::new("dot");
+    let pv = dotf.index(pi);
+    let kv = dotf.index(cki);
+    let wv = dotf.load(s_w, vec![kv]);
+    let xv = dotf.load(s_x, vec![pv, kv]);
+    let prod = dotf.binary(BinOp::Mul, wv, xv);
+    dotf.set_outputs(vec![prod]);
+    let dotf = b.func(dotf);
+    let dot = b.inner(
+        "dot",
+        vec![ck],
+        InnerOp::Fold(FoldPipe {
+            map: dotf,
+            combine: vec![BinOp::Add],
+            init: vec![FoldInit::Const(Elem::F32(0.0))],
+            out_regs: vec![Some(z)],
+            writes: vec![],
+        }),
+    );
+
+    // Scalar link: g = y − σ(z) (LogReg) or g = α·(z − y) (SGD).
+    let mut gf = Func::new("glink");
+    let pv = gf.index(pi);
+    let yv = gf.load(s_y, vec![pv]);
+    let zv = gf.read_reg(z);
+    let gval = if spec.logistic {
+        let s = append_cnd(&mut gf, zv); // logistic σ via the CND helper
+        gf.binary(BinOp::Sub, yv, s)
+    } else {
+        let e = gf.binary(BinOp::Sub, zv, yv);
+        let a = gf.konst(Elem::F32(spec.alpha));
+        gf.binary(BinOp::Mul, a, e)
+    };
+    gf.set_outputs(vec![gval]);
+    let gf = b.func(gf);
+    let glink = b.inner("glink", vec![], InnerOp::RegWrite(RegWrite { reg: g, func: gf }));
+
+    // Vector update.
+    let cu = b.counter(0, d as i64, 1, 16);
+    let cui = cu.index;
+    let mut uf = Func::new("update");
+    let pv = uf.index(pi);
+    let kv = uf.index(cui);
+    let xv = uf.load(s_x, vec![pv, kv]);
+    let gv = uf.read_reg(g);
+    let upd_val = if spec.logistic {
+        // grad[k] += g · x[k]
+        uf.binary(BinOp::Mul, gv, xv)
+    } else {
+        // w[k] += −g · x[k]
+        let t = uf.binary(BinOp::Mul, gv, xv);
+        uf.unary(UnaryOp::Neg, t)
+    };
+    uf.set_outputs(vec![upd_val]);
+    let uf = b.func(uf);
+    let uaddr = coords_func(&mut b, &[cui]);
+    let target = if spec.logistic { s_grad } else { s_w };
+    let update = b.inner(
+        "update",
+        vec![cu],
+        InnerOp::Map(MapPipe {
+            body: uf,
+            writes: vec![PipeWrite {
+                sram: target,
+                addr: uaddr,
+                value_slot: 0,
+                mode: WriteMode::Accumulate(BinOp::Add),
+            }],
+        }),
+    );
+
+    let pts = b.outer("pts", Schedule::Sequential, vec![cp], vec![dot, glink, update]);
+    let blocks_loop = b.outer(
+        "blocks",
+        Schedule::Sequential,
+        vec![pb],
+        vec![ld_x, ld_y, pts],
+    );
+
+    // LogReg epoch apply: w += α·grad.
+    let ca = b.counter(0, d as i64, 1, 16);
+    let cai = ca.index;
+    let mut af = Func::new("apply");
+    let kv = af.index(cai);
+    let gv = af.load(s_grad, vec![kv]);
+    let alpha = af.konst(Elem::F32(spec.alpha));
+    let step = af.binary(BinOp::Mul, alpha, gv);
+    af.set_outputs(vec![step]);
+    let af = b.func(af);
+    let aaddr = coords_func(&mut b, &[cai]);
+    let apply = b.inner(
+        "apply",
+        vec![ca],
+        InnerOp::Map(MapPipe {
+            body: af,
+            writes: vec![PipeWrite {
+                sram: s_w,
+                addr: aaddr,
+                value_slot: 0,
+                mode: WriteMode::Accumulate(BinOp::Add),
+            }],
+        }),
+    );
+
+    let it = b.counter(0, spec.iters as i64, 1, 1);
+    let iter_children = if spec.logistic {
+        vec![zero_grad, blocks_loop, apply]
+    } else {
+        vec![zero_grad, blocks_loop]
+    };
+    let iters = b.outer("iters", Schedule::Sequential, vec![it], iter_children);
+    let st_w = store_1d(&mut b, "st_w", d_w, zero, s_w, d);
+    let root = b.outer(
+        "root",
+        Schedule::Sequential,
+        vec![],
+        vec![zero_w, iters, st_w],
+    );
+    let program = b.finish(root).expect("gradient kernel validates");
+
+    // Data + golden (exact replication of device order).
+    let x: Vec<Elem> = (0..p * d)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 40) - 0.5))
+        .collect();
+    let yv: Vec<Elem> = (0..p)
+        .map(|i| Elem::F32(if hash_u64(i as u64, 41) % 2 == 0 { 0.0 } else { 1.0 }))
+        .collect();
+    let mut w = vec![0.0f32; d];
+    let cnd = |v: f32| 1.0 / (1.0 + (-1.702 * v).exp());
+    for _ in 0..spec.iters {
+        let mut grad = vec![0.0f32; d];
+        for pp in 0..p {
+            let mut zh = 0.0f32;
+            for k in 0..d {
+                zh += w[k] * x[pp * d + k].as_f32().unwrap();
+            }
+            if spec.logistic {
+                let gh = yv[pp].as_f32().unwrap() - cnd(zh);
+                for k in 0..d {
+                    grad[k] += gh * x[pp * d + k].as_f32().unwrap();
+                }
+            } else {
+                let gh = spec.alpha * (zh - yv[pp].as_f32().unwrap());
+                for k in 0..d {
+                    w[k] += -(gh * x[pp * d + k].as_f32().unwrap());
+                }
+            }
+        }
+        if spec.logistic {
+            for k in 0..d {
+                w[k] += spec.alpha * grad[k];
+            }
+        }
+    }
+    let w: Vec<Elem> = w.into_iter().map(Elem::F32).collect();
+
+    Bench {
+        name: spec.name.into(),
+        program,
+        inputs: vec![(d_x, x), (d_y, yv)],
+        expect_drams: vec![(d_w, w)],
+        expect_regs: vec![],
+        fpga: AppProfile {
+            name: spec.name.into(),
+            total_ops: (spec.iters * p * (4 * d + 8)) as f64,
+            fp_muls: (spec.iters * p * 2 * d) as f64,
+            fp_adds: (spec.iters * p * 2 * d) as f64,
+            ops_per_elem: 4.0,
+            dense_bytes: (spec.iters * (p * d + p) * 4) as f64,
+            random_elems: 0.0,
+            buffer_kb: ((pt * d + 2 * d) * 4 * 2) as f64 / 1024.0,
+            app_parallelism: 16.0,
+            // The point loop is inherently sequential (§4.5: SGD "has
+            // sequential outer loops"): each point's update must finish
+            // before the next dot product can use the weights.
+            sequential_frac: 0.0,
+            serial_iters: (spec.iters * p) as f64,
+            serial_cycles: (d / 16 + 30) as f64,
+        },
+    }
+}
+
+/// Logistic regression with batch gradient descent.
+pub fn logreg(scale: Scale) -> Bench {
+    gradient_bench(
+        scale,
+        GradientSpec {
+            name: "LogReg",
+            logistic: true,
+            alpha: 0.1,
+            iters: 1,
+        },
+    )
+}
+
+/// Stochastic gradient descent on a linear model (per-point updates,
+/// inherently sequential).
+pub fn sgd(scale: Scale) -> Bench {
+    gradient_bench(
+        scale,
+        GradientSpec {
+            name: "SGD",
+            logistic: false,
+            alpha: 0.05,
+            iters: 1,
+        },
+    )
+}
+
+/// K-means clustering with a dense HashReduce: per point, distances to all
+/// centroids, an argmin fold over a packed (distance, index) key, and
+/// accumulate-writes into per-cluster sums and counts keyed by the winner.
+pub fn kmeans(scale: Scale) -> Bench {
+    let d = 32usize;
+    let k = 8usize;
+    let pt = 16usize;
+    let blocks = 2 * scale.0;
+    let p = pt * blocks;
+    let iters = 1usize;
+
+    let mut b = ProgramBuilder::new("Kmeans");
+    let d_x = b.dram("x", DType::F32, p * d);
+    let d_cin = b.dram("cent_in", DType::F32, k * d);
+    let d_cout = b.dram("cent_out", DType::F32, k * d);
+    let s_x = b.sram("s_x", DType::F32, &[pt, d]);
+    let s_cent = b.sram("s_cent", DType::F32, &[k, d]);
+    let s_sums = b.sram("s_sums", DType::F32, &[k, d]);
+    let s_counts = b.sram("s_counts", DType::I32, &[k]);
+    let s_dists = b.sram("s_dists", DType::F32, &[k]);
+    let minkey = b.reg("minkey", DType::I32);
+    let bestk = b.reg("bestk", DType::I32);
+
+    let zero = const_func(&mut b, 0);
+    let ld_cent = load_1d(&mut b, "ld_cent", d_cin, zero, s_cent, k * d);
+
+    // Zero sums and counts.
+    let zk = b.counter(0, k as i64, 1, 1);
+    let zd = b.counter(0, d as i64, 1, 16);
+    let (zki, zdi) = (zk.index, zd.index);
+    let mut zf32 = Func::new("z32");
+    let zc = zf32.konst(Elem::F32(0.0));
+    zf32.set_outputs(vec![zc]);
+    let zf32 = b.func(zf32);
+    let zaddr = coords_func(&mut b, &[zki, zdi]);
+    let zero_sums = b.inner(
+        "zero_sums",
+        vec![zk, zd],
+        InnerOp::Map(MapPipe {
+            body: zf32,
+            writes: vec![PipeWrite {
+                sram: s_sums,
+                addr: zaddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let zc2 = b.counter(0, k as i64, 1, 1);
+    let zc2i = zc2.index;
+    let mut zi32 = Func::new("zi32");
+    let zc0 = zi32.konst(Elem::I32(0));
+    zi32.set_outputs(vec![zc0]);
+    let zi32 = b.func(zi32);
+    let caddr = coords_func(&mut b, &[zc2i]);
+    let zero_counts = b.inner(
+        "zero_counts",
+        vec![zc2],
+        InnerOp::Map(MapPipe {
+            body: zi32,
+            writes: vec![PipeWrite {
+                sram: s_counts,
+                addr: caddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+
+    // Point blocks.
+    let pb = b.counter(0, blocks as i64, 1, 1);
+    let pbi = pb.index;
+    let base_x = affine_func(&mut b, &[(pbi, (pt * d) as i64)], 0);
+    let ld_x = load_1d(&mut b, "ld_x", d_x, base_x, s_x, pt * d);
+
+    let cp = b.counter(0, pt as i64, 1, 1);
+    let pi = cp.index;
+
+    // Distances: for each centroid, fold of squared differences
+    // (centroids overlap pairwise in the distance pipeline).
+    let ck = b.counter(0, k as i64, 1, 2);
+    let cki = ck.index;
+    let cd = b.counter(0, d as i64, 1, 16);
+    let cdi = cd.index;
+    let mut df = Func::new("dist");
+    let pv = df.index(pi);
+    let kv = df.index(cki);
+    let dv = df.index(cdi);
+    let xv = df.load(s_x, vec![pv, dv]);
+    let cv = df.load(s_cent, vec![kv, dv]);
+    let diff = df.binary(BinOp::Sub, xv, cv);
+    let sq = df.binary(BinOp::Mul, diff, diff);
+    df.set_outputs(vec![sq]);
+    let df = b.func(df);
+    let daddr = coords_func(&mut b, &[cki]);
+    let dist = b.inner(
+        "dist",
+        vec![cd],
+        InnerOp::Fold(FoldPipe {
+            map: df,
+            combine: vec![BinOp::Add],
+            init: vec![FoldInit::Const(Elem::F32(0.0))],
+            out_regs: vec![None],
+            writes: vec![PipeWrite {
+                sram: s_dists,
+                addr: daddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let dists = b.outer("dists", Schedule::Pipelined, vec![ck], vec![dist]);
+
+    // Argmin over a packed (quantized distance, index) key.
+    let ca = b.counter(0, k as i64, 1, 4);
+    let cai = ca.index;
+    let mut kf = Func::new("key");
+    let kv = kf.index(cai);
+    let dv = kf.load(s_dists, vec![kv]);
+    let q256 = kf.konst(Elem::F32(256.0));
+    let scaled = kf.binary(BinOp::Mul, dv, q256);
+    let qi = kf.unary(UnaryOp::F2I, scaled);
+    let kk = kf.konst(Elem::I32(k as i32));
+    let keyhi = kf.binary(BinOp::Mul, qi, kk);
+    let key = kf.binary(BinOp::Add, keyhi, kv);
+    kf.set_outputs(vec![key]);
+    let kf = b.func(kf);
+    let argmin = b.inner(
+        "argmin",
+        vec![ca],
+        InnerOp::Fold(FoldPipe {
+            map: kf,
+            combine: vec![BinOp::Min],
+            init: vec![FoldInit::Const(Elem::I32(i32::MAX))],
+            out_regs: vec![Some(minkey)],
+            writes: vec![],
+        }),
+    );
+    let mut bf = Func::new("bestk");
+    let mk = bf.read_reg(minkey);
+    let kk = bf.konst(Elem::I32(k as i32));
+    let bk = bf.binary(BinOp::Rem, mk, kk);
+    bf.set_outputs(vec![bk]);
+    let bf = b.func(bf);
+    let setbest = b.inner(
+        "setbest",
+        vec![],
+        InnerOp::RegWrite(RegWrite {
+            reg: bestk,
+            func: bf,
+        }),
+    );
+
+    // Accumulate the point into the winning cluster (dense HashReduce).
+    let cu = b.counter(0, d as i64, 1, 16);
+    let cui = cu.index;
+    let mut sf = Func::new("sumval");
+    let pv = sf.index(pi);
+    let dv = sf.index(cui);
+    let xv = sf.load(s_x, vec![pv, dv]);
+    sf.set_outputs(vec![xv]);
+    let sf = b.func(sf);
+    let mut sumaddr = Func::new("sumaddr");
+    let bkv = sumaddr.read_reg(bestk);
+    let dv2 = sumaddr.index(cui);
+    sumaddr.set_outputs(vec![bkv, dv2]);
+    let sumaddr = b.func(sumaddr);
+    let accum = b.inner(
+        "accum",
+        vec![cu],
+        InnerOp::Map(MapPipe {
+            body: sf,
+            writes: vec![PipeWrite {
+                sram: s_sums,
+                addr: sumaddr,
+                value_slot: 0,
+                mode: WriteMode::Accumulate(BinOp::Add),
+            }],
+        }),
+    );
+    let mut onef = Func::new("one");
+    let one = onef.konst(Elem::I32(1));
+    onef.set_outputs(vec![one]);
+    let onef = b.func(onef);
+    let mut cntaddr = Func::new("cntaddr");
+    let bkv = cntaddr.read_reg(bestk);
+    cntaddr.set_outputs(vec![bkv]);
+    let cntaddr = b.func(cntaddr);
+    let count = b.inner(
+        "count",
+        vec![],
+        InnerOp::Map(MapPipe {
+            body: onef,
+            writes: vec![PipeWrite {
+                sram: s_counts,
+                addr: cntaddr,
+                value_slot: 0,
+                mode: WriteMode::Accumulate(BinOp::Add),
+            }],
+        }),
+    );
+
+    let pts = b.outer(
+        "pts",
+        Schedule::Sequential,
+        vec![cp],
+        vec![dists, argmin, setbest, accum, count],
+    );
+    let blocks_loop = b.outer("blocks", Schedule::Sequential, vec![pb], vec![ld_x, pts]);
+
+    // New centroids: sums / counts (keep the old one for empty clusters).
+    let nk = b.counter(0, k as i64, 1, 1);
+    let nd = b.counter(0, d as i64, 1, 16);
+    let (nki, ndi) = (nk.index, nd.index);
+    let mut nf = Func::new("newcent");
+    let kv = nf.index(nki);
+    let dv = nf.index(ndi);
+    let sums = nf.load(s_sums, vec![kv, dv]);
+    let cnt = nf.load(s_counts, vec![kv]);
+    let old = nf.load(s_cent, vec![kv, dv]);
+    let zero0 = nf.konst(Elem::I32(0));
+    let pred = nf.binary(BinOp::Gt, cnt, zero0);
+    let cntf = nf.unary(UnaryOp::I2F, cnt);
+    let mean = nf.binary(BinOp::Div, sums, cntf);
+    let nv = nf.mux(pred, mean, old);
+    nf.set_outputs(vec![nv]);
+    let nf = b.func(nf);
+    let naddr = coords_func(&mut b, &[nki, ndi]);
+    let newcent = b.inner(
+        "newcent",
+        vec![nk, nd],
+        InnerOp::Map(MapPipe {
+            body: nf,
+            writes: vec![PipeWrite {
+                sram: s_cent,
+                addr: naddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+
+    let it = b.counter(0, iters as i64, 1, 1);
+    let iters_loop = b.outer(
+        "iters",
+        Schedule::Sequential,
+        vec![it],
+        vec![zero_sums, zero_counts, blocks_loop, newcent],
+    );
+    let st_cent = store_1d(&mut b, "st_cent", d_cout, zero, s_cent, k * d);
+    let root = b.outer(
+        "root",
+        Schedule::Sequential,
+        vec![],
+        vec![ld_cent, iters_loop, st_cent],
+    );
+    let program = b.finish(root).expect("kmeans validates");
+
+    // Data + golden.
+    let x: Vec<Elem> = (0..p * d)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 50)))
+        .collect();
+    let cent0: Vec<Elem> = (0..k * d)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 51)))
+        .collect();
+    let mut cent: Vec<f32> = cent0.iter().map(|e| e.as_f32().unwrap()).collect();
+    for _ in 0..iters {
+        let mut sums = vec![0.0f32; k * d];
+        let mut counts = vec![0i32; k];
+        for pp in 0..p {
+            let mut best_key = i32::MAX;
+            for kk in 0..k {
+                let mut dist = 0.0f32;
+                for dd in 0..d {
+                    let diff = x[pp * d + dd].as_f32().unwrap() - cent[kk * d + dd];
+                    dist += diff * diff;
+                }
+                let key = (dist * 256.0) as i32 * k as i32 + kk as i32;
+                best_key = best_key.min(key);
+            }
+            let win = (best_key % k as i32) as usize;
+            for dd in 0..d {
+                sums[win * d + dd] += x[pp * d + dd].as_f32().unwrap();
+            }
+            counts[win] += 1;
+        }
+        for kk in 0..k {
+            for dd in 0..d {
+                if counts[kk] > 0 {
+                    cent[kk * d + dd] = sums[kk * d + dd] / counts[kk] as f32;
+                }
+            }
+        }
+    }
+    let cent: Vec<Elem> = cent.into_iter().map(Elem::F32).collect();
+
+    Bench {
+        name: "Kmeans".into(),
+        program,
+        inputs: vec![(d_x, x), (d_cin, cent0)],
+        expect_drams: vec![(d_cout, cent)],
+        expect_regs: vec![],
+        fpga: AppProfile {
+            name: "Kmeans".into(),
+            total_ops: (iters * p * (3 * k * d + 4 * k + d)) as f64,
+            fp_muls: (iters * p * k * d) as f64,
+            fp_adds: (iters * p * 2 * k * d) as f64,
+            ops_per_elem: (3 * k) as f64,
+            dense_bytes: (iters * p * d * 4) as f64,
+            random_elems: 0.0,
+            buffer_kb: ((pt * d + 3 * k * d + 2 * k) * 4 * 2) as f64 / 1024.0,
+            app_parallelism: 16.0,
+            sequential_frac: 0.0,
+            // Each point's assignment depends on the running centroids.
+            serial_iters: (iters * p) as f64,
+            serial_cycles: (k * d / 16 + 40) as f64,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gda_functional() {
+        gda(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn logreg_functional() {
+        logreg(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn sgd_functional() {
+        sgd(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn kmeans_functional() {
+        kmeans(Scale::tiny()).run_and_verify().unwrap();
+    }
+}

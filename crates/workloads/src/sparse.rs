@@ -1,0 +1,836 @@
+//! Sparse benchmarks: SMDV, PageRank, and BFS (Table 4) — data-dependent
+//! trip counts, on-chip gathers through duplicated scratchpads, and
+//! off-chip gather/scatter through the coalescing units.
+
+use crate::util::*;
+use crate::{Bench, Scale};
+use plasticine_fpga::AppProfile;
+use plasticine_ppir::*;
+
+/// CSR structure generated with the paper's sparsity (`E[NNZ/row] ≈ 60`
+/// for SMDV, `E[edges] ≈ 8` for graphs).
+struct Csr {
+    ptr: Vec<i32>,
+    idx: Vec<i32>,
+}
+
+fn gen_csr(rows: usize, cols: usize, avg: usize, spread: usize, seed: u64) -> Csr {
+    let mut ptr = Vec::with_capacity(rows + 1);
+    let mut idx = Vec::new();
+    ptr.push(0);
+    for r in 0..rows {
+        let len = avg - spread / 2 + (hash_u64(r as u64, seed) % (spread as u64 + 1)) as usize;
+        for j in 0..len {
+            idx.push((hash_u64((r * 131 + j) as u64, seed + 1) % cols as u64) as i32);
+        }
+        ptr.push(idx.len() as i32);
+    }
+    Csr { ptr, idx }
+}
+
+/// Sparse matrix – dense vector multiply over CSR, with the dense vector
+/// held in a *duplicated* scratchpad so every lane has a random-read port.
+pub fn smdv(scale: Scale) -> Bench {
+    let rows = 64 * scale.0;
+    let cols = rows;
+    let avg = 60usize;
+    let csr = gen_csr(rows, cols, avg, 40, 70);
+    let nnz = csr.idx.len();
+
+    let mut b = ProgramBuilder::new("SMDV");
+    let d_ptr = b.dram("ptr", DType::I32, rows + 1);
+    let d_col = b.dram("col", DType::I32, nnz);
+    let d_val = b.dram("val", DType::F32, nnz);
+    let d_x = b.dram("x", DType::F32, cols);
+    let d_y = b.dram("y", DType::F32, rows);
+    let s_ptr = b.sram("s_ptr", DType::I32, &[rows + 1]);
+    let s_col = b.sram("s_col", DType::I32, &[nnz]);
+    let s_val = b.sram("s_val", DType::F32, &[nnz]);
+    let s_x = b.sram_banked("s_x", DType::F32, &[cols], BankingMode::Duplication);
+    let s_y = b.sram("s_y", DType::F32, &[rows]);
+    let r_s = b.reg("row_start", DType::I32);
+    let r_e = b.reg("row_end", DType::I32);
+
+    let zero = const_func(&mut b, 0);
+    let ld_ptr = load_1d(&mut b, "ld_ptr", d_ptr, zero, s_ptr, rows + 1);
+    let ld_col = load_1d(&mut b, "ld_col", d_col, zero, s_col, nnz);
+    let ld_val = load_1d(&mut b, "ld_val", d_val, zero, s_val, nnz);
+    let ld_x = load_1d(&mut b, "ld_x", d_x, zero, s_x, cols);
+
+    let cr = b.counter(0, rows as i64, 1, 4);
+    let ri = cr.index;
+    let mut sf = Func::new("row_start");
+    let rv = sf.index(ri);
+    let sp = sf.load(s_ptr, vec![rv]);
+    sf.set_outputs(vec![sp]);
+    let sf = b.func(sf);
+    let set_s = b.inner("set_s", vec![], InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }));
+    let mut ef = Func::new("row_end");
+    let rv = ef.index(ri);
+    let one = ef.konst(Elem::I32(1));
+    let r1 = ef.binary(BinOp::Add, rv, one);
+    let ep = ef.load(s_ptr, vec![r1]);
+    ef.set_outputs(vec![ep]);
+    let ef = b.func(ef);
+    let set_e = b.inner("set_e", vec![], InnerOp::RegWrite(RegWrite { reg: r_e, func: ef }));
+
+    let cj = Counter {
+        index: b.fresh_index(),
+        min: CBound::Reg(r_s),
+        max: CBound::Reg(r_e),
+        stride: 1,
+        par: 16,
+    };
+    let ji = cj.index;
+    let mut mf = Func::new("mac");
+    let jv = mf.index(ji);
+    let val = mf.load(s_val, vec![jv]);
+    let col = mf.load(s_col, vec![jv]);
+    let xv = mf.load(s_x, vec![col]); // on-chip gather via duplication
+    let prod = mf.binary(BinOp::Mul, val, xv);
+    mf.set_outputs(vec![prod]);
+    let mf = b.func(mf);
+    let yaddr = coords_func(&mut b, &[ri]);
+    let dot = b.inner(
+        "dot",
+        vec![cj],
+        InnerOp::Fold(FoldPipe {
+            map: mf,
+            combine: vec![BinOp::Add],
+            init: vec![FoldInit::Const(Elem::F32(0.0))],
+            out_regs: vec![None],
+            writes: vec![PipeWrite {
+                sram: s_y,
+                addr: yaddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let row_work = b.outer("row", Schedule::Sequential, vec![], vec![set_s, set_e, dot]);
+    let rows_loop = b.outer("rows", Schedule::Pipelined, vec![cr], vec![row_work]);
+    let st_y = store_1d(&mut b, "st_y", d_y, zero, s_y, rows);
+    let root = b.outer(
+        "root",
+        Schedule::Sequential,
+        vec![],
+        vec![ld_ptr, ld_col, ld_val, ld_x, rows_loop, st_y],
+    );
+    let program = b.finish(root).expect("smdv validates");
+
+    let vals: Vec<Elem> = (0..nnz)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 72) - 0.5))
+        .collect();
+    let x: Vec<Elem> = (0..cols)
+        .map(|i| Elem::F32(hash_unit_f32(i as u64, 73) - 0.5))
+        .collect();
+    let mut y = vec![Elem::F32(0.0); rows];
+    for r in 0..rows {
+        let mut acc = 0.0f32;
+        for j in csr.ptr[r] as usize..csr.ptr[r + 1] as usize {
+            acc += vals[j].as_f32().unwrap() * x[csr.idx[j] as usize].as_f32().unwrap();
+        }
+        y[r] = Elem::F32(acc);
+    }
+
+    Bench {
+        name: "SMDV".into(),
+        program,
+        inputs: vec![
+            (d_ptr, csr.ptr.iter().map(|&v| Elem::I32(v)).collect()),
+            (d_col, csr.idx.iter().map(|&v| Elem::I32(v)).collect()),
+            (d_val, vals),
+            (d_x, x),
+        ],
+        expect_drams: vec![(d_y, y)],
+        expect_regs: vec![],
+        fpga: AppProfile {
+            name: "SMDV".into(),
+            total_ops: 2.0 * nnz as f64,
+            fp_muls: nnz as f64,
+            fp_adds: nnz as f64,
+            ops_per_elem: 2.0,
+            dense_bytes: 4.0 * (2 * nnz + 2 * rows + cols) as f64,
+            // x fits in FPGA BRAM, but block RAM is dual-ported: at most
+            // two random reads of x per cycle, capping lane parallelism.
+            random_elems: 0.0,
+            buffer_kb: 16.0,
+            app_parallelism: 2.0,
+            sequential_frac: 0.0,
+            serial_iters: 0.0,
+            serial_cycles: 0.0,
+        },
+    }
+}
+
+/// PageRank with off-chip gathers of per-page contributions through the
+/// coalescing units.
+pub fn pagerank(scale: Scale) -> Bench {
+    let n = 64 * scale.0;
+    let iters = 3usize;
+    let damp = 0.85f32;
+    let csr = gen_csr(n, n, 8, 8, 80); // in-edges per page
+    let nnz = csr.idx.len();
+    let max_deg = (0..n)
+        .map(|r| (csr.ptr[r + 1] - csr.ptr[r]) as usize)
+        .max()
+        .unwrap_or(1);
+
+    let mut b = ProgramBuilder::new("PageRank");
+    let d_ptr = b.dram("ptr", DType::I32, n + 1);
+    let d_src = b.dram("src", DType::I32, nnz);
+    let d_r = b.dram("rank", DType::F32, n);
+    let d_deg = b.dram("deg", DType::F32, n);
+    let d_c = b.dram("contrib", DType::F32, n);
+    let d_rnew = b.dram("rank_new", DType::F32, n);
+    let s_ptr = b.sram("s_ptr", DType::I32, &[n + 1]);
+    let s_src = b.sram("s_src", DType::I32, &[nnz]);
+    let s_r = b.sram("s_r", DType::F32, &[n]);
+    let s_deg = b.sram("s_deg", DType::F32, &[n]);
+    let s_c = b.sram("s_c", DType::F32, &[n]);
+    let s_gbuf = b.sram("s_gbuf", DType::F32, &[max_deg]);
+    let s_rnew = b.sram("s_rnew", DType::F32, &[n]);
+    let r_s = b.reg("row_start", DType::I32);
+    let r_len = b.reg("row_len", DType::I32);
+    let sum = b.reg("sum", DType::F32);
+
+    let zero = const_func(&mut b, 0);
+    let ld_ptr = load_1d(&mut b, "ld_ptr", d_ptr, zero, s_ptr, n + 1);
+    let ld_src = load_1d(&mut b, "ld_src", d_src, zero, s_src, nnz);
+
+    // Per iteration.
+    let ld_r = load_1d(&mut b, "ld_r", d_r, zero, s_r, n);
+    let ld_deg = load_1d(&mut b, "ld_deg", d_deg, zero, s_deg, n);
+    let cv = b.counter(0, n as i64, 1, 16);
+    let vi = cv.index;
+    let mut cf = Func::new("contrib");
+    let vv = cf.index(vi);
+    let rv = cf.load(s_r, vec![vv]);
+    let dv = cf.load(s_deg, vec![vv]);
+    let c = cf.binary(BinOp::Div, rv, dv);
+    cf.set_outputs(vec![c]);
+    let cf = b.func(cf);
+    let caddr = coords_func(&mut b, &[vi]);
+    let contrib = b.inner(
+        "contrib",
+        vec![cv],
+        InnerOp::Map(MapPipe {
+            body: cf,
+            writes: vec![PipeWrite {
+                sram: s_c,
+                addr: caddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let st_c = store_1d(&mut b, "st_c", d_c, zero, s_c, n);
+
+    // Per page: gather contributions of in-neighbours from DRAM, reduce.
+    let cp = b.counter(0, n as i64, 1, 8);
+    let pgi = cp.index;
+    let mut sf = Func::new("start");
+    let pv = sf.index(pgi);
+    let sp = sf.load(s_ptr, vec![pv]);
+    sf.set_outputs(vec![sp]);
+    let sf = b.func(sf);
+    let set_s = b.inner("set_s", vec![], InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }));
+    let mut lf = Func::new("len");
+    let pv = lf.index(pgi);
+    let one = lf.konst(Elem::I32(1));
+    let p1 = lf.binary(BinOp::Add, pv, one);
+    let e = lf.load(s_ptr, vec![p1]);
+    let s = lf.read_reg(r_s);
+    let len = lf.binary(BinOp::Sub, e, s);
+    lf.set_outputs(vec![len]);
+    let lf = b.func(lf);
+    let set_len = b.inner(
+        "set_len",
+        vec![],
+        InnerOp::RegWrite(RegWrite {
+            reg: r_len,
+            func: lf,
+        }),
+    );
+    let gather = b.inner(
+        "gather",
+        vec![],
+        InnerOp::Gather(GatherOp {
+            dram: d_c,
+            base: zero,
+            indices: s_src,
+            idx_base: CBound::Reg(r_s),
+            dst: s_gbuf,
+            len: CBound::Reg(r_len),
+        }),
+    );
+    let cg = b.counter(0, CBound::Reg(r_len), 1, 8);
+    let gi = cg.index;
+    let mut gf = Func::new("sum");
+    let gv = gf.index(gi);
+    let x = gf.load(s_gbuf, vec![gv]);
+    gf.set_outputs(vec![x]);
+    let gf = b.func(gf);
+    let sum_fold = b.inner(
+        "sum",
+        vec![cg],
+        InnerOp::Fold(FoldPipe {
+            map: gf,
+            combine: vec![BinOp::Add],
+            init: vec![FoldInit::Const(Elem::F32(0.0))],
+            out_regs: vec![Some(sum)],
+            writes: vec![],
+        }),
+    );
+    let mut nf = Func::new("newrank");
+    let sv = nf.read_reg(sum);
+    let dc = nf.konst(Elem::F32(damp));
+    let basec = nf.konst(Elem::F32((1.0 - damp) / n as f32));
+    let scaled = nf.binary(BinOp::Mul, dc, sv);
+    let nr = nf.binary(BinOp::Add, basec, scaled);
+    nf.set_outputs(vec![nr]);
+    let nf = b.func(nf);
+    let naddr = coords_func(&mut b, &[pgi]);
+    let setnew = b.inner(
+        "setnew",
+        vec![],
+        InnerOp::Map(MapPipe {
+            body: nf,
+            writes: vec![PipeWrite {
+                sram: s_rnew,
+                addr: naddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let page_work = b.outer(
+        "page",
+        Schedule::Sequential,
+        vec![],
+        vec![set_s, set_len, gather, sum_fold, setnew],
+    );
+    let pages = b.outer("pages", Schedule::Pipelined, vec![cp], vec![page_work]);
+    let st_rnew = store_1d(&mut b, "st_rnew", d_rnew, zero, s_rnew, n);
+    let st_back = store_1d(&mut b, "st_back", d_r, zero, s_rnew, n);
+
+    let it = b.counter(0, iters as i64, 1, 1);
+    let iter_loop = b.outer(
+        "iters",
+        Schedule::Sequential,
+        vec![it],
+        vec![ld_r, ld_deg, contrib, st_c, pages, st_rnew, st_back],
+    );
+    let root = b.outer(
+        "root",
+        Schedule::Sequential,
+        vec![],
+        vec![ld_ptr, ld_src, iter_loop],
+    );
+    let program = b.finish(root).expect("pagerank validates");
+
+    // Out-degrees (≥1) and initial ranks.
+    let deg: Vec<Elem> = (0..n)
+        .map(|i| Elem::F32(1.0 + (hash_u64(i as u64, 81) % 8) as f32))
+        .collect();
+    let r0: Vec<Elem> = vec![Elem::F32(1.0 / n as f32); n];
+    // Golden.
+    let mut rank: Vec<f32> = r0.iter().map(|e| e.as_f32().unwrap()).collect();
+    for _ in 0..iters {
+        let c: Vec<f32> = (0..n)
+            .map(|v| rank[v] / deg[v].as_f32().unwrap())
+            .collect();
+        let mut newr = vec![0.0f32; n];
+        for (p, nr) in newr.iter_mut().enumerate() {
+            let mut s = 0.0f32;
+            for j in csr.ptr[p] as usize..csr.ptr[p + 1] as usize {
+                s += c[csr.idx[j] as usize];
+            }
+            *nr = (1.0 - damp) / n as f32 + damp * s;
+        }
+        rank = newr;
+    }
+    let rank: Vec<Elem> = rank.into_iter().map(Elem::F32).collect();
+
+    Bench {
+        name: "PageRank".into(),
+        program,
+        inputs: vec![
+            (d_ptr, csr.ptr.iter().map(|&v| Elem::I32(v)).collect()),
+            (d_src, csr.idx.iter().map(|&v| Elem::I32(v)).collect()),
+            (d_r, r0),
+            (d_deg, deg),
+        ],
+        expect_drams: vec![(d_rnew, rank)],
+        expect_regs: vec![],
+        fpga: AppProfile {
+            name: "PageRank".into(),
+            total_ops: (iters * (nnz + 3 * n)) as f64,
+            fp_muls: (iters * 2 * n) as f64,
+            fp_adds: (iters * nnz) as f64,
+            ops_per_elem: 2.0,
+            dense_bytes: (iters * 5 * n * 4) as f64,
+            random_elems: (iters * nnz) as f64,
+            buffer_kb: 8.0,
+            app_parallelism: 16.0,
+            sequential_frac: 0.2,
+            serial_iters: 0.0,
+            serial_cycles: 0.0,
+        },
+    }
+}
+
+/// Breadth-first search: frontier expansion with data-dependent trip
+/// counts, off-chip edge gathers, a `FlatMap` filter compacting newly
+/// discovered nodes, and distance scatters back to DRAM.
+pub fn bfs(scale: Scale) -> Bench {
+    let n = 64 * scale.0;
+    let levels = 5usize;
+    let max_deg = 16usize;
+    let csr = gen_csr(n, n, 8, 8, 90); // out-edges
+    let nnz = csr.idx.len();
+    assert!(
+        (0..n).all(|r| (csr.ptr[r + 1] - csr.ptr[r]) as usize <= max_deg),
+        "generator respects max degree"
+    );
+
+    let mut b = ProgramBuilder::new("BFS");
+    let d_ptr = b.dram("ptr", DType::I32, n + 1);
+    let d_edges = b.dram("edges", DType::I32, nnz);
+    let d_dist_scatter = b.dram("dist_scatter", DType::I32, n);
+    let d_dist_full = b.dram("dist_full", DType::I32, n);
+    let s_ptr = b.sram("s_ptr", DType::I32, &[n + 1]);
+    let s_iota = b.sram("s_iota", DType::I32, &[max_deg]);
+    let s_nbrs = b.sram("s_nbrs", DType::I32, &[max_deg]);
+    let s_dist = b.sram("s_dist", DType::I32, &[n]);
+    let s_frontier = b.sram("s_frontier", DType::I32, &[n]);
+    let s_fnext = b.sram("s_fnext", DType::I32, &[n]);
+    let s_newly = b.sram("s_newly", DType::I32, &[max_deg]);
+    let s_lvlbuf = b.sram("s_lvlbuf", DType::I32, &[max_deg]);
+    let r_u = b.reg("u", DType::I32);
+    let r_s = b.reg("es", DType::I32);
+    let r_elen = b.reg("elen", DType::I32);
+    let r_cnt = b.reg("cnt", DType::I32);
+    let r_fsize = b.reg("fsize", DType::I32);
+    let r_nsize = b.reg("nsize", DType::I32);
+
+    let zero = const_func(&mut b, 0);
+    let one_f = const_func(&mut b, 1);
+    let ld_ptr = load_1d(&mut b, "ld_ptr", d_ptr, zero, s_ptr, n + 1);
+
+    // iota[j] = j.
+    let cio = b.counter(0, max_deg as i64, 1, 16);
+    let ioi = cio.index;
+    let mut iof = Func::new("iota");
+    let j = iof.index(ioi);
+    iof.set_outputs(vec![j]);
+    let iof = b.func(iof);
+    let ioaddr = coords_func(&mut b, &[ioi]);
+    let iota = b.inner(
+        "iota",
+        vec![cio],
+        InnerOp::Map(MapPipe {
+            body: iof,
+            writes: vec![PipeWrite {
+                sram: s_iota,
+                addr: ioaddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+
+    // dist[v] = −1; dist[0] = 0; frontier[0] = 0; fsize = 1.
+    let cdv = b.counter(0, n as i64, 1, 16);
+    let dvi = cdv.index;
+    let mut mf = Func::new("minus1");
+    let m1 = mf.konst(Elem::I32(-1));
+    mf.set_outputs(vec![m1]);
+    let mf = b.func(mf);
+    let daddr = coords_func(&mut b, &[dvi]);
+    let init_dist = b.inner(
+        "init_dist",
+        vec![cdv],
+        InnerOp::Map(MapPipe {
+            body: mf,
+            writes: vec![PipeWrite {
+                sram: s_dist,
+                addr: daddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let mut zf = Func::new("zero0");
+    let z0 = zf.konst(Elem::I32(0));
+    zf.set_outputs(vec![z0]);
+    let zf = b.func(zf);
+    let zaddr = {
+        let mut f = Func::new("addr0");
+        let c = f.konst(Elem::I32(0));
+        f.set_outputs(vec![c]);
+        b.func(f)
+    };
+    let set_root_dist = b.inner(
+        "root_dist",
+        vec![],
+        InnerOp::Map(MapPipe {
+            body: zf,
+            writes: vec![PipeWrite {
+                sram: s_dist,
+                addr: zaddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let set_root_frontier = b.inner(
+        "root_frontier",
+        vec![],
+        InnerOp::Map(MapPipe {
+            body: zf,
+            writes: vec![PipeWrite {
+                sram: s_frontier,
+                addr: zaddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let set_fsize = b.inner(
+        "set_fsize",
+        vec![],
+        InnerOp::RegWrite(RegWrite {
+            reg: r_fsize,
+            func: one_f,
+        }),
+    );
+
+    // Level loop.
+    let clvl = b.counter(0, levels as i64, 1, 1);
+    let lvli = clvl.index;
+    let zero_nsize = b.inner(
+        "zero_nsize",
+        vec![],
+        InnerOp::RegWrite(RegWrite {
+            reg: r_nsize,
+            func: zero,
+        }),
+    );
+
+    // Per frontier node.
+    let cfi = Counter {
+        index: b.fresh_index(),
+        min: CBound::Const(0),
+        max: CBound::Reg(r_fsize),
+        stride: 1,
+        par: 4,
+    };
+    let fii = cfi.index;
+    let mut uf = Func::new("u");
+    let fv = uf.index(fii);
+    let u = uf.load(s_frontier, vec![fv]);
+    uf.set_outputs(vec![u]);
+    let uf = b.func(uf);
+    let set_u = b.inner("set_u", vec![], InnerOp::RegWrite(RegWrite { reg: r_u, func: uf }));
+    let mut sf = Func::new("estart");
+    let uv = sf.read_reg(r_u);
+    let sp = sf.load(s_ptr, vec![uv]);
+    sf.set_outputs(vec![sp]);
+    let sf = b.func(sf);
+    let set_s = b.inner("set_es", vec![], InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }));
+    let mut elf = Func::new("elen");
+    let uv = elf.read_reg(r_u);
+    let c1 = elf.konst(Elem::I32(1));
+    let u1 = elf.binary(BinOp::Add, uv, c1);
+    let ep = elf.load(s_ptr, vec![u1]);
+    let sv = elf.read_reg(r_s);
+    let el = elf.binary(BinOp::Sub, ep, sv);
+    elf.set_outputs(vec![el]);
+    let elf = b.func(elf);
+    let set_elen = b.inner(
+        "set_elen",
+        vec![],
+        InnerOp::RegWrite(RegWrite {
+            reg: r_elen,
+            func: elf,
+        }),
+    );
+    // Gather the adjacency slice edges[s .. s+len] from DRAM.
+    let mut basef = Func::new("ebase");
+    let sv = basef.read_reg(r_s);
+    basef.set_outputs(vec![sv]);
+    let basef = b.func(basef);
+    let gather_nbrs = b.inner(
+        "gather_nbrs",
+        vec![],
+        InnerOp::Gather(GatherOp {
+            dram: d_edges,
+            base: basef,
+            indices: s_iota,
+            idx_base: CBound::Const(0),
+            dst: s_nbrs,
+            len: CBound::Reg(r_elen),
+        }),
+    );
+    // Filter: keep unvisited neighbours.
+    let cj = Counter {
+        index: b.fresh_index(),
+        min: CBound::Const(0),
+        max: CBound::Reg(r_elen),
+        stride: 1,
+        par: 8,
+    };
+    let jji = cj.index;
+    let mut ff = Func::new("undiscovered");
+    let jv = ff.index(jji);
+    let v = ff.load(s_nbrs, vec![jv]);
+    let dv = ff.load(s_dist, vec![v]);
+    let zc = ff.konst(Elem::I32(0));
+    let pred = ff.binary(BinOp::Lt, dv, zc);
+    ff.set_outputs(vec![v, pred]);
+    let ff = b.func(ff);
+    let filter_new = b.inner(
+        "filter_new",
+        vec![cj],
+        InnerOp::Filter(FilterPipe {
+            body: ff,
+            out: s_newly,
+            count_reg: r_cnt,
+        }),
+    );
+    // Mark: set dist, append to next frontier, stage scatter values.
+    let cm = Counter {
+        index: b.fresh_index(),
+        min: CBound::Const(0),
+        max: CBound::Reg(r_cnt),
+        stride: 1,
+        par: 1,
+    };
+    let mi = cm.index;
+    let mut mkf = Func::new("mark");
+    let mv = mkf.index(mi);
+    let v = mkf.load(s_newly, vec![mv]);
+    let lv = mkf.index(lvli);
+    let c1 = mkf.konst(Elem::I32(1));
+    let l1 = mkf.binary(BinOp::Add, lv, c1);
+    mkf.set_outputs(vec![v, l1]);
+    let mkf = b.func(mkf);
+    let mut fnaddr = Func::new("fnext_addr");
+    let ns = fnaddr.read_reg(r_nsize);
+    let mv2 = fnaddr.index(mi);
+    let a = fnaddr.binary(BinOp::Add, ns, mv2);
+    fnaddr.set_outputs(vec![a]);
+    let fnaddr = b.func(fnaddr);
+    let mut distaddr = Func::new("dist_addr");
+    let mv3 = distaddr.index(mi);
+    let vv = distaddr.load(s_newly, vec![mv3]);
+    distaddr.set_outputs(vec![vv]);
+    let distaddr = b.func(distaddr);
+    let lvladdr = coords_func(&mut b, &[mi]);
+    let mark = b.inner(
+        "mark",
+        vec![cm],
+        InnerOp::Map(MapPipe {
+            body: mkf,
+            writes: vec![
+                PipeWrite {
+                    sram: s_fnext,
+                    addr: fnaddr,
+                    value_slot: 0,
+                    mode: WriteMode::Overwrite,
+                },
+                PipeWrite {
+                    sram: s_dist,
+                    addr: distaddr,
+                    value_slot: 1,
+                    mode: WriteMode::Overwrite,
+                },
+                PipeWrite {
+                    sram: s_lvlbuf,
+                    addr: lvladdr,
+                    value_slot: 1,
+                    mode: WriteMode::Overwrite,
+                },
+            ],
+        }),
+    );
+    // Scatter the new distances to DRAM.
+    let scatter_d = b.inner(
+        "scatter_dist",
+        vec![],
+        InnerOp::Scatter(ScatterOp {
+            dram: d_dist_scatter,
+            base: zero,
+            indices: s_newly,
+            idx_base: CBound::Const(0),
+            src: s_lvlbuf,
+            len: CBound::Reg(r_cnt),
+        }),
+    );
+    let mut bumpf = Func::new("bump");
+    let ns = bumpf.read_reg(r_nsize);
+    let cc = bumpf.read_reg(r_cnt);
+    let nn = bumpf.binary(BinOp::Add, ns, cc);
+    bumpf.set_outputs(vec![nn]);
+    let bumpf = b.func(bumpf);
+    let bump = b.inner(
+        "bump_nsize",
+        vec![],
+        InnerOp::RegWrite(RegWrite {
+            reg: r_nsize,
+            func: bumpf,
+        }),
+    );
+    let node_work = b.outer(
+        "node",
+        Schedule::Sequential,
+        vec![],
+        vec![set_u, set_s, set_elen, gather_nbrs, filter_new, mark, scatter_d, bump],
+    );
+    let nodes = b.outer("nodes", Schedule::Pipelined, vec![cfi], vec![node_work]);
+
+    // Frontier swap.
+    let ccp = Counter {
+        index: b.fresh_index(),
+        min: CBound::Const(0),
+        max: CBound::Reg(r_nsize),
+        stride: 1,
+        par: 8,
+    };
+    let cpi = ccp.index;
+    let mut cpf = Func::new("copyf");
+    let mv = cpf.index(cpi);
+    let v = cpf.load(s_fnext, vec![mv]);
+    cpf.set_outputs(vec![v]);
+    let cpf = b.func(cpf);
+    let cpaddr = coords_func(&mut b, &[cpi]);
+    let copyf = b.inner(
+        "copy_frontier",
+        vec![ccp],
+        InnerOp::Map(MapPipe {
+            body: cpf,
+            writes: vec![PipeWrite {
+                sram: s_frontier,
+                addr: cpaddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let mut fsf = Func::new("fsize");
+    let ns = fsf.read_reg(r_nsize);
+    fsf.set_outputs(vec![ns]);
+    let fsf = b.func(fsf);
+    let update_fsize = b.inner(
+        "update_fsize",
+        vec![],
+        InnerOp::RegWrite(RegWrite {
+            reg: r_fsize,
+            func: fsf,
+        }),
+    );
+    let level_loop = b.outer(
+        "levels",
+        Schedule::Sequential,
+        vec![clvl],
+        vec![zero_nsize, nodes, copyf, update_fsize],
+    );
+    let st_dist = store_1d(&mut b, "st_dist", d_dist_full, zero, s_dist, n);
+    let root = b.outer(
+        "root",
+        Schedule::Sequential,
+        vec![],
+        vec![
+            ld_ptr,
+            iota,
+            init_dist,
+            set_root_dist,
+            set_root_frontier,
+            set_fsize,
+            level_loop,
+            st_dist,
+        ],
+    );
+    let program = b.finish(root).expect("bfs validates");
+
+    // Golden BFS.
+    let mut dist = vec![-1i32; n];
+    dist[0] = 0;
+    let mut frontier = vec![0usize];
+    for lvl in 0..levels {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for j in csr.ptr[u] as usize..csr.ptr[u + 1] as usize {
+                let v = csr.idx[j] as usize;
+                if dist[v] < 0 {
+                    dist[v] = lvl as i32 + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    let dist_full: Vec<Elem> = dist.iter().map(|&d| Elem::I32(d)).collect();
+    // The scatter target holds levels for discovered non-root nodes and 0
+    // elsewhere (never written for the root or undiscovered nodes).
+    let dist_scatter: Vec<Elem> = dist
+        .iter()
+        .map(|&d| Elem::I32(if d > 0 { d } else { 0 }))
+        .collect();
+
+    Bench {
+        name: "BFS".into(),
+        program,
+        inputs: vec![
+            (d_ptr, csr.ptr.iter().map(|&v| Elem::I32(v)).collect()),
+            (d_edges, csr.idx.iter().map(|&v| Elem::I32(v)).collect()),
+        ],
+        expect_drams: vec![(d_dist_full, dist_full), (d_dist_scatter, dist_scatter)],
+        expect_regs: vec![],
+        fpga: AppProfile {
+            name: "BFS".into(),
+            total_ops: (3 * nnz) as f64,
+            fp_muls: 0.0,
+            fp_adds: 0.0,
+            ops_per_elem: 3.0,
+            dense_bytes: (4 * n) as f64,
+            random_elems: (2 * nnz) as f64, // gathers + scatters
+            buffer_kb: 8.0,
+            app_parallelism: 8.0,
+            sequential_frac: 0.0,
+            // Frontier expansion is level-by-level and node-by-node in
+            // soft logic.
+            serial_iters: n as f64,
+            serial_cycles: 40.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smdv_functional() {
+        smdv(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn pagerank_functional() {
+        pagerank(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn bfs_functional() {
+        bfs(Scale::tiny()).run_and_verify().unwrap();
+    }
+
+    #[test]
+    fn csr_generator_matches_sparsity() {
+        let c = gen_csr(100, 100, 60, 40, 7);
+        let avg = c.idx.len() as f64 / 100.0;
+        assert!((avg - 60.0).abs() < 6.0, "avg nnz {avg}");
+        assert!(c.idx.iter().all(|&i| (0..100).contains(&i)));
+    }
+}

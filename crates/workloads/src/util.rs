@@ -1,0 +1,275 @@
+//! Builder helpers shared by the benchmark programs.
+
+use plasticine_ppir::*;
+
+/// Builds a single-output constant function.
+pub fn const_func(b: &mut ProgramBuilder, v: i32) -> FuncId {
+    let mut f = Func::new("const");
+    let c = f.konst(Elem::I32(v));
+    f.set_outputs(vec![c]);
+    b.func(f)
+}
+
+/// Builds an address/offset function `Σ coeff·index + c`.
+pub fn affine_func(b: &mut ProgramBuilder, terms: &[(IndexId, i64)], c: i64) -> FuncId {
+    let mut f = Func::new("affine");
+    let mut acc = f.konst(Elem::I32(c as i32));
+    for &(idx, coeff) in terms {
+        let iv = f.index(idx);
+        let k = f.konst(Elem::I32(coeff as i32));
+        let t = f.binary(BinOp::Mul, iv, k);
+        acc = f.binary(BinOp::Add, acc, t);
+    }
+    f.set_outputs(vec![acc]);
+    b.func(f)
+}
+
+/// Builds a multi-coordinate address function (one output per dim).
+pub fn coords_func(b: &mut ProgramBuilder, dims: &[IndexId]) -> FuncId {
+    let mut f = Func::new("coords");
+    let outs: Vec<ExprId> = dims.iter().map(|&d| f.index(d)).collect();
+    f.set_outputs(outs);
+    b.func(f)
+}
+
+/// Shorthand for a 1-D dense DRAM→scratchpad load.
+#[allow(clippy::too_many_arguments)]
+pub fn load_1d(
+    b: &mut ProgramBuilder,
+    name: &str,
+    dram: DramId,
+    base: FuncId,
+    sram: SramId,
+    len: usize,
+) -> CtrlId {
+    b.inner(
+        name,
+        vec![],
+        InnerOp::LoadTile(TileTransfer {
+            dram,
+            dram_base: base,
+            rows: 1,
+            cols: len,
+            dram_row_stride: len,
+            sram,
+        }),
+    )
+}
+
+/// Shorthand for a 1-D dense scratchpad→DRAM store.
+pub fn store_1d(
+    b: &mut ProgramBuilder,
+    name: &str,
+    dram: DramId,
+    base: FuncId,
+    sram: SramId,
+    len: usize,
+) -> CtrlId {
+    b.inner(
+        name,
+        vec![],
+        InnerOp::StoreTile(TileTransfer {
+            dram,
+            dram_base: base,
+            rows: 1,
+            cols: len,
+            dram_row_stride: len,
+            sram,
+        }),
+    )
+}
+
+/// Shorthand for a strided 2-D tile load (`rows × cols`, row stride in
+/// elements).
+#[allow(clippy::too_many_arguments)]
+pub fn load_2d(
+    b: &mut ProgramBuilder,
+    name: &str,
+    dram: DramId,
+    base: FuncId,
+    sram: SramId,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+) -> CtrlId {
+    b.inner(
+        name,
+        vec![],
+        InnerOp::LoadTile(TileTransfer {
+            dram,
+            dram_base: base,
+            rows,
+            cols,
+            dram_row_stride: stride,
+            sram,
+        }),
+    )
+}
+
+/// Shorthand for a strided 2-D tile store.
+#[allow(clippy::too_many_arguments)]
+pub fn store_2d(
+    b: &mut ProgramBuilder,
+    name: &str,
+    dram: DramId,
+    base: FuncId,
+    sram: SramId,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+) -> CtrlId {
+    b.inner(
+        name,
+        vec![],
+        InnerOp::StoreTile(TileTransfer {
+            dram,
+            dram_base: base,
+            rows,
+            cols,
+            dram_row_stride: stride,
+            sram,
+        }),
+    )
+}
+
+/// Appends the standard normal CDF approximation (Abramowitz & Stegun
+/// 7.1.26 via the logistic surrogate used in accelerator benchmarks) to a
+/// function: `Φ(x) ≈ 1 / (1 + e^(−1.702·x))`.
+///
+/// The paper's Black-Scholes uses a polynomial CND; the logistic surrogate
+/// has the same op mix (exp, divide, multiply-adds) and pipeline shape.
+pub fn append_cnd(f: &mut Func, x: ExprId) -> ExprId {
+    let k = f.konst(Elem::F32(-1.702));
+    let kx = f.binary(BinOp::Mul, k, x);
+    let e = f.unary(UnaryOp::Exp, kx);
+    let one = f.konst(Elem::F32(1.0));
+    let denom = f.binary(BinOp::Add, one, e);
+    f.binary(BinOp::Div, one, denom)
+}
+
+/// Appends the Abramowitz & Stegun 7.1.26 polynomial approximation of the
+/// standard normal CDF to a function (the CND used by Black-Scholes
+/// kernels): ~22 ALU ops including `exp`, `abs`, divide, and a
+/// five-term Horner polynomial.
+pub fn append_norm_cdf(f: &mut Func, x: ExprId) -> ExprId {
+    let one = f.konst(Elem::F32(1.0));
+    let ax = f.unary(UnaryOp::Abs, x);
+    // k = 1 / (1 + 0.2316419·|x|)
+    let c = f.konst(Elem::F32(0.2316419));
+    let cx = f.binary(BinOp::Mul, c, ax);
+    let d = f.binary(BinOp::Add, one, cx);
+    let k = f.binary(BinOp::Div, one, d);
+    // Horner: k(b1 + k(b2 + k(b3 + k(b4 + k·b5))))
+    let b5 = f.konst(Elem::F32(1.330_274_4));
+    let b4 = f.konst(Elem::F32(-1.821_256));
+    let b3 = f.konst(Elem::F32(1.781_477_9));
+    let b2 = f.konst(Elem::F32(-0.356_563_78));
+    let b1 = f.konst(Elem::F32(0.319_381_53));
+    let mut poly = b5;
+    for b in [b4, b3, b2, b1] {
+        let t = f.binary(BinOp::Mul, poly, k);
+        poly = f.binary(BinOp::Add, b, t);
+    }
+    let poly = f.binary(BinOp::Mul, poly, k);
+    // φ(x) = 0.3989423·exp(−x²/2)
+    let x2 = f.binary(BinOp::Mul, ax, ax);
+    let mh = f.konst(Elem::F32(-0.5));
+    let e = f.binary(BinOp::Mul, x2, mh);
+    let ex = f.unary(UnaryOp::Exp, e);
+    let inv_sqrt2pi = f.konst(Elem::F32(0.398_942_3));
+    let phi = f.binary(BinOp::Mul, inv_sqrt2pi, ex);
+    // Φ(|x|) = 1 − φ·poly; reflect for negative x.
+    let t = f.binary(BinOp::Mul, phi, poly);
+    let pos = f.binary(BinOp::Sub, one, t);
+    let neg = f.binary(BinOp::Sub, one, pos);
+    let zero = f.konst(Elem::F32(0.0));
+    let isneg = f.binary(BinOp::Lt, x, zero);
+    f.mux(isneg, neg, pos)
+}
+
+/// Host-side mirror of [`append_norm_cdf`] (same `f32` operation order, so
+/// goldens match the device bit-for-bit).
+pub fn norm_cdf(x: f32) -> f32 {
+    let ax = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * ax);
+    let mut poly = 1.330_274_4_f32;
+    for b in [-1.821_256, 1.781_477_9, -0.356_563_78, 0.319_381_53] {
+        poly = b + poly * k;
+    }
+    let poly = poly * k;
+    let phi = 0.398_942_3 * (ax * ax * -0.5).exp();
+    let pos = 1.0 - phi * poly;
+    if x < 0.0 {
+        1.0 - pos
+    } else {
+        pos
+    }
+}
+
+/// Deterministic pseudo-random f32 in [0, 1) from an index (splitmix-style
+/// hash), for data generators.
+pub fn hash_unit_f32(i: u64, seed: u64) -> f32 {
+    let mut z = i.wrapping_add(seed).wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Deterministic pseudo-random u64 from an index.
+pub fn hash_u64(i: u64, seed: u64) -> u64 {
+    let mut z = i.wrapping_add(seed).wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        for i in 0..1000u64 {
+            let a = hash_unit_f32(i, 7);
+            let b = hash_unit_f32(i, 7);
+            assert_eq!(a, b);
+            assert!((0.0..1.0).contains(&a));
+        }
+        assert_ne!(hash_unit_f32(1, 7), hash_unit_f32(2, 7));
+    }
+
+    #[test]
+    fn affine_func_evaluates() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.counter(0, 4, 1, 1);
+        let idx = i.index;
+        let f = affine_func(&mut b, &[(idx, 3)], 5);
+        let r = b.reg("r", DType::I32);
+        let rw = b.inner("rw", vec![i], InnerOp::RegWrite(RegWrite { reg: r, func: f }));
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![rw]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        m.run().unwrap();
+        // Last iteration: 3*3 + 5 = 14.
+        assert_eq!(m.reg(r), Elem::I32(14));
+    }
+
+    #[test]
+    fn cnd_is_monotone_sigmoid() {
+        let mut b = ProgramBuilder::new("t");
+        let mut f = Func::new("cnd");
+        let x = f.konst(Elem::F32(0.0));
+        let c = append_cnd(&mut f, x);
+        f.set_outputs(vec![c]);
+        let fid = b.func(f);
+        let r = b.reg("r", DType::F32);
+        let rw = b.inner("rw", vec![], InnerOp::RegWrite(RegWrite { reg: r, func: fid }));
+        let root = b.outer("root", Schedule::Sequential, vec![], vec![rw]);
+        let p = b.finish(root).unwrap();
+        let mut m = Machine::new(&p);
+        m.run().unwrap();
+        let v = m.reg(r).as_f32().unwrap();
+        assert!((v - 0.5).abs() < 1e-6);
+    }
+}

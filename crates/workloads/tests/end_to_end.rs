@@ -1,0 +1,81 @@
+//! End-to-end validation: every Table 4 benchmark must
+//! (1) run on the reference interpreter and match its host golden,
+//! (2) compile onto the paper-final Plasticine configuration,
+//! (3) simulate cycle-accurately with the same functional results.
+
+use plasticine_arch::PlasticineParams;
+use plasticine_compiler::compile;
+use plasticine_ppir::Machine;
+use plasticine_sim::{simulate, SimOptions};
+use plasticine_workloads::{all, Bench, Scale};
+
+fn end_to_end(bench: &Bench) -> plasticine_sim::SimResult {
+    let params = PlasticineParams::paper_final();
+    let out = compile(&bench.program, &params)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", bench.name));
+    let mut m = Machine::new(&bench.program);
+    bench.load(&mut m);
+    let r = simulate(&bench.program, &out, &mut m, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", bench.name));
+    bench
+        .verify(&m)
+        .unwrap_or_else(|e| panic!("{}: verification failed: {e}", bench.name));
+    assert!(r.cycles > 0, "{}: zero cycles", bench.name);
+    r
+}
+
+#[test]
+fn all_benchmarks_compile_simulate_and_verify() {
+    for bench in all(Scale::tiny()) {
+        let r = end_to_end(&bench);
+        println!(
+            "{:>14}: {:>9} cycles, {:>6} fu_ops, {} dram lines",
+            bench.name,
+            r.cycles,
+            r.activity.fu_ops,
+            r.dram.reads + r.dram.writes
+        );
+    }
+}
+
+#[test]
+fn utilizations_are_sane_for_all_benchmarks() {
+    let params = PlasticineParams::paper_final();
+    for bench in all(Scale::tiny()) {
+        let out = compile(&bench.program, &params).unwrap();
+        let (pcu, pmu, ag) = out.config.utilization();
+        assert!(pcu > 0.0 && pcu <= 1.0, "{}: pcu {pcu}", bench.name);
+        assert!(pmu > 0.0 && pmu <= 1.0, "{}: pmu {pmu}", bench.name);
+        assert!(ag <= 1.0, "{}: ag {ag}", bench.name);
+    }
+}
+
+#[test]
+fn sparse_apps_exercise_the_coalescing_units() {
+    for name in ["PageRank", "BFS"] {
+        let bench = all(Scale::tiny())
+            .into_iter()
+            .find(|b| b.name == name)
+            .unwrap();
+        let r = end_to_end(&bench);
+        assert!(
+            r.coalesce.elem_requests > 0,
+            "{name}: no sparse element requests"
+        );
+        assert!(r.coalesce.line_requests > 0);
+        assert!(
+            r.coalesce.line_requests <= r.coalesce.elem_requests,
+            "{name}: coalescing cannot amplify requests"
+        );
+    }
+}
+
+#[test]
+fn scaling_up_increases_work_proportionally() {
+    let b1 = plasticine_workloads::dense::inner_product(Scale(1));
+    let b2 = plasticine_workloads::dense::inner_product(Scale(2));
+    let r1 = end_to_end(&b1);
+    let r2 = end_to_end(&b2);
+    assert_eq!(r2.activity.fu_ops, 2 * r1.activity.fu_ops);
+    assert!(r2.cycles > r1.cycles);
+}

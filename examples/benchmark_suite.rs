@@ -1,0 +1,54 @@
+//! Runs the full Table 4 benchmark suite end-to-end — compile, simulate,
+//! verify — and prints a Table 7-style summary including the FPGA baseline
+//! comparison.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_suite
+//! ```
+
+use plasticine::arch::PlasticineParams;
+use plasticine::compiler::compile;
+use plasticine::fpga::FpgaModel;
+use plasticine::models::PowerModel;
+use plasticine::ppir::Machine;
+use plasticine::sim::{simulate, SimOptions};
+use plasticine::workloads::{all, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = PlasticineParams::paper_final();
+    let power_model = PowerModel::new();
+    let fpga = FpgaModel::new();
+
+    println!(
+        "{:<14} {:>10} {:>7} {:>7} {:>7} {:>8} {:>9} {:>9}",
+        "Benchmark", "Cycles", "PCU%", "PMU%", "FU%", "Watts", "Speedup", "Perf/W"
+    );
+    for bench in all(Scale::tiny()) {
+        let out = compile(&bench.program, &params)?;
+        let mut m = Machine::new(&bench.program);
+        bench.load(&mut m);
+        let r = simulate(&bench.program, &out, &mut m, &SimOptions::default())?;
+        bench.verify(&m).map_err(std::io::Error::other)?;
+
+        let (pcu_u, pmu_u, _) = out.config.utilization();
+        let fu = r.fu_utilization(&out.config);
+        let p = power_model.estimate(&r, &out.config);
+        let fe = fpga.estimate(&bench.fpga);
+        let plasticine_s = r.seconds(params.clock_ghz);
+        let speedup = fe.seconds / plasticine_s;
+        let perf_per_watt = speedup * fe.power_w / p.total_w;
+        println!(
+            "{:<14} {:>10} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1} {:>8.1}x {:>8.1}x",
+            bench.name,
+            r.cycles,
+            100.0 * pcu_u,
+            100.0 * pmu_u,
+            100.0 * fu,
+            p.total_w,
+            speedup,
+            perf_per_watt,
+        );
+    }
+    println!("\nall benchmarks verified against host goldens ✓");
+    Ok(())
+}

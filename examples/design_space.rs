@@ -1,0 +1,71 @@
+//! Design-space exploration demo (§3.7 / Figure 7): sweeps the PCU stage
+//! count and register count over the benchmark suite and prints the
+//! benchmark-normalized area overheads, with `×` marking invalid points.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use plasticine::compiler::{build_virtual, Analysis};
+use plasticine::models::dse::{average_row, sweep, PcuParamKind, SweepSpec};
+use plasticine::models::AreaModel;
+use plasticine::workloads::{all, Scale};
+
+fn main() {
+    // Build the virtual designs once (sizes don't affect unit shapes much,
+    // so the tiny scale is fine for DSE).
+    let apps: Vec<_> = all(Scale::tiny())
+        .into_iter()
+        .map(|b| {
+            let an = Analysis::run(&b.program);
+            let v = build_virtual(&b.program, &an);
+            (b.name, v)
+        })
+        .collect();
+    let model = AreaModel::new();
+
+    for (spec, caption) in [
+        (
+            SweepSpec {
+                target: PcuParamKind::Stages,
+                values: (4..=16).collect(),
+                fixed: vec![],
+            },
+            "Stages per PCU (Figure 7a)",
+        ),
+        (
+            SweepSpec {
+                target: PcuParamKind::Regs,
+                values: (2..=16).collect(),
+                fixed: vec![(PcuParamKind::Stages, 6)],
+            },
+            "Registers per FU with 6 stages (Figure 7b)",
+        ),
+    ] {
+        println!("\n=== {caption} ===");
+        print!("{:<14}", "Benchmark");
+        for v in &spec.values {
+            print!("{v:>6}");
+        }
+        println!();
+        let rows = sweep(&apps, &spec, &model);
+        for row in &rows {
+            print!("{:<14}", row.app);
+            for p in &row.points {
+                match p.overhead {
+                    Some(o) => print!("{:>5.0}%", 100.0 * o),
+                    None => print!("{:>6}", "x"),
+                }
+            }
+            println!();
+        }
+        print!("{:<14}", "Average");
+        for p in average_row(&rows) {
+            match p.overhead {
+                Some(o) => print!("{:>5.0}%", 100.0 * o),
+                None => print!("{:>6}", "x"),
+            }
+        }
+        println!();
+    }
+}

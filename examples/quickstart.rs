@@ -1,0 +1,148 @@
+//! Quickstart: write a parallel-pattern program, compile it onto the
+//! paper-final Plasticine configuration, and simulate it cycle-accurately.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use plasticine::arch::PlasticineParams;
+use plasticine::compiler::compile;
+use plasticine::models::PowerModel;
+use plasticine::ppir::*;
+use plasticine::sim::{simulate, SimOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. Write a program: tiled SAXPY (y = a*x + y) ----
+    let n = 4096usize;
+    let tile = 512usize;
+    let mut b = ProgramBuilder::new("saxpy");
+    let d_x = b.dram("x", DType::F32, n);
+    let d_y = b.dram("y", DType::F32, n);
+    let d_out = b.dram("out", DType::F32, n);
+    let s_x = b.sram("tx", DType::F32, &[tile]);
+    let s_y = b.sram("ty", DType::F32, &[tile]);
+    let s_o = b.sram("to", DType::F32, &[tile]);
+
+    // Outer tile loop, coarse-grain pipelined and unrolled twice.
+    let t = b.counter(0, (n / tile) as i64, 1, 2);
+    let mut base = Func::new("base");
+    let ti = base.index(t.index);
+    let tl = base.konst(Elem::I32(tile as i32));
+    let off = base.binary(BinOp::Mul, ti, tl);
+    base.set_outputs(vec![off]);
+    let base = b.func(base);
+
+    let ld_x = b.inner(
+        "ld_x",
+        vec![],
+        InnerOp::LoadTile(TileTransfer {
+            dram: d_x,
+            dram_base: base,
+            rows: 1,
+            cols: tile,
+            dram_row_stride: tile,
+            sram: s_x,
+        }),
+    );
+    let ld_y = b.inner(
+        "ld_y",
+        vec![],
+        InnerOp::LoadTile(TileTransfer {
+            dram: d_y,
+            dram_base: base,
+            rows: 1,
+            cols: tile,
+            dram_row_stride: tile,
+            sram: s_y,
+        }),
+    );
+
+    // Inner Map across 16 SIMD lanes: out[i] = 2.5 * x[i] + y[i].
+    let i = b.counter(0, tile as i64, 1, 16);
+    let mut body = Func::new("saxpy");
+    let iv = body.index(i.index);
+    let xv = body.load(s_x, vec![iv]);
+    let yv = body.load(s_y, vec![iv]);
+    let a = body.konst(Elem::F32(2.5));
+    let ax = body.binary(BinOp::Mul, a, xv);
+    let r = body.binary(BinOp::Add, ax, yv);
+    body.set_outputs(vec![r]);
+    let body = b.func(body);
+    let mut waddr = Func::new("waddr");
+    let iv = waddr.index(i.index);
+    waddr.set_outputs(vec![iv]);
+    let waddr = b.func(waddr);
+    let compute = b.inner(
+        "saxpy",
+        vec![i],
+        InnerOp::Map(MapPipe {
+            body,
+            writes: vec![PipeWrite {
+                sram: s_o,
+                addr: waddr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let st = b.inner(
+        "st_out",
+        vec![],
+        InnerOp::StoreTile(TileTransfer {
+            dram: d_out,
+            dram_base: base,
+            rows: 1,
+            cols: tile,
+            dram_row_stride: tile,
+            sram: s_o,
+        }),
+    );
+    let tiles = b.outer(
+        "tiles",
+        Schedule::Pipelined,
+        vec![t],
+        vec![ld_x, ld_y, compute, st],
+    );
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![tiles]);
+    let program = b.finish(root)?;
+
+    // ---- 2. Compile onto the paper-final 16×8 chip ----
+    let params = PlasticineParams::paper_final();
+    let out = compile(&program, &params)?;
+    let (pcu_u, pmu_u, ag_u) = out.config.utilization();
+    println!("compiled `{}`:", program.name());
+    println!(
+        "  units: {} PCUs, {} PMUs, {} AGs  (utilization {:.1}% / {:.1}% / {:.1}%)",
+        out.config.usage.pcus,
+        out.config.usage.pmus,
+        out.config.usage.ags,
+        100.0 * pcu_u,
+        100.0 * pmu_u,
+        100.0 * ag_u,
+    );
+    println!("  links routed: {}", out.config.links.len());
+
+    // ---- 3. Load data and simulate ----
+    let mut m = Machine::new(&program);
+    let x: Vec<Elem> = (0..n).map(|i| Elem::F32(i as f32)).collect();
+    let y: Vec<Elem> = (0..n).map(|i| Elem::F32(1000.0 + i as f32)).collect();
+    m.write_dram(d_x, &x);
+    m.write_dram(d_y, &y);
+    let result = simulate(&program, &out, &mut m, &SimOptions::default())?;
+
+    // ---- 4. Inspect results ----
+    for i in [0usize, 1, n - 1] {
+        let got = m.dram_data(d_out)[i].as_f32()?;
+        assert_eq!(got, 2.5 * i as f32 + (1000.0 + i as f32));
+    }
+    let power = PowerModel::new().estimate(&result, &out.config);
+    println!(
+        "  simulated: {} cycles ({:.2} µs at 1 GHz), {:.1} GB/s DRAM, {:.1} W",
+        result.cycles,
+        result.seconds(1.0) * 1e6,
+        result.dram_gbps(1.0),
+        power.total_w,
+    );
+    println!("  verified: out[i] == 2.5*x[i] + y[i] ✓");
+    Ok(())
+}

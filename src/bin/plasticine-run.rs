@@ -1,0 +1,134 @@
+//! `plasticine-run` — command-line driver for the full stack.
+//!
+//! ```sh
+//! plasticine-run list
+//! plasticine-run run GEMM --scale 4
+//! plasticine-run compile BFS --bitstream bfs.json
+//! ```
+
+use plasticine::arch::{MachineConfig, PlasticineParams};
+use plasticine::compiler::compile;
+use plasticine::fpga::FpgaModel;
+use plasticine::models::PowerModel;
+use plasticine::ppir::Machine;
+use plasticine::sim::{simulate, SimOptions};
+use plasticine::workloads::{all, Bench, Scale};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N]\n  plasticine-run compile <benchmark> [--scale N] [--bitstream FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn find_bench(name: &str, scale: Scale) -> Option<Bench> {
+    all(scale).into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+fn parse_scale(args: &[String]) -> Scale {
+    args.windows(2)
+        .find(|w| w[0] == "--scale")
+        .and_then(|w| w[1].parse::<usize>().ok())
+        .map(Scale)
+        .unwrap_or(Scale(1))
+}
+
+fn run_one(bench: &Bench, params: &PlasticineParams) -> Result<(), String> {
+    let out = compile(&bench.program, params).map_err(|e| e.to_string())?;
+    let mut m = Machine::new(&bench.program);
+    bench.load(&mut m);
+    let r = simulate(&bench.program, &out, &mut m, &SimOptions::default())
+        .map_err(|e| e.to_string())?;
+    bench.verify(&m)?;
+    let (pcu, pmu, ag) = out.config.utilization();
+    let power = PowerModel::new().estimate(&r, &out.config);
+    let fpga = FpgaModel::new().estimate(&bench.fpga);
+    let speedup = fpga.seconds / r.seconds(params.clock_ghz);
+    println!(
+        "{:<14} {:>10} cycles  util pcu/pmu/ag {:>4.0}%/{:>4.0}%/{:>4.0}%  {:>5.1} W  vs FPGA {:>6.1}x  [verified]",
+        bench.name,
+        r.cycles,
+        100.0 * pcu,
+        100.0 * pmu,
+        100.0 * ag,
+        power.total_w,
+        speedup,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let params = PlasticineParams::paper_final();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for b in all(Scale(1)) {
+                println!("{}", b.name);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let scale = parse_scale(&args);
+            let benches = if name == "all" {
+                all(scale)
+            } else {
+                match find_bench(name, scale) {
+                    Some(b) => vec![b],
+                    None => {
+                        eprintln!("unknown benchmark `{name}` (try `plasticine-run list`)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            for b in &benches {
+                if let Err(e) = run_one(b, &params) {
+                    eprintln!("{}: {e}", b.name);
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("compile") => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let scale = parse_scale(&args);
+            let Some(bench) = find_bench(name, scale) else {
+                eprintln!("unknown benchmark `{name}`");
+                return ExitCode::FAILURE;
+            };
+            let out = match compile(&bench.program, &params) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{}: {e}", bench.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg: &MachineConfig = &out.config;
+            println!(
+                "{}: {} PCUs, {} PMUs, {} AGs, {} links",
+                bench.name,
+                cfg.usage.pcus,
+                cfg.usage.pmus,
+                cfg.usage.ags,
+                cfg.links.len()
+            );
+            if let Some(pos) = args.iter().position(|a| a == "--bitstream") {
+                let Some(path) = args.get(pos + 1) else {
+                    return usage();
+                };
+                if let Err(e) = cfg.save(std::path::Path::new(path)) {
+                    eprintln!("saving bitstream: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("bitstream written to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

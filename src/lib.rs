@@ -1,0 +1,30 @@
+//! # plasticine — reproduction of *Plasticine: A Reconfigurable
+//! Architecture For Parallel Patterns* (ISCA 2017)
+//!
+//! Facade crate re-exporting the whole stack:
+//!
+//! * [`ppir`] — the parallel-pattern programming model and reference
+//!   interpreter (§2);
+//! * [`arch`] — the parameterized architecture and configuration format
+//!   (§3, Table 3);
+//! * [`compiler`] — virtual units, partitioning, placement, routing
+//!   (§3.6);
+//! * [`dram`] — the DDR3 timing model and coalescing units (§3.4);
+//! * [`sim`] — the cycle-accurate simulator (§4.2);
+//! * [`models`] — area/power models and design-space exploration
+//!   (§3.7, Tables 5–6, Figure 7);
+//! * [`fpga`] — the analytic Stratix V baseline (§4.4);
+//! * [`workloads`] — the thirteen Table 4 benchmarks.
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow.
+
+#![warn(missing_docs)]
+
+pub use plasticine_arch as arch;
+pub use plasticine_compiler as compiler;
+pub use plasticine_dram as dram;
+pub use plasticine_fpga as fpga;
+pub use plasticine_models as models;
+pub use plasticine_ppir as ppir;
+pub use plasticine_sim as sim;
+pub use plasticine_workloads as workloads;
