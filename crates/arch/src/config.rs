@@ -13,10 +13,9 @@
 use crate::geom::{AgId, SiteId, SwitchId};
 use crate::params::PlasticineParams;
 use plasticine_ppir::{BankingMode, CtrlId, DramId, SramId};
-use serde::{Deserialize, Serialize};
 
 /// Which static network a link uses (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetClass {
     /// Word-level scalar network.
     Scalar,
@@ -27,11 +26,11 @@ pub enum NetClass {
 }
 
 /// Identifier of a logical unit within a [`MachineConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct UnitId(pub u32);
 
 /// An inner compute controller bound to physical PCUs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputeCfg {
     /// The ppir inner controller this unit group implements.
     pub ctrl: CtrlId,
@@ -49,7 +48,7 @@ pub struct ComputeCfg {
 }
 
 /// A scratchpad bound to physical PMUs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryCfg {
     /// The ppir scratchpad.
     pub sram: SramId,
@@ -64,7 +63,7 @@ pub struct MemoryCfg {
 }
 
 /// Whether an AG issues dense bursts or sparse element streams.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AgMode {
     /// Dense burst commands (tile loads/stores).
     Dense,
@@ -73,7 +72,7 @@ pub enum AgMode {
 }
 
 /// An off-chip transfer controller bound to address generators.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgCfg {
     /// The ppir transfer controller.
     pub ctrl: CtrlId,
@@ -85,7 +84,7 @@ pub struct AgCfg {
 
 /// An outer controller mapped into a switch control box (§3.5: "outer
 /// controllers are mapped to control logic in switches").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OuterCtrlCfg {
     /// The ppir outer controller.
     pub ctrl: CtrlId,
@@ -94,7 +93,7 @@ pub struct OuterCtrlCfg {
 }
 
 /// One logical unit of the configured machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum UnitCfg {
     /// Compute pipeline on PCUs.
     Compute(ComputeCfg),
@@ -119,7 +118,7 @@ impl UnitCfg {
 }
 
 /// A routed point-to-point connection on one of the static networks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkCfg {
     /// Producer unit.
     pub src: UnitId,
@@ -134,7 +133,7 @@ pub struct LinkCfg {
 }
 
 /// Placement of each DRAM buffer in the physical address space.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DramAlloc {
     /// Byte base address of each [`DramId`], indexed by id.
     pub base: Vec<u64>,
@@ -149,7 +148,7 @@ impl DramAlloc {
 
 /// Static resource usage of a configuration (Table 7's utilization columns
 /// are these counts over the chip totals).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResourceUsage {
     /// Physical PCUs occupied.
     pub pcus: usize,
@@ -162,7 +161,7 @@ pub struct ResourceUsage {
 }
 
 /// A fully placed-and-routed accelerator configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Architecture parameters the configuration targets.
     pub params: PlasticineParams,
@@ -297,7 +296,7 @@ pub enum BitstreamError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// The file is not a valid configuration.
-    Format(serde_json::Error),
+    Format(String),
 }
 
 impl std::fmt::Display for BitstreamError {
@@ -313,8 +312,372 @@ impl std::error::Error for BitstreamError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BitstreamError::Io(e) => Some(e),
-            BitstreamError::Format(e) => Some(e),
+            BitstreamError::Format(_) => None,
         }
+    }
+}
+
+mod bitstream {
+    //! Hand-rolled JSON (de)serialization of the configuration types over
+    //! [`plasticine_json`]; field names match the struct definitions.
+
+    use super::*;
+    use crate::params::{GridMix, PcuParams, PmuParams};
+    use plasticine_json::Json;
+
+    type R<T> = Result<T, String>;
+
+    fn field<'j>(j: &'j Json, key: &str) -> R<&'j Json> {
+        j.get(key).ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    fn usize_of(j: &Json, key: &str) -> R<usize> {
+        field(j, key)?
+            .as_usize()
+            .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+    }
+
+    fn u64_of(j: &Json, key: &str) -> R<u64> {
+        field(j, key)?
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+    }
+
+    fn u32_of(j: &Json, key: &str) -> R<u32> {
+        u64_of(j, key)?
+            .try_into()
+            .map_err(|_| format!("field `{key}` exceeds u32"))
+    }
+
+    fn f64_of(j: &Json, key: &str) -> R<f64> {
+        field(j, key)?
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` is not a number"))
+    }
+
+    fn str_of<'j>(j: &'j Json, key: &str) -> R<&'j str> {
+        field(j, key)?
+            .as_str()
+            .ok_or_else(|| format!("field `{key}` is not a string"))
+    }
+
+    fn arr_of<'j>(j: &'j Json, key: &str) -> R<&'j [Json]> {
+        field(j, key)?
+            .as_arr()
+            .ok_or_else(|| format!("field `{key}` is not an array"))
+    }
+
+    fn ids_json(ids: &[u32]) -> Json {
+        Json::Arr(ids.iter().map(|&v| Json::from(v)).collect())
+    }
+
+    fn ids_of(j: &Json, key: &str) -> R<Vec<u32>> {
+        arr_of(j, key)?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| format!("field `{key}` holds a non-id value"))
+            })
+            .collect()
+    }
+
+    fn pcu_json(p: &PcuParams) -> Json {
+        Json::obj([
+            ("lanes", Json::from(p.lanes)),
+            ("stages", Json::from(p.stages)),
+            ("regs_per_stage", Json::from(p.regs_per_stage)),
+            ("scalar_ins", Json::from(p.scalar_ins)),
+            ("scalar_outs", Json::from(p.scalar_outs)),
+            ("vector_ins", Json::from(p.vector_ins)),
+            ("vector_outs", Json::from(p.vector_outs)),
+            ("fifo_depth", Json::from(p.fifo_depth)),
+            ("counters", Json::from(p.counters)),
+        ])
+    }
+
+    fn pcu_back(j: &Json) -> R<PcuParams> {
+        Ok(PcuParams {
+            lanes: usize_of(j, "lanes")?,
+            stages: usize_of(j, "stages")?,
+            regs_per_stage: usize_of(j, "regs_per_stage")?,
+            scalar_ins: usize_of(j, "scalar_ins")?,
+            scalar_outs: usize_of(j, "scalar_outs")?,
+            vector_ins: usize_of(j, "vector_ins")?,
+            vector_outs: usize_of(j, "vector_outs")?,
+            fifo_depth: usize_of(j, "fifo_depth")?,
+            counters: usize_of(j, "counters")?,
+        })
+    }
+
+    fn pmu_json(p: &PmuParams) -> Json {
+        Json::obj([
+            ("stages", Json::from(p.stages)),
+            ("regs_per_stage", Json::from(p.regs_per_stage)),
+            ("scalar_ins", Json::from(p.scalar_ins)),
+            ("scalar_outs", Json::from(p.scalar_outs)),
+            ("vector_ins", Json::from(p.vector_ins)),
+            ("vector_outs", Json::from(p.vector_outs)),
+            ("banks", Json::from(p.banks)),
+            ("bank_kb", Json::from(p.bank_kb)),
+            ("fifo_depth", Json::from(p.fifo_depth)),
+            ("counters", Json::from(p.counters)),
+        ])
+    }
+
+    fn pmu_back(j: &Json) -> R<PmuParams> {
+        Ok(PmuParams {
+            stages: usize_of(j, "stages")?,
+            regs_per_stage: usize_of(j, "regs_per_stage")?,
+            scalar_ins: usize_of(j, "scalar_ins")?,
+            scalar_outs: usize_of(j, "scalar_outs")?,
+            vector_ins: usize_of(j, "vector_ins")?,
+            vector_outs: usize_of(j, "vector_outs")?,
+            banks: usize_of(j, "banks")?,
+            bank_kb: usize_of(j, "bank_kb")?,
+            fifo_depth: usize_of(j, "fifo_depth")?,
+            counters: usize_of(j, "counters")?,
+        })
+    }
+
+    fn params_json(p: &PlasticineParams) -> Json {
+        Json::obj([
+            ("cols", Json::from(p.cols)),
+            ("rows", Json::from(p.rows)),
+            ("pcu", pcu_json(&p.pcu)),
+            ("pmu", pmu_json(&p.pmu)),
+            ("ags", Json::from(p.ags)),
+            ("coalescing_units", Json::from(p.coalescing_units)),
+            (
+                "mix",
+                Json::from(match p.mix {
+                    GridMix::Checkerboard => "Checkerboard",
+                    GridMix::PmuHeavy => "PmuHeavy",
+                }),
+            ),
+            ("clock_ghz", Json::from(p.clock_ghz)),
+            ("hop_latency", Json::from(p.hop_latency)),
+            ("coalesce_entries", Json::from(p.coalesce_entries)),
+        ])
+    }
+
+    fn params_back(j: &Json) -> R<PlasticineParams> {
+        Ok(PlasticineParams {
+            cols: usize_of(j, "cols")?,
+            rows: usize_of(j, "rows")?,
+            pcu: pcu_back(field(j, "pcu")?)?,
+            pmu: pmu_back(field(j, "pmu")?)?,
+            ags: usize_of(j, "ags")?,
+            coalescing_units: usize_of(j, "coalescing_units")?,
+            mix: match str_of(j, "mix")? {
+                "Checkerboard" => GridMix::Checkerboard,
+                "PmuHeavy" => GridMix::PmuHeavy,
+                other => return Err(format!("unknown grid mix `{other}`")),
+            },
+            clock_ghz: f64_of(j, "clock_ghz")?,
+            hop_latency: u64_of(j, "hop_latency")?,
+            coalesce_entries: usize_of(j, "coalesce_entries")?,
+        })
+    }
+
+    fn banking_str(b: BankingMode) -> &'static str {
+        match b {
+            BankingMode::Strided => "Strided",
+            BankingMode::Fifo => "Fifo",
+            BankingMode::LineBuffer => "LineBuffer",
+            BankingMode::Duplication => "Duplication",
+        }
+    }
+
+    fn banking_back(s: &str) -> R<BankingMode> {
+        Ok(match s {
+            "Strided" => BankingMode::Strided,
+            "Fifo" => BankingMode::Fifo,
+            "LineBuffer" => BankingMode::LineBuffer,
+            "Duplication" => BankingMode::Duplication,
+            other => return Err(format!("unknown banking mode `{other}`")),
+        })
+    }
+
+    fn unit_json(u: &UnitCfg) -> Json {
+        match u {
+            UnitCfg::Compute(c) => Json::obj([(
+                "Compute",
+                Json::obj([
+                    ("ctrl", Json::from(c.ctrl.0)),
+                    (
+                        "sites",
+                        ids_json(&c.sites.iter().map(|s| s.0).collect::<Vec<_>>()),
+                    ),
+                    ("copies", Json::from(c.copies)),
+                    ("pcus_per_copy", Json::from(c.pcus_per_copy)),
+                    ("pipeline_depth", Json::from(c.pipeline_depth)),
+                    ("lanes", Json::from(c.lanes)),
+                ]),
+            )]),
+            UnitCfg::Memory(m) => Json::obj([(
+                "Memory",
+                Json::obj([
+                    ("sram", Json::from(m.sram.0)),
+                    (
+                        "sites",
+                        ids_json(&m.sites.iter().map(|s| s.0).collect::<Vec<_>>()),
+                    ),
+                    ("nbuf", Json::from(m.nbuf)),
+                    ("banking", Json::from(banking_str(m.banking))),
+                ]),
+            )]),
+            UnitCfg::Ag(a) => Json::obj([(
+                "Ag",
+                Json::obj([
+                    ("ctrl", Json::from(a.ctrl.0)),
+                    (
+                        "ags",
+                        ids_json(&a.ags.iter().map(|s| s.0).collect::<Vec<_>>()),
+                    ),
+                    (
+                        "mode",
+                        Json::from(match a.mode {
+                            AgMode::Dense => "Dense",
+                            AgMode::Sparse => "Sparse",
+                        }),
+                    ),
+                ]),
+            )]),
+            UnitCfg::Outer(o) => Json::obj([(
+                "Outer",
+                Json::obj([
+                    ("ctrl", Json::from(o.ctrl.0)),
+                    ("switch", Json::from(o.switch.0)),
+                ]),
+            )]),
+        }
+    }
+
+    fn unit_back(j: &Json) -> R<UnitCfg> {
+        let [(tag, body)] = j.as_obj().ok_or("unit is not an object")? else {
+            return Err("unit must have exactly one variant tag".into());
+        };
+        Ok(match tag.as_str() {
+            "Compute" => UnitCfg::Compute(ComputeCfg {
+                ctrl: CtrlId(u32_of(body, "ctrl")?),
+                sites: ids_of(body, "sites")?.into_iter().map(SiteId).collect(),
+                copies: usize_of(body, "copies")?,
+                pcus_per_copy: usize_of(body, "pcus_per_copy")?,
+                pipeline_depth: usize_of(body, "pipeline_depth")?,
+                lanes: usize_of(body, "lanes")?,
+            }),
+            "Memory" => UnitCfg::Memory(MemoryCfg {
+                sram: SramId(u32_of(body, "sram")?),
+                sites: ids_of(body, "sites")?.into_iter().map(SiteId).collect(),
+                nbuf: usize_of(body, "nbuf")?,
+                banking: banking_back(str_of(body, "banking")?)?,
+            }),
+            "Ag" => UnitCfg::Ag(AgCfg {
+                ctrl: CtrlId(u32_of(body, "ctrl")?),
+                ags: ids_of(body, "ags")?.into_iter().map(AgId).collect(),
+                mode: match str_of(body, "mode")? {
+                    "Dense" => AgMode::Dense,
+                    "Sparse" => AgMode::Sparse,
+                    other => return Err(format!("unknown AG mode `{other}`")),
+                },
+            }),
+            "Outer" => UnitCfg::Outer(OuterCtrlCfg {
+                ctrl: CtrlId(u32_of(body, "ctrl")?),
+                switch: SwitchId(u32_of(body, "switch")?),
+            }),
+            other => return Err(format!("unknown unit variant `{other}`")),
+        })
+    }
+
+    fn link_json(l: &LinkCfg) -> Json {
+        Json::obj([
+            ("src", Json::from(l.src.0)),
+            ("dst", Json::from(l.dst.0)),
+            (
+                "class",
+                Json::from(match l.class {
+                    NetClass::Scalar => "Scalar",
+                    NetClass::Vector => "Vector",
+                    NetClass::Control => "Control",
+                }),
+            ),
+            (
+                "path",
+                ids_json(&l.path.iter().map(|s| s.0).collect::<Vec<_>>()),
+            ),
+            ("hops", Json::from(l.hops)),
+        ])
+    }
+
+    fn link_back(j: &Json) -> R<LinkCfg> {
+        Ok(LinkCfg {
+            src: UnitId(u32_of(j, "src")?),
+            dst: UnitId(u32_of(j, "dst")?),
+            class: match str_of(j, "class")? {
+                "Scalar" => NetClass::Scalar,
+                "Vector" => NetClass::Vector,
+                "Control" => NetClass::Control,
+                other => return Err(format!("unknown net class `{other}`")),
+            },
+            path: ids_of(j, "path")?.into_iter().map(SwitchId).collect(),
+            hops: usize_of(j, "hops")?,
+        })
+    }
+
+    pub(super) fn config_json(c: &MachineConfig) -> Json {
+        Json::obj([
+            ("params", params_json(&c.params)),
+            ("program_name", Json::from(c.program_name.as_str())),
+            ("units", Json::Arr(c.units.iter().map(unit_json).collect())),
+            ("links", Json::Arr(c.links.iter().map(link_json).collect())),
+            (
+                "alloc",
+                Json::obj([(
+                    "base",
+                    Json::Arr(c.alloc.base.iter().map(|&b| Json::from(b)).collect()),
+                )]),
+            ),
+            (
+                "usage",
+                Json::obj([
+                    ("pcus", Json::from(c.usage.pcus)),
+                    ("pmus", Json::from(c.usage.pmus)),
+                    ("ags", Json::from(c.usage.ags)),
+                    ("switch_ctrls", Json::from(c.usage.switch_ctrls)),
+                ]),
+            ),
+        ])
+    }
+
+    pub(super) fn config_back(j: &Json) -> R<MachineConfig> {
+        let units = arr_of(j, "units")?
+            .iter()
+            .map(unit_back)
+            .collect::<R<Vec<_>>>()?;
+        let links = arr_of(j, "links")?
+            .iter()
+            .map(link_back)
+            .collect::<R<Vec<_>>>()?;
+        let alloc_j = field(j, "alloc")?;
+        let base = arr_of(alloc_j, "base")?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| "bad dram base".to_string()))
+            .collect::<R<Vec<_>>>()?;
+        let usage_j = field(j, "usage")?;
+        Ok(MachineConfig {
+            params: params_back(field(j, "params")?)?,
+            program_name: str_of(j, "program_name")?.to_string(),
+            units,
+            links,
+            alloc: DramAlloc { base },
+            usage: ResourceUsage {
+                pcus: usize_of(usage_j, "pcus")?,
+                pmus: usize_of(usage_j, "pmus")?,
+                ags: usize_of(usage_j, "ags")?,
+                switch_ctrls: usize_of(usage_j, "switch_ctrls")?,
+            },
+        })
     }
 }
 
@@ -327,7 +690,7 @@ impl MachineConfig {
     ///
     /// Returns [`BitstreamError::Format`] if serialization fails.
     pub fn to_bitstream(&self) -> Result<String, BitstreamError> {
-        serde_json::to_string_pretty(self).map_err(BitstreamError::Format)
+        Ok(bitstream::config_json(self).pretty())
     }
 
     /// Parses a configuration from its bitstream form.
@@ -336,7 +699,9 @@ impl MachineConfig {
     ///
     /// Returns [`BitstreamError::Format`] on malformed input.
     pub fn from_bitstream(s: &str) -> Result<MachineConfig, BitstreamError> {
-        serde_json::from_str(s).map_err(BitstreamError::Format)
+        let j =
+            plasticine_json::Json::parse(s).map_err(|e| BitstreamError::Format(e.to_string()))?;
+        bitstream::config_back(&j).map_err(BitstreamError::Format)
     }
 
     /// Writes the bitstream to a file.
@@ -372,7 +737,9 @@ mod bitstream_tests {
             program_name: "rt".into(),
             units: vec![],
             links: vec![],
-            alloc: DramAlloc { base: vec![0, 4096] },
+            alloc: DramAlloc {
+                base: vec![0, 4096],
+            },
             usage: ResourceUsage::default(),
         };
         c.units.push(UnitCfg::Compute(ComputeCfg {

@@ -8,10 +8,9 @@
 //! vector, control) share this topology (§3.3).
 
 use crate::params::{GridMix, PlasticineParams};
-use serde::{Deserialize, Serialize};
 
 /// Kind of a unit site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SiteKind {
     /// Pattern Compute Unit.
     Pcu,
@@ -20,19 +19,19 @@ pub enum SiteKind {
 }
 
 /// Identifier of a unit site on the grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SiteId(pub u32);
 
 /// Identifier of a switch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SwitchId(pub u32);
 
 /// Identifier of an address generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AgId(pub u32);
 
 /// One unit site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Site {
     /// PCU or PMU.
     pub kind: SiteKind,
@@ -43,7 +42,7 @@ pub struct Site {
 }
 
 /// The instantiated chip topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     cols: usize,
     rows: usize,
@@ -182,7 +181,11 @@ impl Topology {
         let i = ag.0 as usize;
         let side_right = i % 2 == 1;
         let row = (i / 2) % self.switch_rows();
-        let x = if side_right { self.switch_cols() - 1 } else { 0 };
+        let x = if side_right {
+            self.switch_cols() - 1
+        } else {
+            0
+        };
         self.switch_at(x, row)
     }
 

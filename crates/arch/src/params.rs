@@ -6,12 +6,11 @@
 //! reproduces the published final configuration; the DSE harness sweeps the
 //! same ranges as Figure 7.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How PCU and PMU sites are mixed on the grid (§3.7: "we also
 /// experimented with multiple ratios of PMUs to PCUs").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum GridMix {
     /// 1:1 checkerboard (the paper's final choice).
     #[default]
@@ -21,7 +20,7 @@ pub enum GridMix {
 }
 
 /// Pattern Compute Unit parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PcuParams {
     /// SIMD lanes (Table 3: 4–32, final 16).
     pub lanes: usize,
@@ -67,7 +66,7 @@ impl Default for PcuParams {
 }
 
 /// Pattern Memory Unit parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PmuParams {
     /// Scalar pipeline stages for address calculation (final 4).
     pub stages: usize,
@@ -126,7 +125,7 @@ impl Default for PmuParams {
 }
 
 /// Whole-chip parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlasticineParams {
     /// Unit-grid columns (paper: 16).
     pub cols: usize,
@@ -208,7 +207,9 @@ impl PlasticineParams {
             return Err(ParamError("grid must be non-empty".into()));
         }
         if self.pcu.lanes == 0 || !self.pcu.lanes.is_power_of_two() {
-            return Err(ParamError("PCU lanes must be a nonzero power of two".into()));
+            return Err(ParamError(
+                "PCU lanes must be a nonzero power of two".into(),
+            ));
         }
         if self.pcu.stages == 0 {
             return Err(ParamError("PCU needs at least one stage".into()));

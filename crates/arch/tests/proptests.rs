@@ -4,7 +4,11 @@ use plasticine_arch::{GridMix, PlasticineParams, SiteKind, Topology};
 use proptest::prelude::*;
 
 fn params_strategy() -> impl Strategy<Value = PlasticineParams> {
-    (2usize..20, 2usize..12, prop::sample::select(vec![GridMix::Checkerboard, GridMix::PmuHeavy]))
+    (
+        2usize..20,
+        2usize..12,
+        prop::sample::select(vec![GridMix::Checkerboard, GridMix::PmuHeavy]),
+    )
         .prop_map(|(cols, rows, mix)| PlasticineParams {
             cols,
             rows,

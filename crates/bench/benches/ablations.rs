@@ -49,7 +49,10 @@ fn main() {
         heavy.num_pcus(),
         heavy.num_pmus()
     );
-    for bench in [dense::inner_product(Scale::small()), dense::black_scholes(Scale::small())] {
+    for bench in [
+        dense::inner_product(Scale::small()),
+        dense::black_scholes(Scale::small()),
+    ] {
         let r1 = run(&bench, &bench.program, &paper, &opts).expect("1:1 fits");
         match run(&bench, &bench.program, &heavy, &opts) {
             Ok(r2) => println!(
@@ -74,7 +77,10 @@ fn main() {
         coalescing: false,
         ..SimOptions::default()
     };
-    for bench in [sparse::pagerank(Scale::small()), sparse::bfs(Scale::small())] {
+    for bench in [
+        sparse::pagerank(Scale::small()),
+        sparse::bfs(Scale::small()),
+    ] {
         let on = run(&bench, &bench.program, &paper, &opts).expect("fits");
         let off = run(&bench, &bench.program, &paper, &no_coalesce).expect("fits");
         println!(
@@ -90,7 +96,10 @@ fn main() {
 
     // ---- 3. Control scheme ----
     println!("\n== ablation 3: coarse-grain pipelining vs all-sequential ==");
-    for bench in [dense::inner_product(Scale::small()), dense::tpchq6(Scale::small())] {
+    for bench in [
+        dense::inner_product(Scale::small()),
+        dense::tpchq6(Scale::small()),
+    ] {
         let piped = run(&bench, &bench.program, &paper, &opts).expect("fits");
         let seq_prog = bench.program.with_schedules(|_| Schedule::Sequential);
         let seq = run(&bench, &seq_prog, &paper, &opts).expect("fits");

@@ -8,7 +8,7 @@
 //! ```
 
 use plasticine_compiler::{build_virtual, Analysis};
-use plasticine_models::dse::{average_row, sweep, PcuParamKind, SweepSpec, SweepRow};
+use plasticine_models::dse::{average_row, sweep, PcuParamKind, SweepRow, SweepSpec};
 use plasticine_models::AreaModel;
 use plasticine_workloads::{all, Scale};
 

@@ -1,28 +1,27 @@
-//! Criterion microbenchmarks of the infrastructure itself: compiler
-//! throughput, simulator speed, and the DRAM model's dense vs random
-//! behaviour.
+//! Microbenchmarks of the infrastructure itself: compiler throughput,
+//! simulator speed, and the DRAM model's dense vs random behaviour.
 //!
 //! ```sh
 //! cargo bench -p plasticine-bench --bench micro
 //! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use plasticine_arch::PlasticineParams;
+use plasticine_bench::bench_function;
 use plasticine_compiler::{build_virtual, compile, partition, Analysis};
 use plasticine_dram::{DramConfig, DramSystem, MemRequest};
 use plasticine_ppir::Machine;
 use plasticine_sim::{simulate, SimOptions};
 use plasticine_workloads::{dense, gemm, Scale};
 
-fn bench_compile(c: &mut Criterion) {
+fn bench_compile() {
     let bench = gemm::gemm(Scale::tiny());
     let params = PlasticineParams::paper_final();
-    c.bench_function("compile_gemm", |b| {
-        b.iter(|| compile(&bench.program, &params).unwrap())
+    bench_function("compile_gemm", 2, 10, || {
+        compile(&bench.program, &params).unwrap()
     });
 }
 
-fn bench_partition(c: &mut Criterion) {
+fn bench_partition() {
     let bench = dense::black_scholes(Scale::tiny());
     let an = Analysis::run(&bench.program);
     let v = build_virtual(&bench.program, &an);
@@ -32,29 +31,23 @@ fn bench_partition(c: &mut Criterion) {
         .iter()
         .max_by_key(|u| u.ops.len())
         .expect("black-scholes has compute units");
-    c.bench_function("partition_blackscholes_pipe", |b| {
-        b.iter(|| partition(unit, &params.pcu).unwrap())
+    bench_function("partition_blackscholes_pipe", 2, 10, || {
+        partition(unit, &params.pcu).unwrap()
     });
 }
 
-fn bench_simulate(c: &mut Criterion) {
+fn bench_simulate() {
     let bench = dense::inner_product(Scale::tiny());
     let params = PlasticineParams::paper_final();
     let out = compile(&bench.program, &params).unwrap();
-    c.bench_function("simulate_inner_product", |b| {
-        b.iter_batched(
-            || {
-                let mut m = Machine::new(&bench.program);
-                bench.load(&mut m);
-                m
-            },
-            |mut m| simulate(&bench.program, &out, &mut m, &SimOptions::default()).unwrap(),
-            BatchSize::SmallInput,
-        )
+    bench_function("simulate_inner_product", 2, 10, || {
+        let mut m = Machine::new(&bench.program);
+        bench.load(&mut m);
+        simulate(&bench.program, &out, &mut m, &SimOptions::default()).unwrap()
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn bench_dram() {
     let cfg = DramConfig {
         refresh: false,
         ..DramConfig::default()
@@ -83,13 +76,13 @@ fn bench_dram(c: &mut Criterion) {
     let dense_addrs: Vec<u64> = (0..2048u64).map(|i| i * 64).collect();
     let row_span = cfg.row_bytes * (cfg.banks * cfg.ranks * cfg.channels) as u64;
     let random_addrs: Vec<u64> = (0..2048u64).map(|i| (i * 13 + 5) * row_span).collect();
-    c.bench_function("dram_dense_2048_lines", |b| b.iter(|| run(&dense_addrs)));
-    c.bench_function("dram_random_2048_lines", |b| b.iter(|| run(&random_addrs)));
+    bench_function("dram_dense_2048_lines", 2, 10, || run(&dense_addrs));
+    bench_function("dram_random_2048_lines", 2, 10, || run(&random_addrs));
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_compile, bench_partition, bench_simulate, bench_dram
-);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_partition();
+    bench_simulate();
+    bench_dram();
+}

@@ -26,10 +26,7 @@ fn choose(apps: &[(String, plasticine_compiler::VirtualDesign)], spec: &SweepSpe
         })
         .map(|(_, p)| (p.value, p.overhead.unwrap()))
         .collect();
-    let min = valid
-        .iter()
-        .map(|(_, o)| *o)
-        .fold(f64::INFINITY, f64::min);
+    let min = valid.iter().map(|(_, o)| *o).fold(f64::INFINITY, f64::min);
     // Smallest value within 2% overhead of the all-valid minimum.
     valid
         .iter()
@@ -60,11 +57,36 @@ fn main() {
     let mut fixed: Vec<(PcuParamKind, usize)> = Vec::new();
     let schedule: Vec<(PcuParamKind, &str, Vec<usize>, usize)> = vec![
         (PcuParamKind::Stages, "PCU stages", (4..=16).collect(), 6),
-        (PcuParamKind::Regs, "PCU registers/stage", (2..=16).collect(), 6),
-        (PcuParamKind::ScalarIns, "PCU scalar inputs", (1..=16).collect(), 6),
-        (PcuParamKind::ScalarOuts, "PCU scalar outputs", (1..=6).collect(), 5),
-        (PcuParamKind::VectorIns, "PCU vector inputs", (2..=10).collect(), 3),
-        (PcuParamKind::VectorOuts, "PCU vector outputs", (1..=6).collect(), 3),
+        (
+            PcuParamKind::Regs,
+            "PCU registers/stage",
+            (2..=16).collect(),
+            6,
+        ),
+        (
+            PcuParamKind::ScalarIns,
+            "PCU scalar inputs",
+            (1..=16).collect(),
+            6,
+        ),
+        (
+            PcuParamKind::ScalarOuts,
+            "PCU scalar outputs",
+            (1..=6).collect(),
+            5,
+        ),
+        (
+            PcuParamKind::VectorIns,
+            "PCU vector inputs",
+            (2..=10).collect(),
+            3,
+        ),
+        (
+            PcuParamKind::VectorOuts,
+            "PCU vector outputs",
+            (1..=6).collect(),
+            3,
+        ),
     ];
     for (kind, name, values, paper) in schedule {
         let range = format!("{}-{}", values.first().unwrap(), values.last().unwrap());
@@ -80,7 +102,10 @@ fn main() {
         fixed.push((kind, paper));
     }
 
-    println!("{:<24} {:>14} {:>8} {:>8}", "PMU bank size (KB)", "4-64", 16, 16);
+    println!(
+        "{:<24} {:>14} {:>8} {:>8}",
+        "PMU bank size (KB)", "4-64", 16, 16
+    );
     println!("{:<24} {:>14} {:>8} {:>8}", "PMU banks", "lanes", 16, 16);
     println!("{:<24} {:>14} {:>8} {:>8}", "PCUs", "-", 64, 64);
     println!("{:<24} {:>14} {:>8} {:>8}", "PMUs", "-", 64, 64);

@@ -24,7 +24,10 @@ fn main() {
     let chip = m.chip(&params);
 
     println!("Table 5: Plasticine area breakdown (mm², 28 nm)");
-    println!("{:<28} {:>10} {:>10} {:>9}", "Component", "model", "paper", "delta");
+    println!(
+        "{:<28} {:>10} {:>10} {:>9}",
+        "Component", "model", "paper", "delta"
+    );
     println!("{}", "-".repeat(60));
     println!("-- one PCU --");
     row("  FUs", chip.pcu.fus, 0.622);

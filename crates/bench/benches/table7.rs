@@ -17,7 +17,7 @@ use plasticine_compiler::compile;
 use plasticine_fpga::FpgaModel;
 use plasticine_models::PowerModel;
 use plasticine_ppir::Machine;
-use plasticine_sim::{simulate, SimOptions};
+use plasticine_sim::{simulate, SimOptions, UnitKind};
 use plasticine_workloads::{all, Scale};
 
 /// Paper Table 7: (speedup, perf/W) per benchmark.
@@ -43,16 +43,17 @@ fn main() {
     let fpga = FpgaModel::new();
 
     println!("Table 7: Plasticine vs FPGA (measured at Scale::small; paper values right)");
+    println!("(busy/stall columns: PCU cycle attribution — busy / ctrl-stall / mem-stall)");
     println!(
-        "{:<14} {:>9} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} | {:>8} {:>8} | {:>7} {:>7}",
-        "Benchmark", "Cycles", "PCU%", "PMU%", "AG%", "FU%", "Reg%", "Watts",
-        "Speedup", "Perf/W", "paperS", "paperPW"
+        "{:<14} {:>9} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6} {:>6} {:>6} {:>7} | {:>8} {:>8} | {:>7} {:>7}",
+        "Benchmark", "Cycles", "PCU%", "PMU%", "AG%", "FU%", "Reg%", "busy%", "ctrl%", "mem%",
+        "Watts", "Speedup", "Perf/W", "paperS", "paperPW"
     );
-    println!("{}", "-".repeat(118));
+    println!("{}", "-".repeat(140));
     let mut ratios = Vec::new();
     for bench in all(Scale::small()) {
-        let out = compile(&bench.program, &params)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let out =
+            compile(&bench.program, &params).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let mut m = Machine::new(&bench.program);
         bench.load(&mut m);
         let r = simulate(&bench.program, &out, &mut m, &SimOptions::default())
@@ -73,8 +74,10 @@ fn main() {
             .find(|(n, _, _)| *n == bench.name)
             .copied()
             .unwrap_or(("", f64::NAN, f64::NAN));
+        let pcu_cycles = r.units.aggregate(UnitKind::Pcu);
+        let pcu_total = pcu_cycles.total().max(1) as f64;
         println!(
-            "{:<14} {:>9} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>6.1}% {:>7.1} | {:>7.1}x {:>7.1}x | {:>6.1}x {:>6.1}x",
+            "{:<14} {:>9} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>6.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>7.1} | {:>7.1}x {:>7.1}x | {:>6.1}x {:>6.1}x",
             bench.name,
             r.cycles,
             100.0 * pcu_u,
@@ -82,6 +85,9 @@ fn main() {
             100.0 * ag_u,
             100.0 * fu,
             100.0 * reg,
+            100.0 * pcu_cycles.busy as f64 / pcu_total,
+            100.0 * pcu_cycles.ctrl_stall as f64 / pcu_total,
+            100.0 * pcu_cycles.mem_stall as f64 / pcu_total,
             p.total_w,
             speedup,
             perf_w,

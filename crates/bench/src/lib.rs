@@ -1,1 +1,55 @@
-//! Benchmark harness library (targets live in `benches/`).
+//! Shared harness code for the `plasticine-bench` benchmark binaries.
+//!
+//! The bench targets are plain `harness = false` programs (the workspace
+//! builds fully offline, so there is no external benchmarking framework).
+//! This module provides the small timing loop the micro benchmarks use.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations after `warmup` warmup iterations and
+/// prints mean/min per-iteration wall time.
+pub fn bench_function<T>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed());
+    }
+    let total: f64 = samples.iter().map(|d| d.as_secs_f64()).sum();
+    let mean = total / samples.len() as f64;
+    let min = samples
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "{name:<34} mean {:>12}  min {:>12}",
+        fmt_secs(mean),
+        fmt_secs(min)
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut n = 0u32;
+        super::bench_function("noop", 1, 3, || n += 1);
+        assert_eq!(n, 4);
+    }
+}

@@ -1,9 +1,7 @@
 //! Structural analysis of the controller tree: parents, schedules, unroll
 //! factors, memory producer/consumer relations, and N-buffer depths.
 
-use plasticine_ppir::{
-    CtrlBody, CtrlId, Expr, FuncId, InnerOp, Program, RegId, Schedule, SramId,
-};
+use plasticine_ppir::{CtrlBody, CtrlId, Expr, FuncId, InnerOp, Program, RegId, Schedule, SramId};
 use std::collections::{HashMap, HashSet};
 
 /// How a controller touches a memory.
@@ -108,21 +106,22 @@ impl Analysis {
             let rec_sram = |s: SramId, a: Access, m: &mut HashMap<_, Vec<_>>| {
                 m.entry(s).or_insert_with(Vec::new).push((cid, a));
             };
-            let func_reads = |f: FuncId,
-                                  srams: &mut HashMap<SramId, Vec<(CtrlId, Access)>>,
-                                  regs: &mut HashMap<RegId, Vec<(CtrlId, Access)>>| {
-                for nodexpr in p.func(f).nodes() {
-                    match nodexpr {
-                        Expr::Load { mem, .. } => {
-                            srams.entry(*mem).or_default().push((cid, Access::Read));
+            let func_reads =
+                |f: FuncId,
+                 srams: &mut HashMap<SramId, Vec<(CtrlId, Access)>>,
+                 regs: &mut HashMap<RegId, Vec<(CtrlId, Access)>>| {
+                    for nodexpr in p.func(f).nodes() {
+                        match nodexpr {
+                            Expr::Load { mem, .. } => {
+                                srams.entry(*mem).or_default().push((cid, Access::Read));
+                            }
+                            Expr::ReadReg(r) => {
+                                regs.entry(*r).or_default().push((cid, Access::Read));
+                            }
+                            _ => {}
                         }
-                        Expr::ReadReg(r) => {
-                            regs.entry(*r).or_default().push((cid, Access::Read));
-                        }
-                        _ => {}
                     }
-                }
-            };
+                };
             match op {
                 InnerOp::Map(m) => {
                     func_reads(m.body, &mut sram_access, &mut reg_access);
@@ -338,18 +337,13 @@ impl Analysis {
             .map(|&c| self.subtree_srams(p, c, Access::Read))
             .collect();
         let mut out = Vec::new();
-        for j in 0..children.len() {
-            for i in 0..j {
-                let shared: Vec<SramId> =
-                    writes[i].intersection(&reads[j]).copied().collect();
+        for (j, rd) in reads.iter().enumerate() {
+            for (i, wr) in writes.iter().enumerate().take(j) {
+                let shared: Vec<SramId> = wr.intersection(rd).copied().collect();
                 if shared.is_empty() {
                     continue;
                 }
-                let depth = shared
-                    .iter()
-                    .map(|s| self.nbuf_of(*s))
-                    .min()
-                    .unwrap_or(1);
+                let depth = shared.iter().map(|s| self.nbuf_of(*s)).min().unwrap_or(1);
                 out.push((i, j, depth));
             }
         }
@@ -457,7 +451,12 @@ mod tests {
             }),
         );
         let tiles = b.counter(0, 16, 1, 2);
-        let root = b.outer("tiles", Schedule::Pipelined, vec![tiles], vec![ld, comp, st]);
+        let root = b.outer(
+            "tiles",
+            Schedule::Pipelined,
+            vec![tiles],
+            vec![ld, comp, st],
+        );
         let p = b.finish(root).unwrap();
         (p, tile_in, tile_out)
     }

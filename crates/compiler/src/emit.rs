@@ -119,7 +119,11 @@ pub fn compile_with(
         units.push(UnitCfg::Ag(AgCfg {
             ctrl: a.ctrl,
             ags: placement.ag_ids[k].clone(),
-            mode: if a.sparse { AgMode::Sparse } else { AgMode::Dense },
+            mode: if a.sparse {
+                AgMode::Sparse
+            } else {
+                AgMode::Dense
+            },
         }));
     }
     for (l, &oc) in v.outers.iter().enumerate() {
@@ -164,12 +168,12 @@ pub fn compile_with(
     let mut router = Router::new(&topo, opts.route_limits);
     let mut links: Vec<LinkCfg> = Vec::new();
     let add_link = |router: &mut Router,
-                        links: &mut Vec<LinkCfg>,
-                        src: UnitId,
-                        sa: SwitchId,
-                        dst: UnitId,
-                        da: SwitchId,
-                        class: NetClass|
+                    links: &mut Vec<LinkCfg>,
+                    src: UnitId,
+                    sa: SwitchId,
+                    dst: UnitId,
+                    da: SwitchId,
+                    class: NetClass|
      -> Result<(), CompileError> {
         let path = router.route(sa, da, class)?;
         let hops = path_hops(&path);
@@ -214,12 +218,28 @@ pub fn compile_with(
                     Access::Read => {
                         let s = anchor(mem_uid, copy, false);
                         let d = anchor(cu_uid, copy, false);
-                        add_link(&mut router, &mut links, mem_uid, s, cu_uid, d, NetClass::Vector)?;
+                        add_link(
+                            &mut router,
+                            &mut links,
+                            mem_uid,
+                            s,
+                            cu_uid,
+                            d,
+                            NetClass::Vector,
+                        )?;
                     }
                     Access::Write => {
                         let s = anchor(cu_uid, copy, true);
                         let d = anchor(mem_uid, copy, false);
-                        add_link(&mut router, &mut links, cu_uid, s, mem_uid, d, NetClass::Vector)?;
+                        add_link(
+                            &mut router,
+                            &mut links,
+                            cu_uid,
+                            s,
+                            mem_uid,
+                            d,
+                            NetClass::Vector,
+                        )?;
                     }
                 }
             }
@@ -415,7 +435,12 @@ mod tests {
                 sram: sc,
             }),
         );
-        let root = b.outer("tiles", Schedule::Pipelined, vec![t], vec![lda, ldb, add, st]);
+        let root = b.outer(
+            "tiles",
+            Schedule::Pipelined,
+            vec![t],
+            vec![lda, ldb, add, st],
+        );
         b.finish(root).unwrap()
     }
 

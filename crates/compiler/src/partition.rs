@@ -15,12 +15,11 @@
 
 use crate::vunit::{VSrc, VirtualPcu};
 use plasticine_arch::PcuParams;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// Resource footprint of one chunk (= one physical PCU).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChunkStats {
     /// ALU stages used (including reduction-tree stages in the final chunk).
     pub stages: usize,
@@ -180,19 +179,18 @@ fn chunk_stats(v: &VirtualPcu, uses: &Uses, s: usize, e: usize, is_last: bool) -
     }
     // External values (vector inputs / live-ins): held in the input FIFO
     // until first use, then carried to last use.
-    let ext_intervals =
-        |positions: &[usize], intervals: &mut Vec<(usize, usize)>| {
-            let local: Vec<usize> = positions
-                .iter()
-                .filter(|&&u| u != OUTPUT && in_chunk(u))
-                .map(|&u| u - s)
-                .collect();
-            if let (Some(&first), Some(&last)) = (local.iter().min(), local.iter().max()) {
-                if first != last {
-                    intervals.push((first, last));
-                }
+    let ext_intervals = |positions: &[usize], intervals: &mut Vec<(usize, usize)>| {
+        let local: Vec<usize> = positions
+            .iter()
+            .filter(|&&u| u != OUTPUT && in_chunk(u))
+            .map(|&u| u - s)
+            .collect();
+        if let (Some(&first), Some(&last)) = (local.iter().min(), local.iter().max()) {
+            if first != last {
+                intervals.push((first, last));
             }
-        };
+        }
+    };
     for k in 0..v.vec_ins {
         ext_intervals(&uses.vecin_uses[k], &mut intervals);
     }
@@ -203,10 +201,7 @@ fn chunk_stats(v: &VirtualPcu, uses: &Uses, s: usize, e: usize, is_last: bool) -
     let n_stages = e - s;
     let mut max_live = 0usize;
     for k in 1..n_stages {
-        let crossing = intervals
-            .iter()
-            .filter(|(b, d)| *b < k && k <= *d)
-            .count();
+        let crossing = intervals.iter().filter(|(b, d)| *b < k && k <= *d).count();
         max_live = max_live.max(crossing);
     }
     // Even a single value in flight needs one register per stage.
@@ -564,10 +559,7 @@ mod tests {
         let v = chain(37);
         let mut prev = usize::MAX;
         for stages in 4..=16 {
-            let p = PcuParams {
-                stages,
-                ..paper()
-            };
+            let p = PcuParams { stages, ..paper() };
             let n = partition(&v, &p).unwrap().len();
             assert!(n <= prev, "stages={stages}: {n} > {prev}");
             prev = n;

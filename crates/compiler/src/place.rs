@@ -153,10 +153,18 @@ pub fn place(
     let mut ag_ids: Vec<Vec<AgId>> = vec![Vec::new(); v.ags.len()];
 
     // Index maps for partner lookup.
-    let pcu_of_ctrl: HashMap<CtrlId, usize> =
-        v.pcus.iter().enumerate().map(|(i, u)| (u.ctrl, i)).collect();
-    let pmu_of_sram: HashMap<SramId, usize> =
-        v.pmus.iter().enumerate().map(|(i, m)| (m.sram, i)).collect();
+    let pcu_of_ctrl: HashMap<CtrlId, usize> = v
+        .pcus
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.ctrl, i))
+        .collect();
+    let pmu_of_sram: HashMap<SramId, usize> = v
+        .pmus
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.sram, i))
+        .collect();
 
     // Placement order: walk inner controllers in program order; place each
     // compute unit, then any scratchpads it touches that are unplaced.

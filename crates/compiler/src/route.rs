@@ -91,11 +91,7 @@ impl<'t> Router<'t> {
                 if prev.contains_key(&nb) {
                     continue;
                 }
-                let used = self
-                    .usage
-                    .get(&(cur, nb, class))
-                    .copied()
-                    .unwrap_or(0);
+                let used = self.usage.get(&(cur, nb, class)).copied().unwrap_or(0);
                 if used >= budget {
                     continue;
                 }

@@ -16,11 +16,10 @@ use crate::analysis::Analysis;
 use plasticine_ppir::{
     BankingMode, CtrlBody, CtrlId, Expr, Func, InnerOp, Program, SramId, UnaryOp,
 };
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Source of one operand of a virtual ALU op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VSrc {
     /// Result of an earlier op in the same virtual unit (a pipeline-register
     /// value).
@@ -34,7 +33,7 @@ pub enum VSrc {
 }
 
 /// One ALU operation of a virtual PCU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VOp {
     /// Operand sources.
     pub srcs: Vec<VSrc>,
@@ -44,7 +43,7 @@ pub struct VOp {
 }
 
 /// A virtual Pattern Compute Unit: one inner controller's dataflow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VirtualPcu {
     /// Diagnostic name (the controller's).
     pub name: String,
@@ -89,7 +88,7 @@ impl VirtualPcu {
 }
 
 /// A virtual Pattern Memory Unit: one scratchpad plus its address datapaths.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VirtualPmu {
     /// The scratchpad held.
     pub sram: SramId,
@@ -120,7 +119,7 @@ impl VirtualPmu {
 }
 
 /// A virtual address generator: one off-chip transfer controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VirtualAg {
     /// The transfer controller.
     pub ctrl: CtrlId,
@@ -135,7 +134,7 @@ pub struct VirtualAg {
 }
 
 /// The complete virtual design of a program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VirtualDesign {
     /// Virtual compute units (one per compute inner controller).
     pub pcus: Vec<VirtualPcu>,

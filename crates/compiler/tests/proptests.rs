@@ -8,45 +8,43 @@ use proptest::prelude::*;
 /// Random DAG of ops: each op consumes 1–2 sources drawn from earlier ops
 /// or vector inputs.
 fn random_unit() -> impl Strategy<Value = VirtualPcu> {
-    (1usize..60, 1usize..4, any::<u64>(), any::<bool>()).prop_map(
-        |(n_ops, n_vin, seed, reduce)| {
-            let mut ops = Vec::with_capacity(n_ops);
-            let mut s = seed;
-            let mut next = || {
-                s = s
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                s >> 33
-            };
-            for i in 0..n_ops {
-                let n_srcs = 1 + (next() % 2) as usize;
-                let srcs = (0..n_srcs)
-                    .map(|_| {
-                        let pick = next() as usize % (i + n_vin);
-                        if pick < i {
-                            VSrc::Op(pick)
-                        } else {
-                            VSrc::VecIn(pick - i)
-                        }
-                    })
-                    .collect();
-                ops.push(VOp { srcs, heavy: false });
-            }
-            VirtualPcu {
-                name: "rand".into(),
-                ctrl: CtrlId(0),
-                outputs: vec![VSrc::Op(n_ops - 1)],
-                ops,
-                vec_ins: n_vin,
-                scal_ins: 0,
-                vec_outs: 1,
-                scal_outs: if reduce { 1 } else { 0 },
-                reduction_lanes: if reduce { 16 } else { 0 },
-                lanes: 16,
-                copies: 1,
-            }
-        },
-    )
+    (1usize..60, 1usize..4, any::<u64>(), any::<bool>()).prop_map(|(n_ops, n_vin, seed, reduce)| {
+        let mut ops = Vec::with_capacity(n_ops);
+        let mut s = seed;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        for i in 0..n_ops {
+            let n_srcs = 1 + (next() % 2) as usize;
+            let srcs = (0..n_srcs)
+                .map(|_| {
+                    let pick = next() as usize % (i + n_vin);
+                    if pick < i {
+                        VSrc::Op(pick)
+                    } else {
+                        VSrc::VecIn(pick - i)
+                    }
+                })
+                .collect();
+            ops.push(VOp { srcs, heavy: false });
+        }
+        VirtualPcu {
+            name: "rand".into(),
+            ctrl: CtrlId(0),
+            outputs: vec![VSrc::Op(n_ops - 1)],
+            ops,
+            vec_ins: n_vin,
+            scal_ins: 0,
+            vec_outs: 1,
+            scal_outs: if reduce { 1 } else { 0 },
+            reduction_lanes: if reduce { 16 } else { 0 },
+            lanes: 16,
+            copies: 1,
+        }
+    })
 }
 
 proptest! {

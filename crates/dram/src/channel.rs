@@ -2,11 +2,10 @@
 //! request selection with a starvation guard, and refresh.
 
 use crate::config::{DramConfig, Location};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A line-granularity memory request (one 64-byte burst).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
     /// Caller-chosen identifier returned in the [`Completion`].
     pub id: u64,
@@ -18,7 +17,7 @@ pub struct MemRequest {
 }
 
 /// A finished memory request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// Identifier from the original request.
     pub id: u64,
@@ -103,7 +102,7 @@ struct Pending {
 }
 
 /// Per-channel statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Column commands that hit an open row.
     pub row_hits: u64,
@@ -119,6 +118,12 @@ pub struct ChannelStats {
     pub writes: u64,
     /// Cycles with the data bus occupied.
     pub busy_cycles: u64,
+    /// Summed read latency (request arrival to end of data), in cycles.
+    pub read_latency_cycles: u64,
+    /// Summed write latency, in cycles.
+    pub write_latency_cycles: u64,
+    /// Worst single-request latency observed, in cycles.
+    pub max_latency_cycles: u64,
 }
 
 /// One DDR channel: command scheduler plus bank/rank state.
@@ -288,6 +293,13 @@ impl Channel {
         let data_end = data_start + self.cyc.burst;
         // Commit the command.
         let p = self.queue.remove(qi).expect("index checked");
+        let latency = data_end.saturating_sub(p.arrival);
+        self.stats.max_latency_cycles = self.stats.max_latency_cycles.max(latency);
+        if is_write {
+            self.stats.write_latency_cycles += latency;
+        } else {
+            self.stats.read_latency_cycles += latency;
+        }
         self.data_bus_free = data_end;
         self.stats.busy_cycles += self.cyc.burst;
         self.stats.row_hits += 1;
@@ -446,8 +458,24 @@ mod tests {
         assert_eq!(la.bank, lb.bank);
         assert_eq!(la.rank, lb.rank);
         assert_ne!(la.row, lb.row);
-        ch.push(MemRequest { id: 0, addr: a, is_write: false }, la, 0);
-        ch.push(MemRequest { id: 1, addr: b, is_write: false }, lb, 0);
+        ch.push(
+            MemRequest {
+                id: 0,
+                addr: a,
+                is_write: false,
+            },
+            la,
+            0,
+        );
+        ch.push(
+            MemRequest {
+                id: 1,
+                addr: b,
+                is_write: false,
+            },
+            lb,
+            0,
+        );
         let done = run_until_drained(&mut ch, 0, 10_000);
         assert_eq!(done.len(), 2);
         assert_eq!(ch.stats.activates, 2);
@@ -463,8 +491,24 @@ mod tests {
         let (mut ch, cfg) = channel();
         let la = cfg.map(0);
         let lb = cfg.map(4 * 64); // same row, next column line
-        ch.push(MemRequest { id: 0, addr: 0, is_write: true }, la, 0);
-        ch.push(MemRequest { id: 1, addr: 4 * 64, is_write: false }, lb, 0);
+        ch.push(
+            MemRequest {
+                id: 0,
+                addr: 0,
+                is_write: true,
+            },
+            la,
+            0,
+        );
+        ch.push(
+            MemRequest {
+                id: 1,
+                addr: 4 * 64,
+                is_write: false,
+            },
+            lb,
+            0,
+        );
         let done = run_until_drained(&mut ch, 0, 10_000);
         let w = done.iter().find(|c| c.id == 0).unwrap();
         let r = done.iter().find(|c| c.id == 1).unwrap();
@@ -487,7 +531,11 @@ mod tests {
         let lines_per_row = cfg.row_bytes / cfg.line_bytes;
         let row_b = lines_per_row * 4 * 64 * (cfg.banks as u64 * cfg.ranks as u64);
         ch.push(
-            MemRequest { id: 999, addr: row_b, is_write: false },
+            MemRequest {
+                id: 999,
+                addr: row_b,
+                is_write: false,
+            },
             cfg.map(row_b),
             0,
         );
@@ -499,7 +547,11 @@ mod tests {
             while ch.has_capacity() && next_id < 4000 {
                 let addr = (next_id % lines_per_row) * 4 * 64;
                 ch.push(
-                    MemRequest { id: next_id, addr, is_write: false },
+                    MemRequest {
+                        id: next_id,
+                        addr,
+                        is_write: false,
+                    },
                     cfg.map(addr),
                     t,
                 );
@@ -526,7 +578,11 @@ mod tests {
             if t % 100 == 0 && ch.has_capacity() {
                 let addr = (t / 100 % 64) * 4 * 64;
                 ch.push(
-                    MemRequest { id: t, addr, is_write: false },
+                    MemRequest {
+                        id: t,
+                        addr,
+                        is_write: false,
+                    },
                     cfg.map(addr),
                     t,
                 );
@@ -544,13 +600,21 @@ mod tests {
         let (mut ch, cfg) = channel();
         for i in 0..cfg.queue_depth as u64 {
             assert!(ch.push(
-                MemRequest { id: i, addr: 0, is_write: false },
+                MemRequest {
+                    id: i,
+                    addr: 0,
+                    is_write: false
+                },
                 cfg.map(0),
                 0
             ));
         }
         assert!(!ch.push(
-            MemRequest { id: 99, addr: 0, is_write: false },
+            MemRequest {
+                id: 99,
+                addr: 0,
+                is_write: false
+            },
             cfg.map(0),
             0
         ));

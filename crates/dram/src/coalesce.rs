@@ -9,11 +9,10 @@
 
 use crate::channel::{Completion, MemRequest};
 use crate::system::{DramSystem, QueueFull};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// A 4-byte element request from an address generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ElemRequest {
     /// Caller-chosen identifier.
     pub id: u64,
@@ -24,7 +23,7 @@ pub struct ElemRequest {
 }
 
 /// A finished element request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ElemCompletion {
     /// Identifier from the original element request.
     pub id: u64,
@@ -37,7 +36,7 @@ pub struct ElemCompletion {
 }
 
 /// Coalescing statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoalesceStats {
     /// Element requests accepted.
     pub elem_requests: u64,
@@ -254,20 +253,44 @@ mod tests {
     #[test]
     fn cache_capacity_backpressures() {
         let mut cu = CoalescingUnit::new(2, 64);
-        assert!(cu.try_push(ElemRequest { id: 0, byte_addr: 0, is_write: false }));
-        assert!(cu.try_push(ElemRequest { id: 1, byte_addr: 4096, is_write: false }));
+        assert!(cu.try_push(ElemRequest {
+            id: 0,
+            byte_addr: 0,
+            is_write: false
+        }));
+        assert!(cu.try_push(ElemRequest {
+            id: 1,
+            byte_addr: 4096,
+            is_write: false
+        }));
         // Third distinct line: refused.
-        assert!(!cu.try_push(ElemRequest { id: 2, byte_addr: 8192, is_write: false }));
+        assert!(!cu.try_push(ElemRequest {
+            id: 2,
+            byte_addr: 8192,
+            is_write: false
+        }));
         // Same line as an unissued entry: still merges.
-        assert!(cu.try_push(ElemRequest { id: 3, byte_addr: 4, is_write: false }));
+        assert!(cu.try_push(ElemRequest {
+            id: 3,
+            byte_addr: 4,
+            is_write: false
+        }));
     }
 
     #[test]
     fn reads_and_writes_to_same_line_are_separate_transactions() {
         let mut cu = CoalescingUnit::new(8, 64);
         let mut m = mem();
-        assert!(cu.try_push(ElemRequest { id: 0, byte_addr: 0, is_write: false }));
-        assert!(cu.try_push(ElemRequest { id: 1, byte_addr: 0, is_write: true }));
+        assert!(cu.try_push(ElemRequest {
+            id: 0,
+            byte_addr: 0,
+            is_write: false
+        }));
+        assert!(cu.try_push(ElemRequest {
+            id: 1,
+            byte_addr: 0,
+            is_write: true
+        }));
         let done = drain(&mut cu, &mut m);
         assert_eq!(done.len(), 2);
         assert_eq!(cu.stats.line_requests, 2);

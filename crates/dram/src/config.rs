@@ -4,10 +4,8 @@
 //! theoretical peak of 51.2 GB/s (§4.2), simulated in the accelerator's
 //! 1 GHz core-clock domain.
 
-use serde::{Deserialize, Serialize};
-
 /// Timing parameters in nanoseconds (JEDEC DDR3-1600 CL11 class).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Timing {
     /// Activate to internal read/write delay (tRCD).
     pub t_rcd_ns: f64,
@@ -62,7 +60,7 @@ impl Default for Timing {
 }
 
 /// Full memory-system configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramConfig {
     /// Independent DDR channels (the paper uses 4).
     pub channels: usize,
@@ -125,7 +123,7 @@ impl DramConfig {
 }
 
 /// Physical location of a line: `(channel, rank, bank, row, column-line)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Location {
     /// Channel index.
     pub channel: usize,
@@ -175,7 +173,11 @@ mod tests {
     fn default_peak_bandwidth_matches_paper() {
         let cfg = DramConfig::default();
         // 4 × DDR3-1600 = 51.2 GB/s theoretical peak (§4.2).
-        assert!((cfg.peak_gbps() - 51.2).abs() < 0.1, "got {}", cfg.peak_gbps());
+        assert!(
+            (cfg.peak_gbps() - 51.2).abs() < 0.1,
+            "got {}",
+            cfg.peak_gbps()
+        );
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct DramStats {
     pub refreshes: u64,
     /// Data-bus busy cycles summed over channels.
     pub busy_cycles: u64,
+    /// Summed read latency (request arrival to end of data), in cycles.
+    pub read_latency_cycles: u64,
+    /// Summed write latency, in cycles.
+    pub write_latency_cycles: u64,
+    /// Worst single-request latency observed, in cycles.
+    pub max_latency_cycles: u64,
 }
 
 impl DramStats {
@@ -31,6 +37,27 @@ impl DramStats {
         self.precharges += c.precharges;
         self.refreshes += c.refreshes;
         self.busy_cycles += c.busy_cycles;
+        self.read_latency_cycles += c.read_latency_cycles;
+        self.write_latency_cycles += c.write_latency_cycles;
+        self.max_latency_cycles = self.max_latency_cycles.max(c.max_latency_cycles);
+    }
+
+    /// Mean read latency in cycles (0 when nothing was read).
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_cycles as f64 / self.reads as f64
+        }
+    }
+
+    /// Mean write latency in cycles (0 when nothing was written).
+    pub fn avg_write_latency(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.write_latency_cycles as f64 / self.writes as f64
+        }
     }
 }
 
@@ -254,7 +281,7 @@ mod tests {
                 mem.push(MemRequest {
                     id: issued,
                     addr: issued * 4096,
-                    is_write: issued % 3 == 0,
+                    is_write: issued.is_multiple_of(3),
                 })
                 .unwrap();
                 issued += 1;
@@ -301,5 +328,34 @@ mod tests {
         }
         assert_eq!(done, 16);
         assert_eq!(mem.stats().writes, 16);
+    }
+
+    #[test]
+    fn request_latencies_are_tracked() {
+        let mut mem = DramSystem::new(no_refresh());
+        for i in 0..8u64 {
+            mem.push(MemRequest {
+                id: i,
+                addr: i * 64,
+                is_write: i % 2 == 0,
+            })
+            .unwrap();
+        }
+        let mut done = 0;
+        for _ in 0..10_000 {
+            done += mem.tick().len();
+            if done == 8 {
+                break;
+            }
+        }
+        assert_eq!(done, 8);
+        let s = mem.stats();
+        // Every request takes at least a burst, so summed latencies are
+        // positive and the max bounds the mean.
+        assert!(s.read_latency_cycles > 0);
+        assert!(s.write_latency_cycles > 0);
+        assert!(s.avg_read_latency() > 0.0);
+        assert!(s.max_latency_cycles as f64 >= s.avg_read_latency());
+        assert!(s.max_latency_cycles as f64 >= s.avg_write_latency());
     }
 }

@@ -22,11 +22,9 @@
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 /// Board/device characteristics (defaults: the paper's Stratix V class
 /// device and memory system).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaSpec {
     /// Adaptive logic modules available to user logic.
     pub alms: f64,
@@ -73,7 +71,7 @@ impl Default for FpgaSpec {
 
 /// Synthesis cost constants for DHDL-generated datapaths on Stratix V
 /// (soft FP cores; no hardened FP units on this family).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaCosts {
     /// ALMs per 32-bit FP add/sub/compare stage.
     pub alms_per_fp_op: f64,
@@ -107,7 +105,7 @@ impl Default for FpgaCosts {
 /// Workload characterization consumed by the model. Produced by the
 /// benchmark harness from the same pattern programs the Plasticine flow
 /// compiles, so both baselines see identical work.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Benchmark name.
     pub name: String,
@@ -140,7 +138,7 @@ pub struct AppProfile {
 }
 
 /// What bounded the modeled design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bottleneck {
     /// ALM capacity.
     Logic,
@@ -157,7 +155,7 @@ pub enum Bottleneck {
 }
 
 /// Model output for one benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaEstimate {
     /// Estimated runtime in seconds.
     pub seconds: f64,
@@ -385,7 +383,11 @@ mod tests {
         let m = FpgaModel::new();
         for app in [stream_app(1e9), stream_app(1e7)] {
             let e = m.estimate(&app);
-            assert!(e.power_w >= 17.0 && e.power_w <= 35.0, "power {}", e.power_w);
+            assert!(
+                e.power_w >= 17.0 && e.power_w <= 35.0,
+                "power {}",
+                e.power_w
+            );
         }
     }
 

@@ -12,10 +12,9 @@
 //! choices.
 
 use plasticine_arch::{PcuParams, PlasticineParams, PmuParams};
-use serde::{Deserialize, Serialize};
 
 /// Unit areas in mm² (28 nm), inverted from Table 5.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaConstants {
     /// One 32-bit floating-point-capable reconfigurable FU.
     pub fu: f64,
@@ -76,7 +75,7 @@ impl Default for AreaConstants {
 }
 
 /// Per-component breakdown of one PCU.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PcuArea {
     /// Functional units.
     pub fus: f64,
@@ -96,7 +95,7 @@ impl PcuArea {
 }
 
 /// Per-component breakdown of one PMU.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PmuArea {
     /// Banked scratchpad SRAM.
     pub scratchpad: f64,
@@ -118,7 +117,7 @@ impl PmuArea {
 }
 
 /// Chip-level breakdown (Table 5's rows).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ChipArea {
     /// One PCU.
     pub pcu: PcuArea,
@@ -153,8 +152,7 @@ impl AreaModel {
     pub fn pcu(&self, p: &PcuParams) -> PcuArea {
         let lanes = p.lanes as f64;
         let stages = p.stages as f64;
-        let fifo_slots = (p.vector_ins as f64 * lanes + p.scalar_ins as f64)
-            * p.fifo_depth as f64;
+        let fifo_slots = (p.vector_ins as f64 * lanes + p.scalar_ins as f64) * p.fifo_depth as f64;
         PcuArea {
             fus: self.k.fu * lanes * stages,
             registers: self.k.reg * lanes * stages * p.regs_per_stage as f64,
@@ -168,8 +166,7 @@ impl AreaModel {
     /// Area of one PMU with the given parameters.
     pub fn pmu(&self, m: &PmuParams) -> PmuArea {
         let kb = (m.banks * m.bank_kb) as f64;
-        let fifo_slots =
-            (m.vector_ins as f64 * 16.0 + m.scalar_ins as f64) * m.fifo_depth as f64;
+        let fifo_slots = (m.vector_ins as f64 * 16.0 + m.scalar_ins as f64) * m.fifo_depth as f64;
         PmuArea {
             scratchpad: self.k.sram_per_kb * kb,
             fifos: self.k.pmu_fifo_word * fifo_slots,
@@ -187,8 +184,8 @@ impl AreaModel {
         let pcus_total = pcu.total() * params.num_pcus() as f64;
         let pmus_total = pmu.total() * params.num_pmus() as f64;
         let interconnect = self.k.switch * switches;
-        let memory_controller = self.k.ag * params.ags as f64
-            + self.k.coalescing_unit * params.coalescing_units as f64;
+        let memory_controller =
+            self.k.ag * params.ags as f64 + self.k.coalescing_unit * params.coalescing_units as f64;
         ChipArea {
             pcu,
             pmu,

@@ -12,10 +12,9 @@
 use crate::area::AreaModel;
 use plasticine_arch::{PcuParams, PmuParams};
 use plasticine_compiler::{partition, ChunkStats, VirtualDesign};
-use serde::{Deserialize, Serialize};
 
 /// Which PCU parameter a sweep varies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PcuParamKind {
     /// Pipeline stages (Figure 7a).
     Stages,
@@ -75,7 +74,7 @@ pub fn unrestricted() -> PcuParams {
 
 /// One point of a sweep: `None` overhead means the value is invalid for the
 /// application (× in Figure 7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// The parameter value.
     pub value: usize,
@@ -84,7 +83,7 @@ pub struct SweepPoint {
 }
 
 /// One benchmark's sweep results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     /// Benchmark name.
     pub app: String,
@@ -162,7 +161,11 @@ fn candidate_area(
 }
 
 /// Runs a Figure 7 sweep over a set of benchmarks.
-pub fn sweep(apps: &[(String, VirtualDesign)], spec: &SweepSpec, model: &AreaModel) -> Vec<SweepRow> {
+pub fn sweep(
+    apps: &[(String, VirtualDesign)],
+    spec: &SweepSpec,
+    model: &AreaModel,
+) -> Vec<SweepRow> {
     let mut rows = Vec::new();
     for (name, design) in apps {
         let areas: Vec<Option<f64>> = spec
@@ -201,10 +204,7 @@ pub fn average_row(rows: &[SweepRow]) -> Vec<SweepPoint> {
     let n_vals = rows[0].points.len();
     (0..n_vals)
         .map(|i| {
-            let vals: Vec<f64> = rows
-                .iter()
-                .filter_map(|r| r.points[i].overhead)
-                .collect();
+            let vals: Vec<f64> = rows.iter().filter_map(|r| r.points[i].overhead).collect();
             SweepPoint {
                 value: rows[0].points[i].value,
                 overhead: if vals.is_empty() {
@@ -219,7 +219,7 @@ pub fn average_row(rows: &[SweepRow]) -> Vec<SweepPoint> {
 
 /// Table 6: estimated successive and cumulative area overheads of
 /// generalizing ASIC designs into the Plasticine fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadRow {
     /// Benchmark name.
     pub app: String,
@@ -382,11 +382,31 @@ pub fn overheads(design: &VirtualDesign, model: &AreaModel) -> OverheadRow {
         let p = PcuParams {
             lanes: uni_lanes,
             stages,
-            regs_per_stage: chunks_all.iter().map(|c| c.max_live).max().unwrap_or(1).max(1),
-            scalar_ins: chunks_all.iter().map(|c| c.scal_ins).max().unwrap_or(1).max(1),
+            regs_per_stage: chunks_all
+                .iter()
+                .map(|c| c.max_live)
+                .max()
+                .unwrap_or(1)
+                .max(1),
+            scalar_ins: chunks_all
+                .iter()
+                .map(|c| c.scal_ins)
+                .max()
+                .unwrap_or(1)
+                .max(1),
             scalar_outs: chunks_all.iter().map(|c| c.scal_outs).max().unwrap_or(0),
-            vector_ins: chunks_all.iter().map(|c| c.vec_ins).max().unwrap_or(1).max(1),
-            vector_outs: chunks_all.iter().map(|c| c.vec_outs).max().unwrap_or(1).max(1),
+            vector_ins: chunks_all
+                .iter()
+                .map(|c| c.vec_ins)
+                .max()
+                .unwrap_or(1)
+                .max(1),
+            vector_outs: chunks_all
+                .iter()
+                .map(|c| c.vec_outs)
+                .max()
+                .unwrap_or(1)
+                .max(1),
             fifo_depth: 16,
             counters: 4,
         };
@@ -401,9 +421,7 @@ pub fn overheads(design: &VirtualDesign, model: &AreaModel) -> OverheadRow {
     let paper_pmu_area = model.pmu(&paper_pmu).total();
     let pmu_units_d: f64 = pmus
         .iter()
-        .map(|m| {
-            (m.copies * m.kb.div_ceil(paper_pmu.banks * paper_pmu.bank_kb).max(1)) as f64
-        })
+        .map(|m| (m.copies * m.kb.div_ceil(paper_pmu.banks * paper_pmu.bank_kb).max(1)) as f64)
         .sum();
     let cum_d = best_c + paper_pmu_area * pmu_units_d + ags_area;
 
@@ -419,7 +437,8 @@ pub fn overheads(design: &VirtualDesign, model: &AreaModel) -> OverheadRow {
             n_e += ch.len() * u.copies;
         }
     }
-    let cum_e = n_e as f64 * model.pcu(&paper_pcu).total() + paper_pmu_area * pmu_units_d + ags_area;
+    let cum_e =
+        n_e as f64 * model.pcu(&paper_pcu).total() + paper_pmu_area * pmu_units_d + ags_area;
 
     let a = cum_a / asic;
     OverheadRow {
@@ -523,13 +542,7 @@ mod tests {
         // All points valid for a plain chain.
         assert!(pts.iter().all(|p| p.overhead.is_some()));
         // 12 ops divide evenly at 4, 6, 12: those should be no worse than 5.
-        let get = |v: usize| {
-            pts.iter()
-                .find(|p| p.value == v)
-                .unwrap()
-                .overhead
-                .unwrap()
-        };
+        let get = |v: usize| pts.iter().find(|p| p.value == v).unwrap().overhead.unwrap();
         assert!(get(6) <= get(5) + 1e-9);
         assert!(get(12) <= get(11) + 1e-9);
         // The minimum has zero overhead by construction.
@@ -562,7 +575,11 @@ mod tests {
     fn overhead_chain_is_ordered_and_positive() {
         let d = chain_design(20, 16384);
         let r = overheads(&d, &AreaModel::new());
-        assert!(r.a > 1.0, "reconfigurable units cost more than ASIC: {}", r.a);
+        assert!(
+            r.a > 1.0,
+            "reconfigurable units cost more than ASIC: {}",
+            r.a
+        );
         assert!(r.b >= 1.0 - 1e-9);
         assert!(r.c >= 1.0 - 1e-9);
         assert!(r.d >= 1.0 - 1e-9);

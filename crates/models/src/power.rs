@@ -12,10 +12,9 @@
 use crate::area::AreaModel;
 use plasticine_arch::MachineConfig;
 use plasticine_sim::SimResult;
-use serde::{Deserialize, Serialize};
 
 /// Event energies in picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyConstants {
     /// One 32-bit FU operation (FP add/mul class).
     pub fu_op_pj: f64,
@@ -52,7 +51,7 @@ impl Default for EnergyConstants {
 }
 
 /// Power estimate for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PowerEstimate {
     /// Dynamic power of utilized units, W.
     pub dynamic_w: f64,
@@ -153,6 +152,7 @@ mod tests {
             activity,
             dram: plasticine_dram::DramStats::default(),
             coalesce: plasticine_dram::CoalesceStats::default(),
+            units: plasticine_sim::UnitStats::default(),
         }
     }
 
@@ -162,7 +162,11 @@ mod tests {
         let e = m.estimate(&result(Activity::default(), 1000), &empty_cfg());
         assert!(e.dynamic_w < 1e-9);
         // Static power is the Table 7 floor (~10 W for SGD at 10.7 W).
-        assert!(e.static_w > 8.0 && e.static_w < 11.0, "static {}", e.static_w);
+        assert!(
+            e.static_w > 8.0 && e.static_w < 11.0,
+            "static {}",
+            e.static_w
+        );
     }
 
     #[test]
@@ -175,8 +179,10 @@ mod tests {
     #[test]
     fn busier_runs_draw_more_power() {
         let m = PowerModel::new();
-        let mut light = Activity::default();
-        light.fu_ops = 1_000;
+        let light = Activity {
+            fu_ops: 1_000,
+            ..Default::default()
+        };
         let mut heavy = light;
         heavy.fu_ops = 1_000_000;
         let cfg = empty_cfg();

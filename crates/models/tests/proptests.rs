@@ -48,6 +48,7 @@ fn result(a: Activity, cycles: u64) -> SimResult {
         activity: a,
         dram: plasticine_dram::DramStats::default(),
         coalesce: plasticine_dram::CoalesceStats::default(),
+        units: plasticine_sim::UnitStats::default(),
     }
 }
 
@@ -109,9 +110,11 @@ proptest! {
                                      cycles in 1_000u64..1_000_000) {
         let m = PowerModel::new();
         let c = cfg();
-        let mut a = Activity::default();
-        a.fu_ops = fu;
-        a.sram_reads = sram;
+        let a = Activity {
+            fu_ops: fu,
+            sram_reads: sram,
+            ..Default::default()
+        };
         let p1 = m.estimate(&result(a, cycles), &c);
         let mut a2 = a;
         a2.fu_ops += 1_000;
@@ -130,10 +133,12 @@ proptest! {
         // Full-throttle activity: every FU slot busy every cycle.
         let p = &c.params;
         let fus = (p.num_pcus() * p.pcu.lanes * p.pcu.stages) as u64;
-        let mut a = Activity::default();
-        a.fu_ops = fus * cycles;
-        a.sram_reads = (p.num_pmus() * p.pmu.banks) as u64 * cycles;
-        a.reg_traffic = fus * cycles;
+        let a = Activity {
+            fu_ops: fus * cycles,
+            sram_reads: (p.num_pmus() * p.pmu.banks) as u64 * cycles,
+            reg_traffic: fus * cycles,
+            ..Default::default()
+        };
         let est = m.estimate(&result(a, cycles), &c);
         let peak = m.peak_power(&c);
         prop_assert!(est.total_w <= peak * 1.35, "est {} peak {}", est.total_w, peak);

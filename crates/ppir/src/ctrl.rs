@@ -14,14 +14,13 @@
 
 use crate::expr::{BinOp, DramId, FuncId, IndexId, ParamId, RegId, SramId};
 use crate::types::Elem;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a controller within a [`Program`](crate::program::Program).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CtrlId(pub u32);
 
 /// Execution discipline of an outer controller's children (Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Schedule {
     /// One data-dependent child active at a time; tokens circulate per
     /// iteration. Used for loop-carried dependencies.
@@ -38,7 +37,7 @@ pub enum Schedule {
 }
 
 /// A counter bound that is resolved at runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CBound {
     /// Compile-time constant.
     Const(i64),
@@ -56,7 +55,7 @@ impl From<i64> for CBound {
 }
 
 /// One programmable counter in a chain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Counter {
     /// The loop index this counter produces.
     pub index: IndexId,
@@ -71,7 +70,7 @@ pub struct Counter {
 }
 
 /// Destination and mode of a value written by a compute pipe.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipeWrite {
     /// Scratchpad being written.
     pub sram: SramId,
@@ -86,7 +85,7 @@ pub struct PipeWrite {
 }
 
 /// Write discipline of a [`PipeWrite`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WriteMode {
     /// Overwrite the addressed word.
     Overwrite,
@@ -97,7 +96,7 @@ pub enum WriteMode {
 
 /// A `Map` pattern: the body runs once per index tuple; each output slot may
 /// be written to scratchpads.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MapPipe {
     /// The per-index body (Table 1's `f`). Multi-output.
     pub body: FuncId,
@@ -106,7 +105,7 @@ pub struct MapPipe {
 }
 
 /// Initial value of a fold accumulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FoldInit {
     /// Reset to a constant at every invocation of the pipe.
     Const(Elem),
@@ -122,7 +121,7 @@ pub enum FoldInit {
 /// output slot — exactly what the PCU's cross-lane reduction tree
 /// implements. (General 2-argument combine functions would not map to the
 /// tree; none of the paper's benchmarks require them.)
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FoldPipe {
     /// The per-index map (Table 1's `f`). One output per fold slot.
     pub map: FuncId,
@@ -142,7 +141,7 @@ pub struct FoldPipe {
 /// body produces values plus a trailing predicate; when the predicate is
 /// truthy the values are appended (compacted across lanes by the PCU's
 /// coalescing hardware) to a scratchpad.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterPipe {
     /// Body whose outputs are `[v0, .., v{k-1}, predicate]`.
     pub body: FuncId,
@@ -155,7 +154,7 @@ pub struct FilterPipe {
 
 /// A dense DRAM↔scratchpad tile transfer, mapped to address generators
 /// issuing burst commands (§3.4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TileTransfer {
     /// DRAM buffer.
     pub dram: DramId,
@@ -174,7 +173,7 @@ pub struct TileTransfer {
 
 /// A sparse DRAM read:
 /// `dst[i] = dram[base + indices[idx_base + i]]` for `i < len`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GatherOp {
     /// DRAM buffer.
     pub dram: DramId,
@@ -192,7 +191,7 @@ pub struct GatherOp {
 
 /// A sparse DRAM write:
 /// `dram[base + indices[idx_base + i]] = src[i]` for `i < len`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScatterOp {
     /// DRAM buffer.
     pub dram: DramId,
@@ -211,7 +210,7 @@ pub struct ScatterOp {
 /// A scalar register update `reg = f()`, used for loop-carried scalar state
 /// (frontier sizes, convergence flags). Maps to control/scalar logic in a
 /// switch or a single-lane PCU stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegWrite {
     /// Destination register.
     pub reg: RegId,
@@ -220,7 +219,7 @@ pub struct RegWrite {
 }
 
 /// The work performed by an inner (leaf) controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InnerOp {
     /// Dense DRAM → scratchpad transfer.
     LoadTile(TileTransfer),
@@ -265,7 +264,7 @@ impl InnerOp {
 }
 
 /// Body of a controller: either nested children or a leaf op.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CtrlBody {
     /// An outer controller: contains only other controllers.
     Outer {
@@ -280,7 +279,7 @@ pub enum CtrlBody {
 }
 
 /// One node of the controller tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Controller {
     /// Diagnostic name.
     pub name: String,

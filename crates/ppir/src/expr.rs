@@ -11,41 +11,40 @@
 //! streamed out of PMUs.
 
 use crate::types::{Elem, TypeError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an expression node within one [`Func`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExprId(pub u32);
 
 /// Identifier of a loop index produced by a counter somewhere in the
 /// controller hierarchy. Allocated by
 /// [`ProgramBuilder`](crate::program::ProgramBuilder).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IndexId(pub u32);
 
 /// Identifier of a runtime scalar parameter of the program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub u32);
 
 /// Identifier of a scalar register (written by `Fold`, readable anywhere).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegId(pub u32);
 
 /// Identifier of an on-chip scratchpad memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SramId(pub u32);
 
 /// Identifier of an off-chip DRAM buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramId(pub u32);
 
 /// Identifier of a [`Func`] within a [`Program`](crate::program::Program).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FuncId(pub u32);
 
 /// Binary word-level operations supported by Plasticine functional units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Addition (wrapping for integers).
     Add,
@@ -110,13 +109,7 @@ impl BinOp {
     pub fn is_associative(self) -> bool {
         matches!(
             self,
-            BinOp::Add
-                | BinOp::Mul
-                | BinOp::Min
-                | BinOp::Max
-                | BinOp::And
-                | BinOp::Or
-                | BinOp::Xor
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or | BinOp::Xor
         )
     }
 }
@@ -153,7 +146,7 @@ impl fmt::Display for BinOp {
 /// floating-point units present in the Plasticine FU (Black-Scholes in the
 /// paper's benchmark suite requires them); the simulator charges them extra
 /// energy but the same single-issue pipeline slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// Arithmetic negation.
     Neg,
@@ -203,7 +196,7 @@ impl fmt::Display for UnaryOp {
 }
 
 /// One node in an expression graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// A compile-time constant word.
     Const(Elem),
@@ -247,7 +240,7 @@ pub enum Expr {
 /// f.set_outputs(vec![d]);
 /// assert_eq!(f.num_ops(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Func {
     name: String,
     nodes: Vec<Expr>,
@@ -585,8 +578,14 @@ mod tests {
 
     #[test]
     fn unary_conversions() {
-        assert_eq!(eval_unop(UnaryOp::I2F, Elem::I32(3)).unwrap(), Elem::F32(3.0));
-        assert_eq!(eval_unop(UnaryOp::F2I, Elem::F32(3.7)).unwrap(), Elem::I32(3));
+        assert_eq!(
+            eval_unop(UnaryOp::I2F, Elem::I32(3)).unwrap(),
+            Elem::F32(3.0)
+        );
+        assert_eq!(
+            eval_unop(UnaryOp::F2I, Elem::F32(3.7)).unwrap(),
+            Elem::I32(3)
+        );
         assert!(eval_unop(UnaryOp::Exp, Elem::I32(1)).is_err());
     }
 

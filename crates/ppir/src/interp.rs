@@ -9,7 +9,7 @@
 //! is checked, element for element.
 
 use crate::ctrl::{
-    CBound, CtrlBody, CtrlId, Counter, FilterPipe, FoldInit, FoldPipe, GatherOp, InnerOp, MapPipe,
+    CBound, Counter, CtrlBody, CtrlId, FilterPipe, FoldInit, FoldPipe, GatherOp, InnerOp, MapPipe,
     PipeWrite, RegWrite, ScatterOp, TileTransfer, WriteMode,
 };
 use crate::expr::{eval_binop, eval_unop, DramId, Expr, Func, FuncId, RegId, SramId};

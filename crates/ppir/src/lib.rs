@@ -56,7 +56,7 @@ mod trace;
 mod types;
 
 pub use ctrl::{
-    CBound, Controller, CtrlBody, CtrlId, Counter, FilterPipe, FoldInit, FoldPipe, GatherOp,
+    CBound, Controller, Counter, CtrlBody, CtrlId, FilterPipe, FoldInit, FoldPipe, GatherOp,
     InnerOp, MapPipe, PipeWrite, RegWrite, ScatterOp, Schedule, TileTransfer, WriteMode,
 };
 pub use expr::{

@@ -6,13 +6,12 @@
 //! [`Reg`]isters (mapped to pipeline registers / scalar buses).
 
 use crate::types::DType;
-use serde::{Deserialize, Serialize};
 
 /// Banking strategy hint for an on-chip scratchpad (§3.2 of the paper).
 ///
 /// The compiler uses the hint to configure the PMU's address decoders; the
 /// simulator uses it to model bank conflicts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BankingMode {
     /// Linear accesses striped across banks (dense data structures).
     #[default]
@@ -27,7 +26,7 @@ pub enum BankingMode {
 }
 
 /// An off-chip DRAM buffer (1-D array of 32-bit words).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramBuf {
     /// Diagnostic name.
     pub name: String,
@@ -38,7 +37,7 @@ pub struct DramBuf {
 }
 
 /// An on-chip scratchpad, mapped to one or more PMUs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sram {
     /// Diagnostic name.
     pub name: String,
@@ -79,7 +78,7 @@ impl Sram {
 }
 
 /// A scalar register.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reg {
     /// Diagnostic name.
     pub name: String,
@@ -88,7 +87,7 @@ pub struct Reg {
 }
 
 /// A runtime scalar parameter (bound when the program is executed).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Diagnostic name.
     pub name: String,

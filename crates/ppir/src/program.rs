@@ -7,11 +7,10 @@
 //! [`finish`](ProgramBuilder::finish) runs a full structural validation so
 //! that downstream passes can index without re-checking.
 
-use crate::ctrl::{CBound, Controller, CtrlBody, CtrlId, Counter, InnerOp, Schedule};
+use crate::ctrl::{CBound, Controller, Counter, CtrlBody, CtrlId, InnerOp, Schedule};
 use crate::expr::{DramId, Expr, Func, FuncId, IndexId, ParamId, RegId, SramId};
 use crate::mem::{BankingMode, DramBuf, Param, Reg, Sram};
 use crate::types::DType;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -134,7 +133,7 @@ impl fmt::Display for ValidateError {
 impl std::error::Error for ValidateError {}
 
 /// An immutable, validated parallel-pattern program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     name: String,
     drams: Vec<DramBuf>,
@@ -453,30 +452,24 @@ fn check_ctrl_id(p: &Program, id: CtrlId) -> Result<(), ValidateError> {
 }
 
 fn check_func_id(p: &Program, id: FuncId) -> Result<&Func, ValidateError> {
-    p.funcs
-        .get(id.0 as usize)
-        .ok_or(ValidateError::UnknownId {
-            kind: "func",
-            id: id.0,
-        })
+    p.funcs.get(id.0 as usize).ok_or(ValidateError::UnknownId {
+        kind: "func",
+        id: id.0,
+    })
 }
 
 fn check_sram_id(p: &Program, id: SramId) -> Result<&Sram, ValidateError> {
-    p.srams
-        .get(id.0 as usize)
-        .ok_or(ValidateError::UnknownId {
-            kind: "sram",
-            id: id.0,
-        })
+    p.srams.get(id.0 as usize).ok_or(ValidateError::UnknownId {
+        kind: "sram",
+        id: id.0,
+    })
 }
 
 fn check_dram_id(p: &Program, id: DramId) -> Result<&DramBuf, ValidateError> {
-    p.drams
-        .get(id.0 as usize)
-        .ok_or(ValidateError::UnknownId {
-            kind: "dram",
-            id: id.0,
-        })
+    p.drams.get(id.0 as usize).ok_or(ValidateError::UnknownId {
+        kind: "dram",
+        id: id.0,
+    })
 }
 
 fn check_reg_id(p: &Program, id: RegId) -> Result<&Reg, ValidateError> {
@@ -501,22 +494,20 @@ fn check_func_scope(
     }
     for node in f.nodes() {
         match node {
-            Expr::Index(i) => {
-                if !scope.contains(i) {
-                    return Err(ValidateError::IndexOutOfScope {
-                        func: f.name().to_string(),
-                        index: i.0,
-                    });
-                }
+            Expr::Index(i) if !scope.contains(i) => {
+                return Err(ValidateError::IndexOutOfScope {
+                    func: f.name().to_string(),
+                    index: i.0,
+                });
             }
-            Expr::Param(pp) => {
-                if pp.0 as usize >= p.params.len() {
-                    return Err(ValidateError::UnknownId {
-                        kind: "param",
-                        id: pp.0,
-                    });
-                }
+            Expr::Index(_) => {}
+            Expr::Param(pp) if pp.0 as usize >= p.params.len() => {
+                return Err(ValidateError::UnknownId {
+                    kind: "param",
+                    id: pp.0,
+                });
             }
+            Expr::Param(_) => {}
             Expr::ReadReg(r) => {
                 check_reg_id(p, *r)?;
             }
@@ -763,7 +754,11 @@ mod tests {
         let c = f.konst(Elem::I32(1));
         f.set_outputs(vec![c]);
         let f = b.func(f);
-        let inner = b.inner("i", vec![], InnerOp::RegWrite(crate::ctrl::RegWrite { reg: r, func: f }));
+        let inner = b.inner(
+            "i",
+            vec![],
+            InnerOp::RegWrite(crate::ctrl::RegWrite { reg: r, func: f }),
+        );
         assert_eq!(b.finish(inner), Err(ValidateError::RootNotOuter));
     }
 
@@ -775,9 +770,16 @@ mod tests {
         let c = f.konst(Elem::I32(1));
         f.set_outputs(vec![c]);
         let f = b.func(f);
-        let inner = b.inner("i", vec![], InnerOp::RegWrite(crate::ctrl::RegWrite { reg: r, func: f }));
+        let inner = b.inner(
+            "i",
+            vec![],
+            InnerOp::RegWrite(crate::ctrl::RegWrite { reg: r, func: f }),
+        );
         let root = b.outer("root", Schedule::Sequential, vec![], vec![inner, inner]);
-        assert!(matches!(b.finish(root), Err(ValidateError::NotATree { .. })));
+        assert!(matches!(
+            b.finish(root),
+            Err(ValidateError::NotATree { .. })
+        ));
     }
 
     #[test]
@@ -862,7 +864,10 @@ mod tests {
             }),
         );
         let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
-        assert!(matches!(b.finish(root), Err(ValidateError::FoldArity { .. })));
+        assert!(matches!(
+            b.finish(root),
+            Err(ValidateError::FoldArity { .. })
+        ));
     }
 
     #[test]
@@ -885,7 +890,10 @@ mod tests {
             }),
         );
         let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
-        assert!(matches!(b.finish(root), Err(ValidateError::FilterArity { .. })));
+        assert!(matches!(
+            b.finish(root),
+            Err(ValidateError::FilterArity { .. })
+        ));
     }
 
     #[test]
@@ -910,7 +918,10 @@ mod tests {
             }),
         );
         let root = b.outer("root", Schedule::Sequential, vec![], vec![pipe]);
-        assert!(matches!(b.finish(root), Err(ValidateError::TileTooLarge { .. })));
+        assert!(matches!(
+            b.finish(root),
+            Err(ValidateError::TileTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -927,7 +938,10 @@ mod tests {
     fn validate_error_messages_nonempty() {
         let errs = [
             ValidateError::RootNotOuter,
-            ValidateError::UnknownId { kind: "sram", id: 3 },
+            ValidateError::UnknownId {
+                kind: "sram",
+                id: 3,
+            },
             ValidateError::NotATree { ctrl: 1 },
             ValidateError::FoldArity { ctrl: "x".into() },
         ];

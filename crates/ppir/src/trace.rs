@@ -11,10 +11,9 @@
 
 use crate::ctrl::CtrlId;
 use crate::expr::DramId;
-use serde::{Deserialize, Serialize};
 
 /// One contiguous run of DRAM elements touched by a transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramRange {
     /// Buffer touched.
     pub dram: DramId,
@@ -28,7 +27,7 @@ pub struct DramRange {
 
 /// Work performed by one invocation of a leaf controller (a full sweep of
 /// its own counter chain).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LeafWork {
     /// Index tuples processed.
     pub trips: u64,
@@ -67,7 +66,7 @@ impl TraceSink for NullSink {
 }
 
 /// A recorded execution tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceNode {
     /// An outer controller invocation: children grouped per own-iteration.
     Outer {

@@ -5,11 +5,10 @@
 //! paper). [`Elem`] is the dynamically-typed word used by the host
 //! interpreter and the simulator; [`DType`] is its static type tag.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Static type of a 32-bit word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DType {
     /// 32-bit two's-complement integer.
     #[default]
@@ -37,7 +36,7 @@ impl fmt::Display for DType {
 /// let b = Elem::F32(2.5);
 /// assert_eq!(a.dtype(), b.dtype());
 /// ```
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum Elem {
     /// An integer word.
     I32(i32),

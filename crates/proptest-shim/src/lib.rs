@@ -1,0 +1,617 @@
+//! # plasticine-proptest — deterministic property testing, no dependencies
+//!
+//! A self-contained property-testing harness exposing the subset of the
+//! `proptest` crate's surface this workspace uses: the [`proptest!`] macro
+//! with `#![proptest_config(...)]`, `prop_assert!`/`prop_assert_eq!`,
+//! range/tuple/`any`/`Just` strategies, `prop::collection::vec`,
+//! `prop::sample::select`, and `.prop_map`. The crates-io `proptest` cannot
+//! be vendored here (builds must work fully offline), so the workspace
+//! aliases `proptest` to this crate via Cargo dependency renaming and the
+//! test files keep their idiomatic `use proptest::prelude::*`.
+//!
+//! ## Determinism and regression files
+//!
+//! Every run is deterministic: case `i` of property `p` derives its seed
+//! from a fixed global constant, the property name, and `i` — there is no
+//! wall-clock or OS entropy anywhere. A CI failure therefore reproduces
+//! locally by just re-running the test.
+//!
+//! In addition, each test file may have a committed regression file at
+//! `<crate>/proptest-regressions/<file_stem>.txt` with lines of the form
+//!
+//! ```text
+//! cc <property_name> 0x<seed>
+//! ```
+//!
+//! Those seeds run *before* the regular cases, so once a failing seed is
+//! committed it is pinned forever. When a property fails, the panic message
+//! contains the exact `cc` line to add.
+//!
+//! Shrinking is intentionally not implemented: generated inputs here are
+//! small by construction, and determinism matters more than minimality.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Fixed global seed. Changing it reshuffles every generated case, so treat
+/// it like a file format constant.
+pub const GLOBAL_SEED: u64 = 0x5EED_CA5E_2026_0806;
+
+/// SplitMix64 — small, fast, and good enough for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 * bound,
+        // irrelevant for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A failed test case (what `prop_assert!` produces).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure from any message (mirrors
+    /// `proptest::test_runner::TestCaseError::fail`).
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for one property argument.
+///
+/// Mirrors `proptest::strategy::Strategy` closely enough for this
+/// workspace: an associated `Value` type, generation from an RNG, and the
+/// `prop_map` adapter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite, roughly symmetric values; property tests here never need
+        // NaN/Inf inputs.
+        ((rng.unit_f64() - 0.5) * 2e6) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+/// Strategy over a type's full domain (`any::<u64>()` etc.).
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `prop::` namespace (collection and sample strategies).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Size specifications accepted by [`vec`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// Strategy for vectors of `element` with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly from a fixed set of options.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select of empty set");
+            Select { options }
+        }
+
+        /// Strategy returned by [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(s: &str) -> u64 {
+    s.bytes()
+        .fold(FNV_OFFSET, |h, b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// Loads pinned regression seeds for `property` from
+/// `<manifest_dir>/proptest-regressions/<file_stem>.txt`.
+fn regression_seeds(manifest_dir: &str, file: &str, property: &str) -> Vec<u64> {
+    let stem = std::path::Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        let (Some(name), Some(seed)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if name != property {
+            continue;
+        }
+        let seed = seed.strip_prefix("0x").unwrap_or(seed);
+        if let Ok(v) = u64::from_str_radix(seed, 16) {
+            seeds.push(v);
+        }
+    }
+    seeds
+}
+
+/// Drives one property: pinned regression seeds first, then `config.cases`
+/// deterministically derived cases. Panics (failing the enclosing `#[test]`)
+/// on the first failing case, printing the seed and the `cc` line to commit.
+pub fn run_property<F>(
+    property: &str,
+    file: &str,
+    manifest_dir: &str,
+    config: &ProptestConfig,
+    mut body: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = GLOBAL_SEED ^ fnv1a(property);
+    let pinned = regression_seeds(manifest_dir, file, property);
+    let seeds = pinned
+        .iter()
+        .copied()
+        .map(|s| (s, true))
+        .chain((0..config.cases as u64).map(|i| {
+            // Decorrelate consecutive cases beyond a simple increment.
+            (TestRng::new(base.wrapping_add(i)).next_u64(), false)
+        }));
+    for (seed, is_pinned) in seeds {
+        let mut rng = TestRng::new(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        let failure = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(e)) => e.0,
+            Err(payload) => {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "panic with non-string payload".to_string()
+                }
+            }
+        };
+        let kind = if is_pinned {
+            "pinned regression seed"
+        } else {
+            "seed"
+        };
+        panic!(
+            "property `{property}` failed with {kind} 0x{seed:016x}: {failure}\n\
+             to pin this case, add the line below to \
+             proptest-regressions/<this test file's stem>.txt:\n\
+             cc {property} 0x{seed:016x}"
+        );
+    }
+}
+
+/// Defines deterministic property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(
+                    stringify!($name),
+                    file!(),
+                    env!("CARGO_MANIFEST_DIR"),
+                    &__config,
+                    |__rng: &mut $crate::TestRng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: fail the current case without aborting the process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!`: inequality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = (10usize..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_map_compose() {
+        let mut rng = TestRng::new(7);
+        let s = prop::collection::vec(
+            (0u64..10, prop::sample::select(vec!["a", "b"])).prop_map(|(n, s)| (n * 2, s)),
+            3..6,
+        );
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((3..6).contains(&v.len()));
+            for (n, s) in v {
+                assert!(n % 2 == 0 && n < 20);
+                assert!(s == "a" || s == "b");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_passes(x in 0u64..100, (a, b) in (0i32..5, 0i32..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a - 1, a);
+        }
+    }
+
+    #[test]
+    fn failures_report_seed() {
+        let r = std::panic::catch_unwind(|| {
+            run_property(
+                "always_fails",
+                "lib.rs",
+                env!("CARGO_MANIFEST_DIR"),
+                &ProptestConfig::with_cases(1),
+                |_| Err(TestCaseError("nope".into())),
+            );
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("cc always_fails 0x"), "{msg}");
+    }
+}

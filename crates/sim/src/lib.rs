@@ -39,14 +39,19 @@
 mod model;
 mod resources;
 mod sched;
+mod trace;
 
 pub use model::{ComputeModel, OuterModel, SimModel, TransferModel};
 pub use resources::{Activity, Resources, SimError};
 pub use sched::Node;
+pub use trace::{
+    SimTrace, TraceEvent, TrackedUnit, UnitCycles, UnitKind, UnitStat, UnitStats, WaitKind,
+};
 
 use plasticine_arch::MachineConfig;
 use plasticine_compiler::CompileOutput;
 use plasticine_dram::{CoalesceStats, DramConfig, DramStats};
+use plasticine_json::Json;
 use plasticine_ppir::{Machine, Program, TraceRecorder};
 
 /// Simulation options.
@@ -83,6 +88,9 @@ pub struct SimResult {
     pub dram: DramStats,
     /// Coalescing statistics.
     pub coalesce: CoalesceStats,
+    /// Per-unit cycle breakdown: every cycle of every PCU/PMU/AG classified
+    /// as busy, control stall, memory stall, or idle.
+    pub units: UnitStats,
 }
 
 impl SimResult {
@@ -130,6 +138,58 @@ impl SimResult {
         }
         self.dram_bytes() as f64 / self.cycles as f64 * clock_ghz
     }
+
+    /// A machine-readable snapshot of everything deterministic about the
+    /// run: cycles, activity counters, DRAM and coalescing statistics, and
+    /// the per-unit stall breakdown. This is the payload the golden-stats
+    /// regression suite diffs.
+    pub fn stats_json(&self) -> Json {
+        let a = &self.activity;
+        let d = &self.dram;
+        let c = &self.coalesce;
+        Json::obj([
+            ("cycles", Json::from(self.cycles)),
+            (
+                "activity",
+                Json::obj([
+                    ("fu_ops", Json::from(a.fu_ops)),
+                    ("heavy_ops", Json::from(a.heavy_ops)),
+                    ("red_ops", Json::from(a.red_ops)),
+                    ("sram_reads", Json::from(a.sram_reads)),
+                    ("sram_writes", Json::from(a.sram_writes)),
+                    ("reg_traffic", Json::from(a.reg_traffic)),
+                    ("net_word_hops", Json::from(a.net_word_hops)),
+                    ("ctrl_msgs", Json::from(a.ctrl_msgs)),
+                    ("pcu_busy_cycles", Json::from(a.pcu_busy_cycles)),
+                    ("pmu_busy_cycles", Json::from(a.pmu_busy_cycles)),
+                    ("ag_busy_cycles", Json::from(a.ag_busy_cycles)),
+                ]),
+            ),
+            (
+                "dram",
+                Json::obj([
+                    ("reads", Json::from(d.reads)),
+                    ("writes", Json::from(d.writes)),
+                    ("row_hits", Json::from(d.row_hits)),
+                    ("activates", Json::from(d.activates)),
+                    ("precharges", Json::from(d.precharges)),
+                    ("busy_cycles", Json::from(d.busy_cycles)),
+                    ("read_latency_cycles", Json::from(d.read_latency_cycles)),
+                    ("write_latency_cycles", Json::from(d.write_latency_cycles)),
+                    ("max_latency_cycles", Json::from(d.max_latency_cycles)),
+                ]),
+            ),
+            (
+                "coalesce",
+                Json::obj([
+                    ("elem_requests", Json::from(c.elem_requests)),
+                    ("line_requests", Json::from(c.line_requests)),
+                    ("merged", Json::from(c.merged)),
+                ]),
+            ),
+            ("units", self.units.to_json()),
+        ])
+    }
 }
 
 /// Runs a program functionally (on `machine`, which the caller pre-loads
@@ -145,6 +205,33 @@ pub fn simulate(
     machine: &mut Machine,
     opts: &SimOptions,
 ) -> Result<SimResult, SimError> {
+    run_sim(p, out, machine, opts, false).map(|(r, _)| r)
+}
+
+/// Like [`simulate`], but also records the structured event trace (leaf
+/// spans, token/credit/slot waits, bank-conflict serialization, per-request
+/// DRAM issue/return). Tracing costs memory proportional to the event
+/// count; the plain [`simulate`] path allocates nothing for it.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_traced(
+    p: &Program,
+    out: &CompileOutput,
+    machine: &mut Machine,
+    opts: &SimOptions,
+) -> Result<(SimResult, SimTrace), SimError> {
+    run_sim(p, out, machine, opts, true).map(|(r, t)| (r, t.expect("tracing was enabled")))
+}
+
+fn run_sim(
+    p: &Program,
+    out: &CompileOutput,
+    machine: &mut Machine,
+    opts: &SimOptions,
+    traced: bool,
+) -> Result<(SimResult, Option<SimTrace>), SimError> {
     let mut rec = TraceRecorder::new();
     machine.run_traced(&mut rec)?;
     let trace = rec.into_trace();
@@ -152,24 +239,37 @@ pub fn simulate(
     let model = SimModel::build(p, out);
     let mut res = Resources::new(&model, &out.config.params, opts.dram.clone());
     res.set_coalescing(opts.coalescing);
+    if traced {
+        res.enable_tracing();
+    }
     let mut next_job = 1u64;
     let mut root = Node::build(trace, &model, &mut next_job);
 
     loop {
         res.begin_cycle();
-        if root.tick(&mut res, &model) {
+        let done = root.tick(&mut res, &model);
+        // Exactly one commit per simulated cycle (including the last), so
+        // every unit's busy + ctrl + mem + idle total equals `res.now`.
+        res.commit_cycle();
+        if done {
             break;
         }
         if res.now > opts.max_cycles {
             return Err(SimError::Deadlock { cycle: res.now });
         }
     }
-    Ok(SimResult {
-        cycles: res.now,
-        activity: res.activity,
-        dram: res.dram_stats(),
-        coalesce: res.coalesce_stats(),
-    })
+    let units = res.unit_stats(&model);
+    let sim_trace = res.take_trace();
+    Ok((
+        SimResult {
+            cycles: res.now,
+            activity: res.activity,
+            dram: res.dram_stats(),
+            coalesce: res.coalesce_stats(),
+            units,
+        },
+        sim_trace,
+    ))
 }
 
 #[cfg(test)]
@@ -376,9 +476,7 @@ mod tests {
         let params = PlasticineParams::paper_final();
         let out = compile(&p, &params).unwrap();
         let mut m = Machine::new(&p);
-        let data: Vec<Elem> = (0..p.dram(d_in).len)
-            .map(|i| Elem::F32(i as f32))
-            .collect();
+        let data: Vec<Elem> = (0..p.dram(d_in).len).map(|i| Elem::F32(i as f32)).collect();
         m.write_dram(d_in, &data);
         let r = simulate(&p, &out, &mut m, &SimOptions::default()).unwrap();
         let fu = r.fu_utilization(&out.config);

@@ -2,11 +2,10 @@
 //! configuration: issue widths, pipeline depths, port bindings, link
 //! latencies, and bank-conflict factors.
 
+use crate::trace::{TrackedUnit, UnitKind};
 use plasticine_arch::{AgMode, MachineConfig, UnitCfg, UnitId};
 use plasticine_compiler::CompileOutput;
-use plasticine_ppir::{
-    BankingMode, CtrlBody, CtrlId, Expr, InnerOp, Program, Schedule, SramId,
-};
+use plasticine_ppir::{BankingMode, CtrlBody, CtrlId, Expr, InnerOp, Program, Schedule, SramId};
 use std::collections::HashMap;
 
 /// Timing model of one compute leaf controller.
@@ -94,6 +93,9 @@ pub struct SimModel {
     pub dram_base: Vec<u64>,
     /// Words of scratchpad traffic per trip, per compute ctrl (reads, writes).
     pub sram_words: HashMap<CtrlId, (u64, u64)>,
+    /// Every PCU/PMU/AG unit, in configuration order, with display labels —
+    /// the population the stall attribution classifies each cycle.
+    pub tracked: Vec<TrackedUnit>,
 }
 
 /// Whether any load in the function has a data-dependent (non-affine)
@@ -192,13 +194,12 @@ impl SimModel {
                                 let Some(&mu) = mem_unit.get(&sram) else {
                                     continue;
                                 };
-                                let factor = if random
-                                    && mem_banking[&sram] != BankingMode::Duplication
-                                {
-                                    c.lanes as u64
-                                } else {
-                                    1
-                                };
+                                let factor =
+                                    if random && mem_banking[&sram] != BankingMode::Duplication {
+                                        c.lanes as u64
+                                    } else {
+                                        1
+                                    };
                                 reads.push((mu, factor));
                                 rd_words += 1;
                             }
@@ -328,6 +329,30 @@ impl SimModel {
             }
         }
 
+        // Stall-attribution population: one entry per PCU/PMU/AG unit.
+        let mut tracked = Vec::new();
+        for (i, u) in cfg.units.iter().enumerate() {
+            let unit = UnitId(i as u32);
+            match u {
+                UnitCfg::Compute(c) => tracked.push(TrackedUnit {
+                    unit,
+                    kind: UnitKind::Pcu,
+                    label: p.ctrl(c.ctrl).name.clone(),
+                }),
+                UnitCfg::Memory(m) => tracked.push(TrackedUnit {
+                    unit,
+                    kind: UnitKind::Pmu,
+                    label: p.sram(m.sram).name.clone(),
+                }),
+                UnitCfg::Ag(a) => tracked.push(TrackedUnit {
+                    unit,
+                    kind: UnitKind::Ag,
+                    label: p.ctrl(a.ctrl).name.clone(),
+                }),
+                UnitCfg::Outer(_) => {}
+            }
+        }
+
         SimModel {
             compute,
             transfer,
@@ -336,6 +361,7 @@ impl SimModel {
             mem_ports,
             dram_base: cfg.alloc.base.clone(),
             sram_words,
+            tracked,
         }
     }
 }

@@ -2,10 +2,11 @@
 //! address generators, the DRAM system, and activity counters.
 
 use crate::model::SimModel;
-use plasticine_arch::{PlasticineParams, UnitId};
-use plasticine_dram::{
-    CoalescingUnit, DramConfig, DramStats, DramSystem, ElemRequest, MemRequest,
+use crate::trace::{
+    SimTrace, Tracer, UnitCycles, UnitStat, UnitStats, CLASS_BUSY, CLASS_IDLE, CLASS_MEM,
 };
+use plasticine_arch::{PlasticineParams, UnitId};
+use plasticine_dram::{CoalescingUnit, DramConfig, DramStats, DramSystem, ElemRequest, MemRequest};
 use plasticine_ppir::CtrlId;
 use std::collections::HashMap;
 
@@ -93,6 +94,14 @@ pub struct Resources {
     coalescing: bool,
     /// Accumulated activity.
     pub activity: Activity,
+    /// Dense slot index per tracked unit (stall attribution).
+    unit_slot: HashMap<UnitId, usize>,
+    /// Highest-priority class noted for each tracked unit this cycle.
+    pending_class: Vec<u8>,
+    /// Committed per-unit cycle breakdowns.
+    unit_cycles: Vec<UnitCycles>,
+    /// Structured event recorder; `None` keeps tracing zero-cost.
+    pub(crate) tracer: Option<Tracer>,
 }
 
 impl Resources {
@@ -108,6 +117,12 @@ impl Resources {
                     (1 << 62) + (k as u64) * (1 << 56),
                 )
             })
+            .collect();
+        let unit_slot = model
+            .tracked
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.unit, i))
             .collect();
         Resources {
             now: 0,
@@ -125,6 +140,58 @@ impl Resources {
             next_elem_seq: HashMap::new(),
             coalescing: true,
             activity: Activity::default(),
+            unit_slot,
+            pending_class: vec![CLASS_IDLE; model.tracked.len()],
+            unit_cycles: vec![UnitCycles::default(); model.tracked.len()],
+            tracer: None,
+        }
+    }
+
+    /// Turns on structured event recording.
+    pub(crate) fn enable_tracing(&mut self) {
+        self.tracer = Some(Tracer::default());
+    }
+
+    /// Finishes and takes the event trace, if recording was on.
+    pub(crate) fn take_trace(&mut self) -> Option<SimTrace> {
+        let now = self.now;
+        self.tracer.take().map(|t| t.finish(now))
+    }
+
+    /// Notes a cycle-class observation for a unit; the highest-priority
+    /// class noted during a cycle wins at [`commit_cycle`](Self::commit_cycle).
+    pub(crate) fn note(&mut self, unit: UnitId, class: u8) {
+        if let Some(&s) = self.unit_slot.get(&unit) {
+            let p = &mut self.pending_class[s];
+            *p = (*p).max(class);
+        }
+    }
+
+    /// Ends the cycle's attribution: every tracked unit gets exactly one
+    /// class (defaulting to idle), so per unit the four counters always sum
+    /// to the number of committed cycles.
+    pub(crate) fn commit_cycle(&mut self) {
+        for (p, c) in self.pending_class.iter_mut().zip(&mut self.unit_cycles) {
+            c.bump(*p);
+            *p = CLASS_IDLE;
+        }
+    }
+
+    /// Assembles the attribution result using the model's unit identities.
+    pub(crate) fn unit_stats(&self, model: &SimModel) -> UnitStats {
+        UnitStats {
+            total_cycles: self.now,
+            units: model
+                .tracked
+                .iter()
+                .zip(&self.unit_cycles)
+                .map(|(t, c)| UnitStat {
+                    unit: t.unit,
+                    kind: t.kind,
+                    label: t.label.clone(),
+                    cycles: *c,
+                })
+                .collect(),
         }
     }
 
@@ -148,15 +215,25 @@ impl Resources {
         for c in &completions {
             if let Some(job) = self.req_job.remove(&c.id) {
                 *self.line_done.entry(job).or_insert(0) += 1;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.dram_done(c.id, c.at);
+                }
             } else if let Some(job) = self.req_elem.remove(&c.id) {
                 *self.elem_done.entry(job).or_insert(0) += 1;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.dram_done(c.id, c.at);
+                }
             }
         }
         // Route coalesced element completions to jobs.
+        let now = self.now;
         for cu in &mut self.cus {
             for e in cu.absorb(&completions) {
                 let job = e.id >> ELEM_SEQ_BITS;
                 *self.elem_done.entry(job).or_insert(0) += 1;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.dram_done(e.id, now);
+                }
             }
         }
         self.now += 1;
@@ -200,17 +277,32 @@ impl Resources {
             .iter()
             .all(|(u, n)| self.write_tokens.get(u).copied().unwrap_or(*n) >= *n);
         if !(ok_r && ok_w) {
+            // Attribution: scratchpads that were demanded but could not
+            // serve are port-conflicted this cycle (mem-stall unless some
+            // other consumer made them busy).
+            for (u, n) in &rd_demand {
+                if self.read_tokens.get(u).copied().unwrap_or(*n) < *n {
+                    self.note(*u, CLASS_MEM);
+                }
+            }
+            for (u, n) in &wr_demand {
+                if self.write_tokens.get(u).copied().unwrap_or(*n) < *n {
+                    self.note(*u, CLASS_MEM);
+                }
+            }
             return false;
         }
         for (u, n) in &rd_demand {
             if let Some(t) = self.read_tokens.get_mut(u) {
                 *t -= n;
             }
+            self.note(*u, CLASS_BUSY);
         }
         for (u, n) in &wr_demand {
             if let Some(t) = self.write_tokens.get_mut(u) {
                 *t -= n;
             }
+            self.note(*u, CLASS_BUSY);
         }
         if !reads.is_empty() || !writes.is_empty() {
             self.activity.pmu_busy_cycles += 1;
@@ -233,6 +325,9 @@ impl Resources {
         }) {
             Ok(()) => {
                 self.req_job.insert(id, job);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.dram_issue(id, byte_addr, is_write, false, job, self.now);
+                }
                 true
             }
             Err(_) => false,
@@ -257,26 +352,32 @@ impl Resources {
                     self.next_dense += 1;
                     // Report it back through the element channel.
                     self.req_elem.insert(id, job);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.dram_issue(id, byte_addr & !63, is_write, true, job, self.now);
+                    }
                     true
                 }
                 Err(_) => false,
             }
         } else {
-        let chan = self.dram.config().map(byte_addr).channel;
-        let n_cus = self.cus.len();
-        let cu = &mut self.cus[chan % n_cus];
-        let seq = self.next_elem_seq.entry(job).or_insert(0);
-        let id = (job << ELEM_SEQ_BITS) | (*seq & ((1 << ELEM_SEQ_BITS) - 1));
-        if cu.try_push(ElemRequest {
-            id,
-            byte_addr,
-            is_write,
-        }) {
-            *seq += 1;
-            true
-        } else {
-            false
-        }
+            let chan = self.dram.config().map(byte_addr).channel;
+            let n_cus = self.cus.len();
+            let cu = &mut self.cus[chan % n_cus];
+            let seq = self.next_elem_seq.entry(job).or_insert(0);
+            let id = (job << ELEM_SEQ_BITS) | (*seq & ((1 << ELEM_SEQ_BITS) - 1));
+            if cu.try_push(ElemRequest {
+                id,
+                byte_addr,
+                is_write,
+            }) {
+                *seq += 1;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.dram_issue(id, byte_addr, is_write, true, job, self.now);
+                }
+                true
+            } else {
+                false
+            }
         }
     }
 
@@ -320,6 +421,7 @@ mod tests {
             mem_ports: HashMap::new(),
             dram_base: vec![],
             sram_words: HashMap::new(),
+            tracked: vec![],
         }
     }
 
@@ -327,11 +429,7 @@ mod tests {
     fn slots_are_counted() {
         let mut m = empty_model();
         m.ctrl_slots.insert(CtrlId(0), 2);
-        let mut r = Resources::new(
-            &m,
-            &PlasticineParams::paper_final(),
-            DramConfig::default(),
-        );
+        let mut r = Resources::new(&m, &PlasticineParams::paper_final(), DramConfig::default());
         assert!(r.acquire_slot(CtrlId(0)));
         assert!(r.acquire_slot(CtrlId(0)));
         assert!(!r.acquire_slot(CtrlId(0)));
@@ -343,11 +441,7 @@ mod tests {
     fn ports_reset_each_cycle() {
         let mut m = empty_model();
         m.mem_ports.insert(UnitId(0), 1);
-        let mut r = Resources::new(
-            &m,
-            &PlasticineParams::paper_final(),
-            DramConfig::default(),
-        );
+        let mut r = Resources::new(&m, &PlasticineParams::paper_final(), DramConfig::default());
         r.begin_cycle();
         assert!(r.acquire_ports(&[UnitId(0)], &[]));
         assert!(!r.acquire_ports(&[UnitId(0)], &[]));

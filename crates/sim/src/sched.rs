@@ -5,8 +5,19 @@
 
 use crate::model::{SimModel, TransferModel};
 use crate::resources::Resources;
+use crate::trace::{WaitKind, CLASS_BUSY, CLASS_CTRL, CLASS_MEM};
+use plasticine_arch::UnitId;
 use plasticine_dram::lines_for_range;
 use plasticine_ppir::{CtrlId, LeafWork, Schedule, TraceNode};
+
+/// The hardware unit a leaf controller occupies, if it has any.
+fn unit_of(model: &SimModel, ctrl: CtrlId) -> Option<UnitId> {
+    model
+        .compute
+        .get(&ctrl)
+        .map(|c| c.unit)
+        .or_else(|| model.transfer.get(&ctrl).map(|t| t.unit))
+}
 
 /// One node of the runtime schedule tree.
 #[derive(Debug)]
@@ -30,6 +41,7 @@ impl Node {
                     job,
                     state: LeafState::Idle,
                     slot_released: false,
+                    started_at: 0,
                 })
             }
             TraceNode::Outer { ctrl, iters } => {
@@ -49,6 +61,7 @@ impl Node {
                     schedule: om.schedule,
                     width: om.width,
                     deps: om.deps.clone(),
+                    children: om.children.clone(),
                     n_children,
                     n_iters,
                     iters,
@@ -89,6 +102,8 @@ pub struct OuterNode {
     schedule: Schedule,
     width: usize,
     deps: Vec<(usize, usize, usize)>,
+    /// Child controllers, in program order (for stall attribution).
+    children: Vec<CtrlId>,
     n_children: usize,
     n_iters: usize,
     /// `iters[i][j]` is taken (`None`) once started.
@@ -150,7 +165,7 @@ impl OuterNode {
         // Start new children under the protocol.
         match self.schedule {
             Schedule::Sequential => self.start_sequential(),
-            Schedule::Pipelined | Schedule::Streaming => self.start_pipelined(),
+            Schedule::Pipelined | Schedule::Streaming => self.start_pipelined(res, model),
         }
         if self.all_done() {
             self.finish(res);
@@ -197,7 +212,7 @@ impl OuterNode {
     /// iterations, gated by tokens (producers finished the same iteration),
     /// credits (consumers at most `depth-1` iterations behind), per-child
     /// hardware width, and in-order starts.
-    fn start_pipelined(&mut self) {
+    fn start_pipelined(&mut self, res: &mut Resources, model: &SimModel) {
         for ch in 0..self.n_children {
             loop {
                 let i = self.started[ch];
@@ -219,6 +234,7 @@ impl OuterNode {
                     .filter(|(_, c, _)| *c == ch)
                     .all(|(pr, _, _)| self.water[*pr] > i);
                 if !tokens_ok {
+                    self.note_blocked(res, model, ch, WaitKind::Token);
                     break;
                 }
                 // Credits: don't run further ahead of any consumer than the
@@ -229,6 +245,7 @@ impl OuterNode {
                     .filter(|(pr, _, _)| *pr == ch)
                     .all(|(_, co, depth)| i < self.water[*co] + *depth);
                 if !credits_ok {
+                    self.note_blocked(res, model, ch, WaitKind::Credit);
                     break;
                 }
                 let Some(node) = self.iters[i][ch].take() else {
@@ -237,6 +254,22 @@ impl OuterNode {
                 self.active.push((i, ch, node));
                 self.started[ch] = i + 1;
             }
+        }
+    }
+
+    /// Charges a control stall to the blocked child's hardware unit (leaf
+    /// children only; a blocked outer child shows up through its own
+    /// children) and records the wait span. Units busy with an earlier
+    /// iteration the same cycle stay busy: [`Resources::note`] keeps the
+    /// strongest class.
+    fn note_blocked(&self, res: &mut Resources, model: &SimModel, ch: usize, kind: WaitKind) {
+        let ctrl = self.children[ch];
+        if let Some(u) = unit_of(model, ctrl) {
+            res.note(u, CLASS_CTRL);
+        }
+        let now = res.now;
+        if let Some(t) = res.tracer.as_mut() {
+            t.wait(ctrl, kind, now);
         }
     }
 }
@@ -249,6 +282,8 @@ pub struct LeafNode {
     job: u64,
     state: LeafState,
     slot_released: bool,
+    /// Cycle this invocation acquired its slot (start of its trace span).
+    started_at: u64,
 }
 
 #[derive(Debug)]
@@ -256,6 +291,9 @@ enum LeafState {
     Idle,
     Issue {
         remaining: u64,
+        /// Vector beats issued so far; only every `issue_factor`-th beat is
+        /// useful work, the rest are bank-conflict serialization replays.
+        beat: u64,
     },
     Xfer {
         /// (byte address, is_write) — lines for dense, elements for sparse.
@@ -277,12 +315,21 @@ impl LeafNode {
             match &mut self.state {
                 LeafState::Idle => {
                     if !res.acquire_slot(self.ctrl) {
+                        if let Some(u) = unit_of(model, self.ctrl) {
+                            res.note(u, CLASS_CTRL);
+                        }
+                        let now = res.now;
+                        if let Some(t) = res.tracer.as_mut() {
+                            t.wait(self.ctrl, WaitKind::Slot, now);
+                        }
                         return false;
                     }
+                    self.started_at = res.now;
                     if let Some(cm) = model.compute.get(&self.ctrl) {
                         let vecs = self.work.trips.div_ceil(cm.lanes as u64);
                         self.state = LeafState::Issue {
                             remaining: vecs * cm.issue_factor,
+                            beat: 0,
                         };
                     } else if let Some(tm) = model.transfer.get(&self.ctrl) {
                         let mut reqs = Vec::new();
@@ -321,7 +368,7 @@ impl LeafNode {
                     }
                     // Fall through to make progress in the same cycle.
                 }
-                LeafState::Issue { remaining } => {
+                LeafState::Issue { remaining, beat } => {
                     if *remaining == 0 {
                         let cm = &model.compute[&self.ctrl];
                         // The pipeline drains behind the next invocation:
@@ -336,12 +383,17 @@ impl LeafNode {
                     }
                     let cm = &model.compute[&self.ctrl];
                     let mut issued_any = false;
+                    let mut useful = false;
                     for _ in 0..cm.own_copies {
                         if *remaining == 0 {
                             break;
                         }
                         if res.acquire_ports(&cm.reads, &cm.writes) {
                             *remaining -= 1;
+                            if *beat % cm.issue_factor == 0 {
+                                useful = true;
+                            }
+                            *beat += 1;
                             issued_any = true;
                         } else {
                             break;
@@ -350,6 +402,19 @@ impl LeafNode {
                     if issued_any {
                         res.activity.pcu_busy_cycles +=
                             (cm.phys_pcus / cm.slots.max(1)).max(1) as u64;
+                    }
+                    let unit = cm.unit;
+                    if issued_any && useful {
+                        res.note(unit, CLASS_BUSY);
+                    } else {
+                        // Every beat this cycle was either a bank-conflict
+                        // serialization replay or blocked on scratchpad
+                        // ports: memory-bound either way.
+                        res.note(unit, CLASS_MEM);
+                        let now = res.now;
+                        if let Some(t) = res.tracer.as_mut() {
+                            t.conflict(self.ctrl, now);
+                        }
                     }
                     return false;
                 }
@@ -360,12 +425,11 @@ impl LeafNode {
                     issued_requests,
                 } => {
                     let tm: &TransferModel = &model.transfer[&self.ctrl];
-                    *outstanding = outstanding
-                        .saturating_sub(if tm.sparse {
-                            res.take_elems(self.job)
-                        } else {
-                            res.take_lines(self.job)
-                        });
+                    *outstanding = outstanding.saturating_sub(if tm.sparse {
+                        res.take_elems(self.job)
+                    } else {
+                        res.take_lines(self.job)
+                    });
                     let mut pushed = 0usize;
                     while pushed < tm.copies && *next < reqs.len() {
                         let (addr, w) = reqs[*next];
@@ -384,6 +448,11 @@ impl LeafNode {
                     }
                     if pushed > 0 {
                         res.activity.ag_busy_cycles += 1;
+                        res.note(tm.unit, CLASS_BUSY);
+                    } else if *next < reqs.len() || *outstanding > 0 {
+                        // Blocked on a full channel queue, a busy coalescing
+                        // unit, or in-flight DRAM responses.
+                        res.note(tm.unit, CLASS_MEM);
                     }
                     if *next == reqs.len() && *outstanding == 0 {
                         res.release_slot(self.ctrl);
@@ -414,6 +483,10 @@ impl LeafNode {
         if !self.slot_released {
             res.release_slot(self.ctrl);
         }
+        let now = res.now;
+        if let Some(t) = res.tracer.as_mut() {
+            t.leaf(self.ctrl, self.job, self.started_at, now);
+        }
         if let Some(cm) = model.compute.get(&self.ctrl) {
             let a = &mut res.activity;
             a.fu_ops += self.work.trips * cm.ops_per_trip;
@@ -434,12 +507,7 @@ impl LeafNode {
         // Transfers: DRAM traffic is counted by the DRAM model itself; the
         // network share:
         if let Some(tm) = model.transfer.get(&self.ctrl) {
-            let words: u64 = self
-                .work
-                .dram
-                .iter()
-                .map(|r| r.len as u64)
-                .sum();
+            let words: u64 = self.work.dram.iter().map(|r| r.len as u64).sum();
             res.activity.net_word_hops += words * tm.hops;
         }
     }

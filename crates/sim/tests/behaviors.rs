@@ -20,7 +20,11 @@ fn dynamic_trip_program(limit: i32) -> (Program, RegId) {
     let c = setn.konst(Elem::I32(limit));
     setn.set_outputs(vec![c]);
     let setn = b.func(setn);
-    let set = b.inner("setn", vec![], InnerOp::RegWrite(RegWrite { reg: n, func: setn }));
+    let set = b.inner(
+        "setn",
+        vec![],
+        InnerOp::RegWrite(RegWrite { reg: n, func: setn }),
+    );
     let i = Counter {
         index: b.fresh_index(),
         min: CBound::Const(0),
@@ -66,12 +70,17 @@ fn zero_trip_loops_cost_almost_nothing() {
     let run = |p: &Program| {
         let out = compile(p, &params()).unwrap();
         let mut m = Machine::new(p);
-        simulate(p, &out, &mut m, &SimOptions::default()).unwrap().cycles
+        simulate(p, &out, &mut m, &SimOptions::default())
+            .unwrap()
+            .cycles
     };
     let c0 = run(&p0);
     let c100 = run(&p100);
     assert!(c0 < c100, "zero-trip {c0} vs 100-trip {c100}");
-    assert!(c0 < 100, "zero-trip program should finish in tens of cycles: {c0}");
+    assert!(
+        c0 < 100,
+        "zero-trip program should finish in tens of cycles: {c0}"
+    );
 }
 
 #[test]
@@ -184,7 +193,11 @@ fn sched_program(sched: Schedule) -> Program {
 #[test]
 fn all_three_schedules_produce_identical_results() {
     let mut outputs = Vec::new();
-    for sched in [Schedule::Sequential, Schedule::Pipelined, Schedule::Streaming] {
+    for sched in [
+        Schedule::Sequential,
+        Schedule::Pipelined,
+        Schedule::Streaming,
+    ] {
         let p = sched_program(sched);
         let out = compile(&p, &params()).unwrap();
         let mut m = Machine::new(&p);
@@ -226,9 +239,11 @@ fn larger_nbuf_never_slows_down() {
     let run = |p: &Program| {
         let out = compile(p, &params()).unwrap();
         let mut m = Machine::new(p);
-        let data: Vec<Elem> = (0..1024).map(|i| Elem::I32(i)).collect();
+        let data: Vec<Elem> = (0..1024).map(Elem::I32).collect();
         m.write_dram(DramId(0), &data);
-        simulate(p, &out, &mut m, &SimOptions::default()).unwrap().cycles
+        simulate(p, &out, &mut m, &SimOptions::default())
+            .unwrap()
+            .cycles
     };
     let base = run(&p);
     // Not directly settable post-hoc per sram (builder-level), so emulate
@@ -341,12 +356,12 @@ fn filters_and_gathers_compose_in_one_program() {
     m.write_dram(d_in, &data);
     let r = simulate(&p, &out, &mut m, &SimOptions::default()).unwrap();
     assert!(r.coalesce.elem_requests > 0, "scatter goes through the CU");
-    for i in 0..n {
-        let v = data[i].as_i32().unwrap();
+    for (i, elem) in data.iter().enumerate() {
+        let v = elem.as_i32().unwrap();
         if v % 2 == 0 {
-            assert_eq!(m.dram_data(d_out)[i as usize], Elem::I32(v * v), "at {i}");
+            assert_eq!(m.dram_data(d_out)[i], Elem::I32(v * v), "at {i}");
         } else {
-            assert_eq!(m.dram_data(d_out)[i as usize], Elem::I32(0), "untouched {i}");
+            assert_eq!(m.dram_data(d_out)[i], Elem::I32(0), "untouched {i}");
         }
     }
 }

@@ -1,0 +1,241 @@
+//! Property tests for the stall attribution: over randomly generated
+//! programs, every tracked unit's four cycle classes must sum exactly to
+//! the simulated cycle count, and turning off the coalescing units must
+//! show up as *more* memory-stall cycles, never fewer.
+//!
+//! Cases are deterministic (see `plasticine-proptest`); the seeds in
+//! `proptest-regressions/stall_invariants.txt` run first on every
+//! invocation, pinning them forever.
+
+use plasticine_arch::PlasticineParams;
+use plasticine_compiler::compile;
+use plasticine_ppir::*;
+use plasticine_sim::{simulate, SimOptions, SimResult};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TiledParams {
+    tiles: usize,
+    tile: usize,
+    passes: usize,
+    par: usize,
+    schedule: Schedule,
+}
+
+fn tiled_strategy() -> impl Strategy<Value = TiledParams> {
+    (
+        1usize..5,
+        prop::sample::select(vec![32usize, 64, 128]),
+        1usize..4,
+        prop::sample::select(vec![1usize, 2, 4]),
+        prop::sample::select(vec![Schedule::Sequential, Schedule::Pipelined]),
+    )
+        .prop_map(|(tiles, tile, passes, par, schedule)| TiledParams {
+            tiles,
+            tile,
+            passes,
+            par,
+            schedule,
+        })
+}
+
+/// Tiled elementwise square — load, compute (`passes` recompute passes),
+/// store — exercising PCUs, PMUs, AGs, and both control protocols.
+fn tiled_square(p: &TiledParams) -> (Program, DramId) {
+    let n = p.tiles * p.tile;
+    let mut b = ProgramBuilder::new("sq");
+    let d_in = b.dram("in", DType::F32, n);
+    let d_out = b.dram("out", DType::F32, n);
+    let s_in = b.sram("t_in", DType::F32, &[p.tile]);
+    let s_out = b.sram("t_out", DType::F32, &[p.tile]);
+    let t = b.counter(0, p.tiles as i64, 1, p.par);
+    let mut basef = Func::new("base");
+    let tv = basef.index(t.index);
+    let tl = basef.konst(Elem::I32(p.tile as i32));
+    let off = basef.binary(BinOp::Mul, tv, tl);
+    basef.set_outputs(vec![off]);
+    let basef = b.func(basef);
+    let ld = b.inner(
+        "ld",
+        vec![],
+        InnerOp::LoadTile(TileTransfer {
+            dram: d_in,
+            dram_base: basef,
+            rows: 1,
+            cols: p.tile,
+            dram_row_stride: p.tile,
+            sram: s_in,
+        }),
+    );
+    let k = b.counter(0, p.passes as i64, 1, 1);
+    let i = b.counter(0, p.tile as i64, 1, 16);
+    let mut body = Func::new("sq");
+    let iv = body.index(i.index);
+    let v = body.load(s_in, vec![iv]);
+    let sq = body.binary(BinOp::Mul, v, v);
+    body.set_outputs(vec![sq]);
+    let body = b.func(body);
+    let mut wa = Func::new("wa");
+    let iv = wa.index(i.index);
+    wa.set_outputs(vec![iv]);
+    let wa = b.func(wa);
+    let mp = b.inner(
+        "sq",
+        vec![k, i],
+        InnerOp::Map(MapPipe {
+            body,
+            writes: vec![PipeWrite {
+                sram: s_out,
+                addr: wa,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let st = b.inner(
+        "st",
+        vec![],
+        InnerOp::StoreTile(TileTransfer {
+            dram: d_out,
+            dram_base: basef,
+            rows: 1,
+            cols: p.tile,
+            dram_row_stride: p.tile,
+            sram: s_out,
+        }),
+    );
+    let root = b.outer("tiles", p.schedule, vec![t], vec![ld, mp, st]);
+    (b.finish(root).unwrap(), d_in)
+}
+
+/// Strided gather: fill an index scratchpad on chip, then gather `len`
+/// elements at stride `stride` — the workload the coalescing units exist
+/// for.
+fn strided_gather(len: usize, stride: usize) -> (Program, DramId) {
+    let mut b = ProgramBuilder::new("gather");
+    let src = b.dram("src", DType::I32, len * stride + 1);
+    let idx = b.sram("idx", DType::I32, &[len]);
+    let dst = b.sram("dst", DType::I32, &[len]);
+    let mut zero = Func::new("zero");
+    let z = zero.konst(Elem::I32(0));
+    zero.set_outputs(vec![z]);
+    let zero = b.func(zero);
+    let i = b.counter(0, len as i64, 1, 1);
+    let mut body = Func::new("idxgen");
+    let ii = body.index(i.index);
+    let s = body.konst(Elem::I32(stride as i32));
+    let v = body.binary(BinOp::Mul, ii, s);
+    body.set_outputs(vec![v]);
+    let body = b.func(body);
+    let mut addr = Func::new("addr");
+    let ii = addr.index(i.index);
+    addr.set_outputs(vec![ii]);
+    let addr = b.func(addr);
+    let gen = b.inner(
+        "idxgen",
+        vec![i],
+        InnerOp::Map(MapPipe {
+            body,
+            writes: vec![PipeWrite {
+                sram: idx,
+                addr,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let ga = b.inner(
+        "gather",
+        vec![],
+        InnerOp::Gather(GatherOp {
+            dram: src,
+            base: zero,
+            indices: idx,
+            idx_base: CBound::Const(0),
+            dst,
+            len: CBound::Const(len as i64),
+        }),
+    );
+    let root = b.outer("root", Schedule::Sequential, vec![], vec![gen, ga]);
+    (b.finish(root).unwrap(), src)
+}
+
+fn run(p: &Program, d_in: DramId, coalescing: bool) -> SimResult {
+    let params = PlasticineParams::paper_final();
+    let out = compile(p, &params).unwrap();
+    let mut m = Machine::new(p);
+    let dtype = p.dram(d_in).dtype;
+    let data: Vec<Elem> = (0..p.dram(d_in).len)
+        .map(|i| match dtype {
+            DType::I32 => Elem::I32(i as i32),
+            DType::F32 => Elem::F32(i as f32 * 0.5),
+        })
+        .collect();
+    m.write_dram(d_in, &data);
+    let opts = SimOptions {
+        coalescing,
+        ..SimOptions::default()
+    };
+    simulate(p, &out, &mut m, &opts).unwrap()
+}
+
+/// Asserts the core invariant: per unit, the four classes partition the
+/// run exactly.
+fn assert_partition(r: &SimResult) -> Result<(), TestCaseError> {
+    prop_assert_eq!(r.units.total_cycles, r.cycles);
+    prop_assert!(!r.units.units.is_empty(), "no tracked units");
+    for u in &r.units.units {
+        let c = &u.cycles;
+        prop_assert_eq!(
+            c.total(),
+            r.cycles,
+            "unit {} ({}) classes sum to {} over {} cycles (busy {} ctrl {} mem {} idle {})",
+            u.label,
+            u.kind.as_str(),
+            c.total(),
+            r.cycles,
+            c.busy,
+            c.ctrl_stall,
+            c.mem_stall,
+            c.idle
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn stall_classes_sum_to_total_cycles(p in tiled_strategy()) {
+        let (program, d_in) = tiled_square(&p);
+        let r = run(&program, d_in, true);
+        assert_partition(&r)?;
+        // A compute workload with real DRAM traffic exercises every class
+        // somewhere: at least one unit must have been busy.
+        prop_assert!(r.units.units.iter().any(|u| u.cycles.busy > 0));
+    }
+
+    #[test]
+    fn disabling_coalescing_only_increases_mem_stall(
+        len in prop::sample::select(vec![32usize, 64, 96]),
+        stride in prop::sample::select(vec![1usize, 3, 7]),
+    ) {
+        let (program, src) = strided_gather(len, stride);
+        let with = run(&program, src, true);
+        let without = run(&program, src, false);
+        assert_partition(&with)?;
+        assert_partition(&without)?;
+        let mem = |r: &SimResult| -> u64 {
+            r.units.units.iter().map(|u| u.cycles.mem_stall).sum()
+        };
+        prop_assert!(
+            mem(&without) >= mem(&with),
+            "coalescing off: {} mem-stall cycles; on: {}",
+            mem(&without),
+            mem(&with)
+        );
+        // And the run can only get slower without coalescing.
+        prop_assert!(without.cycles >= with.cycles);
+    }
+}

@@ -1,0 +1,172 @@
+//! Validates that [`SimTrace::chrome_trace`] emits well-formed Chrome
+//! trace-viewer JSON ("trace event format"): the export round-trips
+//! through the JSON parser and every event carries the fields the viewer
+//! requires.
+
+use plasticine_arch::PlasticineParams;
+use plasticine_compiler::compile;
+use plasticine_json::Json;
+use plasticine_ppir::*;
+use plasticine_sim::{simulate_traced, SimOptions, TraceEvent};
+
+/// Two-tile load → square → store pipeline.
+fn small_program() -> (Program, DramId) {
+    let tiles = 2usize;
+    let tile = 64usize;
+    let mut b = ProgramBuilder::new("sq");
+    let d_in = b.dram("in", DType::F32, tiles * tile);
+    let d_out = b.dram("out", DType::F32, tiles * tile);
+    let s_in = b.sram("t_in", DType::F32, &[tile]);
+    let s_out = b.sram("t_out", DType::F32, &[tile]);
+    let t = b.counter(0, tiles as i64, 1, 1);
+    let mut basef = Func::new("base");
+    let tv = basef.index(t.index);
+    let tl = basef.konst(Elem::I32(tile as i32));
+    let off = basef.binary(BinOp::Mul, tv, tl);
+    basef.set_outputs(vec![off]);
+    let basef = b.func(basef);
+    let ld = b.inner(
+        "ld",
+        vec![],
+        InnerOp::LoadTile(TileTransfer {
+            dram: d_in,
+            dram_base: basef,
+            rows: 1,
+            cols: tile,
+            dram_row_stride: tile,
+            sram: s_in,
+        }),
+    );
+    let i = b.counter(0, tile as i64, 1, 16);
+    let mut body = Func::new("sq");
+    let iv = body.index(i.index);
+    let v = body.load(s_in, vec![iv]);
+    let sq = body.binary(BinOp::Mul, v, v);
+    body.set_outputs(vec![sq]);
+    let body = b.func(body);
+    let mut wa = Func::new("wa");
+    let iv = wa.index(i.index);
+    wa.set_outputs(vec![iv]);
+    let wa = b.func(wa);
+    let mp = b.inner(
+        "sq",
+        vec![i],
+        InnerOp::Map(MapPipe {
+            body,
+            writes: vec![PipeWrite {
+                sram: s_out,
+                addr: wa,
+                value_slot: 0,
+                mode: WriteMode::Overwrite,
+            }],
+        }),
+    );
+    let st = b.inner(
+        "st",
+        vec![],
+        InnerOp::StoreTile(TileTransfer {
+            dram: d_out,
+            dram_base: basef,
+            rows: 1,
+            cols: tile,
+            dram_row_stride: tile,
+            sram: s_out,
+        }),
+    );
+    let root = b.outer("tiles", Schedule::Pipelined, vec![t], vec![ld, mp, st]);
+    (b.finish(root).unwrap(), d_in)
+}
+
+fn get<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    match obj {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+#[test]
+fn chrome_trace_is_well_formed() {
+    let (p, d_in) = small_program();
+    let params = PlasticineParams::paper_final();
+    let out = compile(&p, &params).unwrap();
+    let mut m = Machine::new(&p);
+    let data: Vec<Elem> = (0..p.dram(d_in).len).map(|i| Elem::F32(i as f32)).collect();
+    m.write_dram(d_in, &data);
+    let (r, trace) = simulate_traced(&p, &out, &mut m, &SimOptions::default()).unwrap();
+    assert!(!trace.events.is_empty());
+
+    // Every recorded span lies within the run and is well-ordered.
+    for e in &trace.events {
+        let (start, end) = match e {
+            TraceEvent::Leaf { start, end, .. }
+            | TraceEvent::Wait { start, end, .. }
+            | TraceEvent::BankConflict { start, end, .. } => (*start, *end),
+            TraceEvent::DramReq { issue, done, .. } => (*issue, *done),
+        };
+        assert!(start <= end, "span inverted: {e:?}");
+        assert!(end <= r.cycles, "span beyond the run: {e:?}");
+    }
+    // The workload has leaves and DRAM traffic, so both appear.
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Leaf { .. })));
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::DramReq { .. })));
+
+    // The export round-trips through the parser.
+    let text = trace.chrome_trace(&p).pretty();
+    let j = Json::parse(&text).expect("chrome trace parses as JSON");
+
+    let Some(Json::Arr(events)) = get(&j, "traceEvents") else {
+        panic!("no traceEvents array");
+    };
+    assert!(!events.is_empty());
+    let mut saw_complete = 0;
+    let mut saw_meta = 0;
+    for e in events {
+        let Some(Json::Str(ph)) = get(e, "ph") else {
+            panic!("event missing ph: {e:?}");
+        };
+        assert!(
+            matches!(get(e, "name"), Some(Json::Str(_))),
+            "missing name: {e:?}"
+        );
+        assert!(
+            matches!(get(e, "pid"), Some(Json::Int(_))),
+            "missing pid: {e:?}"
+        );
+        assert!(
+            matches!(get(e, "tid"), Some(Json::Int(_))),
+            "missing tid: {e:?}"
+        );
+        match ph.as_str() {
+            "M" => saw_meta += 1,
+            "X" => {
+                saw_complete += 1;
+                assert!(
+                    matches!(get(e, "ts"), Some(Json::Int(v)) if *v >= 0),
+                    "X event missing ts: {e:?}"
+                );
+                assert!(
+                    matches!(get(e, "dur"), Some(Json::Int(v)) if *v >= 1),
+                    "X event missing dur: {e:?}"
+                );
+                assert!(
+                    matches!(get(e, "cat"), Some(Json::Str(_))),
+                    "X event missing cat: {e:?}"
+                );
+                assert!(
+                    matches!(get(e, "args"), Some(Json::Obj(_))),
+                    "X event missing args: {e:?}"
+                );
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    // Metadata names the two processes and every controller thread.
+    assert!(saw_meta >= 2 + p.ctrls().len());
+    assert_eq!(saw_complete, trace.events.len());
+}

@@ -152,8 +152,7 @@ pub fn outer_product(scale: Scale) -> Bench {
     let mut c = vec![Elem::F32(0.0); n * n];
     for i in 0..n {
         for j in 0..n {
-            c[i * n + j] =
-                Elem::F32(a[i].as_f32().unwrap() * bv[j].as_f32().unwrap());
+            c[i * n + j] = Elem::F32(a[i].as_f32().unwrap() * bv[j].as_f32().unwrap());
         }
     }
 

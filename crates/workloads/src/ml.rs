@@ -273,7 +273,11 @@ fn gradient_bench(scale: Scale, spec: GradientSpec) -> Bench {
     };
     gf.set_outputs(vec![gval]);
     let gf = b.func(gf);
-    let glink = b.inner("glink", vec![], InnerOp::RegWrite(RegWrite { reg: g, func: gf }));
+    let glink = b.inner(
+        "glink",
+        vec![],
+        InnerOp::RegWrite(RegWrite { reg: g, func: gf }),
+    );
 
     // Vector update.
     let cu = b.counter(0, d as i64, 1, 16);
@@ -309,7 +313,12 @@ fn gradient_bench(scale: Scale, spec: GradientSpec) -> Bench {
         }),
     );
 
-    let pts = b.outer("pts", Schedule::Sequential, vec![cp], vec![dot, glink, update]);
+    let pts = b.outer(
+        "pts",
+        Schedule::Sequential,
+        vec![cp],
+        vec![dot, glink, update],
+    );
     let blocks_loop = b.outer(
         "blocks",
         Schedule::Sequential,
@@ -363,7 +372,13 @@ fn gradient_bench(scale: Scale, spec: GradientSpec) -> Bench {
         .map(|i| Elem::F32(hash_unit_f32(i as u64, 40) - 0.5))
         .collect();
     let yv: Vec<Elem> = (0..p)
-        .map(|i| Elem::F32(if hash_u64(i as u64, 41) % 2 == 0 { 0.0 } else { 1.0 }))
+        .map(|i| {
+            Elem::F32(if hash_u64(i as u64, 41).is_multiple_of(2) {
+                0.0
+            } else {
+                1.0
+            })
+        })
         .collect();
     let mut w = vec![0.0f32; d];
     let cnd = |v: f32| 1.0 / (1.0 + (-1.702 * v).exp());

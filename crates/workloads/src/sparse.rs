@@ -64,7 +64,11 @@ pub fn smdv(scale: Scale) -> Bench {
     let sp = sf.load(s_ptr, vec![rv]);
     sf.set_outputs(vec![sp]);
     let sf = b.func(sf);
-    let set_s = b.inner("set_s", vec![], InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }));
+    let set_s = b.inner(
+        "set_s",
+        vec![],
+        InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }),
+    );
     let mut ef = Func::new("row_end");
     let rv = ef.index(ri);
     let one = ef.konst(Elem::I32(1));
@@ -72,7 +76,11 @@ pub fn smdv(scale: Scale) -> Bench {
     let ep = ef.load(s_ptr, vec![r1]);
     ef.set_outputs(vec![ep]);
     let ef = b.func(ef);
-    let set_e = b.inner("set_e", vec![], InnerOp::RegWrite(RegWrite { reg: r_e, func: ef }));
+    let set_e = b.inner(
+        "set_e",
+        vec![],
+        InnerOp::RegWrite(RegWrite { reg: r_e, func: ef }),
+    );
 
     let cj = Counter {
         index: b.fresh_index(),
@@ -125,12 +133,12 @@ pub fn smdv(scale: Scale) -> Bench {
         .map(|i| Elem::F32(hash_unit_f32(i as u64, 73) - 0.5))
         .collect();
     let mut y = vec![Elem::F32(0.0); rows];
-    for r in 0..rows {
+    for (r, yr) in y.iter_mut().enumerate() {
         let mut acc = 0.0f32;
         for j in csr.ptr[r] as usize..csr.ptr[r + 1] as usize {
             acc += vals[j].as_f32().unwrap() * x[csr.idx[j] as usize].as_f32().unwrap();
         }
-        y[r] = Elem::F32(acc);
+        *yr = Elem::F32(acc);
     }
 
     Bench {
@@ -234,7 +242,11 @@ pub fn pagerank(scale: Scale) -> Bench {
     let sp = sf.load(s_ptr, vec![pv]);
     sf.set_outputs(vec![sp]);
     let sf = b.func(sf);
-    let set_s = b.inner("set_s", vec![], InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }));
+    let set_s = b.inner(
+        "set_s",
+        vec![],
+        InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }),
+    );
     let mut lf = Func::new("len");
     let pv = lf.index(pgi);
     let one = lf.konst(Elem::I32(1));
@@ -337,9 +349,7 @@ pub fn pagerank(scale: Scale) -> Bench {
     // Golden.
     let mut rank: Vec<f32> = r0.iter().map(|e| e.as_f32().unwrap()).collect();
     for _ in 0..iters {
-        let c: Vec<f32> = (0..n)
-            .map(|v| rank[v] / deg[v].as_f32().unwrap())
-            .collect();
+        let c: Vec<f32> = (0..n).map(|v| rank[v] / deg[v].as_f32().unwrap()).collect();
         let mut newr = vec![0.0f32; n];
         for (p, nr) in newr.iter_mut().enumerate() {
             let mut s = 0.0f32;
@@ -532,13 +542,21 @@ pub fn bfs(scale: Scale) -> Bench {
     let u = uf.load(s_frontier, vec![fv]);
     uf.set_outputs(vec![u]);
     let uf = b.func(uf);
-    let set_u = b.inner("set_u", vec![], InnerOp::RegWrite(RegWrite { reg: r_u, func: uf }));
+    let set_u = b.inner(
+        "set_u",
+        vec![],
+        InnerOp::RegWrite(RegWrite { reg: r_u, func: uf }),
+    );
     let mut sf = Func::new("estart");
     let uv = sf.read_reg(r_u);
     let sp = sf.load(s_ptr, vec![uv]);
     sf.set_outputs(vec![sp]);
     let sf = b.func(sf);
-    let set_s = b.inner("set_es", vec![], InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }));
+    let set_s = b.inner(
+        "set_es",
+        vec![],
+        InnerOp::RegWrite(RegWrite { reg: r_s, func: sf }),
+    );
     let mut elf = Func::new("elen");
     let uv = elf.read_reg(r_u);
     let c1 = elf.konst(Elem::I32(1));
@@ -686,7 +704,16 @@ pub fn bfs(scale: Scale) -> Bench {
         "node",
         Schedule::Sequential,
         vec![],
-        vec![set_u, set_s, set_elen, gather_nbrs, filter_new, mark, scatter_d, bump],
+        vec![
+            set_u,
+            set_s,
+            set_elen,
+            gather_nbrs,
+            filter_new,
+            mark,
+            scatter_d,
+            bump,
+        ],
     );
     let nodes = b.outer("nodes", Schedule::Pipelined, vec![cfi], vec![node_work]);
 

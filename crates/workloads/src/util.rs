@@ -246,7 +246,11 @@ mod tests {
         let idx = i.index;
         let f = affine_func(&mut b, &[(idx, 3)], 5);
         let r = b.reg("r", DType::I32);
-        let rw = b.inner("rw", vec![i], InnerOp::RegWrite(RegWrite { reg: r, func: f }));
+        let rw = b.inner(
+            "rw",
+            vec![i],
+            InnerOp::RegWrite(RegWrite { reg: r, func: f }),
+        );
         let root = b.outer("root", Schedule::Sequential, vec![], vec![rw]);
         let p = b.finish(root).unwrap();
         let mut m = Machine::new(&p);
@@ -264,7 +268,11 @@ mod tests {
         f.set_outputs(vec![c]);
         let fid = b.func(f);
         let r = b.reg("r", DType::F32);
-        let rw = b.inner("rw", vec![], InnerOp::RegWrite(RegWrite { reg: r, func: fid }));
+        let rw = b.inner(
+            "rw",
+            vec![],
+            InnerOp::RegWrite(RegWrite { reg: r, func: fid }),
+        );
         let root = b.outer("root", Schedule::Sequential, vec![], vec![rw]);
         let p = b.finish(root).unwrap();
         let mut m = Machine::new(&p);

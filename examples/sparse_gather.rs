@@ -14,7 +14,10 @@ use plasticine::workloads::{sparse, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = PlasticineParams::paper_final();
-    for bench in [sparse::pagerank(Scale::small()), sparse::bfs(Scale::small())] {
+    for bench in [
+        sparse::pagerank(Scale::small()),
+        sparse::bfs(Scale::small()),
+    ] {
         let out = compile(&bench.program, &params)?;
         let mut m = Machine::new(&bench.program);
         bench.load(&mut m);

@@ -3,27 +3,31 @@
 //! ```sh
 //! plasticine-run list
 //! plasticine-run run GEMM --scale 4
+//! plasticine-run run GEMM --trace gemm.json --stats-json gemm-stats.json
 //! plasticine-run compile BFS --bitstream bfs.json
 //! ```
 
 use plasticine::arch::{MachineConfig, PlasticineParams};
 use plasticine::compiler::compile;
 use plasticine::fpga::FpgaModel;
+use plasticine::json::Json;
 use plasticine::models::PowerModel;
 use plasticine::ppir::Machine;
-use plasticine::sim::{simulate, SimOptions};
+use plasticine::sim::{simulate, simulate_traced, SimOptions, SimResult, UnitKind, UnitStats};
 use plasticine::workloads::{all, Bench, Scale};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N]\n  plasticine-run compile <benchmark> [--scale N] [--bitstream FILE]"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--trace FILE] [--stats-json FILE] [--units]\n  plasticine-run compile <benchmark> [--scale N] [--bitstream FILE]\n\nrun options:\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n(with `run all`, the benchmark name is inserted into each output file name)"
     );
     ExitCode::FAILURE
 }
 
 fn find_bench(name: &str, scale: Scale) -> Option<Bench> {
-    all(scale).into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    all(scale)
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 fn parse_scale(args: &[String]) -> Scale {
@@ -34,12 +38,94 @@ fn parse_scale(args: &[String]) -> Scale {
         .unwrap_or(Scale(1))
 }
 
-fn run_one(bench: &Bench, params: &PlasticineParams) -> Result<(), String> {
+fn parse_path(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("{flag} requires a file argument")),
+        },
+        None => Ok(None),
+    }
+}
+
+/// `trace.json` + `GEMM` → `trace-gemm.json` (for `run all` output files).
+fn per_bench_path(path: &str, bench: &str) -> String {
+    let bench = bench.to_ascii_lowercase();
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}-{bench}.{ext}"),
+        None => format!("{path}-{bench}"),
+    }
+}
+
+/// Prints the four-way cycle breakdown: one aggregate row per unit kind,
+/// and per-unit rows when `per_unit` is set.
+fn print_units(units: &UnitStats, per_unit: bool) {
+    let pct = |v: u64, t: u64| {
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * v as f64 / t as f64
+        }
+    };
+    println!(
+        "  {:<18} {:>3} {:>7} {:>7} {:>7} {:>7}",
+        "unit", "n", "busy%", "ctrl%", "mem%", "idle%"
+    );
+    for kind in [UnitKind::Pcu, UnitKind::Pmu, UnitKind::Ag] {
+        let n = units.units.iter().filter(|u| u.kind == kind).count();
+        if n == 0 {
+            continue;
+        }
+        let a = units.aggregate(kind);
+        let t = a.total();
+        println!(
+            "  {:<18} {:>3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            kind.as_str(),
+            n,
+            pct(a.busy, t),
+            pct(a.ctrl_stall, t),
+            pct(a.mem_stall, t),
+            pct(a.idle, t),
+        );
+    }
+    if per_unit {
+        for u in &units.units {
+            let c = &u.cycles;
+            let t = c.total();
+            println!(
+                "    {:<16} {:>3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+                u.label,
+                u.kind.as_str(),
+                pct(c.busy, t),
+                pct(c.ctrl_stall, t),
+                pct(c.mem_stall, t),
+                pct(c.idle, t),
+            );
+        }
+    }
+}
+
+struct RunOutputs {
+    trace: Option<String>,
+    stats: Option<String>,
+    units: bool,
+}
+
+fn run_one(bench: &Bench, params: &PlasticineParams, outs: &RunOutputs) -> Result<(), String> {
     let out = compile(&bench.program, params).map_err(|e| e.to_string())?;
     let mut m = Machine::new(&bench.program);
     bench.load(&mut m);
-    let r = simulate(&bench.program, &out, &mut m, &SimOptions::default())
-        .map_err(|e| e.to_string())?;
+    let opts = SimOptions::default();
+    let (r, trace): (SimResult, Option<_>) = if outs.trace.is_some() {
+        let (r, t) =
+            simulate_traced(&bench.program, &out, &mut m, &opts).map_err(|e| e.to_string())?;
+        (r, Some(t))
+    } else {
+        (
+            simulate(&bench.program, &out, &mut m, &opts).map_err(|e| e.to_string())?,
+            None,
+        )
+    };
     bench.verify(&m)?;
     let (pcu, pmu, ag) = out.config.utilization();
     let power = PowerModel::new().estimate(&r, &out.config);
@@ -55,6 +141,22 @@ fn run_one(bench: &Bench, params: &PlasticineParams) -> Result<(), String> {
         power.total_w,
         speedup,
     );
+    if outs.units {
+        print_units(&r.units, true);
+    }
+    if let (Some(path), Some(trace)) = (&outs.trace, &trace) {
+        let json = trace.chrome_trace(&bench.program);
+        std::fs::write(path, json.pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  trace ({} events) written to {path}", trace.events.len());
+    }
+    if let Some(path) = &outs.stats {
+        let mut stats = r.stats_json();
+        if let Json::Obj(pairs) = &mut stats {
+            pairs.insert(0, ("bench".to_string(), Json::from(bench.name.clone())));
+        }
+        std::fs::write(path, stats.pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  stats written to {path}");
+    }
     Ok(())
 }
 
@@ -73,6 +175,17 @@ fn main() -> ExitCode {
                 return usage();
             };
             let scale = parse_scale(&args);
+            let (trace, stats) = match (
+                parse_path(&args, "--trace"),
+                parse_path(&args, "--stats-json"),
+            ) {
+                (Ok(t), Ok(s)) => (t, s),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let units = args.iter().any(|a| a == "--units");
             let benches = if name == "all" {
                 all(scale)
             } else {
@@ -84,8 +197,26 @@ fn main() -> ExitCode {
                     }
                 }
             };
+            let many = benches.len() > 1;
             for b in &benches {
-                if let Err(e) = run_one(b, &params) {
+                let outs = RunOutputs {
+                    trace: trace.as_ref().map(|p| {
+                        if many {
+                            per_bench_path(p, &b.name)
+                        } else {
+                            p.clone()
+                        }
+                    }),
+                    stats: stats.as_ref().map(|p| {
+                        if many {
+                            per_bench_path(p, &b.name)
+                        } else {
+                            p.clone()
+                        }
+                    }),
+                    units,
+                };
+                if let Err(e) = run_one(b, &params, &outs) {
                     eprintln!("{}: {e}", b.name);
                     return ExitCode::FAILURE;
                 }

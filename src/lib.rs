@@ -24,6 +24,7 @@ pub use plasticine_arch as arch;
 pub use plasticine_compiler as compiler;
 pub use plasticine_dram as dram;
 pub use plasticine_fpga as fpga;
+pub use plasticine_json as json;
 pub use plasticine_models as models;
 pub use plasticine_ppir as ppir;
 pub use plasticine_sim as sim;

@@ -1,0 +1,168 @@
+//! Golden-stats regression suite: every Table 4 workload is simulated at
+//! `Scale(1)` and its [`SimResult::stats_json`] snapshot — cycles, activity
+//! counters, DRAM statistics, and the per-unit stall breakdown — is
+//! compared byte-for-byte against a committed baseline in `tests/golden/`.
+//!
+//! Any timing change, however small (a 1% cycle drift, one extra DRAM
+//! activate, a shifted stall attribution), fails the suite. When a change
+//! is intentional, regenerate the baselines and review the diff:
+//!
+//! ```sh
+//! PLASTICINE_BLESS=1 cargo test --test golden_stats
+//! git diff tests/golden/
+//! ```
+
+use plasticine::arch::PlasticineParams;
+use plasticine::compiler::compile;
+use plasticine::json::Json;
+use plasticine::ppir::Machine;
+use plasticine::sim::{simulate, SimOptions};
+use plasticine::workloads::{all, Bench, Scale};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Runs a bench end to end and renders its stats snapshot.
+fn snapshot(bench: &Bench, params: &PlasticineParams) -> String {
+    let out = compile(&bench.program, params).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let mut m = Machine::new(&bench.program);
+    bench.load(&mut m);
+    let r = simulate(&bench.program, &out, &mut m, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    bench
+        .verify(&m)
+        .unwrap_or_else(|e| panic!("{}: verification: {e}", bench.name));
+    let mut stats = r.stats_json();
+    if let Json::Obj(pairs) = &mut stats {
+        pairs.insert(0, ("bench".to_string(), Json::from(bench.name.clone())));
+    }
+    stats.pretty()
+}
+
+/// First line where two snapshots disagree, for a readable failure message.
+fn first_diff(want: &str, got: &str) -> String {
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        if w != g {
+            return format!(
+                "line {}: baseline `{}` vs got `{}`",
+                i + 1,
+                w.trim(),
+                g.trim()
+            );
+        }
+    }
+    format!(
+        "baseline has {} lines, got {}",
+        want.lines().count(),
+        got.lines().count()
+    )
+}
+
+#[test]
+fn all_workloads_match_golden_stats() {
+    let params = PlasticineParams::paper_final();
+    let bless = std::env::var("PLASTICINE_BLESS").is_ok();
+    let dir = golden_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let benches = all(Scale(1));
+    assert_eq!(benches.len(), 13, "expected the 13 Table 4 workloads");
+    let mut failures = Vec::new();
+    for bench in &benches {
+        let got = snapshot(bench, &params);
+        let path = dir.join(format!("{}.json", bench.name.to_ascii_lowercase()));
+        if bless {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => failures.push(format!("{}: {}", bench.name, first_diff(&want, &got))),
+            Err(_) => failures.push(format!(
+                "{}: missing baseline {} (run `PLASTICINE_BLESS=1 cargo test --test golden_stats`)",
+                bench.name,
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden stats drifted; if intentional, bless and review the diff:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn golden_comparison_detects_one_percent_cycle_drift() {
+    // The suite compares snapshots byte-for-byte, so even the smallest
+    // meaningful perturbation — cycles off by 1% — must change the text.
+    let path = golden_dir().join("gemm.json");
+    let text = std::fs::read_to_string(&path)
+        .expect("gemm baseline present (bless with PLASTICINE_BLESS=1)");
+    let mut j = Json::parse(&text).expect("baseline parses");
+    let Json::Obj(pairs) = &mut j else {
+        panic!("baseline is an object");
+    };
+    let mut perturbed = false;
+    for (k, v) in pairs.iter_mut() {
+        if k == "cycles" {
+            let Json::Int(c) = v else {
+                panic!("cycles is an int")
+            };
+            *c += (*c / 100).max(1);
+            perturbed = true;
+        }
+    }
+    assert!(perturbed, "baseline has a cycles field");
+    assert_ne!(j.pretty(), text, "1% cycle drift must not survive the diff");
+}
+
+#[test]
+fn golden_baselines_are_valid_json_with_stall_invariant() {
+    // Baselines must parse, and every recorded unit breakdown must sum to
+    // the recorded cycle count — the invariant the attribution guarantees.
+    let dir = golden_dir();
+    let mut checked = 0;
+    for bench in all(Scale(1)) {
+        let path = dir.join(format!("{}.json", bench.name.to_ascii_lowercase()));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // covered by the main test's missing-baseline failure
+        };
+        let j = Json::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let Json::Obj(pairs) = &j else {
+            panic!("{}: not an object", path.display())
+        };
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let Some(Json::Int(cycles)) = get("cycles") else {
+            panic!("{}: no cycles", path.display())
+        };
+        let Some(Json::Arr(units)) = get("units") else {
+            panic!("{}: no units", path.display())
+        };
+        for u in units {
+            let Json::Obj(fields) = u else {
+                panic!("{}: unit not an object", path.display())
+            };
+            let f = |key: &str| -> i64 {
+                match fields.iter().find(|(k, _)| k == key) {
+                    Some((_, Json::Int(v))) => *v,
+                    _ => panic!("{}: unit missing {key}", path.display()),
+                }
+            };
+            assert_eq!(
+                f("busy") + f("ctrl_stall") + f("mem_stall") + f("idle"),
+                *cycles,
+                "{}: unit {} breakdown does not sum to cycles",
+                path.display(),
+                f("unit"),
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 0, "no baselines found; bless first");
+}

@@ -175,18 +175,23 @@ fn interpreter_and_simulator_agree_on_a_custom_program() {
             writes: vec![],
         }),
     );
-    let tiles = b.outer("tiles", Schedule::Pipelined, vec![t], vec![ld_a, ld_b, fold]);
+    let tiles = b.outer(
+        "tiles",
+        Schedule::Pipelined,
+        vec![t],
+        vec![ld_a, ld_b, fold],
+    );
     let root = b.outer("root", Schedule::Sequential, vec![], vec![tiles]);
     let p = b.finish(root).unwrap();
 
-    let a: Vec<Elem> = (0..n).map(|i| Elem::I32((i as i32 * 7) % 101 - 50)).collect();
-    let bv: Vec<Elem> = (0..n).map(|i| Elem::I32((i as i32 * 13) % 97 - 48)).collect();
+    let a: Vec<Elem> = (0..n)
+        .map(|i| Elem::I32((i as i32 * 7) % 101 - 50))
+        .collect();
+    let bv: Vec<Elem> = (0..n)
+        .map(|i| Elem::I32((i as i32 * 13) % 97 - 48))
+        .collect();
     let want: i32 = (0..n)
-        .map(|i| {
-            a[i].as_i32()
-                .unwrap()
-                .max(bv[i].as_i32().unwrap())
-        })
+        .map(|i| a[i].as_i32().unwrap().max(bv[i].as_i32().unwrap()))
         .sum();
 
     let params = PlasticineParams::paper_final();
@@ -246,7 +251,11 @@ fn table6_shape_stays_in_the_papers_ballpark() {
     let rows = table6(&apps, &AreaModel::new());
     let gm = rows.last().expect("geomean row");
     // Paper: a = 2.77, cumulative = 11.5×. Guard the shape, not the digit.
-    assert!(gm.a > 1.8 && gm.a < 4.5, "reconfigurability tax drifted: {}", gm.a);
+    assert!(
+        gm.a > 1.8 && gm.a < 4.5,
+        "reconfigurability tax drifted: {}",
+        gm.a
+    );
     let cum = gm.cumulative()[4];
     assert!(cum > 6.0 && cum < 20.0, "total overhead drifted: {cum}");
 }
@@ -276,7 +285,10 @@ fn fig7_invalid_points_match_the_reduction_constraint() {
     let op = rows.iter().find(|r| r.app == "OuterProduct").unwrap();
     // InnerProduct folds over 16 lanes: 4 stages cannot hold the tree (×);
     // OuterProduct is a pure map: 4 stages are fine.
-    assert!(ip.points[0].overhead.is_none(), "IP stages=4 must be invalid");
+    assert!(
+        ip.points[0].overhead.is_none(),
+        "IP stages=4 must be invalid"
+    );
     assert!(ip.points[2].overhead.is_some(), "IP stages=6 must be valid");
     assert!(op.points[0].overhead.is_some(), "OP stages=4 must be valid");
 }
