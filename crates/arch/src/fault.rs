@@ -1,0 +1,510 @@
+//! Fault model: hard faults in the fabric and transient faults at runtime.
+//!
+//! A production chip does not get to assume a pristine fabric: PCUs and PMU
+//! banks fail burn-in, switch links break, and DRAM channels go offline.
+//! Because Plasticine's place-and-route is fully static (§3.1–§3.4), the
+//! compiler is exactly the layer that can route around hard faults: a
+//! [`FaultMap`] is handed to placement and routing as a blacklist, and the
+//! design is recompiled onto the surviving fabric.
+//!
+//! Transient faults (single-event upsets in vector lanes or scratchpad
+//! words, dropped DRAM responses) cannot be compiled away; the simulator
+//! injects them from the seeded rates in [`TransientFaults`] and models the
+//! detection/recovery machinery (ECC, parity replay, bounded
+//! retry-with-backoff) whose cost shows up in the cycle accounts.
+//!
+//! Everything is deterministic: the same spec and seed always produce the
+//! same fault map and the same injected-event stream, so faulty runs are as
+//! reproducible as fault-free ones. `FaultMap::default()` is the pristine
+//! chip and is guaranteed to leave compilation and simulation bit-for-bit
+//! identical to builds that never heard of faults.
+
+use crate::geom::{SiteId, SiteKind, SwitchId, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Deterministic SplitMix64 generator used for fault sampling and
+/// transient-fault injection. Small, seedable, and dependency-free; not
+/// cryptographic, which is fine — we need reproducibility, not secrecy.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.unit_f64() < p
+    }
+}
+
+/// Transient-fault rates and recovery parameters, injected by the
+/// simulator from a seeded stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientFaults {
+    /// Per-vector-issue probability of a bit flip in a vector lane (caught
+    /// by a residue check; the vector is reissued).
+    pub lane_flip: f64,
+    /// Per-read-word probability of a bit flip in a scratchpad word. Most
+    /// flips are single-bit and ECC-corrected in line; the uncorrectable
+    /// remainder is caught by parity and the read beat is replayed.
+    pub sram_flip: f64,
+    /// Per-response probability that a DRAM completion is dropped in
+    /// flight (recovered by bounded retry-with-backoff).
+    pub dram_drop: f64,
+    /// Seed for the injection stream.
+    pub seed: u64,
+    /// Retries allowed per dropped DRAM request before the run is declared
+    /// unrecoverable.
+    pub max_retries: u32,
+    /// Base retry timeout in cycles; attempt `k` waits `base << k`.
+    pub retry_base: u64,
+}
+
+impl Default for TransientFaults {
+    fn default() -> TransientFaults {
+        TransientFaults {
+            lane_flip: 0.0,
+            sram_flip: 0.0,
+            dram_drop: 0.0,
+            seed: 0,
+            max_retries: 8,
+            retry_base: 64,
+        }
+    }
+}
+
+impl TransientFaults {
+    /// Whether any transient rate is non-zero.
+    pub fn any(&self) -> bool {
+        self.lane_flip > 0.0 || self.sram_flip > 0.0 || self.dram_drop > 0.0
+    }
+}
+
+/// The fault state of one chip: hard-faulted units and links that the
+/// compiler must avoid, plus transient-fault rates for the simulator.
+///
+/// The default value is a pristine chip.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultMap {
+    /// Hard-faulted PCU sites (unusable).
+    pub dead_pcus: BTreeSet<SiteId>,
+    /// Hard-faulted PMU sites (unusable).
+    pub dead_pmus: BTreeSet<SiteId>,
+    /// Dead switch-mesh links, stored undirected with the lower switch id
+    /// first.
+    pub dead_links: BTreeSet<(SwitchId, SwitchId)>,
+    /// Disabled scratchpad banks per PMU site (capacity degradation; a PMU
+    /// with every bank disabled is effectively dead).
+    pub dead_banks: BTreeMap<SiteId, usize>,
+    /// Offline DRAM channels (their address share is remapped onto the
+    /// surviving channels at reduced bandwidth).
+    pub offline_channels: BTreeSet<usize>,
+    /// Transient-fault injection rates.
+    pub transient: TransientFaults,
+}
+
+impl FaultMap {
+    /// Whether any hard fault is present (the compiler must degrade).
+    pub fn has_hard_faults(&self) -> bool {
+        !self.dead_pcus.is_empty()
+            || !self.dead_pmus.is_empty()
+            || !self.dead_links.is_empty()
+            || !self.dead_banks.is_empty()
+            || !self.offline_channels.is_empty()
+    }
+
+    /// Whether the map is entirely fault-free.
+    pub fn is_pristine(&self) -> bool {
+        !self.has_hard_faults() && !self.transient.any()
+    }
+
+    /// Number of hard-faulted resources, for error messages.
+    pub fn hard_fault_count(&self) -> usize {
+        self.dead_pcus.len()
+            + self.dead_pmus.len()
+            + self.dead_links.len()
+            + self.dead_banks.values().sum::<usize>()
+            + self.offline_channels.len()
+    }
+
+    /// Whether a dead (undirected) link joins `a` and `b`.
+    pub fn link_is_dead(&self, a: SwitchId, b: SwitchId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.dead_links.contains(&key)
+    }
+
+    /// Samples a concrete fault map from a spec, deterministically from the
+    /// spec's seed. `dram_channels` is the channel count of the memory
+    /// system the map will run against.
+    pub fn sample(topo: &Topology, spec: &FaultSpec, dram_channels: usize) -> FaultMap {
+        let mut rng = FaultRng::new(spec.seed);
+        let pick = |rng: &mut FaultRng, pool: &[SiteId], n: usize| -> BTreeSet<SiteId> {
+            let mut left: Vec<SiteId> = pool.to_vec();
+            let mut out = BTreeSet::new();
+            for _ in 0..n.min(left.len()) {
+                let i = rng.below(left.len() as u64) as usize;
+                out.insert(left.swap_remove(i));
+            }
+            out
+        };
+        let pcu_pool = topo.sites_of(SiteKind::Pcu);
+        let pmu_pool = topo.sites_of(SiteKind::Pmu);
+        let dead_pcus = pick(&mut rng, &pcu_pool, spec.pcus);
+        let dead_pmus = pick(&mut rng, &pmu_pool, spec.pmus);
+
+        // Undirected mesh edges in canonical order.
+        let mut edges: Vec<(SwitchId, SwitchId)> = Vec::new();
+        for s in 0..topo.num_switches() as u32 {
+            let s = SwitchId(s);
+            for nb in topo.switch_neighbors(s) {
+                if s < nb {
+                    edges.push((s, nb));
+                }
+            }
+        }
+        let mut dead_links = BTreeSet::new();
+        for _ in 0..spec.links.min(edges.len()) {
+            let i = rng.below(edges.len() as u64) as usize;
+            dead_links.insert(edges.swap_remove(i));
+        }
+
+        // Bank faults land on surviving PMUs, at most `banks_per_pmu` each.
+        let mut dead_banks: BTreeMap<SiteId, usize> = BTreeMap::new();
+        let survivors: Vec<SiteId> = pmu_pool
+            .iter()
+            .copied()
+            .filter(|s| !dead_pmus.contains(s))
+            .collect();
+        if !survivors.is_empty() {
+            for _ in 0..spec.banks {
+                let s = survivors[rng.below(survivors.len() as u64) as usize];
+                let e = dead_banks.entry(s).or_insert(0);
+                if *e < spec.banks_per_pmu {
+                    *e += 1;
+                }
+            }
+        }
+
+        let mut offline_channels = BTreeSet::new();
+        let mut chans: Vec<usize> = (0..dram_channels).collect();
+        for _ in 0..spec.channels.min(dram_channels) {
+            let i = rng.below(chans.len() as u64) as usize;
+            offline_channels.insert(chans.swap_remove(i));
+        }
+
+        FaultMap {
+            dead_pcus,
+            dead_pmus,
+            dead_links,
+            dead_banks,
+            offline_channels,
+            transient: TransientFaults {
+                lane_flip: spec.lane_flip,
+                sram_flip: spec.sram_flip,
+                dram_drop: spec.dram_drop,
+                seed: spec.seed,
+                max_retries: spec.max_retries,
+                retry_base: TransientFaults::default().retry_base,
+            },
+        }
+    }
+
+    /// One-line human summary ("6 PCUs, 6 PMUs, 5 links dead, ...").
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.dead_pcus.is_empty() {
+            parts.push(format!("{} PCUs", self.dead_pcus.len()));
+        }
+        if !self.dead_pmus.is_empty() {
+            parts.push(format!("{} PMUs", self.dead_pmus.len()));
+        }
+        if !self.dead_links.is_empty() {
+            parts.push(format!("{} links", self.dead_links.len()));
+        }
+        if !self.dead_banks.is_empty() {
+            parts.push(format!("{} banks", self.dead_banks.values().sum::<usize>()));
+        }
+        if !self.offline_channels.is_empty() {
+            parts.push(format!("{} DRAM channels", self.offline_channels.len()));
+        }
+        let hard = if parts.is_empty() {
+            "no hard faults".to_string()
+        } else {
+            format!("{} dead", parts.join(", "))
+        };
+        if self.transient.any() {
+            format!(
+                "{hard}; transient lane={} sram={} drop={} (seed {})",
+                self.transient.lane_flip,
+                self.transient.sram_flip,
+                self.transient.dram_drop,
+                self.transient.seed
+            )
+        } else {
+            hard
+        }
+    }
+}
+
+/// A fault-injection request, as written on the command line:
+/// `pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42,lane=1e-6,sram=1e-6,drop=1e-3`.
+///
+/// All keys are optional; the default spec is fault-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Hard-faulted PCU count.
+    pub pcus: usize,
+    /// Hard-faulted PMU count.
+    pub pmus: usize,
+    /// Dead switch-link count.
+    pub links: usize,
+    /// Disabled scratchpad banks (spread over surviving PMUs).
+    pub banks: usize,
+    /// Cap on disabled banks per PMU when sampling.
+    pub banks_per_pmu: usize,
+    /// Offline DRAM channels.
+    pub channels: usize,
+    /// RNG seed for sampling and injection.
+    pub seed: u64,
+    /// Per-vector-issue lane bit-flip probability.
+    pub lane_flip: f64,
+    /// Per-read-word scratchpad bit-flip probability.
+    pub sram_flip: f64,
+    /// Per-response DRAM drop probability.
+    pub dram_drop: f64,
+    /// Retry budget per dropped DRAM request.
+    pub max_retries: u32,
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec {
+            pcus: 0,
+            pmus: 0,
+            links: 0,
+            banks: 0,
+            banks_per_pmu: usize::MAX,
+            channels: 0,
+            seed: 0,
+            lane_flip: 0.0,
+            sram_flip: 0.0,
+            dram_drop: 0.0,
+            max_retries: TransientFaults::default().max_retries,
+        }
+    }
+}
+
+/// A malformed `--faults` spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad fault spec: {} (expected comma-separated key=value with keys \
+             pcu, pmu, links, banks, chan, seed, lane, sram, drop, retries)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl std::str::FromStr for FaultSpec {
+    type Err = FaultSpecError;
+
+    fn from_str(s: &str) -> Result<FaultSpec, FaultSpecError> {
+        let mut spec = FaultSpec::default();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, val)) = part.split_once('=') else {
+                return Err(FaultSpecError(format!("`{part}` is not key=value")));
+            };
+            let count = || -> Result<usize, FaultSpecError> {
+                val.parse()
+                    .map_err(|_| FaultSpecError(format!("`{val}` is not a count for `{key}`")))
+            };
+            let prob = || -> Result<f64, FaultSpecError> {
+                let p: f64 = val
+                    .parse()
+                    .map_err(|_| FaultSpecError(format!("`{val}` is not a probability")))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(FaultSpecError(format!("`{key}={val}` is outside [0, 1]")));
+                }
+                Ok(p)
+            };
+            match key {
+                "pcu" | "pcus" => spec.pcus = count()?,
+                "pmu" | "pmus" => spec.pmus = count()?,
+                "link" | "links" => spec.links = count()?,
+                "bank" | "banks" => spec.banks = count()?,
+                "chan" | "channels" => spec.channels = count()?,
+                "seed" => {
+                    spec.seed = val
+                        .parse()
+                        .map_err(|_| FaultSpecError(format!("`{val}` is not a seed")))?
+                }
+                "lane" => spec.lane_flip = prob()?,
+                "sram" => spec.sram_flip = prob()?,
+                "drop" => spec.dram_drop = prob()?,
+                "retries" => {
+                    spec.max_retries = val
+                        .parse()
+                        .map_err(|_| FaultSpecError(format!("`{val}` is not a retry count")))?
+                }
+                _ => return Err(FaultSpecError(format!("unknown key `{key}`"))),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PlasticineParams;
+
+    fn topo() -> Topology {
+        Topology::new(&PlasticineParams::paper_final())
+    }
+
+    #[test]
+    fn default_map_is_pristine() {
+        let m = FaultMap::default();
+        assert!(m.is_pristine());
+        assert!(!m.has_hard_faults());
+        assert_eq!(m.hard_fault_count(), 0);
+        assert_eq!(m.summary(), "no hard faults");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let t = topo();
+        let spec: FaultSpec = "pcu=6,pmu=6,links=5,banks=4,chan=1,seed=42"
+            .parse()
+            .unwrap();
+        let a = FaultMap::sample(&t, &spec, 4);
+        let b = FaultMap::sample(&t, &spec, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.dead_pcus.len(), 6);
+        assert_eq!(a.dead_pmus.len(), 6);
+        assert_eq!(a.dead_links.len(), 5);
+        assert_eq!(a.dead_banks.values().sum::<usize>(), 4);
+        assert_eq!(a.offline_channels.len(), 1);
+        // PCU faults land on PCU sites, PMU faults on PMU sites.
+        for s in &a.dead_pcus {
+            assert_eq!(t.site(*s).kind, SiteKind::Pcu);
+        }
+        for s in &a.dead_pmus {
+            assert_eq!(t.site(*s).kind, SiteKind::Pmu);
+        }
+        // Links are canonical and adjacent.
+        for (x, y) in &a.dead_links {
+            assert!(x < y);
+            assert_eq!(t.switch_distance(*x, *y), 1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = topo();
+        let s1: FaultSpec = "pcu=6,seed=1".parse().unwrap();
+        let s2: FaultSpec = "pcu=6,seed=2".parse().unwrap();
+        assert_ne!(
+            FaultMap::sample(&t, &s1, 4).dead_pcus,
+            FaultMap::sample(&t, &s2, 4).dead_pcus
+        );
+    }
+
+    #[test]
+    fn spec_parser_accepts_full_grammar() {
+        let s: FaultSpec =
+            "pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42,lane=1e-6,sram=0.001,drop=0.01,retries=4"
+                .parse()
+                .unwrap();
+        assert_eq!(s.pcus, 3);
+        assert_eq!(s.pmus, 2);
+        assert_eq!(s.links, 5);
+        assert_eq!(s.banks, 4);
+        assert_eq!(s.channels, 1);
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.lane_flip, 1e-6);
+        assert_eq!(s.sram_flip, 0.001);
+        assert_eq!(s.dram_drop, 0.01);
+        assert_eq!(s.max_retries, 4);
+        let empty: FaultSpec = "".parse().unwrap();
+        assert_eq!(empty, FaultSpec::default());
+    }
+
+    #[test]
+    fn spec_parser_rejects_garbage() {
+        assert!("pcu".parse::<FaultSpec>().is_err());
+        assert!("pcu=abc".parse::<FaultSpec>().is_err());
+        assert!("frobnicate=1".parse::<FaultSpec>().is_err());
+        assert!("drop=1.5".parse::<FaultSpec>().is_err());
+        assert!("drop=-0.1".parse::<FaultSpec>().is_err());
+    }
+
+    #[test]
+    fn link_is_dead_is_undirected() {
+        let mut m = FaultMap::default();
+        m.dead_links.insert((SwitchId(3), SwitchId(7)));
+        assert!(m.link_is_dead(SwitchId(3), SwitchId(7)));
+        assert!(m.link_is_dead(SwitchId(7), SwitchId(3)));
+        assert!(!m.link_is_dead(SwitchId(3), SwitchId(8)));
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_spread() {
+        let mut a = FaultRng::new(9);
+        let mut b = FaultRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = FaultRng::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(r.below(16));
+        }
+        assert!(seen.len() > 8, "below(16) should cover most of the range");
+        let u = r.unit_f64();
+        assert!((0.0..1.0).contains(&u));
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fault;
 mod geom;
 mod params;
 
@@ -31,5 +32,6 @@ pub use config::{
     AgCfg, AgMode, BitstreamError, ComputeCfg, DramAlloc, LinkCfg, MachineConfig, MemoryCfg,
     NetClass, OuterCtrlCfg, ResourceUsage, UnitCfg, UnitId,
 };
+pub use fault::{FaultMap, FaultRng, FaultSpec, FaultSpecError, TransientFaults};
 pub use geom::{AgId, Site, SiteId, SiteKind, SwitchId, Topology};
 pub use params::{GridMix, ParamError, PcuParams, PlasticineParams, PmuParams};

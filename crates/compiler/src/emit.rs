@@ -34,6 +34,9 @@ pub struct CompileOutput {
 pub struct CompileOptions {
     /// Routing track budgets.
     pub route_limits: RouteLimits,
+    /// Fault map to compile around: dead sites/links are blacklisted from
+    /// placement and routing. Default is a pristine chip.
+    pub faults: plasticine_arch::FaultMap,
 }
 
 impl CompileOptions {
@@ -55,6 +58,43 @@ pub fn compile(
     params: &plasticine_arch::PlasticineParams,
 ) -> Result<CompileOutput, CompileError> {
     compile_with(p, params, &CompileOptions::new())
+}
+
+/// [`compile_with`] that degrades gracefully on a faulted fabric: when the
+/// surviving units cannot host the program at its requested parallelization
+/// ([`CompileError::InsufficientFabric`]), the compiler halves the largest
+/// parallelization factor and retries until the program fits or every
+/// counter is serial. Returns the output together with the (possibly
+/// reduced) program actually compiled — the simulator must execute that
+/// program, not the original — and one human-readable note per reduction.
+///
+/// On a pristine fabric the first attempt succeeds and this is exactly
+/// [`compile_with`].
+///
+/// # Errors
+///
+/// Same as [`compile_with`]; [`CompileError::InsufficientFabric`] is only
+/// returned once parallelization reduction is exhausted.
+pub fn compile_degraded(
+    p: &Program,
+    params: &plasticine_arch::PlasticineParams,
+    opts: &CompileOptions,
+) -> Result<(CompileOutput, Program, Vec<String>), CompileError> {
+    let mut cur = p.clone();
+    let mut notes = Vec::new();
+    loop {
+        match compile_with(&cur, params, opts) {
+            Ok(out) => return Ok((out, cur, notes)),
+            Err(e @ CompileError::InsufficientFabric { .. }) => match cur.with_reduced_par() {
+                Some((reduced, desc)) => {
+                    notes.push(format!("{desc} ({e})"));
+                    cur = reduced;
+                }
+                None => return Err(e),
+            },
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// [`compile`] with explicit options.
@@ -90,7 +130,7 @@ pub fn compile_with(
         .collect::<Result<_, _>>()?;
 
     let topo = Topology::new(params);
-    let placement = place(p, &an, &v, &chunks, params, &topo)?;
+    let placement = place(p, &an, &v, &chunks, params, &topo, &opts.faults)?;
 
     // ---- Units ----
     let np = v.pcus.len();
@@ -165,7 +205,7 @@ pub fn compile_with(
     };
 
     // ---- Links ----
-    let mut router = Router::new(&topo, opts.route_limits);
+    let mut router = Router::degraded(&topo, opts.route_limits, &opts.faults);
     let mut links: Vec<LinkCfg> = Vec::new();
     let add_link = |router: &mut Router,
                     links: &mut Vec<LinkCfg>,

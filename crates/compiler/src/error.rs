@@ -25,6 +25,20 @@ pub enum CompileError {
         /// Network class that ran out of tracks.
         class: &'static str,
     },
+    /// The surviving (fault-degraded) fabric genuinely lacks the capacity
+    /// the design needs. Distinguished from [`CompileError::OutOfResources`]
+    /// so callers can tell "the program is too big for the chip" from "the
+    /// chip has degraded below what this program needs".
+    InsufficientFabric {
+        /// Resource kind ("PCU", "PMU", "link", "DRAM channel").
+        kind: &'static str,
+        /// Units required.
+        need: usize,
+        /// Surviving units available.
+        have: usize,
+        /// Units removed by the fault map.
+        faulted: usize,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -37,6 +51,18 @@ impl fmt::Display for CompileError {
             }
             CompileError::Unroutable { class } => {
                 write!(f, "unroutable: {class} network out of tracks")
+            }
+            CompileError::InsufficientFabric {
+                kind,
+                need,
+                have,
+                faulted,
+            } => {
+                write!(
+                    f,
+                    "insufficient fabric: need {need} {kind}(s), only {have} survive \
+                     ({faulted} removed by faults)"
+                )
             }
         }
     }

@@ -36,7 +36,7 @@ mod route;
 pub mod vunit;
 
 pub use analysis::{Access, Analysis};
-pub use emit::{compile, compile_with, CompileOptions, CompileOutput};
+pub use emit::{compile, compile_degraded, compile_with, CompileOptions, CompileOutput};
 pub use error::CompileError;
 pub use partition::{partition, pcus_required, ChunkStats, PartitionError};
 pub use place::{place, pmus_per_copy, Placement};

@@ -6,12 +6,19 @@
 //! the router. This approximates the paper's hierarchical binding (§3.6):
 //! "datapath and control path placement and routing" over fewer than 1000
 //! nodes per level, where greedy heuristics suffice.
+//!
+//! Placement is fault-aware: sites listed in the [`FaultMap`] are excluded
+//! from the free pools, and PMUs with disabled banks contribute only their
+//! surviving capacity, so a degraded chip simply looks like a smaller one.
+//! When the survivors genuinely cannot host the design, placement returns
+//! [`CompileError::InsufficientFabric`] instead of the fault-free
+//! [`CompileError::OutOfResources`].
 
 use crate::analysis::Analysis;
 use crate::error::CompileError;
 use crate::partition::ChunkStats;
 use crate::vunit::VirtualDesign;
-use plasticine_arch::{AgId, PlasticineParams, SiteId, SiteKind, Topology};
+use plasticine_arch::{AgId, FaultMap, PlasticineParams, SiteId, SiteKind, Topology};
 use plasticine_ppir::{BankingMode, CtrlId, Program, SramId};
 use std::collections::HashMap;
 
@@ -21,9 +28,12 @@ pub struct Placement {
     /// Per virtual PCU: `copies × chunks` physical PCU sites, copy-major
     /// (copy 0's chain first).
     pub pcu_sites: Vec<Vec<SiteId>>,
-    /// Per virtual PMU: `copies × pmus_per_copy` physical PMU sites.
+    /// Per virtual PMU: physical PMU sites, copy-major. On a pristine chip
+    /// every copy takes `pmus_per_copy` sites; on a chip with disabled
+    /// banks a copy may need extra sites to reach its capacity.
     pub pmu_sites: Vec<Vec<SiteId>>,
-    /// Physical PMUs one copy of each virtual PMU occupies.
+    /// Physical PMUs one copy of each virtual PMU occupies on a pristine
+    /// chip (nominal; bank faults can raise the realized count).
     pub pmus_per_copy: Vec<usize>,
     /// Per virtual AG: one physical AG per copy.
     pub ag_ids: Vec<Vec<AgId>>,
@@ -54,10 +64,28 @@ struct FreeSites {
 }
 
 impl FreeSites {
-    fn new(topo: &Topology, kind: SiteKind) -> FreeSites {
+    fn new(topo: &Topology, kind: SiteKind, faults: &FaultMap) -> FreeSites {
+        let dead = match kind {
+            SiteKind::Pcu => &faults.dead_pcus,
+            SiteKind::Pmu => &faults.dead_pmus,
+        };
         FreeSites {
-            free: topo.sites_of(kind),
+            free: topo
+                .sites_of(kind)
+                .into_iter()
+                .filter(|s| !dead.contains(s))
+                .collect(),
         }
+    }
+
+    fn sort_near(&mut self, topo: &Topology, cx: f64, cy: f64) {
+        self.free.sort_by(|a, b| {
+            let sa = topo.site(*a);
+            let sb = topo.site(*b);
+            let da = (sa.x as f64 - cx).abs() + (sa.y as f64 - cy).abs();
+            let db = (sb.x as f64 - cx).abs() + (sb.y as f64 - cy).abs();
+            da.total_cmp(&db).then(a.cmp(b))
+        });
     }
 
     /// Takes the `n` free sites nearest `(cx, cy)`.
@@ -65,14 +93,32 @@ impl FreeSites {
         if self.free.len() < n {
             return None;
         }
-        self.free.sort_by(|a, b| {
-            let sa = topo.site(*a);
-            let sb = topo.site(*b);
-            let da = (sa.x as f64 - cx).abs() + (sa.y as f64 - cy).abs();
-            let db = (sb.x as f64 - cx).abs() + (sb.y as f64 - cy).abs();
-            da.partial_cmp(&db).unwrap().then(a.cmp(b))
-        });
+        self.sort_near(topo, cx, cy);
         Some(self.free.drain(..n).collect())
+    }
+
+    /// Takes the fewest nearest sites whose summed capacity (per `cap_of`)
+    /// covers `need_words`; always at least one site. Returns `None` when
+    /// the whole pool cannot cover the need.
+    fn take_words(
+        &mut self,
+        topo: &Topology,
+        need_words: usize,
+        cx: f64,
+        cy: f64,
+        cap_of: impl Fn(SiteId) -> usize,
+    ) -> Option<Vec<SiteId>> {
+        self.sort_near(topo, cx, cy);
+        let mut acc = 0usize;
+        let mut n = 0usize;
+        for &s in &self.free {
+            acc += cap_of(s);
+            n += 1;
+            if acc >= need_words && n >= 1 {
+                return Some(self.free.drain(..n).collect());
+            }
+        }
+        None
     }
 }
 
@@ -89,12 +135,29 @@ fn centroid(topo: &Topology, sites: &[SiteId]) -> Option<(f64, f64)> {
     Some((x / sites.len() as f64, y / sites.len() as f64))
 }
 
+/// `InsufficientFabric` when the fault map removed capacity of this kind,
+/// plain `OutOfResources` otherwise (the program is simply too big).
+fn fabric_err(kind: &'static str, need: usize, have: usize, faulted: usize) -> CompileError {
+    if faulted > 0 {
+        CompileError::InsufficientFabric {
+            kind,
+            need,
+            have,
+            faulted,
+        }
+    } else {
+        CompileError::OutOfResources { kind, need, have }
+    }
+}
+
 /// Runs placement.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError::OutOfResources`] if the design needs more PCUs,
-/// PMUs, or AGs than the chip provides.
+/// PMUs, or AGs than the chip provides, or
+/// [`CompileError::InsufficientFabric`] when it would have fit but fault-map
+/// degradation removed the capacity.
 pub fn place(
     p: &Program,
     an: &Analysis,
@@ -102,10 +165,33 @@ pub fn place(
     chunks: &[Vec<ChunkStats>],
     params: &PlasticineParams,
     topo: &Topology,
+    faults: &FaultMap,
 ) -> Result<Placement, CompileError> {
-    let mut pcus = FreeSites::new(topo, SiteKind::Pcu);
-    let mut pmus = FreeSites::new(topo, SiteKind::Pmu);
+    let mut pcus = FreeSites::new(topo, SiteKind::Pcu, faults);
+    let mut pmus = FreeSites::new(topo, SiteKind::Pmu, faults);
     let mut free_ags: Vec<AgId> = (0..params.ags as u32).map(AgId).collect();
+
+    let bank_words = params.pmu.bank_kb * 1024 / 4;
+    let live_banks = |s: SiteId| -> usize {
+        params
+            .pmu
+            .banks
+            .saturating_sub(faults.dead_banks.get(&s).copied().unwrap_or(0))
+    };
+    // Surviving scratchpad words a site offers under a banking mode.
+    let site_cap = |s: SiteId, banking: BankingMode| -> usize {
+        match banking {
+            BankingMode::Duplication => {
+                if live_banks(s) >= 1 {
+                    bank_words
+                } else {
+                    0
+                }
+            }
+            _ => live_banks(s) * bank_words,
+        }
+    };
+    let pmu_faulted = faults.dead_pmus.len() + faults.dead_banks.values().sum::<usize>();
 
     // Totals check up front for a clear error message.
     let need_pcus: usize = v
@@ -115,11 +201,12 @@ pub fn place(
         .map(|(u, c)| u.copies * c.len())
         .sum();
     if need_pcus > pcus.free.len() {
-        return Err(CompileError::OutOfResources {
-            kind: "PCU",
-            need: need_pcus,
-            have: pcus.free.len(),
-        });
+        return Err(fabric_err(
+            "PCU",
+            need_pcus,
+            pcus.free.len(),
+            faults.dead_pcus.len(),
+        ));
     }
     let per_copy: Vec<usize> = v
         .pmus
@@ -133,11 +220,7 @@ pub fn place(
         .map(|(m, pc)| m.copies * pc)
         .sum();
     if need_pmus > pmus.free.len() {
-        return Err(CompileError::OutOfResources {
-            kind: "PMU",
-            need: need_pmus,
-            have: pmus.free.len(),
-        });
+        return Err(fabric_err("PMU", need_pmus, pmus.free.len(), pmu_faulted));
     }
     let need_ags: usize = v.ags.iter().map(|a| a.copies).sum();
     if need_ags > free_ags.len() {
@@ -212,11 +295,11 @@ pub fn place(
             let (cx, cy) = centroid(topo, &partner_sites).unwrap_or(center);
             pcu_sites[ui] = pcus
                 .take_near(topo, n, cx, cy)
-                .expect("checked total above");
+                .ok_or_else(|| fabric_err("PCU", n, pcus.free.len(), faults.dead_pcus.len()))?;
         }
         for mi in sram_idxs {
             let m = &v.pmus[mi];
-            let n = m.copies * per_copy[mi];
+            let need_words = (m.words * m.nbuf).max(1);
             let mut partner_sites: Vec<SiteId> = Vec::new();
             for (c, _) in an.sram_access.get(&m.sram).into_iter().flatten() {
                 if let Some(&ui) = pcu_of_ctrl.get(c) {
@@ -224,9 +307,17 @@ pub fn place(
                 }
             }
             let (cx, cy) = centroid(topo, &partner_sites).unwrap_or(center);
-            pmu_sites[mi] = pmus
-                .take_near(topo, n, cx, cy)
-                .expect("checked total above");
+            // Each copy takes the nearest sites whose surviving capacity
+            // covers the memory. On a pristine chip this is exactly
+            // `per_copy[mi]` full-capacity sites.
+            for _ in 0..m.copies {
+                let taken = pmus
+                    .take_words(topo, need_words, cx, cy, |s| site_cap(s, m.banking))
+                    .ok_or_else(|| {
+                        fabric_err("PMU", m.copies * per_copy[mi], pmus.free.len(), pmu_faulted)
+                    })?;
+                pmu_sites[mi].extend(taken);
+            }
         }
     }
 
@@ -245,7 +336,7 @@ pub fn place(
             let dy = topo.switch_xy(topo.ag_switch(*y));
             let da = (dx.0 as f64 - cx).abs() + (dx.1 as f64 - cy).abs();
             let db = (dy.0 as f64 - cx).abs() + (dy.1 as f64 - cy).abs();
-            da.partial_cmp(&db).unwrap().then(x.cmp(y))
+            da.total_cmp(&db).then(x.cmp(y))
         });
         ag_ids[ai] = free_ags.drain(..a.copies).collect();
     }
@@ -293,5 +384,39 @@ mod tests {
         assert_eq!(pmus_per_copy(4097, 1, BankingMode::Duplication, &p), 2);
         // Tiny memories still take one PMU.
         assert_eq!(pmus_per_copy(1, 1, BankingMode::Strided, &p), 1);
+    }
+
+    #[test]
+    fn dead_sites_are_excluded_from_free_pools() {
+        let params = PlasticineParams::paper_final();
+        let topo = plasticine_arch::Topology::new(&params);
+        let mut faults = FaultMap::default();
+        let pcu0 = topo.sites_of(SiteKind::Pcu)[0];
+        faults.dead_pcus.insert(pcu0);
+        let free = FreeSites::new(&topo, SiteKind::Pcu, &faults);
+        assert_eq!(free.free.len(), 63);
+        assert!(!free.free.contains(&pcu0));
+    }
+
+    #[test]
+    fn take_words_spans_extra_sites_when_banks_die() {
+        let params = PlasticineParams::paper_final();
+        let topo = plasticine_arch::Topology::new(&params);
+        let full_cap = params.pmu.capacity_words();
+        // Fault-free: one full-capacity memory takes one site.
+        let mut free = FreeSites::new(&topo, SiteKind::Pmu, &FaultMap::default());
+        let taken = free
+            .take_words(&topo, full_cap, 0.0, 0.0, |_| full_cap)
+            .unwrap();
+        assert_eq!(taken.len(), 1);
+        // Half the banks dead everywhere: the same memory needs two sites.
+        let mut free = FreeSites::new(&topo, SiteKind::Pmu, &FaultMap::default());
+        let taken = free
+            .take_words(&topo, full_cap, 0.0, 0.0, |_| full_cap / 2)
+            .unwrap();
+        assert_eq!(taken.len(), 2);
+        // Nothing survives: allocation fails.
+        let mut free = FreeSites::new(&topo, SiteKind::Pmu, &FaultMap::default());
+        assert!(free.take_words(&topo, full_cap, 0.0, 0.0, |_| 0).is_none());
     }
 }

@@ -7,8 +7,8 @@
 //! simulator.
 
 use crate::error::CompileError;
-use plasticine_arch::{NetClass, SwitchId, Topology};
-use std::collections::{HashMap, VecDeque};
+use plasticine_arch::{FaultMap, NetClass, SwitchId, Topology};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Track budget per mesh edge, per direction, per network class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,16 +40,30 @@ pub struct Router<'t> {
     topo: &'t Topology,
     limits: RouteLimits,
     usage: HashMap<(SwitchId, SwitchId, NetClass), usize>,
+    /// Hard-faulted mesh links (undirected, canonical lower-id-first order);
+    /// never traversed in either direction.
+    dead_links: BTreeSet<(SwitchId, SwitchId)>,
 }
 
 impl<'t> Router<'t> {
-    /// Creates a router over a topology.
+    /// Creates a router over a pristine topology.
     pub fn new(topo: &'t Topology, limits: RouteLimits) -> Router<'t> {
+        Router::degraded(topo, limits, &FaultMap::default())
+    }
+
+    /// Creates a router that refuses to use the fault map's dead links.
+    pub fn degraded(topo: &'t Topology, limits: RouteLimits, faults: &FaultMap) -> Router<'t> {
         Router {
             topo,
             limits,
             usage: HashMap::new(),
+            dead_links: faults.dead_links.clone(),
         }
+    }
+
+    fn edge_dead(&self, a: SwitchId, b: SwitchId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.dead_links.contains(&key)
     }
 
     fn budget(&self, class: NetClass) -> usize {
@@ -88,7 +102,7 @@ impl<'t> Router<'t> {
                 break;
             }
             for nb in self.topo.switch_neighbors(cur) {
-                if prev.contains_key(&nb) {
+                if prev.contains_key(&nb) || self.edge_dead(cur, nb) {
                     continue;
                 }
                 let used = self.usage.get(&(cur, nb, class)).copied().unwrap_or(0);
@@ -100,6 +114,16 @@ impl<'t> Router<'t> {
             }
         }
         if !prev.contains_key(&to) {
+            // With dead links in play the failure is a fabric-degradation
+            // problem, not a track-budget problem.
+            if !self.dead_links.is_empty() {
+                return Err(CompileError::InsufficientFabric {
+                    kind: "link",
+                    need: 1,
+                    have: 0,
+                    faulted: self.dead_links.len(),
+                });
+            }
             return Err(CompileError::Unroutable {
                 class: match class {
                     NetClass::Vector => "vector",
@@ -214,6 +238,32 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(s.len(), 2);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn dead_links_force_detours_and_report_insufficient_fabric() {
+        let t = topo();
+        let a = t.switch_at(0, 0);
+        let b = t.switch_at(1, 0);
+        let c = t.switch_at(0, 1);
+        let mut faults = FaultMap::default();
+        faults
+            .dead_links
+            .insert(if a <= b { (a, b) } else { (b, a) });
+        let mut r = Router::degraded(&t, RouteLimits::default(), &faults);
+        // The direct edge is dead; the route must detour around it.
+        let p = r.route(a, b, NetClass::Vector).unwrap();
+        assert!(p.len() > 2, "expected a detour, got {p:?}");
+        // Cutting the corner off entirely strands `a`.
+        faults
+            .dead_links
+            .insert(if a <= c { (a, c) } else { (c, a) });
+        let mut r = Router::degraded(&t, RouteLimits::default(), &faults);
+        let err = r.route(a, b, NetClass::Vector).unwrap_err();
+        assert!(
+            matches!(err, CompileError::InsufficientFabric { kind: "link", .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub struct DramSystem {
     cfg: DramConfig,
     channels: Vec<Channel>,
     now: u64,
+    /// Nominal channel index → serving channel index. Identity when no
+    /// channel is offline; offline channels spill onto survivors.
+    remap: Option<Vec<usize>>,
 }
 
 /// Error returned when a channel queue is full.
@@ -107,6 +110,43 @@ impl DramSystem {
             cfg,
             channels,
             now: 0,
+            remap: None,
+        }
+    }
+
+    /// Takes the listed channels offline; their traffic spills onto the
+    /// surviving channels (round-robin by nominal index). Returns false —
+    /// and changes nothing — when the fault map would disable every channel.
+    pub fn set_offline(&mut self, offline: &[usize]) -> bool {
+        let live: Vec<usize> = (0..self.channels.len())
+            .filter(|c| !offline.contains(c))
+            .collect();
+        if live.is_empty() {
+            return false;
+        }
+        if live.len() == self.channels.len() {
+            self.remap = None;
+            return true;
+        }
+        self.remap = Some(
+            (0..self.channels.len())
+                .map(|c| {
+                    if offline.contains(&c) {
+                        live[c % live.len()]
+                    } else {
+                        c
+                    }
+                })
+                .collect(),
+        );
+        true
+    }
+
+    /// Resolves a nominal channel index to the channel actually serving it.
+    fn chan(&self, nominal: usize) -> usize {
+        match &self.remap {
+            Some(m) => m[nominal],
+            None => nominal,
         }
     }
 
@@ -122,7 +162,7 @@ impl DramSystem {
 
     /// Whether the channel owning `addr` can accept another request.
     pub fn can_accept(&self, addr: u64) -> bool {
-        self.channels[self.cfg.map(addr).channel].has_capacity()
+        self.channels[self.chan(self.cfg.map(addr).channel)].has_capacity()
     }
 
     /// Enqueues a line request.
@@ -133,7 +173,8 @@ impl DramSystem {
     /// caller should retry on a later cycle (this models AG backpressure).
     pub fn push(&mut self, req: MemRequest) -> Result<(), QueueFull> {
         let loc = self.cfg.map(req.addr);
-        if self.channels[loc.channel].push(req, loc, self.now) {
+        let ch = self.chan(loc.channel);
+        if self.channels[ch].push(req, loc, self.now) {
             Ok(())
         } else {
             Err(QueueFull)
@@ -296,6 +337,37 @@ mod tests {
         assert!(mem.idle());
         let s = mem.stats();
         assert_eq!(s.reads + s.writes, n);
+    }
+
+    #[test]
+    fn offline_channels_spill_onto_survivors() {
+        let mut mem = DramSystem::new(no_refresh());
+        let n_ch = mem.config().channels;
+        assert!(n_ch > 1);
+        // Everything offline is rejected and leaves the system untouched.
+        let all: Vec<usize> = (0..n_ch).collect();
+        assert!(!mem.set_offline(&all));
+        // Channel 0 offline: its traffic completes on survivors.
+        assert!(mem.set_offline(&[0]));
+        for i in 0..64u64 {
+            mem.push(MemRequest {
+                id: i,
+                addr: i * 64,
+                is_write: false,
+            })
+            .unwrap();
+        }
+        let mut done = 0;
+        for _ in 0..100_000 {
+            done += mem.tick().len();
+            if done == 64 {
+                break;
+            }
+        }
+        assert_eq!(done, 64);
+        // The offline channel itself never serviced anything.
+        assert_eq!(mem.channels[0].stats.reads, 0);
+        assert_eq!(mem.stats().reads, 64);
     }
 
     #[test]

@@ -153,6 +153,7 @@ mod tests {
             dram: plasticine_dram::DramStats::default(),
             coalesce: plasticine_dram::CoalesceStats::default(),
             units: plasticine_sim::UnitStats::default(),
+            faults: plasticine_sim::FaultStats::default(),
         }
     }
 

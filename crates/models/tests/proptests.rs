@@ -49,6 +49,7 @@ fn result(a: Activity, cycles: u64) -> SimResult {
         dram: plasticine_dram::DramStats::default(),
         coalesce: plasticine_dram::CoalesceStats::default(),
         units: plasticine_sim::UnitStats::default(),
+        faults: plasticine_sim::FaultStats::default(),
     }
 }
 

@@ -217,6 +217,28 @@ impl Program {
         &self.ctrls[id.0 as usize]
     }
 
+    /// Returns a copy of the program with its largest parallelization
+    /// factor halved, plus a description of the change — or `None` when
+    /// every counter is already serial. Parallelization is a performance
+    /// hint, so the reduced program computes the same results on fewer
+    /// units; degraded-fabric recompilation calls this repeatedly until
+    /// the program fits the surviving fabric.
+    pub fn with_reduced_par(&self) -> Option<(Program, String)> {
+        let mut best: Option<(usize, usize, usize)> = None; // (ctrl, counter, par)
+        for (ci, c) in self.ctrls.iter().enumerate() {
+            for (ki, k) in c.cchain.iter().enumerate() {
+                if k.par > 1 && best.is_none_or(|(_, _, p)| k.par > p) {
+                    best = Some((ci, ki, k.par));
+                }
+            }
+        }
+        let (ci, ki, par) = best?;
+        let mut p = self.clone();
+        p.ctrls[ci].cchain[ki].par = par / 2;
+        let desc = format!("{}: par {} -> {}", p.ctrls[ci].name, par, par / 2);
+        Some((p, desc))
+    }
+
     /// Iterates the controller tree depth-first (parents before children),
     /// calling `f` with (id, depth).
     pub fn walk(&self, mut f: impl FnMut(CtrlId, usize)) {

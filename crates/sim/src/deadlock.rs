@@ -1,0 +1,380 @@
+//! Deadlock diagnosis: when the schedule stops making progress, walk the
+//! live schedule tree, record what every blocked unit holds and awaits, and
+//! search the wait-for graph for a cycle.
+//!
+//! The §3.5 control protocol can deadlock when tokens and credits form a
+//! loop: a producer cannot start its next iteration because a consumer is
+//! out of credits, while the consumer cannot finish because it is missing
+//! the producer's token. The report names that loop explicitly instead of
+//! printing a bare "deadlocked at cycle N".
+
+use crate::trace::SimTrace;
+use plasticine_ppir::CtrlId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a blocked unit is waiting for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaitCause {
+    /// Missing a producer token: `producer` has not finished iteration
+    /// `iter` yet (its completed-iteration watermark is `produced`).
+    Token {
+        /// The producing sibling controller.
+        producer: CtrlId,
+        /// The producer's name (filled in by [`DeadlockReport::finalize`]).
+        producer_name: String,
+        /// Iteration the waiter wants to start.
+        iter: usize,
+        /// Iterations the producer has completed so far.
+        produced: usize,
+    },
+    /// Out of credits: starting iteration `iter` would run more than
+    /// `depth` iterations ahead of `consumer` (whose watermark is
+    /// `consumed`).
+    Credit {
+        /// The consuming sibling controller.
+        consumer: CtrlId,
+        /// The consumer's name (filled in by [`DeadlockReport::finalize`]).
+        consumer_name: String,
+        /// Iteration the waiter wants to start.
+        iter: usize,
+        /// Iterations the consumer has completed so far.
+        consumed: usize,
+        /// Buffer depth between the pair (credits available at start).
+        depth: usize,
+    },
+    /// Waiting for an invocation slot on its own hardware.
+    Slot {
+        /// Slots currently held by earlier invocations.
+        in_use: usize,
+        /// Total slots the hardware provides.
+        cap: usize,
+    },
+    /// Waiting on outstanding DRAM responses.
+    Dram {
+        /// Responses still in flight.
+        outstanding: u64,
+    },
+    /// Waiting on scratchpad ports.
+    Ports,
+}
+
+impl fmt::Display for WaitCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitCause::Token {
+                producer_name,
+                iter,
+                produced,
+                ..
+            } => write!(
+                f,
+                "token for iter {iter} from {producer_name} (producer at {produced})"
+            ),
+            WaitCause::Credit {
+                consumer_name,
+                iter,
+                consumed,
+                depth,
+                ..
+            } => write!(
+                f,
+                "credit for iter {iter} from {consumer_name} (depth {depth}, consumer at {consumed})"
+            ),
+            WaitCause::Slot { in_use, cap } => {
+                write!(f, "an invocation slot ({in_use}/{cap} in use)")
+            }
+            WaitCause::Dram { outstanding } => {
+                write!(f, "{outstanding} outstanding DRAM response(s)")
+            }
+            WaitCause::Ports => write!(f, "scratchpad ports"),
+        }
+    }
+}
+
+/// What a blocked unit currently holds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeldResource {
+    /// An invocation slot on its hardware.
+    Slot,
+    /// Tokens already produced (completed iterations visible to consumers).
+    Tokens {
+        /// Iterations completed.
+        produced: usize,
+    },
+    /// In-flight DRAM requests.
+    DramRequests(u64),
+}
+
+impl fmt::Display for HeldResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeldResource::Slot => write!(f, "an invocation slot"),
+            HeldResource::Tokens { produced } => write!(f, "{produced} produced token(s)"),
+            HeldResource::DramRequests(n) => write!(f, "{n} in-flight DRAM request(s)"),
+        }
+    }
+}
+
+/// One blocked unit in a deadlock report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedUnit {
+    /// The blocked controller.
+    pub ctrl: CtrlId,
+    /// Its name (filled in by [`DeadlockReport::finalize`]).
+    pub name: String,
+    /// Everything it is waiting for.
+    pub waits: Vec<WaitCause>,
+    /// Everything it holds while waiting.
+    pub holds: Vec<HeldResource>,
+}
+
+/// The full diagnosis attached to [`SimError::Deadlock`](crate::SimError).
+#[derive(Debug, Clone, Default)]
+pub struct DeadlockReport {
+    /// Cycle at which the simulation gave up.
+    pub cycle: u64,
+    /// Every unit found blocked, with held and awaited resources.
+    pub blocked: Vec<BlockedUnit>,
+    /// Controller names forming a wait-for cycle (first name repeated at
+    /// the end), empty when no cycle exists — e.g. the cycle budget was
+    /// simply exhausted by a slow schedule.
+    pub cycle_chain: Vec<String>,
+    /// The structured event trace up to the deadlock, when the run was
+    /// traced; instant markers for each blocked unit are appended so the
+    /// deadlock is visible in the Chrome trace.
+    pub trace: Option<SimTrace>,
+}
+
+impl DeadlockReport {
+    /// Resolves controller names and computes the wait-for cycle. Called
+    /// once by the simulator with the program's name table.
+    pub fn finalize(&mut self, name_of: impl Fn(CtrlId) -> String) {
+        for b in &mut self.blocked {
+            b.name = name_of(b.ctrl);
+            for w in &mut b.waits {
+                match w {
+                    WaitCause::Token {
+                        producer,
+                        producer_name,
+                        ..
+                    } => *producer_name = name_of(*producer),
+                    WaitCause::Credit {
+                        consumer,
+                        consumer_name,
+                        ..
+                    } => *consumer_name = name_of(*consumer),
+                    _ => {}
+                }
+            }
+        }
+        self.cycle_chain = find_cycle(&self.blocked).into_iter().map(name_of).collect();
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simulation deadlocked at cycle {}: {} unit(s) blocked",
+            self.cycle,
+            self.blocked.len()
+        )?;
+        if self.cycle_chain.is_empty() {
+            writeln!(
+                f,
+                "  no wait-for cycle found (cycle budget exhausted; the schedule may just be slow)"
+            )?;
+        } else {
+            writeln!(f, "  wait-for cycle: {}", self.cycle_chain.join(" -> "))?;
+        }
+        for b in &self.blocked {
+            let holds = if b.holds.is_empty() {
+                "nothing".to_string()
+            } else {
+                b.holds
+                    .iter()
+                    .map(|h| h.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let waits = b
+                .waits
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            writeln!(
+                f,
+                "  - {} (ctrl {}): holds {holds}; awaits {waits}",
+                b.name, b.ctrl.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Finds a cycle in the wait-for graph (edges: waiter → blocker via tokens
+/// and credits). Returns the controllers on the cycle with the first
+/// repeated at the end, or empty when the graph is acyclic.
+pub fn find_cycle(blocked: &[BlockedUnit]) -> Vec<CtrlId> {
+    let mut adj: HashMap<CtrlId, Vec<CtrlId>> = HashMap::new();
+    for b in blocked {
+        for w in &b.waits {
+            match w {
+                WaitCause::Token { producer, .. } => {
+                    adj.entry(b.ctrl).or_default().push(*producer);
+                }
+                WaitCause::Credit { consumer, .. } => {
+                    adj.entry(b.ctrl).or_default().push(*consumer);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut state: HashMap<CtrlId, u8> = HashMap::new();
+    let mut roots: Vec<CtrlId> = adj.keys().copied().collect();
+    roots.sort();
+    let mut path = Vec::new();
+    for r in roots {
+        if state.get(&r).copied().unwrap_or(0) == 0 {
+            if let Some(c) = dfs(r, &adj, &mut state, &mut path) {
+                return c;
+            }
+        }
+    }
+    Vec::new()
+}
+
+fn dfs(
+    n: CtrlId,
+    adj: &HashMap<CtrlId, Vec<CtrlId>>,
+    state: &mut HashMap<CtrlId, u8>,
+    path: &mut Vec<CtrlId>,
+) -> Option<Vec<CtrlId>> {
+    state.insert(n, 1);
+    path.push(n);
+    for &m in adj.get(&n).into_iter().flatten() {
+        match state.get(&m).copied().unwrap_or(0) {
+            0 => {
+                if let Some(c) = dfs(m, adj, state, path) {
+                    return Some(c);
+                }
+            }
+            1 => {
+                let pos = path
+                    .iter()
+                    .position(|&x| x == m)
+                    .expect("on-stack node is on the path");
+                let mut c = path[pos..].to_vec();
+                c.push(m);
+                return Some(c);
+            }
+            _ => {}
+        }
+    }
+    path.pop();
+    state.insert(n, 2);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(ctrl: u32, waits: Vec<WaitCause>) -> BlockedUnit {
+        BlockedUnit {
+            ctrl: CtrlId(ctrl),
+            name: String::new(),
+            waits,
+            holds: vec![],
+        }
+    }
+
+    #[test]
+    fn two_unit_token_credit_loop_is_found() {
+        let blocked = vec![
+            unit(
+                1,
+                vec![WaitCause::Credit {
+                    consumer: CtrlId(2),
+                    consumer_name: String::new(),
+                    iter: 3,
+                    consumed: 2,
+                    depth: 1,
+                }],
+            ),
+            unit(
+                2,
+                vec![WaitCause::Token {
+                    producer: CtrlId(1),
+                    producer_name: String::new(),
+                    iter: 2,
+                    produced: 2,
+                }],
+            ),
+        ];
+        let c = find_cycle(&blocked);
+        assert_eq!(c.first(), c.last());
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(&CtrlId(1)) && c.contains(&CtrlId(2)));
+    }
+
+    #[test]
+    fn acyclic_waits_have_no_cycle() {
+        let blocked = vec![unit(
+            1,
+            vec![WaitCause::Token {
+                producer: CtrlId(2),
+                producer_name: String::new(),
+                iter: 0,
+                produced: 0,
+            }],
+        )];
+        assert!(find_cycle(&blocked).is_empty());
+    }
+
+    #[test]
+    fn report_display_names_units_and_resources() {
+        let mut report = DeadlockReport {
+            cycle: 1234,
+            blocked: vec![
+                BlockedUnit {
+                    ctrl: CtrlId(1),
+                    name: String::new(),
+                    waits: vec![WaitCause::Credit {
+                        consumer: CtrlId(2),
+                        consumer_name: String::new(),
+                        iter: 3,
+                        consumed: 2,
+                        depth: 1,
+                    }],
+                    holds: vec![HeldResource::Slot, HeldResource::Tokens { produced: 3 }],
+                },
+                BlockedUnit {
+                    ctrl: CtrlId(2),
+                    name: String::new(),
+                    waits: vec![WaitCause::Token {
+                        producer: CtrlId(1),
+                        producer_name: String::new(),
+                        iter: 2,
+                        produced: 2,
+                    }],
+                    holds: vec![HeldResource::DramRequests(4)],
+                },
+            ],
+            cycle_chain: vec![],
+            trace: None,
+        };
+        report.finalize(|c| format!("ctrl{}", c.0));
+        let s = report.to_string();
+        assert!(s.contains("deadlocked at cycle 1234"), "{s}");
+        assert!(s.contains("wait-for cycle:"), "{s}");
+        assert!(s.contains("ctrl1"), "{s}");
+        assert!(s.contains("ctrl2"), "{s}");
+        assert!(s.contains("an invocation slot"), "{s}");
+        assert!(s.contains("credit for iter 3 from ctrl2"), "{s}");
+        assert!(s.contains("token for iter 2 from ctrl1"), "{s}");
+        assert!(s.contains("4 in-flight DRAM request(s)"), "{s}");
+    }
+}

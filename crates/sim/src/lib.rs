@@ -36,19 +36,21 @@
 
 #![warn(missing_docs)]
 
+mod deadlock;
 mod model;
 mod resources;
 mod sched;
 mod trace;
 
+pub use deadlock::{BlockedUnit, DeadlockReport, HeldResource, WaitCause};
 pub use model::{ComputeModel, OuterModel, SimModel, TransferModel};
-pub use resources::{Activity, Resources, SimError};
+pub use resources::{Activity, FaultStats, Resources, SimError};
 pub use sched::Node;
 pub use trace::{
     SimTrace, TraceEvent, TrackedUnit, UnitCycles, UnitKind, UnitStat, UnitStats, WaitKind,
 };
 
-use plasticine_arch::MachineConfig;
+use plasticine_arch::{FaultMap, MachineConfig};
 use plasticine_compiler::CompileOutput;
 use plasticine_dram::{CoalesceStats, DramConfig, DramStats};
 use plasticine_json::Json;
@@ -65,6 +67,19 @@ pub struct SimOptions {
     /// Disabling issues one DRAM burst per element — the ablation of the
     /// coalescing-cache design decision.
     pub coalescing: bool,
+    /// Fault map to run under. The hard faults must match the map the
+    /// program was compiled against; the transient rates drive injection
+    /// and the offline channels remap DRAM traffic. The default (pristine)
+    /// map leaves every run bit-identical to the fault-free baseline.
+    pub faults: FaultMap,
+    /// Cycles without global progress (no grant, push, or completion
+    /// anywhere) before the run is declared deadlocked and diagnosed. Must
+    /// comfortably exceed the largest DRAM-retry backoff.
+    pub stall_limit: u64,
+    /// Testing hook: clamp every producer→consumer buffer depth to this
+    /// many credits. `Some(0)` starves every pipelined dependence — the
+    /// canonical under-credited deadlock.
+    pub credit_cap: Option<usize>,
 }
 
 impl Default for SimOptions {
@@ -73,6 +88,9 @@ impl Default for SimOptions {
             dram: DramConfig::default(),
             max_cycles: 500_000_000,
             coalescing: true,
+            faults: FaultMap::default(),
+            stall_limit: 100_000,
+            credit_cap: None,
         }
     }
 }
@@ -91,6 +109,9 @@ pub struct SimResult {
     /// Per-unit cycle breakdown: every cycle of every PCU/PMU/AG classified
     /// as busy, control stall, memory stall, or idle.
     pub units: UnitStats,
+    /// Transient-fault detection and recovery counters (all zero on a
+    /// fault-free run).
+    pub faults: FaultStats,
 }
 
 impl SimResult {
@@ -187,6 +208,21 @@ impl SimResult {
                     ("merged", Json::from(c.merged)),
                 ]),
             ),
+            (
+                "faults",
+                Json::obj([
+                    ("ecc_corrected", Json::from(self.faults.ecc_corrected)),
+                    ("parity_replays", Json::from(self.faults.parity_replays)),
+                    ("lane_replays", Json::from(self.faults.lane_replays)),
+                    ("recovery_cycles", Json::from(self.faults.recovery_cycles)),
+                    ("dram_dropped", Json::from(self.faults.dram_dropped)),
+                    ("dram_retries", Json::from(self.faults.dram_retries)),
+                    (
+                        "dram_retry_wait_cycles",
+                        Json::from(self.faults.dram_retry_wait_cycles),
+                    ),
+                ]),
+            ),
             ("units", self.units.to_json()),
         ])
     }
@@ -236,26 +272,76 @@ fn run_sim(
     machine.run_traced(&mut rec)?;
     let trace = rec.into_trace();
 
-    let model = SimModel::build(p, out);
+    let mut model = SimModel::build(p, out);
+    if let Some(cap) = opts.credit_cap {
+        for om in model.outer.values_mut() {
+            for d in &mut om.deps {
+                d.2 = d.2.min(cap);
+            }
+        }
+    }
     let mut res = Resources::new(&model, &out.config.params, opts.dram.clone());
     res.set_coalescing(opts.coalescing);
+    res.set_transients(&opts.faults.transient);
+    if !opts.faults.offline_channels.is_empty() {
+        let offline: Vec<usize> = opts.faults.offline_channels.iter().copied().collect();
+        if !res.dram.set_offline(&offline) {
+            return Err(SimError::Config(
+                "fault map takes every DRAM channel offline".to_string(),
+            ));
+        }
+    }
     if traced {
         res.enable_tracing();
     }
     let mut next_job = 1u64;
     let mut root = Node::build(trace, &model, &mut next_job);
 
+    let mut last_progress = 0u64;
     loop {
         res.begin_cycle();
         let done = root.tick(&mut res, &model);
         // Exactly one commit per simulated cycle (including the last), so
         // every unit's busy + ctrl + mem + idle total equals `res.now`.
         res.commit_cycle();
+        if res.take_progress() {
+            last_progress = res.now;
+        }
+        if let Some((addr, attempts)) = res.take_fault_exhaustion() {
+            return Err(SimError::FaultExhaustion {
+                cycle: res.now,
+                addr,
+                attempts,
+            });
+        }
         if done {
             break;
         }
-        if res.now > opts.max_cycles {
-            return Err(SimError::Deadlock { cycle: res.now });
+        if res.now.saturating_sub(last_progress) > opts.stall_limit || res.now > opts.max_cycles {
+            let mut report = DeadlockReport {
+                cycle: res.now,
+                ..DeadlockReport::default()
+            };
+            root.collect_blocked(&res, &model, &mut report.blocked);
+            report.finalize(|c| p.ctrl(c).name.clone());
+            if let Some(mut t) = res.take_trace() {
+                let now = res.now;
+                for b in &report.blocked {
+                    let what = b
+                        .waits
+                        .iter()
+                        .map(|w| w.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    t.events.push(TraceEvent::Instant {
+                        ctrl: b.ctrl,
+                        label: format!("DEADLOCK: awaits {what}"),
+                        at: now,
+                    });
+                }
+                report.trace = Some(t);
+            }
+            return Err(SimError::Deadlock(Box::new(report)));
         }
     }
     let units = res.unit_stats(&model);
@@ -267,6 +353,7 @@ fn run_sim(
             dram: res.dram_stats(),
             coalesce: res.coalesce_stats(),
             units,
+            faults: res.fault_stats(),
         },
         sim_trace,
     ))

@@ -1,11 +1,12 @@
 //! Shared cycle-granular resources: invocation slots, scratchpad ports,
 //! address generators, the DRAM system, and activity counters.
 
+use crate::deadlock::DeadlockReport;
 use crate::model::SimModel;
 use crate::trace::{
     SimTrace, Tracer, UnitCycles, UnitStat, UnitStats, CLASS_BUSY, CLASS_IDLE, CLASS_MEM,
 };
-use plasticine_arch::{PlasticineParams, UnitId};
+use plasticine_arch::{FaultRng, PlasticineParams, TransientFaults, UnitId};
 use plasticine_dram::{CoalescingUnit, DramConfig, DramStats, DramSystem, ElemRequest, MemRequest};
 use plasticine_ppir::CtrlId;
 use std::collections::HashMap;
@@ -40,24 +41,42 @@ pub struct Activity {
 }
 
 /// Error while simulating.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum SimError {
     /// The functional interpreter failed.
     Run(plasticine_ppir::RunError),
-    /// The schedule made no progress for too long.
-    Deadlock {
-        /// Cycle at which the simulation gave up.
+    /// The schedule made no progress for too long; the report names the
+    /// blocked units, what each holds and awaits, and the wait-for cycle.
+    Deadlock(Box<DeadlockReport>),
+    /// A dropped DRAM response exhausted its retry budget — the fault rate
+    /// exceeds what bounded retry-with-backoff can recover from.
+    FaultExhaustion {
+        /// Cycle at which recovery gave up.
         cycle: u64,
+        /// Byte address of the unrecoverable request.
+        addr: u64,
+        /// Retries attempted before giving up.
+        attempts: u32,
     },
+    /// The fault/DRAM configuration is unusable (e.g. every channel offline).
+    Config(String),
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Run(e) => write!(f, "functional execution failed: {e}"),
-            SimError::Deadlock { cycle } => {
-                write!(f, "simulation deadlocked at cycle {cycle}")
-            }
+            SimError::Deadlock(report) => write!(f, "{report}"),
+            SimError::FaultExhaustion {
+                cycle,
+                addr,
+                attempts,
+            } => write!(
+                f,
+                "fault exhaustion at cycle {cycle}: DRAM request at {addr:#x} \
+                 still dropped after {attempts} retries"
+            ),
+            SimError::Config(msg) => write!(f, "bad simulation configuration: {msg}"),
         }
     }
 }
@@ -70,8 +89,45 @@ impl From<plasticine_ppir::RunError> for SimError {
     }
 }
 
+/// Transient-fault detection and recovery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Scratchpad read words whose single-bit flip was corrected in line by
+    /// ECC (no timing cost).
+    pub ecc_corrected: u64,
+    /// Scratchpad read beats replayed after a parity-detected
+    /// (ECC-uncorrectable) flip.
+    pub parity_replays: u64,
+    /// Vector issues replayed after a lane bit flip caught by the residue
+    /// check.
+    pub lane_replays: u64,
+    /// Unit-cycles spent re-doing work for any recovery reason (the sum of
+    /// the per-unit `recovery` overlays).
+    pub recovery_cycles: u64,
+    /// DRAM responses dropped in flight.
+    pub dram_dropped: u64,
+    /// DRAM requests re-issued after a drop.
+    pub dram_retries: u64,
+    /// Cycles spent waiting out retry backoff, summed over retries.
+    pub dram_retry_wait_cycles: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault was injected or recovered from.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
 /// Bits of elem-request ids reserved for the per-job sequence number.
 const ELEM_SEQ_BITS: u64 = 24;
+
+/// A DRAM request awaiting re-issue after its response was dropped.
+#[derive(Debug, Clone, Copy)]
+struct PendingRetry {
+    due: u64,
+    req: MemRequest,
+}
 
 /// Shared simulation resources, reset per cycle where appropriate.
 #[derive(Debug)]
@@ -102,6 +158,23 @@ pub struct Resources {
     unit_cycles: Vec<UnitCycles>,
     /// Structured event recorder; `None` keeps tracing zero-cost.
     pub(crate) tracer: Option<Tracer>,
+    /// Transient-fault injection stream; `None` when all rates are zero, so
+    /// the fault-free path takes no RNG draws and stays bit-identical.
+    rng: Option<FaultRng>,
+    /// Transient-fault rates and retry parameters.
+    transients: TransientFaults,
+    /// Recovery accounting.
+    pub(crate) fault_stats: FaultStats,
+    /// Drop-retry ledger: request id → attempts so far.
+    drop_attempts: HashMap<u64, u32>,
+    /// Requests waiting out their retry backoff.
+    retry_queue: Vec<PendingRetry>,
+    /// Set when a request exceeded its retry budget: (addr, attempts).
+    fault_exhausted: Option<(u64, u32)>,
+    /// Set whenever any unit acquired a resource, pushed a request, or a
+    /// completion arrived this cycle; the run loop uses it to detect
+    /// deadlock as sustained lack of progress.
+    progress: bool,
 }
 
 impl Resources {
@@ -144,7 +217,82 @@ impl Resources {
             pending_class: vec![CLASS_IDLE; model.tracked.len()],
             unit_cycles: vec![UnitCycles::default(); model.tracked.len()],
             tracer: None,
+            rng: None,
+            transients: TransientFaults::default(),
+            fault_stats: FaultStats::default(),
+            drop_attempts: HashMap::new(),
+            retry_queue: Vec::new(),
+            fault_exhausted: None,
+            progress: false,
         }
+    }
+
+    /// Arms transient-fault injection. With all rates zero this is a no-op
+    /// and the simulation stays bit-identical to a fault-free run.
+    pub fn set_transients(&mut self, t: &TransientFaults) {
+        self.transients = t.clone();
+        self.rng = if t.any() {
+            Some(FaultRng::new(t.seed))
+        } else {
+            None
+        };
+    }
+
+    /// Takes and clears the progress flag (set when any resource was
+    /// granted, any request pushed, or any completion arrived).
+    pub(crate) fn take_progress(&mut self) -> bool {
+        std::mem::take(&mut self.progress)
+    }
+
+    /// A request that exceeded its retry budget, if any: `(addr, attempts)`.
+    pub(crate) fn take_fault_exhaustion(&mut self) -> Option<(u64, u32)> {
+        self.fault_exhausted.take()
+    }
+
+    /// Recovery accounting so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Charges one recovery cycle to a unit (overlay on the four-way
+    /// classification) and to the global recovery account.
+    pub(crate) fn note_recovery(&mut self, unit: UnitId) {
+        if let Some(&s) = self.unit_slot.get(&unit) {
+            self.unit_cycles[s].recovery += 1;
+        }
+        self.fault_stats.recovery_cycles += 1;
+    }
+
+    /// Rolls the transient-fault dice for one vector issue beat that reads
+    /// from `reads`. Returns true when the beat must be replayed (lane flip
+    /// caught by the residue check, or an ECC-uncorrectable scratchpad
+    /// flip caught by parity). Single-bit scratchpad flips are corrected in
+    /// line and only counted.
+    pub(crate) fn roll_issue_replay(&mut self, reads: &[UnitId]) -> bool {
+        let Some(rng) = self.rng.as_mut() else {
+            return false;
+        };
+        let mut replay = false;
+        if self.transients.lane_flip > 0.0 && rng.chance(self.transients.lane_flip) {
+            self.fault_stats.lane_replays += 1;
+            replay = true;
+        }
+        if self.transients.sram_flip > 0.0 {
+            for _ in reads {
+                if rng.chance(self.transients.sram_flip) {
+                    // ~90% of flips are single-bit: ECC corrects them with
+                    // no timing cost. The remainder only parity-detects and
+                    // forces a beat replay.
+                    if rng.below(10) == 0 {
+                        self.fault_stats.parity_replays += 1;
+                        replay = true;
+                    } else {
+                        self.fault_stats.ecc_corrected += 1;
+                    }
+                }
+            }
+        }
+        replay
     }
 
     /// Turns on structured event recording.
@@ -200,8 +348,9 @@ impl Resources {
         self.coalescing = on;
     }
 
-    /// Starts a cycle: refreshes port tokens, advances DRAM, distributes
-    /// completions to their jobs.
+    /// Starts a cycle: refreshes port tokens, advances DRAM, injects
+    /// response drops, re-issues retries whose backoff expired, and
+    /// distributes completions to their jobs.
     pub fn begin_cycle(&mut self) {
         for (u, cap) in &self.mem_ports {
             self.read_tokens.insert(*u, *cap);
@@ -210,7 +359,67 @@ impl Resources {
         for cu in &mut self.cus {
             cu.issue(&mut self.dram);
         }
-        let completions = self.dram.tick();
+        let mut completions = self.dram.tick();
+        // Transient injection: each response may be dropped in flight. A
+        // dropped response's request is re-issued after an exponential
+        // backoff, up to the retry budget.
+        if self.transients.dram_drop > 0.0 {
+            let p = self.transients.dram_drop;
+            let max_retries = self.transients.max_retries;
+            let base = self.transients.retry_base.max(1);
+            let now = self.now;
+            let mut kept = Vec::with_capacity(completions.len());
+            for c in completions.drain(..) {
+                let dropped = self.rng.as_mut().is_some_and(|r| r.chance(p));
+                if !dropped {
+                    self.drop_attempts.remove(&c.id);
+                    kept.push(c);
+                    continue;
+                }
+                self.fault_stats.dram_dropped += 1;
+                let attempts = self.drop_attempts.entry(c.id).or_insert(0);
+                *attempts += 1;
+                if *attempts > max_retries {
+                    self.fault_exhausted.get_or_insert((c.addr, *attempts - 1));
+                    continue;
+                }
+                let backoff = base << (*attempts as u64 - 1).min(32);
+                self.fault_stats.dram_retry_wait_cycles += backoff;
+                self.retry_queue.push(PendingRetry {
+                    due: now + backoff,
+                    req: MemRequest {
+                        id: c.id,
+                        addr: c.addr,
+                        is_write: c.is_write,
+                    },
+                });
+            }
+            completions = kept;
+        }
+        // Re-issue retries whose backoff has expired (capacity permitting;
+        // a full queue just delays the retry another cycle).
+        if !self.retry_queue.is_empty() {
+            let now = self.now;
+            let mut i = 0;
+            while i < self.retry_queue.len() {
+                let r = &self.retry_queue[i];
+                if r.due <= now && self.dram.can_accept(r.req.addr) {
+                    let r = self.retry_queue.swap_remove(i);
+                    if self.dram.push(r.req).is_ok() {
+                        self.fault_stats.dram_retries += 1;
+                        self.progress = true;
+                    } else {
+                        self.retry_queue.push(r);
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if !completions.is_empty() {
+            self.progress = true;
+        }
         // Route dense completions to jobs.
         for c in &completions {
             if let Some(job) = self.req_job.remove(&c.id) {
@@ -244,11 +453,20 @@ impl Resources {
         match self.slots.get_mut(&ctrl) {
             Some(n) if *n > 0 => {
                 *n -= 1;
+                self.progress = true;
                 true
             }
             Some(_) => false,
             None => true, // controllers without hardware (shouldn't happen)
         }
+    }
+
+    /// Invocation-slot occupancy for a controller: `(in_use, capacity)`.
+    /// Capacity 0 with a missing entry means the controller has no hardware.
+    pub(crate) fn slot_usage(&self, ctrl: CtrlId, model: &SimModel) -> (usize, usize) {
+        let cap = model.ctrl_slots.get(&ctrl).copied().unwrap_or(0);
+        let free = self.slots.get(&ctrl).copied().unwrap_or(cap);
+        (cap - free, cap)
     }
 
     /// Releases an invocation slot.
@@ -307,6 +525,7 @@ impl Resources {
         if !reads.is_empty() || !writes.is_empty() {
             self.activity.pmu_busy_cycles += 1;
         }
+        self.progress = true;
         true
     }
 
@@ -325,6 +544,7 @@ impl Resources {
         }) {
             Ok(()) => {
                 self.req_job.insert(id, job);
+                self.progress = true;
                 if let Some(t) = self.tracer.as_mut() {
                     t.dram_issue(id, byte_addr, is_write, false, job, self.now);
                 }
@@ -352,6 +572,7 @@ impl Resources {
                     self.next_dense += 1;
                     // Report it back through the element channel.
                     self.req_elem.insert(id, job);
+                    self.progress = true;
                     if let Some(t) = self.tracer.as_mut() {
                         t.dram_issue(id, byte_addr & !63, is_write, true, job, self.now);
                     }
@@ -371,6 +592,7 @@ impl Resources {
                 is_write,
             }) {
                 *seq += 1;
+                self.progress = true;
                 if let Some(t) = self.tracer.as_mut() {
                     t.dram_issue(id, byte_addr, is_write, true, job, self.now);
                 }

@@ -3,6 +3,7 @@
 //! pipelining with tokens and credits, streaming) over the shared
 //! [`Resources`].
 
+use crate::deadlock::{BlockedUnit, HeldResource, WaitCause};
 use crate::model::{SimModel, TransferModel};
 use crate::resources::Resources;
 use crate::trace::{WaitKind, CLASS_BUSY, CLASS_CTRL, CLASS_MEM};
@@ -91,6 +92,17 @@ impl Node {
         match self {
             Node::Leaf(l) => !matches!(l.state, LeafState::Drain { .. } | LeafState::Done),
             Node::Outer(o) => !o.done,
+        }
+    }
+
+    /// Walks the live tree and records every blocked unit with what it
+    /// holds and awaits — the raw material of a
+    /// [`DeadlockReport`](crate::DeadlockReport). Mirrors the start
+    /// conditions of `tick` without mutating anything.
+    pub fn collect_blocked(&self, res: &Resources, model: &SimModel, out: &mut Vec<BlockedUnit>) {
+        match self {
+            Node::Leaf(l) => l.collect_blocked(res, model, out),
+            Node::Outer(o) => o.collect_blocked(res, model, out),
         }
     }
 }
@@ -257,6 +269,78 @@ impl OuterNode {
         }
     }
 
+    /// Records this node's blocked units: itself (when slot-starved), its
+    /// active children (recursively), and — for the pipelined protocols —
+    /// every child whose next iteration fails the token or credit gate,
+    /// using the exact conditions of [`start_pipelined`](Self::start_pipelined).
+    fn collect_blocked(&self, res: &Resources, model: &SimModel, out: &mut Vec<BlockedUnit>) {
+        if self.done {
+            return;
+        }
+        if !self.holds_slot {
+            let (in_use, cap) = res.slot_usage(self.ctrl, model);
+            out.push(BlockedUnit {
+                ctrl: self.ctrl,
+                name: String::new(),
+                waits: vec![WaitCause::Slot { in_use, cap }],
+                holds: vec![],
+            });
+            return;
+        }
+        for (_, _, node) in &self.active {
+            node.collect_blocked(res, model, out);
+        }
+        if matches!(self.schedule, Schedule::Sequential) {
+            return;
+        }
+        for ch in 0..self.n_children {
+            let i = self.started[ch];
+            if i >= self.n_iters {
+                continue;
+            }
+            let in_flight = self
+                .active
+                .iter()
+                .filter(|(_, c, n)| *c == ch && n.occupying())
+                .count();
+            if in_flight >= self.width {
+                continue; // width-limited, not a protocol wait
+            }
+            let mut waits = Vec::new();
+            for (pr, _, _) in self.deps.iter().filter(|(_, c, _)| *c == ch) {
+                if self.water[*pr] <= i {
+                    waits.push(WaitCause::Token {
+                        producer: self.children[*pr],
+                        producer_name: String::new(),
+                        iter: i,
+                        produced: self.water[*pr],
+                    });
+                }
+            }
+            for (_, co, depth) in self.deps.iter().filter(|(pr, _, _)| *pr == ch) {
+                if i >= self.water[*co] + *depth {
+                    waits.push(WaitCause::Credit {
+                        consumer: self.children[*co],
+                        consumer_name: String::new(),
+                        iter: i,
+                        consumed: self.water[*co],
+                        depth: *depth,
+                    });
+                }
+            }
+            if !waits.is_empty() {
+                out.push(BlockedUnit {
+                    ctrl: self.children[ch],
+                    name: String::new(),
+                    waits,
+                    holds: vec![HeldResource::Tokens {
+                        produced: self.water[ch],
+                    }],
+                });
+            }
+        }
+    }
+
     /// Charges a control stall to the blocked child's hardware unit (leaf
     /// children only; a blocked outer child shows up through its own
     /// children) and records the wait span. Units busy with an earlier
@@ -384,17 +468,25 @@ impl LeafNode {
                     let cm = &model.compute[&self.ctrl];
                     let mut issued_any = false;
                     let mut useful = false;
+                    let mut replayed = false;
                     for _ in 0..cm.own_copies {
                         if *remaining == 0 {
                             break;
                         }
                         if res.acquire_ports(&cm.reads, &cm.writes) {
+                            issued_any = true;
+                            if res.roll_issue_replay(&cm.reads) {
+                                // Transient fault caught in flight: the beat
+                                // is squashed and reissued, so `remaining`
+                                // stays and the cycle is pure recovery.
+                                replayed = true;
+                                continue;
+                            }
                             *remaining -= 1;
                             if *beat % cm.issue_factor == 0 {
                                 useful = true;
                             }
                             *beat += 1;
-                            issued_any = true;
                         } else {
                             break;
                         }
@@ -404,6 +496,9 @@ impl LeafNode {
                             (cm.phys_pcus / cm.slots.max(1)).max(1) as u64;
                     }
                     let unit = cm.unit;
+                    if replayed {
+                        res.note_recovery(unit);
+                    }
                     if issued_any && useful {
                         res.note(unit, CLASS_BUSY);
                     } else {
@@ -475,6 +570,43 @@ impl LeafNode {
                 }
                 LeafState::Done => return true,
             }
+        }
+    }
+
+    /// Records this invocation when it is blocked: slot-starved in `Idle`,
+    /// port-starved in `Issue`, or awaiting DRAM in `Xfer`.
+    fn collect_blocked(&self, res: &Resources, model: &SimModel, out: &mut Vec<BlockedUnit>) {
+        match &self.state {
+            LeafState::Idle => {
+                let (in_use, cap) = res.slot_usage(self.ctrl, model);
+                if cap > 0 && in_use >= cap {
+                    out.push(BlockedUnit {
+                        ctrl: self.ctrl,
+                        name: String::new(),
+                        waits: vec![WaitCause::Slot { in_use, cap }],
+                        holds: vec![],
+                    });
+                }
+            }
+            LeafState::Issue { .. } => {
+                out.push(BlockedUnit {
+                    ctrl: self.ctrl,
+                    name: String::new(),
+                    waits: vec![WaitCause::Ports],
+                    holds: vec![HeldResource::Slot],
+                });
+            }
+            LeafState::Xfer { outstanding, .. } => {
+                out.push(BlockedUnit {
+                    ctrl: self.ctrl,
+                    name: String::new(),
+                    waits: vec![WaitCause::Dram {
+                        outstanding: *outstanding,
+                    }],
+                    holds: vec![HeldResource::Slot, HeldResource::DramRequests(*outstanding)],
+                });
+            }
+            LeafState::Drain { .. } | LeafState::Done => {}
         }
     }
 

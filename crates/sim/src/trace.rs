@@ -68,10 +68,17 @@ pub struct UnitCycles {
     pub mem_stall: u64,
     /// Cycles with nothing pending.
     pub idle: u64,
+    /// Recovery overlay: cycles the unit spent re-doing work because of a
+    /// detected transient fault (parity/lane replays, DRAM retries). These
+    /// cycles are *also* classified into one of the four classes above, so
+    /// `recovery` is NOT part of [`total`](Self::total) — it attributes
+    /// fault-recovery cost without breaking the sum invariant.
+    pub recovery: u64,
 }
 
 impl UnitCycles {
-    /// Sum of all four classes — always the total simulated cycles.
+    /// Sum of the four exclusive classes — always the total simulated
+    /// cycles (the `recovery` overlay is excluded).
     pub fn total(&self) -> u64 {
         self.busy + self.ctrl_stall + self.mem_stall + self.idle
     }
@@ -92,6 +99,7 @@ impl UnitCycles {
         self.ctrl_stall += o.ctrl_stall;
         self.mem_stall += o.mem_stall;
         self.idle += o.idle;
+        self.recovery += o.recovery;
     }
 
     pub(crate) fn bump(&mut self, class: u8) {
@@ -163,6 +171,7 @@ impl UnitStats {
                         ("ctrl_stall", Json::from(u.cycles.ctrl_stall)),
                         ("mem_stall", Json::from(u.cycles.mem_stall)),
                         ("idle", Json::from(u.cycles.idle)),
+                        ("recovery", Json::from(u.cycles.recovery)),
                     ])
                 })
                 .collect(),
@@ -243,6 +252,16 @@ pub enum TraceEvent {
         /// Cycle its data returned.
         done: u64,
     },
+    /// A point-in-time marker (e.g. "deadlocked: waiting tokens from X"),
+    /// attached to a controller's track.
+    Instant {
+        /// The controller the marker belongs to.
+        ctrl: CtrlId,
+        /// Marker label.
+        label: String,
+        /// Cycle of the event.
+        at: u64,
+    },
 }
 
 impl TraceEvent {
@@ -258,6 +277,7 @@ impl TraceEvent {
             TraceEvent::DramReq {
                 job, issue, done, ..
             } => (*issue, 3, *job, *done),
+            TraceEvent::Instant { ctrl, at, .. } => (*at, 4, ctrl.0 as u64, *at),
         }
     }
 }
@@ -358,6 +378,15 @@ impl SimTrace {
                     *done,
                     Json::obj([("addr", Json::from(*addr))]),
                 ),
+                TraceEvent::Instant { ctrl, label, at } => Json::obj([
+                    ("name", Json::from(label.as_str())),
+                    ("cat", Json::from("deadlock")),
+                    ("ph", Json::from("i")),
+                    ("s", Json::from("g")),
+                    ("pid", Json::from(0u32)),
+                    ("tid", Json::from(ctrl.0)),
+                    ("ts", Json::from(*at)),
+                ]),
             });
         }
         Json::obj([
@@ -521,6 +550,7 @@ mod tests {
             ctrl_stall: 2,
             mem_stall: 1,
             idle: 4,
+            recovery: 0,
         };
         assert_eq!(a.total(), 10);
         assert!((a.busy_frac() - 0.3).abs() < 1e-12);

@@ -102,6 +102,7 @@ fn chrome_trace_is_well_formed() {
             | TraceEvent::Wait { start, end, .. }
             | TraceEvent::BankConflict { start, end, .. } => (*start, *end),
             TraceEvent::DramReq { issue, done, .. } => (*issue, *done),
+            TraceEvent::Instant { at, .. } => (*at, *at),
         };
         assert!(start <= end, "span inverted: {e:?}");
         assert!(end <= r.cycles, "span beyond the run: {e:?}");

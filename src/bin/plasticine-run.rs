@@ -4,24 +4,36 @@
 //! plasticine-run list
 //! plasticine-run run GEMM --scale 4
 //! plasticine-run run GEMM --trace gemm.json --stats-json gemm-stats.json
+//! plasticine-run run all --faults pcu=6,pmu=6,links=5,seed=42
 //! plasticine-run compile BFS --bitstream bfs.json
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (bad data, I/O, verification),
+//! 2 usage error, 3 compilation failure (including insufficient degraded
+//! fabric), 4 deadlock, 5 transient-fault exhaustion.
 
-use plasticine::arch::{MachineConfig, PlasticineParams};
-use plasticine::compiler::compile;
+use plasticine::arch::{FaultMap, FaultSpec, MachineConfig, PlasticineParams, Topology};
+use plasticine::compiler::{compile_degraded, CompileOptions};
 use plasticine::fpga::FpgaModel;
 use plasticine::json::Json;
 use plasticine::models::PowerModel;
 use plasticine::ppir::Machine;
-use plasticine::sim::{simulate, simulate_traced, SimOptions, SimResult, UnitKind, UnitStats};
+use plasticine::sim::{
+    simulate, simulate_traced, SimError, SimOptions, SimResult, UnitKind, UnitStats,
+};
 use plasticine::workloads::{all, Bench, Scale};
 use std::process::ExitCode;
 
+const EXIT_USAGE: u8 = 2;
+const EXIT_COMPILE: u8 = 3;
+const EXIT_DEADLOCK: u8 = 4;
+const EXIT_FAULT_EXHAUSTION: u8 = 5;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--trace FILE] [--stats-json FILE] [--units]\n  plasticine-run compile <benchmark> [--scale N] [--bitstream FILE]\n\nrun options:\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n(with `run all`, the benchmark name is inserted into each output file name)"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--bitstream FILE]\n\nrun options:\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n(with `run all`, the benchmark name is inserted into each output file name)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion"
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn find_bench(name: &str, scale: Scale) -> Option<Bench> {
@@ -30,22 +42,60 @@ fn find_bench(name: &str, scale: Scale) -> Option<Bench> {
         .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
-fn parse_scale(args: &[String]) -> Scale {
-    args.windows(2)
-        .find(|w| w[0] == "--scale")
-        .and_then(|w| w[1].parse::<usize>().ok())
-        .map(Scale)
-        .unwrap_or(Scale(1))
+/// Parsed command-line flags (strict: unknown flags and malformed values
+/// are usage errors).
+#[derive(Default)]
+struct Flags {
+    scale: usize,
+    trace: Option<String>,
+    stats: Option<String>,
+    units: bool,
+    faults: Option<FaultSpec>,
+    bitstream: Option<String>,
 }
 
-fn parse_path(args: &[String], flag: &str) -> Result<Option<String>, String> {
-    match args.iter().position(|a| a == flag) {
-        Some(i) => match args.get(i + 1) {
-            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
-            _ => Err(format!("{flag} requires a file argument")),
-        },
-        None => Ok(None),
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
+    let mut f = Flags {
+        scale: 1,
+        ..Flags::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if !allowed.contains(&a) {
+            return Err(format!("unknown option `{a}`"));
+        }
+        if a == "--units" {
+            f.units = true;
+            i += 1;
+            continue;
+        }
+        let v = match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => v.clone(),
+            _ => return Err(format!("{a} requires a value")),
+        };
+        match a {
+            "--scale" => {
+                f.scale = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--scale requires a positive integer, got `{v}`"))?;
+            }
+            "--trace" => f.trace = Some(v),
+            "--stats-json" => f.stats = Some(v),
+            "--bitstream" => f.bitstream = Some(v),
+            "--faults" => {
+                f.faults = Some(
+                    v.parse::<FaultSpec>()
+                        .map_err(|e| format!("--faults: {e}"))?,
+                );
+            }
+            _ => unreachable!("flag list and match arms agree"),
+        }
+        i += 2;
     }
+    Ok(f)
 }
 
 /// `trace.json` + `GEMM` → `trace-gemm.json` (for `run all` output files).
@@ -57,8 +107,10 @@ fn per_bench_path(path: &str, bench: &str) -> String {
     }
 }
 
-/// Prints the four-way cycle breakdown: one aggregate row per unit kind,
-/// and per-unit rows when `per_unit` is set.
+/// Prints the cycle breakdown: one aggregate row per unit kind, and
+/// per-unit rows when `per_unit` is set. The `recov` column is the
+/// fault-recovery overlay (cycles re-doing squashed work), not a fifth
+/// class.
 fn print_units(units: &UnitStats, per_unit: bool) {
     let pct = |v: u64, t: u64| {
         if t == 0 {
@@ -68,8 +120,8 @@ fn print_units(units: &UnitStats, per_unit: bool) {
         }
     };
     println!(
-        "  {:<18} {:>3} {:>7} {:>7} {:>7} {:>7}",
-        "unit", "n", "busy%", "ctrl%", "mem%", "idle%"
+        "  {:<18} {:>3} {:>7} {:>7} {:>7} {:>7} {:>9}",
+        "unit", "n", "busy%", "ctrl%", "mem%", "idle%", "recov"
     );
     for kind in [UnitKind::Pcu, UnitKind::Pmu, UnitKind::Ag] {
         let n = units.units.iter().filter(|u| u.kind == kind).count();
@@ -79,13 +131,14 @@ fn print_units(units: &UnitStats, per_unit: bool) {
         let a = units.aggregate(kind);
         let t = a.total();
         println!(
-            "  {:<18} {:>3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            "  {:<18} {:>3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>9}",
             kind.as_str(),
             n,
             pct(a.busy, t),
             pct(a.ctrl_stall, t),
             pct(a.mem_stall, t),
             pct(a.idle, t),
+            a.recovery,
         );
     }
     if per_unit {
@@ -93,40 +146,91 @@ fn print_units(units: &UnitStats, per_unit: bool) {
             let c = &u.cycles;
             let t = c.total();
             println!(
-                "    {:<16} {:>3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+                "    {:<16} {:>3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>9}",
                 u.label,
                 u.kind.as_str(),
                 pct(c.busy, t),
                 pct(c.ctrl_stall, t),
                 pct(c.mem_stall, t),
                 pct(c.idle, t),
+                c.recovery,
             );
         }
     }
 }
 
-struct RunOutputs {
+struct RunConfig {
     trace: Option<String>,
     stats: Option<String>,
     units: bool,
+    faults: FaultMap,
 }
 
-fn run_one(bench: &Bench, params: &PlasticineParams, outs: &RunOutputs) -> Result<(), String> {
-    let out = compile(&bench.program, params).map_err(|e| e.to_string())?;
-    let mut m = Machine::new(&bench.program);
-    bench.load(&mut m);
-    let opts = SimOptions::default();
-    let (r, trace): (SimResult, Option<_>) = if outs.trace.is_some() {
-        let (r, t) =
-            simulate_traced(&bench.program, &out, &mut m, &opts).map_err(|e| e.to_string())?;
-        (r, Some(t))
-    } else {
-        (
-            simulate(&bench.program, &out, &mut m, &opts).map_err(|e| e.to_string())?,
-            None,
-        )
+/// A failed run, carrying the process exit code it maps to.
+struct RunFailure {
+    code: u8,
+    message: String,
+}
+
+impl RunFailure {
+    fn other(message: String) -> RunFailure {
+        RunFailure { code: 1, message }
+    }
+
+    fn from_sim(e: SimError) -> RunFailure {
+        let code = match &e {
+            SimError::Deadlock(_) => EXIT_DEADLOCK,
+            SimError::FaultExhaustion { .. } => EXIT_FAULT_EXHAUSTION,
+            _ => 1,
+        };
+        RunFailure {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<(), RunFailure> {
+    let copts = CompileOptions {
+        faults: cfg.faults.clone(),
+        ..CompileOptions::new()
     };
-    bench.verify(&m)?;
+    let (out, prog, degraded) =
+        compile_degraded(&bench.program, params, &copts).map_err(|e| RunFailure {
+            code: EXIT_COMPILE,
+            message: e.to_string(),
+        })?;
+    for note in &degraded {
+        println!("  degraded: {note}");
+    }
+    let mut m = Machine::new(&prog);
+    bench.load(&mut m);
+    let opts = SimOptions {
+        faults: cfg.faults.clone(),
+        ..SimOptions::default()
+    };
+    let sim_res = if cfg.trace.is_some() {
+        simulate_traced(&prog, &out, &mut m, &opts).map(|(r, t)| (r, Some(t)))
+    } else {
+        simulate(&prog, &out, &mut m, &opts).map(|r| (r, None))
+    };
+    let (r, trace): (SimResult, Option<_>) = match sim_res {
+        Ok(x) => x,
+        Err(SimError::Deadlock(report)) => {
+            // The diagnosis embeds the trace up to the deadlock (with
+            // instant markers on the blocked units): still write it out.
+            if let (Some(path), Some(t)) = (&cfg.trace, &report.trace) {
+                let json = t.chrome_trace(&prog);
+                match std::fs::write(path, json.pretty()) {
+                    Ok(()) => eprintln!("deadlock trace written to {path}"),
+                    Err(e) => eprintln!("writing {path}: {e}"),
+                }
+            }
+            return Err(RunFailure::from_sim(SimError::Deadlock(report)));
+        }
+        Err(e) => return Err(RunFailure::from_sim(e)),
+    };
+    bench.verify(&m).map_err(RunFailure::other)?;
     let (pcu, pmu, ag) = out.config.utilization();
     let power = PowerModel::new().estimate(&r, &out.config);
     let fpga = FpgaModel::new().estimate(&bench.fpga);
@@ -141,23 +245,51 @@ fn run_one(bench: &Bench, params: &PlasticineParams, outs: &RunOutputs) -> Resul
         power.total_w,
         speedup,
     );
-    if outs.units {
+    if cfg.faults.has_hard_faults() || cfg.faults.transient.any() {
+        let f = &r.faults;
+        println!(
+            "  faults: {}  recovered: ecc={} parity={} lane={} drops={} retries={} (+{} cy backoff, {} recovery cy)",
+            cfg.faults.summary(),
+            f.ecc_corrected,
+            f.parity_replays,
+            f.lane_replays,
+            f.dram_dropped,
+            f.dram_retries,
+            f.dram_retry_wait_cycles,
+            f.recovery_cycles,
+        );
+    }
+    if cfg.units {
         print_units(&r.units, true);
     }
-    if let (Some(path), Some(trace)) = (&outs.trace, &trace) {
-        let json = trace.chrome_trace(&bench.program);
-        std::fs::write(path, json.pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+    if let (Some(path), Some(trace)) = (&cfg.trace, &trace) {
+        let json = trace.chrome_trace(&prog);
+        std::fs::write(path, json.pretty())
+            .map_err(|e| RunFailure::other(format!("writing {path}: {e}")))?;
         println!("  trace ({} events) written to {path}", trace.events.len());
     }
-    if let Some(path) = &outs.stats {
+    if let Some(path) = &cfg.stats {
         let mut stats = r.stats_json();
         if let Json::Obj(pairs) = &mut stats {
             pairs.insert(0, ("bench".to_string(), Json::from(bench.name.clone())));
         }
-        std::fs::write(path, stats.pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(path, stats.pretty())
+            .map_err(|e| RunFailure::other(format!("writing {path}: {e}")))?;
         println!("  stats written to {path}");
     }
     Ok(())
+}
+
+/// Materializes the fault map a spec describes for the current machine.
+fn fault_map(spec: &Option<FaultSpec>, params: &PlasticineParams) -> FaultMap {
+    match spec {
+        Some(spec) => {
+            let topo = Topology::new(params);
+            let channels = plasticine::dram::DramConfig::default().channels;
+            FaultMap::sample(&topo, spec, channels)
+        }
+        None => FaultMap::default(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -165,6 +297,10 @@ fn main() -> ExitCode {
     let params = PlasticineParams::paper_final();
     match args.first().map(String::as_str) {
         Some("list") => {
+            if args.len() > 1 {
+                eprintln!("`list` takes no arguments");
+                return usage();
+            }
             for b in all(Scale(1)) {
                 println!("{}", b.name);
             }
@@ -174,18 +310,21 @@ fn main() -> ExitCode {
             let Some(name) = args.get(1) else {
                 return usage();
             };
-            let scale = parse_scale(&args);
-            let (trace, stats) = match (
-                parse_path(&args, "--trace"),
-                parse_path(&args, "--stats-json"),
+            if name.starts_with("--") {
+                eprintln!("`run` requires a benchmark name before options");
+                return usage();
+            }
+            let flags = match parse_flags(
+                &args[2..],
+                &["--scale", "--trace", "--stats-json", "--units", "--faults"],
             ) {
-                (Ok(t), Ok(s)) => (t, s),
-                (Err(e), _) | (_, Err(e)) => {
+                Ok(f) => f,
+                Err(e) => {
                     eprintln!("{e}");
                     return usage();
                 }
             };
-            let units = args.iter().any(|a| a == "--units");
+            let scale = Scale(flags.scale);
             let benches = if name == "all" {
                 all(scale)
             } else {
@@ -197,28 +336,33 @@ fn main() -> ExitCode {
                     }
                 }
             };
+            let faults = fault_map(&flags.faults, &params);
+            if flags.faults.is_some() {
+                println!("fault map: {}", faults.summary());
+            }
             let many = benches.len() > 1;
             for b in &benches {
-                let outs = RunOutputs {
-                    trace: trace.as_ref().map(|p| {
+                let cfg = RunConfig {
+                    trace: flags.trace.as_ref().map(|p| {
                         if many {
                             per_bench_path(p, &b.name)
                         } else {
                             p.clone()
                         }
                     }),
-                    stats: stats.as_ref().map(|p| {
+                    stats: flags.stats.as_ref().map(|p| {
                         if many {
                             per_bench_path(p, &b.name)
                         } else {
                             p.clone()
                         }
                     }),
-                    units,
+                    units: flags.units,
+                    faults: faults.clone(),
                 };
-                if let Err(e) = run_one(b, &params, &outs) {
-                    eprintln!("{}: {e}", b.name);
-                    return ExitCode::FAILURE;
+                if let Err(e) = run_one(b, &params, &cfg) {
+                    eprintln!("{}: {}", b.name, e.message);
+                    return ExitCode::from(e.code);
                 }
             }
             ExitCode::SUCCESS
@@ -227,16 +371,39 @@ fn main() -> ExitCode {
             let Some(name) = args.get(1) else {
                 return usage();
             };
-            let scale = parse_scale(&args);
-            let Some(bench) = find_bench(name, scale) else {
+            if name.starts_with("--") {
+                eprintln!("`compile` requires a benchmark name before options");
+                return usage();
+            }
+            let flags = match parse_flags(&args[2..], &["--scale", "--faults", "--bitstream"]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let Some(bench) = find_bench(name, Scale(flags.scale)) else {
                 eprintln!("unknown benchmark `{name}`");
                 return ExitCode::FAILURE;
             };
-            let out = match compile(&bench.program, &params) {
-                Ok(o) => o,
+            let faults = fault_map(&flags.faults, &params);
+            if flags.faults.is_some() {
+                println!("fault map: {}", faults.summary());
+            }
+            let copts = CompileOptions {
+                faults,
+                ..CompileOptions::new()
+            };
+            let out = match compile_degraded(&bench.program, &params, &copts) {
+                Ok((o, _, degraded)) => {
+                    for note in &degraded {
+                        println!("  degraded: {note}");
+                    }
+                    o
+                }
                 Err(e) => {
                     eprintln!("{}: {e}", bench.name);
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_COMPILE);
                 }
             };
             let cfg: &MachineConfig = &out.config;
@@ -248,10 +415,7 @@ fn main() -> ExitCode {
                 cfg.usage.ags,
                 cfg.links.len()
             );
-            if let Some(pos) = args.iter().position(|a| a == "--bitstream") {
-                let Some(path) = args.get(pos + 1) else {
-                    return usage();
-                };
+            if let Some(path) = &flags.bitstream {
                 if let Err(e) = cfg.save(std::path::Path::new(path)) {
                     eprintln!("saving bitstream: {e}");
                     return ExitCode::FAILURE;
