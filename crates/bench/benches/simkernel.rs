@@ -1,0 +1,153 @@
+//! Event-driven vs per-cycle simulation kernel: wall-clock comparison on
+//! the memory-bound workloads (SMDV, BFS, PageRank).
+//!
+//! ```sh
+//! cargo bench -p plasticine-bench --bench simkernel
+//! ```
+//!
+//! Each workload runs under two DRAM configurations:
+//!
+//! * `balanced` — the paper's 4×DDR3-1600 with the fabric at 1 GHz. The
+//!   fabric is active most cycles, so quiescent-cycle skipping finds
+//!   little to skip and the two kernels run within ~1.3× of each other.
+//! * `remote` — the same DDR3 timing seen from a fabric clocked 96×
+//!   faster (`core_ghz = 96`), i.e. every memory access costs thousands
+//!   of fabric cycles, as with far/disaggregated memory. The fabric
+//!   spends most cycles waiting, and the event kernel skips them.
+//!
+//! For each (workload, config) pair the harness compiles once, then
+//! times `simulate` alone (machine construction and data loading
+//! excluded, minimum over `ITERS` runs) in both [`StepMode`]s,
+//! cross-checks that the `stats_json` snapshots are byte-identical, and
+//! writes `BENCH_sim.json` at the workspace root:
+//!
+//! ```json
+//! {
+//!   "scale": 16,
+//!   "iters": 3,
+//!   "workloads": [
+//!     { "bench": "BFS", "config": "remote", "core_ghz": 96.0,
+//!       "cycles": 869127, "cycle_wall_s": 0.18, "event_wall_s": 0.023,
+//!       "speedup": 8.1, "stats_identical": true }
+//!   ]
+//! }
+//! ```
+//!
+//! The process exits non-zero if any pair's snapshots differ between
+//! modes, so CI can use this binary as a fast golden-equivalence smoke
+//! test.
+
+use plasticine_arch::PlasticineParams;
+use plasticine_compiler::compile;
+use plasticine_dram::DramConfig;
+use plasticine_json::Json;
+use plasticine_ppir::Machine;
+use plasticine_sim::{simulate, SimOptions, SimResult, StepMode};
+use plasticine_workloads::{all, Bench, Scale};
+use std::time::Instant;
+
+const SCALE: usize = 16;
+const WARMUP: u32 = 1;
+const ITERS: u32 = 3;
+const WORKLOADS: [&str; 3] = ["SMDV", "BFS", "PageRank"];
+/// (name, fabric-to-memory clock ratio); see the module doc.
+const CONFIGS: [(&str, f64); 2] = [("balanced", 1.0), ("remote", 96.0)];
+
+/// Minimum wall time for `simulate` over `ITERS` timed runs, plus the
+/// result of the last run (for the cross-check and the cycle count).
+fn time_simulate(
+    bench: &Bench,
+    out: &plasticine_compiler::CompileOutput,
+    core_ghz: f64,
+    step: StepMode,
+) -> (f64, SimResult) {
+    let opts = SimOptions {
+        dram: DramConfig {
+            core_ghz,
+            ..DramConfig::default()
+        },
+        step,
+        ..SimOptions::default()
+    };
+    let run = || {
+        let mut m = Machine::new(&bench.program);
+        bench.load(&mut m);
+        let t0 = Instant::now();
+        let r = simulate(&bench.program, out, &mut m, &opts)
+            .unwrap_or_else(|e| panic!("{} ({step:?}): {e}", bench.name));
+        (t0.elapsed().as_secs_f64(), r)
+    };
+    for _ in 0..WARMUP {
+        run();
+    }
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..ITERS {
+        let (s, r) = run();
+        best = best.min(s);
+        last = Some(r);
+    }
+    (best, last.expect("ITERS >= 1"))
+}
+
+fn main() {
+    let params = PlasticineParams::paper_final();
+    let benches = all(Scale(SCALE));
+    let mut rows = Vec::new();
+    let mut diverged = false;
+    println!(
+        "{:<12} {:<10} {:>10} {:>12} {:>12} {:>9}  stats",
+        "bench", "config", "cycles", "cycle", "event", "speedup"
+    );
+    for name in WORKLOADS {
+        let bench = benches
+            .iter()
+            .find(|b| b.name.eq_ignore_ascii_case(name))
+            .unwrap_or_else(|| panic!("no workload named {name}"));
+        let out = compile(&bench.program, &params).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (config, core_ghz) in CONFIGS {
+            let (cycle_s, cycle_r) = time_simulate(bench, &out, core_ghz, StepMode::Cycle);
+            let (event_s, event_r) = time_simulate(bench, &out, core_ghz, StepMode::Event);
+            let identical = cycle_r.stats_json().pretty() == event_r.stats_json().pretty();
+            diverged |= !identical;
+            let speedup = cycle_s / event_s;
+            println!(
+                "{:<12} {:<10} {:>10} {:>10.4} s {:>10.4} s {:>8.1}x  {}",
+                bench.name,
+                config,
+                event_r.cycles,
+                cycle_s,
+                event_s,
+                speedup,
+                if identical { "identical" } else { "DIVERGED" },
+            );
+            rows.push(Json::Obj(vec![
+                ("bench".into(), Json::from(bench.name.clone())),
+                ("config".into(), Json::from(config)),
+                ("core_ghz".into(), Json::from(core_ghz)),
+                ("cycles".into(), Json::from(event_r.cycles)),
+                ("cycle_wall_s".into(), Json::from(cycle_s)),
+                ("event_wall_s".into(), Json::from(event_s)),
+                ("speedup".into(), Json::from(speedup)),
+                ("stats_identical".into(), Json::from(identical)),
+            ]));
+        }
+    }
+    let report = Json::Obj(vec![
+        ("scale".into(), Json::from(SCALE)),
+        ("iters".into(), Json::from(ITERS)),
+        ("workloads".into(), Json::Arr(rows)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    match std::fs::write(path, report.pretty()) {
+        Ok(()) => println!("report written to {path}"),
+        Err(e) => {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if diverged {
+        eprintln!("step modes diverged — see the table above");
+        std::process::exit(1);
+    }
+}

@@ -138,6 +138,12 @@ pub(crate) struct Channel {
     queue: VecDeque<Pending>,
     inflight: Vec<Completion>,
     data_bus_free: u64,
+    /// Every tick strictly before this cycle is a known no-op: after a tick
+    /// that changed nothing, this caches [`next_event`](Self::next_event)
+    /// (whose bound is sound — see its doc), and [`push`](Self::push) resets
+    /// it. Lets the per-cycle tick loop skip the command-scheduler scans
+    /// while the channel merely waits out DRAM timing windows.
+    quiet_until: u64,
     pub(crate) stats: ChannelStats,
 }
 
@@ -162,6 +168,7 @@ impl Channel {
             queue: VecDeque::new(),
             inflight: Vec::new(),
             data_bus_free: 0,
+            quiet_until: 0,
             stats: ChannelStats::default(),
         }
     }
@@ -183,14 +190,20 @@ impl Channel {
             loc,
             arrival: now,
         });
+        self.quiet_until = 0; // the new request may be schedulable at once
         true
     }
 
     /// Advances to cycle `now`; returns requests whose data finished.
     pub(crate) fn tick(&mut self, now: u64, out: &mut Vec<Completion>) {
+        if now < self.quiet_until {
+            return; // cached no-op span; see `quiet_until`
+        }
+        let refreshes = self.stats.refreshes;
         self.start_refreshes(now);
-        self.issue_one(now);
+        let issued = self.issue_one(now);
         // Drain completions due at or before `now`.
+        let before = out.len();
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].at <= now {
@@ -198,6 +211,12 @@ impl Channel {
             } else {
                 i += 1;
             }
+        }
+        // A tick that changed nothing leaves the channel purely waiting out
+        // timing windows; everything it could do next is time-driven, so the
+        // (sound) event bound marks every tick before it a no-op.
+        if !issued && out.len() == before && self.stats.refreshes == refreshes {
+            self.quiet_until = self.next_event(now + 1);
         }
     }
 
@@ -243,9 +262,10 @@ impl Channel {
     }
 
     /// Issues at most one DRAM command this cycle (shared command bus).
-    fn issue_one(&mut self, now: u64) {
+    /// Returns whether a command issued.
+    fn issue_one(&mut self, now: u64) -> bool {
         if self.queue.is_empty() {
-            return;
+            return false;
         }
         // Starvation guard: if the oldest request is overage, schedule only it.
         let overage = now.saturating_sub(self.queue[0].arrival) > self.max_age;
@@ -254,21 +274,22 @@ impl Channel {
         // Pass 1 (FR): oldest request whose column command can issue now.
         for qi in 0..limit {
             if self.try_column(qi, now) {
-                return;
+                return true;
             }
         }
         // Pass 2 (FCFS): oldest request needing an activate on a closed bank.
         for qi in 0..limit {
             if self.try_activate(qi, now) {
-                return;
+                return true;
             }
         }
         // Pass 3: oldest request conflicting with an open row — precharge.
         for qi in 0..limit {
             if self.try_precharge(qi, now) {
-                return;
+                return true;
             }
         }
+        false
     }
 
     fn try_column(&mut self, qi: usize, now: u64) -> bool {
@@ -342,6 +363,82 @@ impl Channel {
         }
         self.stats.activates += 1;
         true
+    }
+
+    /// Earliest cycle ≥ `now` at which ticking this channel could change
+    /// any state: a refresh becomes due, an in-flight burst completes, or a
+    /// queued request's column/activate/precharge command first satisfies
+    /// every timing constraint. Returns `u64::MAX` when the channel is
+    /// fully drained and refresh is off.
+    ///
+    /// The bound is *sound*, not tight: every constraint checked by
+    /// [`issue_one`](Self::issue_one) is of the form `now >= t` against
+    /// state that itself only changes at one of these events, so no command
+    /// can issue strictly before the minimum returned here. (The starvation
+    /// guard only ever *restricts* candidates to the oldest request, so it
+    /// can delay a command past the bound — the tick at the bound is then a
+    /// no-op — but never enable one before it.) This is what lets the
+    /// event-driven simulation kernel skip the span `[now, next_event)`
+    /// without ticking and stay bit-identical to per-cycle stepping.
+    pub(crate) fn next_event(&self, now: u64) -> u64 {
+        let mut ev = u64::MAX;
+        for c in &self.inflight {
+            ev = ev.min(c.at.max(now));
+        }
+        if self.refresh {
+            for r in &self.ranks {
+                ev = ev.min(r.next_refresh.max(r.refresh_until).max(now));
+            }
+        }
+        for p in &self.queue {
+            let loc = p.loc;
+            let bank = &self.banks[loc.rank][loc.bank];
+            let rank = &self.ranks[loc.rank];
+            let refr = if self.refresh { rank.refresh_until } else { 0 };
+            let t = match bank.active_row {
+                // Row hit: the column command waits on tRCD, refresh, tWTR
+                // (reads), and the shared data bus.
+                Some(row) if row == loc.row => {
+                    let lat = if p.req.is_write {
+                        self.cyc.cwd
+                    } else {
+                        self.cyc.cas
+                    };
+                    let mut t = bank.col_ok.max(refr);
+                    if !p.req.is_write {
+                        t = t.max(rank.rd_ok);
+                    }
+                    t.max(self.data_bus_free.saturating_sub(lat))
+                }
+                // Closed bank: the activate waits on tRP/tRC, refresh, and
+                // the rank's tRRD/tFAW windows.
+                None => {
+                    let mut t = bank.act_ok.max(refr);
+                    if let Some(&last) = rank.acts.back() {
+                        t = t.max(last + self.cyc.rrd);
+                    }
+                    if rank.acts.len() >= 4 {
+                        t = t.max(rank.acts[rank.acts.len() - 4] + self.cyc.faw);
+                    }
+                    t
+                }
+                // Row conflict: a precharge is possible once tRAS/tWR/tRTP
+                // expire — unless another queued request still wants the
+                // open row, in which case this request waits for column
+                // issues (events in their own right) to drain it first.
+                Some(open) => {
+                    let wanted = self.queue.iter().any(|q| {
+                        q.loc.rank == loc.rank && q.loc.bank == loc.bank && q.loc.row == open
+                    });
+                    if wanted {
+                        continue;
+                    }
+                    bank.pre_ok.max(refr)
+                }
+            };
+            ev = ev.min(t.max(now));
+        }
+        ev
     }
 
     fn try_precharge(&mut self, qi: usize, now: u64) -> bool {

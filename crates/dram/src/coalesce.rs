@@ -99,6 +99,13 @@ impl CoalescingUnit {
         self.cache.len()
     }
 
+    /// Whether line requests are still waiting to enter the memory system
+    /// (accepted elements whose line [`issue`](Self::issue) could not push
+    /// past a full channel queue yet).
+    pub fn has_pending_issues(&self) -> bool {
+        !self.issue_queue.is_empty()
+    }
+
     /// Whether all merged element requests have completed.
     pub fn idle(&self) -> bool {
         self.cache.is_empty()

@@ -191,6 +191,43 @@ impl DramSystem {
         done
     }
 
+    /// Earliest cycle ≥ [`now`](Self::now) at which a [`tick`](Self::tick)
+    /// could change any channel's state (issue a command, start a refresh,
+    /// or complete a burst), or `u64::MAX` when the whole system is drained
+    /// and refresh is off. Ticking strictly before this cycle is guaranteed
+    /// to be a no-op, which is what lets an event-driven caller
+    /// [`skip`](Self::skip) the gap.
+    pub fn next_event(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.next_event(self.now))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Advances the clock by `cycles` without ticking the channels. Only
+    /// sound when the span contains no event, i.e. `cycles` must not exceed
+    /// `next_event() - now` — every skipped tick would have been a no-op.
+    pub fn skip(&mut self, cycles: u64) {
+        debug_assert!(
+            self.now.saturating_add(cycles) <= self.next_event(),
+            "skip({cycles}) at {} crosses an event at {}",
+            self.now,
+            self.next_event()
+        );
+        self.now += cycles;
+    }
+
+    /// Total column commands issued so far (lines read + written). The
+    /// delta across one tick tells an event-driven caller whether queue
+    /// capacity was freed this cycle.
+    pub fn issued_columns(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.stats.reads + c.stats.writes)
+            .sum()
+    }
+
     /// Number of requests in flight (queued or awaiting data).
     pub fn pending(&self) -> usize {
         self.channels.iter().map(|c| c.pending()).sum()
@@ -368,6 +405,43 @@ mod tests {
         // The offline channel itself never serviced anything.
         assert_eq!(mem.channels[0].stats.reads, 0);
         assert_eq!(mem.stats().reads, 64);
+    }
+
+    #[test]
+    fn event_skipping_matches_cycle_stepping() {
+        // Mixed read/write traffic with row hits, conflicts, and refresh on:
+        // ticking only at next_event() times (skipping the gaps) must yield
+        // the same completion times, stats, and final clock as ticking every
+        // cycle.
+        let run = |event_driven: bool| {
+            let mut mem = DramSystem::new(DramConfig::default()); // refresh on
+            for i in 0..96u64 {
+                mem.push(MemRequest {
+                    id: i,
+                    addr: ((i * 7919) % (1 << 14)) * 64,
+                    is_write: i % 3 == 0,
+                })
+                .unwrap();
+            }
+            let mut done: Vec<Completion> = Vec::new();
+            while done.len() < 96 {
+                if event_driven {
+                    let ev = mem.next_event();
+                    if ev > mem.now() {
+                        mem.skip(ev - mem.now());
+                    }
+                }
+                done.extend(mem.tick());
+                assert!(mem.now() < 1_000_000, "deadlock");
+            }
+            done.sort_by_key(|c| (c.id, c.at));
+            (done, mem.stats(), mem.now())
+        };
+        let (done_c, stats_c, now_c) = run(false);
+        let (done_e, stats_e, now_e) = run(true);
+        assert_eq!(done_c, done_e);
+        assert_eq!(stats_c, stats_e);
+        assert_eq!(now_c, now_e);
     }
 
     #[test]

@@ -134,11 +134,19 @@ pub struct BlockedUnit {
 pub struct DeadlockReport {
     /// Cycle at which the simulation gave up.
     pub cycle: u64,
+    /// The stall watchdog's limit: cycles without global progress before
+    /// the run is declared deadlocked.
+    pub stall_limit: u64,
+    /// Last cycle at which any unit made progress (the watchdog fired
+    /// because `cycle - last_progress` exceeded `stall_limit`).
+    pub last_progress: u64,
     /// Every unit found blocked, with held and awaited resources.
     pub blocked: Vec<BlockedUnit>,
     /// Controller names forming a wait-for cycle (first name repeated at
-    /// the end), empty when no cycle exists — e.g. the cycle budget was
-    /// simply exhausted by a slow schedule.
+    /// the end), empty when no cycle exists — e.g. the blockage is a
+    /// many-way resource starvation rather than a token/credit loop. A run
+    /// that merely outlives its cycle budget is *not* reported here; that
+    /// is [`SimError::CycleBudgetExceeded`](crate::SimError).
     pub cycle_chain: Vec<String>,
     /// The structured event trace up to the deadlock, when the run was
     /// traced; instant markers for each blocked unit are appended so the
@@ -183,7 +191,9 @@ impl fmt::Display for DeadlockReport {
         if self.cycle_chain.is_empty() {
             writeln!(
                 f,
-                "  no wait-for cycle found (cycle budget exhausted; the schedule may just be slow)"
+                "  no wait-for token/credit cycle found; the stall watchdog fired after \
+                 {} cycles without progress (last progress at cycle {})",
+                self.stall_limit, self.last_progress
             )?;
         } else {
             writeln!(f, "  wait-for cycle: {}", self.cycle_chain.join(" -> "))?;
@@ -338,6 +348,8 @@ mod tests {
     fn report_display_names_units_and_resources() {
         let mut report = DeadlockReport {
             cycle: 1234,
+            stall_limit: 1000,
+            last_progress: 234,
             blocked: vec![
                 BlockedUnit {
                     ctrl: CtrlId(1),
@@ -376,5 +388,24 @@ mod tests {
         assert!(s.contains("credit for iter 3 from ctrl2"), "{s}");
         assert!(s.contains("token for iter 2 from ctrl1"), "{s}");
         assert!(s.contains("4 in-flight DRAM request(s)"), "{s}");
+    }
+
+    /// Without a token/credit loop the report must blame the stall
+    /// watchdog (with its parameters), never the cycle budget — budget
+    /// overruns are a different error entirely.
+    #[test]
+    fn report_without_cycle_names_stall_watchdog() {
+        let report = DeadlockReport {
+            cycle: 5678,
+            stall_limit: 1000,
+            last_progress: 4567,
+            blocked: vec![unit(1, vec![WaitCause::Slot { in_use: 2, cap: 2 }])],
+            ..DeadlockReport::default()
+        };
+        let s = report.to_string();
+        assert!(s.contains("stall watchdog"), "{s}");
+        assert!(s.contains("1000 cycles without progress"), "{s}");
+        assert!(s.contains("last progress at cycle 4567"), "{s}");
+        assert!(!s.contains("cycle budget"), "{s}");
     }
 }

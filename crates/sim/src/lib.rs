@@ -44,6 +44,7 @@ mod trace;
 
 pub use deadlock::{BlockedUnit, DeadlockReport, HeldResource, WaitCause};
 pub use model::{ComputeModel, OuterModel, SimModel, TransferModel};
+use resources::FastForward;
 pub use resources::{Activity, FaultStats, Resources, SimError};
 pub use sched::Node;
 pub use trace::{
@@ -55,6 +56,26 @@ use plasticine_compiler::CompileOutput;
 use plasticine_dram::{CoalesceStats, DramConfig, DramStats};
 use plasticine_json::Json;
 use plasticine_ppir::{Machine, Program, TraceRecorder};
+
+/// How the run loop advances simulated time.
+///
+/// Both modes produce bit-identical results — cycle counts, per-unit stall
+/// attribution, DRAM statistics, traces, RNG draw sequences, and error
+/// cycles all match exactly. Event stepping is the default because it is
+/// dramatically faster on memory-bound schedules; cycle stepping remains as
+/// the slow reference the equivalence suite checks against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StepMode {
+    /// Event-driven: after a quiescent cycle, jump straight to the next
+    /// cycle where anything can happen (a pipeline-drain completion, a DRAM
+    /// command/response/refresh edge, a retry-backoff expiry, or the
+    /// watchdog trigger), attributing the skipped span in bulk.
+    #[default]
+    Event,
+    /// Walk the full controller tree every cycle (the pre-event-kernel
+    /// behavior).
+    Cycle,
+}
 
 /// Simulation options.
 #[derive(Debug, Clone)]
@@ -80,6 +101,8 @@ pub struct SimOptions {
     /// many credits. `Some(0)` starves every pipelined dependence — the
     /// canonical under-credited deadlock.
     pub credit_cap: Option<usize>,
+    /// Time-advance strategy; see [`StepMode`].
+    pub step: StepMode,
 }
 
 impl Default for SimOptions {
@@ -91,6 +114,7 @@ impl Default for SimOptions {
             faults: FaultMap::default(),
             stall_limit: 100_000,
             credit_cap: None,
+            step: StepMode::default(),
         }
     }
 }
@@ -233,8 +257,10 @@ impl SimResult {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Run`] if functional execution fails and
-/// [`SimError::Deadlock`] if the schedule exceeds the cycle budget.
+/// Returns [`SimError::Run`] if functional execution fails,
+/// [`SimError::Deadlock`] if the schedule stops making progress for
+/// `stall_limit` cycles, and [`SimError::CycleBudgetExceeded`] if the run
+/// reaches `max_cycles` without finishing.
 pub fn simulate(
     p: &Program,
     out: &CompileOutput,
@@ -298,8 +324,16 @@ fn run_sim(
     let mut root = Node::build(trace, &model, &mut next_job);
 
     let mut last_progress = 0u64;
+    // Set when the event kernel already ran this cycle's `begin_cycle` (it
+    // found the cycle tree-observable): the iteration must tick without
+    // beginning again.
+    let mut skip_begin = false;
     loop {
-        res.begin_cycle();
+        if !skip_begin {
+            res.begin_cycle();
+        }
+        skip_begin = false;
+        res.pre_tick();
         let done = root.tick(&mut res, &model);
         // Exactly one commit per simulated cycle (including the last), so
         // every unit's busy + ctrl + mem + idle total equals `res.now`.
@@ -317,9 +351,18 @@ fn run_sim(
         if done {
             break;
         }
-        if res.now.saturating_sub(last_progress) > opts.stall_limit || res.now > opts.max_cycles {
+        let changed = res.take_changed();
+        if res.now >= opts.max_cycles {
+            return Err(SimError::CycleBudgetExceeded {
+                cycle: res.now,
+                budget: opts.max_cycles,
+            });
+        }
+        if res.now.saturating_sub(last_progress) > opts.stall_limit {
             let mut report = DeadlockReport {
                 cycle: res.now,
+                stall_limit: opts.stall_limit,
+                last_progress,
                 ..DeadlockReport::default()
             };
             root.collect_blocked(&res, &model, &mut report.blocked);
@@ -342,6 +385,19 @@ fn run_sim(
                 report.trace = Some(t);
             }
             return Err(SimError::Deadlock(Box::new(report)));
+        }
+        if opts.step == StepMode::Event && !changed {
+            // The iteration was quiescent: replaying it verbatim would
+            // change nothing, so jump to the next cycle where anything can.
+            match res.fast_forward(
+                root.next_wake(),
+                opts.stall_limit,
+                opts.max_cycles,
+                &mut last_progress,
+            ) {
+                FastForward::NeedBegin => {}
+                FastForward::Begun => skip_begin = true,
+            }
         }
     }
     let units = res.unit_stats(&model);

@@ -255,6 +255,13 @@ impl SimModel {
                         port_factor = port_factor.max(n.div_ceil(cap));
                     }
                     let issue_factor = conflict.max(port_factor);
+                    // Deduplicated, sorted unit lists: per-beat port demand
+                    // is then one token per listed unit, which makes every
+                    // `acquire_ports` outcome a pure function of the
+                    // begin-of-cycle token refresh. The event kernel's
+                    // quiescence argument leans on this — a port-starved
+                    // beat that fails one cycle fails identically the next,
+                    // so the cycle can be skipped without re-ticking.
                     let mut rd_units: Vec<UnitId> = rd_demand.keys().copied().collect();
                     rd_units.sort();
                     let mut wr_units: Vec<UnitId> = wr_demand.keys().copied().collect();

@@ -58,6 +58,15 @@ pub enum SimError {
         /// Retries attempted before giving up.
         attempts: u32,
     },
+    /// The simulation ran to the configured cycle budget without finishing.
+    /// Unlike [`SimError::Deadlock`] this carries no claim that the schedule
+    /// is stuck — it may simply be slower than the budget allows.
+    CycleBudgetExceeded {
+        /// Cycle at which the budget check fired.
+        cycle: u64,
+        /// The configured `max_cycles` budget.
+        budget: u64,
+    },
     /// The fault/DRAM configuration is unusable (e.g. every channel offline).
     Config(String),
 }
@@ -75,6 +84,12 @@ impl std::fmt::Display for SimError {
                 f,
                 "fault exhaustion at cycle {cycle}: DRAM request at {addr:#x} \
                  still dropped after {attempts} retries"
+            ),
+            SimError::CycleBudgetExceeded { cycle, budget } => write!(
+                f,
+                "cycle budget exceeded: simulation reached cycle {cycle} without \
+                 finishing (max_cycles = {budget}); the schedule is making progress \
+                 but needs a larger budget"
             ),
             SimError::Config(msg) => write!(f, "bad simulation configuration: {msg}"),
         }
@@ -135,9 +150,15 @@ pub struct Resources {
     /// Current cycle.
     pub now: u64,
     slots: HashMap<CtrlId, usize>,
-    read_tokens: HashMap<UnitId, usize>,
-    write_tokens: HashMap<UnitId, usize>,
-    mem_ports: HashMap<UnitId, usize>,
+    /// Dense port index per scratchpad unit, indexed by raw unit id
+    /// (`usize::MAX` = no modelled ports, always satisfies an acquire).
+    port_idx: Vec<usize>,
+    /// Port capacity per dense index (the refresh source).
+    port_caps: Vec<usize>,
+    /// Remaining read/write tokens this cycle, refreshed from `port_caps`
+    /// at the top of every [`begin_cycle`](Self::begin_cycle).
+    read_tokens: Vec<usize>,
+    write_tokens: Vec<usize>,
     /// The DRAM timing model.
     pub dram: DramSystem,
     cus: Vec<CoalescingUnit>,
@@ -150,8 +171,9 @@ pub struct Resources {
     coalescing: bool,
     /// Accumulated activity.
     pub activity: Activity,
-    /// Dense slot index per tracked unit (stall attribution).
-    unit_slot: HashMap<UnitId, usize>,
+    /// Dense slot index per tracked unit, indexed by raw unit id
+    /// (`usize::MAX` = untracked), for stall attribution.
+    unit_slot: Vec<usize>,
     /// Highest-priority class noted for each tracked unit this cycle.
     pending_class: Vec<u8>,
     /// Committed per-unit cycle breakdowns.
@@ -175,6 +197,40 @@ pub struct Resources {
     /// completion arrived this cycle; the run loop uses it to detect
     /// deadlock as sustained lack of progress.
     progress: bool,
+    /// Superset of `progress`: also set when a slot was released, a
+    /// controller started or retired, or any other state changed that could
+    /// alter the *next* cycle's tick. A full iteration with `changed` false
+    /// is quiescent — the event kernel may fast-forward from it.
+    changed: bool,
+    /// Set when a tree tick failed to push a DRAM/coalescer request on
+    /// backpressure; cleared by [`pre_tick`](Self::pre_tick). While blocked,
+    /// a freed queue slot (column issue) is a tree-observable event.
+    push_blocked: bool,
+    /// The per-unit class vector committed by the most recent
+    /// [`commit_cycle`](Self::commit_cycle); a quiescent cycle re-derives
+    /// exactly this vector, so skipped cycles replay it in bulk.
+    last_class: Vec<u8>,
+    /// begin_cycle effect flags, consulted by the event kernel.
+    /// Whether the latest begin_cycle routed any completion to a job.
+    begin_routed: bool,
+    /// Whether the latest begin_cycle's DRAM tick issued a column command
+    /// (i.e. freed a channel-queue slot).
+    begin_cols: bool,
+    /// Whether, after the latest begin_cycle's coalescer-issue pass, some
+    /// coalescing unit still holds line requests blocked on queue capacity.
+    cu_pending: bool,
+}
+
+/// Outcome of [`Resources::fast_forward`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FastForward {
+    /// The current cycle needs a full iteration (tree wake or watchdog
+    /// trigger); the run loop should `begin_cycle` as usual.
+    NeedBegin,
+    /// `begin_cycle` for the current cycle already ran and produced
+    /// tree-observable events; the run loop must tick *without* beginning
+    /// again.
+    Begun,
 }
 
 impl Resources {
@@ -191,18 +247,32 @@ impl Resources {
                 )
             })
             .collect();
-        let unit_slot = model
+        let max_unit = model
             .tracked
             .iter()
-            .enumerate()
-            .map(|(i, t)| (t.unit, i))
-            .collect();
+            .map(|t| t.unit.0 as usize + 1)
+            .chain(model.mem_ports.keys().map(|u| u.0 as usize + 1))
+            .max()
+            .unwrap_or(0);
+        let mut unit_slot = vec![usize::MAX; max_unit];
+        for (i, t) in model.tracked.iter().enumerate() {
+            unit_slot[t.unit.0 as usize] = i;
+        }
+        let mut port_idx = vec![usize::MAX; max_unit];
+        let mut port_caps = Vec::new();
+        for (u, cap) in &model.mem_ports {
+            port_idx[u.0 as usize] = port_caps.len();
+            port_caps.push(*cap);
+        }
+        let read_tokens = port_caps.clone();
+        let write_tokens = port_caps.clone();
         Resources {
             now: 0,
             slots: model.ctrl_slots.clone(),
-            read_tokens: HashMap::new(),
-            write_tokens: HashMap::new(),
-            mem_ports: model.mem_ports.clone(),
+            port_idx,
+            port_caps,
+            read_tokens,
+            write_tokens,
             dram: DramSystem::new(dram_cfg),
             cus,
             line_done: HashMap::new(),
@@ -224,6 +294,12 @@ impl Resources {
             retry_queue: Vec::new(),
             fault_exhausted: None,
             progress: false,
+            changed: false,
+            push_blocked: false,
+            last_class: vec![CLASS_IDLE; model.tracked.len()],
+            begin_routed: false,
+            begin_cols: false,
+            cu_pending: false,
         }
     }
 
@@ -244,6 +320,23 @@ impl Resources {
         std::mem::take(&mut self.progress)
     }
 
+    /// Takes and clears the changed flag (superset of progress; see the
+    /// field doc). False after a full iteration means the iteration was
+    /// quiescent: replaying it verbatim would change nothing.
+    pub(crate) fn take_changed(&mut self) -> bool {
+        std::mem::take(&mut self.changed)
+    }
+
+    /// Marks the current iteration as state-changing (see `changed`).
+    pub(crate) fn mark_changed(&mut self) {
+        self.changed = true;
+    }
+
+    /// Resets per-tick flags; call immediately before each tree tick.
+    pub(crate) fn pre_tick(&mut self) {
+        self.push_blocked = false;
+    }
+
     /// A request that exceeded its retry budget, if any: `(addr, attempts)`.
     pub(crate) fn take_fault_exhaustion(&mut self) -> Option<(u64, u32)> {
         self.fault_exhausted.take()
@@ -254,10 +347,28 @@ impl Resources {
         self.fault_stats
     }
 
+    /// Stall-attribution slot for a unit, if tracked.
+    #[inline]
+    fn slot_of(&self, unit: UnitId) -> Option<usize> {
+        match self.unit_slot.get(unit.0 as usize) {
+            Some(&s) if s != usize::MAX => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Dense port index for a unit, if it has modelled ports.
+    #[inline]
+    fn port_of(&self, unit: UnitId) -> Option<usize> {
+        match self.port_idx.get(unit.0 as usize) {
+            Some(&p) if p != usize::MAX => Some(p),
+            _ => None,
+        }
+    }
+
     /// Charges one recovery cycle to a unit (overlay on the four-way
     /// classification) and to the global recovery account.
     pub(crate) fn note_recovery(&mut self, unit: UnitId) {
-        if let Some(&s) = self.unit_slot.get(&unit) {
+        if let Some(s) = self.slot_of(unit) {
             self.unit_cycles[s].recovery += 1;
         }
         self.fault_stats.recovery_cycles += 1;
@@ -309,7 +420,7 @@ impl Resources {
     /// Notes a cycle-class observation for a unit; the highest-priority
     /// class noted during a cycle wins at [`commit_cycle`](Self::commit_cycle).
     pub(crate) fn note(&mut self, unit: UnitId, class: u8) {
-        if let Some(&s) = self.unit_slot.get(&unit) {
+        if let Some(s) = self.slot_of(unit) {
             let p = &mut self.pending_class[s];
             *p = (*p).max(class);
         }
@@ -319,10 +430,41 @@ impl Resources {
     /// class (defaulting to idle), so per unit the four counters always sum
     /// to the number of committed cycles.
     pub(crate) fn commit_cycle(&mut self) {
-        for (p, c) in self.pending_class.iter_mut().zip(&mut self.unit_cycles) {
+        for ((p, c), l) in self
+            .pending_class
+            .iter_mut()
+            .zip(&mut self.unit_cycles)
+            .zip(&mut self.last_class)
+        {
             c.bump(*p);
+            *l = *p;
             *p = CLASS_IDLE;
         }
+    }
+
+    /// Bulk variant of [`commit_cycle`](Self::commit_cycle) for cycles the
+    /// event kernel skipped: a skipped cycle is by construction a verbatim
+    /// replay of the last committed one, so each unit repeats its last
+    /// class. Keeps the per-unit invariant busy+ctrl+mem+idle == total
+    /// cycles exact.
+    pub(crate) fn commit_skipped(&mut self, k: u64) {
+        for (l, c) in self.last_class.iter().zip(&mut self.unit_cycles) {
+            c.bump_by(*l, k);
+        }
+    }
+
+    /// Advances the clock by `k` cycles without simulating them (all state
+    /// is provably static over the span): extends open trace spans, moves
+    /// the DRAM clock, and commits the repeated attribution vector.
+    pub(crate) fn skip_cycles(&mut self, k: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            // Open spans of a quiescent cycle end at the tick-time clock,
+            // which is one past the begin-time clock `now`.
+            t.extend_open(self.now + 1, k);
+        }
+        self.now += k;
+        self.dram.skip(k);
+        self.commit_skipped(k);
     }
 
     /// Assembles the attribution result using the model's unit identities.
@@ -352,14 +494,15 @@ impl Resources {
     /// response drops, re-issues retries whose backoff expired, and
     /// distributes completions to their jobs.
     pub fn begin_cycle(&mut self) {
-        for (u, cap) in &self.mem_ports {
-            self.read_tokens.insert(*u, *cap);
-            self.write_tokens.insert(*u, *cap);
-        }
+        self.read_tokens.copy_from_slice(&self.port_caps);
+        self.write_tokens.copy_from_slice(&self.port_caps);
         for cu in &mut self.cus {
             cu.issue(&mut self.dram);
         }
+        self.cu_pending = self.cus.iter().any(|cu| cu.has_pending_issues());
+        let cols_before = self.dram.issued_columns();
         let mut completions = self.dram.tick();
+        self.begin_cols = self.dram.issued_columns() != cols_before;
         // Transient injection: each response may be dropped in flight. A
         // dropped response's request is re-issued after an exponential
         // backoff, up to the retry budget.
@@ -408,6 +551,7 @@ impl Resources {
                     if self.dram.push(r.req).is_ok() {
                         self.fault_stats.dram_retries += 1;
                         self.progress = true;
+                        self.changed = true;
                     } else {
                         self.retry_queue.push(r);
                         break;
@@ -419,7 +563,9 @@ impl Resources {
         }
         if !completions.is_empty() {
             self.progress = true;
+            self.changed = true;
         }
+        self.begin_routed = !completions.is_empty();
         // Route dense completions to jobs.
         for c in &completions {
             if let Some(job) = self.req_job.remove(&c.id) {
@@ -448,16 +594,120 @@ impl Resources {
         self.now += 1;
     }
 
+    /// Earliest cycle at which a backed-off retry becomes due. `now` itself
+    /// counts: at the fast-forward loop top, cycle `now` has not begun yet,
+    /// so a retry due exactly then still needs its begin. Retries whose due
+    /// cycle has already begun are capacity-blocked, and capacity frees
+    /// exactly at a column-issue event, which the DRAM model already
+    /// reports (the retry pass runs after the DRAM tick in
+    /// [`begin_cycle`](Self::begin_cycle), so it sees the freed slot the
+    /// same cycle).
+    fn retry_next_due(&self) -> u64 {
+        self.retry_queue
+            .iter()
+            .filter(|r| r.due >= self.now)
+            .map(|r| r.due)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Fast-forwards from a quiescent iteration to the next cycle where
+    /// anything can happen. Callable only right after a full iteration whose
+    /// `changed` flag came back false (so replaying the tree tick verbatim
+    /// is provably a no-op) and whose watchdog checks passed.
+    ///
+    /// Event sources, all in the begin-time clock domain (a candidate `m`
+    /// means: process cycle `m`, i.e. run its begin with `now == m`):
+    ///
+    /// - the tree's own wake (`tree_wake`, tick-time domain): the earliest
+    ///   pipeline-drain completion; cycle `tree_wake - 1` must run as a full
+    ///   iteration so the leaf retires when the tick sees `now == tree_wake`;
+    /// - the watchdog trigger: the cycle whose post-commit clock would trip
+    ///   the stall watchdog or the cycle budget must also run as a full
+    ///   iteration so both step modes fail at the identical cycle;
+    /// - the DRAM timing model's next event (command issue, refresh edge,
+    ///   or response arrival);
+    /// - the earliest not-yet-due fault-retry backoff expiry.
+    ///
+    /// DRAM-only events run just the cycle's begin here ("begin core"). If
+    /// that begin routed a completion, tripped fault exhaustion, or freed
+    /// queue capacity a blocked pusher is waiting for, the cycle is
+    /// tree-observable: return [`FastForward::Begun`] and let the run loop
+    /// tick it for real. Otherwise the tree tick would have been a verbatim
+    /// no-op — commit the repeated attribution vector and keep going.
+    ///
+    /// One ordering subtlety forces an extra event: coalescing units issue
+    /// *before* the DRAM tick, so queue capacity freed by a column command
+    /// at cycle `m` is visible to a blocked unit only at cycle `m + 1` —
+    /// when a begin issues a column while some unit still has pending line
+    /// requests, the next cycle must also be processed.
+    pub(crate) fn fast_forward(
+        &mut self,
+        tree_wake: u64,
+        stall_limit: u64,
+        max_cycles: u64,
+        last_progress: &mut u64,
+    ) -> FastForward {
+        loop {
+            // First cycle whose post-commit clock (now + 1) would fire a
+            // run-loop check; it must be a full iteration.
+            let trigger = last_progress
+                .saturating_add(stall_limit)
+                .saturating_add(1)
+                .min(max_cycles);
+            let tree_ev = tree_wake.saturating_sub(1);
+            let trig_ev = trigger.saturating_sub(1);
+            let forced = self.begin_cols && self.cu_pending;
+            if !forced {
+                let m = tree_ev
+                    .min(trig_ev)
+                    .min(self.dram.next_event())
+                    .min(self.retry_next_due());
+                debug_assert!(m >= self.now, "event {m} in the past (now {})", self.now);
+                if m > self.now {
+                    self.skip_cycles(m - self.now);
+                }
+            }
+            if self.now == tree_ev || self.now == trig_ev {
+                return FastForward::NeedBegin;
+            }
+            self.begin_cycle();
+            let observable = self.begin_routed
+                || self.fault_exhausted.is_some()
+                || (self.push_blocked && self.begin_cols);
+            if observable {
+                return FastForward::Begun;
+            }
+            // Quiet DRAM-only cycle: the tick would have re-noted the same
+            // blocked state; extend spans and commit the repeated vector.
+            if let Some(t) = self.tracer.as_mut() {
+                t.extend_open(self.now, 1);
+            }
+            self.commit_skipped(1);
+            // A retry push inside the begin sets progress; mirror the run
+            // loop's post-commit bookkeeping so the watchdog clock matches.
+            if self.take_progress() {
+                *last_progress = self.now;
+            }
+        }
+    }
+
     /// Tries to reserve an invocation slot for a controller.
     pub fn acquire_slot(&mut self, ctrl: CtrlId) -> bool {
         match self.slots.get_mut(&ctrl) {
             Some(n) if *n > 0 => {
                 *n -= 1;
                 self.progress = true;
+                self.changed = true;
                 true
             }
             Some(_) => false,
-            None => true, // controllers without hardware (shouldn't happen)
+            None => {
+                // Controllers without hardware (shouldn't happen); still a
+                // state change — the caller transitions on success.
+                self.changed = true;
+                true
+            }
         }
     }
 
@@ -474,51 +724,59 @@ impl Resources {
         if let Some(n) = self.slots.get_mut(&ctrl) {
             *n += 1;
         }
+        // Not `progress` (freeing a slot does not advance work by itself),
+        // but the freed slot can unblock a sibling next cycle.
+        self.changed = true;
     }
 
     /// Tries to consume one read port per listed memory unit (duplicates
     /// demand multiple ports) and one write port per written unit, all or
     /// nothing.
     pub fn acquire_ports(&mut self, reads: &[UnitId], writes: &[UnitId]) -> bool {
-        let mut rd_demand: HashMap<UnitId, usize> = HashMap::new();
-        for u in reads {
-            *rd_demand.entry(*u).or_insert(0) += 1;
-        }
-        let mut wr_demand: HashMap<UnitId, usize> = HashMap::new();
-        for u in writes {
-            *wr_demand.entry(*u).or_insert(0) += 1;
-        }
-        let ok_r = rd_demand
-            .iter()
-            .all(|(u, n)| self.read_tokens.get(u).copied().unwrap_or(*n) >= *n);
-        let ok_w = wr_demand
-            .iter()
-            .all(|(u, n)| self.write_tokens.get(u).copied().unwrap_or(*n) >= *n);
-        if !(ok_r && ok_w) {
-            // Attribution: scratchpads that were demanded but could not
-            // serve are port-conflicted this cycle (mem-stall unless some
-            // other consumer made them busy).
-            for (u, n) in &rd_demand {
-                if self.read_tokens.get(u).copied().unwrap_or(*n) < *n {
+        // The unit lists are tiny (the model dedups them), so demand counting
+        // is a quadratic scan over the slice instead of a per-call hash map.
+        // Units without a port index have no modelled ports and always
+        // satisfy an acquire.
+        let mut ok = true;
+        for (i, u) in reads.iter().enumerate() {
+            if reads[..i].contains(u) {
+                continue; // demand counted at the first occurrence
+            }
+            if let Some(p) = self.port_of(*u) {
+                let n = reads.iter().filter(|v| *v == u).count();
+                if self.read_tokens[p] < n {
+                    // Attribution: scratchpads that were demanded but could
+                    // not serve are port-conflicted this cycle (mem-stall
+                    // unless some other consumer made them busy).
+                    ok = false;
                     self.note(*u, CLASS_MEM);
                 }
             }
-            for (u, n) in &wr_demand {
-                if self.write_tokens.get(u).copied().unwrap_or(*n) < *n {
+        }
+        for (i, u) in writes.iter().enumerate() {
+            if writes[..i].contains(u) {
+                continue;
+            }
+            if let Some(p) = self.port_of(*u) {
+                let n = writes.iter().filter(|v| *v == u).count();
+                if self.write_tokens[p] < n {
+                    ok = false;
                     self.note(*u, CLASS_MEM);
                 }
             }
+        }
+        if !ok {
             return false;
         }
-        for (u, n) in &rd_demand {
-            if let Some(t) = self.read_tokens.get_mut(u) {
-                *t -= n;
+        for u in reads {
+            if let Some(p) = self.port_of(*u) {
+                self.read_tokens[p] -= 1;
             }
             self.note(*u, CLASS_BUSY);
         }
-        for (u, n) in &wr_demand {
-            if let Some(t) = self.write_tokens.get_mut(u) {
-                *t -= n;
+        for u in writes {
+            if let Some(p) = self.port_of(*u) {
+                self.write_tokens[p] -= 1;
             }
             self.note(*u, CLASS_BUSY);
         }
@@ -526,6 +784,7 @@ impl Resources {
             self.activity.pmu_busy_cycles += 1;
         }
         self.progress = true;
+        self.changed = true;
         true
     }
 
@@ -533,6 +792,7 @@ impl Resources {
     /// backpressure.
     pub fn push_dense(&mut self, job: u64, byte_addr: u64, is_write: bool) -> bool {
         if !self.dram.can_accept(byte_addr) {
+            self.push_blocked = true;
             return false;
         }
         let id = self.next_dense;
@@ -545,12 +805,16 @@ impl Resources {
             Ok(()) => {
                 self.req_job.insert(id, job);
                 self.progress = true;
+                self.changed = true;
                 if let Some(t) = self.tracer.as_mut() {
                     t.dram_issue(id, byte_addr, is_write, false, job, self.now);
                 }
                 true
             }
-            Err(_) => false,
+            Err(_) => {
+                self.push_blocked = true;
+                false
+            }
         }
     }
 
@@ -560,6 +824,7 @@ impl Resources {
         if !self.coalescing {
             // Ablation: every element is its own DRAM burst.
             if !self.dram.can_accept(byte_addr) {
+                self.push_blocked = true;
                 return false;
             }
             let id = self.next_dense;
@@ -573,12 +838,16 @@ impl Resources {
                     // Report it back through the element channel.
                     self.req_elem.insert(id, job);
                     self.progress = true;
+                    self.changed = true;
                     if let Some(t) = self.tracer.as_mut() {
                         t.dram_issue(id, byte_addr & !63, is_write, true, job, self.now);
                     }
                     true
                 }
-                Err(_) => false,
+                Err(_) => {
+                    self.push_blocked = true;
+                    false
+                }
             }
         } else {
             let chan = self.dram.config().map(byte_addr).channel;
@@ -593,11 +862,13 @@ impl Resources {
             }) {
                 *seq += 1;
                 self.progress = true;
+                self.changed = true;
                 if let Some(t) = self.tracer.as_mut() {
                     t.dram_issue(id, byte_addr, is_write, true, job, self.now);
                 }
                 true
             } else {
+                self.push_blocked = true;
                 false
             }
         }
@@ -605,11 +876,17 @@ impl Resources {
 
     /// Takes the number of dense-line completions accumulated for a job.
     pub fn take_lines(&mut self, job: u64) -> u64 {
+        if self.line_done.is_empty() {
+            return 0; // common case in compute phases: skip the hash
+        }
         self.line_done.remove(&job).unwrap_or(0)
     }
 
     /// Takes the number of element completions accumulated for a job.
     pub fn take_elems(&mut self, job: u64) -> u64 {
+        if self.elem_done.is_empty() {
+            return 0;
+        }
         self.elem_done.remove(&job).unwrap_or(0)
     }
 

@@ -48,6 +48,14 @@ impl Node {
             TraceNode::Outer { ctrl, iters } => {
                 let om = model.outer.get(&ctrl).expect("outer model");
                 let n_children = om.children.len();
+                // Index the dep edges per child once, so the per-cycle start
+                // gates don't rescan the whole edge list.
+                let mut deps_in = vec![Vec::new(); n_children];
+                let mut deps_out = vec![Vec::new(); n_children];
+                for &(pr, co, depth) in &om.deps {
+                    deps_in[co].push(pr);
+                    deps_out[pr].push((co, depth));
+                }
                 let iters: Vec<Vec<Option<Node>>> = iters
                     .into_iter()
                     .map(|ch| {
@@ -62,6 +70,9 @@ impl Node {
                     schedule: om.schedule,
                     width: om.width,
                     deps: om.deps.clone(),
+                    deps_in,
+                    deps_out,
+                    in_flight: vec![0; n_children],
                     children: om.children.clone(),
                     n_children,
                     n_iters,
@@ -95,6 +106,33 @@ impl Node {
         }
     }
 
+    /// Earliest future cycle at which the tree changes state *on its own*,
+    /// in the tick-time clock domain: the minimum pending pipeline-drain
+    /// completion. Every other way the tree can unblock — a DRAM response,
+    /// freed queue capacity, a retry expiry — is an externally generated
+    /// event the run loop's event kernel tracks separately; and in a
+    /// quiescent cycle no purely internal transition is pending (anything
+    /// startable would have started and marked the cycle changed).
+    pub(crate) fn next_wake(&self) -> u64 {
+        match self {
+            Node::Leaf(l) => match &l.state {
+                LeafState::Drain { finish, .. } => *finish,
+                _ => u64::MAX,
+            },
+            Node::Outer(o) => {
+                if o.done {
+                    u64::MAX
+                } else {
+                    o.active
+                        .iter()
+                        .map(|(_, _, n)| n.next_wake())
+                        .min()
+                        .unwrap_or(u64::MAX)
+                }
+            }
+        }
+    }
+
     /// Walks the live tree and records every blocked unit with what it
     /// holds and awaits — the raw material of a
     /// [`DeadlockReport`](crate::DeadlockReport). Mirrors the start
@@ -114,6 +152,13 @@ pub struct OuterNode {
     schedule: Schedule,
     width: usize,
     deps: Vec<(usize, usize, usize)>,
+    /// Producers per consumer child (dep edges indexed by consumer).
+    deps_in: Vec<Vec<usize>>,
+    /// `(consumer, depth)` per producer child (dep edges indexed by producer).
+    deps_out: Vec<Vec<(usize, usize)>>,
+    /// Per-child occupying-invocation counts, recomputed by
+    /// [`start_pipelined`](Self::start_pipelined) each tick (scratch buffer).
+    in_flight: Vec<usize>,
     /// Child controllers, in program order (for stall attribution).
     children: Vec<CtrlId>,
     n_children: usize,
@@ -170,13 +215,14 @@ impl OuterNode {
                 self.active.swap_remove(i);
                 self.mark_done(it, ch);
                 res.activity.ctrl_msgs += 1; // done token back to parent
+                res.mark_changed(); // retirement may unblock siblings
             } else {
                 i += 1;
             }
         }
         // Start new children under the protocol.
         match self.schedule {
-            Schedule::Sequential => self.start_sequential(),
+            Schedule::Sequential => self.start_sequential(res),
             Schedule::Pipelined | Schedule::Streaming => self.start_pipelined(res, model),
         }
         if self.all_done() {
@@ -196,7 +242,7 @@ impl OuterNode {
 
     /// Sequential: one child at a time, program order, iteration by
     /// iteration ("only one data dependent child is active at any time").
-    fn start_sequential(&mut self) {
+    fn start_sequential(&mut self, res: &mut Resources) {
         if !self.active.is_empty() {
             return;
         }
@@ -216,6 +262,7 @@ impl OuterNode {
         if let Some(node) = self.iters[it][ch].take() {
             self.active.push((it, ch, node));
             self.started[ch] = self.started[ch].max(it + 1);
+            res.mark_changed(); // a fresh invocation entered the tree
         }
         self.seq_cursor = (it, ch + 1);
     }
@@ -225,37 +272,35 @@ impl OuterNode {
     /// credits (consumers at most `depth-1` iterations behind), per-child
     /// hardware width, and in-order starts.
     fn start_pipelined(&mut self, res: &mut Resources, model: &SimModel) {
+        // One pass over the active set; starts below only ever add
+        // invocations for the child being considered, so incrementing the
+        // started child's own count keeps the tally exact.
+        self.in_flight.fill(0);
+        for (_, c, n) in &self.active {
+            if n.occupying() {
+                self.in_flight[*c] += 1;
+            }
+        }
         for ch in 0..self.n_children {
             loop {
                 let i = self.started[ch];
                 if i >= self.n_iters {
                     break;
                 }
-                let in_flight = self
-                    .active
-                    .iter()
-                    .filter(|(_, c, n)| *c == ch && n.occupying())
-                    .count();
-                if in_flight >= self.width {
+                if self.in_flight[ch] >= self.width {
                     break;
                 }
                 // Tokens: all producers have finished iteration i.
-                let tokens_ok = self
-                    .deps
-                    .iter()
-                    .filter(|(_, c, _)| *c == ch)
-                    .all(|(pr, _, _)| self.water[*pr] > i);
+                let tokens_ok = self.deps_in[ch].iter().all(|pr| self.water[*pr] > i);
                 if !tokens_ok {
                     self.note_blocked(res, model, ch, WaitKind::Token);
                     break;
                 }
                 // Credits: don't run further ahead of any consumer than the
                 // buffer between allows.
-                let credits_ok = self
-                    .deps
+                let credits_ok = self.deps_out[ch]
                     .iter()
-                    .filter(|(pr, _, _)| *pr == ch)
-                    .all(|(_, co, depth)| i < self.water[*co] + *depth);
+                    .all(|(co, depth)| i < self.water[*co] + *depth);
                 if !credits_ok {
                     self.note_blocked(res, model, ch, WaitKind::Credit);
                     break;
@@ -263,8 +308,12 @@ impl OuterNode {
                 let Some(node) = self.iters[i][ch].take() else {
                     break;
                 };
+                if node.occupying() {
+                    self.in_flight[ch] += 1;
+                }
                 self.active.push((i, ch, node));
                 self.started[ch] = i + 1;
+                res.mark_changed(); // a fresh invocation entered the tree
             }
         }
     }

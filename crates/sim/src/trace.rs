@@ -103,11 +103,18 @@ impl UnitCycles {
     }
 
     pub(crate) fn bump(&mut self, class: u8) {
+        self.bump_by(class, 1);
+    }
+
+    /// Bulk form of [`bump`](Self::bump): attributes `k` cycles to one
+    /// class in a single step. The event-driven kernel uses it to commit a
+    /// whole skipped span at once while keeping the sum invariant exact.
+    pub(crate) fn bump_by(&mut self, class: u8, k: u64) {
         match class {
-            CLASS_BUSY => self.busy += 1,
-            CLASS_MEM => self.mem_stall += 1,
-            CLASS_CTRL => self.ctrl_stall += 1,
-            _ => self.idle += 1,
+            CLASS_BUSY => self.busy += k,
+            CLASS_MEM => self.mem_stall += k,
+            CLASS_CTRL => self.ctrl_stall += k,
+            _ => self.idle += k,
         }
     }
 }
@@ -457,6 +464,24 @@ impl Tracer {
             (ctrl.0, 0),
             now,
         );
+    }
+
+    /// Extends every open wait/conflict span ending exactly at `end` by `k`
+    /// cycles. During a span of cycles the event kernel skips (or processes
+    /// without a tree tick), a per-cycle stepper would have re-noted the
+    /// same blocked state every cycle — this is the bulk equivalent, so
+    /// exported traces stay bit-identical between step modes.
+    pub(crate) fn extend_open(&mut self, end: u64, k: u64) {
+        for span in self.open_waits.values_mut() {
+            if span.1 == end {
+                span.1 += k;
+            }
+        }
+        for span in self.open_conflicts.values_mut() {
+            if span.1 == end {
+                span.1 += k;
+            }
+        }
     }
 
     pub(crate) fn leaf(&mut self, ctrl: CtrlId, job: u64, start: u64, end: u64) {

@@ -115,10 +115,11 @@ fn cycle_budget_is_enforced() {
         ..SimOptions::default()
     };
     match simulate(&p, &out, &mut m, &opts) {
-        Err(SimError::Deadlock(report)) => {
-            assert!(report.cycle > 100);
-            // A slow-but-live schedule has no wait-for cycle.
-            assert!(report.cycle_chain.is_empty(), "{report}");
+        // A slow-but-live schedule exhausting its budget is *not* a
+        // deadlock: it gets its own error, at exactly the budget cycle.
+        Err(SimError::CycleBudgetExceeded { cycle, budget }) => {
+            assert_eq!(cycle, 100);
+            assert_eq!(budget, 100);
         }
         other => panic!("expected budget exhaustion, got {other:?}"),
     }

@@ -10,7 +10,8 @@
 //!
 //! Exit codes: 0 success, 1 runtime failure (bad data, I/O, verification),
 //! 2 usage error, 3 compilation failure (including insufficient degraded
-//! fabric), 4 deadlock, 5 transient-fault exhaustion.
+//! fabric), 4 deadlock, 5 transient-fault exhaustion, 6 cycle budget
+//! exceeded.
 
 use plasticine::arch::{FaultMap, FaultSpec, MachineConfig, PlasticineParams, Topology};
 use plasticine::compiler::{compile_degraded, CompileOptions};
@@ -19,7 +20,7 @@ use plasticine::json::Json;
 use plasticine::models::PowerModel;
 use plasticine::ppir::Machine;
 use plasticine::sim::{
-    simulate, simulate_traced, SimError, SimOptions, SimResult, UnitKind, UnitStats,
+    simulate, simulate_traced, SimError, SimOptions, SimResult, StepMode, UnitKind, UnitStats,
 };
 use plasticine::workloads::{all, Bench, Scale};
 use std::process::ExitCode;
@@ -28,10 +29,11 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_COMPILE: u8 = 3;
 const EXIT_DEADLOCK: u8 = 4;
 const EXIT_FAULT_EXHAUSTION: u8 = 5;
+const EXIT_CYCLE_BUDGET: u8 = 6;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--bitstream FILE]\n\nrun options:\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n(with `run all`, the benchmark name is inserted into each output file name)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--bitstream FILE]\n\nrun options:\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n(with `run all`, the benchmark name is inserted into each output file name)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -52,6 +54,7 @@ struct Flags {
     units: bool,
     faults: Option<FaultSpec>,
     bitstream: Option<String>,
+    step: StepMode,
 }
 
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
@@ -90,6 +93,17 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                     v.parse::<FaultSpec>()
                         .map_err(|e| format!("--faults: {e}"))?,
                 );
+            }
+            "--step-mode" => {
+                f.step = match v.as_str() {
+                    "event" => StepMode::Event,
+                    "cycle" => StepMode::Cycle,
+                    _ => {
+                        return Err(format!(
+                            "--step-mode requires `event` or `cycle`, got `{v}`"
+                        ))
+                    }
+                };
             }
             _ => unreachable!("flag list and match arms agree"),
         }
@@ -164,6 +178,7 @@ struct RunConfig {
     stats: Option<String>,
     units: bool,
     faults: FaultMap,
+    step: StepMode,
 }
 
 /// A failed run, carrying the process exit code it maps to.
@@ -181,6 +196,7 @@ impl RunFailure {
         let code = match &e {
             SimError::Deadlock(_) => EXIT_DEADLOCK,
             SimError::FaultExhaustion { .. } => EXIT_FAULT_EXHAUSTION,
+            SimError::CycleBudgetExceeded { .. } => EXIT_CYCLE_BUDGET,
             _ => 1,
         };
         RunFailure {
@@ -207,6 +223,7 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
     bench.load(&mut m);
     let opts = SimOptions {
         faults: cfg.faults.clone(),
+        step: cfg.step,
         ..SimOptions::default()
     };
     let sim_res = if cfg.trace.is_some() {
@@ -316,7 +333,14 @@ fn main() -> ExitCode {
             }
             let flags = match parse_flags(
                 &args[2..],
-                &["--scale", "--trace", "--stats-json", "--units", "--faults"],
+                &[
+                    "--scale",
+                    "--trace",
+                    "--stats-json",
+                    "--units",
+                    "--faults",
+                    "--step-mode",
+                ],
             ) {
                 Ok(f) => f,
                 Err(e) => {
@@ -359,6 +383,7 @@ fn main() -> ExitCode {
                     }),
                     units: flags.units,
                     faults: faults.clone(),
+                    step: flags.step,
                 };
                 if let Err(e) = run_one(b, &params, &cfg) {
                     eprintln!("{}: {}", b.name, e.message);
