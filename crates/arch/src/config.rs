@@ -704,6 +704,23 @@ impl MachineConfig {
         bitstream::config_back(&j).map_err(BitstreamError::Format)
     }
 
+    /// The configuration as a JSON value — the payload of
+    /// [`to_bitstream`](MachineConfig::to_bitstream), exposed so larger
+    /// artifacts (the compiler's full `Bitstream`) can embed it without
+    /// re-parsing a string.
+    pub fn to_json(&self) -> plasticine_json::Json {
+        bitstream::config_json(self)
+    }
+
+    /// Parses a configuration from its JSON value form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Format`] on schema mismatch.
+    pub fn from_json(j: &plasticine_json::Json) -> Result<MachineConfig, BitstreamError> {
+        bitstream::config_back(j).map_err(BitstreamError::Format)
+    }
+
     /// Writes the bitstream to a file.
     ///
     /// # Errors

@@ -1,0 +1,222 @@
+//! Compile-pipeline benchmark: cold-vs-warm compile cache, and the
+//! serial-vs-parallel Figure 7 sweep.
+//!
+//! ```sh
+//! cargo bench -p plasticine-bench --bench compile
+//! ```
+//!
+//! Two measurements, written to `BENCH_compile.json` at the workspace
+//! root:
+//!
+//! * **cache** — every Table 4 workload is compiled through one shared
+//!   [`CompileCache`] twice. The first (cold) pass runs the full pass
+//!   pipeline; the second (warm) pass is a hash lookup. Per-workload and
+//!   total wall times are recorded, plus the cold/warm ratio.
+//! * **sweep** — the six Figure 7 panels over the Table 6 benchmarks,
+//!   timed with the serial per-app loop ([`sweep_serial`]) and with the
+//!   thread-per-app parallel driver ([`sweep`]), minimum over `ITERS`
+//!   runs. The two must produce element-for-element identical rows (the
+//!   process exits non-zero if they differ); `cores` is recorded because
+//!   the parallel speedup is bounded by the machine's parallelism — on a
+//!   single-core runner the two are expected to tie.
+
+use plasticine_arch::PlasticineParams;
+use plasticine_compiler::{build_virtual, Analysis, CompileCache, CompileOptions};
+use plasticine_json::Json;
+use plasticine_models::dse::{sweep, sweep_serial, PcuParamKind, SweepRow, SweepSpec};
+use plasticine_models::AreaModel;
+use plasticine_workloads::{all, Scale};
+use std::time::Instant;
+
+const WARMUP: u32 = 1;
+const ITERS: u32 = 3;
+
+/// The six Figure 7 panels (target, values, fixed), as in the `fig7`
+/// bench.
+fn panels() -> Vec<SweepSpec> {
+    use PcuParamKind::*;
+    vec![
+        SweepSpec {
+            target: Stages,
+            values: (4..=16).collect(),
+            fixed: vec![],
+        },
+        SweepSpec {
+            target: Regs,
+            values: (2..=16).collect(),
+            fixed: vec![(Stages, 6)],
+        },
+        SweepSpec {
+            target: ScalarIns,
+            values: (1..=10).collect(),
+            fixed: vec![(Stages, 6), (Regs, 6)],
+        },
+        SweepSpec {
+            target: ScalarOuts,
+            values: (1..=6).collect(),
+            fixed: vec![(Stages, 6), (Regs, 6), (ScalarIns, 6)],
+        },
+        SweepSpec {
+            target: VectorIns,
+            values: (2..=10).collect(),
+            fixed: vec![(Stages, 6), (Regs, 6)],
+        },
+        SweepSpec {
+            target: VectorOuts,
+            values: (1..=6).collect(),
+            fixed: vec![(Stages, 6), (Regs, 6), (VectorIns, 3)],
+        },
+    ]
+}
+
+/// A sweep driver: [`sweep_serial`] or the parallel [`sweep`].
+type SweepFn =
+    fn(&[(String, plasticine_compiler::VirtualDesign)], &SweepSpec, &AreaModel) -> Vec<SweepRow>;
+
+fn rows_equal(a: &[SweepRow], b: &[SweepRow]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.app == y.app
+                && x.points.len() == y.points.len()
+                && x.points
+                    .iter()
+                    .zip(&y.points)
+                    .all(|(p, q)| p.value == q.value && p.overhead == q.overhead)
+        })
+}
+
+fn main() {
+    let params = PlasticineParams::paper_final();
+    let opts = CompileOptions::new();
+
+    // ---- cold vs warm compile cache ----
+    let cache = CompileCache::new();
+    let benches = all(Scale(1));
+    let mut cache_rows = Vec::new();
+    let mut cold_total = 0.0;
+    let mut warm_total = 0.0;
+    println!("{:<14} {:>12} {:>12}", "bench", "cold", "warm");
+    for bench in &benches {
+        let t0 = Instant::now();
+        cache
+            .compile_degraded(&bench.program, &params, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let cold = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        cache
+            .compile_degraded(&bench.program, &params, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let warm = t0.elapsed().as_secs_f64();
+        cold_total += cold;
+        warm_total += warm;
+        println!(
+            "{:<14} {:>9.3} ms {:>9.3} ms",
+            bench.name,
+            cold * 1e3,
+            warm * 1e3
+        );
+        cache_rows.push(Json::Obj(vec![
+            ("bench".into(), Json::from(bench.name.clone())),
+            ("cold_s".into(), Json::from(cold)),
+            ("warm_s".into(), Json::from(warm)),
+        ]));
+    }
+    assert_eq!(cache.hits(), benches.len(), "second pass is all hits");
+    assert_eq!(cache.misses(), benches.len(), "first pass is all misses");
+    let cache_speedup = cold_total / warm_total.max(1e-12);
+    println!(
+        "{:<14} {:>9.3} ms {:>9.3} ms  ({:.0}x)\n",
+        "total",
+        cold_total * 1e3,
+        warm_total * 1e3,
+        cache_speedup
+    );
+
+    // ---- serial vs parallel Figure 7 sweep ----
+    let apps: Vec<_> = all(Scale::tiny())
+        .into_iter()
+        .filter(|b| b.name != "CNN")
+        .map(|b| {
+            let an = Analysis::run(&b.program);
+            let v = build_virtual(&b.program, &an);
+            (b.name, v)
+        })
+        .collect();
+    let model = AreaModel::new();
+    let specs = panels();
+    let run_all = |f: SweepFn| {
+        specs
+            .iter()
+            .map(|s| f(&apps, s, &model))
+            .collect::<Vec<_>>()
+    };
+    let time_all = |f: SweepFn| {
+        for _ in 0..WARMUP {
+            run_all(f);
+        }
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            let r = run_all(f);
+            best = best.min(t0.elapsed().as_secs_f64());
+            last = Some(r);
+        }
+        (best, last.expect("ITERS >= 1"))
+    };
+    let (serial_s, serial_rows) = time_all(sweep_serial);
+    let (parallel_s, parallel_rows) = time_all(sweep);
+    let identical = serial_rows
+        .iter()
+        .zip(&parallel_rows)
+        .all(|(a, b)| rows_equal(a, b));
+    let sweep_speedup = serial_s / parallel_s.max(1e-12);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "figure 7 sweep ({} panels, {} apps, {} cores): serial {:.1} ms, parallel {:.1} ms ({:.2}x)  rows {}",
+        specs.len(),
+        apps.len(),
+        cores,
+        serial_s * 1e3,
+        parallel_s * 1e3,
+        sweep_speedup,
+        if identical { "identical" } else { "DIVERGED" },
+    );
+
+    let report = Json::Obj(vec![
+        ("iters".into(), Json::from(ITERS)),
+        ("cores".into(), Json::from(cores)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("cold_total_s".into(), Json::from(cold_total)),
+                ("warm_total_s".into(), Json::from(warm_total)),
+                ("speedup".into(), Json::from(cache_speedup)),
+                ("workloads".into(), Json::Arr(cache_rows)),
+            ]),
+        ),
+        (
+            "sweep".into(),
+            Json::Obj(vec![
+                ("panels".into(), Json::from(specs.len())),
+                ("apps".into(), Json::from(apps.len())),
+                ("serial_s".into(), Json::from(serial_s)),
+                ("parallel_s".into(), Json::from(parallel_s)),
+                ("speedup".into(), Json::from(sweep_speedup)),
+                ("rows_identical".into(), Json::from(identical)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile.json");
+    match std::fs::write(path, report.pretty()) {
+        Ok(()) => println!("report written to {path}"),
+        Err(e) => {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !identical {
+        eprintln!("serial and parallel sweeps diverged");
+        std::process::exit(1);
+    }
+}

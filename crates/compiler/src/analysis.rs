@@ -2,7 +2,7 @@
 //! factors, memory producer/consumer relations, and N-buffer depths.
 
 use plasticine_ppir::{CtrlBody, CtrlId, Expr, FuncId, InnerOp, Program, RegId, Schedule, SramId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// How a controller touches a memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,12 +34,14 @@ pub struct Analysis {
     /// intra-invocation parallelism; `anc_copies` bounds how many
     /// invocations of the controller may be in flight concurrently.
     pub anc_copies: Vec<usize>,
-    /// Controllers accessing each scratchpad, with access kind.
-    pub sram_access: HashMap<SramId, Vec<(CtrlId, Access)>>,
-    /// Controllers accessing each register.
-    pub reg_access: HashMap<RegId, Vec<(CtrlId, Access)>>,
+    /// Controllers accessing each scratchpad, with access kind. Ordered
+    /// (`BTreeMap`) so downstream link emission iterates deterministically
+    /// and two compiles of the same program produce identical bitstreams.
+    pub sram_access: BTreeMap<SramId, Vec<(CtrlId, Access)>>,
+    /// Controllers accessing each register. Ordered for the same reason.
+    pub reg_access: BTreeMap<RegId, Vec<(CtrlId, Access)>>,
     /// Derived N-buffer depth for each scratchpad.
-    pub nbuf: HashMap<SramId, usize>,
+    pub nbuf: BTreeMap<SramId, usize>,
     /// Depth of each controller (root = 0).
     pub depth: Vec<usize>,
 }
@@ -66,50 +68,22 @@ impl Analysis {
         });
 
         // Copies and lanes.
-        let mut copies = vec![1usize; n];
-        let mut lanes = vec![1usize; n];
-        let mut anc_copies = vec![1usize; n];
-        for id in 0..n {
-            let cid = CtrlId(id as u32);
-            let ctrl = p.ctrl(cid);
-            // Ancestor par product.
-            let mut c = 1usize;
-            let mut cur = parent[id];
-            while let Some(a) = cur {
-                c *= p.ctrl(a).total_par();
-                cur = parent[a.0 as usize];
-            }
-            anc_copies[id] = c;
-            if ctrl.is_outer() {
-                copies[id] = c;
-            } else {
-                // Own chain: all but innermost multiply copies; innermost is
-                // the SIMD width.
-                let own = &ctrl.cchain;
-                let own_outer: usize = own
-                    .iter()
-                    .take(own.len().saturating_sub(1))
-                    .map(|k| k.par.max(1))
-                    .product();
-                copies[id] = c * own_outer;
-                lanes[id] = own.last().map(|k| k.par.max(1)).unwrap_or(1);
-            }
-        }
+        let (copies, lanes, anc_copies) = unroll_factors(p, &parent);
 
         // Memory accesses.
-        let mut sram_access: HashMap<SramId, Vec<(CtrlId, Access)>> = HashMap::new();
-        let mut reg_access: HashMap<RegId, Vec<(CtrlId, Access)>> = HashMap::new();
+        let mut sram_access: BTreeMap<SramId, Vec<(CtrlId, Access)>> = BTreeMap::new();
+        let mut reg_access: BTreeMap<RegId, Vec<(CtrlId, Access)>> = BTreeMap::new();
         for &cid in &p.inner_ctrls() {
             let CtrlBody::Inner(op) = &p.ctrl(cid).body else {
                 continue;
             };
-            let rec_sram = |s: SramId, a: Access, m: &mut HashMap<_, Vec<_>>| {
+            let rec_sram = |s: SramId, a: Access, m: &mut BTreeMap<_, Vec<_>>| {
                 m.entry(s).or_insert_with(Vec::new).push((cid, a));
             };
             let func_reads =
                 |f: FuncId,
-                 srams: &mut HashMap<SramId, Vec<(CtrlId, Access)>>,
-                 regs: &mut HashMap<RegId, Vec<(CtrlId, Access)>>| {
+                 srams: &mut BTreeMap<SramId, Vec<(CtrlId, Access)>>,
+                 regs: &mut BTreeMap<RegId, Vec<(CtrlId, Access)>>| {
                     for nodexpr in p.func(f).nodes() {
                         match nodexpr {
                             Expr::Load { mem, .. } => {
@@ -192,11 +166,25 @@ impl Analysis {
             anc_copies,
             sram_access,
             reg_access,
-            nbuf: HashMap::new(),
+            nbuf: BTreeMap::new(),
             depth,
         };
         an.compute_nbuf(p);
         an
+    }
+
+    /// Recomputes only the parallelization-dependent vectors (`copies`,
+    /// `lanes`, `anc_copies`) for a program whose counter `par` factors
+    /// changed but whose structure did not — the situation after
+    /// [`Program::with_reduced_par`]. Everything else in the analysis
+    /// (tree shape, schedules, memory access sets, N-buffer depths) is
+    /// independent of `par`, so degraded-fabric recompilation can restart
+    /// from the partition pass instead of re-running the whole analysis.
+    pub fn refresh_unroll(&mut self, p: &Program) {
+        let (copies, lanes, anc_copies) = unroll_factors(p, &self.parent);
+        self.copies = copies;
+        self.lanes = lanes;
+        self.anc_copies = anc_copies;
     }
 
     /// Path from a controller up to the root (inclusive).
@@ -380,6 +368,42 @@ impl Analysis {
             })
             .unwrap_or_default()
     }
+}
+
+/// Per-controller unroll factors `(copies, lanes, anc_copies)` — the only
+/// part of the analysis that depends on counter `par` values.
+fn unroll_factors(p: &Program, parent: &[Option<CtrlId>]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n = p.ctrls().len();
+    let mut copies = vec![1usize; n];
+    let mut lanes = vec![1usize; n];
+    let mut anc_copies = vec![1usize; n];
+    for id in 0..n {
+        let cid = CtrlId(id as u32);
+        let ctrl = p.ctrl(cid);
+        // Ancestor par product.
+        let mut c = 1usize;
+        let mut cur = parent[id];
+        while let Some(a) = cur {
+            c *= p.ctrl(a).total_par();
+            cur = parent[a.0 as usize];
+        }
+        anc_copies[id] = c;
+        if ctrl.is_outer() {
+            copies[id] = c;
+        } else {
+            // Own chain: all but innermost multiply copies; innermost is
+            // the SIMD width.
+            let own = &ctrl.cchain;
+            let own_outer: usize = own
+                .iter()
+                .take(own.len().saturating_sub(1))
+                .map(|k| k.par.max(1))
+                .product();
+            copies[id] = c * own_outer;
+            lanes[id] = own.last().map(|k| k.par.max(1)).unwrap_or(1);
+        }
+    }
+    (copies, lanes, anc_copies)
 }
 
 #[cfg(test)]

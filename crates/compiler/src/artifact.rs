@@ -1,0 +1,803 @@
+//! The serializable configuration artifact ("bitstream").
+//!
+//! [`Bitstream`] is a versioned, content-hashed snapshot of a full
+//! [`CompileOutput`] — machine configuration, virtual design, partition
+//! chunks, placement, controller analysis — plus the degradation log of a
+//! fault-aware compile. It is everything the simulator needs to run a
+//! program *without the compiler*: `plasticine-run compile --out cfg.json`
+//! writes one, `run --config cfg.json` loads it and skips compilation
+//! entirely (§3.6's "static configuration 'bitstream'", serialized as
+//! structured JSON over the in-tree `plasticine-json`).
+//!
+//! Encoding is canonical: all containers in [`CompileOutput`] are ordered
+//! (`Vec`s and `BTreeMap`s), so the same compile always encodes to the
+//! same bytes and `content_hash` (FNV-1a over the compact payload) is a
+//! stable identity. Per-pass timings are deliberately *not* serialized.
+
+use crate::analysis::{Access, Analysis};
+use crate::partition::ChunkStats;
+use crate::passes::CompileOutput;
+use crate::place::Placement;
+use crate::vunit::{VOp, VSrc, VirtualAg, VirtualDesign, VirtualPcu, VirtualPmu};
+use plasticine_arch::{AgId, BitstreamError, MachineConfig, SiteId, SwitchId};
+use plasticine_ppir::{BankingMode, CtrlId, Program, RegId, Schedule, SramId};
+use std::collections::BTreeMap;
+
+use plasticine_json::Json;
+
+/// A serializable compilation artifact: versioned, content-hashed snapshot
+/// of a [`CompileOutput`] plus the degradation log.
+#[derive(Debug, Clone)]
+pub struct Bitstream {
+    /// Schema version ([`Bitstream::VERSION`] when produced by this build).
+    pub version: u32,
+    /// Name of the compiled program.
+    pub program_name: String,
+    /// [`Program::stable_hash`] of the *original* program — before any
+    /// degradation replays. `run --config` checks it against the program
+    /// it is about to feed the simulator, so an artifact compiled at a
+    /// different scale (or from a different benchmark) is rejected up
+    /// front instead of producing garbage.
+    pub program_hash: u64,
+    /// FNV-1a hash of the compact-encoded payload (everything except this
+    /// field). Verified on decode.
+    pub content_hash: u64,
+    /// One note per parallelization reduction applied by degraded-fabric
+    /// compilation, in order. Empty for a pristine compile. Replaying
+    /// `Program::with_reduced_par` once per note recovers the program the
+    /// artifact was compiled from.
+    pub degradations: Vec<String>,
+    /// The full compiler output (timings reset to empty — they are not
+    /// content).
+    pub output: CompileOutput,
+}
+
+impl Bitstream {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Wraps a compile output (and the degradation notes that produced
+    /// it) into an artifact, computing the content hash. `original` is
+    /// the program *before* degradation — the one `recover_program` will
+    /// later be handed.
+    pub fn new(original: &Program, output: CompileOutput, degradations: Vec<String>) -> Bitstream {
+        let mut b = Bitstream {
+            version: Bitstream::VERSION,
+            program_name: output.config.program_name.clone(),
+            program_hash: original.stable_hash(),
+            content_hash: 0,
+            degradations,
+            output,
+        };
+        b.content_hash = fnv64(b.payload_json().compact().as_bytes());
+        b
+    }
+
+    /// Whether this artifact was compiled from `program` (same stable
+    /// content hash of the pre-degradation program).
+    pub fn matches_program(&self, program: &Program) -> bool {
+        self.program_hash == program.stable_hash()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn encode(&self) -> String {
+        let mut fields = vec![(
+            "content_hash".to_string(),
+            Json::from(format!("{:016x}", self.content_hash)),
+        )];
+        if let Json::Obj(payload) = self.payload_json() {
+            fields.extend(payload);
+        }
+        Json::Obj(fields).pretty()
+    }
+
+    /// Parses an artifact, verifying the schema version and the content
+    /// hash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Format`] on malformed input, an
+    /// unsupported version, or a content-hash mismatch (a corrupted or
+    /// hand-edited artifact).
+    pub fn decode(s: &str) -> Result<Bitstream, BitstreamError> {
+        let j = Json::parse(s).map_err(|e| BitstreamError::Format(e.to_string()))?;
+        let b = decode_json(&j).map_err(BitstreamError::Format)?;
+        let actual = fnv64(b.payload_json().compact().as_bytes());
+        if actual != b.content_hash {
+            return Err(BitstreamError::Format(format!(
+                "content hash mismatch: artifact says {:016x}, payload hashes to {actual:016x}",
+                b.content_hash
+            )));
+        }
+        Ok(b)
+    }
+
+    /// Writes the encoded artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Io`] on filesystem failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), BitstreamError> {
+        std::fs::write(path, self.encode()).map_err(BitstreamError::Io)
+    }
+
+    /// Reads and decodes an artifact from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError`] on filesystem or decode failure.
+    pub fn load(path: &std::path::Path) -> Result<Bitstream, BitstreamError> {
+        let s = std::fs::read_to_string(path).map_err(BitstreamError::Io)?;
+        Bitstream::decode(&s)
+    }
+
+    /// Recovers the program this artifact was compiled from by replaying
+    /// the degradation log against `original`: each note halves the
+    /// largest parallelization factor, exactly as degraded compilation
+    /// did. With an empty log this is a clone of `original`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Format`] if the log does not match
+    /// `original` (wrong program, or a log longer than the program's
+    /// reducible parallelism).
+    pub fn recover_program(&self, original: &Program) -> Result<Program, BitstreamError> {
+        let mut cur = original.clone();
+        for note in &self.degradations {
+            let Some((reduced, desc)) = cur.with_reduced_par() else {
+                return Err(BitstreamError::Format(format!(
+                    "degradation log does not fit program `{}`: no parallelism left to \
+                     reduce for note `{note}`",
+                    original.name()
+                )));
+            };
+            if !note.starts_with(&desc) {
+                return Err(BitstreamError::Format(format!(
+                    "degradation log mismatch for program `{}`: note `{note}` does not \
+                     replay as `{desc}`",
+                    original.name()
+                )));
+            }
+            cur = reduced;
+        }
+        Ok(cur)
+    }
+
+    /// The hashed payload: every field except `content_hash`.
+    fn payload_json(&self) -> Json {
+        Json::obj([
+            ("version", Json::from(self.version)),
+            ("program_name", Json::from(self.program_name.as_str())),
+            (
+                "program_hash",
+                Json::from(format!("{:016x}", self.program_hash)),
+            ),
+            (
+                "degradations",
+                Json::Arr(
+                    self.degradations
+                        .iter()
+                        .map(|d| Json::from(d.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("config", self.output.config.to_json()),
+            ("virtual_design", vdesign_json(&self.output.virtual_design)),
+            (
+                "chunks",
+                Json::Arr(
+                    self.output
+                        .chunks
+                        .iter()
+                        .map(|cs| Json::Arr(cs.iter().map(chunk_json).collect()))
+                        .collect(),
+                ),
+            ),
+            ("placement", placement_json(&self.output.placement)),
+            ("analysis", analysis_json(&self.output.analysis)),
+        ])
+    }
+}
+
+/// FNV-1a over raw bytes — the artifact's content-hash algorithm.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---- encoding ----
+
+fn ids_json<T: Copy>(ids: &[T], f: impl Fn(T) -> u32) -> Json {
+    Json::Arr(ids.iter().map(|&v| Json::from(f(v))).collect())
+}
+
+fn vsrc_json(s: &VSrc) -> Json {
+    match s {
+        VSrc::Op(n) => Json::obj([("Op", Json::from(*n))]),
+        VSrc::VecIn(n) => Json::obj([("VecIn", Json::from(*n))]),
+        VSrc::ScalIn(n) => Json::obj([("ScalIn", Json::from(*n))]),
+        VSrc::Free => Json::from("Free"),
+    }
+}
+
+fn banking_str(b: BankingMode) -> &'static str {
+    match b {
+        BankingMode::Strided => "Strided",
+        BankingMode::Fifo => "Fifo",
+        BankingMode::LineBuffer => "LineBuffer",
+        BankingMode::Duplication => "Duplication",
+    }
+}
+
+fn vdesign_json(v: &VirtualDesign) -> Json {
+    let pcu = |u: &VirtualPcu| {
+        Json::obj([
+            ("name", Json::from(u.name.as_str())),
+            ("ctrl", Json::from(u.ctrl.0)),
+            (
+                "ops",
+                Json::Arr(
+                    u.ops
+                        .iter()
+                        .map(|op| {
+                            Json::obj([
+                                ("srcs", Json::Arr(op.srcs.iter().map(vsrc_json).collect())),
+                                ("heavy", Json::from(op.heavy)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("vec_ins", Json::from(u.vec_ins)),
+            ("scal_ins", Json::from(u.scal_ins)),
+            (
+                "outputs",
+                Json::Arr(u.outputs.iter().map(vsrc_json).collect()),
+            ),
+            ("vec_outs", Json::from(u.vec_outs)),
+            ("scal_outs", Json::from(u.scal_outs)),
+            ("reduction_lanes", Json::from(u.reduction_lanes)),
+            ("lanes", Json::from(u.lanes)),
+            ("copies", Json::from(u.copies)),
+        ])
+    };
+    let pmu = |m: &VirtualPmu| {
+        Json::obj([
+            ("sram", Json::from(m.sram.0)),
+            ("words", Json::from(m.words)),
+            ("nbuf", Json::from(m.nbuf)),
+            ("banking", Json::from(banking_str(m.banking))),
+            ("write_addr_ops", Json::from(m.write_addr_ops)),
+            ("read_addr_ops", Json::from(m.read_addr_ops)),
+            ("copies", Json::from(m.copies)),
+        ])
+    };
+    let ag = |a: &VirtualAg| {
+        Json::obj([
+            ("ctrl", Json::from(a.ctrl.0)),
+            ("sparse", Json::from(a.sparse)),
+            ("store", Json::from(a.store)),
+            ("addr_ops", Json::from(a.addr_ops)),
+            ("copies", Json::from(a.copies)),
+        ])
+    };
+    Json::obj([
+        ("pcus", Json::Arr(v.pcus.iter().map(pcu).collect())),
+        ("pmus", Json::Arr(v.pmus.iter().map(pmu).collect())),
+        ("ags", Json::Arr(v.ags.iter().map(ag).collect())),
+        ("outers", ids_json(&v.outers, |c| c.0)),
+    ])
+}
+
+fn chunk_json(c: &ChunkStats) -> Json {
+    Json::obj([
+        ("stages", Json::from(c.stages)),
+        ("max_live", Json::from(c.max_live)),
+        ("vec_ins", Json::from(c.vec_ins)),
+        ("vec_outs", Json::from(c.vec_outs)),
+        ("scal_ins", Json::from(c.scal_ins)),
+        ("scal_outs", Json::from(c.scal_outs)),
+    ])
+}
+
+fn placement_json(pl: &Placement) -> Json {
+    let nested =
+        |vv: &[Vec<SiteId>]| Json::Arr(vv.iter().map(|v| ids_json(v, |s: SiteId| s.0)).collect());
+    Json::obj([
+        ("pcu_sites", nested(&pl.pcu_sites)),
+        ("pmu_sites", nested(&pl.pmu_sites)),
+        (
+            "pmus_per_copy",
+            Json::Arr(pl.pmus_per_copy.iter().map(|&n| Json::from(n)).collect()),
+        ),
+        (
+            "ag_ids",
+            Json::Arr(
+                pl.ag_ids
+                    .iter()
+                    .map(|v| ids_json(v, |a: AgId| a.0))
+                    .collect(),
+            ),
+        ),
+        ("outer_switches", ids_json(&pl.outer_switches, |s| s.0)),
+    ])
+}
+
+fn schedule_str(s: Schedule) -> &'static str {
+    match s {
+        Schedule::Sequential => "Sequential",
+        Schedule::Pipelined => "Pipelined",
+        Schedule::Streaming => "Streaming",
+    }
+}
+
+fn access_str(a: Access) -> &'static str {
+    match a {
+        Access::Write => "Write",
+        Access::Read => "Read",
+    }
+}
+
+fn accs_json(accs: &[(CtrlId, Access)]) -> Json {
+    Json::Arr(
+        accs.iter()
+            .map(|(c, a)| {
+                Json::obj([
+                    ("ctrl", Json::from(c.0)),
+                    ("access", Json::from(access_str(*a))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn analysis_json(an: &Analysis) -> Json {
+    let usizes = |v: &[usize]| Json::Arr(v.iter().map(|&n| Json::from(n)).collect());
+    Json::obj([
+        (
+            "parent",
+            Json::Arr(
+                an.parent
+                    .iter()
+                    .map(|p| p.map(|c| Json::from(c.0)).unwrap_or(Json::Null))
+                    .collect(),
+            ),
+        ),
+        (
+            "governing",
+            Json::Arr(
+                an.governing
+                    .iter()
+                    .map(|s| Json::from(schedule_str(*s)))
+                    .collect(),
+            ),
+        ),
+        ("child_index", usizes(&an.child_index)),
+        ("copies", usizes(&an.copies)),
+        ("lanes", usizes(&an.lanes)),
+        ("anc_copies", usizes(&an.anc_copies)),
+        (
+            "sram_access",
+            Json::Arr(
+                an.sram_access
+                    .iter()
+                    .map(|(s, accs)| {
+                        Json::obj([("sram", Json::from(s.0)), ("accs", accs_json(accs))])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "reg_access",
+            Json::Arr(
+                an.reg_access
+                    .iter()
+                    .map(|(r, accs)| {
+                        Json::obj([("reg", Json::from(r.0)), ("accs", accs_json(accs))])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "nbuf",
+            Json::Arr(
+                an.nbuf
+                    .iter()
+                    .map(|(s, n)| Json::obj([("sram", Json::from(s.0)), ("depth", Json::from(*n))]))
+                    .collect(),
+            ),
+        ),
+        ("depth", usizes(&an.depth)),
+    ])
+}
+
+// ---- decoding ----
+
+type R<T> = Result<T, String>;
+
+fn field<'j>(j: &'j Json, key: &str) -> R<&'j Json> {
+    j.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn usize_of(j: &Json, key: &str) -> R<usize> {
+    field(j, key)?
+        .as_usize()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+fn u32_of(j: &Json, key: &str) -> R<u32> {
+    field(j, key)?
+        .as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| format!("field `{key}` is not a u32"))
+}
+
+fn bool_of(j: &Json, key: &str) -> R<bool> {
+    field(j, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{key}` is not a bool"))
+}
+
+fn str_of<'j>(j: &'j Json, key: &str) -> R<&'j str> {
+    field(j, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+fn arr_of<'j>(j: &'j Json, key: &str) -> R<&'j [Json]> {
+    field(j, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field `{key}` is not an array"))
+}
+
+fn ids_of<T>(j: &Json, key: &str, f: impl Fn(u32) -> T) -> R<Vec<T>> {
+    arr_of(j, key)?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(&f)
+                .ok_or_else(|| format!("field `{key}` holds a non-id value"))
+        })
+        .collect()
+}
+
+fn usizes_of(j: &Json, key: &str) -> R<Vec<usize>> {
+    arr_of(j, key)?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .ok_or_else(|| format!("field `{key}` holds a non-integer"))
+        })
+        .collect()
+}
+
+fn vsrc_back(j: &Json) -> R<VSrc> {
+    if j.as_str() == Some("Free") {
+        return Ok(VSrc::Free);
+    }
+    let Json::Obj(pairs) = j else {
+        return Err("virtual source is neither `Free` nor a tagged object".into());
+    };
+    let [(tag, val)] = pairs.as_slice() else {
+        return Err("virtual source object must have exactly one key".into());
+    };
+    let n = val
+        .as_usize()
+        .ok_or_else(|| format!("virtual source `{tag}` value is not an index"))?;
+    match tag.as_str() {
+        "Op" => Ok(VSrc::Op(n)),
+        "VecIn" => Ok(VSrc::VecIn(n)),
+        "ScalIn" => Ok(VSrc::ScalIn(n)),
+        other => Err(format!("unknown virtual source `{other}`")),
+    }
+}
+
+fn banking_back(s: &str) -> R<BankingMode> {
+    Ok(match s {
+        "Strided" => BankingMode::Strided,
+        "Fifo" => BankingMode::Fifo,
+        "LineBuffer" => BankingMode::LineBuffer,
+        "Duplication" => BankingMode::Duplication,
+        other => return Err(format!("unknown banking mode `{other}`")),
+    })
+}
+
+fn vdesign_back(j: &Json) -> R<VirtualDesign> {
+    let pcus = arr_of(j, "pcus")?
+        .iter()
+        .map(|u| {
+            Ok(VirtualPcu {
+                name: str_of(u, "name")?.to_string(),
+                ctrl: CtrlId(u32_of(u, "ctrl")?),
+                ops: arr_of(u, "ops")?
+                    .iter()
+                    .map(|op| {
+                        Ok(VOp {
+                            srcs: arr_of(op, "srcs")?
+                                .iter()
+                                .map(vsrc_back)
+                                .collect::<R<_>>()?,
+                            heavy: bool_of(op, "heavy")?,
+                        })
+                    })
+                    .collect::<R<_>>()?,
+                vec_ins: usize_of(u, "vec_ins")?,
+                scal_ins: usize_of(u, "scal_ins")?,
+                outputs: arr_of(u, "outputs")?
+                    .iter()
+                    .map(vsrc_back)
+                    .collect::<R<_>>()?,
+                vec_outs: usize_of(u, "vec_outs")?,
+                scal_outs: usize_of(u, "scal_outs")?,
+                reduction_lanes: usize_of(u, "reduction_lanes")?,
+                lanes: usize_of(u, "lanes")?,
+                copies: usize_of(u, "copies")?,
+            })
+        })
+        .collect::<R<_>>()?;
+    let pmus = arr_of(j, "pmus")?
+        .iter()
+        .map(|m| {
+            Ok(VirtualPmu {
+                sram: SramId(u32_of(m, "sram")?),
+                words: usize_of(m, "words")?,
+                nbuf: usize_of(m, "nbuf")?,
+                banking: banking_back(str_of(m, "banking")?)?,
+                write_addr_ops: usize_of(m, "write_addr_ops")?,
+                read_addr_ops: usize_of(m, "read_addr_ops")?,
+                copies: usize_of(m, "copies")?,
+            })
+        })
+        .collect::<R<_>>()?;
+    let ags = arr_of(j, "ags")?
+        .iter()
+        .map(|a| {
+            Ok(VirtualAg {
+                ctrl: CtrlId(u32_of(a, "ctrl")?),
+                sparse: bool_of(a, "sparse")?,
+                store: bool_of(a, "store")?,
+                addr_ops: usize_of(a, "addr_ops")?,
+                copies: usize_of(a, "copies")?,
+            })
+        })
+        .collect::<R<_>>()?;
+    Ok(VirtualDesign {
+        pcus,
+        pmus,
+        ags,
+        outers: ids_of(j, "outers", CtrlId)?,
+    })
+}
+
+fn chunk_back(j: &Json) -> R<ChunkStats> {
+    Ok(ChunkStats {
+        stages: usize_of(j, "stages")?,
+        max_live: usize_of(j, "max_live")?,
+        vec_ins: usize_of(j, "vec_ins")?,
+        vec_outs: usize_of(j, "vec_outs")?,
+        scal_ins: usize_of(j, "scal_ins")?,
+        scal_outs: usize_of(j, "scal_outs")?,
+    })
+}
+
+fn placement_back(j: &Json) -> R<Placement> {
+    let nested = |key: &str| -> R<Vec<Vec<SiteId>>> {
+        arr_of(j, key)?
+            .iter()
+            .map(|v| {
+                v.as_arr()
+                    .ok_or_else(|| format!("`{key}` entry is not an array"))?
+                    .iter()
+                    .map(|n| {
+                        n.as_u64()
+                            .and_then(|x| u32::try_from(x).ok())
+                            .map(SiteId)
+                            .ok_or_else(|| format!("`{key}` holds a non-id value"))
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    Ok(Placement {
+        pcu_sites: nested("pcu_sites")?,
+        pmu_sites: nested("pmu_sites")?,
+        pmus_per_copy: usizes_of(j, "pmus_per_copy")?,
+        ag_ids: arr_of(j, "ag_ids")?
+            .iter()
+            .map(|v| {
+                v.as_arr()
+                    .ok_or_else(|| "`ag_ids` entry is not an array".to_string())?
+                    .iter()
+                    .map(|n| {
+                        n.as_u64()
+                            .and_then(|x| u32::try_from(x).ok())
+                            .map(AgId)
+                            .ok_or_else(|| "`ag_ids` holds a non-id value".to_string())
+                    })
+                    .collect()
+            })
+            .collect::<R<_>>()?,
+        outer_switches: ids_of(j, "outer_switches", SwitchId)?,
+    })
+}
+
+fn schedule_back(s: &str) -> R<Schedule> {
+    Ok(match s {
+        "Sequential" => Schedule::Sequential,
+        "Pipelined" => Schedule::Pipelined,
+        "Streaming" => Schedule::Streaming,
+        other => return Err(format!("unknown schedule `{other}`")),
+    })
+}
+
+fn access_back(s: &str) -> R<Access> {
+    Ok(match s {
+        "Write" => Access::Write,
+        "Read" => Access::Read,
+        other => return Err(format!("unknown access `{other}`")),
+    })
+}
+
+fn accs_back(j: &Json, key: &str) -> R<Vec<(CtrlId, Access)>> {
+    arr_of(j, key)?
+        .iter()
+        .map(|e| {
+            Ok((
+                CtrlId(u32_of(e, "ctrl")?),
+                access_back(str_of(e, "access")?)?,
+            ))
+        })
+        .collect()
+}
+
+fn analysis_back(j: &Json) -> R<Analysis> {
+    let parent = arr_of(j, "parent")?
+        .iter()
+        .map(|v| match v {
+            Json::Null => Ok(None),
+            _ => v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(|n| Some(CtrlId(n)))
+                .ok_or_else(|| "`parent` holds a non-id value".to_string()),
+        })
+        .collect::<R<_>>()?;
+    let governing = arr_of(j, "governing")?
+        .iter()
+        .map(|v| {
+            schedule_back(
+                v.as_str()
+                    .ok_or_else(|| "`governing` holds a non-string".to_string())?,
+            )
+        })
+        .collect::<R<_>>()?;
+    let mut sram_access = BTreeMap::new();
+    for e in arr_of(j, "sram_access")? {
+        sram_access.insert(SramId(u32_of(e, "sram")?), accs_back(e, "accs")?);
+    }
+    let mut reg_access = BTreeMap::new();
+    for e in arr_of(j, "reg_access")? {
+        reg_access.insert(RegId(u32_of(e, "reg")?), accs_back(e, "accs")?);
+    }
+    let mut nbuf = BTreeMap::new();
+    for e in arr_of(j, "nbuf")? {
+        nbuf.insert(SramId(u32_of(e, "sram")?), usize_of(e, "depth")?);
+    }
+    Ok(Analysis {
+        parent,
+        governing,
+        child_index: usizes_of(j, "child_index")?,
+        copies: usizes_of(j, "copies")?,
+        lanes: usizes_of(j, "lanes")?,
+        anc_copies: usizes_of(j, "anc_copies")?,
+        sram_access,
+        reg_access,
+        nbuf,
+        depth: usizes_of(j, "depth")?,
+    })
+}
+
+fn decode_json(j: &Json) -> R<Bitstream> {
+    let version = u32_of(j, "version")?;
+    if version != Bitstream::VERSION {
+        return Err(format!(
+            "unsupported artifact version {version} (this build reads version {})",
+            Bitstream::VERSION
+        ));
+    }
+    let hash_str = str_of(j, "content_hash")?;
+    let content_hash = u64::from_str_radix(hash_str, 16)
+        .map_err(|_| format!("`content_hash` is not a hex hash: `{hash_str}`"))?;
+    let phash_str = str_of(j, "program_hash")?;
+    let program_hash = u64::from_str_radix(phash_str, 16)
+        .map_err(|_| format!("`program_hash` is not a hex hash: `{phash_str}`"))?;
+    let degradations = arr_of(j, "degradations")?
+        .iter()
+        .map(|d| {
+            d.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "`degradations` holds a non-string".to_string())
+        })
+        .collect::<R<_>>()?;
+    let config = MachineConfig::from_json(field(j, "config")?).map_err(|e| e.to_string())?;
+    let output = CompileOutput {
+        config,
+        virtual_design: vdesign_back(field(j, "virtual_design")?)?,
+        chunks: arr_of(j, "chunks")?
+            .iter()
+            .map(|cs| {
+                cs.as_arr()
+                    .ok_or_else(|| "`chunks` entry is not an array".to_string())?
+                    .iter()
+                    .map(chunk_back)
+                    .collect()
+            })
+            .collect::<R<_>>()?,
+        placement: placement_back(field(j, "placement")?)?,
+        analysis: analysis_back(field(j, "analysis")?)?,
+        timings: Default::default(),
+    };
+    Ok(Bitstream {
+        version,
+        program_name: str_of(j, "program_name")?.to_string(),
+        program_hash,
+        content_hash,
+        degradations,
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::compile;
+    use plasticine_arch::PlasticineParams;
+
+    #[test]
+    fn artifact_roundtrips_and_hash_is_stable() {
+        let p = crate::emit::tests::vadd_tiled(2);
+        let out = compile(&p, &PlasticineParams::paper_final()).unwrap();
+        let b = Bitstream::new(&p, out, vec![]);
+        let encoded = b.encode();
+        let back = Bitstream::decode(&encoded).unwrap();
+        assert_eq!(back.version, Bitstream::VERSION);
+        assert_eq!(back.program_name, "vadd");
+        assert_eq!(back.content_hash, b.content_hash);
+        assert!(back.matches_program(&p));
+        assert!(!back.matches_program(&crate::emit::tests::vadd_tiled(4)));
+        // Re-encoding the decoded artifact is byte-identical.
+        assert_eq!(back.encode(), encoded);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let p = crate::emit::tests::vadd_tiled(1);
+        let out = compile(&p, &PlasticineParams::paper_final()).unwrap();
+        let b = Bitstream::new(&p, out, vec![]);
+        let tampered = b.encode().replace("\"vadd\"", "\"vado\"");
+        let err = Bitstream::decode(&tampered).unwrap_err();
+        assert!(err.to_string().contains("hash"), "{err}");
+    }
+
+    #[test]
+    fn degradation_log_replays() {
+        let p = crate::emit::tests::vadd_tiled(4);
+        let (reduced, desc) = p.with_reduced_par().unwrap();
+        let out = compile(&reduced, &PlasticineParams::paper_final()).unwrap();
+        let b = Bitstream::new(&p, out, vec![format!("{desc} (insufficient fabric)")]);
+        let recovered = b.recover_program(&p).unwrap();
+        assert_eq!(recovered, reduced);
+        // A log that does not match the program is rejected.
+        let wrong = Bitstream::new(
+            &p,
+            b.output.clone(),
+            vec!["bogus: par 64 -> 32 (nope)".to_string()],
+        );
+        assert!(wrong.recover_program(&p).is_err());
+    }
+}

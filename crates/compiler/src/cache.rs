@@ -1,0 +1,147 @@
+//! Compile cache keyed by content hashes.
+//!
+//! The key is `(program hash, params hash, options hash)` — the options
+//! hash covers the routing budgets *and* the fault map, so compiling the
+//! same program for a differently-degraded chip never aliases. Hashes are
+//! stable across processes ([`plasticine_ppir::stable_hash_of`] — FNV-1a
+//! over deterministic `Debug` renderings), so the key identifies the
+//! compile, not the allocation.
+//!
+//! The cache is `Sync`: the parallel DSE/batch drivers share one instance
+//! across worker threads, and entries are handed out as `Arc`s so a hit
+//! costs a lookup and a refcount bump instead of a recompile.
+
+use crate::error::CompileError;
+use crate::passes::{compile_degraded, CompileOptions, CompileOutput};
+use plasticine_arch::PlasticineParams;
+use plasticine_ppir::{stable_hash_of, Program};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: `(program, params, options)` content hashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`Program::stable_hash`] of the source program.
+    pub program: u64,
+    /// Stable hash of the architecture parameters.
+    pub params: u64,
+    /// Stable hash of the compile options (route limits + fault map).
+    pub opts: u64,
+}
+
+impl CacheKey {
+    /// Computes the key for a compile request.
+    pub fn of(p: &Program, params: &PlasticineParams, opts: &CompileOptions) -> CacheKey {
+        CacheKey {
+            program: p.stable_hash(),
+            params: stable_hash_of(params),
+            opts: stable_hash_of(opts),
+        }
+    }
+}
+
+/// One cached compile: the output, the (possibly par-reduced) program
+/// actually compiled, and the degradation notes.
+pub type CachedCompile = (CompileOutput, Program, Vec<String>);
+
+/// A thread-safe memoization layer over [`compile_degraded`].
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<CacheKey, Arc<CachedCompile>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// [`compile_degraded`] through the cache: returns the cached entry on
+    /// a key hit, otherwise compiles, stores, and returns the new entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the underlying compile. Failures
+    /// are not cached — a retry recompiles.
+    pub fn compile_degraded(
+        &self,
+        p: &Program,
+        params: &PlasticineParams,
+        opts: &CompileOptions,
+    ) -> Result<Arc<CachedCompile>, CompileError> {
+        let key = CacheKey::of(p, params, opts);
+        if let Some(hit) = self.entries.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Compile outside the lock: concurrent misses on different keys
+        // must not serialize on each other. Two racing misses on the SAME
+        // key both compile; the outputs are identical (compilation is
+        // deterministic), so last-insert-wins is harmless.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(compile_degraded(p, params, opts)?);
+        self.entries.lock().unwrap().insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= actual compiles) so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct entries held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_arch::PlasticineParams;
+
+    #[test]
+    fn warm_hit_returns_the_same_entry() {
+        let cache = CompileCache::new();
+        let p = crate::emit::tests::vadd_tiled(2);
+        let params = PlasticineParams::paper_final();
+        let opts = CompileOptions::new();
+        let a = cache.compile_degraded(&p, &params, &opts).unwrap();
+        let b = cache.compile_degraded(&p, &params, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second compile must be a cache hit");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_inputs_do_not_alias() {
+        let cache = CompileCache::new();
+        let params = PlasticineParams::paper_final();
+        let opts = CompileOptions::new();
+        let p1 = crate::emit::tests::vadd_tiled(1);
+        let p2 = crate::emit::tests::vadd_tiled(2);
+        cache.compile_degraded(&p1, &params, &opts).unwrap();
+        cache.compile_degraded(&p2, &params, &opts).unwrap();
+        // Same program, different params → separate entry too.
+        let mut params2 = params.clone();
+        params2.pcu.lanes = 4;
+        cache.compile_degraded(&p1, &params2, &opts).unwrap();
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+}

@@ -1,11 +1,12 @@
-//! Final assembly: units, links, DRAM allocation → [`MachineConfig`].
+//! The `route` and `emit` passes: units, links, DRAM allocation →
+//! [`MachineConfig`]. Driven by the pass manager in [`crate::passes`].
 
 use crate::analysis::{Access, Analysis};
 use crate::error::CompileError;
-use crate::partition::{partition, ChunkStats};
-use crate::place::{place, Placement};
-use crate::route::{path_hops, RouteLimits, Router};
-use crate::vunit::{build_virtual, VirtualDesign};
+use crate::partition::ChunkStats;
+use crate::place::Placement;
+use crate::route::{path_hops, Router};
+use crate::vunit::VirtualDesign;
 use plasticine_arch::{
     AgCfg, AgMode, ComputeCfg, DramAlloc, LinkCfg, MachineConfig, MemoryCfg, NetClass,
     OuterCtrlCfg, ResourceUsage, SwitchId, Topology, UnitCfg, UnitId,
@@ -13,125 +14,21 @@ use plasticine_arch::{
 use plasticine_ppir::{CBound, CtrlBody, CtrlId, Program, SramId};
 use std::collections::HashMap;
 
-/// Everything the compiler produces: the runnable configuration plus the
-/// intermediate artifacts the area models and DSE consume.
-#[derive(Debug, Clone)]
-pub struct CompileOutput {
-    /// The placed-and-routed configuration.
-    pub config: MachineConfig,
-    /// Virtual design before partitioning.
-    pub virtual_design: VirtualDesign,
-    /// Partition result per virtual PCU.
-    pub chunks: Vec<Vec<ChunkStats>>,
-    /// Physical placement.
-    pub placement: Placement,
-    /// Controller-tree analysis.
-    pub analysis: Analysis,
-}
-
-/// Compilation options beyond the architecture parameters.
-#[derive(Debug, Clone, Default)]
-pub struct CompileOptions {
-    /// Routing track budgets.
-    pub route_limits: RouteLimits,
-    /// Fault map to compile around: dead sites/links are blacklisted from
-    /// placement and routing. Default is a pristine chip.
-    pub faults: plasticine_arch::FaultMap,
-}
-
-impl CompileOptions {
-    /// Default options.
-    pub fn new() -> CompileOptions {
-        CompileOptions::default()
-    }
-}
-
-/// Compiles a program for a parameter set (§3.6's full pipeline: virtual
-/// units → partitioning → placement → routing → configuration).
+/// The `route` pass: builds the physical unit list from the placed design
+/// and routes every logical connection over the switch mesh.
 ///
-/// # Errors
-///
-/// Returns [`CompileError`] if the parameters are invalid, a virtual unit
-/// cannot be partitioned, the chip runs out of units, or routing fails.
-pub fn compile(
+/// Iteration over the analysis access maps is deterministic (they are
+/// ordered `BTreeMap`s), so two compiles of the same input emit links in
+/// the same order and claim identical tracks.
+pub(crate) fn route(
     p: &Program,
-    params: &plasticine_arch::PlasticineParams,
-) -> Result<CompileOutput, CompileError> {
-    compile_with(p, params, &CompileOptions::new())
-}
-
-/// [`compile_with`] that degrades gracefully on a faulted fabric: when the
-/// surviving units cannot host the program at its requested parallelization
-/// ([`CompileError::InsufficientFabric`]), the compiler halves the largest
-/// parallelization factor and retries until the program fits or every
-/// counter is serial. Returns the output together with the (possibly
-/// reduced) program actually compiled — the simulator must execute that
-/// program, not the original — and one human-readable note per reduction.
-///
-/// On a pristine fabric the first attempt succeeds and this is exactly
-/// [`compile_with`].
-///
-/// # Errors
-///
-/// Same as [`compile_with`]; [`CompileError::InsufficientFabric`] is only
-/// returned once parallelization reduction is exhausted.
-pub fn compile_degraded(
-    p: &Program,
-    params: &plasticine_arch::PlasticineParams,
-    opts: &CompileOptions,
-) -> Result<(CompileOutput, Program, Vec<String>), CompileError> {
-    let mut cur = p.clone();
-    let mut notes = Vec::new();
-    loop {
-        match compile_with(&cur, params, opts) {
-            Ok(out) => return Ok((out, cur, notes)),
-            Err(e @ CompileError::InsufficientFabric { .. }) => match cur.with_reduced_par() {
-                Some((reduced, desc)) => {
-                    notes.push(format!("{desc} ({e})"));
-                    cur = reduced;
-                }
-                None => return Err(e),
-            },
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// [`compile`] with explicit options.
-///
-/// # Errors
-///
-/// Same as [`compile`].
-pub fn compile_with(
-    p: &Program,
-    params: &plasticine_arch::PlasticineParams,
-    opts: &CompileOptions,
-) -> Result<CompileOutput, CompileError> {
-    params.validate()?;
-    let an = Analysis::run(p);
-    let mut v = build_virtual(p, &an);
-
-    // Clamp SIMD widths to the architecture: an innermost `par` wider than
-    // the PCU's lanes is realized as extra unroll copies.
-    for u in &mut v.pcus {
-        if u.lanes > params.pcu.lanes {
-            u.copies *= u.lanes.div_ceil(params.pcu.lanes);
-            if u.reduction_lanes > 1 {
-                u.reduction_lanes = params.pcu.lanes;
-            }
-            u.lanes = params.pcu.lanes;
-        }
-    }
-
-    let chunks: Vec<Vec<ChunkStats>> = v
-        .pcus
-        .iter()
-        .map(|u| partition(u, &params.pcu))
-        .collect::<Result<_, _>>()?;
-
-    let topo = Topology::new(params);
-    let placement = place(p, &an, &v, &chunks, params, &topo, &opts.faults)?;
-
+    an: &Analysis,
+    v: &VirtualDesign,
+    chunks: &[Vec<ChunkStats>],
+    placement: &Placement,
+    topo: &Topology,
+    opts: &crate::passes::CompileOptions,
+) -> Result<(Vec<UnitCfg>, Vec<LinkCfg>), CompileError> {
     // ---- Units ----
     let np = v.pcus.len();
     let nm = v.pmus.len();
@@ -205,7 +102,7 @@ pub fn compile_with(
     };
 
     // ---- Links ----
-    let mut router = Router::degraded(&topo, opts.route_limits, &opts.faults);
+    let mut router = Router::degraded(topo, opts.route_limits, &opts.faults);
     let mut links: Vec<LinkCfg> = Vec::new();
     let add_link = |router: &mut Router,
                     links: &mut Vec<LinkCfg>,
@@ -355,7 +252,20 @@ pub fn compile_with(
         }
     }
 
-    // ---- DRAM allocation: 4 KiB-aligned, sequential ----
+    Ok((units, links))
+}
+
+/// The `emit` pass: DRAM allocation, resource usage, and the final
+/// [`MachineConfig`].
+pub(crate) fn assemble(
+    p: &Program,
+    params: &plasticine_arch::PlasticineParams,
+    v: &VirtualDesign,
+    placement: &Placement,
+    units: Vec<UnitCfg>,
+    links: Vec<LinkCfg>,
+) -> MachineConfig {
+    // DRAM allocation: 4 KiB-aligned, sequential.
     let mut base = Vec::with_capacity(p.drams().len());
     let mut cursor: u64 = 0;
     for d in p.drams() {
@@ -371,32 +281,25 @@ pub fn compile_with(
         switch_ctrls: v.outers.len(),
     };
 
-    let config = MachineConfig {
+    MachineConfig {
         params: params.clone(),
         program_name: p.name().to_string(),
         units,
         links,
         alloc: DramAlloc { base },
         usage,
-    };
-
-    Ok(CompileOutput {
-        config,
-        virtual_design: v,
-        chunks,
-        placement,
-        analysis: an,
-    })
+    }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use plasticine_arch::PlasticineParams;
+pub(crate) mod tests {
+    use crate::error::CompileError;
+    use crate::passes::compile;
+    use plasticine_arch::{PlasticineParams, UnitCfg};
     use plasticine_ppir::*;
 
     /// Tiled vector-add: load two tiles, add, store, over 4 tiles.
-    fn vadd_tiled(par_tiles: usize) -> Program {
+    pub(crate) fn vadd_tiled(par_tiles: usize) -> Program {
         let n = 256usize;
         let tile = 64usize;
         let mut b = ProgramBuilder::new("vadd");

@@ -13,6 +13,13 @@
 //! 5. `route` — BFS routing over the switch mesh with bounded tracks;
 //! 6. `emit` — assembly into a [`plasticine_arch::MachineConfig`].
 //!
+//! The stages run under a staged pass manager ([`passes`]) with per-pass
+//! wall-clock timings and restart-from-stage support (degraded-fabric
+//! retries rewind to `partition`, not to `analysis`). The full output can
+//! be serialized to a versioned, content-hashed [`Bitstream`] artifact
+//! ([`artifact`]) and compilation can be memoized through a thread-safe
+//! [`CompileCache`] ([`cache`]) keyed by stable content hashes.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -28,17 +35,26 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod artifact;
+pub mod cache;
 mod emit;
 mod error;
 pub mod partition;
+pub mod passes;
 mod place;
 mod route;
 pub mod vunit;
 
 pub use analysis::{Access, Analysis};
-pub use emit::{compile, compile_degraded, compile_with, CompileOptions, CompileOutput};
+pub use artifact::Bitstream;
+pub use cache::{CacheKey, CachedCompile, CompileCache};
 pub use error::CompileError;
 pub use partition::{partition, pcus_required, ChunkStats, PartitionError};
+pub use passes::{
+    compile, compile_degraded, compile_with, CompileOptions, CompileOutput, PassId, PassTimings,
+};
 pub use place::{place, pmus_per_copy, Placement};
 pub use route::{path_hops, RouteLimits, Router};
-pub use vunit::{build_virtual, VOp, VSrc, VirtualAg, VirtualDesign, VirtualPcu, VirtualPmu};
+pub use vunit::{
+    build_virtual, refresh_unroll, VOp, VSrc, VirtualAg, VirtualDesign, VirtualPcu, VirtualPmu,
+};

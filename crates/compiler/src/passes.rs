@@ -1,0 +1,401 @@
+//! Staged pass manager: the §3.6 pipeline as named, timed passes.
+//!
+//! Compilation runs six passes in order, each producing a typed artifact
+//! consumed by the next:
+//!
+//! | pass        | artifact                              |
+//! |-------------|---------------------------------------|
+//! | `analysis`  | [`Analysis`]                          |
+//! | `vunit`     | [`VirtualDesign`]                     |
+//! | `partition` | `Vec<Vec<ChunkStats>>` (+ lane clamp) |
+//! | `place`     | [`Placement`]                         |
+//! | `route`     | units + links                         |
+//! | `emit`      | [`CompileOutput`]                     |
+//!
+//! Every pass is timed; the wall-clock per pass is recorded in
+//! [`CompileOutput::timings`] (and deliberately excluded from the
+//! serialized [`Bitstream`](crate::Bitstream), which must be
+//! content-deterministic).
+//!
+//! The manager supports *restart from a stage*: degraded-fabric
+//! recompilation ([`compile_degraded`]) reacts to
+//! [`CompileError::InsufficientFabric`] by reducing a parallelization
+//! factor — a change that invalidates only the unroll factors, not the
+//! controller-tree structure or the extracted dataflow graphs — so it
+//! rewinds to the `partition` pass via [`Analysis::refresh_unroll`] and
+//! [`vunit::refresh_unroll`](crate::vunit::refresh_unroll) instead of
+//! re-running `analysis` and `vunit` from scratch.
+
+use crate::analysis::Analysis;
+use crate::emit;
+use crate::error::CompileError;
+use crate::partition::{partition, ChunkStats};
+use crate::place::{place, Placement};
+use crate::route::RouteLimits;
+use crate::vunit::{build_virtual, refresh_unroll, VirtualDesign};
+use plasticine_arch::Topology;
+use plasticine_ppir::Program;
+use std::time::{Duration, Instant};
+
+/// Identifier of one compiler pass, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PassId {
+    /// Controller-tree analysis.
+    Analysis,
+    /// Virtual-unit extraction.
+    Vunit,
+    /// Lane clamping + splitting virtual PCUs into physical chunks.
+    Partition,
+    /// Site placement.
+    Place,
+    /// Unit construction + link routing.
+    Route,
+    /// Final assembly into a `MachineConfig`.
+    Emit,
+}
+
+impl PassId {
+    /// The pass's name as shown in timing summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::Analysis => "analysis",
+            PassId::Vunit => "vunit",
+            PassId::Partition => "partition",
+            PassId::Place => "place",
+            PassId::Route => "route",
+            PassId::Emit => "emit",
+        }
+    }
+
+    /// All passes, in pipeline order.
+    pub fn all() -> [PassId; 6] {
+        [
+            PassId::Analysis,
+            PassId::Vunit,
+            PassId::Partition,
+            PassId::Place,
+            PassId::Route,
+            PassId::Emit,
+        ]
+    }
+}
+
+/// Wall-clock spent in each pass of one compilation.
+///
+/// A degraded-fabric compilation may run the `partition`..`emit` passes
+/// several times (once per parallelization reduction); each run appends
+/// an entry, so summing entries per pass gives the true cost.
+#[derive(Debug, Clone, Default)]
+pub struct PassTimings {
+    entries: Vec<(PassId, Duration)>,
+}
+
+impl PassTimings {
+    /// Every `(pass, duration)` entry recorded, in execution order.
+    pub fn entries(&self) -> &[(PassId, Duration)] {
+        &self.entries
+    }
+
+    /// Total wall-clock across all passes.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Total time spent in one pass (summed over restarts).
+    pub fn of(&self, pass: PassId) -> Duration {
+        self.entries
+            .iter()
+            .filter(|(p, _)| *p == pass)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// One-line-per-pass human-readable summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for pass in PassId::all() {
+            let runs = self.entries.iter().filter(|(p, _)| *p == pass).count();
+            if runs == 0 {
+                continue;
+            }
+            let d = self.of(pass);
+            let _ = write!(s, "  {:<9} {:>9.3} ms", pass.name(), d.as_secs_f64() * 1e3);
+            if runs > 1 {
+                let _ = write!(s, "  ({runs} runs)");
+            }
+            s.push('\n');
+        }
+        let _ = write!(
+            s,
+            "  {:<9} {:>9.3} ms",
+            "total",
+            self.total().as_secs_f64() * 1e3
+        );
+        s
+    }
+
+    fn record<T>(&mut self, pass: PassId, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.entries.push((pass, t0.elapsed()));
+        out
+    }
+}
+
+/// Everything the compiler produces: the runnable configuration plus the
+/// intermediate artifacts the area models and DSE consume.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The placed-and-routed configuration.
+    pub config: plasticine_arch::MachineConfig,
+    /// Virtual design before partitioning (lanes clamped to the target).
+    pub virtual_design: VirtualDesign,
+    /// Partition result per virtual PCU.
+    pub chunks: Vec<Vec<ChunkStats>>,
+    /// Physical placement.
+    pub placement: Placement,
+    /// Controller-tree analysis.
+    pub analysis: Analysis,
+    /// Per-pass wall-clock of this compilation. Not part of the
+    /// serialized bitstream (timings are not deterministic content).
+    pub timings: PassTimings,
+}
+
+/// Compilation options beyond the architecture parameters.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Routing track budgets.
+    pub route_limits: RouteLimits,
+    /// Fault map to compile around: dead sites/links are blacklisted from
+    /// placement and routing. Default is a pristine chip.
+    pub faults: plasticine_arch::FaultMap,
+}
+
+impl CompileOptions {
+    /// Default options.
+    pub fn new() -> CompileOptions {
+        CompileOptions::default()
+    }
+}
+
+/// Compiles a program for a parameter set (§3.6's full pipeline: virtual
+/// units → partitioning → placement → routing → configuration).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the parameters are invalid, a virtual unit
+/// cannot be partitioned, the chip runs out of units, or routing fails.
+pub fn compile(
+    p: &Program,
+    params: &plasticine_arch::PlasticineParams,
+) -> Result<CompileOutput, CompileError> {
+    compile_with(p, params, &CompileOptions::new())
+}
+
+/// [`compile`] with explicit options.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with(
+    p: &Program,
+    params: &plasticine_arch::PlasticineParams,
+    opts: &CompileOptions,
+) -> Result<CompileOutput, CompileError> {
+    params.validate()?;
+    let mut t = PassTimings::default();
+    let an = t.record(PassId::Analysis, || Analysis::run(p));
+    let v = t.record(PassId::Vunit, || build_virtual(p, &an));
+    let mut out = run_from_partition(p, params, opts, &an, &v, &mut t)?;
+    out.timings = t;
+    Ok(out)
+}
+
+/// [`compile_with`] that degrades gracefully on a faulted fabric: when the
+/// surviving units cannot host the program at its requested parallelization
+/// ([`CompileError::InsufficientFabric`]), the compiler halves the largest
+/// parallelization factor and retries until the program fits or every
+/// counter is serial. Returns the output together with the (possibly
+/// reduced) program actually compiled — the simulator must execute that
+/// program, not the original — and one human-readable note per reduction.
+///
+/// Retries restart from the `partition` pass: a `par` change invalidates
+/// only unroll factors, so the analysis and virtual-unit passes run once
+/// and are refreshed in place.
+///
+/// On a pristine fabric the first attempt succeeds and this is exactly
+/// [`compile_with`].
+///
+/// # Errors
+///
+/// Same as [`compile_with`]; [`CompileError::InsufficientFabric`] is only
+/// returned once parallelization reduction is exhausted.
+pub fn compile_degraded(
+    p: &Program,
+    params: &plasticine_arch::PlasticineParams,
+    opts: &CompileOptions,
+) -> Result<(CompileOutput, Program, Vec<String>), CompileError> {
+    params.validate()?;
+    let mut t = PassTimings::default();
+    let mut cur = p.clone();
+    let mut an = t.record(PassId::Analysis, || Analysis::run(&cur));
+    let mut v = t.record(PassId::Vunit, || build_virtual(&cur, &an));
+    let mut notes = Vec::new();
+    loop {
+        match run_from_partition(&cur, params, opts, &an, &v, &mut t) {
+            Ok(mut out) => {
+                out.timings = t;
+                return Ok((out, cur, notes));
+            }
+            Err(e @ CompileError::InsufficientFabric { .. }) => match cur.with_reduced_par() {
+                Some((reduced, desc)) => {
+                    notes.push(format!("{desc} ({e})"));
+                    cur = reduced;
+                    // Restart from `partition`: refresh only the
+                    // par-dependent vectors of the cached artifacts.
+                    an.refresh_unroll(&cur);
+                    refresh_unroll(&mut v, &cur, &an);
+                }
+                None => return Err(e),
+            },
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Runs the `partition → place → route → emit` suffix of the pipeline on
+/// already-computed analysis/vunit artifacts (the restart point for
+/// degraded-fabric retries).
+fn run_from_partition(
+    p: &Program,
+    params: &plasticine_arch::PlasticineParams,
+    opts: &CompileOptions,
+    an: &Analysis,
+    v: &VirtualDesign,
+    t: &mut PassTimings,
+) -> Result<CompileOutput, CompileError> {
+    let mut v = v.clone();
+    let chunks = t.record(PassId::Partition, || {
+        clamp_lanes(&mut v, params);
+        v.pcus
+            .iter()
+            .map(|u| partition(u, &params.pcu))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+
+    let topo = Topology::new(params);
+    let placement = t.record(PassId::Place, || {
+        place(p, an, &v, &chunks, params, &topo, &opts.faults)
+    })?;
+
+    let (units, links) = t.record(PassId::Route, || {
+        emit::route(p, an, &v, &chunks, &placement, &topo, opts)
+    })?;
+
+    let config = t.record(PassId::Emit, || {
+        emit::assemble(p, params, &v, &placement, units, links)
+    });
+
+    Ok(CompileOutput {
+        config,
+        virtual_design: v,
+        chunks,
+        placement,
+        analysis: an.clone(),
+        timings: PassTimings::default(),
+    })
+}
+
+/// Clamps SIMD widths to the architecture: an innermost `par` wider than
+/// the PCU's lanes is realized as extra unroll copies.
+fn clamp_lanes(v: &mut VirtualDesign, params: &plasticine_arch::PlasticineParams) {
+    for u in &mut v.pcus {
+        if u.lanes > params.pcu.lanes {
+            u.copies *= u.lanes.div_ceil(params.pcu.lanes);
+            if u.reduction_lanes > 1 {
+                u.reduction_lanes = params.pcu.lanes;
+            }
+            u.lanes = params.pcu.lanes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_arch::{FaultMap, PlasticineParams};
+
+    /// Reduced-par retry must equal a from-scratch compile of the reduced
+    /// program: restart-from-partition refreshes, full pipeline verifies.
+    #[test]
+    fn restart_from_partition_matches_full_recompile() {
+        let p = crate::emit::tests::vadd_tiled(4);
+        let (reduced, _) = p.with_reduced_par().unwrap();
+
+        // Refreshed artifacts (the restart path)...
+        let mut an = Analysis::run(&p);
+        let mut v = build_virtual(&p, &an);
+        an.refresh_unroll(&reduced);
+        refresh_unroll(&mut v, &reduced, &an);
+
+        // ...must match artifacts computed from scratch.
+        let an2 = Analysis::run(&reduced);
+        let v2 = build_virtual(&reduced, &an2);
+        assert_eq!(an.copies, an2.copies);
+        assert_eq!(an.lanes, an2.lanes);
+        assert_eq!(an.anc_copies, an2.anc_copies);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn timings_cover_every_pass() {
+        let p = crate::emit::tests::vadd_tiled(1);
+        let out = compile(&p, &PlasticineParams::paper_final()).unwrap();
+        for pass in PassId::all() {
+            let runs = out
+                .timings
+                .entries()
+                .iter()
+                .filter(|(id, _)| *id == pass)
+                .count();
+            assert_eq!(runs, 1, "pass {} should run exactly once", pass.name());
+        }
+        assert!(out.timings.total() > Duration::ZERO);
+        assert!(out.timings.summary().contains("partition"));
+    }
+
+    #[test]
+    fn degraded_retries_rerun_partition_but_not_analysis() {
+        // Kill most of the fabric so par-8 vadd cannot fit and the
+        // compiler must reduce parallelization at least once.
+        let p = crate::emit::tests::vadd_tiled(8);
+        let params = PlasticineParams::paper_final();
+        let mut opts = CompileOptions::new();
+        opts.faults = FaultMap::sample(
+            &Topology::new(&params),
+            &plasticine_arch::FaultSpec {
+                pcus: 60,
+                seed: 7,
+                ..Default::default()
+            },
+            4,
+        );
+        let (out, _, notes) = compile_degraded(&p, &params, &opts).unwrap();
+        assert!(!notes.is_empty(), "expected at least one par reduction");
+        let analysis_runs = out
+            .timings
+            .entries()
+            .iter()
+            .filter(|(id, _)| *id == PassId::Analysis)
+            .count();
+        let partition_runs = out
+            .timings
+            .entries()
+            .iter()
+            .filter(|(id, _)| *id == PassId::Partition)
+            .count();
+        assert_eq!(analysis_runs, 1, "analysis must not be re-run on retries");
+        assert_eq!(partition_runs, 1 + notes.len());
+    }
+}

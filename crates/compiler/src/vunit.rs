@@ -504,6 +504,41 @@ pub fn build_virtual(p: &Program, an: &Analysis) -> VirtualDesign {
     }
 }
 
+/// Recomputes the parallelization-dependent fields of a virtual design
+/// (`copies`, `lanes`, `reduction_lanes` on PCUs; `copies` on PMUs and
+/// AGs) from a refreshed analysis, leaving the extracted dataflow graphs
+/// untouched. Counterpart of [`Analysis::refresh_unroll`]: after
+/// `Program::with_reduced_par`, [`build_virtual`] on the reduced program
+/// would produce exactly this design, so the pass manager can restart
+/// from the partition pass instead of re-extracting every graph.
+pub fn refresh_unroll(v: &mut VirtualDesign, p: &Program, an: &Analysis) {
+    for u in &mut v.pcus {
+        let id = u.ctrl.0 as usize;
+        u.copies = an.copies[id];
+        match &p.ctrl(u.ctrl).body {
+            // RegWrite pipes are scalar: one lane regardless of counters.
+            CtrlBody::Inner(InnerOp::RegWrite(_)) => u.lanes = 1,
+            CtrlBody::Inner(InnerOp::Fold(_)) => {
+                u.lanes = an.lanes[id];
+                u.reduction_lanes = if u.lanes > 1 { u.lanes } else { 2 };
+            }
+            _ => u.lanes = an.lanes[id],
+        }
+    }
+    for a in &mut v.ags {
+        a.copies = an.copies[a.ctrl.0 as usize];
+    }
+    for m in &mut v.pmus {
+        m.copies = an
+            .writers(m.sram)
+            .iter()
+            .chain(an.readers(m.sram).iter())
+            .map(|c| an.copies[c.0 as usize])
+            .max()
+            .unwrap_or(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

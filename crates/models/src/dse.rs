@@ -160,39 +160,95 @@ fn candidate_area(
     Some(model.pcu(&price).total() * total_pcus as f64)
 }
 
-/// Runs a Figure 7 sweep over a set of benchmarks.
+/// One benchmark's full sweep row.
+fn sweep_app(name: &str, design: &VirtualDesign, spec: &SweepSpec, model: &AreaModel) -> SweepRow {
+    let areas: Vec<Option<f64>> = spec
+        .values
+        .iter()
+        .map(|&v| candidate_area(design, spec, v, model))
+        .collect();
+    let min = areas
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let points = spec
+        .values
+        .iter()
+        .zip(&areas)
+        .map(|(&value, a)| SweepPoint {
+            value,
+            overhead: a.map(|x| if min > 0.0 { x / min - 1.0 } else { 0.0 }),
+        })
+        .collect();
+    SweepRow {
+        app: name.to_string(),
+        points,
+    }
+}
+
+/// Runs a Figure 7 sweep over a set of benchmarks, fanning the
+/// per-benchmark work out over a pool of worker threads (one per
+/// available core, at most one per app). Workers claim apps from a
+/// shared counter and store rows by index, so each row is independent
+/// (per-app partitioning against a shared read-only area model) and the
+/// result is element-for-element identical to [`sweep_serial`] — only
+/// the wall-clock differs.
 pub fn sweep(
     apps: &[(String, VirtualDesign)],
     spec: &SweepSpec,
     model: &AreaModel,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    for (name, design) in apps {
-        let areas: Vec<Option<f64>> = spec
-            .values
-            .iter()
-            .map(|&v| candidate_area(design, spec, v, model))
-            .collect();
-        let min = areas
-            .iter()
-            .flatten()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
-        let points = spec
-            .values
-            .iter()
-            .zip(&areas)
-            .map(|(&value, a)| SweepPoint {
-                value,
-                overhead: a.map(|x| if min > 0.0 { x / min - 1.0 } else { 0.0 }),
-            })
-            .collect();
-        rows.push(SweepRow {
-            app: name.clone(),
-            points,
-        });
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    sweep_with_workers(apps, spec, model, workers)
+}
+
+/// [`sweep`] with an explicit worker count (1 runs the serial loop on the
+/// calling thread).
+pub fn sweep_with_workers(
+    apps: &[(String, VirtualDesign)],
+    spec: &SweepSpec,
+    model: &AreaModel,
+    workers: usize,
+) -> Vec<SweepRow> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let workers = workers.min(apps.len());
+    if workers <= 1 {
+        return sweep_serial(apps, spec, model);
     }
-    rows
+    let next = AtomicUsize::new(0);
+    let rows: Mutex<Vec<Option<SweepRow>>> = Mutex::new((0..apps.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((name, design)) = apps.get(i) else {
+                    return;
+                };
+                let row = sweep_app(name, design, spec, model);
+                rows.lock().unwrap()[i] = Some(row);
+            });
+        }
+    });
+    rows.into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+/// The serial reference implementation of [`sweep`]: same rows, one app at
+/// a time. Kept callable so benchmarks can measure the parallel speedup
+/// and tests can cross-check equality.
+pub fn sweep_serial(
+    apps: &[(String, VirtualDesign)],
+    spec: &SweepSpec,
+    model: &AreaModel,
+) -> Vec<SweepRow> {
+    apps.iter()
+        .map(|(name, design)| sweep_app(name, design, spec, model))
+        .collect()
 }
 
 /// Average overhead across benchmarks at each value (the "Average" row of
@@ -598,6 +654,37 @@ mod tests {
         assert_eq!(rows[2].app, "GeoMean");
         let gm = (rows[0].a * rows[1].a).sqrt();
         assert!((rows[2].a - gm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let mut fold = chain_design(3, 2048);
+        fold.pcus[0].reduction_lanes = 16;
+        fold.pcus[0].scal_outs = 1;
+        let apps = vec![
+            ("a".to_string(), chain_design(8, 2048)),
+            ("fold".to_string(), fold),
+            ("c".to_string(), chain_design(30, 65536)),
+        ];
+        let spec = SweepSpec {
+            target: PcuParamKind::Stages,
+            values: (4..=12).collect(),
+            fixed: vec![],
+        };
+        let model = AreaModel::new();
+        // Force the threaded pool even on single-core machines (where
+        // `sweep` would fall back to the serial loop).
+        let par = sweep_with_workers(&apps, &spec, &model, 2);
+        let ser = sweep_serial(&apps, &spec, &model);
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.app, s.app);
+            assert_eq!(p.points.len(), s.points.len());
+            for (pp, sp) in p.points.iter().zip(&s.points) {
+                assert_eq!(pp.value, sp.value);
+                assert_eq!(pp.overhead, sp.overhead, "row {} value {}", p.app, pp.value);
+            }
+        }
     }
 
     #[test]

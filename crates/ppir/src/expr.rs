@@ -28,7 +28,7 @@ pub struct IndexId(pub u32);
 pub struct ParamId(pub u32);
 
 /// Identifier of a scalar register (written by `Fold`, readable anywhere).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegId(pub u32);
 
 /// Identifier of an on-chip scratchpad memory.

@@ -65,6 +65,6 @@ pub use expr::{
 };
 pub use interp::{InterpStats, Machine, RunError};
 pub use mem::{BankingMode, DramBuf, Param, Reg, Sram};
-pub use program::{validate, Program, ProgramBuilder, ValidateError};
+pub use program::{stable_hash_of, validate, Program, ProgramBuilder, ValidateError};
 pub use trace::{DramRange, LeafWork, NullSink, TraceNode, TraceRecorder, TraceSink};
 pub use types::{DType, Elem, TypeError};

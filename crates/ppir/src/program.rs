@@ -239,6 +239,18 @@ impl Program {
         Some((p, desc))
     }
 
+    /// A stable 64-bit content hash of the program.
+    ///
+    /// Two structurally identical programs hash identically across
+    /// processes and runs: the hash is FNV-1a over the `Debug`
+    /// rendering, and every field of [`Program`] is a `Vec`, `String`,
+    /// or plain value with a deterministic `Debug` form (no
+    /// randomized-order containers). Used to key the compile cache —
+    /// see `plasticine-compiler`.
+    pub fn stable_hash(&self) -> u64 {
+        stable_hash_of(self)
+    }
+
     /// Iterates the controller tree depth-first (parents before children),
     /// calling `f` with (id, depth).
     pub fn walk(&self, mut f: impl FnMut(CtrlId, usize)) {
@@ -290,6 +302,33 @@ impl Program {
         p.srams[sram.0 as usize].banking = banking;
         p
     }
+}
+
+/// FNV-1a over a value's `Debug` rendering.
+///
+/// Only sound for types whose `Debug` output is deterministic across
+/// processes — plain structs, enums, `Vec`s, `String`s, and the ordered
+/// `BTreeMap`/`BTreeSet` containers. Types holding a `HashMap` or
+/// `HashSet` must not be hashed this way (iteration order is seeded per
+/// process). Exposed so downstream crates can derive compile-cache keys
+/// for parameter structs and fault maps with the same algorithm.
+pub fn stable_hash_of<T: fmt::Debug>(value: &T) -> u64 {
+    /// `fmt::Write` sink that folds bytes into an FNV-1a state instead
+    /// of buffering the rendered string.
+    struct Fnv(u64);
+    impl fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    use fmt::Write as _;
+    write!(h, "{value:?}").expect("Debug formatting cannot fail");
+    h.0
 }
 
 /// Incremental builder for [`Program`]s.

@@ -1,0 +1,105 @@
+//! Process exit statuses shared by every Plasticine CLI surface.
+//!
+//! The CLI, CI smoke jobs, and documentation all refer to these codes;
+//! they live here (rather than in the binary) so tests and scripts can
+//! name them instead of repeating magic numbers.
+
+use crate::resources::SimError;
+
+/// Exit status of a CLI invocation, with one stable process exit code per
+/// failure class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Success.
+    Ok,
+    /// Runtime failure that fits no more specific class (verification
+    /// mismatch, I/O error, functional-execution failure).
+    Runtime,
+    /// Bad command line: unknown subcommand, flag, or flag value.
+    Usage,
+    /// Compilation failed ([`plasticine_compiler::CompileError`], including
+    /// `InsufficientFabric` once parallelization reduction is exhausted).
+    Compile,
+    /// The simulated schedule deadlocked ([`SimError::Deadlock`]).
+    Deadlock,
+    /// Transient-fault recovery exhausted its retry budget
+    /// ([`SimError::FaultExhaustion`]).
+    FaultExhaustion,
+    /// The simulation hit its cycle budget without finishing
+    /// ([`SimError::CycleBudgetExceeded`]).
+    CycleBudget,
+}
+
+impl ExitStatus {
+    /// The process exit code: `0` ok, `1` runtime, `2` usage, `3` compile,
+    /// `4` deadlock, `5` fault exhaustion, `6` cycle budget.
+    pub fn code(self) -> i32 {
+        match self {
+            ExitStatus::Ok => 0,
+            ExitStatus::Runtime => 1,
+            ExitStatus::Usage => 2,
+            ExitStatus::Compile => 3,
+            ExitStatus::Deadlock => 4,
+            ExitStatus::FaultExhaustion => 5,
+            ExitStatus::CycleBudget => 6,
+        }
+    }
+
+    /// The failure class of a simulation error.
+    pub fn from_sim_error(e: &SimError) -> ExitStatus {
+        match e {
+            SimError::Deadlock(_) => ExitStatus::Deadlock,
+            SimError::FaultExhaustion { .. } => ExitStatus::FaultExhaustion,
+            SimError::CycleBudgetExceeded { .. } => ExitStatus::CycleBudget,
+            SimError::Run(_) | SimError::Config(_) => ExitStatus::Runtime,
+        }
+    }
+}
+
+impl From<&SimError> for ExitStatus {
+    fn from(e: &SimError) -> ExitStatus {
+        ExitStatus::from_sim_error(e)
+    }
+}
+
+impl From<ExitStatus> for std::process::ExitCode {
+    fn from(s: ExitStatus) -> std::process::ExitCode {
+        // `code()` is always in 0..=6, so the cast is lossless.
+        std::process::ExitCode::from(s.code() as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        // These values are part of the CLI contract (DESIGN.md, CI jobs);
+        // changing one is a breaking change.
+        assert_eq!(ExitStatus::Ok.code(), 0);
+        assert_eq!(ExitStatus::Runtime.code(), 1);
+        assert_eq!(ExitStatus::Usage.code(), 2);
+        assert_eq!(ExitStatus::Compile.code(), 3);
+        assert_eq!(ExitStatus::Deadlock.code(), 4);
+        assert_eq!(ExitStatus::FaultExhaustion.code(), 5);
+        assert_eq!(ExitStatus::CycleBudget.code(), 6);
+    }
+
+    #[test]
+    fn sim_errors_map_to_their_class() {
+        let e = SimError::FaultExhaustion {
+            cycle: 1,
+            addr: 0,
+            attempts: 3,
+        };
+        assert_eq!(ExitStatus::from(&e), ExitStatus::FaultExhaustion);
+        let e = SimError::CycleBudgetExceeded {
+            cycle: 10,
+            budget: 10,
+        };
+        assert_eq!(ExitStatus::from(&e), ExitStatus::CycleBudget);
+        let e = SimError::Config("x".into());
+        assert_eq!(ExitStatus::from(&e), ExitStatus::Runtime);
+    }
+}

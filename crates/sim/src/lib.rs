@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 mod deadlock;
+mod exit;
 mod model;
 mod resources;
 mod sched;
 mod trace;
 
 pub use deadlock::{BlockedUnit, DeadlockReport, HeldResource, WaitCause};
+pub use exit::ExitStatus;
 pub use model::{ComputeModel, OuterModel, SimModel, TransferModel};
 use resources::FastForward;
 pub use resources::{Activity, FaultStats, Resources, SimError};

@@ -5,37 +5,37 @@
 //! plasticine-run run GEMM --scale 4
 //! plasticine-run run GEMM --trace gemm.json --stats-json gemm-stats.json
 //! plasticine-run run all --faults pcu=6,pmu=6,links=5,seed=42
-//! plasticine-run compile BFS --bitstream bfs.json
+//! plasticine-run compile BFS --out bfs-cfg.json
+//! plasticine-run run BFS --config bfs-cfg.json --stats-json bfs-stats.json
+//! plasticine-run batch all --jobs 4 --stats-json stats.json
 //! ```
 //!
-//! Exit codes: 0 success, 1 runtime failure (bad data, I/O, verification),
-//! 2 usage error, 3 compilation failure (including insufficient degraded
-//! fabric), 4 deadlock, 5 transient-fault exhaustion, 6 cycle budget
-//! exceeded.
+//! Exit codes are the [`ExitStatus`] contract: 0 success, 1 runtime
+//! failure (bad data, I/O, verification), 2 usage error, 3 compilation
+//! failure (including insufficient degraded fabric), 4 deadlock,
+//! 5 transient-fault exhaustion, 6 cycle budget exceeded.
 
 use plasticine::arch::{FaultMap, FaultSpec, MachineConfig, PlasticineParams, Topology};
-use plasticine::compiler::{compile_degraded, CompileOptions};
+use plasticine::compiler::{compile_degraded, Bitstream, CompileCache, CompileOptions};
 use plasticine::fpga::FpgaModel;
 use plasticine::json::Json;
 use plasticine::models::PowerModel;
 use plasticine::ppir::Machine;
 use plasticine::sim::{
-    simulate, simulate_traced, SimError, SimOptions, SimResult, StepMode, UnitKind, UnitStats,
+    simulate, simulate_traced, ExitStatus, SimError, SimOptions, SimResult, StepMode, UnitKind,
+    UnitStats,
 };
 use plasticine::workloads::{all, Bench, Scale};
+use std::fmt::Write as _;
 use std::process::ExitCode;
-
-const EXIT_USAGE: u8 = 2;
-const EXIT_COMPILE: u8 = 3;
-const EXIT_DEADLOCK: u8 = 4;
-const EXIT_FAULT_EXHAUSTION: u8 = 5;
-const EXIT_CYCLE_BUDGET: u8 = 6;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--bitstream FILE]\n\nrun options:\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n(with `run all`, the benchmark name is inserted into each output file name)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           worker threads (default: available parallelism)\n  (workers share one compile cache; output order is deterministic)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
     );
-    ExitCode::from(EXIT_USAGE)
+    ExitStatus::Usage.into()
 }
 
 fn find_bench(name: &str, scale: Scale) -> Option<Bench> {
@@ -54,6 +54,9 @@ struct Flags {
     units: bool,
     faults: Option<FaultSpec>,
     bitstream: Option<String>,
+    out: Option<String>,
+    config: Option<String>,
+    jobs: usize,
     step: StepMode,
 }
 
@@ -85,9 +88,18 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--scale requires a positive integer, got `{v}`"))?;
             }
+            "--jobs" => {
+                f.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs requires a positive integer, got `{v}`"))?;
+            }
             "--trace" => f.trace = Some(v),
             "--stats-json" => f.stats = Some(v),
             "--bitstream" => f.bitstream = Some(v),
+            "--out" => f.out = Some(v),
+            "--config" => f.config = Some(v),
             "--faults" => {
                 f.faults = Some(
                     v.parse::<FaultSpec>()
@@ -174,6 +186,7 @@ fn print_units(units: &UnitStats, per_unit: bool) {
 }
 
 struct RunConfig {
+    config: Option<String>,
     trace: Option<String>,
     stats: Option<String>,
     units: bool,
@@ -181,44 +194,111 @@ struct RunConfig {
     step: StepMode,
 }
 
-/// A failed run, carrying the process exit code it maps to.
+/// A failed run, carrying the exit status it maps to.
 struct RunFailure {
-    code: u8,
+    code: ExitStatus,
     message: String,
 }
 
 impl RunFailure {
     fn other(message: String) -> RunFailure {
-        RunFailure { code: 1, message }
+        RunFailure {
+            code: ExitStatus::Runtime,
+            message,
+        }
     }
 
     fn from_sim(e: SimError) -> RunFailure {
-        let code = match &e {
-            SimError::Deadlock(_) => EXIT_DEADLOCK,
-            SimError::FaultExhaustion { .. } => EXIT_FAULT_EXHAUSTION,
-            SimError::CycleBudgetExceeded { .. } => EXIT_CYCLE_BUDGET,
-            _ => 1,
-        };
         RunFailure {
-            code,
+            code: ExitStatus::from(&e),
             message: e.to_string(),
         }
     }
 }
 
-fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<(), RunFailure> {
-    let copts = CompileOptions {
-        faults: cfg.faults.clone(),
-        ..CompileOptions::new()
-    };
-    let (out, prog, degraded) =
-        compile_degraded(&bench.program, params, &copts).map_err(|e| RunFailure {
-            code: EXIT_COMPILE,
-            message: e.to_string(),
-        })?;
-    for note in &degraded {
+/// One-line result summary (cycles, utilization, power, FPGA speedup).
+fn summary_line(
+    bench: &Bench,
+    params: &PlasticineParams,
+    out: &plasticine::compiler::CompileOutput,
+    r: &SimResult,
+) -> String {
+    let (pcu, pmu, ag) = out.config.utilization();
+    let power = PowerModel::new().estimate(r, &out.config);
+    let fpga = FpgaModel::new().estimate(&bench.fpga);
+    let speedup = fpga.seconds / r.seconds(params.clock_ghz);
+    format!(
+        "{:<14} {:>10} cycles  util pcu/pmu/ag {:>4.0}%/{:>4.0}%/{:>4.0}%  {:>5.1} W  vs FPGA {:>6.1}x  [verified]",
+        bench.name,
+        r.cycles,
+        100.0 * pcu,
+        100.0 * pmu,
+        100.0 * ag,
+        power.total_w,
+        speedup,
+    )
+}
+
+/// The stats snapshot written by `--stats-json`, with the benchmark name
+/// prepended.
+fn stats_with_bench(bench: &Bench, r: &SimResult) -> Json {
+    let mut stats = r.stats_json();
+    if let Json::Obj(pairs) = &mut stats {
+        pairs.insert(0, ("bench".to_string(), Json::from(bench.name.clone())));
+    }
+    stats
+}
+
+/// Loads a `compile --out` artifact and recovers the exact program it was
+/// compiled from (replaying the degradation log against the benchmark's
+/// pristine program).
+fn load_artifact(
+    path: &str,
+    bench: &Bench,
+) -> Result<
+    (
+        plasticine::compiler::CompileOutput,
+        plasticine::ppir::Program,
+    ),
+    RunFailure,
+> {
+    let b = Bitstream::load(std::path::Path::new(path))
+        .map_err(|e| RunFailure::other(format!("loading {path}: {e}")))?;
+    if !b.matches_program(&bench.program) {
+        return Err(RunFailure::other(format!(
+            "{path} was not compiled from `{}` at this scale (artifact program \
+             `{}`, hash {:016x})",
+            bench.name, b.program_name, b.program_hash
+        )));
+    }
+    let prog = b
+        .recover_program(&bench.program)
+        .map_err(|e| RunFailure::other(format!("{path}: {e}")))?;
+    for note in &b.degradations {
         println!("  degraded: {note}");
     }
+    Ok((b.output, prog))
+}
+
+fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<(), RunFailure> {
+    let (out, prog) = match &cfg.config {
+        Some(path) => load_artifact(path, bench)?,
+        None => {
+            let copts = CompileOptions {
+                faults: cfg.faults.clone(),
+                ..CompileOptions::new()
+            };
+            let (out, prog, degraded) =
+                compile_degraded(&bench.program, params, &copts).map_err(|e| RunFailure {
+                    code: ExitStatus::Compile,
+                    message: e.to_string(),
+                })?;
+            for note in &degraded {
+                println!("  degraded: {note}");
+            }
+            (out, prog)
+        }
+    };
     let mut m = Machine::new(&prog);
     bench.load(&mut m);
     let opts = SimOptions {
@@ -248,20 +328,7 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
         Err(e) => return Err(RunFailure::from_sim(e)),
     };
     bench.verify(&m).map_err(RunFailure::other)?;
-    let (pcu, pmu, ag) = out.config.utilization();
-    let power = PowerModel::new().estimate(&r, &out.config);
-    let fpga = FpgaModel::new().estimate(&bench.fpga);
-    let speedup = fpga.seconds / r.seconds(params.clock_ghz);
-    println!(
-        "{:<14} {:>10} cycles  util pcu/pmu/ag {:>4.0}%/{:>4.0}%/{:>4.0}%  {:>5.1} W  vs FPGA {:>6.1}x  [verified]",
-        bench.name,
-        r.cycles,
-        100.0 * pcu,
-        100.0 * pmu,
-        100.0 * ag,
-        power.total_w,
-        speedup,
-    );
+    println!("{}", summary_line(bench, params, &out, &r));
     if cfg.faults.has_hard_faults() || cfg.faults.transient.any() {
         let f = &r.faults;
         println!(
@@ -286,15 +353,107 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
         println!("  trace ({} events) written to {path}", trace.events.len());
     }
     if let Some(path) = &cfg.stats {
-        let mut stats = r.stats_json();
-        if let Json::Obj(pairs) = &mut stats {
-            pairs.insert(0, ("bench".to_string(), Json::from(bench.name.clone())));
-        }
-        std::fs::write(path, stats.pretty())
+        std::fs::write(path, stats_with_bench(bench, &r).pretty())
             .map_err(|e| RunFailure::other(format!("writing {path}: {e}")))?;
         println!("  stats written to {path}");
     }
     Ok(())
+}
+
+/// One `batch` work item: compile through the shared cache, simulate,
+/// verify. Returns the text to print (summary line plus any degradation
+/// notes), buffered so worker output can be emitted in deterministic
+/// order.
+fn batch_one(
+    bench: &Bench,
+    params: &PlasticineParams,
+    cache: &CompileCache,
+    faults: &FaultMap,
+    step: StepMode,
+    stats: Option<&str>,
+) -> Result<String, RunFailure> {
+    let copts = CompileOptions {
+        faults: faults.clone(),
+        ..CompileOptions::new()
+    };
+    let cached = cache
+        .compile_degraded(&bench.program, params, &copts)
+        .map_err(|e| RunFailure {
+            code: ExitStatus::Compile,
+            message: e.to_string(),
+        })?;
+    let (out, prog, degraded) = &*cached;
+    let mut m = Machine::new(prog);
+    bench.load(&mut m);
+    let opts = SimOptions {
+        faults: faults.clone(),
+        step,
+        ..SimOptions::default()
+    };
+    let r = simulate(prog, out, &mut m, &opts).map_err(RunFailure::from_sim)?;
+    bench.verify(&m).map_err(RunFailure::other)?;
+    let mut text = String::new();
+    for note in degraded {
+        let _ = writeln!(text, "  degraded: {note}");
+    }
+    let _ = write!(text, "{}", summary_line(bench, params, out, &r));
+    if let Some(path) = stats {
+        let path = per_bench_path(path, &bench.name);
+        std::fs::write(&path, stats_with_bench(bench, &r).pretty())
+            .map_err(|e| RunFailure::other(format!("writing {path}: {e}")))?;
+        let _ = write!(text, "\n  stats written to {path}");
+    }
+    Ok(text)
+}
+
+/// Runs the batch over `jobs` worker threads sharing one compile cache.
+/// Workers pull indices from a shared counter; results are collected by
+/// index and printed in input order, so output is identical regardless of
+/// scheduling. The exit status is the first (by input order) failure's.
+fn run_batch(
+    benches: &[Bench],
+    params: &PlasticineParams,
+    jobs: usize,
+    faults: &FaultMap,
+    step: StepMode,
+    stats: Option<&str>,
+) -> ExitCode {
+    let cache = CompileCache::new();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<String, RunFailure>>>> =
+        Mutex::new((0..benches.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(benches.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(bench) = benches.get(i) else {
+                    return;
+                };
+                let res = batch_one(bench, params, &cache, faults, step, stats);
+                results.lock().unwrap()[i] = Some(res);
+            });
+        }
+    });
+    let results = results.into_inner().unwrap();
+    let mut status = ExitStatus::Ok;
+    for (bench, res) in benches.iter().zip(results) {
+        match res.expect("every index was claimed by a worker") {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("{}: {}", bench.name, e.message);
+                if status == ExitStatus::Ok {
+                    status = e.code;
+                }
+            }
+        }
+    }
+    println!(
+        "batch: {} runs, compile cache {} hits / {} misses",
+        benches.len(),
+        cache.hits(),
+        cache.misses()
+    );
+    status.into()
 }
 
 /// Materializes the fault map a spec describes for the current machine.
@@ -335,6 +494,7 @@ fn main() -> ExitCode {
                 &args[2..],
                 &[
                     "--scale",
+                    "--config",
                     "--trace",
                     "--stats-json",
                     "--units",
@@ -348,6 +508,10 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
+            if flags.config.is_some() && name == "all" {
+                eprintln!("--config loads one artifact and cannot be combined with `run all`");
+                return usage();
+            }
             let scale = Scale(flags.scale);
             let benches = if name == "all" {
                 all(scale)
@@ -367,6 +531,7 @@ fn main() -> ExitCode {
             let many = benches.len() > 1;
             for b in &benches {
                 let cfg = RunConfig {
+                    config: flags.config.clone(),
                     trace: flags.trace.as_ref().map(|p| {
                         if many {
                             per_bench_path(p, &b.name)
@@ -387,7 +552,7 @@ fn main() -> ExitCode {
                 };
                 if let Err(e) = run_one(b, &params, &cfg) {
                     eprintln!("{}: {}", b.name, e.message);
-                    return ExitCode::from(e.code);
+                    return e.code.into();
                 }
             }
             ExitCode::SUCCESS
@@ -400,13 +565,14 @@ fn main() -> ExitCode {
                 eprintln!("`compile` requires a benchmark name before options");
                 return usage();
             }
-            let flags = match parse_flags(&args[2..], &["--scale", "--faults", "--bitstream"]) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return usage();
-                }
-            };
+            let flags =
+                match parse_flags(&args[2..], &["--scale", "--faults", "--bitstream", "--out"]) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
             let Some(bench) = find_bench(name, Scale(flags.scale)) else {
                 eprintln!("unknown benchmark `{name}`");
                 return ExitCode::FAILURE;
@@ -419,27 +585,32 @@ fn main() -> ExitCode {
                 faults,
                 ..CompileOptions::new()
             };
-            let out = match compile_degraded(&bench.program, &params, &copts) {
+            let (out, degraded) = match compile_degraded(&bench.program, &params, &copts) {
                 Ok((o, _, degraded)) => {
                     for note in &degraded {
                         println!("  degraded: {note}");
                     }
-                    o
+                    (o, degraded)
                 }
                 Err(e) => {
                     eprintln!("{}: {e}", bench.name);
-                    return ExitCode::from(EXIT_COMPILE);
+                    return ExitStatus::Compile.into();
                 }
             };
             let cfg: &MachineConfig = &out.config;
+            let (pcu, pmu, ag) = cfg.utilization();
             println!(
-                "{}: {} PCUs, {} PMUs, {} AGs, {} links",
+                "{}: {} PCUs, {} PMUs, {} AGs, {} links  util pcu/pmu/ag {:.0}%/{:.0}%/{:.0}%",
                 bench.name,
                 cfg.usage.pcus,
                 cfg.usage.pmus,
                 cfg.usage.ags,
-                cfg.links.len()
+                cfg.links.len(),
+                100.0 * pcu,
+                100.0 * pmu,
+                100.0 * ag,
             );
+            println!("pass timings:\n{}", out.timings.summary());
             if let Some(path) = &flags.bitstream {
                 if let Err(e) = cfg.save(std::path::Path::new(path)) {
                     eprintln!("saving bitstream: {e}");
@@ -447,7 +618,76 @@ fn main() -> ExitCode {
                 }
                 println!("bitstream written to {path}");
             }
+            if let Some(path) = &flags.out {
+                let artifact = Bitstream::new(&bench.program, out, degraded);
+                if let Err(e) = artifact.save(std::path::Path::new(path)) {
+                    eprintln!("saving artifact: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "artifact written to {path} (content hash {:016x})",
+                    artifact.content_hash
+                );
+            }
             ExitCode::SUCCESS
+        }
+        Some("batch") => {
+            let names: Vec<&String> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            if names.is_empty() {
+                eprintln!("`batch` requires benchmark names (or `all`) before options");
+                return usage();
+            }
+            let flags = match parse_flags(
+                &args[1 + names.len()..],
+                &[
+                    "--scale",
+                    "--jobs",
+                    "--stats-json",
+                    "--faults",
+                    "--step-mode",
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let scale = Scale(flags.scale);
+            let mut benches = Vec::new();
+            for name in names {
+                if name == "all" {
+                    benches.extend(all(scale));
+                } else {
+                    match find_bench(name, scale) {
+                        Some(b) => benches.push(b),
+                        None => {
+                            eprintln!("unknown benchmark `{name}` (try `plasticine-run list`)");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            let faults = fault_map(&flags.faults, &params);
+            if flags.faults.is_some() {
+                println!("fault map: {}", faults.summary());
+            }
+            let jobs = if flags.jobs > 0 {
+                flags.jobs
+            } else {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            };
+            run_batch(
+                &benches,
+                &params,
+                jobs,
+                &faults,
+                flags.step,
+                flags.stats.as_deref(),
+            )
         }
         _ => usage(),
     }

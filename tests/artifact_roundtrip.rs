@@ -1,0 +1,98 @@
+//! Artifact round-trip suite: every Table 4 workload is compiled once,
+//! serialized to a [`Bitstream`], decoded back, and simulated from the
+//! decoded artifact. The stats snapshot must be byte-identical to both
+//! the compile-and-run path and the committed golden baseline in
+//! `tests/golden/` — the serialized configuration is a faithful,
+//! compiler-free substitute for compilation.
+
+use plasticine::arch::PlasticineParams;
+use plasticine::compiler::{compile_degraded, Bitstream, CompileOptions};
+use plasticine::json::Json;
+use plasticine::ppir::Machine;
+use plasticine::sim::{simulate, SimOptions};
+use plasticine::workloads::{all, Bench, Scale};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Simulates a bench from an already-compiled output and renders the
+/// stats snapshot exactly as `--stats-json` would.
+fn snapshot(
+    bench: &Bench,
+    prog: &plasticine::ppir::Program,
+    out: &plasticine::compiler::CompileOutput,
+) -> String {
+    let mut m = Machine::new(prog);
+    bench.load(&mut m);
+    let r = simulate(prog, out, &mut m, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    bench
+        .verify(&m)
+        .unwrap_or_else(|e| panic!("{}: verification: {e}", bench.name));
+    let mut stats = r.stats_json();
+    if let Json::Obj(pairs) = &mut stats {
+        pairs.insert(0, ("bench".to_string(), Json::from(bench.name.clone())));
+    }
+    stats.pretty()
+}
+
+#[test]
+fn serialized_configs_reproduce_golden_stats_for_all_workloads() {
+    let params = PlasticineParams::paper_final();
+    let benches = all(Scale(1));
+    assert_eq!(benches.len(), 13, "expected the 13 Table 4 workloads");
+    for bench in &benches {
+        let (out, prog, degraded) =
+            compile_degraded(&bench.program, &params, &CompileOptions::new())
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+
+        // Serialize, decode, and recover — the `compile --out` /
+        // `run --config` path, minus the filesystem.
+        let artifact = Bitstream::new(&bench.program, out, degraded);
+        let decoded = Bitstream::decode(&artifact.encode())
+            .unwrap_or_else(|e| panic!("{}: decode: {e}", bench.name));
+        assert!(decoded.matches_program(&bench.program), "{}", bench.name);
+        let recovered = decoded
+            .recover_program(&bench.program)
+            .unwrap_or_else(|e| panic!("{}: recover: {e}", bench.name));
+        assert_eq!(recovered, prog, "{}: recovered program drifted", bench.name);
+
+        // The artifact path and the direct path agree with each other and
+        // with the committed baseline, byte for byte.
+        let from_artifact = snapshot(bench, &recovered, &decoded.output);
+        let direct = snapshot(bench, &prog, &artifact.output);
+        assert_eq!(
+            from_artifact, direct,
+            "{}: artifact-path stats differ from direct compile",
+            bench.name
+        );
+        let path = golden_dir().join(format!("{}.json", bench.name.to_ascii_lowercase()));
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: missing baseline {}: {e}", bench.name, path.display()));
+        assert_eq!(
+            from_artifact, want,
+            "{}: artifact-path stats differ from golden baseline",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn recompiling_yields_an_identical_artifact() {
+    // Compile-once means the artifact is a stable identity: compiling the
+    // same program twice in the same process (different hasher seeds in
+    // any internal `HashMap`s) must produce byte-identical encodings.
+    let params = PlasticineParams::paper_final();
+    for bench in all(Scale(1)).iter().take(3) {
+        let (a, _, da) = compile_degraded(&bench.program, &params, &CompileOptions::new()).unwrap();
+        let (b, _, db) = compile_degraded(&bench.program, &params, &CompileOptions::new()).unwrap();
+        let ba = Bitstream::new(&bench.program, a, da);
+        let bb = Bitstream::new(&bench.program, b, db);
+        assert_eq!(ba.content_hash, bb.content_hash, "{}", bench.name);
+        assert_eq!(ba.encode(), bb.encode(), "{}", bench.name);
+    }
+}

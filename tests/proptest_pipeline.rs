@@ -3,7 +3,7 @@
 //! identical to a host evaluation of the same arithmetic.
 
 use plasticine::arch::PlasticineParams;
-use plasticine::compiler::compile;
+use plasticine::compiler::{compile, Bitstream};
 use plasticine::ppir::*;
 use plasticine::sim::{simulate, SimOptions};
 use proptest::prelude::*;
@@ -225,5 +225,25 @@ proptest! {
         // Small slack: pipelining may pay a few cycles of credit handshakes
         // on degenerate single-tile programs.
         prop_assert!(pipe <= seq + 8, "pipelined {} vs sequential {}", pipe, seq);
+    }
+
+    #[test]
+    fn compilation_is_deterministic(p in pipe_strategy()) {
+        // Compile-once artifacts are only sound if compilation is a pure
+        // function of (program, params): two in-process compiles (whose
+        // internal `HashMap`s get different random hasher states) must
+        // serialize to the same bytes and the same content hash.
+        let (program, _, _, _) = build(&p);
+        let params = PlasticineParams::paper_final();
+        let a = compile(&program, &params)
+            .map_err(|e| TestCaseError::fail(format!("compile: {e}")))?;
+        let b = compile(&program, &params)
+            .map_err(|e| TestCaseError::fail(format!("compile: {e}")))?;
+        let ba = Bitstream::new(&program, a, vec![]);
+        let bb = Bitstream::new(&program, b, vec![]);
+        prop_assert_eq!(ba.content_hash, bb.content_hash);
+        prop_assert_eq!(ba.encode(), bb.encode());
+        // The program hash is stable too — it keys the compile cache.
+        prop_assert_eq!(program.stable_hash(), program.clone().stable_hash());
     }
 }
