@@ -39,6 +39,21 @@ impl FaultRng {
         }
     }
 
+    /// Reconstructs a generator from a raw state previously observed via
+    /// [`state`](Self::state). Unlike [`new`](Self::new), the value is
+    /// installed verbatim (no seed mixing), so
+    /// `FaultRng::from_state(r.state())` continues `r`'s stream exactly —
+    /// this is what simulation checkpoints serialize.
+    pub fn from_state(state: u64) -> FaultRng {
+        FaultRng { state }
+    }
+
+    /// The raw generator state, for checkpointing. Feed it back through
+    /// [`from_state`](Self::from_state) to resume the stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);

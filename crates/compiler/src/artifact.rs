@@ -199,14 +199,10 @@ impl Bitstream {
     }
 }
 
-/// FNV-1a over raw bytes — the artifact's content-hash algorithm.
+/// FNV-1a over raw bytes — the artifact's content-hash algorithm
+/// ([`plasticine_json::hash::fnv1a`]).
 pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    plasticine_json::hash::fnv1a(bytes)
 }
 
 // ---- encoding ----

@@ -2,6 +2,8 @@
 //! request selection with a starvation guard, and refresh.
 
 use crate::config::{DramConfig, Location};
+use plasticine_json::decode::{arr_of, bool_of, field, hex_of, u64_of, R};
+use plasticine_json::Json;
 use std::collections::VecDeque;
 
 /// A line-granularity memory request (one 64-byte burst).
@@ -439,6 +441,182 @@ impl Channel {
             ev = ev.min(t.max(now));
         }
         ev
+    }
+
+    /// Serializes all mutable channel state — bank/rank machines, queued
+    /// and in-flight requests, the bus/quiet cursors, and stats. Static
+    /// timing parameters are not included; [`restore`](Self::restore)
+    /// rebuilds request locations from the config it is given.
+    ///
+    /// `inflight` order is preserved verbatim: the simulator's fault
+    /// injector draws RNG values while iterating completions in order, so
+    /// reordering them would change the injected-event stream.
+    pub(crate) fn snapshot(&self) -> Json {
+        let bank_json = |b: &Bank| {
+            Json::obj([
+                ("row", b.active_row.map(Json::hex).unwrap_or(Json::Null)),
+                ("col_ok", Json::from(b.col_ok)),
+                ("pre_ok", Json::from(b.pre_ok)),
+                ("act_ok", Json::from(b.act_ok)),
+            ])
+        };
+        let rank_json = |r: &Rank| {
+            Json::obj([
+                (
+                    "acts",
+                    Json::Arr(r.acts.iter().map(|&t| Json::from(t)).collect()),
+                ),
+                ("rd_ok", Json::from(r.rd_ok)),
+                ("next_refresh", Json::from(r.next_refresh)),
+                ("refresh_until", Json::from(r.refresh_until)),
+            ])
+        };
+        let pending_json = |p: &Pending| {
+            Json::obj([
+                ("id", Json::hex(p.req.id)),
+                ("addr", Json::hex(p.req.addr)),
+                ("w", Json::from(p.req.is_write)),
+                ("arrival", Json::from(p.arrival)),
+            ])
+        };
+        let completion_json = |c: &Completion| {
+            Json::obj([
+                ("id", Json::hex(c.id)),
+                ("addr", Json::hex(c.addr)),
+                ("w", Json::from(c.is_write)),
+                ("at", Json::from(c.at)),
+            ])
+        };
+        let s = &self.stats;
+        Json::obj([
+            (
+                "banks",
+                Json::Arr(
+                    self.banks
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(bank_json).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "ranks",
+                Json::Arr(self.ranks.iter().map(rank_json).collect()),
+            ),
+            (
+                "queue",
+                Json::Arr(self.queue.iter().map(pending_json).collect()),
+            ),
+            (
+                "inflight",
+                Json::Arr(self.inflight.iter().map(completion_json).collect()),
+            ),
+            ("data_bus_free", Json::from(self.data_bus_free)),
+            ("quiet_until", Json::from(self.quiet_until)),
+            (
+                "stats",
+                Json::obj([
+                    ("row_hits", Json::from(s.row_hits)),
+                    ("activates", Json::from(s.activates)),
+                    ("precharges", Json::from(s.precharges)),
+                    ("refreshes", Json::from(s.refreshes)),
+                    ("reads", Json::from(s.reads)),
+                    ("writes", Json::from(s.writes)),
+                    ("busy_cycles", Json::from(s.busy_cycles)),
+                    ("read_latency_cycles", Json::from(s.read_latency_cycles)),
+                    ("write_latency_cycles", Json::from(s.write_latency_cycles)),
+                    ("max_latency_cycles", Json::from(s.max_latency_cycles)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) into a
+    /// channel freshly built from the *same* `cfg` (request locations are
+    /// re-derived through `cfg.map`, so a different address mapping would
+    /// silently corrupt the run — callers guard the config hash).
+    pub(crate) fn restore(&mut self, j: &Json, cfg: &DramConfig) -> R<()> {
+        let banks = arr_of(j, "banks")?;
+        if banks.len() != self.banks.len() {
+            return Err(format!(
+                "rank count mismatch: snapshot {} vs config {}",
+                banks.len(),
+                self.banks.len()
+            ));
+        }
+        for (rank, row) in banks.iter().enumerate() {
+            let row = row
+                .as_arr()
+                .ok_or_else(|| "bank row is not an array".to_string())?;
+            if row.len() != self.banks[rank].len() {
+                return Err("bank count mismatch".to_string());
+            }
+            for (bi, bj) in row.iter().enumerate() {
+                let active_row = match field(bj, "row")? {
+                    Json::Null => None,
+                    v => Some(v.as_hex().ok_or_else(|| "bad bank row".to_string())?),
+                };
+                self.banks[rank][bi] = Bank {
+                    active_row,
+                    col_ok: u64_of(bj, "col_ok")?,
+                    pre_ok: u64_of(bj, "pre_ok")?,
+                    act_ok: u64_of(bj, "act_ok")?,
+                };
+            }
+        }
+        let ranks = arr_of(j, "ranks")?;
+        if ranks.len() != self.ranks.len() {
+            return Err("rank state count mismatch".to_string());
+        }
+        for (ri, rj) in ranks.iter().enumerate() {
+            let mut acts = VecDeque::new();
+            for a in arr_of(rj, "acts")? {
+                acts.push_back(a.as_u64().ok_or_else(|| "bad act time".to_string())?);
+            }
+            self.ranks[ri] = Rank {
+                acts,
+                rd_ok: u64_of(rj, "rd_ok")?,
+                next_refresh: u64_of(rj, "next_refresh")?,
+                refresh_until: u64_of(rj, "refresh_until")?,
+            };
+        }
+        self.queue.clear();
+        for pj in arr_of(j, "queue")? {
+            let req = MemRequest {
+                id: hex_of(pj, "id")?,
+                addr: hex_of(pj, "addr")?,
+                is_write: bool_of(pj, "w")?,
+            };
+            self.queue.push_back(Pending {
+                req,
+                loc: cfg.map(req.addr),
+                arrival: u64_of(pj, "arrival")?,
+            });
+        }
+        self.inflight.clear();
+        for cj in arr_of(j, "inflight")? {
+            self.inflight.push(Completion {
+                id: hex_of(cj, "id")?,
+                addr: hex_of(cj, "addr")?,
+                is_write: bool_of(cj, "w")?,
+                at: u64_of(cj, "at")?,
+            });
+        }
+        self.data_bus_free = u64_of(j, "data_bus_free")?;
+        self.quiet_until = u64_of(j, "quiet_until")?;
+        let s = field(j, "stats")?;
+        self.stats = ChannelStats {
+            row_hits: u64_of(s, "row_hits")?,
+            activates: u64_of(s, "activates")?,
+            precharges: u64_of(s, "precharges")?,
+            refreshes: u64_of(s, "refreshes")?,
+            reads: u64_of(s, "reads")?,
+            writes: u64_of(s, "writes")?,
+            busy_cycles: u64_of(s, "busy_cycles")?,
+            read_latency_cycles: u64_of(s, "read_latency_cycles")?,
+            write_latency_cycles: u64_of(s, "write_latency_cycles")?,
+            max_latency_cycles: u64_of(s, "max_latency_cycles")?,
+        };
+        Ok(())
     }
 
     fn try_precharge(&mut self, qi: usize, now: u64) -> bool {

@@ -9,6 +9,8 @@
 
 use crate::channel::{Completion, MemRequest};
 use crate::system::{DramSystem, QueueFull};
+use plasticine_json::decode::{arr_of, bool_of, field, hex_of, u64_of, R};
+use plasticine_json::Json;
 use std::collections::{HashMap, VecDeque};
 
 /// A 4-byte element request from an address generator.
@@ -172,6 +174,124 @@ impl CoalescingUnit {
                 Err(QueueFull) => break,
             }
         }
+    }
+
+    /// Serializes the mutable coalescing state. The `cache` and
+    /// `by_req_id` maps are emitted sorted by key so the snapshot bytes
+    /// are canonical (their `HashMap` iteration order is per-process);
+    /// `issue_queue` order is preserved verbatim because issue order is
+    /// behaviorally significant. Capacity, line size, and the id
+    /// namespace come from the constructor and are not included.
+    pub fn snapshot(&self) -> Json {
+        let elem_json = |e: &ElemRequest| {
+            Json::obj([
+                ("id", Json::hex(e.id)),
+                ("addr", Json::hex(e.byte_addr)),
+                ("w", Json::from(e.is_write)),
+            ])
+        };
+        let mut cache: Vec<_> = self.cache.iter().collect();
+        cache.sort_by_key(|(k, _)| **k);
+        let mut by_req: Vec<_> = self.by_req_id.iter().collect();
+        by_req.sort_by_key(|(k, _)| **k);
+        Json::obj([
+            (
+                "cache",
+                Json::Arr(
+                    cache
+                        .into_iter()
+                        .map(|(&(line, w), e)| {
+                            Json::obj([
+                                ("line", Json::hex(line)),
+                                ("w", Json::from(w)),
+                                ("issued", Json::from(e.issued)),
+                                ("elems", Json::Arr(e.elems.iter().map(elem_json).collect())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "issue_queue",
+                Json::Arr(
+                    self.issue_queue
+                        .iter()
+                        .map(|&(line, w)| {
+                            Json::obj([("line", Json::hex(line)), ("w", Json::from(w))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "by_req_id",
+                Json::Arr(
+                    by_req
+                        .into_iter()
+                        .map(|(&req, &(line, w))| {
+                            Json::obj([
+                                ("req", Json::hex(req)),
+                                ("line", Json::hex(line)),
+                                ("w", Json::from(w)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("next_line_req", Json::from(self.next_line_req)),
+            (
+                "stats",
+                Json::obj([
+                    ("elem_requests", Json::from(self.stats.elem_requests)),
+                    ("line_requests", Json::from(self.stats.line_requests)),
+                    ("merged", Json::from(self.stats.merged)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) into a unit
+    /// freshly built with the same constructor arguments.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a message on a malformed snapshot.
+    pub fn restore(&mut self, j: &Json) -> R<()> {
+        self.cache.clear();
+        for cj in arr_of(j, "cache")? {
+            let mut elems = Vec::new();
+            for ej in arr_of(cj, "elems")? {
+                elems.push(ElemRequest {
+                    id: hex_of(ej, "id")?,
+                    byte_addr: hex_of(ej, "addr")?,
+                    is_write: bool_of(ej, "w")?,
+                });
+            }
+            self.cache.insert(
+                (hex_of(cj, "line")?, bool_of(cj, "w")?),
+                Entry {
+                    elems,
+                    issued: bool_of(cj, "issued")?,
+                },
+            );
+        }
+        self.issue_queue.clear();
+        for qj in arr_of(j, "issue_queue")? {
+            self.issue_queue
+                .push_back((hex_of(qj, "line")?, bool_of(qj, "w")?));
+        }
+        self.by_req_id.clear();
+        for rj in arr_of(j, "by_req_id")? {
+            self.by_req_id
+                .insert(hex_of(rj, "req")?, (hex_of(rj, "line")?, bool_of(rj, "w")?));
+        }
+        self.next_line_req = u64_of(j, "next_line_req")?;
+        let s = field(j, "stats")?;
+        self.stats = CoalesceStats {
+            elem_requests: u64_of(s, "elem_requests")?,
+            line_requests: u64_of(s, "line_requests")?,
+            merged: u64_of(s, "merged")?,
+        };
+        Ok(())
     }
 
     /// Processes DRAM completions, returning the element completions they

@@ -2,6 +2,7 @@
 
 use crate::channel::{Channel, ChannelStats, Completion, MemRequest};
 use crate::config::DramConfig;
+use plasticine_json::Json;
 
 /// Aggregate statistics across all channels.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -216,6 +217,44 @@ impl DramSystem {
             self.next_event()
         );
         self.now += cycles;
+    }
+
+    /// Serializes the mutable memory-system state (clock plus per-channel
+    /// snapshots). The config and offline-channel remap are *not* included:
+    /// a resume rebuilds the system from the same config and replays
+    /// `set_offline`, then overlays this snapshot.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("now", Json::from(self.now)),
+            (
+                "channels",
+                Json::Arr(self.channels.iter().map(|c| c.snapshot()).collect()),
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) into a
+    /// system freshly built from the same config (and with the same
+    /// offline channels already applied).
+    ///
+    /// # Errors
+    ///
+    /// Fails with a message when the snapshot shape does not match this
+    /// system's configuration.
+    pub fn restore(&mut self, j: &Json) -> Result<(), String> {
+        let chans = plasticine_json::decode::arr_of(j, "channels")?;
+        if chans.len() != self.channels.len() {
+            return Err(format!(
+                "channel count mismatch: snapshot {} vs config {}",
+                chans.len(),
+                self.channels.len()
+            ));
+        }
+        for (ch, cj) in self.channels.iter_mut().zip(chans) {
+            ch.restore(cj, &self.cfg)?;
+        }
+        self.now = plasticine_json::decode::u64_of(j, "now")?;
+        Ok(())
     }
 
     /// Total column commands issued so far (lines read + written). The

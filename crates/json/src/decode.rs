@@ -1,0 +1,82 @@
+//! Helpers for reading structured objects back out of [`Json`] trees with
+//! uniform error messages.
+//!
+//! Artifact decoders (DRAM/simulator checkpoints and similar) all need the
+//! same "fetch this field as that type or fail with its name" shape; these
+//! free functions keep the call sites one line each.
+
+use crate::Json;
+
+/// Result alias used by the decode helpers.
+pub type R<T> = Result<T, String>;
+
+/// Fetches object member `k`, or fails naming it.
+pub fn field<'a>(j: &'a Json, k: &str) -> R<&'a Json> {
+    j.get(k).ok_or_else(|| format!("missing field `{k}`"))
+}
+
+/// Fetches member `k` as a `u64`.
+pub fn u64_of(j: &Json, k: &str) -> R<u64> {
+    field(j, k)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{k}` is not an unsigned integer"))
+}
+
+/// Fetches member `k` as a `usize`.
+pub fn usize_of(j: &Json, k: &str) -> R<usize> {
+    field(j, k)?
+        .as_usize()
+        .ok_or_else(|| format!("field `{k}` is not an unsigned integer"))
+}
+
+/// Fetches member `k` as a `bool`.
+pub fn bool_of(j: &Json, k: &str) -> R<bool> {
+    field(j, k)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{k}` is not a bool"))
+}
+
+/// Fetches member `k` as a [`Json::hex`]-encoded `u64`.
+pub fn hex_of(j: &Json, k: &str) -> R<u64> {
+    field(j, k)?
+        .as_hex()
+        .ok_or_else(|| format!("field `{k}` is not a hex string"))
+}
+
+/// Fetches member `k` as a string slice.
+pub fn str_of<'a>(j: &'a Json, k: &str) -> R<&'a str> {
+    field(j, k)?
+        .as_str()
+        .ok_or_else(|| format!("field `{k}` is not a string"))
+}
+
+/// Fetches member `k` as an array slice.
+pub fn arr_of<'a>(j: &'a Json, k: &str) -> R<&'a [Json]> {
+    field(j, k)?
+        .as_arr()
+        .ok_or_else(|| format!("field `{k}` is not an array"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_fetch_and_name_failures() {
+        let j = Json::obj([
+            ("n", Json::from(7u64)),
+            ("b", Json::from(true)),
+            ("h", Json::hex(u64::MAX)),
+            ("s", Json::from("x")),
+            ("a", Json::Arr(vec![Json::Null])),
+        ]);
+        assert_eq!(u64_of(&j, "n").unwrap(), 7);
+        assert_eq!(usize_of(&j, "n").unwrap(), 7);
+        assert!(bool_of(&j, "b").unwrap());
+        assert_eq!(hex_of(&j, "h").unwrap(), u64::MAX);
+        assert_eq!(str_of(&j, "s").unwrap(), "x");
+        assert_eq!(arr_of(&j, "a").unwrap().len(), 1);
+        assert!(u64_of(&j, "zz").unwrap_err().contains("zz"));
+        assert!(bool_of(&j, "n").unwrap_err().contains("not a bool"));
+    }
+}

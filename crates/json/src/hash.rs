@@ -1,0 +1,82 @@
+//! Shared FNV-1a (64-bit) hashing.
+//!
+//! The workspace content-hashes several artifacts — the compile cache key,
+//! serialized `Bitstream`s, simulation `Checkpoint`s, and the proptest
+//! shim's per-property seed derivation. All of them use the same FNV-1a
+//! algorithm; this module is the single implementation so the digests are
+//! pinned in exactly one place.
+//!
+//! FNV-1a is *not* cryptographic. It is used here purely for
+//! content-addressing and corruption detection of artifacts this
+//! repository itself produced.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Streaming FNV-1a hasher, for call sites that fold bytes incrementally
+/// (e.g. hashing a `Debug` rendering without buffering it).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher in the initial (offset-basis) state.
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest of everything folded so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+/// FNV-1a digest of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// FNV-1a digest of a string's UTF-8 bytes.
+pub fn fnv1a_str(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known FNV-1a 64-bit test vectors (from the reference
+    /// implementation's published vector set).
+    #[test]
+    fn pinned_digests() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+        assert_eq!(fnv1a_str("foobar"), fnv1a(b"foobar"));
+    }
+}

@@ -26,6 +26,9 @@
 
 #![warn(missing_docs)]
 
+pub mod decode;
+pub mod hash;
+
 use std::fmt;
 
 /// A JSON value. Numbers keep integer/float distinction so `u64` counters
@@ -108,6 +111,18 @@ impl Json {
     /// Builds an object from `(key, value)` pairs, preserving order.
     pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Encodes a `u64` as a fixed-width lowercase hex string. `From<u64>`
+    /// silently degrades values above `i64::MAX` to `Float`; hex strings
+    /// are the exact-round-trip encoding for ids, addresses, and hashes.
+    pub fn hex(v: u64) -> Json {
+        Json::Str(format!("{v:016x}"))
+    }
+
+    /// Decodes a [`Json::hex`]-encoded `u64`.
+    pub fn as_hex(&self) -> Option<u64> {
+        self.as_str().and_then(|s| u64::from_str_radix(s, 16).ok())
     }
 
     /// Member lookup on an object.

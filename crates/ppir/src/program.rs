@@ -313,22 +313,19 @@ impl Program {
 /// process). Exposed so downstream crates can derive compile-cache keys
 /// for parameter structs and fault maps with the same algorithm.
 pub fn stable_hash_of<T: fmt::Debug>(value: &T) -> u64 {
-    /// `fmt::Write` sink that folds bytes into an FNV-1a state instead
-    /// of buffering the rendered string.
-    struct Fnv(u64);
+    /// `fmt::Write` sink that folds bytes into the shared FNV-1a state
+    /// instead of buffering the rendered string.
+    struct Fnv(plasticine_json::hash::Fnv1a);
     impl fmt::Write for Fnv {
         fn write_str(&mut self, s: &str) -> fmt::Result {
-            for b in s.bytes() {
-                self.0 ^= u64::from(b);
-                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-            }
+            self.0.update(s.as_bytes());
             Ok(())
         }
     }
-    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let mut h = Fnv(plasticine_json::hash::Fnv1a::new());
     use fmt::Write as _;
     write!(h, "{value:?}").expect("Debug formatting cannot fail");
-    h.0
+    h.0.finish()
 }
 
 /// Incremental builder for [`Program`]s.

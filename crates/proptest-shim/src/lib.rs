@@ -368,12 +368,8 @@ pub mod prelude {
     };
 }
 
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-
 fn fnv1a(s: &str) -> u64 {
-    s.bytes()
-        .fold(FNV_OFFSET, |h, b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+    plasticine_json::hash::fnv1a_str(s)
 }
 
 /// Loads pinned regression seeds for `property` from

@@ -52,6 +52,9 @@ impl ExitStatus {
             SimError::FaultExhaustion { .. } => ExitStatus::FaultExhaustion,
             SimError::CycleBudgetExceeded { .. } => ExitStatus::CycleBudget,
             SimError::Run(_) | SimError::Config(_) => ExitStatus::Runtime,
+            // A checkpoint that cannot be decoded or does not match the
+            // run is a caller mistake (wrong file / wrong flags).
+            SimError::Checkpoint(_) => ExitStatus::Usage,
         }
     }
 }
@@ -101,5 +104,7 @@ mod tests {
         assert_eq!(ExitStatus::from(&e), ExitStatus::CycleBudget);
         let e = SimError::Config("x".into());
         assert_eq!(ExitStatus::from(&e), ExitStatus::Runtime);
+        let e = SimError::Checkpoint(crate::checkpoint::CheckpointError::Mismatch("x".into()));
+        assert_eq!(ExitStatus::from(&e), ExitStatus::Usage);
     }
 }

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod deadlock;
 mod exit;
 mod model;
@@ -43,6 +44,7 @@ mod resources;
 mod sched;
 mod trace;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use deadlock::{BlockedUnit, DeadlockReport, HeldResource, WaitCause};
 pub use exit::ExitStatus;
 pub use model::{ComputeModel, OuterModel, SimModel, TransferModel};
@@ -269,7 +271,7 @@ pub fn simulate(
     machine: &mut Machine,
     opts: &SimOptions,
 ) -> Result<SimResult, SimError> {
-    run_sim(p, out, machine, opts, false).map(|(r, _)| r)
+    run_sim(p, out, machine, opts, false, None).map(|(r, _)| r)
 }
 
 /// Like [`simulate`], but also records the structured event trace (leaf
@@ -286,7 +288,76 @@ pub fn simulate_traced(
     machine: &mut Machine,
     opts: &SimOptions,
 ) -> Result<(SimResult, SimTrace), SimError> {
-    run_sim(p, out, machine, opts, true).map(|(r, t)| (r, t.expect("tracing was enabled")))
+    run_sim(p, out, machine, opts, true, None).map(|(r, t)| (r, t.expect("tracing was enabled")))
+}
+
+/// Checkpoint wiring threaded through [`run_sim`]: when to emit, what (if
+/// anything) to resume from, and where emitted checkpoints go. The `emit`
+/// callback owns persistence (and its error handling) so the run loop
+/// never blocks on I/O decisions.
+struct CheckpointCtl<'a> {
+    policy: CheckpointPolicy,
+    resume: Option<&'a Checkpoint>,
+    emit: &'a mut dyn FnMut(&Checkpoint),
+}
+
+impl CheckpointCtl<'_> {
+    /// Emits a snapshot of the current state if `on_error` asks for one.
+    /// Called at the `CycleBudgetExceeded` and watchdog error sites; the
+    /// state there is a valid cycle-boundary checkpoint (the cycle has
+    /// committed), so a diagnosed failure still leaves a resumable
+    /// artifact — resume with a bigger `max_cycles` / `stall_limit`.
+    fn emit_on_error(
+        &mut self,
+        p: &Program,
+        out: &CompileOutput,
+        opts: &SimOptions,
+        res: &Resources,
+        root: &Node,
+        last_progress: u64,
+    ) {
+        if self.policy.on_error {
+            let c = Checkpoint::new(
+                p,
+                &out.config,
+                opts,
+                res.now,
+                last_progress,
+                res.snapshot(),
+                root.snapshot(),
+            );
+            (self.emit)(&c);
+        }
+    }
+}
+
+/// Like [`simulate`], but with checkpoint support: emits a [`Checkpoint`]
+/// through `emit` per `policy`, and — when `resume` is given — validates
+/// its guard hashes and continues from its cycle instead of cycle 0.
+/// Resuming produces bit-identical final stats to an uninterrupted run in
+/// either step mode. Tracing is not supported on this path (a trace
+/// cannot be reconstructed across a kill), which is why there is no
+/// traced variant.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`], plus [`SimError::Checkpoint`] when
+/// `resume` does not match this program/bitstream/options or is corrupt.
+pub fn simulate_checkpointed(
+    p: &Program,
+    out: &CompileOutput,
+    machine: &mut Machine,
+    opts: &SimOptions,
+    policy: CheckpointPolicy,
+    resume: Option<&Checkpoint>,
+    emit: &mut dyn FnMut(&Checkpoint),
+) -> Result<SimResult, SimError> {
+    let ctl = CheckpointCtl {
+        policy,
+        resume,
+        emit,
+    };
+    run_sim(p, out, machine, opts, false, Some(ctl)).map(|(r, _)| r)
 }
 
 fn run_sim(
@@ -295,6 +366,7 @@ fn run_sim(
     machine: &mut Machine,
     opts: &SimOptions,
     traced: bool,
+    mut ckpt: Option<CheckpointCtl>,
 ) -> Result<(SimResult, Option<SimTrace>), SimError> {
     let mut rec = TraceRecorder::new();
     machine.run_traced(&mut rec)?;
@@ -326,12 +398,46 @@ fn run_sim(
     let mut root = Node::build(trace, &model, &mut next_job);
 
     let mut last_progress = 0u64;
+    // Overlay a resume snapshot onto the freshly built state. `Node::build`
+    // is deterministic, so the fresh tree has the same shape and leaf job
+    // ids as the one the checkpointing run built; the snapshot supplies
+    // only the mutable progress state.
+    if let Some(c) = ckpt.as_ref().and_then(|c| c.resume) {
+        c.matches(p, &out.config, opts)
+            .map_err(SimError::Checkpoint)?;
+        res.restore(&c.resources)
+            .map_err(|m| SimError::Checkpoint(CheckpointError::Format(m)))?;
+        root.restore(&c.tree, &model)
+            .map_err(|m| SimError::Checkpoint(CheckpointError::Format(m)))?;
+        last_progress = c.last_progress;
+    }
+    // Next cycle at which a periodic checkpoint is due. Checkpoints are
+    // taken at the top of the loop, *before* `begin_cycle`, where the state
+    // is exactly what a fresh build-plus-restore reproduces.
+    let every = ckpt.as_ref().and_then(|c| c.policy.every);
+    let mut next_due = every.map(|e| (res.now / e + 1) * e);
     // Set when the event kernel already ran this cycle's `begin_cycle` (it
     // found the cycle tree-observable): the iteration must tick without
     // beginning again.
     let mut skip_begin = false;
     loop {
         if !skip_begin {
+            if let (Some(due), Some(ctl)) = (next_due, ckpt.as_mut()) {
+                if res.now >= due {
+                    let c = Checkpoint::new(
+                        p,
+                        &out.config,
+                        opts,
+                        res.now,
+                        last_progress,
+                        res.snapshot(),
+                        root.snapshot(),
+                    );
+                    (ctl.emit)(&c);
+                    let e = every.expect("next_due implies every");
+                    next_due = Some((res.now / e + 1) * e);
+                }
+            }
             res.begin_cycle();
         }
         skip_begin = false;
@@ -355,12 +461,18 @@ fn run_sim(
         }
         let changed = res.take_changed();
         if res.now >= opts.max_cycles {
+            if let Some(ctl) = ckpt.as_mut() {
+                ctl.emit_on_error(p, out, opts, &res, &root, last_progress);
+            }
             return Err(SimError::CycleBudgetExceeded {
                 cycle: res.now,
                 budget: opts.max_cycles,
             });
         }
         if res.now.saturating_sub(last_progress) > opts.stall_limit {
+            if let Some(ctl) = ckpt.as_mut() {
+                ctl.emit_on_error(p, out, opts, &res, &root, last_progress);
+            }
             let mut report = DeadlockReport {
                 cycle: res.now,
                 stall_limit: opts.stall_limit,

@@ -8,6 +8,7 @@ use crate::trace::{
 };
 use plasticine_arch::{FaultRng, PlasticineParams, TransientFaults, UnitId};
 use plasticine_dram::{CoalescingUnit, DramConfig, DramStats, DramSystem, ElemRequest, MemRequest};
+use plasticine_json::Json;
 use plasticine_ppir::CtrlId;
 use std::collections::HashMap;
 
@@ -69,6 +70,9 @@ pub enum SimError {
     },
     /// The fault/DRAM configuration is unusable (e.g. every channel offline).
     Config(String),
+    /// A checkpoint could not be decoded or does not match the run it was
+    /// asked to resume (wrong program/bitstream/options, corrupt file).
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl std::fmt::Display for SimError {
@@ -92,6 +96,7 @@ impl std::fmt::Display for SimError {
                  but needs a larger budget"
             ),
             SimError::Config(msg) => write!(f, "bad simulation configuration: {msg}"),
+            SimError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -904,6 +909,325 @@ impl Resources {
             s.merged += cu.stats.merged;
         }
         s
+    }
+
+    // ---- checkpointing ----
+
+    /// Serializes all mutable resource state at a cycle boundary (the top
+    /// of the run loop, after `commit_cycle` and the progress/fault takes).
+    ///
+    /// Derived state is *not* included: port tokens/capacities and the
+    /// dense unit/port indices are rebuilt from the model, `pending_class`
+    /// is all-idle at a boundary (asserted), and `fault_exhausted` has
+    /// been taken. Hash maps are emitted sorted by key so the snapshot
+    /// bytes are canonical; `retry_queue` order is preserved verbatim
+    /// (retry re-issue order is behaviorally significant).
+    pub(crate) fn snapshot(&self) -> Json {
+        debug_assert!(
+            self.pending_class.iter().all(|&c| c == CLASS_IDLE),
+            "snapshot off a cycle boundary: pending classes not committed"
+        );
+        debug_assert!(
+            self.fault_exhausted.is_none(),
+            "snapshot with an untaken fault-exhaustion event"
+        );
+        let hexmap = |m: &HashMap<u64, u64>| {
+            let mut kv: Vec<_> = m.iter().map(|(&k, &v)| (k, v)).collect();
+            kv.sort_unstable();
+            Json::Arr(
+                kv.into_iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::hex(k), Json::hex(v)]))
+                    .collect(),
+            )
+        };
+        let mut slots: Vec<_> = self.slots.iter().map(|(&c, &n)| (c, n)).collect();
+        slots.sort_unstable();
+        let mut drops: Vec<_> = self.drop_attempts.iter().map(|(&k, &v)| (k, v)).collect();
+        drops.sort_unstable();
+        let a = &self.activity;
+        let f = &self.fault_stats;
+        Json::obj([
+            ("now", Json::from(self.now)),
+            (
+                "slots",
+                Json::Arr(
+                    slots
+                        .into_iter()
+                        .map(|(c, n)| {
+                            Json::Arr(vec![Json::from(u64::from(c.0)), Json::from(n as u64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("dram", self.dram.snapshot()),
+            (
+                "cus",
+                Json::Arr(self.cus.iter().map(|cu| cu.snapshot()).collect()),
+            ),
+            ("line_done", hexmap(&self.line_done)),
+            ("elem_done", hexmap(&self.elem_done)),
+            ("req_job", hexmap(&self.req_job)),
+            ("req_elem", hexmap(&self.req_elem)),
+            ("next_dense", Json::from(self.next_dense)),
+            ("next_elem_seq", hexmap(&self.next_elem_seq)),
+            (
+                "activity",
+                Json::obj([
+                    ("fu_ops", Json::from(a.fu_ops)),
+                    ("heavy_ops", Json::from(a.heavy_ops)),
+                    ("red_ops", Json::from(a.red_ops)),
+                    ("sram_reads", Json::from(a.sram_reads)),
+                    ("sram_writes", Json::from(a.sram_writes)),
+                    ("reg_traffic", Json::from(a.reg_traffic)),
+                    ("net_word_hops", Json::from(a.net_word_hops)),
+                    ("ctrl_msgs", Json::from(a.ctrl_msgs)),
+                    ("pcu_busy_cycles", Json::from(a.pcu_busy_cycles)),
+                    ("pmu_busy_cycles", Json::from(a.pmu_busy_cycles)),
+                    ("ag_busy_cycles", Json::from(a.ag_busy_cycles)),
+                ]),
+            ),
+            (
+                "unit_cycles",
+                Json::Arr(
+                    self.unit_cycles
+                        .iter()
+                        .map(|u| {
+                            Json::obj([
+                                ("busy", Json::from(u.busy)),
+                                ("ctrl", Json::from(u.ctrl_stall)),
+                                ("mem", Json::from(u.mem_stall)),
+                                ("idle", Json::from(u.idle)),
+                                ("rec", Json::from(u.recovery)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "rng",
+                self.rng
+                    .as_ref()
+                    .map(|r| Json::hex(r.state()))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "fault_stats",
+                Json::obj([
+                    ("ecc_corrected", Json::from(f.ecc_corrected)),
+                    ("parity_replays", Json::from(f.parity_replays)),
+                    ("lane_replays", Json::from(f.lane_replays)),
+                    ("recovery_cycles", Json::from(f.recovery_cycles)),
+                    ("dram_dropped", Json::from(f.dram_dropped)),
+                    ("dram_retries", Json::from(f.dram_retries)),
+                    (
+                        "dram_retry_wait_cycles",
+                        Json::from(f.dram_retry_wait_cycles),
+                    ),
+                ]),
+            ),
+            (
+                "drop_attempts",
+                Json::Arr(
+                    drops
+                        .into_iter()
+                        .map(|(k, v)| Json::Arr(vec![Json::hex(k), Json::from(u64::from(v))]))
+                        .collect(),
+                ),
+            ),
+            (
+                "retry_queue",
+                Json::Arr(
+                    self.retry_queue
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("due", Json::from(r.due)),
+                                ("id", Json::hex(r.req.id)),
+                                ("addr", Json::hex(r.req.addr)),
+                                ("w", Json::from(r.req.is_write)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "flags",
+                Json::obj([
+                    ("progress", Json::from(self.progress)),
+                    ("changed", Json::from(self.changed)),
+                    ("push_blocked", Json::from(self.push_blocked)),
+                    ("begin_routed", Json::from(self.begin_routed)),
+                    ("begin_cols", Json::from(self.begin_cols)),
+                    ("cu_pending", Json::from(self.cu_pending)),
+                ]),
+            ),
+            (
+                "last_class",
+                Json::Arr(
+                    self.last_class
+                        .iter()
+                        .map(|&c| Json::from(u64::from(c)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) into a pool
+    /// freshly built by [`new`](Self::new) for the same model and options
+    /// (with `set_transients`/`set_coalescing`/`set_offline` already
+    /// applied — restore overlays the mutable state on top).
+    ///
+    /// # Errors
+    ///
+    /// Fails with a message on a malformed snapshot or one whose shape
+    /// does not match this pool's model.
+    pub(crate) fn restore(&mut self, j: &Json) -> Result<(), String> {
+        use plasticine_json::decode::{arr_of, bool_of, field, hex_of, u64_of};
+        let pairs = |j: &Json, k: &str| -> Result<Vec<(u64, u64)>, String> {
+            let mut out = Vec::new();
+            for e in arr_of(j, k)? {
+                let p = e
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("field `{k}`: entry is not a pair"))?;
+                let k = p[0]
+                    .as_hex()
+                    .ok_or_else(|| "pair key is not a hex string".to_string())?;
+                let v = p[1]
+                    .as_hex()
+                    .ok_or_else(|| "pair value is not a hex string".to_string())?;
+                out.push((k, v));
+            }
+            Ok(out)
+        };
+        self.now = u64_of(j, "now")?;
+        self.slots.clear();
+        for e in arr_of(j, "slots")? {
+            let p = e
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| "slot entry is not a pair".to_string())?;
+            let c = p[0]
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| "bad slot ctrl id".to_string())?;
+            let n = p[1]
+                .as_usize()
+                .ok_or_else(|| "bad slot count".to_string())?;
+            self.slots.insert(CtrlId(c), n);
+        }
+        self.dram.restore(field(j, "dram")?)?;
+        let cus = arr_of(j, "cus")?;
+        if cus.len() != self.cus.len() {
+            return Err(format!(
+                "coalescing-unit count mismatch: snapshot {} vs model {}",
+                cus.len(),
+                self.cus.len()
+            ));
+        }
+        for (cu, cj) in self.cus.iter_mut().zip(cus) {
+            cu.restore(cj)?;
+        }
+        self.line_done = pairs(j, "line_done")?.into_iter().collect();
+        self.elem_done = pairs(j, "elem_done")?.into_iter().collect();
+        self.req_job = pairs(j, "req_job")?.into_iter().collect();
+        self.req_elem = pairs(j, "req_elem")?.into_iter().collect();
+        self.next_dense = u64_of(j, "next_dense")?;
+        self.next_elem_seq = pairs(j, "next_elem_seq")?.into_iter().collect();
+        let a = field(j, "activity")?;
+        self.activity = Activity {
+            fu_ops: u64_of(a, "fu_ops")?,
+            heavy_ops: u64_of(a, "heavy_ops")?,
+            red_ops: u64_of(a, "red_ops")?,
+            sram_reads: u64_of(a, "sram_reads")?,
+            sram_writes: u64_of(a, "sram_writes")?,
+            reg_traffic: u64_of(a, "reg_traffic")?,
+            net_word_hops: u64_of(a, "net_word_hops")?,
+            ctrl_msgs: u64_of(a, "ctrl_msgs")?,
+            pcu_busy_cycles: u64_of(a, "pcu_busy_cycles")?,
+            pmu_busy_cycles: u64_of(a, "pmu_busy_cycles")?,
+            ag_busy_cycles: u64_of(a, "ag_busy_cycles")?,
+        };
+        let ucs = arr_of(j, "unit_cycles")?;
+        if ucs.len() != self.unit_cycles.len() {
+            return Err(format!(
+                "tracked-unit count mismatch: snapshot {} vs model {}",
+                ucs.len(),
+                self.unit_cycles.len()
+            ));
+        }
+        for (uc, uj) in self.unit_cycles.iter_mut().zip(ucs) {
+            *uc = UnitCycles {
+                busy: u64_of(uj, "busy")?,
+                ctrl_stall: u64_of(uj, "ctrl")?,
+                mem_stall: u64_of(uj, "mem")?,
+                idle: u64_of(uj, "idle")?,
+                recovery: u64_of(uj, "rec")?,
+            };
+        }
+        self.rng = match field(j, "rng")? {
+            Json::Null => None,
+            v => Some(FaultRng::from_state(
+                v.as_hex().ok_or_else(|| "bad rng state".to_string())?,
+            )),
+        };
+        let f = field(j, "fault_stats")?;
+        self.fault_stats = FaultStats {
+            ecc_corrected: u64_of(f, "ecc_corrected")?,
+            parity_replays: u64_of(f, "parity_replays")?,
+            lane_replays: u64_of(f, "lane_replays")?,
+            recovery_cycles: u64_of(f, "recovery_cycles")?,
+            dram_dropped: u64_of(f, "dram_dropped")?,
+            dram_retries: u64_of(f, "dram_retries")?,
+            dram_retry_wait_cycles: u64_of(f, "dram_retry_wait_cycles")?,
+        };
+        self.drop_attempts.clear();
+        for e in arr_of(j, "drop_attempts")? {
+            let p = e
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| "drop entry is not a pair".to_string())?;
+            let k = p[0]
+                .as_hex()
+                .ok_or_else(|| "bad drop request id".to_string())?;
+            let v = p[1]
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| "bad drop attempt count".to_string())?;
+            self.drop_attempts.insert(k, v);
+        }
+        self.retry_queue.clear();
+        for rj in arr_of(j, "retry_queue")? {
+            self.retry_queue.push(PendingRetry {
+                due: u64_of(rj, "due")?,
+                req: MemRequest {
+                    id: hex_of(rj, "id")?,
+                    addr: hex_of(rj, "addr")?,
+                    is_write: bool_of(rj, "w")?,
+                },
+            });
+        }
+        let fl = field(j, "flags")?;
+        self.progress = bool_of(fl, "progress")?;
+        self.changed = bool_of(fl, "changed")?;
+        self.push_blocked = bool_of(fl, "push_blocked")?;
+        self.begin_routed = bool_of(fl, "begin_routed")?;
+        self.begin_cols = bool_of(fl, "begin_cols")?;
+        self.cu_pending = bool_of(fl, "cu_pending")?;
+        let lc = arr_of(j, "last_class")?;
+        if lc.len() != self.last_class.len() {
+            return Err("class-vector length mismatch".to_string());
+        }
+        for (dst, cj) in self.last_class.iter_mut().zip(lc) {
+            *dst = cj
+                .as_u64()
+                .and_then(|v| u8::try_from(v).ok())
+                .ok_or_else(|| "bad class value".to_string())?;
+        }
+        self.fault_exhausted = None;
+        self.pending_class.fill(CLASS_IDLE);
+        Ok(())
     }
 }
 

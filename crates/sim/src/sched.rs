@@ -9,6 +9,7 @@ use crate::resources::Resources;
 use crate::trace::{WaitKind, CLASS_BUSY, CLASS_CTRL, CLASS_MEM};
 use plasticine_arch::UnitId;
 use plasticine_dram::lines_for_range;
+use plasticine_json::Json;
 use plasticine_ppir::{CtrlId, LeafWork, Schedule, TraceNode};
 
 /// The hardware unit a leaf controller occupies, if it has any.
@@ -18,6 +19,31 @@ fn unit_of(model: &SimModel, ctrl: CtrlId) -> Option<UnitId> {
         .get(&ctrl)
         .map(|c| c.unit)
         .or_else(|| model.transfer.get(&ctrl).map(|t| t.unit))
+}
+
+/// The request list a transfer leaf walks in `Xfer`: per-element accesses
+/// for sparse transfers, 64-byte lines for dense ones. Deterministic in
+/// `(work, model)`, so checkpoints store only the walk cursor and rebuild
+/// the list on restore.
+fn xfer_reqs(work: &LeafWork, tm: &TransferModel, model: &SimModel) -> Vec<(u64, bool)> {
+    let mut reqs = Vec::new();
+    if tm.sparse {
+        for r in &work.dram {
+            let base = model.dram_base[r.dram.0 as usize];
+            for k in 0..r.len {
+                reqs.push((base + (r.offset as u64 + k as u64) * 4, r.is_write));
+            }
+        }
+    } else {
+        for r in &work.dram {
+            let base = model.dram_base[r.dram.0 as usize];
+            let start = base + r.offset as u64 * 4;
+            for line in lines_for_range(start, r.len as u64 * 4, 64) {
+                reqs.push((line, r.is_write));
+            }
+        }
+    }
+    reqs
 }
 
 /// One node of the runtime schedule tree.
@@ -141,6 +167,224 @@ impl Node {
         match self {
             Node::Leaf(l) => l.collect_blocked(res, model, out),
             Node::Outer(o) => o.collect_blocked(res, model, out),
+        }
+    }
+
+    // ---- checkpointing ----
+
+    /// Serializes the mutable invocation state of the tree. Structure is
+    /// *not* serialized: [`build`](Self::build) is deterministic in the
+    /// trace and model, so a resume re-runs the functional interpreter,
+    /// rebuilds an identical fresh tree, and overlays this snapshot via
+    /// [`restore`](Self::restore). `active` order is preserved verbatim —
+    /// the tick loop iterates it in order, so it is behaviorally
+    /// significant.
+    pub(crate) fn snapshot(&self) -> Json {
+        match self {
+            Node::Leaf(l) => {
+                let state = match &l.state {
+                    LeafState::Idle => Json::obj([("k", Json::from("idle"))]),
+                    LeafState::Issue { remaining, beat } => Json::obj([
+                        ("k", Json::from("issue")),
+                        ("remaining", Json::from(*remaining)),
+                        ("beat", Json::from(*beat)),
+                    ]),
+                    LeafState::Xfer {
+                        next,
+                        outstanding,
+                        issued_requests,
+                        ..
+                    } => Json::obj([
+                        ("k", Json::from("xfer")),
+                        ("next", Json::from(*next as u64)),
+                        ("outstanding", Json::from(*outstanding)),
+                        ("issued", Json::from(*issued_requests)),
+                    ]),
+                    LeafState::Drain { finish, xfer } => Json::obj([
+                        ("k", Json::from("drain")),
+                        ("finish", Json::from(*finish)),
+                        ("xfer", Json::from(*xfer)),
+                    ]),
+                    LeafState::Done => Json::obj([("k", Json::from("done"))]),
+                };
+                Json::obj([
+                    ("t", Json::from("leaf")),
+                    ("slot_released", Json::from(l.slot_released)),
+                    ("started_at", Json::from(l.started_at)),
+                    ("state", state),
+                ])
+            }
+            Node::Outer(o) => Json::obj([
+                ("t", Json::from("outer")),
+                (
+                    "started",
+                    Json::Arr(o.started.iter().map(|&v| Json::from(v as u64)).collect()),
+                ),
+                (
+                    "water",
+                    Json::Arr(o.water.iter().map(|&v| Json::from(v as u64)).collect()),
+                ),
+                (
+                    "completed",
+                    Json::Arr(
+                        o.completed
+                            .iter()
+                            .map(|c| {
+                                Json::Arr(c.iter().map(|&b| Json::from(u64::from(b))).collect())
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("holds_slot", Json::from(o.holds_slot)),
+                ("done", Json::from(o.done)),
+                (
+                    "seq",
+                    Json::Arr(vec![
+                        Json::from(o.seq_cursor.0 as u64),
+                        Json::from(o.seq_cursor.1 as u64),
+                    ]),
+                ),
+                (
+                    "active",
+                    Json::Arr(
+                        o.active
+                            .iter()
+                            .map(|(it, ch, n)| {
+                                Json::obj([
+                                    ("it", Json::from(*it as u64)),
+                                    ("ch", Json::from(*ch as u64)),
+                                    ("node", n.snapshot()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Overlays a [`snapshot`](Self::snapshot) onto a freshly built tree.
+    /// Started-but-unfinished invocations are re-taken from `iters` and
+    /// restored recursively; completed positions are taken and dropped so
+    /// they cannot restart.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a message when the snapshot does not match the tree's
+    /// shape (wrong program, corrupt snapshot).
+    pub(crate) fn restore(&mut self, j: &Json, model: &SimModel) -> Result<(), String> {
+        use plasticine_json::decode::{arr_of, bool_of, field, str_of, u64_of, usize_of};
+        match self {
+            Node::Leaf(l) => {
+                if str_of(j, "t")? != "leaf" {
+                    return Err("tree shape mismatch: expected a leaf node".to_string());
+                }
+                l.slot_released = bool_of(j, "slot_released")?;
+                l.started_at = u64_of(j, "started_at")?;
+                let s = field(j, "state")?;
+                l.state = match str_of(s, "k")? {
+                    "idle" => LeafState::Idle,
+                    "issue" => LeafState::Issue {
+                        remaining: u64_of(s, "remaining")?,
+                        beat: u64_of(s, "beat")?,
+                    },
+                    "xfer" => {
+                        let tm = model
+                            .transfer
+                            .get(&l.ctrl)
+                            .ok_or_else(|| "xfer state on a non-transfer leaf".to_string())?;
+                        let reqs = xfer_reqs(&l.work, tm, model);
+                        let next = usize_of(s, "next")?;
+                        if next > reqs.len() {
+                            return Err("xfer cursor out of range".to_string());
+                        }
+                        LeafState::Xfer {
+                            reqs,
+                            next,
+                            outstanding: u64_of(s, "outstanding")?,
+                            issued_requests: u64_of(s, "issued")?,
+                        }
+                    }
+                    "drain" => LeafState::Drain {
+                        finish: u64_of(s, "finish")?,
+                        xfer: bool_of(s, "xfer")?,
+                    },
+                    "done" => LeafState::Done,
+                    k => return Err(format!("unknown leaf state `{k}`")),
+                };
+                Ok(())
+            }
+            Node::Outer(o) => {
+                if str_of(j, "t")? != "outer" {
+                    return Err("tree shape mismatch: expected an outer node".to_string());
+                }
+                let started = arr_of(j, "started")?;
+                let water = arr_of(j, "water")?;
+                let completed = arr_of(j, "completed")?;
+                if started.len() != o.n_children
+                    || water.len() != o.n_children
+                    || completed.len() != o.n_children
+                {
+                    return Err("child count mismatch".to_string());
+                }
+                for (dst, v) in o.started.iter_mut().zip(started) {
+                    *dst = v.as_usize().ok_or_else(|| "bad started".to_string())?;
+                }
+                for (dst, v) in o.water.iter_mut().zip(water) {
+                    *dst = v.as_usize().ok_or_else(|| "bad water".to_string())?;
+                }
+                for (ch, cj) in completed.iter().enumerate() {
+                    let flags = cj
+                        .as_arr()
+                        .ok_or_else(|| "completed row is not an array".to_string())?;
+                    if flags.len() > o.n_iters {
+                        return Err("completed row longer than iteration count".to_string());
+                    }
+                    let mut row = Vec::with_capacity(flags.len());
+                    for f in flags {
+                        row.push(match f.as_u64() {
+                            Some(0) => false,
+                            Some(1) => true,
+                            _ => return Err("bad completed flag".to_string()),
+                        });
+                    }
+                    // Completed positions were started: take and drop them.
+                    for (it, &done) in row.iter().enumerate() {
+                        if done && o.iters[it][ch].take().is_none() {
+                            return Err("completed position taken twice".to_string());
+                        }
+                    }
+                    o.completed[ch] = row;
+                }
+                o.holds_slot = bool_of(j, "holds_slot")?;
+                o.done = bool_of(j, "done")?;
+                let seq = arr_of(j, "seq")?;
+                if seq.len() != 2 {
+                    return Err("bad seq cursor".to_string());
+                }
+                o.seq_cursor = (
+                    seq[0]
+                        .as_usize()
+                        .ok_or_else(|| "bad seq iter".to_string())?,
+                    seq[1]
+                        .as_usize()
+                        .ok_or_else(|| "bad seq child".to_string())?,
+                );
+                o.active.clear();
+                for aj in arr_of(j, "active")? {
+                    let it = usize_of(aj, "it")?;
+                    let ch = usize_of(aj, "ch")?;
+                    if it >= o.n_iters || ch >= o.n_children {
+                        return Err("active position out of range".to_string());
+                    }
+                    let mut node = o.iters[it][ch]
+                        .take()
+                        .ok_or_else(|| "active position taken twice".to_string())?;
+                    node.restore(field(aj, "node")?, model)?;
+                    o.active.push((it, ch, node));
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -465,28 +709,8 @@ impl LeafNode {
                             beat: 0,
                         };
                     } else if let Some(tm) = model.transfer.get(&self.ctrl) {
-                        let mut reqs = Vec::new();
-                        if tm.sparse {
-                            for r in &self.work.dram {
-                                let base = model.dram_base[r.dram.0 as usize];
-                                for k in 0..r.len {
-                                    reqs.push((
-                                        base + (r.offset as u64 + k as u64) * 4,
-                                        r.is_write,
-                                    ));
-                                }
-                            }
-                        } else {
-                            for r in &self.work.dram {
-                                let base = model.dram_base[r.dram.0 as usize];
-                                let start = base + r.offset as u64 * 4;
-                                for line in lines_for_range(start, r.len as u64 * 4, 64) {
-                                    reqs.push((line, r.is_write));
-                                }
-                            }
-                        }
                         self.state = LeafState::Xfer {
-                            reqs,
+                            reqs: xfer_reqs(&self.work, tm, model),
                             next: 0,
                             outstanding: 0,
                             issued_requests: 0,

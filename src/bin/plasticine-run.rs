@@ -22,18 +22,21 @@ use plasticine::json::Json;
 use plasticine::models::PowerModel;
 use plasticine::ppir::Machine;
 use plasticine::sim::{
-    simulate, simulate_traced, ExitStatus, SimError, SimOptions, SimResult, StepMode, UnitKind,
-    UnitStats,
+    simulate, simulate_checkpointed, simulate_traced, Checkpoint, CheckpointPolicy, ExitStatus,
+    SimError, SimOptions, SimResult, StepMode, UnitKind, UnitStats,
 };
 use plasticine::workloads::{all, Bench, Scale};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           worker threads (default: available parallelism)\n  (workers share one compile cache; output order is deterministic)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           worker threads (default: available parallelism)\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
     );
     ExitStatus::Usage.into()
 }
@@ -58,6 +61,14 @@ struct Flags {
     config: Option<String>,
     jobs: usize,
     step: StepMode,
+    max_cycles: Option<u64>,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
+    timeout: Option<u64>,
+    retries: u32,
+    journal: Option<String>,
+    fail_fast: bool,
 }
 
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
@@ -71,8 +82,9 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
         if !allowed.contains(&a) {
             return Err(format!("unknown option `{a}`"));
         }
-        if a == "--units" {
-            f.units = true;
+        if a == "--units" || a == "--fail-fast" {
+            f.units |= a == "--units";
+            f.fail_fast |= a == "--fail-fast";
             i += 1;
             continue;
         }
@@ -95,11 +107,39 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs requires a positive integer, got `{v}`"))?;
             }
+            "--max-cycles" => {
+                f.max_cycles =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--max-cycles requires a positive integer, got `{v}`")
+                    })?);
+            }
+            "--checkpoint-every" => {
+                // `0` would checkpoint every cycle boundary forever and a
+                // negative or overflowing value fails the u64 parse; all
+                // are usage errors, not silent clamps.
+                f.checkpoint_every =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--checkpoint-every requires a positive integer, got `{v}`")
+                    })?);
+            }
+            "--timeout" => {
+                f.timeout = Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("--timeout requires a positive number of seconds, got `{v}`")
+                })?);
+            }
+            "--retries" => {
+                f.retries = v
+                    .parse::<u32>()
+                    .map_err(|_| format!("--retries requires a non-negative integer, got `{v}`"))?;
+            }
             "--trace" => f.trace = Some(v),
             "--stats-json" => f.stats = Some(v),
             "--bitstream" => f.bitstream = Some(v),
             "--out" => f.out = Some(v),
             "--config" => f.config = Some(v),
+            "--checkpoint-dir" => f.checkpoint_dir = Some(v),
+            "--resume" => f.resume = Some(v),
+            "--journal" => f.journal = Some(v),
             "--faults" => {
                 f.faults = Some(
                     v.parse::<FaultSpec>()
@@ -192,6 +232,16 @@ struct RunConfig {
     units: bool,
     faults: FaultMap,
     step: StepMode,
+    max_cycles: Option<u64>,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
+}
+
+/// Where a benchmark's checkpoint lives: `<dir>/<bench>.ckpt.json`,
+/// overwritten at every emission so the newest snapshot always wins.
+fn checkpoint_path(dir: &str, bench: &str) -> PathBuf {
+    Path::new(dir).join(format!("{}.ckpt.json", bench.to_ascii_lowercase()))
 }
 
 /// A failed run, carrying the exit status it maps to.
@@ -301,12 +351,55 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
     };
     let mut m = Machine::new(&prog);
     bench.load(&mut m);
-    let opts = SimOptions {
+    let mut opts = SimOptions {
         faults: cfg.faults.clone(),
         step: cfg.step,
         ..SimOptions::default()
     };
-    let sim_res = if cfg.trace.is_some() {
+    if let Some(n) = cfg.max_cycles {
+        opts.max_cycles = n;
+    }
+    let checkpointing = cfg.checkpoint_every.is_some() || cfg.checkpoint_dir.is_some();
+    let sim_res = if checkpointing || cfg.resume.is_some() {
+        let resume = match &cfg.resume {
+            Some(path) => {
+                let c = Checkpoint::load(Path::new(path))
+                    .map_err(|e| RunFailure::from_sim(SimError::Checkpoint(e)))?;
+                println!("  resuming from cycle {} ({path})", c.cycle);
+                Some(c)
+            }
+            None => None,
+        };
+        let dir = cfg.checkpoint_dir.as_deref().unwrap_or(".");
+        let ckpt_path = checkpoint_path(dir, &bench.name);
+        let policy = CheckpointPolicy {
+            every: cfg.checkpoint_every,
+            // Any checkpointing flag also opts into auto-checkpoints at
+            // cycle-budget and deadlock failures, so those simulated
+            // cycles survive the error and can be resumed with bigger
+            // limits.
+            on_error: checkpointing,
+        };
+        simulate_checkpointed(
+            &prog,
+            &out,
+            &mut m,
+            &opts,
+            policy,
+            resume.as_ref(),
+            &mut |c| match c.save(&ckpt_path) {
+                Ok(()) => println!(
+                    "  checkpoint at cycle {} written to {}",
+                    c.cycle,
+                    ckpt_path.display()
+                ),
+                // A failed write must not kill a healthy run: report it
+                // and keep simulating.
+                Err(e) => eprintln!("  checkpoint write failed: {e}"),
+            },
+        )
+        .map(|r| (r, None))
+    } else if cfg.trace.is_some() {
         simulate_traced(&prog, &out, &mut m, &opts).map(|(r, t)| (r, Some(t)))
     } else {
         simulate(&prog, &out, &mut m, &opts).map(|r| (r, None))
@@ -360,20 +453,184 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
     Ok(())
 }
 
-/// One `batch` work item: compile through the shared cache, simulate,
-/// verify. Returns the text to print (summary line plus any degradation
-/// notes), buffered so worker output can be emitted in deterministic
-/// order.
+/// Batch-supervisor options (everything after the benchmark list).
+#[derive(Clone)]
+struct BatchConfig {
+    jobs: usize,
+    faults: FaultMap,
+    step: StepMode,
+    stats: Option<String>,
+    max_cycles: Option<u64>,
+    timeout: Option<Duration>,
+    retries: u32,
+    journal: Option<String>,
+    fail_fast: bool,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<String>,
+}
+
+/// Stable identity of a batch job across invocations: the same bench at
+/// the same scale under the same fault map and step mode hashes to the
+/// same key, so a re-invoked batch can match journal entries to jobs.
+fn job_key(bench: &Bench, faults: &FaultMap, step: StepMode) -> String {
+    let desc = format!(
+        "{}|{:016x}|{}|{:?}",
+        bench.name,
+        bench.program.stable_hash(),
+        faults.summary(),
+        step
+    );
+    format!("{:016x}", plasticine::json::hash::fnv1a_str(&desc))
+}
+
+/// Is `bench` named in the comma-separated env var `var`? Test hook used
+/// by the supervisor CI job to inject a panicking and a hanging worker.
+fn env_lists_bench(var: &str, bench: &str) -> bool {
+    std::env::var(var).is_ok_and(|v| v.split(',').any(|n| n.trim().eq_ignore_ascii_case(bench)))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobStatus {
+    /// Claimed by a worker; still this state in the journal after a crash
+    /// or kill, which is how a re-invoked batch finds interrupted jobs.
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Result<JobStatus, String> {
+        match s {
+            "running" => Ok(JobStatus::Running),
+            "done" => Ok(JobStatus::Done),
+            "failed" => Ok(JobStatus::Failed),
+            _ => Err(format!("unknown job status `{s}`")),
+        }
+    }
+}
+
+struct JournalEntry {
+    key: String,
+    bench: String,
+    status: JobStatus,
+    code: i32,
+    attempts: u32,
+    message: String,
+}
+
+/// The batch progress journal: one JSON file, rewritten after every state
+/// change so a kill at any point leaves a consistent picture. Jobs marked
+/// `done` are skipped by a re-invoked batch; jobs left `running` were
+/// interrupted and re-run (resuming from their checkpoint when one was
+/// written).
+struct Journal {
+    path: Option<PathBuf>,
+    entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    fn load(path: Option<&str>) -> Result<Journal, String> {
+        let Some(path) = path else {
+            return Ok(Journal {
+                path: None,
+                entries: Vec::new(),
+            });
+        };
+        let pb = PathBuf::from(path);
+        if !pb.exists() {
+            return Ok(Journal {
+                path: Some(pb),
+                entries: Vec::new(),
+            });
+        }
+        let text =
+            std::fs::read_to_string(&pb).map_err(|e| format!("reading journal {path}: {e}"))?;
+        let j = Json::parse(&text).map_err(|e| format!("journal {path}: {e}"))?;
+        use plasticine::json::decode::{arr_of, str_of, u64_of};
+        let mut entries = Vec::new();
+        let bad = |e: String| format!("journal {path}: {e}");
+        for job in arr_of(&j, "jobs").map_err(bad)? {
+            entries.push(JournalEntry {
+                key: str_of(job, "key").map_err(bad)?.to_string(),
+                bench: str_of(job, "bench").map_err(bad)?.to_string(),
+                status: JobStatus::parse(str_of(job, "status").map_err(bad)?).map_err(bad)?,
+                code: u64_of(job, "code").map_err(bad)? as i32,
+                attempts: u64_of(job, "attempts").map_err(bad)? as u32,
+                message: str_of(job, "message").map_err(bad)?.to_string(),
+            });
+        }
+        Ok(Journal {
+            path: Some(pb),
+            entries,
+        })
+    }
+
+    fn find(&self, key: &str) -> Option<&JournalEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    fn set(&mut self, entry: JournalEntry) {
+        match self.entries.iter_mut().find(|e| e.key == entry.key) {
+            Some(e) => *e = entry,
+            None => self.entries.push(entry),
+        }
+        self.flush();
+    }
+
+    fn flush(&self) {
+        let Some(path) = &self.path else { return };
+        let jobs: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("key", Json::from(e.key.clone())),
+                    ("bench", Json::from(e.bench.clone())),
+                    ("status", Json::from(e.status.as_str())),
+                    ("code", Json::from(e.code as u64)),
+                    ("attempts", Json::from(u64::from(e.attempts))),
+                    ("message", Json::from(e.message.clone())),
+                ])
+            })
+            .collect();
+        let j = Json::obj([("version", Json::from(1u64)), ("jobs", Json::Arr(jobs))]);
+        if let Err(e) = std::fs::write(path, j.pretty() + "\n") {
+            eprintln!("journal write failed ({}): {e}", path.display());
+        }
+    }
+}
+
+/// One `batch` work item: compile through the shared cache, simulate
+/// (checkpointing and resuming per the batch config), verify. Returns the
+/// text to print, buffered so worker output can be emitted in
+/// deterministic order.
 fn batch_one(
     bench: &Bench,
     params: &PlasticineParams,
     cache: &CompileCache,
-    faults: &FaultMap,
-    step: StepMode,
-    stats: Option<&str>,
+    cfg: &BatchConfig,
 ) -> Result<String, RunFailure> {
+    // Failure-path test hooks (see `env_lists_bench`): CI injects one
+    // panicking and one hanging job and asserts the supervisor contains
+    // both while the rest of the batch completes.
+    if env_lists_bench("PLASTICINE_TEST_PANIC", &bench.name) {
+        panic!("injected panic in `{}` (PLASTICINE_TEST_PANIC)", bench.name);
+    }
+    if env_lists_bench("PLASTICINE_TEST_HANG", &bench.name) {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
     let copts = CompileOptions {
-        faults: faults.clone(),
+        faults: cfg.faults.clone(),
         ..CompileOptions::new()
     };
     let cached = cache
@@ -385,19 +642,70 @@ fn batch_one(
     let (out, prog, degraded) = &*cached;
     let mut m = Machine::new(prog);
     bench.load(&mut m);
-    let opts = SimOptions {
-        faults: faults.clone(),
-        step,
+    let mut opts = SimOptions {
+        faults: cfg.faults.clone(),
+        step: cfg.step,
         ..SimOptions::default()
     };
-    let r = simulate(prog, out, &mut m, &opts).map_err(RunFailure::from_sim)?;
-    bench.verify(&m).map_err(RunFailure::other)?;
+    if let Some(n) = cfg.max_cycles {
+        opts.max_cycles = n;
+    }
     let mut text = String::new();
+    let checkpointing = cfg.checkpoint_every.is_some() || cfg.checkpoint_dir.is_some();
+    let r = if checkpointing {
+        let dir = cfg.checkpoint_dir.as_deref().unwrap_or(".");
+        let ckpt_path = checkpoint_path(dir, &bench.name);
+        // An interrupted earlier invocation may have left a checkpoint:
+        // resume from it when it matches this exact job, otherwise start
+        // fresh (a stale or foreign snapshot is a note, not an error).
+        let resume = match Checkpoint::load(&ckpt_path) {
+            Ok(c) => match c.matches(prog, &out.config, &opts) {
+                Ok(()) => {
+                    let _ = writeln!(
+                        text,
+                        "  resuming from cycle {} ({})",
+                        c.cycle,
+                        ckpt_path.display()
+                    );
+                    Some(c)
+                }
+                Err(e) => {
+                    let _ = writeln!(text, "  ignoring stale checkpoint: {e}");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        let policy = CheckpointPolicy {
+            every: cfg.checkpoint_every,
+            on_error: true,
+        };
+        let r = simulate_checkpointed(
+            prog,
+            out,
+            &mut m,
+            &opts,
+            policy,
+            resume.as_ref(),
+            &mut |c| {
+                if let Err(e) = c.save(&ckpt_path) {
+                    eprintln!("{}: checkpoint write failed: {e}", bench.name);
+                }
+            },
+        )
+        .map_err(RunFailure::from_sim)?;
+        // The job finished: its checkpoint is spent.
+        let _ = std::fs::remove_file(&ckpt_path);
+        r
+    } else {
+        simulate(prog, out, &mut m, &opts).map_err(RunFailure::from_sim)?
+    };
+    bench.verify(&m).map_err(RunFailure::other)?;
     for note in degraded {
         let _ = writeln!(text, "  degraded: {note}");
     }
     let _ = write!(text, "{}", summary_line(bench, params, out, &r));
-    if let Some(path) = stats {
+    if let Some(path) = &cfg.stats {
         let path = per_bench_path(path, &bench.name);
         std::fs::write(&path, stats_with_bench(bench, &r).pretty())
             .map_err(|e| RunFailure::other(format!("writing {path}: {e}")))?;
@@ -406,53 +714,212 @@ fn batch_one(
     Ok(text)
 }
 
-/// Runs the batch over `jobs` worker threads sharing one compile cache.
-/// Workers pull indices from a shared counter; results are collected by
-/// index and printed in input order, so output is identical regardless of
-/// scheduling. The exit status is the first (by input order) failure's.
-fn run_batch(
-    benches: &[Bench],
+/// Runs one job attempt on its own thread so the supervisor can enforce a
+/// wall-clock limit and absorb panics. On timeout the worker thread is
+/// abandoned (it holds no locks the batch needs; the process reaps it at
+/// exit) and the attempt reports as a runtime failure.
+fn run_attempt(
+    bench: &Bench,
     params: &PlasticineParams,
-    jobs: usize,
-    faults: &FaultMap,
-    step: StepMode,
-    stats: Option<&str>,
-) -> ExitCode {
-    let cache = CompileCache::new();
+    cache: &Arc<CompileCache>,
+    cfg: &BatchConfig,
+) -> Result<String, RunFailure> {
+    let (tx, rx) = mpsc::channel();
+    let (b, p, ca, cf) = (
+        bench.clone(),
+        params.clone(),
+        Arc::clone(cache),
+        cfg.clone(),
+    );
+    let handle = std::thread::spawn(move || {
+        let res = catch_unwind(AssertUnwindSafe(|| batch_one(&b, &p, &ca, &cf)));
+        let _ = tx.send(res);
+    });
+    let received = match cfg.timeout {
+        Some(limit) => rx.recv_timeout(limit).map_err(|_| limit),
+        None => rx.recv().map_err(|_| Duration::ZERO),
+    };
+    match received {
+        Ok(res) => {
+            let _ = handle.join();
+            res.unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(RunFailure::other(format!("worker panicked: {msg}")))
+            })
+        }
+        Err(limit) => Err(RunFailure::other(format!(
+            "timed out after {}s (worker abandoned)",
+            limit.as_secs()
+        ))),
+    }
+}
+
+/// A job's attempt loop: bounded retry with exponential backoff, applied
+/// only to transient-fault exhaustion (the one failure class the fault
+/// model itself calls transient). Returns the final result and how many
+/// attempts it took.
+fn supervise_job(
+    bench: &Bench,
+    params: &PlasticineParams,
+    cache: &Arc<CompileCache>,
+    cfg: &BatchConfig,
+) -> (Result<String, RunFailure>, u32) {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let res = run_attempt(bench, params, cache, cfg);
+        match &res {
+            Err(f) if f.code == ExitStatus::FaultExhaustion && attempt <= cfg.retries => {
+                let backoff = Duration::from_millis(50u64 << (attempt - 1).min(6));
+                eprintln!(
+                    "{}: fault exhaustion (attempt {attempt}), retrying in {}ms",
+                    bench.name,
+                    backoff.as_millis()
+                );
+                std::thread::sleep(backoff);
+            }
+            _ => return (res, attempt),
+        }
+    }
+}
+
+/// Per-job outcome the supervisor reports on.
+enum JobOutcome {
+    Ok(String),
+    /// The journal says a previous invocation already completed this job.
+    Skipped,
+    Failed(RunFailure, u32),
+}
+
+/// Runs the batch over `cfg.jobs` worker threads sharing one compile
+/// cache. Workers pull indices from a shared counter; results are
+/// collected by index and printed in input order, so output is identical
+/// regardless of scheduling. Every job runs under the supervisor
+/// (panic containment, wall-clock timeout, bounded retry, journaling);
+/// failures are collected into a structured report instead of aborting
+/// the batch, unless `--fail-fast` stops scheduling after the first. The
+/// exit status is the first (by input order) failure's.
+fn run_batch(benches: &[Bench], params: &PlasticineParams, cfg: &BatchConfig) -> ExitCode {
+    let journal = match Journal::load(cfg.journal.as_deref()) {
+        Ok(j) => Mutex::new(j),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitStatus::Runtime.into();
+        }
+    };
+    let cache = Arc::new(CompileCache::new());
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<String, RunFailure>>>> =
+    let stop = AtomicBool::new(false);
+    let results: Mutex<Vec<Option<JobOutcome>>> =
         Mutex::new((0..benches.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(benches.len()) {
+        for _ in 0..cfg.jobs.min(benches.len()) {
             scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(bench) = benches.get(i) else {
                     return;
                 };
-                let res = batch_one(bench, params, &cache, faults, step, stats);
-                results.lock().unwrap()[i] = Some(res);
+                let key = job_key(bench, &cfg.faults, cfg.step);
+                {
+                    let mut j = journal.lock().unwrap();
+                    if j.find(&key).is_some_and(|e| e.status == JobStatus::Done) {
+                        results.lock().unwrap()[i] = Some(JobOutcome::Skipped);
+                        continue;
+                    }
+                    j.set(JournalEntry {
+                        key: key.clone(),
+                        bench: bench.name.clone(),
+                        status: JobStatus::Running,
+                        code: 0,
+                        attempts: 0,
+                        message: String::new(),
+                    });
+                }
+                let (res, attempts) = supervise_job(bench, params, &cache, cfg);
+                let outcome = match res {
+                    Ok(text) => {
+                        journal.lock().unwrap().set(JournalEntry {
+                            key,
+                            bench: bench.name.clone(),
+                            status: JobStatus::Done,
+                            code: 0,
+                            attempts,
+                            message: String::new(),
+                        });
+                        JobOutcome::Ok(text)
+                    }
+                    Err(f) => {
+                        journal.lock().unwrap().set(JournalEntry {
+                            key,
+                            bench: bench.name.clone(),
+                            status: JobStatus::Failed,
+                            code: f.code.code(),
+                            attempts,
+                            message: f.message.clone(),
+                        });
+                        if cfg.fail_fast {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        JobOutcome::Failed(f, attempts)
+                    }
+                };
+                results.lock().unwrap()[i] = Some(outcome);
             });
         }
     });
     let results = results.into_inner().unwrap();
     let mut status = ExitStatus::Ok;
+    let (mut ok, mut skipped, mut not_run) = (0usize, 0usize, 0usize);
+    let mut failures: Vec<String> = Vec::new();
     for (bench, res) in benches.iter().zip(results) {
-        match res.expect("every index was claimed by a worker") {
-            Ok(text) => println!("{text}"),
-            Err(e) => {
-                eprintln!("{}: {}", bench.name, e.message);
+        match res {
+            Some(JobOutcome::Ok(text)) => {
+                println!("{text}");
+                ok += 1;
+            }
+            Some(JobOutcome::Skipped) => {
+                println!("{}: skipped (journal: already done)", bench.name);
+                skipped += 1;
+            }
+            Some(JobOutcome::Failed(f, attempts)) => {
+                eprintln!("{}: {}", bench.name, f.message);
+                failures.push(format!(
+                    "  {} exit {} after {attempts} attempt{}: {}",
+                    bench.name,
+                    f.code.code(),
+                    if attempts == 1 { "" } else { "s" },
+                    f.message
+                ));
                 if status == ExitStatus::Ok {
-                    status = e.code;
+                    status = f.code;
                 }
             }
+            // `--fail-fast` stopped the schedule before this job was
+            // claimed.
+            None => not_run += 1,
         }
     }
     println!(
-        "batch: {} runs, compile cache {} hits / {} misses",
+        "batch: {} jobs, {ok} ok, {} failed, {skipped} skipped, {not_run} not run, \
+         compile cache {} hits / {} misses",
         benches.len(),
+        failures.len(),
         cache.hits(),
         cache.misses()
     );
+    if !failures.is_empty() {
+        eprintln!("failures:");
+        for line in &failures {
+            eprintln!("{line}");
+        }
+    }
     status.into()
 }
 
@@ -500,6 +967,10 @@ fn main() -> ExitCode {
                     "--units",
                     "--faults",
                     "--step-mode",
+                    "--max-cycles",
+                    "--checkpoint-every",
+                    "--checkpoint-dir",
+                    "--resume",
                 ],
             ) {
                 Ok(f) => f,
@@ -510,6 +981,21 @@ fn main() -> ExitCode {
             };
             if flags.config.is_some() && name == "all" {
                 eprintln!("--config loads one artifact and cannot be combined with `run all`");
+                return usage();
+            }
+            if flags.resume.is_some() && name == "all" {
+                eprintln!("--resume loads one checkpoint and cannot be combined with `run all`");
+                return usage();
+            }
+            if flags.trace.is_some()
+                && (flags.checkpoint_every.is_some()
+                    || flags.checkpoint_dir.is_some()
+                    || flags.resume.is_some())
+            {
+                eprintln!(
+                    "--trace cannot be combined with checkpointing: a trace cannot be \
+                     reconstructed across an interrupted run"
+                );
                 return usage();
             }
             let scale = Scale(flags.scale);
@@ -549,6 +1035,10 @@ fn main() -> ExitCode {
                     units: flags.units,
                     faults: faults.clone(),
                     step: flags.step,
+                    max_cycles: flags.max_cycles,
+                    checkpoint_every: flags.checkpoint_every,
+                    checkpoint_dir: flags.checkpoint_dir.clone(),
+                    resume: flags.resume.clone(),
                 };
                 if let Err(e) = run_one(b, &params, &cfg) {
                     eprintln!("{}: {}", b.name, e.message);
@@ -648,6 +1138,13 @@ fn main() -> ExitCode {
                     "--stats-json",
                     "--faults",
                     "--step-mode",
+                    "--max-cycles",
+                    "--timeout",
+                    "--retries",
+                    "--journal",
+                    "--fail-fast",
+                    "--checkpoint-every",
+                    "--checkpoint-dir",
                 ],
             ) {
                 Ok(f) => f,
@@ -680,14 +1177,20 @@ fn main() -> ExitCode {
             } else {
                 std::thread::available_parallelism().map_or(1, |n| n.get())
             };
-            run_batch(
-                &benches,
-                &params,
+            let cfg = BatchConfig {
                 jobs,
-                &faults,
-                flags.step,
-                flags.stats.as_deref(),
-            )
+                faults,
+                step: flags.step,
+                stats: flags.stats.clone(),
+                max_cycles: flags.max_cycles,
+                timeout: flags.timeout.map(Duration::from_secs),
+                retries: flags.retries,
+                journal: flags.journal.clone(),
+                fail_fast: flags.fail_fast,
+                checkpoint_every: flags.checkpoint_every,
+                checkpoint_dir: flags.checkpoint_dir.clone(),
+            };
+            run_batch(&benches, &params, &cfg)
         }
         _ => usage(),
     }
