@@ -129,7 +129,7 @@ pub struct ChannelStats {
 }
 
 /// One DDR channel: command scheduler plus bank/rank state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Channel {
     cyc: Cycles,
     queue_depth: usize,
@@ -392,6 +392,13 @@ impl Channel {
                 ev = ev.min(r.next_refresh.max(r.refresh_until).max(now));
             }
         }
+        // Every candidate below is clamped to >= now, so the first one that
+        // lands on `now` is already the minimum — stop scanning. With deep
+        // queues this turns the common "something is schedulable right now"
+        // case from a full per-request scan into an early return.
+        if ev <= now {
+            return now;
+        }
         for p in &self.queue {
             let loc = p.loc;
             let bank = &self.banks[loc.rank][loc.bank];
@@ -439,6 +446,9 @@ impl Channel {
                 }
             };
             ev = ev.min(t.max(now));
+            if ev <= now {
+                return now;
+            }
         }
         ev
     }
@@ -511,7 +521,6 @@ impl Channel {
                 Json::Arr(self.inflight.iter().map(completion_json).collect()),
             ),
             ("data_bus_free", Json::from(self.data_bus_free)),
-            ("quiet_until", Json::from(self.quiet_until)),
             (
                 "stats",
                 Json::obj([
@@ -602,7 +611,12 @@ impl Channel {
             });
         }
         self.data_bus_free = u64_of(j, "data_bus_free")?;
-        self.quiet_until = u64_of(j, "quiet_until")?;
+        // `quiet_until` is a pure scheduling cache (0 is always sound) and is
+        // deliberately absent from snapshots: serial and sharded runs refresh
+        // it on different cycles, and snapshot bytes must not depend on the
+        // thread count. Old snapshots that still carry the field decode fine —
+        // unknown fields are ignored.
+        self.quiet_until = 0;
         let s = field(j, "stats")?;
         self.stats = ChannelStats {
             row_hits: u64_of(s, "row_hits")?,

@@ -1,0 +1,163 @@
+//! Detached channel shards for the parallel event-driven kernel.
+//!
+//! A [`ChannelShard`] owns a disjoint subset of a [`DramSystem`]'s channels,
+//! moved out with [`DramSystem::detach_shards`] so a worker thread can run
+//! the subset's event chain independently of the other shards. The shard
+//! boundary is chosen by the caller so that every coalescing unit's traffic
+//! lands wholly inside one shard (including the offline-channel remap), which
+//! is what makes per-shard chains independent: a failed push is pure, queue
+//! capacity frees only when the owning channel issues a column command, and a
+//! channel's effectful ticks all lie on its own `next_event` chain. See
+//! DESIGN.md §12 for the full determinism argument.
+
+use crate::channel::{Channel, Completion, MemRequest};
+use crate::coalesce::LineSink;
+use crate::config::DramConfig;
+use crate::system::{DramSystem, QueueFull};
+
+/// A disjoint group of DRAM channels detached from a [`DramSystem`],
+/// tickable at explicit cycles without touching the parent system's clock.
+#[derive(Debug, Clone)]
+pub struct ChannelShard {
+    /// Global channel indices owned by this shard, ascending.
+    members: Vec<usize>,
+    /// The owned channels, parallel to `members`.
+    channels: Vec<Channel>,
+    cfg: DramConfig,
+    /// Nominal→serving remap copied from the parent system.
+    remap: Option<Vec<usize>>,
+    /// Arrival clock used for [`push_line`](LineSink::push_line); the driver
+    /// sets it to the cycle being processed before running issue passes.
+    now: u64,
+}
+
+impl ChannelShard {
+    pub(crate) fn new(
+        members: Vec<usize>,
+        channels: Vec<Channel>,
+        cfg: DramConfig,
+        remap: Option<Vec<usize>>,
+        now: u64,
+    ) -> ChannelShard {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(members.len(), channels.len());
+        ChannelShard {
+            members,
+            channels,
+            cfg,
+            remap,
+            now,
+        }
+    }
+
+    /// Global channel indices owned by this shard, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<usize>, Vec<Channel>) {
+        (self.members, self.channels)
+    }
+
+    /// Sets the arrival clock for subsequent pushes.
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// Total column commands issued by member channels so far. The delta
+    /// across one [`tick`](Self::tick) tells the driver whether queue
+    /// capacity was freed at that cycle.
+    pub fn columns(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.stats.reads + c.stats.writes)
+            .sum()
+    }
+
+    /// Earliest cycle ≥ `now` at which ticking any member channel could
+    /// change its state, or `u64::MAX` when all members are drained (and
+    /// refresh is off). Same soundness contract as
+    /// [`DramSystem::next_event`].
+    pub fn next_event(&self, now: u64) -> u64 {
+        let mut ev = u64::MAX;
+        for c in &self.channels {
+            let e = c.next_event(now);
+            if e <= now {
+                return now;
+            }
+            ev = ev.min(e);
+        }
+        ev
+    }
+
+    /// Ticks every member channel at cycle `now`, in ascending member order.
+    /// Completions come back grouped per global channel index, preserving
+    /// per-channel order — exactly the serial system's completion order
+    /// restricted to this shard, which lets the coordinator merge shards by
+    /// ascending channel index into the canonical serial order.
+    pub fn tick(&mut self, now: u64) -> Vec<(usize, Vec<Completion>)> {
+        let mut out = Vec::new();
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            let mut done = Vec::new();
+            ch.tick(now, &mut done);
+            if !done.is_empty() {
+                out.push((self.members[i], done));
+            }
+        }
+        out
+    }
+}
+
+impl LineSink for ChannelShard {
+    fn push_line(&mut self, req: MemRequest) -> Result<(), QueueFull> {
+        let loc = self.cfg.map(req.addr);
+        let serving = match &self.remap {
+            Some(m) => m[loc.channel],
+            None => loc.channel,
+        };
+        let Ok(idx) = self.members.binary_search(&serving) else {
+            // The shard map guarantees a coalescing unit only ever targets
+            // its own shard's channels; a miss here is a partitioning bug.
+            debug_assert!(false, "request for channel {serving} crossed shards");
+            return Err(QueueFull);
+        };
+        if self.channels[idx].push(req, loc, self.now) {
+            Ok(())
+        } else {
+            Err(QueueFull)
+        }
+    }
+}
+
+impl DramSystem {
+    /// Moves the listed channel groups out into detached shards. Groups must
+    /// be disjoint, each sorted ascending; channels not named in any group
+    /// stay behind. The system must not be pushed, ticked, or skipped while
+    /// shards are detached — reattach them all with
+    /// [`attach_shards`](Self::attach_shards) first.
+    pub fn detach_shards(&mut self, groups: &[Vec<usize>]) -> Vec<ChannelShard> {
+        let cfg = self.config().clone();
+        let now = self.now();
+        let remap = self.remap_vec();
+        groups
+            .iter()
+            .map(|members| {
+                let channels = members
+                    .iter()
+                    .map(|&c| self.swap_channel(c, Channel::new(&cfg)))
+                    .collect();
+                ChannelShard::new(members.clone(), channels, cfg.clone(), remap.clone(), now)
+            })
+            .collect()
+    }
+
+    /// Moves detached shards' channels back into place.
+    pub fn attach_shards(&mut self, shards: Vec<ChannelShard>) {
+        for shard in shards {
+            let (members, channels) = shard.into_parts();
+            for (&c, ch) in members.iter().zip(channels) {
+                self.swap_channel(c, ch);
+            }
+        }
+    }
+}

@@ -199,11 +199,17 @@ impl DramSystem {
     /// to be a no-op, which is what lets an event-driven caller
     /// [`skip`](Self::skip) the gap.
     pub fn next_event(&self) -> u64 {
-        self.channels
-            .iter()
-            .map(|c| c.next_event(self.now))
-            .min()
-            .unwrap_or(u64::MAX)
+        let mut ev = u64::MAX;
+        for c in &self.channels {
+            let e = c.next_event(self.now);
+            if e <= self.now {
+                // Already at the minimum possible value; skip the remaining
+                // per-channel queue scans.
+                return self.now;
+            }
+            ev = ev.min(e);
+        }
+        ev
     }
 
     /// Advances the clock by `cycles` without ticking the channels. Only
@@ -217,6 +223,43 @@ impl DramSystem {
             self.next_event()
         );
         self.now += cycles;
+    }
+
+    /// Sets the clock to `now` (≥ the current clock) without ticking. Unlike
+    /// [`skip`](Self::skip) this does not assert event-freedom: the parallel
+    /// fast-forward driver uses it after shards have already processed the
+    /// span's events on detached channels.
+    pub fn advance_to(&mut self, now: u64) {
+        debug_assert!(
+            now >= self.now,
+            "advance_to({now}) behind clock {}",
+            self.now
+        );
+        self.now = now;
+    }
+
+    /// The nominal→serving channel remap as a vector, if any channel is
+    /// offline.
+    pub(crate) fn remap_vec(&self) -> Option<Vec<usize>> {
+        self.remap.clone()
+    }
+
+    /// Serving channel index for a nominal channel index (public form of
+    /// [`chan`](Self::chan), used by the shard-map builder).
+    pub fn serving_channel(&self, nominal: usize) -> usize {
+        self.chan(nominal)
+    }
+
+    /// Earliest event cycle for one channel (same contract as
+    /// [`next_event`](Self::next_event), restricted to channel `ch`). Lets
+    /// the parallel span driver count how many shards actually have work
+    /// below a horizon before paying for a dispatch.
+    pub fn channel_next_event(&self, ch: usize) -> u64 {
+        self.channels[ch].next_event(self.now)
+    }
+
+    pub(crate) fn swap_channel(&mut self, idx: usize, ch: Channel) -> Channel {
+        std::mem::replace(&mut self.channels[idx], ch)
     }
 
     /// Serializes the mutable memory-system state (clock plus per-channel

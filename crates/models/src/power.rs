@@ -154,6 +154,7 @@ mod tests {
             coalesce: plasticine_dram::CoalesceStats::default(),
             units: plasticine_sim::UnitStats::default(),
             faults: plasticine_sim::FaultStats::default(),
+            span_work: plasticine_sim::SpanWork::default(),
         }
     }
 

@@ -40,6 +40,7 @@ mod checkpoint;
 mod deadlock;
 mod exit;
 mod model;
+mod parallel;
 mod resources;
 mod sched;
 mod trace;
@@ -48,6 +49,7 @@ pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use deadlock::{BlockedUnit, DeadlockReport, HeldResource, WaitCause};
 pub use exit::ExitStatus;
 pub use model::{ComputeModel, OuterModel, SimModel, TransferModel};
+pub use parallel::SpanWork;
 use resources::FastForward;
 pub use resources::{Activity, FaultStats, Resources, SimError};
 pub use sched::Node;
@@ -107,6 +109,12 @@ pub struct SimOptions {
     pub credit_cap: Option<usize>,
     /// Time-advance strategy; see [`StepMode`].
     pub step: StepMode,
+    /// Worker threads for the event-driven kernel (1 = serial). Results are
+    /// byte-identical at any value — extra threads only change wall-clock
+    /// time; quiescent spans are partitioned into per-DRAM-channel shards
+    /// and merged in canonical order (DESIGN.md §12). Ignored in cycle
+    /// stepping and while tracing.
+    pub threads: usize,
 }
 
 impl Default for SimOptions {
@@ -119,6 +127,7 @@ impl Default for SimOptions {
             stall_limit: 100_000,
             credit_cap: None,
             step: StepMode::default(),
+            threads: 1,
         }
     }
 }
@@ -140,6 +149,10 @@ pub struct SimResult {
     /// Transient-fault detection and recovery counters (all zero on a
     /// fault-free run).
     pub faults: FaultStats,
+    /// Parallel-engine work accounting (zeroes when the engine never
+    /// engaged). Deliberately absent from [`stats_json`](Self::stats_json):
+    /// it varies with the thread count, and the stats snapshot must not.
+    pub span_work: SpanWork,
 }
 
 impl SimResult {
@@ -383,6 +396,7 @@ fn run_sim(
     let mut res = Resources::new(&model, &out.config.params, opts.dram.clone());
     res.set_coalescing(opts.coalescing);
     res.set_transients(&opts.faults.transient);
+    res.set_threads(opts.threads);
     if !opts.faults.offline_channels.is_empty() {
         let offline: Vec<usize> = opts.faults.offline_channels.iter().copied().collect();
         if !res.dram.set_offline(&offline) {
@@ -500,9 +514,14 @@ fn run_sim(
             }
             return Err(SimError::Deadlock(Box::new(report)));
         }
-        if opts.step == StepMode::Event && !changed {
+        if opts.step == StepMode::Event && !changed && !res.is_forced() {
             // The iteration was quiescent: replaying it verbatim would
             // change nothing, so jump to the next cycle where anything can.
+            // A forced cycle (columns issued while coalescer lines wait on
+            // capacity) must run as a full iteration anyway, so skip the
+            // fast-forward entry — and its per-entry tree-wake walk — while
+            // the DRAM backlog drains; this is what keeps event stepping
+            // ≥ cycle stepping even in latency-bound phases.
             match res.fast_forward(
                 root.next_wake(),
                 opts.stall_limit,
@@ -524,6 +543,7 @@ fn run_sim(
             coalesce: res.coalesce_stats(),
             units,
             faults: res.fault_stats(),
+            span_work: res.span_work,
         },
         sim_trace,
     ))

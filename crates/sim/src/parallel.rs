@@ -1,0 +1,819 @@
+//! Worker-pool engine for the parallel event-driven kernel.
+//!
+//! [`Resources::fast_forward`](crate::Resources::fast_forward) spans — the
+//! stretches where the controller tree is quiescent and only DRAM timing
+//! evolves — are the parallel region: within a span no completion is ever
+//! routed (a completion immediately ends the span as tree-observable), so
+//! the simulator's remaining mutation points decompose into independent
+//! per-shard event chains. A shard is a group of DRAM channels plus every
+//! coalescing unit whose traffic lands on them (including the
+//! offline-channel remap), computed by [`ShardPlan::build`]; with that
+//! grouping:
+//!
+//! - a failed push (channel queue full, head-of-line blocked unit) is pure;
+//! - queue capacity frees only when the owning channel issues a column
+//!   command, i.e. at the shard's own processed cycles;
+//! - a channel's effectful ticks all lie on its own `next_event` chain, so
+//!   ticking it at another shard's cycles is a no-op.
+//!
+//! The coordinator clones each shard, lets workers speculatively run every
+//! chain to its first tree-observable cycle (or the span horizon), takes
+//! the *minimum* observable cycle `R` across shards, and replays (from the
+//! kept pristine copy) any shard that sped past `R`. Merged completions at
+//! `R` are ordered by ascending global channel index — exactly the serial
+//! kernel's completion order — so the result is byte-identical to serial
+//! execution at any worker count. Worker scheduling only decides *when*
+//! each chain's result arrives, never what it contains or how it is merged;
+//! the interleaving tests below drive the pool through adversarial seeded
+//! schedules to pin that.
+
+use plasticine_dram::{ChannelShard, CoalescingUnit, Completion};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// How simulator state is partitioned for a span: channel groups (each a
+/// shard) plus the coalescing units bound to each group.
+#[derive(Debug)]
+pub(crate) struct ShardPlan {
+    /// Nominal→serving channel map this plan was built from; a span driver
+    /// rebuilds the plan if the live map ever differs (offline remap
+    /// changed).
+    pub(crate) serving: Vec<usize>,
+    /// Global channel indices per shard, ascending; shards ordered by their
+    /// smallest member.
+    pub(crate) groups: Vec<Vec<usize>>,
+    /// Coalescing-unit indices per shard, ascending. Units whose nominal
+    /// channel set is empty (more units than channels) are bound to no
+    /// shard: they can never hold traffic.
+    pub(crate) cu_of_shard: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Partitions `channels` channels into shards such that each coalescing
+    /// unit's traffic (unit `k` serves nominal channels `c ≡ k mod n_cus`,
+    /// remapped through `serving`) stays within one shard. Channels that
+    /// share a unit are united; offline channels keep their own (refresh
+    /// only) shard unless a unit bridges them.
+    pub(crate) fn build(channels: usize, n_cus: usize, serving: Vec<usize>) -> ShardPlan {
+        let mut parent: Vec<usize> = (0..channels).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for k in 0..n_cus {
+            let mut prev: Option<usize> = None;
+            let mut c = k;
+            while c < channels {
+                if let Some(p) = prev {
+                    let a = find(&mut parent, p);
+                    let b = find(&mut parent, serving[c]);
+                    parent[a.max(b)] = a.min(b);
+                }
+                prev = Some(serving[c]);
+                c += n_cus;
+            }
+        }
+        let mut group_of = vec![usize::MAX; channels];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for c in 0..channels {
+            let r = find(&mut parent, c);
+            if group_of[r] == usize::MAX {
+                group_of[r] = groups.len();
+                groups.push(Vec::new());
+            }
+            group_of[c] = group_of[r];
+            groups[group_of[r]].push(c);
+        }
+        let mut cu_of_shard = vec![Vec::new(); groups.len()];
+        for k in 0..n_cus.min(channels) {
+            cu_of_shard[group_of[serving[k]]].push(k);
+        }
+        ShardPlan {
+            serving,
+            groups,
+            cu_of_shard,
+        }
+    }
+}
+
+/// One shard's work order for a span.
+#[derive(Debug)]
+pub(crate) struct ShardTask {
+    pub(crate) shard: ChannelShard,
+    /// The shard's coalescing units, ascending global order (matches the
+    /// serial issue-pass order restricted to this shard).
+    pub(crate) cus: Vec<CoalescingUnit>,
+    /// First cycle eligible for processing (the span entry cycle).
+    pub(crate) start: u64,
+    /// Process cycles strictly below this (the tree-wake / watchdog bound).
+    pub(crate) horizon: u64,
+    /// Whether a tree pusher is blocked on queue capacity: a column issue
+    /// is then tree-observable even without a completion.
+    pub(crate) stop_on_cols: bool,
+    /// Replay cap: process only cycles `<= cap` (used to truncate a chain
+    /// that sped past another shard's observable cycle). A capped replay
+    /// can never hit an observable — round one proved none exists below it.
+    pub(crate) cap: Option<u64>,
+    /// Shared race cap for round one: every chain publishes its candidate
+    /// cycle here (`fetch_min`) and stops once its next event lies beyond
+    /// the published minimum. Purely a work limiter — the minimum only
+    /// shrinks toward the true `R`, every event `<= R` is still processed,
+    /// and anything a chain did beyond `R` is discarded by the replay — so
+    /// scheduling can change how far a chain *overshoots* but never the
+    /// merged result.
+    pub(crate) race: Option<Arc<AtomicU64>>,
+}
+
+/// The first tree-observable cycle of a chain.
+#[derive(Debug)]
+pub(crate) struct Candidate {
+    pub(crate) at: u64,
+    /// Completions at `at`, grouped per global channel index, ascending.
+    pub(crate) completions: Vec<(usize, Vec<Completion>)>,
+    /// Whether the shard issued column commands at `at`.
+    pub(crate) cols: bool,
+}
+
+/// A finished chain: the evolved shard state plus everything the
+/// coordinator needs to merge deterministically.
+#[derive(Debug)]
+pub(crate) struct ChainOut {
+    pub(crate) shard: ChannelShard,
+    pub(crate) cus: Vec<CoalescingUnit>,
+    /// Every processed cycle, ascending, with whether columns issued there.
+    pub(crate) processed: Vec<(u64, bool)>,
+    /// First observable cycle, if one exists below the horizon/cap.
+    pub(crate) candidate: Option<Candidate>,
+    /// Whether any of the shard's units still holds blocked line requests
+    /// after the last processed cycle's issue pass (entry state when the
+    /// chain processed nothing).
+    pub(crate) pending_after: bool,
+}
+
+/// Runs one shard's event chain. Each processed cycle mirrors the serial
+/// `begin_cycle` core restricted to the shard: unit issue pass (ascending
+/// unit order), then member-channel ticks (ascending channel order). A
+/// cycle is processed when it is on the shard's own `next_event` chain, or
+/// when the previous processed cycle issued columns while a unit still has
+/// pending lines (capacity freed by the tick is visible to the issue pass
+/// only one cycle later — the serial kernel's "forced" rule, shard-local).
+pub(crate) fn run_chain(task: ShardTask) -> ChainOut {
+    let ShardTask {
+        mut shard,
+        mut cus,
+        start,
+        horizon,
+        stop_on_cols,
+        cap,
+        race,
+    } = task;
+    let mut processed = Vec::new();
+    let mut candidate = None;
+    let mut pending_after = cus.iter().any(|c| c.has_pending_issues());
+    let mut force_next = None;
+    let mut from = start;
+    loop {
+        let e = match force_next.take() {
+            Some(f) => f,
+            None => shard.next_event(from),
+        };
+        if e >= horizon || cap.is_some_and(|c| e > c) {
+            break;
+        }
+        if let Some(r) = &race {
+            // Another chain already observed at a cycle below `e`: nothing
+            // this chain does at `e` or later can survive the merge.
+            if e > r.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        shard.set_now(e);
+        for cu in &mut cus {
+            cu.issue(&mut shard);
+        }
+        pending_after = cus.iter().any(|c| c.has_pending_issues());
+        let cols_before = shard.columns();
+        let completions = shard.tick(e);
+        let cols = shard.columns() != cols_before;
+        processed.push((e, cols));
+        if !completions.is_empty() || (stop_on_cols && cols) {
+            debug_assert!(
+                cap.is_none(),
+                "capped replay found an observable at {e}; round one should have"
+            );
+            if let Some(r) = &race {
+                r.fetch_min(e, Ordering::Relaxed);
+            }
+            candidate = Some(Candidate {
+                at: e,
+                completions,
+                cols,
+            });
+            break;
+        }
+        if cols && pending_after {
+            force_next = Some(e + 1);
+        }
+        from = e + 1;
+    }
+    ChainOut {
+        shard,
+        cus,
+        processed,
+        candidate,
+        pending_after,
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    slot: usize,
+    task: ShardTask,
+    delay_us: u64,
+}
+
+/// One worker's mailbox. The queue mutex is uncontended in practice (main
+/// pushes before the worker wakes; the worker drains alone); `ready` is the
+/// spin target so the hot path never blocks on the lock.
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Job>>,
+    ready: AtomicUsize,
+    parked: AtomicBool,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    mailboxes: Vec<Mailbox>,
+    results: Mutex<Vec<(usize, ChainOut)>>,
+    /// Jobs completed in the current batch (worker-side increments are the
+    /// release edge the collector's acquire load synchronizes with).
+    done: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A fixed set of worker threads running [`run_chain`] jobs, plus the
+/// calling thread as an extra lane. Fast-forward spans carry only a few
+/// microseconds of work, so dispatch latency is everything: workers
+/// spin-wait briefly before parking, the caller spin-waits for results
+/// (it has its own lane of chains to run meanwhile), and jobs move through
+/// per-worker mailboxes instead of channels. Results carry their slot
+/// index, so the coordinator's view is canonical no matter which worker
+/// finishes first — scheduling is free to be nondeterministic.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<thread::Thread>,
+    handles: Vec<thread::JoinHandle<()>>,
+    /// On a host with fewer than two cores a thread handoff cannot overlap
+    /// with anything — it only adds wakeup latency — so delay-free batches
+    /// run inline on the caller. Results are identical either way (chains
+    /// are deterministic and slot-tagged); only wall-clock time differs.
+    inline: bool,
+}
+
+/// Spin iterations before a worker gives up and parks. Spans arrive every
+/// few microseconds while the engine is hot, so the budget is generous;
+/// once the fabric goes busy (no spans) workers park and cost nothing.
+const SPIN_BUDGET: u32 = 20_000;
+
+fn worker_loop(shared: Arc<PoolShared>, me: usize) {
+    let mailbox = &shared.mailboxes[me];
+    loop {
+        let mut spins = 0u32;
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if mailbox.ready.load(Ordering::Acquire) > 0 {
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_BUDGET {
+                std::hint::spin_loop();
+            } else {
+                // Lost-wakeup-safe park: publish the flag, re-check, then
+                // park (an unpark between the check and the park leaves a
+                // token that makes the park return immediately).
+                mailbox.parked.store(true, Ordering::SeqCst);
+                if mailbox.ready.load(Ordering::SeqCst) == 0
+                    && !shared.shutdown.load(Ordering::SeqCst)
+                {
+                    thread::park();
+                }
+                mailbox.parked.store(false, Ordering::SeqCst);
+                spins = 0;
+            }
+        }
+        let job = mailbox.queue.lock().expect("mailbox poisoned").pop_front();
+        let Some(job) = job else { continue };
+        mailbox.ready.fetch_sub(1, Ordering::Release);
+        if job.delay_us > 0 {
+            thread::sleep(std::time::Duration::from_micros(job.delay_us));
+        }
+        let out = run_chain(job.task);
+        shared
+            .results
+            .lock()
+            .expect("results poisoned")
+            .push((job.slot, out));
+        shared.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            mailboxes: (0..workers).map(|_| Mailbox::default()).collect(),
+            results: Mutex::new(Vec::new()),
+            done: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(shared, me))
+            })
+            .collect();
+        let threads = handles.iter().map(|h| h.thread().clone()).collect();
+        let inline = thread::available_parallelism().map_or(1, |n| n.get()) < 2;
+        WorkerPool {
+            shared,
+            threads,
+            handles,
+            inline,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Execution lanes: the workers plus the caller's own lane.
+    pub(crate) fn lanes(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Dispatches the tasks round-robin and collects every result. Results
+    /// are returned in completion order with their slot tags; callers index
+    /// by slot.
+    pub(crate) fn run(&mut self, tasks: Vec<(usize, ShardTask)>) -> Vec<(usize, ChainOut)> {
+        self.run_with_delays(tasks.into_iter().map(|(s, t)| (s, t, 0)).collect())
+    }
+
+    /// Like [`run`](Self::run) but with a per-job startup delay — the
+    /// seeded-scheduler shim the interleaving tests use to force adversarial
+    /// completion orders.
+    ///
+    /// The calling thread is lane 0 of `workers + 1` lanes: it runs its own
+    /// share of the chains while the workers run theirs, then spin-collects
+    /// the rest (worker batches finish within microseconds of the caller's
+    /// own lane, so blocking would only add wakeup latency).
+    pub(crate) fn run_with_delays(
+        &mut self,
+        tasks: Vec<(usize, ShardTask, u64)>,
+    ) -> Vec<(usize, ChainOut)> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.inline && tasks.iter().all(|(_, _, d)| *d == 0) {
+            // Single-core host: run every chain on the caller. Seeded-delay
+            // batches still go through the workers so the interleaving tests
+            // exercise the real handoff protocol everywhere.
+            return tasks
+                .into_iter()
+                .map(|(slot, task, _)| (slot, run_chain(task)))
+                .collect();
+        }
+        self.shared.done.store(0, Ordering::Relaxed);
+        let lanes = self.handles.len() + 1;
+        let mut mine = Vec::new();
+        let mut dispatched = 0usize;
+        for (i, (slot, task, delay_us)) in tasks.into_iter().enumerate() {
+            let lane = i % lanes;
+            if lane == 0 {
+                mine.push((slot, task, delay_us));
+                continue;
+            }
+            let mailbox = &self.shared.mailboxes[lane - 1];
+            mailbox
+                .queue
+                .lock()
+                .expect("mailbox poisoned")
+                .push_back(Job {
+                    slot,
+                    task,
+                    delay_us,
+                });
+            mailbox.ready.fetch_add(1, Ordering::SeqCst);
+            if mailbox.parked.load(Ordering::SeqCst) {
+                self.threads[lane - 1].unpark();
+            }
+            dispatched += 1;
+        }
+        let mut outs = Vec::with_capacity(n);
+        for (slot, task, delay_us) in mine {
+            if delay_us > 0 {
+                thread::sleep(std::time::Duration::from_micros(delay_us));
+            }
+            outs.push((slot, run_chain(task)));
+        }
+        let mut spins = 0u64;
+        while self.shared.done.load(Ordering::Acquire) < dispatched {
+            spins += 1;
+            if spins.is_multiple_of(100_000) {
+                thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        outs.append(&mut self.shared.results.lock().expect("results poisoned"));
+        outs
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in &self.threads {
+            t.unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker pool plus the shard plan it serves; built lazily on the first
+/// eligible span and kept for the run. Runtime-only — never serialized, so
+/// checkpoints stay thread-count-independent.
+#[derive(Debug)]
+pub(crate) struct ParRuntime {
+    pub(crate) pool: WorkerPool,
+    pub(crate) plan: ShardPlan,
+}
+
+/// Aggregate work accounting for the parallel engine across a run:
+/// `total_events` is every chain event processed in fast-forward spans
+/// (exactly the events the serial kernel processes there), and
+/// `critical_path_events` is the sum over spans of the busiest lane's
+/// share. Their ratio bounds the wall-clock speedup the sharding can
+/// realize with this thread count on a host with enough cores — a
+/// deterministic, machine-independent figure the simkernel bench reports
+/// alongside measured wall time. Diagnostic only: never part of
+/// `stats_json`, so byte-identity across thread counts is unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanWork {
+    /// Chain events processed inside fast-forward spans, summed over the run.
+    pub total_events: u64,
+    /// Sum over spans of the busiest lane's event count.
+    pub critical_path_events: u64,
+}
+
+impl SpanWork {
+    /// Ideal parallel speedup over the spans the engine ran (None when the
+    /// engine never engaged).
+    pub fn ideal_speedup(&self) -> Option<f64> {
+        (self.critical_path_events > 0)
+            .then(|| self.total_events as f64 / self.critical_path_events as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_dram::{DramConfig, DramSystem, MemRequest};
+
+    fn loaded_system(lines_per_channel: u64) -> DramSystem {
+        let cfg = DramConfig {
+            refresh: false,
+            ..DramConfig::default()
+        };
+        let channels = cfg.channels as u64;
+        let line = cfg.line_bytes;
+        let mut mem = DramSystem::new(cfg);
+        for i in 0..lines_per_channel * channels {
+            mem.push(MemRequest {
+                id: i,
+                addr: i * line,
+                is_write: false,
+            })
+            .unwrap();
+        }
+        mem
+    }
+
+    fn singleton_groups(channels: usize) -> Vec<Vec<usize>> {
+        (0..channels).map(|c| vec![c]).collect()
+    }
+
+    fn tasks_for(mem: &mut DramSystem, horizon: u64) -> Vec<(usize, ShardTask)> {
+        let channels = mem.config().channels;
+        mem.detach_shards(&singleton_groups(channels))
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                (
+                    i,
+                    ShardTask {
+                        shard,
+                        cus: Vec::new(),
+                        start: 0,
+                        horizon,
+                        stop_on_cols: false,
+                        cap: None,
+                        race: None,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn fingerprint(outs: &[(usize, ChainOut)]) -> Vec<String> {
+        let mut by_slot: Vec<_> = outs.iter().collect();
+        by_slot.sort_by_key(|(slot, _)| *slot);
+        by_slot
+            .iter()
+            .map(|(slot, o)| {
+                format!(
+                    "{slot}: processed={:?} candidate={:?} pending={} cols={}",
+                    o.processed,
+                    o.candidate.as_ref().map(|c| (
+                        c.at,
+                        c.cols,
+                        c.completions
+                            .iter()
+                            .map(|(ch, v)| (
+                                *ch,
+                                v.iter().map(|x| (x.id, x.at)).collect::<Vec<_>>()
+                            ))
+                            .collect::<Vec<_>>()
+                    )),
+                    o.pending_after,
+                    o.columns_probe()
+                )
+            })
+            .collect()
+    }
+
+    impl ChainOut {
+        fn columns_probe(&self) -> u64 {
+            self.shard.columns()
+        }
+    }
+
+    /// The same task set produces slot-identical results at every worker
+    /// count, including one worker (fully serial) and more workers than
+    /// shards (some workers idle — the empty-shard degenerate case for the
+    /// pool).
+    #[test]
+    fn results_are_canonical_across_worker_counts() {
+        let reference = {
+            let mut mem = loaded_system(8);
+            let mut pool = WorkerPool::new(1);
+            fingerprint(&pool.run(tasks_for(&mut mem, 10_000)))
+        };
+        for workers in [2, 3, 4, 16] {
+            let mut mem = loaded_system(8);
+            let mut pool = WorkerPool::new(workers);
+            assert_eq!(pool.workers(), workers);
+            let got = fingerprint(&pool.run(tasks_for(&mut mem, 10_000)));
+            assert_eq!(got, reference, "{workers} workers diverged");
+        }
+    }
+
+    /// Seeded-scheduler shim: adversarial per-job delays permute completion
+    /// order arbitrarily (last shard first, interleaved, …); the slot-tagged
+    /// results and thus any merge built on them are unchanged.
+    #[test]
+    fn seeded_schedules_cannot_perturb_the_merge() {
+        let reference = {
+            let mut mem = loaded_system(8);
+            let mut pool = WorkerPool::new(4);
+            fingerprint(&pool.run(tasks_for(&mut mem, 10_000)))
+        };
+        for seed in 1u64..=20 {
+            let mut lcg = seed;
+            let mut next = || {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (lcg >> 33) % 3_000
+            };
+            let mut mem = loaded_system(8);
+            let mut pool = WorkerPool::new(4);
+            let tasks = tasks_for(&mut mem, 10_000)
+                .into_iter()
+                .map(|(s, t)| (s, t, next()))
+                .collect();
+            let got = fingerprint(&pool.run_with_delays(tasks));
+            assert_eq!(got, reference, "seed {seed} perturbed the merge");
+        }
+    }
+
+    /// Degenerate shapes: an empty task set, a single shard, and a shard
+    /// with no events in the span (drained channel) all flow through the
+    /// pool and chain runner without edge-case surprises.
+    #[test]
+    fn degenerate_task_sets() {
+        let mut pool = WorkerPool::new(4);
+        assert!(pool.run(Vec::new()).is_empty());
+
+        // Single shard: chain runs alone, finds its first completion.
+        let mut mem = loaded_system(2);
+        let mut tasks = tasks_for(&mut mem, 10_000);
+        let single = tasks.remove(0);
+        let outs = pool.run(vec![single]);
+        assert_eq!(outs.len(), 1);
+        let o = &outs[0].1;
+        assert!(o.candidate.is_some(), "loaded shard must hit a completion");
+        assert!(!o.processed.is_empty());
+
+        // Empty shard: a drained channel has no events below the horizon.
+        let mut idle = DramSystem::new(DramConfig {
+            refresh: false,
+            ..DramConfig::default()
+        });
+        let shard = idle.detach_shards(&[vec![0]]).remove(0);
+        let outs = pool.run(vec![(
+            7,
+            ShardTask {
+                shard,
+                cus: Vec::new(),
+                start: 0,
+                horizon: 10_000,
+                stop_on_cols: false,
+                cap: None,
+                race: None,
+            },
+        )]);
+        assert_eq!(outs[0].0, 7);
+        assert!(outs[0].1.processed.is_empty());
+        assert!(outs[0].1.candidate.is_none());
+        assert!(!outs[0].1.pending_after);
+    }
+
+    /// With the shared race cap armed, adversarial schedules may change how
+    /// far individual chains overshoot (their raw `processed` lists are
+    /// timing-dependent), but everything the coordinator consumes — the
+    /// minimum observable cycle `R`, the completions merged at `R`, and the
+    /// post-replay shard states — is identical across schedules.
+    #[test]
+    fn race_cap_overshoot_is_invisible_after_replay() {
+        // Emulates the coordinator: round one with the race cap and seeded
+        // delays, then a capped replay (from pristine copies) of any chain
+        // that processed past R.
+        let coordinate = |delays: Vec<u64>| {
+            let mut mem = loaded_system(8);
+            let mut pool = WorkerPool::new(4);
+            let race = Arc::new(AtomicU64::new(u64::MAX));
+            let tasks: Vec<(usize, ShardTask, u64)> = tasks_for(&mut mem, 10_000)
+                .into_iter()
+                .zip(&delays)
+                .map(|((s, mut t), &d)| {
+                    t.race = Some(Arc::clone(&race));
+                    (s, t, d)
+                })
+                .collect();
+            let mut outs: Vec<Option<ChainOut>> = (0..tasks.len()).map(|_| None).collect();
+            for (slot, out) in pool.run_with_delays(tasks) {
+                outs[slot] = Some(out);
+            }
+            let r = outs
+                .iter()
+                .filter_map(|o| o.as_ref().unwrap().candidate.as_ref().map(|c| c.at))
+                .min()
+                .expect("loaded shards must observe a completion");
+            let mut pristine = loaded_system(8);
+            let replays: Vec<(usize, ShardTask)> = tasks_for(&mut pristine, 10_000)
+                .into_iter()
+                .filter(|(i, _)| {
+                    outs[*i]
+                        .as_ref()
+                        .unwrap()
+                        .processed
+                        .iter()
+                        .any(|&(e, _)| e > r)
+                })
+                .map(|(i, mut t)| {
+                    t.cap = Some(r);
+                    (i, t)
+                })
+                .collect();
+            for (slot, out) in pool.run(replays) {
+                outs[slot] = Some(out);
+            }
+            let per_shard: Vec<String> = outs
+                .iter()
+                .map(|o| {
+                    let o = o.as_ref().unwrap();
+                    format!(
+                        "cols={} pending={} candidate={:?}",
+                        o.shard.columns(),
+                        o.pending_after,
+                        o.candidate.as_ref().map(|c| (
+                            c.at,
+                            c.cols,
+                            c.completions
+                                .iter()
+                                .map(|(ch, v)| (
+                                    *ch,
+                                    v.iter().map(|x| (x.id, x.at)).collect::<Vec<_>>()
+                                ))
+                                .collect::<Vec<_>>()
+                        )),
+                    )
+                })
+                .collect();
+            (r, per_shard)
+        };
+        let reference = coordinate(vec![0, 0, 0, 0]);
+        for seed in 1u64..=12 {
+            let mut lcg = seed;
+            let mut next = || {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (lcg >> 33) % 2_000
+            };
+            let delays = (0..4).map(|_| next()).collect();
+            assert_eq!(
+                coordinate(delays),
+                reference,
+                "seed {seed} leaked overshoot"
+            );
+        }
+    }
+
+    /// A capped replay reproduces exactly the ≤-cap prefix of the uncapped
+    /// chain — the property the coordinator's round-two truncation rests on.
+    #[test]
+    fn capped_replay_is_a_prefix() {
+        let full = {
+            let mut mem = loaded_system(8);
+            let mut tasks = tasks_for(&mut mem, 10_000);
+            run_chain(tasks.remove(0).1)
+        };
+        assert!(full.processed.len() >= 2, "need a multi-cycle chain");
+        let cap = full.processed[full.processed.len() / 2].0;
+        let capped = {
+            let mut mem = loaded_system(8);
+            let mut tasks = tasks_for(&mut mem, 10_000);
+            let mut t = tasks.remove(0).1;
+            t.cap = Some(cap);
+            run_chain(t)
+        };
+        let prefix: Vec<_> = full
+            .processed
+            .iter()
+            .copied()
+            .filter(|&(e, _)| e <= cap)
+            .collect();
+        assert_eq!(capped.processed, prefix);
+        assert!(capped.candidate.is_none());
+    }
+
+    #[test]
+    fn shard_plan_groups_channels_by_unit_traffic() {
+        // 4 channels, 4 units, identity remap: four singleton shards, unit k
+        // bound to channel k.
+        let p = ShardPlan::build(4, 4, vec![0, 1, 2, 3]);
+        assert_eq!(p.groups, vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(p.cu_of_shard, vec![vec![0], vec![1], vec![2], vec![3]]);
+
+        // One unit serving every channel: a single shard.
+        let p = ShardPlan::build(4, 1, vec![0, 1, 2, 3]);
+        assert_eq!(p.groups, vec![vec![0, 1, 2, 3]]);
+        assert_eq!(p.cu_of_shard, vec![vec![0]]);
+
+        // 2 units over 4 channels: {0,2} and {1,3}.
+        let p = ShardPlan::build(4, 2, vec![0, 1, 2, 3]);
+        assert_eq!(p.groups, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(p.cu_of_shard, vec![vec![0], vec![1]]);
+
+        // Channel 1 offline, spilling onto channel 2 (its unit-1 peer 3
+        // spills nominally too): unit 1's serving set {2} merges with unit
+        // 2's home; the offline channel keeps a refresh-only singleton.
+        let p = ShardPlan::build(4, 4, vec![0, 2, 2, 3]);
+        assert_eq!(p.groups, vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(p.cu_of_shard, vec![vec![0], vec![], vec![1, 2], vec![3]]);
+
+        // More units than channels: the surplus units bind nowhere.
+        let p = ShardPlan::build(2, 4, vec![0, 1]);
+        assert_eq!(p.groups, vec![vec![0], vec![1]]);
+        assert_eq!(p.cu_of_shard, vec![vec![0], vec![1]]);
+
+        // Single channel: one shard, every unit on it.
+        let p = ShardPlan::build(1, 4, vec![0]);
+        assert_eq!(p.groups, vec![vec![0]]);
+        assert_eq!(p.cu_of_shard, vec![vec![0]]);
+    }
+}

@@ -36,7 +36,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           worker threads (default: available parallelism)\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
     );
     ExitStatus::Usage.into()
 }
@@ -60,6 +60,7 @@ struct Flags {
     out: Option<String>,
     config: Option<String>,
     jobs: usize,
+    threads: usize,
     step: StepMode,
     max_cycles: Option<u64>,
     checkpoint_every: Option<u64>,
@@ -74,6 +75,7 @@ struct Flags {
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
     let mut f = Flags {
         scale: 1,
+        threads: 1,
         ..Flags::default()
     };
     let mut i = 0;
@@ -106,6 +108,14 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs requires a positive integer, got `{v}`"))?;
+            }
+            "--threads" => {
+                // `0` threads cannot run anything and an overflowing value
+                // fails the usize parse; both are usage errors, not clamps.
+                f.threads =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--threads requires a positive integer, got `{v}`")
+                    })?;
             }
             "--max-cycles" => {
                 f.max_cycles =
@@ -232,6 +242,7 @@ struct RunConfig {
     units: bool,
     faults: FaultMap,
     step: StepMode,
+    threads: usize,
     max_cycles: Option<u64>,
     checkpoint_every: Option<u64>,
     checkpoint_dir: Option<String>,
@@ -354,6 +365,7 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
     let mut opts = SimOptions {
         faults: cfg.faults.clone(),
         step: cfg.step,
+        threads: cfg.threads,
         ..SimOptions::default()
     };
     if let Some(n) = cfg.max_cycles {
@@ -457,6 +469,7 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
 #[derive(Clone)]
 struct BatchConfig {
     jobs: usize,
+    threads: usize,
     faults: FaultMap,
     step: StepMode,
     stats: Option<String>,
@@ -645,6 +658,7 @@ fn batch_one(
     let mut opts = SimOptions {
         faults: cfg.faults.clone(),
         step: cfg.step,
+        threads: cfg.threads,
         ..SimOptions::default()
     };
     if let Some(n) = cfg.max_cycles {
@@ -967,6 +981,7 @@ fn main() -> ExitCode {
                     "--units",
                     "--faults",
                     "--step-mode",
+                    "--threads",
                     "--max-cycles",
                     "--checkpoint-every",
                     "--checkpoint-dir",
@@ -1035,6 +1050,7 @@ fn main() -> ExitCode {
                     units: flags.units,
                     faults: faults.clone(),
                     step: flags.step,
+                    threads: flags.threads,
                     max_cycles: flags.max_cycles,
                     checkpoint_every: flags.checkpoint_every,
                     checkpoint_dir: flags.checkpoint_dir.clone(),
@@ -1135,6 +1151,7 @@ fn main() -> ExitCode {
                 &[
                     "--scale",
                     "--jobs",
+                    "--threads",
                     "--stats-json",
                     "--faults",
                     "--step-mode",
@@ -1172,13 +1189,18 @@ fn main() -> ExitCode {
             if flags.faults.is_some() {
                 println!("fault map: {}", faults.summary());
             }
+            // Budget: jobs × threads should cover the machine once. An
+            // explicit --jobs wins; otherwise divide the available cores
+            // by the per-job simulator threads.
             let jobs = if flags.jobs > 0 {
                 flags.jobs
             } else {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                (cores / flags.threads).max(1)
             };
             let cfg = BatchConfig {
                 jobs,
+                threads: flags.threads,
                 faults,
                 step: flags.step,
                 stats: flags.stats.clone(),

@@ -1,0 +1,272 @@
+//! Differential harness for the multi-threaded event kernel.
+//!
+//! `SimOptions::threads` must be *invisible* in every result byte: the
+//! parallel fast-forward engine shards DRAM channels (and their coalescing
+//! units) across a worker pool, and its canonical merge order makes the
+//! outcome bit-for-bit identical to the serial kernel at any thread count.
+//! This suite pins that guarantee along every axis the kernel supports:
+//!
+//! - all 13 Table 4 workloads × both step modes × threads ∈ {1, 2, 4, 8}
+//!   produce byte-identical `stats_json` snapshots;
+//! - fault injection (hard faults, an offline DRAM channel exercising the
+//!   remap-aware shard plan, lane/SRAM flips, and response drops) preserves
+//!   identity, with and without the parallel engine engaged;
+//! - degenerate DRAM shapes (a single channel — one shard, engine disabled;
+//!   two channels — fewer shards than workers) stay identical;
+//! - a pinned-seed proptest over random (workload, fault-spec, thread
+//!   count, checkpoint cadence) tuples asserts serial/parallel identity and
+//!   resume/straight-through identity, *crossing* thread counts between the
+//!   checkpointing and resuming runs — snapshots are thread-count
+//!   independent by construction.
+
+use plasticine::arch::{FaultMap, FaultSpec, PlasticineParams, Topology};
+use plasticine::compiler::{compile, compile_degraded, CompileOptions, CompileOutput};
+use plasticine::dram::DramConfig;
+use plasticine::ppir::{Machine, Program};
+use plasticine::sim::{
+    simulate, simulate_checkpointed, Checkpoint, CheckpointPolicy, SimOptions, StepMode,
+};
+use plasticine::workloads::{all, Bench, Scale};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn compiled() -> &'static Vec<(Bench, CompileOutput)> {
+    static COMPILED: OnceLock<Vec<(Bench, CompileOutput)>> = OnceLock::new();
+    COMPILED.get_or_init(|| {
+        let params = PlasticineParams::paper_final();
+        all(Scale(1))
+            .into_iter()
+            .map(|b| {
+                let out = compile(&b.program, &params)
+                    .unwrap_or_else(|e| panic!("{}: compile: {e}", b.name));
+                (b, out)
+            })
+            .collect()
+    })
+}
+
+/// One full run: load, simulate, verify functional outputs, snapshot stats.
+fn snapshot(bench: &Bench, prog: &Program, out: &CompileOutput, opts: &SimOptions) -> String {
+    let mut m = Machine::new(prog);
+    bench.load(&mut m);
+    let r = simulate(prog, out, &mut m, opts).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    r.stats_json().pretty()
+}
+
+/// Every workload, both step modes: threads 2/4/8 reproduce the
+/// single-thread snapshot byte for byte.
+#[test]
+fn all_workloads_byte_identical_at_every_thread_count() {
+    for (bench, out) in compiled() {
+        for step in [StepMode::Event, StepMode::Cycle] {
+            let opts = |threads| SimOptions {
+                step,
+                threads,
+                ..SimOptions::default()
+            };
+            let serial = snapshot(bench, &bench.program, out, &opts(1));
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    snapshot(bench, &bench.program, out, &opts(threads)),
+                    serial,
+                    "{} ({step:?}): threads={threads} diverged from serial",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+/// Runs a fault-injected sweep at a given spec: compile against the
+/// degraded fabric, then compare serial vs parallel snapshots.
+fn check_fault_spec(spec_text: &str) {
+    let params = PlasticineParams::paper_final();
+    let spec: FaultSpec = spec_text.parse().unwrap();
+    let faults = FaultMap::sample(
+        &Topology::new(&params),
+        &spec,
+        DramConfig::default().channels,
+    );
+    let copts = CompileOptions {
+        faults: faults.clone(),
+        ..CompileOptions::new()
+    };
+    for (bench, _) in compiled().iter().take(5) {
+        let (out, prog, _) = compile_degraded(&bench.program, &params, &copts)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let run = |threads: usize| {
+            let mut m = Machine::new(&prog);
+            bench.load(&mut m);
+            let sopts = SimOptions {
+                faults: faults.clone(),
+                threads,
+                ..SimOptions::default()
+            };
+            let r = simulate(&prog, &out, &mut m, &sopts)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+            r.stats_json().pretty()
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                run(threads),
+                serial,
+                "{} (spec {spec_text:?}): threads={threads} diverged",
+                bench.name
+            );
+        }
+    }
+}
+
+/// Fault injection with the parallel engine *engaged*: hard faults, one
+/// offline DRAM channel (traffic spills across shards via the remap, which
+/// the shard plan must absorb), and lane/SRAM transient flips — but no
+/// response drops, so fast-forward spans stay eligible.
+#[test]
+fn fault_injection_with_engine_engaged_is_identical() {
+    check_fault_spec("pcu=4,pmu=4,links=3,chan=1,lane=0.001,sram=0.001,seed=42");
+}
+
+/// The full pinned spec from the step-mode suite, drops included: response
+/// drops gate the parallel engine off span-by-span, and the gate itself
+/// must be deterministic and invisible in the stats.
+#[test]
+fn fault_injection_with_drops_is_identical() {
+    check_fault_spec("pcu=6,pmu=6,links=5,lane=0.001,sram=0.001,drop=0.01,seed=42");
+}
+
+/// Degenerate DRAM shapes: one channel means one shard (the engine must
+/// decline and stay serial), two channels mean fewer shards than the
+/// 8-thread pool would like. Both must be invisible in the stats.
+#[test]
+fn degenerate_channel_counts_are_identical() {
+    for channels in [1usize, 2] {
+        let dram = DramConfig {
+            channels,
+            ..DramConfig::default()
+        };
+        for (bench, out) in compiled().iter().take(4) {
+            let opts = |threads| SimOptions {
+                dram: dram.clone(),
+                threads,
+                ..SimOptions::default()
+            };
+            let serial = snapshot(bench, &bench.program, out, &opts(1));
+            for threads in [4usize, 8] {
+                assert_eq!(
+                    snapshot(bench, &bench.program, out, &opts(threads)),
+                    serial,
+                    "{} ({channels} channels): threads={threads} diverged",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property: for a random (workload, fault spec, thread count,
+    /// checkpoint cadence) tuple, (a) the parallel straight-through run
+    /// matches serial, and (b) checkpointing under one thread count and
+    /// resuming under another reproduces the same bytes — checkpoints carry
+    /// no trace of the thread count that wrote them.
+    #[test]
+    fn random_tuples_hold_identity(
+        which in 0usize..13,
+        step in prop::sample::select(vec![StepMode::Event, StepMode::Cycle]),
+        threads in prop::sample::select(vec![2usize, 3, 4, 8]),
+        frac in 1u64..10,
+        fault in prop::sample::select(vec![
+            None,
+            Some("lane=0.001,sram=0.001,seed=7"),
+            Some("pcu=3,links=2,chan=1,seed=11"),
+            Some("drop=0.005,seed=5"),
+        ]),
+    ) {
+        let params = PlasticineParams::paper_final();
+        let (bench, cached_out) = &compiled()[which];
+        // Resolve the program/bitstream/fault-map triple for this tuple.
+        let (prog, out, faults);
+        match fault {
+            Some(spec_text) => {
+                let spec: FaultSpec = spec_text.parse().unwrap();
+                let map = FaultMap::sample(
+                    &Topology::new(&params),
+                    &spec,
+                    DramConfig::default().channels,
+                );
+                let copts = CompileOptions { faults: map.clone(), ..CompileOptions::new() };
+                let (o, p, _) = compile_degraded(&bench.program, &params, &copts)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", bench.name)))?;
+                prog = p;
+                out = o;
+                faults = map;
+            }
+            None => {
+                prog = bench.program.clone();
+                out = cached_out.clone();
+                faults = FaultMap::default();
+            }
+        }
+        let opts = |threads: usize| SimOptions {
+            step,
+            threads,
+            faults: faults.clone(),
+            ..SimOptions::default()
+        };
+
+        // (a) Serial vs parallel, straight through.
+        let serial = {
+            let mut m = Machine::new(&prog);
+            bench.load(&mut m);
+            let r = simulate(&prog, &out, &mut m, &opts(1))
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", bench.name)))?;
+            (r.stats_json().pretty(), r.cycles)
+        };
+        let parallel = {
+            let mut m = Machine::new(&prog);
+            bench.load(&mut m);
+            let r = simulate(&prog, &out, &mut m, &opts(threads))
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", bench.name)))?;
+            r.stats_json().pretty()
+        };
+        prop_assert_eq!(&parallel, &serial.0, "straight-through parallel diverged");
+
+        // (b) Checkpoint under `threads`, resume under serial — and the
+        // other way around. Both must land on the same bytes.
+        let every = (serial.1 * frac / 10).max(1);
+        let policy = CheckpointPolicy { every: Some(every), on_error: false };
+        for (write_threads, read_threads) in [(threads, 1), (1, threads)] {
+            let mut taken: Vec<Checkpoint> = Vec::new();
+            let mut m = Machine::new(&prog);
+            bench.load(&mut m);
+            let r = simulate_checkpointed(
+                &prog, &out, &mut m, &opts(write_threads), policy, None,
+                &mut |c| taken.push(c.clone()),
+            )
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", bench.name)))?;
+            prop_assert_eq!(
+                r.stats_json().pretty(), serial.0.clone(),
+                "checkpointing run (threads={}) diverged", write_threads
+            );
+            if let Some(mid) = taken.last() {
+                let decoded = Checkpoint::decode(&mid.encode())
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                let mut m = Machine::new(&prog);
+                bench.load(&mut m);
+                let r = simulate_checkpointed(
+                    &prog, &out, &mut m, &opts(read_threads),
+                    CheckpointPolicy::default(), Some(&decoded), &mut |_| {},
+                )
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", bench.name)))?;
+                prop_assert_eq!(
+                    r.stats_json().pretty(), serial.0.clone(),
+                    "resume (write threads={}, read threads={}) diverged",
+                    write_threads, read_threads
+                );
+            }
+        }
+    }
+}
