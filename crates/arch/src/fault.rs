@@ -102,7 +102,10 @@ pub struct TransientFaults {
     /// Retries allowed per dropped DRAM request before the run is declared
     /// unrecoverable.
     pub max_retries: u32,
-    /// Base retry timeout in cycles; attempt `k` waits `base << k`.
+    /// Base retry timeout in cycles; attempt `k` waits `base << k` plus a
+    /// deterministic jitter in `[0, base/2]` drawn from the seeded
+    /// injection stream (so synchronized drops do not re-issue in
+    /// lockstep).
     pub retry_base: u64,
 }
 

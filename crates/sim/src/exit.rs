@@ -45,6 +45,21 @@ impl ExitStatus {
         }
     }
 
+    /// The stable wire name of this status, used as the `status` field of
+    /// `plasticine-run serve` responses. Like [`code`](Self::code), these
+    /// strings are part of the protocol contract.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExitStatus::Ok => "ok",
+            ExitStatus::Runtime => "runtime",
+            ExitStatus::Usage => "usage",
+            ExitStatus::Compile => "compile",
+            ExitStatus::Deadlock => "deadlock",
+            ExitStatus::FaultExhaustion => "fault_exhaustion",
+            ExitStatus::CycleBudget => "cycle_budget",
+        }
+    }
+
     /// The failure class of a simulation error.
     pub fn from_sim_error(e: &SimError) -> ExitStatus {
         match e {
@@ -87,6 +102,23 @@ mod tests {
         assert_eq!(ExitStatus::Deadlock.code(), 4);
         assert_eq!(ExitStatus::FaultExhaustion.code(), 5);
         assert_eq!(ExitStatus::CycleBudget.code(), 6);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        // The serve protocol's `status` strings; as load-bearing as the
+        // numeric codes.
+        for (s, name) in [
+            (ExitStatus::Ok, "ok"),
+            (ExitStatus::Runtime, "runtime"),
+            (ExitStatus::Usage, "usage"),
+            (ExitStatus::Compile, "compile"),
+            (ExitStatus::Deadlock, "deadlock"),
+            (ExitStatus::FaultExhaustion, "fault_exhaustion"),
+            (ExitStatus::CycleBudget, "cycle_budget"),
+        ] {
+            assert_eq!(s.name(), name);
+        }
     }
 
     #[test]

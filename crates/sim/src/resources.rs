@@ -567,7 +567,15 @@ impl Resources {
                     self.fault_exhausted.get_or_insert((c.addr, *attempts - 1));
                     continue;
                 }
+                // Exponential backoff plus deterministic jitter drawn from
+                // the seeded injection stream: many workers replaying drops
+                // from the same cycle would otherwise re-issue in lockstep
+                // and stampede the channel. Drawing the jitter from the
+                // checkpointed `FaultRng` keeps faulty runs bit-reproducible
+                // (and resumable) — same seed, same jitter.
                 let backoff = base << (*attempts as u64 - 1).min(32);
+                let jitter = self.rng.as_mut().map_or(0, |r| r.below(base / 2 + 1));
+                let backoff = backoff + jitter;
                 self.fault_stats.dram_retry_wait_cycles += backoff;
                 self.retry_queue.push(PendingRetry {
                     due: now + backoff,

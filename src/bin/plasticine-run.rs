@@ -21,6 +21,10 @@ use plasticine::fpga::FpgaModel;
 use plasticine::json::Json;
 use plasticine::models::PowerModel;
 use plasticine::ppir::Machine;
+use plasticine::service::{
+    checkpoint_path, env_lists_bench, jittered_backoff_ms, stats_with_bench, RequestDefaults,
+    ServeOptions,
+};
 use plasticine::sim::{
     simulate, simulate_checkpointed, simulate_traced, Checkpoint, CheckpointPolicy, ExitStatus,
     SimError, SimOptions, SimResult, StepMode, UnitKind, UnitStats,
@@ -36,7 +40,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n  plasticine-run serve [--workers N] [--queue-depth N] [--deadline-ms N] [--socket PATH] [--retries N] [--scale N] [--threads N] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\nserve options:\n  a long-lived daemon: line-delimited JSON requests on stdin (responses on\n  stdout) and, with --socket, on a Unix socket shared by many clients;\n  ops: compile, run, batch, stats, shutdown (see DESIGN.md section 13)\n  --workers N        worker threads executing requests (default: cores)\n  --queue-depth N    admission-queue bound (default: 2x workers); requests\n                     beyond it are shed with a typed `overloaded` response\n  --deadline-ms N    per-request wall-clock deadline measured from admission\n                     (default 60000); a request past it is abandoned with a\n                     typed error while the daemon keeps serving\n  --retries N        re-run a request failing with fault exhaustion up to N\n                     extra times (jittered backoff), then degrade its\n                     parallelization until it fits the surviving fabric\n  (the remaining flags set per-request defaults; response `status` strings\n  mirror the exit codes below, plus service-only `overloaded` and\n  `shutting_down` with code 7)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
     );
     ExitStatus::Usage.into()
 }
@@ -70,6 +74,10 @@ struct Flags {
     retries: u32,
     journal: Option<String>,
     fail_fast: bool,
+    workers: usize,
+    queue_depth: usize,
+    deadline_ms: Option<u64>,
+    socket: Option<String>,
 }
 
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
@@ -142,6 +150,24 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                     .parse::<u32>()
                     .map_err(|_| format!("--retries requires a non-negative integer, got `{v}`"))?;
             }
+            "--workers" => {
+                f.workers =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--workers requires a positive integer, got `{v}`")
+                    })?;
+            }
+            "--queue-depth" => {
+                f.queue_depth = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("--queue-depth requires a positive integer, got `{v}`")
+                })?;
+            }
+            "--deadline-ms" => {
+                f.deadline_ms =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--deadline-ms requires a positive integer, got `{v}`")
+                    })?);
+            }
+            "--socket" => f.socket = Some(v),
             "--trace" => f.trace = Some(v),
             "--stats-json" => f.stats = Some(v),
             "--bitstream" => f.bitstream = Some(v),
@@ -172,6 +198,21 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
         i += 2;
     }
     Ok(f)
+}
+
+/// Validates `--checkpoint-dir` up front: creates the directory when
+/// missing and proves it is writable with a probe file, so a long run
+/// cannot simulate for an hour before discovering its first checkpoint
+/// has nowhere to go. Failures are usage errors (exit 2), reported before
+/// any work starts.
+fn ensure_checkpoint_dir(dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("--checkpoint-dir {dir}: cannot create directory: {e}"))?;
+    let probe = Path::new(dir).join(".ckpt-probe.tmp");
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("--checkpoint-dir {dir}: directory is not writable: {e}"))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
 }
 
 /// `trace.json` + `GEMM` → `trace-gemm.json` (for `run all` output files).
@@ -249,12 +290,6 @@ struct RunConfig {
     resume: Option<String>,
 }
 
-/// Where a benchmark's checkpoint lives: `<dir>/<bench>.ckpt.json`,
-/// overwritten at every emission so the newest snapshot always wins.
-fn checkpoint_path(dir: &str, bench: &str) -> PathBuf {
-    Path::new(dir).join(format!("{}.ckpt.json", bench.to_ascii_lowercase()))
-}
-
 /// A failed run, carrying the exit status it maps to.
 struct RunFailure {
     code: ExitStatus,
@@ -298,16 +333,6 @@ fn summary_line(
         power.total_w,
         speedup,
     )
-}
-
-/// The stats snapshot written by `--stats-json`, with the benchmark name
-/// prepended.
-fn stats_with_bench(bench: &Bench, r: &SimResult) -> Json {
-    let mut stats = r.stats_json();
-    if let Json::Obj(pairs) = &mut stats {
-        pairs.insert(0, ("bench".to_string(), Json::from(bench.name.clone())));
-    }
-    stats
 }
 
 /// Loads a `compile --out` artifact and recovers the exact program it was
@@ -496,12 +521,6 @@ fn job_key(bench: &Bench, faults: &FaultMap, step: StepMode) -> String {
     format!("{:016x}", plasticine::json::hash::fnv1a_str(&desc))
 }
 
-/// Is `bench` named in the comma-separated env var `var`? Test hook used
-/// by the supervisor CI job to inject a panicking and a hanging worker.
-fn env_lists_bench(var: &str, bench: &str) -> bool {
-    std::env::var(var).is_ok_and(|v| v.split(',').any(|n| n.trim().eq_ignore_ascii_case(bench)))
-}
-
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum JobStatus {
     /// Claimed by a worker; still this state in the journal after a crash
@@ -615,7 +634,15 @@ impl Journal {
             })
             .collect();
         let j = Json::obj([("version", Json::from(1u64)), ("jobs", Json::Arr(jobs))]);
-        if let Err(e) = std::fs::write(path, j.pretty() + "\n") {
+        // Crash-safe write: a kill mid-write must never leave a truncated
+        // journal (which a re-invoked batch would refuse to parse). Write
+        // the full snapshot next to the journal, then atomically rename
+        // over it — readers see the old complete journal or the new one,
+        // never a torn file.
+        let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+        let write =
+            std::fs::write(&tmp, j.pretty() + "\n").and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
             eprintln!("journal write failed ({}): {e}", path.display());
         }
     }
@@ -788,7 +815,14 @@ fn supervise_job(
         let res = run_attempt(bench, params, cache, cfg);
         match &res {
             Err(f) if f.code == ExitStatus::FaultExhaustion && attempt <= cfg.retries => {
-                let backoff = Duration::from_millis(50u64 << (attempt - 1).min(6));
+                // Jittered so concurrent jobs that exhausted in lockstep
+                // (same fault spec, same wall-clock) do not retry in
+                // lockstep too; deterministic per (seed, bench, attempt).
+                let backoff = Duration::from_millis(jittered_backoff_ms(
+                    cfg.faults.transient.seed,
+                    &bench.name,
+                    attempt,
+                ));
                 eprintln!(
                     "{}: fault exhaustion (attempt {attempt}), retrying in {}ms",
                     bench.name,
@@ -1013,6 +1047,12 @@ fn main() -> ExitCode {
                 );
                 return usage();
             }
+            if let Some(dir) = &flags.checkpoint_dir {
+                if let Err(e) = ensure_checkpoint_dir(dir) {
+                    eprintln!("{e}");
+                    return ExitStatus::Usage.into();
+                }
+            }
             let scale = Scale(flags.scale);
             let benches = if name == "all" {
                 all(scale)
@@ -1170,6 +1210,12 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
+            if let Some(dir) = &flags.checkpoint_dir {
+                if let Err(e) = ensure_checkpoint_dir(dir) {
+                    eprintln!("{e}");
+                    return ExitStatus::Usage.into();
+                }
+            }
             let scale = Scale(flags.scale);
             let mut benches = Vec::new();
             for name in names {
@@ -1213,6 +1259,68 @@ fn main() -> ExitCode {
                 checkpoint_dir: flags.checkpoint_dir.clone(),
             };
             run_batch(&benches, &params, &cfg)
+        }
+        Some("serve") => {
+            let flags = match parse_flags(
+                &args[1..],
+                &[
+                    "--workers",
+                    "--queue-depth",
+                    "--deadline-ms",
+                    "--socket",
+                    "--retries",
+                    "--scale",
+                    "--threads",
+                    "--faults",
+                    "--step-mode",
+                    "--max-cycles",
+                    "--checkpoint-every",
+                    "--checkpoint-dir",
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            if let Some(dir) = &flags.checkpoint_dir {
+                if let Err(e) = ensure_checkpoint_dir(dir) {
+                    eprintln!("{e}");
+                    return ExitStatus::Usage.into();
+                }
+            }
+            let mut opts = ServeOptions::default();
+            if flags.workers > 0 {
+                opts.workers = flags.workers;
+            }
+            if flags.queue_depth > 0 {
+                opts.queue_depth = flags.queue_depth;
+            }
+            if let Some(ms) = flags.deadline_ms {
+                opts.deadline = Duration::from_millis(ms);
+            }
+            opts.retries = flags.retries;
+            opts.socket = flags.socket.as_ref().map(PathBuf::from);
+            opts.defaults = RequestDefaults {
+                scale: flags.scale,
+                step: flags.step,
+                threads: flags.threads,
+                max_cycles: flags.max_cycles,
+                faults: flags.faults.clone(),
+                checkpoint_every: flags.checkpoint_every,
+                checkpoint_dir: flags.checkpoint_dir.clone(),
+            };
+            match plasticine::service::serve(&params, opts) {
+                Ok(_) => ExitCode::SUCCESS,
+                // Startup failures only (unusable socket path): once the
+                // daemon is serving, request failures are typed responses,
+                // never daemon exits.
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitStatus::Usage.into()
+                }
+            }
         }
         _ => usage(),
     }

@@ -16,9 +16,16 @@
 //! * [`fpga`] — the analytic Stratix V baseline (§4.4);
 //! * [`workloads`] — the thirteen Table 4 benchmarks.
 //!
+//! On top of the stack, [`service`] implements the crash-isolated
+//! `plasticine-run serve` daemon: a long-lived compile/simulate server
+//! with admission control, per-request deadlines, and graceful
+//! degradation.
+//!
 //! See `examples/quickstart.rs` for the end-to-end flow.
 
 #![warn(missing_docs)]
+
+pub mod service;
 
 pub use plasticine_arch as arch;
 pub use plasticine_compiler as compiler;

@@ -1,0 +1,179 @@
+//! Live metrics for the serve daemon: per-status counters, shed count,
+//! in-flight gauge, and request-latency percentiles.
+//!
+//! Everything here is observability, not simulation state, so nothing in
+//! it may influence a response payload — the byte-identity contract (a
+//! served `run` equals the one-shot CLI) would otherwise break. Latencies
+//! are recorded in milliseconds and percentiles use the nearest-rank
+//! method over the full recorded population (bounded; see
+//! [`MAX_LATENCY_SAMPLES`]).
+
+use plasticine_json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Latency samples kept for percentile computation. Beyond this the
+/// reservoir stops growing (the daemon is long-lived; an unbounded vector
+/// would be its own robustness bug) and percentiles describe the first
+/// `MAX_LATENCY_SAMPLES` requests.
+pub const MAX_LATENCY_SAMPLES: usize = 100_000;
+
+#[derive(Default)]
+struct Inner {
+    by_status: BTreeMap<String, u64>,
+    latencies_ms: Vec<u64>,
+    served: u64,
+    shed: u64,
+}
+
+/// Thread-safe request accounting shared by every worker and connection.
+pub struct Metrics {
+    start: Instant,
+    in_flight: AtomicUsize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; uptime counts from here.
+    pub fn new() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            in_flight: AtomicUsize::new(0),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A request entered execution.
+    pub fn begin(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request finished with `status` after `latency`; pairs with
+    /// [`begin`](Self::begin).
+    pub fn finish(&self, status: &str, latency: Duration) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let mut g = self.inner.lock().unwrap();
+        *g.by_status.entry(status.to_string()).or_insert(0) += 1;
+        g.served += 1;
+        if g.latencies_ms.len() < MAX_LATENCY_SAMPLES {
+            let ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
+            g.latencies_ms.push(ms);
+        }
+    }
+
+    /// A request was rejected at admission (queue full or draining)
+    /// without ever executing.
+    pub fn record_shed(&self, status: &str) {
+        let mut g = self.inner.lock().unwrap();
+        *g.by_status.entry(status.to_string()).or_insert(0) += 1;
+        g.shed += 1;
+    }
+
+    /// A request answered inline on the connection thread without ever
+    /// queuing (protocol errors): counted as served under `status`, with
+    /// no latency sample — it never reached a worker.
+    pub fn record_inline(&self, status: &str) {
+        let mut g = self.inner.lock().unwrap();
+        *g.by_status.entry(status.to_string()).or_insert(0) += 1;
+        g.served += 1;
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> u64 {
+        self.inner.lock().unwrap().shed
+    }
+
+    /// Requests currently executing on workers.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The stats payload: uptime, served/shed/in-flight/queue counters,
+    /// compile-cache hit rate, latency percentiles, and per-status counts.
+    pub fn snapshot(&self, queue_len: usize, cache_hits: usize, cache_misses: usize) -> Json {
+        let g = self.inner.lock().unwrap();
+        let mut sorted = g.latencies_ms.clone();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        let by_status: Vec<(String, Json)> = g
+            .by_status
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from(*v)))
+            .collect();
+        Json::obj([
+            (
+                "uptime_ms",
+                Json::from(u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)),
+            ),
+            ("served", Json::from(g.served)),
+            ("shed", Json::from(g.shed)),
+            (
+                "in_flight",
+                Json::from(self.in_flight.load(Ordering::Relaxed)),
+            ),
+            ("queue_len", Json::from(queue_len)),
+            ("cache_hits", Json::from(cache_hits)),
+            ("cache_misses", Json::from(cache_misses)),
+            ("latency_p50_ms", Json::from(pct(0.50))),
+            ("latency_p99_ms", Json::from(pct(0.99))),
+            (
+                "latency_max_ms",
+                Json::from(sorted.last().copied().unwrap_or(0)),
+            ),
+            ("by_status", Json::Obj(by_status)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_percentiles_are_consistent() {
+        let m = Metrics::new();
+        for ms in [10u64, 20, 30, 40, 1000] {
+            m.begin();
+            m.finish("ok", Duration::from_millis(ms));
+        }
+        m.begin();
+        m.finish("deadlock", Duration::from_millis(5));
+        m.record_shed("overloaded");
+        m.record_shed("overloaded");
+        let s = m.snapshot(3, 10, 2);
+        assert_eq!(s.get("served").unwrap().as_u64(), Some(6));
+        assert_eq!(s.get("shed").unwrap().as_u64(), Some(2));
+        assert_eq!(s.get("in_flight").unwrap().as_u64(), Some(0));
+        assert_eq!(s.get("queue_len").unwrap().as_u64(), Some(3));
+        let by = s.get("by_status").unwrap();
+        assert_eq!(by.get("ok").unwrap().as_u64(), Some(5));
+        assert_eq!(by.get("deadlock").unwrap().as_u64(), Some(1));
+        assert_eq!(by.get("overloaded").unwrap().as_u64(), Some(2));
+        // Nearest-rank p50 of [5,10,20,30,40,1000] is the 3rd value.
+        assert_eq!(s.get("latency_p50_ms").unwrap().as_u64(), Some(20));
+        assert_eq!(s.get("latency_p99_ms").unwrap().as_u64(), Some(1000));
+        assert_eq!(s.get("latency_max_ms").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn empty_metrics_report_zeroes() {
+        let m = Metrics::new();
+        let s = m.snapshot(0, 0, 0);
+        assert_eq!(s.get("served").unwrap().as_u64(), Some(0));
+        assert_eq!(s.get("latency_p50_ms").unwrap().as_u64(), Some(0));
+    }
+}

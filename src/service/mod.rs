@@ -1,0 +1,97 @@
+//! Plasticine-as-a-service: the crash-isolated `plasticine-run serve`
+//! daemon.
+//!
+//! A long-lived process that accepts line-delimited JSON requests over
+//! stdin/stdout and (optionally) a Unix socket, sharing one compile cache
+//! across every client. See [`proto`] for the wire format, [`server`] for
+//! admission control, containment, and drain semantics, and DESIGN.md §13
+//! for the full protocol narrative.
+//!
+//! The helpers at this level ([`stats_with_bench`], [`checkpoint_path`],
+//! [`env_lists_bench`], [`jittered_backoff_ms`]) are shared between the
+//! daemon and the one-shot CLI binary so their behavior cannot drift
+//! apart — the byte-identity contract (a served `run`'s stats equal the
+//! one-shot `--stats-json` output) depends on it.
+
+pub mod metrics;
+pub mod proto;
+mod server;
+
+pub use server::{serve, RequestDefaults, ServeOptions};
+
+use plasticine_arch::FaultRng;
+use plasticine_json::hash::fnv1a_str;
+use plasticine_json::Json;
+use plasticine_sim::SimResult;
+use plasticine_workloads::Bench;
+use std::path::{Path, PathBuf};
+
+/// The stats snapshot written by `--stats-json` and embedded in served
+/// `run` responses, with the benchmark name prepended. Both consumers
+/// call this one function, so the two outputs are byte-identical by
+/// construction.
+pub fn stats_with_bench(bench: &Bench, r: &SimResult) -> Json {
+    let mut stats = r.stats_json();
+    if let Json::Obj(pairs) = &mut stats {
+        pairs.insert(0, ("bench".to_string(), Json::from(bench.name.clone())));
+    }
+    stats
+}
+
+/// Where a benchmark's checkpoint lives: `<dir>/<bench>.ckpt.json`,
+/// overwritten at every emission so the newest snapshot always wins.
+pub fn checkpoint_path(dir: &str, bench: &str) -> PathBuf {
+    Path::new(dir).join(format!("{}.ckpt.json", bench.to_ascii_lowercase()))
+}
+
+/// Is `bench` named in the comma-separated env var `var`? Test hook used
+/// by the supervisor and service CI jobs to inject a panicking and a
+/// hanging worker.
+pub fn env_lists_bench(var: &str, bench: &str) -> bool {
+    std::env::var(var).is_ok_and(|v| v.split(',').any(|n| n.trim().eq_ignore_ascii_case(bench)))
+}
+
+/// Backoff before retry `attempt` (1-based) of the job named `key`:
+/// `50ms << min(attempt-1, 6)` plus a deterministic jitter in
+/// `[0, base/2]` drawn from a [`FaultRng`] seeded by
+/// `(seed, key, attempt)`. The jitter desynchronizes workers that fail in
+/// lockstep (same fault spec, same wall-clock) without sacrificing
+/// reproducibility: the same seed, job, and attempt always wait the same
+/// number of milliseconds.
+pub fn jittered_backoff_ms(seed: u64, key: &str, attempt: u32) -> u64 {
+    let base = 50u64 << u64::from(attempt - 1).min(6);
+    let mut rng = FaultRng::new(seed ^ fnv1a_str(key) ^ u64::from(attempt));
+    base + rng.below(base / 2 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_jittered_and_deterministic() {
+        let a1 = jittered_backoff_ms(3, "GEMM", 1);
+        let a2 = jittered_backoff_ms(3, "GEMM", 2);
+        let a3 = jittered_backoff_ms(3, "GEMM", 3);
+        // Base doubles 50 → 100 → 200; jitter adds at most base/2, so the
+        // sequence is strictly increasing and bounded.
+        assert!((50..=75).contains(&a1), "{a1}");
+        assert!((100..=150).contains(&a2), "{a2}");
+        assert!((200..=300).contains(&a3), "{a3}");
+        // Deterministic: same (seed, key, attempt) → same wait.
+        assert_eq!(a1, jittered_backoff_ms(3, "GEMM", 1));
+        // Different jobs (or seeds) desynchronize.
+        assert!(
+            jittered_backoff_ms(3, "GEMM", 1) != jittered_backoff_ms(3, "BFS", 1)
+                || jittered_backoff_ms(3, "GEMM", 2) != jittered_backoff_ms(3, "BFS", 2),
+            "jitter failed to separate two jobs across two attempts"
+        );
+    }
+
+    #[test]
+    fn backoff_shift_saturates() {
+        // Attempt 40 must not overflow the shift; cap is 50 << 6.
+        let b = jittered_backoff_ms(0, "x", 40);
+        assert!((3200..=4800).contains(&b), "{b}");
+    }
+}

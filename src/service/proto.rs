@@ -1,0 +1,261 @@
+//! Wire protocol of `plasticine-run serve`: line-delimited JSON.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Requests carry an optional `id` of any JSON
+//! shape, echoed verbatim on the response so clients can match
+//! out-of-order completions (worker threads finish in whatever order the
+//! simulations do).
+//!
+//! The `status` field of a response is the CLI exit-code contract
+//! ([`ExitStatus`]) spelled as a string (`ok`, `runtime`, `usage`,
+//! `compile`, `deadlock`, `fault_exhaustion`, `cycle_budget`), plus two
+//! service-only statuses that have no one-shot CLI equivalent:
+//! `overloaded` (the admission queue was full and the request was shed)
+//! and `shutting_down` (the daemon is draining). Both service-only
+//! statuses report `code` [`SERVICE_UNAVAILABLE`].
+
+use plasticine_json::Json;
+use plasticine_sim::{ExitStatus, StepMode};
+
+/// `code` reported with the service-only `overloaded` / `shutting_down`
+/// statuses. Deliberately outside the 0–6 CLI range: a shed request never
+/// ran, so it has no exit-code-class outcome.
+pub const SERVICE_UNAVAILABLE: i64 = 7;
+
+/// A request operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Compile a benchmark through the shared cache (optionally writing
+    /// the artifact server-side).
+    Compile,
+    /// Compile and simulate one benchmark; the response embeds the same
+    /// stats object the one-shot CLI writes with `--stats-json`.
+    Run,
+    /// Run a list of benchmarks sequentially under one deadline.
+    Batch,
+    /// Report live server metrics. Control-plane: answered inline on the
+    /// connection thread, never queued or shed.
+    Stats,
+    /// Drain in-flight requests and exit. Control-plane; the response is
+    /// the final stats report, sent after the drain completes.
+    Shutdown,
+}
+
+impl Op {
+    /// Wire name of the operation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Compile => "compile",
+            Op::Run => "run",
+            Op::Batch => "batch",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A parsed request. Absent optional fields fall back to the server's
+/// command-line defaults (`--scale`, `--step-mode`, …).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim.
+    pub id: Option<Json>,
+    /// What to do.
+    pub op: Op,
+    /// Benchmark name for `compile` / `run`.
+    pub bench: Option<String>,
+    /// Benchmark names for `batch` (`["GEMM", ...]` or `"all"`).
+    pub benches: Vec<String>,
+    /// Problem-size multiplier.
+    pub scale: Option<usize>,
+    /// Fault spec in the CLI `--faults` syntax.
+    pub faults: Option<String>,
+    /// `event` or `cycle`.
+    pub step: Option<StepMode>,
+    /// Simulator worker threads for this request.
+    pub threads: Option<usize>,
+    /// Cycle budget for this request.
+    pub max_cycles: Option<u64>,
+    /// `compile` only: server-side path to write the artifact to.
+    pub out: Option<String>,
+}
+
+/// Parses one request line. The error string is ready to ship back as a
+/// `usage` response.
+pub fn parse_request(line: &str) -> Result<Request, (Option<Json>, String)> {
+    let j = Json::parse(line).map_err(|e| (None, format!("bad request JSON: {e}")))?;
+    let id = j.get("id").cloned();
+    let err = |m: String| (id.clone(), m);
+    let op = match j.get("op").and_then(Json::as_str) {
+        Some("compile") => Op::Compile,
+        Some("run") => Op::Run,
+        Some("batch") => Op::Batch,
+        Some("stats") => Op::Stats,
+        Some("shutdown") => Op::Shutdown,
+        Some(other) => return Err(err(format!("unknown op `{other}`"))),
+        None => return Err(err("missing `op` field".to_string())),
+    };
+    let str_field = |k: &str| -> Result<Option<String>, (Option<Json>, String)> {
+        match j.get(k) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| err(format!("`{k}` must be a string"))),
+        }
+    };
+    let bench = str_field("bench")?;
+    let mut benches = Vec::new();
+    match j.get("benches") {
+        None => {}
+        Some(Json::Arr(items)) => {
+            for it in items {
+                match it.as_str() {
+                    Some(s) => benches.push(s.to_string()),
+                    None => return Err(err("`benches` entries must be strings".to_string())),
+                }
+            }
+        }
+        Some(v) => match v.as_str() {
+            Some(s) => benches.push(s.to_string()),
+            None => {
+                return Err(err(
+                    "`benches` must be an array of strings or a string".to_string()
+                ))
+            }
+        },
+    }
+    let scale = match j.get("scale") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| err("`scale` must be a positive integer".to_string()))?,
+        ),
+    };
+    let threads = match j.get("threads") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| err("`threads` must be a positive integer".to_string()))?,
+        ),
+    };
+    let max_cycles = match j.get("max_cycles") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| err("`max_cycles` must be a positive integer".to_string()))?,
+        ),
+    };
+    let step = match j.get("step_mode").map(|v| v.as_str()) {
+        None => None,
+        Some(Some("event")) => Some(StepMode::Event),
+        Some(Some("cycle")) => Some(StepMode::Cycle),
+        _ => return Err(err("`step_mode` must be `event` or `cycle`".to_string())),
+    };
+    let faults = str_field("faults")?;
+    let out = str_field("out")?;
+    Ok(Request {
+        id,
+        op,
+        bench,
+        benches,
+        scale,
+        faults,
+        step,
+        threads,
+        max_cycles,
+        out,
+    })
+}
+
+/// Starts a response object: `id` (when the request carried one), `op`,
+/// `status`, `code`. Callers append op-specific payload fields.
+pub fn response_head(id: &Option<Json>, op: &str, status: &str, code: i64) -> Vec<(String, Json)> {
+    let mut pairs = Vec::with_capacity(8);
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push(("op".to_string(), Json::from(op)));
+    pairs.push(("status".to_string(), Json::from(status)));
+    pairs.push(("code".to_string(), Json::from(code)));
+    pairs
+}
+
+/// A complete error response.
+pub fn error_response(id: &Option<Json>, op: &str, status: ExitStatus, message: &str) -> Json {
+    let mut pairs = response_head(id, op, status.name(), i64::from(status.code()));
+    pairs.push(("error".to_string(), Json::from(message)));
+    Json::Obj(pairs)
+}
+
+/// The typed shed response: the admission queue was full, the request was
+/// rejected immediately (never queued unboundedly), try again later.
+pub fn overloaded_response(id: &Option<Json>, op: &str, depth: usize) -> Json {
+    let mut pairs = response_head(id, op, "overloaded", SERVICE_UNAVAILABLE);
+    pairs.push((
+        "error".to_string(),
+        Json::from(format!(
+            "admission queue full (depth {depth}); request shed"
+        )),
+    ));
+    Json::Obj(pairs)
+}
+
+/// The response to data-plane requests that arrive after shutdown began.
+pub fn shutting_down_response(id: &Option<Json>, op: &str) -> Json {
+    let mut pairs = response_head(id, op, "shutting_down", SERVICE_UNAVAILABLE);
+    pairs.push((
+        "error".to_string(),
+        Json::from("server is draining; request rejected"),
+    ));
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_run_request() {
+        let r = parse_request(
+            r#"{"id": 7, "op": "run", "bench": "GEMM", "scale": 2, "threads": 4,
+                "max_cycles": 1000, "step_mode": "cycle", "faults": "drop=0.1,seed=3"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, Op::Run);
+        assert_eq!(r.bench.as_deref(), Some("GEMM"));
+        assert_eq!(r.scale, Some(2));
+        assert_eq!(r.threads, Some(4));
+        assert_eq!(r.max_cycles, Some(1000));
+        assert_eq!(r.step, Some(StepMode::Cycle));
+        assert_eq!(r.faults.as_deref(), Some("drop=0.1,seed=3"));
+        assert_eq!(r.id.unwrap().as_i64(), Some(7));
+    }
+
+    #[test]
+    fn bad_requests_keep_their_id_for_the_error_reply() {
+        let (id, msg) = parse_request(r#"{"id": "x1", "op": "fly"}"#).unwrap_err();
+        assert_eq!(id.unwrap().as_str(), Some("x1"));
+        assert!(msg.contains("unknown op"), "{msg}");
+        let (id, _) = parse_request("{ not json").unwrap_err();
+        assert!(id.is_none());
+        let (_, msg) = parse_request(r#"{"op": "run", "scale": 0}"#).unwrap_err();
+        assert!(msg.contains("scale"), "{msg}");
+    }
+
+    #[test]
+    fn responses_echo_ids_and_carry_the_status_contract() {
+        let id = Some(Json::from(3u64));
+        let r = error_response(&id, "run", ExitStatus::Deadlock, "stuck");
+        assert_eq!(r.get("id").unwrap().as_u64(), Some(3));
+        assert_eq!(r.get("status").unwrap().as_str(), Some("deadlock"));
+        assert_eq!(r.get("code").unwrap().as_i64(), Some(4));
+        let r = overloaded_response(&None, "run", 8);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(r.get("code").unwrap().as_i64(), Some(SERVICE_UNAVAILABLE));
+        assert!(r.get("id").is_none());
+    }
+}

@@ -399,6 +399,105 @@ fn budget_failure_auto_checkpoints_and_resumes_with_a_bigger_budget() {
     );
 }
 
+/// Journal writes are atomic (temp file + rename): a truncated journal —
+/// the artifact of a pre-atomic-write crash — is a typed runtime error
+/// with a message naming the journal, never a panic; and the temp file
+/// never survives a flush.
+#[test]
+fn truncated_journal_is_a_typed_error_and_writes_are_atomic() {
+    let dir = scratch("journal-atomic");
+    // A journal cut off mid-write, as a kill during a plain
+    // `fs::write` could have left behind.
+    std::fs::write(dir.join("j.json"), "{\"version\": 1, \"jobs\": [\n").unwrap();
+    let o = run(&["batch", "InnerProduct", "--journal", "j.json"], &[], &dir);
+    assert_eq!(
+        o.status.code(),
+        Some(1),
+        "corrupt journal should exit 1 (runtime), got {:?}\nstderr: {}",
+        o.status.code(),
+        stderr(&o)
+    );
+    assert!(
+        stderr(&o).contains("journal"),
+        "stderr should name the journal:\n{}",
+        stderr(&o)
+    );
+
+    // A stale temp file from an interrupted flush is harmless: the next
+    // batch overwrites and renames it away.
+    std::fs::remove_file(dir.join("j.json")).unwrap();
+    std::fs::write(dir.join("j.json.tmp"), "garbage from a dead writer").unwrap();
+    let o = run(&["batch", "InnerProduct", "--journal", "j.json"], &[], &dir);
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+    let journal = std::fs::read_to_string(dir.join("j.json")).unwrap();
+    assert!(journal.contains("\"status\": \"done\""), "{journal}");
+    assert!(
+        !dir.join("j.json.tmp").exists(),
+        "the temp file must be renamed over the journal, not left behind"
+    );
+}
+
+/// `--checkpoint-dir` ergonomics: a missing (even nested) directory is
+/// created up front; an unusable path is a usage error (exit 2) before
+/// any simulation starts, not a mid-run surprise.
+#[test]
+fn checkpoint_dir_is_created_and_validated_up_front() {
+    let dir = scratch("ckpt-dir");
+    let o = run(
+        &[
+            "run",
+            "InnerProduct",
+            "--checkpoint-every",
+            "300",
+            "--checkpoint-dir",
+            "nested/ckpt/dir",
+        ],
+        &[],
+        &dir,
+    );
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+    assert!(
+        dir.join("nested/ckpt/dir").is_dir(),
+        "a missing nested checkpoint dir should be created"
+    );
+
+    // A path that runs through an existing *file* cannot become a
+    // directory: typed usage error naming the flag, before any work.
+    std::fs::write(dir.join("occupied"), "a file").unwrap();
+    for cmd in [
+        vec![
+            "run",
+            "InnerProduct",
+            "--checkpoint-every",
+            "300",
+            "--checkpoint-dir",
+            "occupied/sub",
+        ],
+        vec![
+            "batch",
+            "InnerProduct",
+            "--checkpoint-every",
+            "300",
+            "--checkpoint-dir",
+            "occupied/sub",
+        ],
+    ] {
+        let o = run(&cmd, &[], &dir);
+        assert_eq!(
+            o.status.code(),
+            Some(2),
+            "`{}` should exit 2 (usage): {}",
+            cmd.join(" "),
+            stderr(&o)
+        );
+        assert!(
+            stderr(&o).contains("--checkpoint-dir"),
+            "stderr should name the flag:\n{}",
+            stderr(&o)
+        );
+    }
+}
+
 #[test]
 fn resuming_against_the_wrong_bench_is_a_usage_error() {
     let dir = scratch("wrong-bench");
