@@ -27,6 +27,7 @@ mod config;
 mod fault;
 mod geom;
 mod params;
+mod space;
 
 pub use config::{
     AgCfg, AgMode, BitstreamError, ComputeCfg, DramAlloc, LinkCfg, MachineConfig, MemoryCfg,
@@ -35,3 +36,4 @@ pub use config::{
 pub use fault::{FaultMap, FaultRng, FaultSpec, FaultSpecError, TransientFaults};
 pub use geom::{AgId, Site, SiteId, SiteKind, SwitchId, Topology};
 pub use params::{GridMix, ParamError, PcuParams, PlasticineParams, PmuParams};
+pub use space::{DseGrid, DsePoint};

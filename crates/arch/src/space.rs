@@ -1,0 +1,335 @@
+//! Design-space enumeration for the `dse search` autotuner.
+//!
+//! The Figure 7 machinery sweeps one PCU parameter at a time; a
+//! production autotuner explores full [`PlasticineParams`] points. This
+//! module defines the searched axes — SIMD lanes, pipeline stages, the
+//! PCU:PMU grid mix, per-PMU scratchpad capacity, and DRAM channels —
+//! and turns a grid of candidate values into a deterministic, deduped
+//! list of [`DsePoint`]s, each of which can be materialized into a
+//! validated parameter set.
+//!
+//! Enumeration order is the lexicographic order of the axes as listed
+//! on [`DseGrid`]; it never depends on thread count or wall clock, so
+//! every consumer (the parallel search driver, its resume path, and the
+//! benchmarks) sees the same point sequence.
+
+use crate::params::{GridMix, ParamError, PcuParams, PlasticineParams, PmuParams};
+use std::fmt;
+use std::str::FromStr;
+
+impl GridMix {
+    /// Short stable tag used in point labels and journal keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            GridMix::Checkerboard => "cb",
+            GridMix::PmuHeavy => "ph",
+        }
+    }
+}
+
+impl FromStr for GridMix {
+    type Err = ParamError;
+
+    fn from_str(s: &str) -> Result<GridMix, ParamError> {
+        match s.to_ascii_lowercase().as_str() {
+            "checkerboard" | "cb" | "1:1" => Ok(GridMix::Checkerboard),
+            "pmuheavy" | "pmu-heavy" | "ph" | "2:1" => Ok(GridMix::PmuHeavy),
+            _ => Err(ParamError(format!(
+                "unknown grid mix `{s}` (expected `checkerboard` or `pmuheavy`)"
+            ))),
+        }
+    }
+}
+
+/// One candidate configuration of the searched design space. Everything
+/// not named here stays at its `paper_final` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DsePoint {
+    /// PCU SIMD lanes (power of two).
+    pub lanes: usize,
+    /// PCU pipeline stages.
+    pub stages: usize,
+    /// PCU:PMU mix on the grid.
+    pub mix: GridMix,
+    /// Scratchpad capacity of one PMU in KiB (spread over its banks).
+    pub scratchpad_kb: usize,
+    /// Independent DRAM channels (= coalescing units).
+    pub dram_channels: usize,
+}
+
+impl DsePoint {
+    /// Stable, filename-safe label: `l16s6cbk256c4`. Part of the journal
+    /// key contract — renaming a component orphans resumable journals.
+    pub fn label(&self) -> String {
+        format!(
+            "l{}s{}{}k{}c{}",
+            self.lanes,
+            self.stages,
+            self.mix.tag(),
+            self.scratchpad_kb,
+            self.dram_channels
+        )
+    }
+
+    /// Materializes the point into a full validated parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (non-power-of-two lanes,
+    /// zero stages, more channels than address generators, …) — the
+    /// search treats these points as typed infeasible skips, not errors.
+    pub fn params(&self) -> Result<PlasticineParams, ParamError> {
+        if self.scratchpad_kb == 0 {
+            return Err(ParamError("PMU scratchpad must be non-empty".into()));
+        }
+        let base = PlasticineParams::paper_final();
+        if !self.scratchpad_kb.is_multiple_of(base.pmu.banks) {
+            return Err(ParamError(format!(
+                "scratchpad {} KiB does not spread evenly over {} banks",
+                self.scratchpad_kb, base.pmu.banks
+            )));
+        }
+        let p = PlasticineParams {
+            pcu: PcuParams {
+                lanes: self.lanes,
+                stages: self.stages,
+                ..base.pcu
+            },
+            pmu: PmuParams {
+                bank_kb: self.scratchpad_kb / base.pmu.banks,
+                ..base.pmu
+            },
+            mix: self.mix,
+            coalescing_units: self.dram_channels,
+            ..base
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+impl fmt::Display for DsePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lanes={} stages={} mix={} scratchpad={}KiB channels={}",
+            self.lanes,
+            self.stages,
+            self.mix.tag(),
+            self.scratchpad_kb,
+            self.dram_channels
+        )
+    }
+}
+
+/// A rectangular grid of candidate values, one list per axis. The search
+/// evaluates the cross product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DseGrid {
+    /// Candidate SIMD lane counts.
+    pub lanes: Vec<usize>,
+    /// Candidate pipeline stage counts.
+    pub stages: Vec<usize>,
+    /// Candidate grid mixes.
+    pub mixes: Vec<GridMix>,
+    /// Candidate per-PMU scratchpad capacities in KiB.
+    pub scratchpad_kb: Vec<usize>,
+    /// Candidate DRAM channel counts.
+    pub dram_channels: Vec<usize>,
+}
+
+impl Default for DseGrid {
+    /// A modest default grid around the paper's final configuration
+    /// (16 points): enough to produce a non-trivial frontier without
+    /// hours of simulation.
+    fn default() -> DseGrid {
+        DseGrid {
+            lanes: vec![8, 16],
+            stages: vec![5, 6],
+            mixes: vec![GridMix::Checkerboard],
+            scratchpad_kb: vec![128, 256],
+            dram_channels: vec![2, 4],
+        }
+    }
+}
+
+impl DseGrid {
+    /// Checks that every axis has at least one candidate value.
+    ///
+    /// # Errors
+    ///
+    /// Names the first empty axis.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        for (name, empty) in [
+            ("lanes", self.lanes.is_empty()),
+            ("stages", self.stages.is_empty()),
+            ("mix", self.mixes.is_empty()),
+            ("scratchpad-kb", self.scratchpad_kb.is_empty()),
+            ("channels", self.dram_channels.is_empty()),
+        ] {
+            if empty {
+                return Err(ParamError(format!("grid axis `{name}` has no values")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of points [`enumerate`](Self::enumerate) yields before
+    /// deduplication.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+            * self.stages.len()
+            * self.mixes.len()
+            * self.scratchpad_kb.len()
+            * self.dram_channels.len()
+    }
+
+    /// Whether the cross product is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full cross product in lexicographic axis order (lanes
+    /// outermost, channels innermost), with repeated axis values deduped
+    /// while preserving first-occurrence order. Points that cannot form
+    /// valid parameters are *kept* — the search reports them as typed
+    /// infeasible skips so a frontier never silently shrinks.
+    pub fn enumerate(&self) -> Vec<DsePoint> {
+        fn dedup<T: PartialEq + Copy>(xs: &[T]) -> Vec<T> {
+            let mut out: Vec<T> = Vec::with_capacity(xs.len());
+            for &x in xs {
+                if !out.contains(&x) {
+                    out.push(x);
+                }
+            }
+            out
+        }
+        let mut points = Vec::with_capacity(self.len());
+        for &lanes in &dedup(&self.lanes) {
+            for &stages in &dedup(&self.stages) {
+                for &mix in &dedup(&self.mixes) {
+                    for &scratchpad_kb in &dedup(&self.scratchpad_kb) {
+                        for &dram_channels in &dedup(&self.dram_channels) {
+                            points.push(DsePoint {
+                                lanes,
+                                stages,
+                                mix,
+                                scratchpad_kb,
+                                dram_channels,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_materializes_to_paper_final() {
+        let p = DsePoint {
+            lanes: 16,
+            stages: 6,
+            mix: GridMix::Checkerboard,
+            scratchpad_kb: 256,
+            dram_channels: 4,
+        };
+        assert_eq!(p.params().unwrap(), PlasticineParams::paper_final());
+        assert_eq!(p.label(), "l16s6cbk256c4");
+    }
+
+    #[test]
+    fn invalid_points_are_typed_not_panics() {
+        let bad_lanes = DsePoint {
+            lanes: 12,
+            stages: 6,
+            mix: GridMix::Checkerboard,
+            scratchpad_kb: 256,
+            dram_channels: 4,
+        };
+        assert!(bad_lanes.params().is_err());
+        let bad_kb = DsePoint {
+            scratchpad_kb: 100,
+            ..bad_lanes
+        };
+        assert!(bad_kb.params().is_err());
+        let bad_channels = DsePoint {
+            lanes: 16,
+            dram_channels: 99,
+            ..bad_lanes
+        };
+        // More channels than AGs violates the per-CU AG constraint.
+        assert!(bad_channels.params().is_err());
+        let zero_kb = DsePoint {
+            lanes: 16,
+            scratchpad_kb: 0,
+            ..bad_lanes
+        };
+        assert!(zero_kb.params().is_err());
+    }
+
+    #[test]
+    fn scratchpad_and_channels_land_in_params() {
+        let p = DsePoint {
+            lanes: 8,
+            stages: 5,
+            mix: GridMix::PmuHeavy,
+            scratchpad_kb: 128,
+            dram_channels: 2,
+        }
+        .params()
+        .unwrap();
+        assert_eq!(p.pmu.capacity_bytes(), 128 * 1024);
+        assert_eq!(p.coalescing_units, 2);
+        assert_eq!(p.mix, GridMix::PmuHeavy);
+        assert_eq!(p.pcu.lanes, 8);
+        assert_eq!(p.pcu.stages, 5);
+    }
+
+    #[test]
+    fn enumeration_is_lexicographic_and_deduped() {
+        let g = DseGrid {
+            lanes: vec![16, 8, 16],
+            stages: vec![6],
+            mixes: vec![GridMix::Checkerboard],
+            scratchpad_kb: vec![256],
+            dram_channels: vec![4, 2],
+        };
+        let pts = g.enumerate();
+        let labels: Vec<String> = pts.iter().map(DsePoint::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "l16s6cbk256c4",
+                "l16s6cbk256c2",
+                "l8s6cbk256c4",
+                "l8s6cbk256c2"
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_axis_is_reported_by_name() {
+        let g = DseGrid {
+            stages: vec![],
+            ..DseGrid::default()
+        };
+        let e = g.validate().unwrap_err();
+        assert!(e.to_string().contains("stages"), "{e}");
+        assert!(DseGrid::default().validate().is_ok());
+    }
+
+    #[test]
+    fn grid_mix_parses_both_spellings() {
+        assert_eq!("checkerboard".parse(), Ok(GridMix::Checkerboard));
+        assert_eq!("cb".parse(), Ok(GridMix::Checkerboard));
+        assert_eq!("PmuHeavy".parse(), Ok(GridMix::PmuHeavy));
+        assert_eq!("2:1".parse(), Ok(GridMix::PmuHeavy));
+        assert!("diagonal".parse::<GridMix>().is_err());
+    }
+}

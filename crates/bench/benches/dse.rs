@@ -1,0 +1,129 @@
+//! Design-space search benchmark: the `dse search` pipeline over a
+//! pinned small grid, timed serial vs parallel.
+//!
+//! ```sh
+//! cargo bench -p plasticine-bench --bench dse
+//! ```
+//!
+//! One measurement, written to `BENCH_dse.json` at the workspace root:
+//! the pinned 8-point grid (lanes {8,16} × scratchpad {128,256} KiB ×
+//! channels {2,4}) is searched against the InnerProduct + TPCHQ6 mix
+//! with 1 worker and with all cores, minimum over `ITERS` runs. The two
+//! frontiers must be element-for-element identical (the process exits
+//! non-zero if they differ) — this is the determinism contract the
+//! resumable driver rests on. The frontier itself is recorded so CI can
+//! diff it against the smoke run's.
+
+use plasticine::arch::{DseGrid, GridMix};
+use plasticine::dse::{search, SearchConfig};
+use plasticine::journal::Journal;
+use plasticine::workloads::{all, Bench, Scale};
+use plasticine_json::Json;
+use std::time::Instant;
+
+const WARMUP: u32 = 1;
+const ITERS: u32 = 3;
+
+fn pinned_grid() -> DseGrid {
+    DseGrid {
+        lanes: vec![8, 16],
+        stages: vec![6],
+        mixes: vec![GridMix::Checkerboard],
+        scratchpad_kb: vec![128, 256],
+        dram_channels: vec![2, 4],
+    }
+}
+
+fn main() {
+    let benches: Vec<Bench> = all(Scale(1))
+        .into_iter()
+        .filter(|b| ["InnerProduct", "TPCHQ6"].contains(&b.name.as_str()))
+        .collect();
+    assert_eq!(benches.len(), 2);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let time_at = |jobs: usize| {
+        let cfg = SearchConfig {
+            grid: pinned_grid(),
+            jobs,
+            ..SearchConfig::default()
+        };
+        let run = || {
+            let mut journal = Journal::load(None).unwrap();
+            search(&benches, &cfg, &mut journal).unwrap()
+        };
+        for _ in 0..WARMUP {
+            run();
+        }
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            let r = run();
+            best = best.min(t0.elapsed().as_secs_f64());
+            last = Some(r);
+        }
+        (best, last.expect("ITERS >= 1"), cfg)
+    };
+
+    let (serial_s, serial, _) = time_at(1);
+    let (parallel_s, parallel, cfg) = time_at(cores);
+    let serial_json = serial.to_json(&benches, &cfg).pretty();
+    let identical = serial_json == parallel.to_json(&benches, &cfg).pretty();
+    let speedup = serial_s / parallel_s.max(1e-12);
+    let (done, infeasible, failed, not_run) = serial.counts();
+    println!(
+        "dse search ({} points, {} benches, {} cores): serial {:.1} ms, parallel {:.1} ms \
+         ({:.2}x)  reports {}",
+        serial.points.len(),
+        benches.len(),
+        cores,
+        serial_s * 1e3,
+        parallel_s * 1e3,
+        speedup,
+        if identical { "identical" } else { "DIVERGED" },
+    );
+    println!(
+        "{done} done, {infeasible} infeasible, {failed} failed, {not_run} not run; \
+         frontier {} points",
+        serial.frontier.len()
+    );
+
+    let frontier: Vec<Json> = serial
+        .frontier
+        .entries()
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("point".into(), Json::from(e.id.clone())),
+                ("perf".into(), Json::from(e.obj.perf)),
+                ("area_mm2".into(), Json::from(e.obj.area_mm2)),
+                ("perf_per_w".into(), Json::from(e.obj.perf_per_w)),
+            ])
+        })
+        .collect();
+    let report = Json::Obj(vec![
+        ("iters".into(), Json::from(ITERS)),
+        ("cores".into(), Json::from(cores)),
+        ("points".into(), Json::from(serial.points.len())),
+        ("done".into(), Json::from(done)),
+        ("infeasible".into(), Json::from(infeasible)),
+        ("serial_s".into(), Json::from(serial_s)),
+        ("parallel_s".into(), Json::from(parallel_s)),
+        ("speedup".into(), Json::from(speedup)),
+        ("reports_identical".into(), Json::from(identical)),
+        ("frontier".into(), Json::Arr(frontier)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse.json");
+    match std::fs::write(path, report.pretty()) {
+        Ok(()) => println!("report written to {path}"),
+        Err(e) => {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !identical {
+        eprintln!("serial and parallel search reports diverged");
+        std::process::exit(1);
+    }
+}

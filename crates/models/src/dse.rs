@@ -172,13 +172,19 @@ fn sweep_app(name: &str, design: &VirtualDesign, spec: &SweepSpec, model: &AreaM
         .flatten()
         .copied()
         .fold(f64::INFINITY, f64::min);
+    // A non-positive minimum means the area model degenerated (e.g. a
+    // design with no PCU work at all prices every candidate to zero);
+    // "overhead over the minimum" is undefined there, so every point
+    // reports invalid rather than a fabricated 0.0. An infinite minimum
+    // (no valid candidate) leaves every area `None` already.
+    let degenerate = min <= 0.0;
     let points = spec
         .values
         .iter()
         .zip(&areas)
         .map(|(&value, a)| SweepPoint {
             value,
-            overhead: a.map(|x| if min > 0.0 { x / min - 1.0 } else { 0.0 }),
+            overhead: a.and_then(|x| (!degenerate).then(|| x / min - 1.0)),
         })
         .collect();
     SweepRow {
@@ -252,17 +258,24 @@ pub fn sweep_serial(
 }
 
 /// Average overhead across benchmarks at each value (the "Average" row of
-/// Figure 7); invalid points are excluded from the average.
+/// Figure 7); invalid points are excluded from the average. Rows of
+/// different lengths (ragged input) are handled defensively: each column
+/// averages whichever rows reach it, and the column's value is taken from
+/// the first row that has it.
 pub fn average_row(rows: &[SweepRow]) -> Vec<SweepPoint> {
-    if rows.is_empty() {
-        return Vec::new();
-    }
-    let n_vals = rows[0].points.len();
+    let n_vals = rows.iter().map(|r| r.points.len()).max().unwrap_or(0);
     (0..n_vals)
         .map(|i| {
-            let vals: Vec<f64> = rows.iter().filter_map(|r| r.points[i].overhead).collect();
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter_map(|r| r.points.get(i).and_then(|p| p.overhead))
+                .collect();
+            let value = rows
+                .iter()
+                .find_map(|r| r.points.get(i).map(|p| p.value))
+                .expect("some row has index i, since i < the max row length");
             SweepPoint {
-                value: rows[0].points[i].value,
+                value,
                 overhead: if vals.is_empty() {
                     None
                 } else {
@@ -271,6 +284,98 @@ pub fn average_row(rows: &[SweepRow]) -> Vec<SweepPoint> {
             }
         })
         .collect()
+}
+
+/// Multi-objective value of one full-chip design point, as scored by the
+/// `dse search` autotuner: performance and perf-per-watt are maximized,
+/// area is minimized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Workload-mix performance (geometric-mean throughput, runs/s);
+    /// higher is better.
+    pub perf: f64,
+    /// Chip area in mm²; lower is better.
+    pub area_mm2: f64,
+    /// Performance per watt (geometric mean of per-workload
+    /// throughput/power); higher is better.
+    pub perf_per_w: f64,
+}
+
+impl Objectives {
+    /// All three objectives are finite numbers (a prerequisite for a
+    /// meaningful dominance comparison).
+    pub fn is_finite(&self) -> bool {
+        self.perf.is_finite() && self.area_mm2.is_finite() && self.perf_per_w.is_finite()
+    }
+
+    /// Strict Pareto dominance: at least as good on every objective and
+    /// strictly better on at least one. Points with identical objectives
+    /// do not dominate each other — both stay on the frontier.
+    pub fn dominates(&self, o: &Objectives) -> bool {
+        let ge =
+            self.perf >= o.perf && self.area_mm2 <= o.area_mm2 && self.perf_per_w >= o.perf_per_w;
+        let gt = self.perf > o.perf || self.area_mm2 < o.area_mm2 || self.perf_per_w > o.perf_per_w;
+        ge && gt
+    }
+}
+
+/// One design point held by a [`ParetoFrontier`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// Stable identifier (the search uses the point label).
+    pub id: String,
+    /// Its objective values.
+    pub obj: Objectives,
+}
+
+/// An incrementally-pruned Pareto frontier.
+///
+/// [`insert`](Self::insert) rejects a dominated candidate and evicts
+/// every resident the candidate dominates, so the set always holds
+/// exactly the non-dominated points seen so far. Because strict
+/// dominance is a partial order, the final set is the same for every
+/// insertion order — the parallel search driver relies on this to be
+/// deterministic across worker counts. Survivors keep insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParetoFrontier {
+    entries: Vec<FrontierPoint>,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    pub fn new() -> ParetoFrontier {
+        ParetoFrontier::default()
+    }
+
+    /// Offers a candidate. Returns `true` if it joined the frontier,
+    /// `false` if an existing point dominates it (or its objectives are
+    /// not finite — NaN would poison every later comparison).
+    pub fn insert(&mut self, p: FrontierPoint) -> bool {
+        if !p.obj.is_finite() {
+            return false;
+        }
+        if self.entries.iter().any(|e| e.obj.dominates(&p.obj)) {
+            return false;
+        }
+        self.entries.retain(|e| !p.obj.dominates(&e.obj));
+        self.entries.push(p);
+        true
+    }
+
+    /// The non-dominated points, in insertion order of the survivors.
+    pub fn entries(&self) -> &[FrontierPoint] {
+        &self.entries
+    }
+
+    /// Number of points on the frontier.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Table 6: estimated successive and cumulative area overheads of
@@ -685,6 +790,145 @@ mod tests {
                 assert_eq!(pp.overhead, sp.overhead, "row {} value {}", p.app, pp.value);
             }
         }
+    }
+
+    #[test]
+    fn degenerate_zero_minimum_marks_every_point_invalid() {
+        // A design whose PCU list prices to zero area (no PCUs at all)
+        // yields `min == 0.0`; "overhead over the minimum" is undefined,
+        // so the row must be all-invalid rather than all-zero (the
+        // pre-fix behavior silently reported a perfect 0.0 overhead for
+        // every candidate).
+        let mut d = chain_design(4, 2048);
+        d.pcus.clear();
+        let apps = vec![("nopcu".to_string(), d)];
+        let spec = SweepSpec {
+            target: PcuParamKind::Stages,
+            values: (4..=8).collect(),
+            fixed: vec![],
+        };
+        let rows = sweep(&apps, &spec, &AreaModel::new());
+        assert!(
+            rows[0].points.iter().all(|p| p.overhead.is_none()),
+            "degenerate minimum must invalidate the whole row: {:?}",
+            rows[0].points
+        );
+    }
+
+    #[test]
+    fn average_row_handles_ragged_rows() {
+        // Rows of unequal lengths (e.g. assembled from different sweep
+        // specs) must average defensively instead of indexing past the
+        // short row's end (the pre-fix behavior panicked).
+        let rows = vec![
+            SweepRow {
+                app: "short".into(),
+                points: vec![SweepPoint {
+                    value: 4,
+                    overhead: Some(1.0),
+                }],
+            },
+            SweepRow {
+                app: "long".into(),
+                points: vec![
+                    SweepPoint {
+                        value: 4,
+                        overhead: Some(3.0),
+                    },
+                    SweepPoint {
+                        value: 5,
+                        overhead: Some(0.5),
+                    },
+                    SweepPoint {
+                        value: 6,
+                        overhead: None,
+                    },
+                ],
+            },
+        ];
+        let avg = average_row(&rows);
+        assert_eq!(avg.len(), 3);
+        assert_eq!(avg[0].value, 4);
+        assert_eq!(avg[0].overhead, Some(2.0));
+        // Only the long row reaches columns 1 and 2.
+        assert_eq!(avg[1].value, 5);
+        assert_eq!(avg[1].overhead, Some(0.5));
+        assert_eq!(avg[2].value, 6);
+        assert_eq!(avg[2].overhead, None);
+        assert!(average_row(&[]).is_empty());
+    }
+
+    fn fp(id: &str, perf: f64, area: f64, ppw: f64) -> FrontierPoint {
+        FrontierPoint {
+            id: id.into(),
+            obj: Objectives {
+                perf,
+                area_mm2: area,
+                perf_per_w: ppw,
+            },
+        }
+    }
+
+    #[test]
+    fn frontier_prunes_dominated_points_incrementally() {
+        let mut f = ParetoFrontier::new();
+        assert!(f.insert(fp("mid", 10.0, 100.0, 1.0)));
+        // Dominated on every axis: rejected.
+        assert!(!f.insert(fp("worse", 5.0, 150.0, 0.5)));
+        // Dominates the resident: evicts it.
+        assert!(f.insert(fp("better", 20.0, 80.0, 2.0)));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.entries()[0].id, "better");
+        // Incomparable (smaller but slower): joins.
+        assert!(f.insert(fp("small", 1.0, 10.0, 1.5)));
+        assert_eq!(f.len(), 2);
+        // Equal objectives under a different id: neither dominates.
+        assert!(f.insert(fp("twin", 1.0, 10.0, 1.5)));
+        assert_eq!(f.len(), 3);
+        // NaN never joins.
+        assert!(!f.insert(fp("nan", f64::NAN, 10.0, 1.0)));
+    }
+
+    #[test]
+    fn frontier_is_insertion_order_independent() {
+        let pts = [
+            fp("a", 10.0, 100.0, 1.0),
+            fp("b", 20.0, 120.0, 0.8),
+            fp("c", 5.0, 50.0, 1.2),
+            fp("d", 20.0, 90.0, 1.0), // dominates a and b
+            fp("e", 4.0, 60.0, 1.1),  // dominated by c
+            fp("f", 20.0, 90.0, 1.0), // twin of d
+        ];
+        // All 720 permutations of 6 points end on the same set.
+        let mut perms: Vec<Vec<usize>> = Vec::new();
+        fn permute(cur: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if rest.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for i in 0..rest.len() {
+                let x = rest.remove(i);
+                cur.push(x);
+                permute(cur, rest, out);
+                cur.pop();
+                rest.insert(i, x);
+            }
+        }
+        permute(&mut Vec::new(), &mut (0..pts.len()).collect(), &mut perms);
+        let mut want: Option<Vec<String>> = None;
+        for perm in perms {
+            let mut f = ParetoFrontier::new();
+            for &i in &perm {
+                f.insert(pts[i].clone());
+            }
+            let mut ids: Vec<String> = f.entries().iter().map(|e| e.id.clone()).collect();
+            ids.sort();
+            match &want {
+                None => want = Some(ids),
+                Some(w) => assert_eq!(&ids, w, "order {perm:?} diverged"),
+            }
+        }
+        assert_eq!(want.unwrap(), ["c", "d", "f"]);
     }
 
     #[test]

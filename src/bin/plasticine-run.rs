@@ -15,9 +15,13 @@
 //! failure (including insufficient degraded fabric), 4 deadlock,
 //! 5 transient-fault exhaustion, 6 cycle budget exceeded.
 
-use plasticine::arch::{FaultMap, FaultSpec, MachineConfig, PlasticineParams, Topology};
+use plasticine::arch::{
+    DseGrid, FaultMap, FaultSpec, GridMix, MachineConfig, PlasticineParams, Topology,
+};
 use plasticine::compiler::{compile_degraded, Bitstream, CompileCache, CompileOptions};
+use plasticine::dse::{PointOutcome, SearchReport};
 use plasticine::fpga::FpgaModel;
+use plasticine::journal::{JobStatus, Journal, JournalEntry};
 use plasticine::json::Json;
 use plasticine::models::PowerModel;
 use plasticine::ppir::Machine;
@@ -40,7 +44,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n  plasticine-run serve [--workers N] [--queue-depth N] [--deadline-ms N] [--socket PATH] [--retries N] [--scale N] [--threads N] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\nserve options:\n  a long-lived daemon: line-delimited JSON requests on stdin (responses on\n  stdout) and, with --socket, on a Unix socket shared by many clients;\n  ops: compile, run, batch, stats, shutdown (see DESIGN.md section 13)\n  --workers N        worker threads executing requests (default: cores)\n  --queue-depth N    admission-queue bound (default: 2x workers); requests\n                     beyond it are shed with a typed `overloaded` response\n  --deadline-ms N    per-request wall-clock deadline measured from admission\n                     (default 60000); a request past it is abandoned with a\n                     typed error while the daemon keeps serving\n  --retries N        re-run a request failing with fault exhaustion up to N\n                     extra times (jittered backoff), then degrade its\n                     parallelization until it fits the surviving fabric\n  (the remaining flags set per-request defaults; response `status` strings\n  mirror the exit codes below, plus service-only `overloaded` and\n  `shutting_down` with code 7)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n  plasticine-run dse search <benchmark...|all> [--scale N] [--lanes L1,L2] [--stages S1,S2] [--mix M1,M2] [--scratchpad-kb K1,K2] [--channels C1,C2] [--jobs N] [--threads N] [--step-mode MODE] [--max-cycles N] [--limit N] [--journal FILE] [--out FILE]\n  plasticine-run serve [--workers N] [--queue-depth N] [--deadline-ms N] [--socket PATH] [--retries N] [--scale N] [--threads N] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\ndse search options:\n  a resumable multi-objective search over the PlasticineParams design\n  space: each grid point (cross product of the axis lists below) is\n  compiled + simulated against the chosen workload mix and priced with\n  the area/power models; the output is the Pareto frontier over\n  perf / area / perf-per-W (dominated points pruned incrementally)\n  --lanes L1,L2      candidate PCU SIMD lane counts (default 8,16)\n  --stages S1,S2     candidate PCU pipeline stage counts (default 5,6)\n  --mix M1,M2        candidate grid mixes: `checkerboard`/`cb` or\n                     `pmuheavy`/`ph` (default checkerboard)\n  --scratchpad-kb K1,K2  candidate per-PMU scratchpad KiB (default 128,256)\n  --channels C1,C2   candidate DRAM channel counts (default 2,4)\n  --limit N          evaluate at most N new points this invocation; the\n                     rest are reported `not run` and picked up when the\n                     same --journal is passed again\n  --journal FILE     progress journal (shared format with `batch`); done\n                     points are restored with their exact measured\n                     objectives, so a resumed search emits a frontier\n                     byte-identical to an uninterrupted one\n  --out FILE         write the cumulative report (all points + frontier)\n                     as JSON; deterministic across worker counts\n  points the design cannot run (invalid params, does not fit even after\n  degradation, deadlock, cycle budget) are typed `infeasible` skips, not\n  failures; the exit code reflects only real failures\n\nserve options:\n  a long-lived daemon: line-delimited JSON requests on stdin (responses on\n  stdout) and, with --socket, on a Unix socket shared by many clients;\n  ops: compile, run, batch, stats, shutdown (see DESIGN.md section 13)\n  --workers N        worker threads executing requests (default: cores)\n  --queue-depth N    admission-queue bound (default: 2x workers); requests\n                     beyond it are shed with a typed `overloaded` response\n  --deadline-ms N    per-request wall-clock deadline measured from admission\n                     (default 60000); a request past it is abandoned with a\n                     typed error while the daemon keeps serving\n  --retries N        re-run a request failing with fault exhaustion up to N\n                     extra times (jittered backoff), then degrade its\n                     parallelization until it fits the surviving fabric\n  (the remaining flags set per-request defaults; response `status` strings\n  mirror the exit codes below, plus service-only `overloaded` and\n  `shutting_down` with code 7)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
     );
     ExitStatus::Usage.into()
 }
@@ -78,6 +82,29 @@ struct Flags {
     queue_depth: usize,
     deadline_ms: Option<u64>,
     socket: Option<String>,
+    lanes: Option<Vec<usize>>,
+    stages: Option<Vec<usize>>,
+    mixes: Option<Vec<GridMix>>,
+    scratchpad_kb: Option<Vec<usize>>,
+    channels: Option<Vec<usize>>,
+    limit: Option<usize>,
+}
+
+/// `--lanes 8,16` → `[8, 16]`; every element must be a positive integer.
+fn parse_usize_list(v: &str, flag: &str) -> Result<Vec<usize>, String> {
+    v.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    format!(
+                        "{flag} requires a comma-separated list of positive integers, got `{v}`"
+                    )
+                })
+        })
+        .collect()
 }
 
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
@@ -165,6 +192,27 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                 f.deadline_ms =
                     Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                         format!("--deadline-ms requires a positive integer, got `{v}`")
+                    })?);
+            }
+            "--lanes" => f.lanes = Some(parse_usize_list(&v, "--lanes")?),
+            "--stages" => f.stages = Some(parse_usize_list(&v, "--stages")?),
+            "--scratchpad-kb" => f.scratchpad_kb = Some(parse_usize_list(&v, "--scratchpad-kb")?),
+            "--channels" => f.channels = Some(parse_usize_list(&v, "--channels")?),
+            "--mix" => {
+                f.mixes = Some(
+                    v.split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<GridMix>()
+                                .map_err(|e| format!("--mix: {e}"))
+                        })
+                        .collect::<Result<Vec<GridMix>, String>>()?,
+                );
+            }
+            "--limit" => {
+                f.limit =
+                    Some(v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--limit requires a positive integer, got `{v}`")
                     })?);
             }
             "--socket" => f.socket = Some(v),
@@ -521,133 +569,6 @@ fn job_key(bench: &Bench, faults: &FaultMap, step: StepMode) -> String {
     format!("{:016x}", plasticine::json::hash::fnv1a_str(&desc))
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum JobStatus {
-    /// Claimed by a worker; still this state in the journal after a crash
-    /// or kill, which is how a re-invoked batch finds interrupted jobs.
-    Running,
-    Done,
-    Failed,
-}
-
-impl JobStatus {
-    fn as_str(self) -> &'static str {
-        match self {
-            JobStatus::Running => "running",
-            JobStatus::Done => "done",
-            JobStatus::Failed => "failed",
-        }
-    }
-
-    fn parse(s: &str) -> Result<JobStatus, String> {
-        match s {
-            "running" => Ok(JobStatus::Running),
-            "done" => Ok(JobStatus::Done),
-            "failed" => Ok(JobStatus::Failed),
-            _ => Err(format!("unknown job status `{s}`")),
-        }
-    }
-}
-
-struct JournalEntry {
-    key: String,
-    bench: String,
-    status: JobStatus,
-    code: i32,
-    attempts: u32,
-    message: String,
-}
-
-/// The batch progress journal: one JSON file, rewritten after every state
-/// change so a kill at any point leaves a consistent picture. Jobs marked
-/// `done` are skipped by a re-invoked batch; jobs left `running` were
-/// interrupted and re-run (resuming from their checkpoint when one was
-/// written).
-struct Journal {
-    path: Option<PathBuf>,
-    entries: Vec<JournalEntry>,
-}
-
-impl Journal {
-    fn load(path: Option<&str>) -> Result<Journal, String> {
-        let Some(path) = path else {
-            return Ok(Journal {
-                path: None,
-                entries: Vec::new(),
-            });
-        };
-        let pb = PathBuf::from(path);
-        if !pb.exists() {
-            return Ok(Journal {
-                path: Some(pb),
-                entries: Vec::new(),
-            });
-        }
-        let text =
-            std::fs::read_to_string(&pb).map_err(|e| format!("reading journal {path}: {e}"))?;
-        let j = Json::parse(&text).map_err(|e| format!("journal {path}: {e}"))?;
-        use plasticine::json::decode::{arr_of, str_of, u64_of};
-        let mut entries = Vec::new();
-        let bad = |e: String| format!("journal {path}: {e}");
-        for job in arr_of(&j, "jobs").map_err(bad)? {
-            entries.push(JournalEntry {
-                key: str_of(job, "key").map_err(bad)?.to_string(),
-                bench: str_of(job, "bench").map_err(bad)?.to_string(),
-                status: JobStatus::parse(str_of(job, "status").map_err(bad)?).map_err(bad)?,
-                code: u64_of(job, "code").map_err(bad)? as i32,
-                attempts: u64_of(job, "attempts").map_err(bad)? as u32,
-                message: str_of(job, "message").map_err(bad)?.to_string(),
-            });
-        }
-        Ok(Journal {
-            path: Some(pb),
-            entries,
-        })
-    }
-
-    fn find(&self, key: &str) -> Option<&JournalEntry> {
-        self.entries.iter().find(|e| e.key == key)
-    }
-
-    fn set(&mut self, entry: JournalEntry) {
-        match self.entries.iter_mut().find(|e| e.key == entry.key) {
-            Some(e) => *e = entry,
-            None => self.entries.push(entry),
-        }
-        self.flush();
-    }
-
-    fn flush(&self) {
-        let Some(path) = &self.path else { return };
-        let jobs: Vec<Json> = self
-            .entries
-            .iter()
-            .map(|e| {
-                Json::obj([
-                    ("key", Json::from(e.key.clone())),
-                    ("bench", Json::from(e.bench.clone())),
-                    ("status", Json::from(e.status.as_str())),
-                    ("code", Json::from(e.code as u64)),
-                    ("attempts", Json::from(u64::from(e.attempts))),
-                    ("message", Json::from(e.message.clone())),
-                ])
-            })
-            .collect();
-        let j = Json::obj([("version", Json::from(1u64)), ("jobs", Json::Arr(jobs))]);
-        // Crash-safe write: a kill mid-write must never leave a truncated
-        // journal (which a re-invoked batch would refuse to parse). Write
-        // the full snapshot next to the journal, then atomically rename
-        // over it — readers see the old complete journal or the new one,
-        // never a torn file.
-        let tmp = PathBuf::from(format!("{}.tmp", path.display()));
-        let write =
-            std::fs::write(&tmp, j.pretty() + "\n").and_then(|()| std::fs::rename(&tmp, path));
-        if let Err(e) = write {
-            eprintln!("journal write failed ({}): {e}", path.display());
-        }
-    }
-}
-
 /// One `batch` work item: compile through the shared cache, simulate
 /// (checkpointing and resuming per the batch config), verify. Returns the
 /// text to print, buffered so worker output can be emitted in
@@ -888,6 +809,7 @@ fn run_batch(benches: &[Bench], params: &PlasticineParams, cfg: &BatchConfig) ->
                         code: 0,
                         attempts: 0,
                         message: String::new(),
+                        data: Json::Null,
                     });
                 }
                 let (res, attempts) = supervise_job(bench, params, &cache, cfg);
@@ -900,6 +822,7 @@ fn run_batch(benches: &[Bench], params: &PlasticineParams, cfg: &BatchConfig) ->
                             code: 0,
                             attempts,
                             message: String::new(),
+                            data: Json::Null,
                         });
                         JobOutcome::Ok(text)
                     }
@@ -911,6 +834,7 @@ fn run_batch(benches: &[Bench], params: &PlasticineParams, cfg: &BatchConfig) ->
                             code: f.code.code(),
                             attempts,
                             message: f.message.clone(),
+                            data: Json::Null,
                         });
                         if cfg.fail_fast {
                             stop.store(true, Ordering::Relaxed);
@@ -980,6 +904,43 @@ fn fault_map(spec: &Option<FaultSpec>, params: &PlasticineParams) -> FaultMap {
             FaultMap::sample(&topo, spec, channels)
         }
         None => FaultMap::default(),
+    }
+}
+
+/// Per-point lines, cumulative counts, and the frontier table for
+/// `dse search`. Output order follows grid enumeration order, so it is
+/// deterministic at any worker count.
+fn print_dse_report(report: &SearchReport) {
+    for (p, o) in &report.points {
+        match o {
+            PointOutcome::Done(obj) => println!(
+                "{:<18} perf {:>11.4e}  area {:>7.1} mm2  perf/W {:>11.4e}",
+                p.label(),
+                obj.perf,
+                obj.area_mm2,
+                obj.perf_per_w
+            ),
+            PointOutcome::Infeasible { message, .. } => {
+                println!("{:<18} infeasible: {message}", p.label());
+            }
+            PointOutcome::Failed { message, .. } => {
+                println!("{:<18} FAILED: {message}", p.label());
+            }
+            PointOutcome::NotRun => println!("{:<18} not run (--limit)", p.label()),
+        }
+    }
+    let (done, infeasible, failed, not_run) = report.counts();
+    println!(
+        "\n{done} done, {infeasible} infeasible, {failed} failed, {not_run} not run \
+         ({} evaluated this invocation)",
+        report.evaluated_now
+    );
+    println!("Pareto frontier ({} points):", report.frontier.len());
+    for e in report.frontier.entries() {
+        println!(
+            "  {:<16} perf {:>11.4e}  area {:>7.1} mm2  perf/W {:>11.4e}",
+            e.id, e.obj.perf, e.obj.area_mm2, e.obj.perf_per_w
+        );
     }
 }
 
@@ -1259,6 +1220,108 @@ fn main() -> ExitCode {
                 checkpoint_dir: flags.checkpoint_dir.clone(),
             };
             run_batch(&benches, &params, &cfg)
+        }
+        Some("dse") => {
+            if args.get(1).map(String::as_str) != Some("search") {
+                eprintln!("`dse` requires the `search` subcommand");
+                return usage();
+            }
+            let names: Vec<&String> = args[2..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            if names.is_empty() {
+                eprintln!("`dse search` requires benchmark names (or `all`) before options");
+                return usage();
+            }
+            let flags = match parse_flags(
+                &args[2 + names.len()..],
+                &[
+                    "--scale",
+                    "--jobs",
+                    "--threads",
+                    "--step-mode",
+                    "--max-cycles",
+                    "--journal",
+                    "--out",
+                    "--limit",
+                    "--lanes",
+                    "--stages",
+                    "--mix",
+                    "--scratchpad-kb",
+                    "--channels",
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let scale = Scale(flags.scale);
+            let mut benches = Vec::new();
+            for name in names {
+                if name == "all" {
+                    benches.extend(all(scale));
+                } else {
+                    match find_bench(name, scale) {
+                        Some(b) => benches.push(b),
+                        None => {
+                            eprintln!("unknown benchmark `{name}` (try `plasticine-run list`)");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            let defaults = DseGrid::default();
+            let grid = DseGrid {
+                lanes: flags.lanes.unwrap_or(defaults.lanes),
+                stages: flags.stages.unwrap_or(defaults.stages),
+                mixes: flags.mixes.unwrap_or(defaults.mixes),
+                scratchpad_kb: flags.scratchpad_kb.unwrap_or(defaults.scratchpad_kb),
+                dram_channels: flags.channels.unwrap_or(defaults.dram_channels),
+            };
+            let jobs = if flags.jobs > 0 {
+                flags.jobs
+            } else {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                (cores / flags.threads).max(1)
+            };
+            let cfg = plasticine::dse::SearchConfig {
+                grid,
+                scale,
+                jobs,
+                step: flags.step,
+                max_cycles: flags.max_cycles.unwrap_or(SimOptions::default().max_cycles),
+                threads: flags.threads,
+                limit: flags.limit,
+            };
+            let mut journal = match Journal::load(flags.journal.as_deref()) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitStatus::Usage.into();
+                }
+            };
+            let report = match plasticine::dse::search(&benches, &cfg, &mut journal) {
+                Ok(r) => r,
+                // Setup problems (empty grid axis, empty mix) are usage
+                // errors, reported before any work starts.
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitStatus::Usage.into();
+                }
+            };
+            print_dse_report(&report);
+            if let Some(path) = &flags.out {
+                let text = report.to_json(&benches, &cfg).pretty() + "\n";
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("writing {path}: {e}");
+                    return ExitStatus::Runtime.into();
+                }
+            }
+            // `code()` is always in 0..=6, so the cast is lossless.
+            ExitCode::from(report.exit_code() as u8)
         }
         Some("serve") => {
             let flags = match parse_flags(

@@ -1,0 +1,616 @@
+//! Resumable multi-objective design-space search (`plasticine-run dse
+//! search`).
+//!
+//! The Figure 7 machinery in `plasticine-models` sweeps one PCU
+//! parameter at a time against the area model alone. This module runs
+//! the full pipeline per candidate: enumerate a [`DseGrid`] of
+//! `PlasticineParams` points, compile every selected benchmark for each
+//! point through a shared [`CompileCache`], simulate it, price the chip
+//! with the area and power models, and fold the survivors into a Pareto
+//! frontier over {perf, area, perf-per-W} with dominated configurations
+//! pruned incrementally.
+//!
+//! ## Determinism
+//!
+//! Point evaluation is independent per point and the simulator is
+//! byte-identical at any thread count, so the only ordering freedom is
+//! which worker evaluates which point. Results are collected by
+//! enumeration index and the frontier is rebuilt from those indexed
+//! results, so the frontier — and the whole report — is identical
+//! across worker counts.
+//!
+//! ## Resume
+//!
+//! Progress is journaled through the shared [`Journal`] (atomic
+//! temp+rename writes). Each point+workload-mix gets a stable key;
+//! `done` entries carry the measured objectives as exact f64 bit
+//! patterns, so a resumed search rebuilds its frontier byte-identically
+//! without re-simulating finished points. `infeasible` entries are
+//! final (the design cannot change between invocations); `failed` and
+//! interrupted `running` entries are re-run.
+//!
+//! ## Typed skips
+//!
+//! A point that cannot be built is not a failure of the search: invalid
+//! parameters, a program that does not fit even after
+//! `compile_degraded`'s parallelization reduction, a deadlocked
+//! schedule, or a blown cycle budget all mark the point
+//! [`JobStatus::Infeasible`] and the search continues. Only
+//! verification mismatches and I/O errors are real failures, and the
+//! search exits with the first failed point's exit-code class.
+
+use crate::arch::{DseGrid, DsePoint};
+use crate::compiler::{CompileCache, CompileOptions};
+use crate::journal::{JobStatus, Journal, JournalEntry};
+use crate::json::decode::hex_of;
+use crate::json::{hash::fnv1a_str, Json};
+use crate::models::dse::{FrontierPoint, Objectives, ParetoFrontier};
+use crate::models::{AreaModel, PowerModel};
+use crate::ppir::Machine;
+use crate::sim::{simulate, ExitStatus, SimOptions, StepMode};
+use crate::workloads::{Bench, Scale};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Everything the search needs besides the workload mix.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// The candidate grid (cross product of all axes).
+    pub grid: DseGrid,
+    /// Workload scale the mix is instantiated at.
+    pub scale: Scale,
+    /// Worker threads evaluating points concurrently.
+    pub jobs: usize,
+    /// Time-advance strategy for every simulation.
+    pub step: StepMode,
+    /// Per-simulation cycle budget (a blown budget is a typed skip).
+    pub max_cycles: u64,
+    /// Simulator threads per evaluation (results are identical at any
+    /// value).
+    pub threads: usize,
+    /// Cap on *new* evaluations this invocation; pending points beyond
+    /// the cap are reported as not-run and picked up on the next
+    /// invocation. This is how tests interrupt a search mid-flight
+    /// deterministically.
+    pub limit: Option<usize>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            grid: DseGrid::default(),
+            scale: Scale(1),
+            jobs: 1,
+            step: StepMode::Event,
+            max_cycles: SimOptions::default().max_cycles,
+            threads: 1,
+            limit: None,
+        }
+    }
+}
+
+/// Final disposition of one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// Compiled, simulated, and verified on every benchmark in the mix.
+    Done(Objectives),
+    /// The design cannot run this mix (typed skip, final): invalid
+    /// parameters, compile failure after degradation, deadlock, cycle
+    /// budget, or fault exhaustion.
+    Infeasible {
+        /// Exit-code class of the first problem encountered.
+        code: i32,
+        /// What made the point infeasible.
+        message: String,
+    },
+    /// A real failure (verification mismatch, I/O error). Re-run on the
+    /// next invocation.
+    Failed {
+        /// Exit-code class.
+        code: i32,
+        /// What failed.
+        message: String,
+    },
+    /// Not attempted this invocation (`limit` exhausted).
+    NotRun,
+}
+
+/// The cumulative result of a search invocation: every grid point's
+/// disposition (including those restored from the journal) plus the
+/// frontier over all `Done` points.
+pub struct SearchReport {
+    /// Per-point outcomes in enumeration order.
+    pub points: Vec<(DsePoint, PointOutcome)>,
+    /// Non-dominated `Done` points.
+    pub frontier: ParetoFrontier,
+    /// How many points were evaluated fresh this invocation (as opposed
+    /// to restored from the journal).
+    pub evaluated_now: usize,
+}
+
+impl SearchReport {
+    /// Counts of (done, infeasible, failed, not-run) points.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for (_, o) in &self.points {
+            match o {
+                PointOutcome::Done(_) => c.0 += 1,
+                PointOutcome::Infeasible { .. } => c.1 += 1,
+                PointOutcome::Failed { .. } => c.2 += 1,
+                PointOutcome::NotRun => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// The exit-code class of the invocation: the first failed point's
+    /// class in enumeration order, `Ok` otherwise (infeasible points and
+    /// not-run points are not failures).
+    pub fn exit_code(&self) -> i32 {
+        for (_, o) in &self.points {
+            if let PointOutcome::Failed { code, .. } = o {
+                return *code;
+            }
+        }
+        ExitStatus::Ok.code()
+    }
+
+    /// The cumulative report as JSON. Deterministic: identical across
+    /// worker counts, and identical whether the search ran cold or was
+    /// resumed from a journal (objectives round-trip as exact bits).
+    pub fn to_json(&self, benches: &[Bench], cfg: &SearchConfig) -> Json {
+        let (done, infeasible, failed, not_run) = self.counts();
+        let points: Vec<Json> = self
+            .points
+            .iter()
+            .map(|(p, o)| {
+                let mut fields = vec![("point", Json::from(p.label()))];
+                match o {
+                    PointOutcome::Done(obj) => {
+                        fields.push(("status", Json::from("done")));
+                        fields.push(("perf", Json::from(obj.perf)));
+                        fields.push(("area_mm2", Json::from(obj.area_mm2)));
+                        fields.push(("perf_per_w", Json::from(obj.perf_per_w)));
+                    }
+                    PointOutcome::Infeasible { code, message } => {
+                        fields.push(("status", Json::from("infeasible")));
+                        fields.push(("code", Json::from(*code as u64)));
+                        fields.push(("message", Json::from(message.clone())));
+                    }
+                    PointOutcome::Failed { code, message } => {
+                        fields.push(("status", Json::from("failed")));
+                        fields.push(("code", Json::from(*code as u64)));
+                        fields.push(("message", Json::from(message.clone())));
+                    }
+                    PointOutcome::NotRun => {
+                        fields.push(("status", Json::from("not-run")));
+                    }
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let frontier: Vec<Json> = self
+            .frontier
+            .entries()
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("point", Json::from(e.id.clone())),
+                    ("perf", Json::from(e.obj.perf)),
+                    ("area_mm2", Json::from(e.obj.area_mm2)),
+                    ("perf_per_w", Json::from(e.obj.perf_per_w)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("version", Json::from(1u64)),
+            (
+                "benches",
+                Json::Arr(benches.iter().map(|b| Json::from(b.name.clone())).collect()),
+            ),
+            ("scale", Json::from(cfg.scale.0 as u64)),
+            (
+                "counts",
+                Json::obj([
+                    ("done", Json::from(done as u64)),
+                    ("infeasible", Json::from(infeasible as u64)),
+                    ("failed", Json::from(failed as u64)),
+                    ("not_run", Json::from(not_run as u64)),
+                ]),
+            ),
+            ("points", Json::Arr(points)),
+            ("frontier", Json::Arr(frontier)),
+        ])
+    }
+}
+
+/// Stable identity of one (design point, workload mix) evaluation across
+/// invocations. Everything that can change the measured objectives is
+/// hashed in: the point itself, the benchmark programs, the scale, the
+/// step mode, and the cycle budget.
+fn point_key(point: &DsePoint, bench_sig: &str, cfg: &SearchConfig) -> String {
+    let desc = format!(
+        "dse|{}|{}|{}|{:?}|{}",
+        point.label(),
+        bench_sig,
+        cfg.scale.0,
+        cfg.step,
+        cfg.max_cycles
+    );
+    format!("{:016x}", fnv1a_str(&desc))
+}
+
+/// Encodes measured objectives as exact f64 bit patterns for the
+/// journal, so a resumed search reproduces them bit-for-bit.
+fn encode_objectives(obj: &Objectives) -> Json {
+    Json::obj([
+        ("perf", Json::hex(obj.perf.to_bits())),
+        ("area_mm2", Json::hex(obj.area_mm2.to_bits())),
+        ("perf_per_w", Json::hex(obj.perf_per_w.to_bits())),
+    ])
+}
+
+fn decode_objectives(data: &Json) -> Option<Objectives> {
+    Some(Objectives {
+        perf: f64::from_bits(hex_of(data, "perf").ok()?),
+        area_mm2: f64::from_bits(hex_of(data, "area_mm2").ok()?),
+        perf_per_w: f64::from_bits(hex_of(data, "perf_per_w").ok()?),
+    })
+}
+
+/// Compiles, simulates, verifies, and prices one design point against
+/// the whole mix. Perf and perf-per-W are geometric means across the
+/// mix (each benchmark counts equally regardless of its absolute
+/// runtime); area is the priced chip area of the point.
+fn evaluate(
+    point: &DsePoint,
+    benches: &[Bench],
+    cache: &CompileCache,
+    cfg: &SearchConfig,
+) -> PointOutcome {
+    let params = match point.params() {
+        Ok(p) => p,
+        Err(e) => {
+            return PointOutcome::Infeasible {
+                code: ExitStatus::Compile.code(),
+                message: format!("invalid parameters: {e}"),
+            }
+        }
+    };
+    let copts = CompileOptions::new();
+    let mut opts = SimOptions {
+        step: cfg.step,
+        threads: cfg.threads,
+        max_cycles: cfg.max_cycles,
+        ..SimOptions::default()
+    };
+    opts.dram.channels = point.dram_channels;
+    let mut ln_perf = 0.0f64;
+    let mut ln_ppw = 0.0f64;
+    for bench in benches {
+        let compiled = match cache.compile_degraded(&bench.program, &params, &copts) {
+            Ok(c) => c,
+            Err(e) => {
+                return PointOutcome::Infeasible {
+                    code: ExitStatus::Compile.code(),
+                    message: format!("{}: {e}", bench.name),
+                }
+            }
+        };
+        let (out, prog, _degraded) = &*compiled;
+        let mut m = Machine::new(prog);
+        bench.load(&mut m);
+        let r = match simulate(prog, out, &mut m, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                let code = ExitStatus::from(&e);
+                let message = format!("{}: {e}", bench.name);
+                // The design deadlocking or blowing its budget on this
+                // mix is a property of the design point — a typed skip,
+                // stable across re-runs. Anything else is a real error.
+                return match code {
+                    ExitStatus::Deadlock
+                    | ExitStatus::CycleBudget
+                    | ExitStatus::FaultExhaustion => PointOutcome::Infeasible {
+                        code: code.code(),
+                        message,
+                    },
+                    _ => PointOutcome::Failed {
+                        code: code.code(),
+                        message,
+                    },
+                };
+            }
+        };
+        if let Err(e) = bench.verify(&m) {
+            return PointOutcome::Failed {
+                code: ExitStatus::Runtime.code(),
+                message: format!("{}: verification: {e}", bench.name),
+            };
+        }
+        let seconds = r.seconds(params.clock_ghz);
+        let watts = PowerModel::new().estimate(&r, &out.config).total_w;
+        ln_perf += (1.0 / seconds).ln();
+        ln_ppw += (1.0 / (seconds * watts)).ln();
+    }
+    let n = benches.len() as f64;
+    PointOutcome::Done(Objectives {
+        perf: (ln_perf / n).exp(),
+        area_mm2: AreaModel::new().chip(&params).total,
+        perf_per_w: (ln_ppw / n).exp(),
+    })
+}
+
+fn final_entry(key: &str, point: &DsePoint, outcome: &PointOutcome, attempts: u32) -> JournalEntry {
+    let (status, code, message, data) = match outcome {
+        PointOutcome::Done(obj) => (JobStatus::Done, 0, String::new(), encode_objectives(obj)),
+        PointOutcome::Infeasible { code, message } => {
+            (JobStatus::Infeasible, *code, message.clone(), Json::Null)
+        }
+        PointOutcome::Failed { code, message } => {
+            (JobStatus::Failed, *code, message.clone(), Json::Null)
+        }
+        PointOutcome::NotRun => unreachable!("not-run points are never journaled"),
+    };
+    JournalEntry {
+        key: key.to_string(),
+        bench: point.label(),
+        status,
+        code,
+        attempts,
+        message,
+        data,
+    }
+}
+
+/// Runs (or resumes) the search: restores final outcomes from the
+/// journal, evaluates up to `cfg.limit` pending points across
+/// `cfg.jobs` workers, journals every state change, and folds all
+/// `Done` points into the frontier.
+///
+/// # Errors
+///
+/// Returns a message for setup problems (empty grid axis, empty mix);
+/// per-point problems are typed outcomes, not errors.
+pub fn search(
+    benches: &[Bench],
+    cfg: &SearchConfig,
+    journal: &mut Journal,
+) -> Result<SearchReport, String> {
+    cfg.grid.validate().map_err(|e| e.to_string())?;
+    if benches.is_empty() {
+        return Err("no benchmarks selected for the workload mix".into());
+    }
+    let points = cfg.grid.enumerate();
+    let bench_sig: String = benches
+        .iter()
+        .map(|b| format!("{}:{:016x}", b.name, b.program.stable_hash()))
+        .collect::<Vec<_>>()
+        .join(",");
+    let keys: Vec<String> = points
+        .iter()
+        .map(|p| point_key(p, &bench_sig, cfg))
+        .collect();
+
+    // Restore final outcomes; collect pending indices in enumeration
+    // order. `done` and `infeasible` are final; `failed` retries;
+    // `running` was interrupted.
+    let mut outcomes: Vec<PointOutcome> = vec![PointOutcome::NotRun; points.len()];
+    let mut restored: Vec<bool> = vec![false; points.len()];
+    let mut prior_attempts: Vec<u32> = vec![0; points.len()];
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match journal.find(key) {
+            Some(e) if e.status == JobStatus::Done => match decode_objectives(&e.data) {
+                Some(obj) => {
+                    outcomes[i] = PointOutcome::Done(obj);
+                    restored[i] = true;
+                }
+                // A done entry without decodable objectives predates the
+                // data payload or was hand-edited: re-evaluate.
+                None => {
+                    prior_attempts[i] = e.attempts;
+                    pending.push(i);
+                }
+            },
+            Some(e) if e.status == JobStatus::Infeasible => {
+                outcomes[i] = PointOutcome::Infeasible {
+                    code: e.code,
+                    message: e.message.clone(),
+                };
+                restored[i] = true;
+            }
+            Some(e) => {
+                prior_attempts[i] = e.attempts;
+                pending.push(i);
+            }
+            None => pending.push(i),
+        }
+    }
+
+    // `limit` bounds fresh work per invocation; the cap is applied to
+    // the enumeration-ordered pending list, so which points run is
+    // independent of the worker count.
+    let budget = cfg.limit.unwrap_or(pending.len()).min(pending.len());
+    let work: Vec<usize> = pending[..budget].to_vec();
+
+    let cache = CompileCache::new();
+    let journal_mx = Mutex::new(journal);
+    let results: Mutex<Vec<Option<PointOutcome>>> = Mutex::new(vec![None; work.len()]);
+    let next = AtomicUsize::new(0);
+    let workers = cfg.jobs.max(1).min(work.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let w = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = work.get(w) else { return };
+                let point = &points[i];
+                let attempts = prior_attempts[i] + 1;
+                journal_mx.lock().unwrap().set(JournalEntry {
+                    key: keys[i].clone(),
+                    bench: point.label(),
+                    status: JobStatus::Running,
+                    code: 0,
+                    attempts,
+                    message: String::new(),
+                    data: Json::Null,
+                });
+                let outcome = evaluate(point, benches, &cache, cfg);
+                journal_mx
+                    .lock()
+                    .unwrap()
+                    .set(final_entry(&keys[i], point, &outcome, attempts));
+                results.lock().unwrap()[w] = Some(outcome);
+            });
+        }
+    });
+    let results = results.into_inner().unwrap();
+    let mut evaluated_now = 0;
+    for (w, &i) in work.iter().enumerate() {
+        if let Some(o) = &results[w] {
+            outcomes[i] = o.clone();
+            evaluated_now += 1;
+        }
+    }
+
+    // Frontier insertion in enumeration order. The frontier is
+    // insertion-order independent, but a fixed order makes the stored
+    // entry sequence (and thus the report bytes) deterministic too.
+    let mut frontier = ParetoFrontier::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if let PointOutcome::Done(obj) = o {
+            frontier.insert(FrontierPoint {
+                id: points[i].label(),
+                obj: *obj,
+            });
+        }
+    }
+    let _ = restored;
+    Ok(SearchReport {
+        points: points.into_iter().zip(outcomes).collect(),
+        frontier,
+        evaluated_now,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GridMix;
+    use crate::workloads::all;
+
+    fn tiny_cfg() -> SearchConfig {
+        SearchConfig {
+            grid: DseGrid {
+                lanes: vec![16, 8],
+                stages: vec![6],
+                mixes: vec![GridMix::Checkerboard],
+                scratchpad_kb: vec![256],
+                dram_channels: vec![4, 2],
+            },
+            scale: Scale(1),
+            jobs: 2,
+            ..SearchConfig::default()
+        }
+    }
+
+    fn mix(names: &[&str]) -> Vec<Bench> {
+        all(Scale(1))
+            .into_iter()
+            .filter(|b| names.contains(&b.name.as_str()))
+            .collect()
+    }
+
+    #[test]
+    fn objectives_round_trip_through_journal_bits() {
+        let obj = Objectives {
+            perf: 1_234.567_891_011,
+            area_mm2: 102.3,
+            perf_per_w: 0.000_123_456,
+        };
+        assert_eq!(decode_objectives(&encode_objectives(&obj)), Some(obj));
+        assert_eq!(decode_objectives(&Json::Null), None);
+    }
+
+    #[test]
+    fn point_keys_separate_mixes_and_budgets() {
+        let cfg = tiny_cfg();
+        let p = cfg.grid.enumerate()[0];
+        let k1 = point_key(&p, "Dot:abc", &cfg);
+        let k2 = point_key(&p, "GEMM:def", &cfg);
+        let mut cfg2 = cfg.clone();
+        cfg2.max_cycles = 1;
+        let k3 = point_key(&p, "Dot:abc", &cfg2);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_eq!(k1, point_key(&p, "Dot:abc", &cfg));
+    }
+
+    #[test]
+    fn search_emits_nonempty_frontier_and_journals_done_points() {
+        let benches = mix(&["InnerProduct"]);
+        let cfg = tiny_cfg();
+        let mut journal = Journal::load(None).unwrap();
+        let report = search(&benches, &cfg, &mut journal).unwrap();
+        let (done, infeasible, failed, not_run) = report.counts();
+        assert_eq!(done + infeasible + failed + not_run, 4);
+        assert_eq!(failed, 0, "{:?}", report.points);
+        assert_eq!(not_run, 0);
+        assert!(!report.frontier.is_empty());
+        assert_eq!(report.exit_code(), 0);
+        assert_eq!(journal.entries().len(), done + infeasible);
+    }
+
+    #[test]
+    fn limit_caps_fresh_work_and_resume_completes_identically() {
+        let benches = mix(&["InnerProduct"]);
+        let mut cfg = tiny_cfg();
+        let mut journal = Journal::load(None).unwrap();
+
+        // Full cold run for reference.
+        let full = search(&benches, &cfg, &mut Journal::load(None).unwrap()).unwrap();
+
+        // First invocation: only 2 of 4 points.
+        cfg.limit = Some(2);
+        let first = search(&benches, &cfg, &mut journal).unwrap();
+        assert_eq!(first.evaluated_now, 2);
+        assert_eq!(first.counts().3, 2, "two points must be left not-run");
+
+        // Second invocation: picks up the rest, restores the first two.
+        cfg.limit = None;
+        let second = search(&benches, &cfg, &mut journal).unwrap();
+        assert_eq!(second.evaluated_now, 2);
+        assert_eq!(second.counts().3, 0);
+        assert_eq!(
+            second.to_json(&benches, &cfg).pretty(),
+            full.to_json(&benches, &cfg).pretty(),
+            "resumed report must be byte-identical to the cold run"
+        );
+    }
+
+    #[test]
+    fn infeasible_points_are_typed_not_failures() {
+        let benches = mix(&["InnerProduct"]);
+        let cfg = SearchConfig {
+            grid: DseGrid {
+                // 12 lanes is not a power of two: params-invalid.
+                lanes: vec![12],
+                stages: vec![6],
+                mixes: vec![GridMix::Checkerboard],
+                scratchpad_kb: vec![256],
+                dram_channels: vec![4],
+            },
+            ..SearchConfig::default()
+        };
+        let mut journal = Journal::load(None).unwrap();
+        let report = search(&benches, &cfg, &mut journal).unwrap();
+        assert_eq!(report.counts(), (0, 1, 0, 0));
+        assert_eq!(report.exit_code(), 0, "typed skips are not failures");
+        assert!(report.frontier.is_empty());
+        assert_eq!(
+            journal.entries()[0].status,
+            JobStatus::Infeasible,
+            "infeasible outcome must be journaled as final"
+        );
+    }
+}

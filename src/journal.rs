@@ -1,0 +1,262 @@
+//! Crash-safe progress journal shared by `plasticine-run batch` and
+//! `plasticine-run dse search`.
+//!
+//! One JSON file, rewritten after every state change via a temp+rename
+//! pair so a kill at any point leaves a consistent snapshot: readers see
+//! the old complete journal or the new one, never a torn file. Entries
+//! are keyed by a stable hash of the work item's identity; jobs marked
+//! [`JobStatus::Done`] are skipped by a re-invoked run, jobs left
+//! [`JobStatus::Running`] were interrupted and are re-run.
+//!
+//! The `dse` driver extends entries with a `data` object carrying the
+//! measured objectives (as exact f64 bit patterns) so a resumed search
+//! can rebuild its Pareto frontier byte-identically without
+//! re-simulating finished points. `batch` journals never set `data`,
+//! and the field is omitted when empty, so the on-disk format of
+//! existing batch journals is unchanged.
+
+use crate::json::decode::{arr_of, str_of, u64_of};
+use crate::json::Json;
+use std::path::PathBuf;
+
+/// Lifecycle of one journaled work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Claimed by a worker; still this state in the journal after a crash
+    /// or kill, which is how a re-invoked run finds interrupted jobs.
+    Running,
+    /// Finished successfully; skipped on re-invocation.
+    Done,
+    /// Finished unsuccessfully (verification or I/O failure, exhausted
+    /// retries, …).
+    Failed,
+    /// A `dse` design point that cannot be built or mapped (invalid
+    /// parameters, compile failure even after degradation). A typed,
+    /// final outcome — not retried, and not counted as a failure.
+    Infeasible,
+}
+
+impl JobStatus {
+    /// The stable on-disk spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Infeasible => "infeasible",
+        }
+    }
+
+    /// Parses the on-disk spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown status.
+    pub fn parse(s: &str) -> Result<JobStatus, String> {
+        match s {
+            "running" => Ok(JobStatus::Running),
+            "done" => Ok(JobStatus::Done),
+            "failed" => Ok(JobStatus::Failed),
+            "infeasible" => Ok(JobStatus::Infeasible),
+            _ => Err(format!("unknown job status `{s}`")),
+        }
+    }
+}
+
+/// One journaled work item. `bench` holds the human-readable work label:
+/// the benchmark name for `batch`, the design-point label for `dse`.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Stable identity hash of the work item across invocations.
+    pub key: String,
+    /// Human-readable label (bench name or design-point label).
+    pub bench: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Exit-code class of the outcome (0 for success).
+    pub code: i32,
+    /// How many times the item has been attempted.
+    pub attempts: u32,
+    /// One-line outcome description.
+    pub message: String,
+    /// Extra structured payload (`Json::Null` when absent; omitted from
+    /// the file so batch journals keep their original shape).
+    pub data: Json,
+}
+
+/// The progress journal. Constructed with [`Journal::load`]; every
+/// [`Journal::set`] rewrites the backing file (when one is configured).
+pub struct Journal {
+    path: Option<PathBuf>,
+    entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    /// Loads the journal at `path`, or an in-memory journal when `path`
+    /// is `None`, or an empty journal when the file does not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the file and the parse or I/O problem.
+    pub fn load(path: Option<&str>) -> Result<Journal, String> {
+        let Some(path) = path else {
+            return Ok(Journal {
+                path: None,
+                entries: Vec::new(),
+            });
+        };
+        let pb = PathBuf::from(path);
+        if !pb.exists() {
+            return Ok(Journal {
+                path: Some(pb),
+                entries: Vec::new(),
+            });
+        }
+        let text =
+            std::fs::read_to_string(&pb).map_err(|e| format!("reading journal {path}: {e}"))?;
+        let j = Json::parse(&text).map_err(|e| format!("journal {path}: {e}"))?;
+        let mut entries = Vec::new();
+        let bad = |e: String| format!("journal {path}: {e}");
+        for job in arr_of(&j, "jobs").map_err(bad)? {
+            entries.push(JournalEntry {
+                key: str_of(job, "key").map_err(bad)?.to_string(),
+                bench: str_of(job, "bench").map_err(bad)?.to_string(),
+                status: JobStatus::parse(str_of(job, "status").map_err(bad)?).map_err(bad)?,
+                code: u64_of(job, "code").map_err(bad)? as i32,
+                attempts: u64_of(job, "attempts").map_err(bad)? as u32,
+                message: str_of(job, "message").map_err(bad)?.to_string(),
+                data: job.get("data").cloned().unwrap_or(Json::Null),
+            });
+        }
+        Ok(Journal {
+            path: Some(pb),
+            entries,
+        })
+    }
+
+    /// Looks up the entry for `key`, if any.
+    pub fn find(&self, key: &str) -> Option<&JournalEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Inserts or replaces the entry with `entry.key`, then flushes.
+    pub fn set(&mut self, entry: JournalEntry) {
+        match self.entries.iter_mut().find(|e| e.key == entry.key) {
+            Some(e) => *e = entry,
+            None => self.entries.push(entry),
+        }
+        self.flush();
+    }
+
+    /// Rewrites the backing file (no-op for in-memory journals).
+    ///
+    /// Crash-safe write: a kill mid-write must never leave a truncated
+    /// journal (which a re-invoked run would refuse to parse). Write the
+    /// full snapshot next to the journal, then atomically rename over it.
+    pub fn flush(&self) {
+        let Some(path) = &self.path else { return };
+        let jobs: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("key", Json::from(e.key.clone())),
+                    ("bench", Json::from(e.bench.clone())),
+                    ("status", Json::from(e.status.as_str())),
+                    ("code", Json::from(e.code as u64)),
+                    ("attempts", Json::from(u64::from(e.attempts))),
+                    ("message", Json::from(e.message.clone())),
+                ];
+                if e.data != Json::Null {
+                    fields.push(("data", e.data.clone()));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let j = Json::obj([("version", Json::from(1u64)), ("jobs", Json::Arr(jobs))]);
+        let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+        let write =
+            std::fs::write(&tmp, j.pretty() + "\n").and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("journal write failed ({}): {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("plasticine-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn entry(key: &str, status: JobStatus, data: Json) -> JournalEntry {
+        JournalEntry {
+            key: key.into(),
+            bench: format!("bench-{key}"),
+            status,
+            code: 0,
+            attempts: 1,
+            message: "ok".into(),
+            data,
+        }
+    }
+
+    #[test]
+    fn round_trips_entries_and_omits_null_data() {
+        let path = scratch("roundtrip.json");
+        let _ = std::fs::remove_file(&path);
+        let p = path.to_str().unwrap();
+        let mut j = Journal::load(Some(p)).unwrap();
+        j.set(entry("a", JobStatus::Done, Json::Null));
+        j.set(entry(
+            "b",
+            JobStatus::Infeasible,
+            Json::obj([("why", Json::from("out of PCUs"))]),
+        ));
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Batch compatibility: entries without a payload keep the original
+        // field set, so existing journal greps keep matching.
+        assert!(!text.contains("\"data\"") || text.matches("\"data\"").count() == 1);
+        let re = Journal::load(Some(p)).unwrap();
+        assert_eq!(re.entries().len(), 2);
+        assert_eq!(re.find("a").unwrap().data, Json::Null);
+        assert_eq!(re.find("a").unwrap().status, JobStatus::Done);
+        assert_eq!(re.find("b").unwrap().status, JobStatus::Infeasible);
+        assert_eq!(
+            re.find("b").unwrap().data.get("why").and_then(Json::as_str),
+            Some("out of PCUs")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn set_replaces_by_key() {
+        let mut j = Journal::load(None).unwrap();
+        j.set(entry("x", JobStatus::Running, Json::Null));
+        j.set(entry("x", JobStatus::Done, Json::Null));
+        assert_eq!(j.entries().len(), 1);
+        assert_eq!(j.find("x").unwrap().status, JobStatus::Done);
+    }
+
+    #[test]
+    fn status_spellings_round_trip() {
+        for s in [
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+            JobStatus::Infeasible,
+        ] {
+            assert_eq!(JobStatus::parse(s.as_str()), Ok(s));
+        }
+        assert!(JobStatus::parse("paused").is_err());
+    }
+}

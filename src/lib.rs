@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod dse;
+pub mod journal;
 pub mod service;
 
 pub use plasticine_arch as arch;

@@ -5,8 +5,9 @@
 //! it may influence a response payload — the byte-identity contract (a
 //! served `run` equals the one-shot CLI) would otherwise break. Latencies
 //! are recorded in milliseconds and percentiles use the nearest-rank
-//! method over the full recorded population (bounded; see
-//! [`MAX_LATENCY_SAMPLES`]).
+//! method over the most recent [`MAX_LATENCY_SAMPLES`] requests (a
+//! bounded ring buffer, so a long-lived daemon's p50/p99 track current
+//! behavior rather than its first 100k requests forever).
 
 use plasticine_json::Json;
 use std::collections::BTreeMap;
@@ -14,16 +15,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Latency samples kept for percentile computation. Beyond this the
-/// reservoir stops growing (the daemon is long-lived; an unbounded vector
-/// would be its own robustness bug) and percentiles describe the first
+/// Latency samples kept for percentile computation. Once this many are
+/// recorded the buffer becomes a ring and each new sample overwrites the
+/// oldest (the daemon is long-lived; an unbounded vector would be its own
+/// robustness bug), so percentiles always describe the most recent
 /// `MAX_LATENCY_SAMPLES` requests.
 pub const MAX_LATENCY_SAMPLES: usize = 100_000;
 
 #[derive(Default)]
 struct Inner {
     by_status: BTreeMap<String, u64>,
+    /// Ring buffer of the most recent latency samples; `next` is the slot
+    /// the next sample lands in once the buffer has filled. Deterministic:
+    /// the retained window depends only on the sequence of `finish` calls.
     latencies_ms: Vec<u64>,
+    next: usize,
     served: u64,
     shed: u64,
 }
@@ -63,9 +69,13 @@ impl Metrics {
         let mut g = self.inner.lock().unwrap();
         *g.by_status.entry(status.to_string()).or_insert(0) += 1;
         g.served += 1;
+        let ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
         if g.latencies_ms.len() < MAX_LATENCY_SAMPLES {
-            let ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
             g.latencies_ms.push(ms);
+        } else {
+            let slot = g.next;
+            g.latencies_ms[slot] = ms;
+            g.next = (slot + 1) % MAX_LATENCY_SAMPLES;
         }
     }
 
@@ -167,6 +177,41 @@ mod tests {
         assert_eq!(s.get("latency_p50_ms").unwrap().as_u64(), Some(20));
         assert_eq!(s.get("latency_p99_ms").unwrap().as_u64(), Some(1000));
         assert_eq!(s.get("latency_max_ms").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn latency_window_slides_after_saturation() {
+        let m = Metrics::new();
+        // Saturate the reservoir with fast requests...
+        for _ in 0..MAX_LATENCY_SAMPLES {
+            m.begin();
+            m.finish("ok", Duration::from_millis(1));
+        }
+        // ...then degrade. The pre-fix reservoir dropped everything after
+        // saturation, so the snapshot kept reporting 1 ms forever.
+        for _ in 0..MAX_LATENCY_SAMPLES / 2 {
+            m.begin();
+            m.finish("ok", Duration::from_millis(1000));
+        }
+        let s = m.snapshot(0, 0, 0);
+        assert_eq!(s.get("latency_max_ms").unwrap().as_u64(), Some(1000));
+        // Half the retained window is now slow: nearest-rank p99 must see
+        // the degradation, and the window must stay bounded.
+        assert_eq!(s.get("latency_p99_ms").unwrap().as_u64(), Some(1000));
+        assert_eq!(s.get("latency_p50_ms").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            s.get("served").unwrap().as_u64(),
+            Some(3 * MAX_LATENCY_SAMPLES as u64 / 2),
+            "counters keep counting past the sample bound"
+        );
+        // Wrap fully around: the oldest slow samples get overwritten too.
+        for _ in 0..MAX_LATENCY_SAMPLES {
+            m.begin();
+            m.finish("ok", Duration::from_millis(7));
+        }
+        let s = m.snapshot(0, 0, 0);
+        assert_eq!(s.get("latency_max_ms").unwrap().as_u64(), Some(7));
+        assert_eq!(s.get("latency_p50_ms").unwrap().as_u64(), Some(7));
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Property and integration tests for the `dse search` design-space
+//! driver.
+//!
+//! The properties under test are the ones the feature's correctness
+//! rests on: the emitted frontier is actually non-dominated, it is
+//! element-identical at any worker count, and a search interrupted
+//! mid-flight (via `--limit` + journal) resumes to a report
+//! byte-identical to an uninterrupted run.
+
+use plasticine::arch::{DseGrid, GridMix};
+use plasticine::dse::{search, PointOutcome, SearchConfig};
+use plasticine::journal::Journal;
+use plasticine::workloads::{all, Bench, Scale};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn mix(names: &[&str]) -> Vec<Bench> {
+    let benches: Vec<Bench> = all(Scale(1))
+        .into_iter()
+        .filter(|b| names.contains(&b.name.as_str()))
+        .collect();
+    assert_eq!(benches.len(), names.len(), "unknown bench in {names:?}");
+    benches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For random small grids and workload mixes: the frontier is
+    /// non-dominated, identical across worker counts {1, 2, 4}, and a
+    /// limit-interrupted search resumed from its journal reproduces the
+    /// cold report byte-for-byte.
+    #[test]
+    fn frontier_is_sound_and_deterministic(
+        lanes in prop::sample::select(vec![vec![8usize], vec![16], vec![8, 16]]),
+        channels in prop::sample::select(vec![vec![2usize], vec![4], vec![4, 2]]),
+        kb in prop::sample::select(vec![vec![128usize], vec![256], vec![128, 256]]),
+        bench_names in prop::sample::select(vec![
+            vec!["InnerProduct"],
+            vec!["TPCHQ6"],
+            vec!["InnerProduct", "TPCHQ6"],
+        ]),
+    ) {
+        let benches = mix(&bench_names);
+        let grid = DseGrid {
+            lanes,
+            stages: vec![6],
+            mixes: vec![GridMix::Checkerboard],
+            scratchpad_kb: kb,
+            dram_channels: channels,
+        };
+        let cfg = SearchConfig { grid, jobs: 1, ..SearchConfig::default() };
+
+        // (b) element-identical across worker counts.
+        let mut reports = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            let cfg = SearchConfig { jobs, ..cfg.clone() };
+            let mut journal = Journal::load(None).unwrap();
+            reports.push((jobs, search(&benches, &cfg, &mut journal).unwrap()));
+        }
+        let reference = reports[0].1.to_json(&benches, &cfg).pretty();
+        for (jobs, r) in &reports {
+            prop_assert_eq!(
+                &r.to_json(&benches, &cfg).pretty(), &reference,
+                "report diverged at {} workers", jobs
+            );
+        }
+
+        // (a) the frontier is actually non-dominated, and every completed
+        // point off the frontier is dominated by something on it.
+        let report = &reports[0].1;
+        let front = report.frontier.entries();
+        for a in front {
+            for b in front {
+                prop_assert!(
+                    !a.obj.dominates(&b.obj),
+                    "frontier point {} dominates frontier point {}", a.id, b.id
+                );
+            }
+        }
+        for (p, o) in &report.points {
+            if let PointOutcome::Done(obj) = o {
+                let on_front = front.iter().any(|e| e.id == p.label());
+                let dominated = front.iter().any(|e| e.obj.dominates(obj));
+                prop_assert!(
+                    on_front || dominated,
+                    "done point {} neither on the frontier nor dominated", p.label()
+                );
+            }
+        }
+
+        // (c) byte-identical resume: stop after 1 point, then finish.
+        let mut journal = Journal::load(None).unwrap();
+        let cfg_limited = SearchConfig { limit: Some(1), ..cfg.clone() };
+        let first = search(&benches, &cfg_limited, &mut journal).unwrap();
+        prop_assert!(first.evaluated_now <= 1);
+        let resumed = search(&benches, &cfg, &mut journal).unwrap();
+        prop_assert_eq!(
+            resumed.to_json(&benches, &cfg).pretty(), reference,
+            "resumed report diverged from the cold run"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI integration through the real binary.
+// ---------------------------------------------------------------------
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_plasticine-run")
+}
+
+/// Fresh scratch directory per test (no tempdir crate; the target dir is
+/// already ours to write under).
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str], cwd: &Path) -> Output {
+    Command::new(bin())
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawning plasticine-run")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+const SMALL_GRID: &[&str] = &[
+    "--lanes",
+    "8,16",
+    "--stages",
+    "6",
+    "--scratchpad-kb",
+    "256",
+    "--channels",
+    "2,4",
+];
+
+#[test]
+fn cli_cold_and_resumed_runs_emit_identical_reports() {
+    let dir = scratch("dse-resume");
+    let mut cold = vec!["dse", "search", "InnerProduct"];
+    cold.extend_from_slice(SMALL_GRID);
+    cold.extend_from_slice(&["--jobs", "2", "--out", "cold.json"]);
+    let o = run(&cold, &dir);
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("Pareto frontier"), "{}", stdout(&o));
+
+    // Interrupted run: 1 point, then a resume that finishes the rest.
+    let mut part = vec!["dse", "search", "InnerProduct"];
+    part.extend_from_slice(SMALL_GRID);
+    part.extend_from_slice(&["--journal", "j.json", "--limit", "1", "--out", "part.json"]);
+    let o = run(&part, &dir);
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("not run"), "{}", stdout(&o));
+    let journal = std::fs::read_to_string(dir.join("j.json")).unwrap();
+    assert!(journal.contains("\"status\": \"done\""), "{journal}");
+
+    let mut fin = vec!["dse", "search", "InnerProduct"];
+    fin.extend_from_slice(SMALL_GRID);
+    fin.extend_from_slice(&["--journal", "j.json", "--jobs", "4", "--out", "fin.json"]);
+    let o = run(&fin, &dir);
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+
+    let cold_report = std::fs::read(dir.join("cold.json")).unwrap();
+    let fin_report = std::fs::read(dir.join("fin.json")).unwrap();
+    assert_eq!(
+        cold_report, fin_report,
+        "resumed report differs from cold run"
+    );
+
+    // A third invocation has nothing left to do and reproduces the
+    // report purely from the journal.
+    let mut again = vec!["dse", "search", "InnerProduct"];
+    again.extend_from_slice(SMALL_GRID);
+    again.extend_from_slice(&["--journal", "j.json", "--out", "again.json"]);
+    let o = run(&again, &dir);
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+    assert!(
+        stdout(&o).contains("0 evaluated this invocation"),
+        "{}",
+        stdout(&o)
+    );
+    assert_eq!(cold_report, std::fs::read(dir.join("again.json")).unwrap());
+}
+
+#[test]
+fn cli_infeasible_points_are_typed_skips_not_failures() {
+    let dir = scratch("dse-infeasible");
+    // 4 stages cannot host the 5-stage reduction tree InnerProduct
+    // needs: the point must be journaled infeasible, not failed, and the
+    // search must still exit 0 with the feasible point on the frontier.
+    let o = run(
+        &[
+            "dse",
+            "search",
+            "InnerProduct",
+            "--lanes",
+            "16",
+            "--stages",
+            "4,6",
+            "--scratchpad-kb",
+            "256",
+            "--channels",
+            "4",
+            "--journal",
+            "j.json",
+        ],
+        &dir,
+    );
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("1 done, 1 infeasible"), "{out}");
+    let journal = std::fs::read_to_string(dir.join("j.json")).unwrap();
+    assert!(journal.contains("\"status\": \"infeasible\""), "{journal}");
+    assert!(journal.contains("\"status\": \"done\""), "{journal}");
+}
+
+#[test]
+fn cli_rejects_malformed_grid_axes_as_usage_errors() {
+    let dir = scratch("dse-usage");
+    for (args, needle) in [
+        (
+            vec!["dse", "search", "InnerProduct", "--lanes", "8,zero"],
+            "--lanes",
+        ),
+        (
+            vec!["dse", "search", "InnerProduct", "--channels", "0"],
+            "--channels",
+        ),
+        (
+            vec!["dse", "search", "InnerProduct", "--mix", "diagonal"],
+            "--mix",
+        ),
+        (
+            vec!["dse", "search", "InnerProduct", "--limit", "0"],
+            "--limit",
+        ),
+        (vec!["dse", "probe"], "search"),
+        (vec!["dse", "search", "--lanes", "8"], "benchmark"),
+    ] {
+        let o = run(&args, &dir);
+        assert_eq!(o.status.code(), Some(2), "args: {args:?}");
+        assert!(
+            stderr(&o).contains(needle),
+            "args {args:?}: stderr {}",
+            stderr(&o)
+        );
+    }
+    let o = run(&["dse", "search", "NoSuchBench"], &dir);
+    assert_eq!(o.status.code(), Some(1));
+    assert!(stderr(&o).contains("unknown benchmark"));
+}
