@@ -12,6 +12,7 @@
 
 use crate::geom::{AgId, SiteId, SwitchId};
 use crate::params::PlasticineParams;
+use crate::partition::Partition;
 use plasticine_ppir::{BankingMode, CtrlId, DramId, SramId};
 
 /// Which static network a link uses (§3.3).
@@ -175,6 +176,9 @@ pub struct MachineConfig {
     pub alloc: DramAlloc,
     /// Static resource usage.
     pub usage: ResourceUsage,
+    /// The fabric partition this configuration was compiled for. `None`
+    /// means the whole chip (the historical single-tenant compile).
+    pub partition: Option<Partition>,
 }
 
 impl MachineConfig {
@@ -212,6 +216,60 @@ impl MachineConfig {
     pub fn links_out(&self, src: UnitId) -> impl Iterator<Item = &LinkCfg> {
         self.links.iter().filter(move |l| l.src == src)
     }
+
+    /// The configuration translated `dy` unit-grid rows vertically: every
+    /// site, switch, AG, and the partition offset shift together. Only
+    /// meaningful for full-width band partitions, where the placement at
+    /// one offset is the placement at another offset translated — the
+    /// basis of partition relocatability.
+    pub fn relocated(&self, dy: i64) -> MachineConfig {
+        let cols = self.params.cols;
+        let scols = cols + 1;
+        let srows = self.params.rows + 1;
+        let mut c = self.clone();
+        for u in &mut c.units {
+            match u {
+                UnitCfg::Compute(cc) => {
+                    for s in &mut cc.sites {
+                        *s = Partition::relocate_site(*s, dy, cols);
+                    }
+                }
+                UnitCfg::Memory(m) => {
+                    for s in &mut m.sites {
+                        *s = Partition::relocate_site(*s, dy, cols);
+                    }
+                }
+                UnitCfg::Ag(a) => {
+                    for g in &mut a.ags {
+                        *g = Partition::relocate_ag(*g, dy, srows);
+                    }
+                }
+                UnitCfg::Outer(o) => {
+                    o.switch = Partition::relocate_switch(o.switch, dy, scols);
+                }
+            }
+        }
+        for l in &mut c.links {
+            for s in &mut l.path {
+                *s = Partition::relocate_switch(*s, dy, scols);
+            }
+        }
+        if let Some(p) = &mut c.partition {
+            *p = p.at_offset((p.y0 as i64 + dy) as usize);
+        }
+        c
+    }
+
+    /// The configuration translated so its partition sits at offset 0 —
+    /// the canonical representative of its geometry class. A full-chip
+    /// configuration is returned unchanged. Checkpoint guard hashes use
+    /// this form so a tenant can resume on any same-geometry partition.
+    pub fn normalized(&self) -> MachineConfig {
+        match &self.partition {
+            Some(p) if p.y0 > 0 => self.relocated(-(p.y0 as i64)),
+            _ => self.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +284,7 @@ mod tests {
             links: vec![],
             alloc: DramAlloc::default(),
             usage: ResourceUsage::default(),
+            partition: None,
         }
     }
 
@@ -626,20 +685,29 @@ mod bitstream {
     }
 
     pub(super) fn config_json(c: &MachineConfig) -> Json {
-        Json::obj([
-            ("params", params_json(&c.params)),
-            ("program_name", Json::from(c.program_name.as_str())),
-            ("units", Json::Arr(c.units.iter().map(unit_json).collect())),
-            ("links", Json::Arr(c.links.iter().map(link_json).collect())),
+        let mut fields = vec![
+            ("params".to_string(), params_json(&c.params)),
             (
-                "alloc",
+                "program_name".to_string(),
+                Json::from(c.program_name.as_str()),
+            ),
+            (
+                "units".to_string(),
+                Json::Arr(c.units.iter().map(unit_json).collect()),
+            ),
+            (
+                "links".to_string(),
+                Json::Arr(c.links.iter().map(link_json).collect()),
+            ),
+            (
+                "alloc".to_string(),
                 Json::obj([(
                     "base",
                     Json::Arr(c.alloc.base.iter().map(|&b| Json::from(b)).collect()),
                 )]),
             ),
             (
-                "usage",
+                "usage".to_string(),
                 Json::obj([
                     ("pcus", Json::from(c.usage.pcus)),
                     ("pmus", Json::from(c.usage.pmus)),
@@ -647,7 +715,20 @@ mod bitstream {
                     ("switch_ctrls", Json::from(c.usage.switch_ctrls)),
                 ]),
             ),
-        ])
+        ];
+        // Omitted entirely for full-chip compiles, so pre-partition
+        // bitstreams keep their encoding (and content hashes) unchanged.
+        if let Some(p) = &c.partition {
+            fields.push((
+                "partition".to_string(),
+                Json::obj([
+                    ("y0", Json::from(p.y0)),
+                    ("rows", Json::from(p.rows)),
+                    ("channels", Json::from(p.channels)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     pub(super) fn config_back(j: &Json) -> R<MachineConfig> {
@@ -665,6 +746,14 @@ mod bitstream {
             .map(|v| v.as_u64().ok_or_else(|| "bad dram base".to_string()))
             .collect::<R<Vec<_>>>()?;
         let usage_j = field(j, "usage")?;
+        let partition = match j.get("partition") {
+            Some(pj) => Some(Partition {
+                y0: usize_of(pj, "y0")?,
+                rows: usize_of(pj, "rows")?,
+                channels: usize_of(pj, "channels")?,
+            }),
+            None => None,
+        };
         Ok(MachineConfig {
             params: params_back(field(j, "params")?)?,
             program_name: str_of(j, "program_name")?.to_string(),
@@ -677,6 +766,7 @@ mod bitstream {
                 ags: usize_of(usage_j, "ags")?,
                 switch_ctrls: usize_of(usage_j, "switch_ctrls")?,
             },
+            partition,
         })
     }
 }
@@ -758,6 +848,7 @@ mod bitstream_tests {
                 base: vec![0, 4096],
             },
             usage: ResourceUsage::default(),
+            partition: None,
         };
         c.units.push(UnitCfg::Compute(ComputeCfg {
             ctrl: CtrlId(1),
@@ -771,5 +862,71 @@ mod bitstream_tests {
         let back = MachineConfig::from_bitstream(&s).unwrap();
         assert_eq!(back, c);
         assert!(MachineConfig::from_bitstream("not json").is_err());
+        // A full-chip config encodes without a `partition` key (legacy
+        // bitstream compatibility); a partitioned one round-trips.
+        assert!(!s.contains("\"partition\""));
+        c.partition = Some(Partition::new(2, 4, 2));
+        let s = c.to_bitstream().unwrap();
+        let back = MachineConfig::from_bitstream(&s).unwrap();
+        assert_eq!(back.partition, Some(Partition::new(2, 4, 2)));
+    }
+
+    #[test]
+    fn relocation_translates_everything_and_normalizes() {
+        let params = PlasticineParams::paper_final();
+        let cols = params.cols;
+        let scols = cols + 1;
+        let c = MachineConfig {
+            params: params.clone(),
+            program_name: "rl".into(),
+            units: vec![
+                UnitCfg::Compute(ComputeCfg {
+                    ctrl: CtrlId(0),
+                    sites: vec![SiteId(2 * cols as u32 + 3)], // (3, 2)
+                    copies: 1,
+                    pcus_per_copy: 1,
+                    pipeline_depth: 6,
+                    lanes: 16,
+                }),
+                UnitCfg::Ag(AgCfg {
+                    ctrl: CtrlId(1),
+                    ags: vec![AgId(4)], // left edge, row 2
+                    mode: AgMode::Dense,
+                }),
+                UnitCfg::Outer(OuterCtrlCfg {
+                    ctrl: CtrlId(2),
+                    switch: SwitchId(2 * scols as u32 + 1), // (1, 2)
+                }),
+            ],
+            links: vec![LinkCfg {
+                src: UnitId(0),
+                dst: UnitId(2),
+                class: NetClass::Control,
+                path: vec![SwitchId(2 * scols as u32 + 2)],
+                hops: 2,
+            }],
+            alloc: DramAlloc::default(),
+            usage: ResourceUsage::default(),
+            partition: Some(Partition::new(2, 4, 2)),
+        };
+        let n = c.normalized();
+        assert_eq!(n.partition, Some(Partition::new(0, 4, 2)));
+        match (&n.units[0], &n.units[1], &n.units[2]) {
+            (UnitCfg::Compute(cc), UnitCfg::Ag(a), UnitCfg::Outer(o)) => {
+                assert_eq!(cc.sites, vec![SiteId(3)]); // (3, 0)
+                assert_eq!(a.ags, vec![AgId(0)]); // left edge, row 0
+                assert_eq!(o.switch, SwitchId(1)); // (1, 0)
+            }
+            other => panic!("unit shapes changed: {other:?}"),
+        }
+        assert_eq!(n.links[0].path, vec![SwitchId(2)]);
+        // Round trip back to the original offset.
+        assert_eq!(n.relocated(2), c);
+        // Full-chip configs normalize to themselves.
+        let full = MachineConfig {
+            partition: None,
+            ..c.clone()
+        };
+        assert_eq!(full.normalized(), full);
     }
 }

@@ -27,6 +27,7 @@ mod config;
 mod fault;
 mod geom;
 mod params;
+mod partition;
 mod space;
 
 pub use config::{
@@ -36,4 +37,5 @@ pub use config::{
 pub use fault::{FaultMap, FaultRng, FaultSpec, FaultSpecError, TransientFaults};
 pub use geom::{AgId, Site, SiteId, SiteKind, SwitchId, Topology};
 pub use params::{GridMix, ParamError, PcuParams, PlasticineParams, PmuParams};
+pub use partition::{Partition, PartitionSpecError, PartitionTable};
 pub use space::{DseGrid, DsePoint};

@@ -19,6 +19,20 @@ pub enum GridMix {
     PmuHeavy,
 }
 
+impl GridMix {
+    /// Vertical period of the PCU/PMU pattern: translating a band down by
+    /// a multiple of this many rows lands on an identical site pattern.
+    /// Checkerboard alternates per row (period 2); the PmuHeavy pattern
+    /// depends only on the column (period 1). Bitstreams are relocatable
+    /// exactly between offsets congruent modulo this period.
+    pub fn vertical_period(self) -> usize {
+        match self {
+            GridMix::Checkerboard => 2,
+            GridMix::PmuHeavy => 1,
+        }
+    }
+}
+
 /// Pattern Compute Unit parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PcuParams {

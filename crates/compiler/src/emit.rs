@@ -20,6 +20,7 @@ use std::collections::HashMap;
 /// Iteration over the analysis access maps is deterministic (they are
 /// ordered `BTreeMap`s), so two compiles of the same input emit links in
 /// the same order and claim identical tracks.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn route(
     p: &Program,
     an: &Analysis,
@@ -27,7 +28,8 @@ pub(crate) fn route(
     chunks: &[Vec<ChunkStats>],
     placement: &Placement,
     topo: &Topology,
-    opts: &crate::passes::CompileOptions,
+    limits: crate::route::RouteLimits,
+    faults: &plasticine_arch::FaultMap,
 ) -> Result<(Vec<UnitCfg>, Vec<LinkCfg>), CompileError> {
     // ---- Units ----
     let np = v.pcus.len();
@@ -102,7 +104,7 @@ pub(crate) fn route(
     };
 
     // ---- Links ----
-    let mut router = Router::degraded(topo, opts.route_limits, &opts.faults);
+    let mut router = Router::degraded(topo, limits, faults);
     let mut links: Vec<LinkCfg> = Vec::new();
     let add_link = |router: &mut Router,
                     links: &mut Vec<LinkCfg>,
@@ -264,6 +266,7 @@ pub(crate) fn assemble(
     placement: &Placement,
     units: Vec<UnitCfg>,
     links: Vec<LinkCfg>,
+    partition: Option<plasticine_arch::Partition>,
 ) -> MachineConfig {
     // DRAM allocation: 4 KiB-aligned, sequential.
     let mut base = Vec::with_capacity(p.drams().len());
@@ -288,6 +291,7 @@ pub(crate) fn assemble(
         links,
         alloc: DramAlloc { base },
         usage,
+        partition,
     }
 }
 

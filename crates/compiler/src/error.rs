@@ -1,7 +1,7 @@
 //! Compiler error type.
 
 use crate::partition::PartitionError;
-use plasticine_arch::ParamError;
+use plasticine_arch::{ParamError, PartitionSpecError};
 use std::fmt;
 
 /// Why compilation failed.
@@ -9,6 +9,9 @@ use std::fmt;
 pub enum CompileError {
     /// The architecture parameters are internally inconsistent.
     BadParams(ParamError),
+    /// The requested fabric partition is malformed or does not fit the
+    /// parameters.
+    BadPartition(PartitionSpecError),
     /// A virtual unit cannot be realized under the parameters.
     Partition(PartitionError),
     /// The design needs more physical resources than the chip has.
@@ -45,6 +48,7 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::BadParams(e) => write!(f, "{e}"),
+            CompileError::BadPartition(e) => write!(f, "{e}"),
             CompileError::Partition(e) => write!(f, "{e}"),
             CompileError::OutOfResources { kind, need, have } => {
                 write!(f, "out of {kind}s: need {need}, have {have}")
@@ -72,6 +76,7 @@ impl std::error::Error for CompileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CompileError::BadParams(e) => Some(e),
+            CompileError::BadPartition(e) => Some(e),
             CompileError::Partition(e) => Some(e),
             _ => None,
         }
@@ -87,6 +92,12 @@ impl From<PartitionError> for CompileError {
 impl From<ParamError> for CompileError {
     fn from(e: ParamError) -> CompileError {
         CompileError::BadParams(e)
+    }
+}
+
+impl From<PartitionSpecError> for CompileError {
+    fn from(e: PartitionSpecError) -> CompileError {
+        CompileError::BadPartition(e)
     }
 }
 

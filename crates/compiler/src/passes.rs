@@ -170,6 +170,13 @@ pub struct CompileOptions {
     /// Fault map to compile around: dead sites/links are blacklisted from
     /// placement and routing. Default is a pristine chip.
     pub faults: plasticine_arch::FaultMap,
+    /// Fabric partition to compile into. `None` (the default) targets the
+    /// whole chip; `Some` confines placement and routing to the band by
+    /// masking everything outside it as dead fabric, and records the band
+    /// in the emitted [`MachineConfig`](plasticine_arch::MachineConfig).
+    /// Because this struct keys the [`CompileCache`](crate::CompileCache),
+    /// bitstreams are partition-geometry-aware automatically.
+    pub partition: Option<plasticine_arch::Partition>,
 }
 
 impl CompileOptions {
@@ -285,16 +292,45 @@ fn run_from_partition(
     })?;
 
     let topo = Topology::new(params);
+    // A partition confines place-and-route by masking everything outside
+    // the band as dead fabric — the existing fault-blacklisting machinery
+    // then does the rest (including par-reduction retries when the band is
+    // too small for the requested parallelization).
+    if let Some(band) = &opts.partition {
+        band.validate(params)?;
+    }
+    let eff_faults = match &opts.partition {
+        Some(band) => band.masked(&topo, &opts.faults),
+        None => opts.faults.clone(),
+    };
     let placement = t.record(PassId::Place, || {
-        place(p, an, &v, &chunks, params, &topo, &opts.faults)
+        place(
+            p,
+            an,
+            &v,
+            &chunks,
+            params,
+            &topo,
+            &eff_faults,
+            opts.partition.as_ref(),
+        )
     })?;
 
     let (units, links) = t.record(PassId::Route, || {
-        emit::route(p, an, &v, &chunks, &placement, &topo, opts)
+        emit::route(
+            p,
+            an,
+            &v,
+            &chunks,
+            &placement,
+            &topo,
+            opts.route_limits,
+            &eff_faults,
+        )
     })?;
 
     let config = t.record(PassId::Emit, || {
-        emit::assemble(p, params, &v, &placement, units, links)
+        emit::assemble(p, params, &v, &placement, units, links, opts.partition)
     });
 
     Ok(CompileOutput {
@@ -363,6 +399,56 @@ mod tests {
         }
         assert!(out.timings.total() > Duration::ZERO);
         assert!(out.timings.summary().contains("partition"));
+    }
+
+    /// The relocation invariant behind multi-tenant bitstreams: the same
+    /// program compiled for the same band geometry at two offsets is the
+    /// same placement translated vertically — and the artifacts still hash
+    /// differently (they configure different physical resources).
+    #[test]
+    fn partition_compiles_relocate_across_offsets() {
+        let p = crate::emit::tests::vadd_tiled(2);
+        let params = PlasticineParams::paper_final();
+        let band = plasticine_arch::Partition::new(0, 4, 2);
+        let mut lo = CompileOptions::new();
+        lo.partition = Some(band);
+        let mut hi = CompileOptions::new();
+        hi.partition = Some(band.at_offset(4));
+        let c_lo = compile_with(&p, &params, &lo).unwrap();
+        let c_hi = compile_with(&p, &params, &hi).unwrap();
+
+        // The offset-4 config is exactly the offset-0 config translated.
+        assert_eq!(
+            c_hi.config.normalized().to_json().compact(),
+            c_lo.config.to_json().compact()
+        );
+        // Distinct physical resources ⇒ distinct bitstream hashes.
+        let b_lo = crate::Bitstream::new(&p, c_lo, Vec::new());
+        let b_hi = crate::Bitstream::new(&p, c_hi, Vec::new());
+        assert_ne!(b_lo.content_hash, b_hi.content_hash);
+    }
+
+    /// Partition bounds are checked before placement.
+    #[test]
+    fn bad_partition_is_a_typed_error() {
+        let p = crate::emit::tests::vadd_tiled(1);
+        let mut opts = CompileOptions::new();
+        opts.partition = Some(plasticine_arch::Partition::new(6, 4, 1));
+        let err = compile_with(&p, &PlasticineParams::paper_final(), &opts).unwrap_err();
+        assert!(matches!(err, CompileError::BadPartition(_)), "{err}");
+    }
+
+    /// A band too small for the requested parallelization triggers the
+    /// same degraded-compile par-reduction path as a faulted fabric.
+    #[test]
+    fn small_partition_reduces_parallelization() {
+        let p = crate::emit::tests::vadd_tiled(8);
+        let params = PlasticineParams::paper_final();
+        let mut opts = CompileOptions::new();
+        opts.partition = Some(plasticine_arch::Partition::new(0, 1, 1));
+        let (out, _, notes) = compile_degraded(&p, &params, &opts).unwrap();
+        assert!(!notes.is_empty(), "expected at least one par reduction");
+        assert_eq!(out.config.partition, opts.partition);
     }
 
     #[test]

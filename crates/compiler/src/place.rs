@@ -18,7 +18,7 @@ use crate::analysis::Analysis;
 use crate::error::CompileError;
 use crate::partition::ChunkStats;
 use crate::vunit::VirtualDesign;
-use plasticine_arch::{AgId, FaultMap, PlasticineParams, SiteId, SiteKind, Topology};
+use plasticine_arch::{AgId, FaultMap, Partition, PlasticineParams, SiteId, SiteKind, Topology};
 use plasticine_ppir::{BankingMode, CtrlId, Program, SramId};
 use std::collections::HashMap;
 
@@ -158,6 +158,7 @@ fn fabric_err(kind: &'static str, need: usize, have: usize, faulted: usize) -> C
 /// PMUs, or AGs than the chip provides, or
 /// [`CompileError::InsufficientFabric`] when it would have fit but fault-map
 /// degradation removed the capacity.
+#[allow(clippy::too_many_arguments)]
 pub fn place(
     p: &Program,
     an: &Analysis,
@@ -166,10 +167,17 @@ pub fn place(
     params: &PlasticineParams,
     topo: &Topology,
     faults: &FaultMap,
+    band: Option<&Partition>,
 ) -> Result<Placement, CompileError> {
     let mut pcus = FreeSites::new(topo, SiteKind::Pcu, faults);
     let mut pmus = FreeSites::new(topo, SiteKind::Pmu, faults);
-    let mut free_ags: Vec<AgId> = (0..params.ags as u32).map(AgId).collect();
+    // Inside a partition only the band's edge AGs are ours; their raw-id
+    // order is translation-equivariant, so allocation decisions relocate
+    // with the band.
+    let mut free_ags: Vec<AgId> = match band {
+        Some(b) => b.ag_pool(topo),
+        None => (0..params.ags as u32).map(AgId).collect(),
+    };
 
     let bank_words = params.pmu.bank_kb * 1024 / 4;
     let live_banks = |s: SiteId| -> usize {
@@ -224,11 +232,10 @@ pub fn place(
     }
     let need_ags: usize = v.ags.iter().map(|a| a.copies).sum();
     if need_ags > free_ags.len() {
-        return Err(CompileError::OutOfResources {
-            kind: "AG",
-            need: need_ags,
-            have: free_ags.len(),
-        });
+        // AGs outside the band count as removed fabric so that degraded
+        // compilation reduces parallelization instead of giving up.
+        let ag_restricted = params.ags - free_ags.len();
+        return Err(fabric_err("AG", need_ags, free_ags.len(), ag_restricted));
     }
 
     let mut pcu_sites: Vec<Vec<SiteId>> = vec![Vec::new(); v.pcus.len()];
@@ -251,10 +258,13 @@ pub fn place(
 
     // Placement order: walk inner controllers in program order; place each
     // compute unit, then any scratchpads it touches that are unplaced.
-    let center = (
-        (params.cols as f64 - 1.0) / 2.0,
-        (params.rows as f64 - 1.0) / 2.0,
-    );
+    let center = match band {
+        Some(b) => b.center(params),
+        None => (
+            (params.cols as f64 - 1.0) / 2.0,
+            (params.rows as f64 - 1.0) / 2.0,
+        ),
+    };
     let mut order: Vec<(Option<usize>, Vec<usize>)> = Vec::new(); // (pcu idx, sram idxs)
     {
         let mut sram_done = vec![false; v.pmus.len()];
@@ -355,7 +365,12 @@ pub fn place(
         }
         let (cx, cy) = centroid(topo, &child_sites).unwrap_or(center);
         let sx = (cx.round() as usize).min(topo.switch_cols() - 1);
-        let sy = (cy.round() as usize).min(topo.switch_rows() - 1);
+        let mut sy = (cy.round() as usize).min(topo.switch_rows() - 1);
+        if let Some(b) = band {
+            // Keep the host switch inside the band's switch rectangle so
+            // the placement translates with the band.
+            sy = sy.clamp(b.y0, b.y0 + b.rows);
+        }
         outer_switches.push(topo.switch_at(sx, sy));
     }
 

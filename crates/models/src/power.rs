@@ -143,6 +143,7 @@ mod tests {
             links: vec![],
             alloc: DramAlloc::default(),
             usage: ResourceUsage::default(),
+            partition: None,
         }
     }
 

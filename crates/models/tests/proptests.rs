@@ -39,6 +39,7 @@ fn cfg() -> MachineConfig {
         links: vec![],
         alloc: DramAlloc::default(),
         usage: ResourceUsage::default(),
+        partition: None,
     }
 }
 

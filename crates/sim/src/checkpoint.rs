@@ -18,7 +18,15 @@
 //!
 //! * `program_hash` — the program actually simulated (post-degradation),
 //! * `config_hash` — the placed-and-routed [`MachineConfig`], so a
-//!   checkpoint cannot resume against the wrong bitstream,
+//!   checkpoint cannot resume against the wrong bitstream. The config is
+//!   [normalized](MachineConfig::normalized) (translated to partition
+//!   offset 0) before hashing, so an evicted tenant may resume on any
+//!   *pattern-equivalent* band of its original geometry — one whose
+//!   offset is congruent modulo the grid mix's vertical period (same
+//!   parity on the checkerboard), where relocation is exactly a vertical
+//!   translation, which the hash deliberately ignores. A band at an
+//!   incompatible offset covers a different PCU/PMU site pattern,
+//!   compiles to a genuinely different bitstream, and is refused,
 //! * `options_hash` — the determinism-relevant simulation options (DRAM
 //!   config, coalescing, fault map, credit cap). `max_cycles`,
 //!   `stall_limit`, and the step mode are deliberately *excluded*: the
@@ -109,7 +117,8 @@ pub struct Checkpoint {
     pub program_name: String,
     /// [`Program::stable_hash`] of the program actually simulated.
     pub program_hash: u64,
-    /// Stable hash of the placed-and-routed [`MachineConfig`].
+    /// Stable hash of the placed-and-routed [`MachineConfig`], normalized
+    /// to partition offset 0 (offset-independent: see the module docs).
     pub config_hash: u64,
     /// Stable hash of the determinism-relevant [`SimOptions`] (see the
     /// module docs for what is excluded and why).
@@ -152,7 +161,7 @@ impl Checkpoint {
             version: VERSION,
             program_name: p.name().to_string(),
             program_hash: p.stable_hash(),
-            config_hash: stable_hash_of(config),
+            config_hash: stable_hash_of(&config.normalized()),
             options_hash: options_guard_hash(opts),
             step: opts.step,
             cycle,
@@ -185,9 +194,12 @@ impl Checkpoint {
                 p.stable_hash()
             )));
         }
-        if self.config_hash != stable_hash_of(config) {
+        if self.config_hash != stable_hash_of(&config.normalized()) {
             return Err(CheckpointError::Mismatch(
-                "bitstream (machine configuration) differs from the checkpointing run".to_string(),
+                "bitstream (machine configuration) differs from the checkpointing run \
+                 (pattern-equivalent bands — same height, offset congruent modulo the \
+                 grid mix's vertical period — are interchangeable; others are not)"
+                    .to_string(),
             ));
         }
         if self.options_hash != options_guard_hash(opts) {

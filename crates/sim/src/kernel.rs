@@ -1,0 +1,360 @@
+//! Resumable simulation kernel: the run loop of [`simulate`] as a
+//! pausable object.
+//!
+//! [`SimKernel`] owns everything one program's simulation needs — the
+//! traced program, its compiled output, the timing model, the resource
+//! state, and the schedule tree — and exposes the run loop as
+//! [`advance`](SimKernel::advance), which executes until the program
+//! finishes or an optional `until` cycle is reached at a cycle boundary.
+//! Pause points coincide exactly with checkpoint points (the top of the
+//! loop, before `begin_cycle`), so a paused kernel can always be
+//! [checkpointed](SimKernel::checkpoint) — this is what eviction in the
+//! multi-tenant scheduler uses.
+//!
+//! The single-program entry points ([`simulate`], [`simulate_traced`],
+//! [`simulate_checkpointed`]) are thin wrappers that create a kernel and
+//! advance it to completion; the multi-tenant driver
+//! ([`MultiSim`](crate::MultiSim)) interleaves several kernels in
+//! deterministic round-robin quanta. Because every kernel is fully
+//! self-contained, tenants cannot observe each other — which is precisely
+//! the isolation invariant the scheduler advertises.
+//!
+//! [`simulate`]: crate::simulate
+//! [`simulate_traced`]: crate::simulate_traced
+//! [`simulate_checkpointed`]: crate::simulate_checkpointed
+
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
+use crate::deadlock::DeadlockReport;
+use crate::model::SimModel;
+use crate::resources::FastForward;
+use crate::resources::{Resources, SimError};
+use crate::sched::Node;
+use crate::trace::{SimTrace, TraceEvent};
+use crate::{SimOptions, SimResult, StepMode};
+use plasticine_compiler::CompileOutput;
+use plasticine_ppir::{Machine, Program, TraceRecorder};
+
+/// Why [`SimKernel::advance`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advance {
+    /// The program ran to completion; harvest stats with
+    /// [`SimKernel::finish`].
+    Finished,
+    /// The `until` cycle was reached at a cycle boundary. The kernel can
+    /// be checkpointed or advanced further.
+    Paused,
+}
+
+/// Where periodic and on-error checkpoints go during
+/// [`SimKernel::advance`]. The `emit` callback owns persistence (and its
+/// error handling) so the run loop never blocks on I/O decisions.
+pub struct CheckpointSink<'a> {
+    /// When to emit checkpoints.
+    pub policy: CheckpointPolicy,
+    /// Receives each emitted checkpoint.
+    pub emit: &'a mut dyn FnMut(&Checkpoint),
+}
+
+/// One program's simulation as a pausable state machine (see the module
+/// docs). Construction runs the functional interpreter and builds the
+/// timing-side state at cycle 0 (or overlays a resume checkpoint);
+/// [`advance`](SimKernel::advance) then moves simulated time forward.
+pub struct SimKernel {
+    p: Program,
+    out: CompileOutput,
+    opts: SimOptions,
+    model: SimModel,
+    res: Resources,
+    root: Node,
+    last_progress: u64,
+    /// Next cycle at which a periodic checkpoint is due (lazily seeded
+    /// from the first sink that sets a cadence).
+    next_due: Option<u64>,
+    /// Set when the event kernel already ran this cycle's `begin_cycle`
+    /// (it found the cycle tree-observable): the next iteration must tick
+    /// without beginning again — and the kernel must NOT pause there.
+    skip_begin: bool,
+    done: bool,
+}
+
+impl SimKernel {
+    /// Runs the program functionally (on `machine`, which the caller
+    /// pre-loads with input data) and builds the timing-side state,
+    /// optionally overlaying a resume checkpoint.
+    ///
+    /// `Node::build` is deterministic, so the fresh tree has the same
+    /// shape and leaf job ids as the one a checkpointing run built; the
+    /// snapshot supplies only the mutable progress state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Run`] if functional execution fails,
+    /// [`SimError::Config`] if the fault map disables every DRAM channel,
+    /// and [`SimError::Checkpoint`] when `resume` does not match this
+    /// program/bitstream/options or is corrupt.
+    pub fn new(
+        p: &Program,
+        out: &CompileOutput,
+        machine: &mut Machine,
+        opts: &SimOptions,
+        traced: bool,
+        resume: Option<&Checkpoint>,
+    ) -> Result<SimKernel, SimError> {
+        let mut rec = TraceRecorder::new();
+        machine.run_traced(&mut rec)?;
+        let trace = rec.into_trace();
+
+        let mut model = SimModel::build(p, out);
+        if let Some(cap) = opts.credit_cap {
+            for om in model.outer.values_mut() {
+                for d in &mut om.deps {
+                    d.2 = d.2.min(cap);
+                }
+            }
+        }
+        let mut res = Resources::new(&model, &out.config.params, opts.dram.clone());
+        res.set_coalescing(opts.coalescing);
+        res.set_transients(&opts.faults.transient);
+        res.set_threads(opts.threads);
+        if !opts.faults.offline_channels.is_empty() {
+            let offline: Vec<usize> = opts.faults.offline_channels.iter().copied().collect();
+            if !res.dram.set_offline(&offline) {
+                return Err(SimError::Config(
+                    "fault map takes every DRAM channel offline".to_string(),
+                ));
+            }
+        }
+        if traced {
+            res.enable_tracing();
+        }
+        let mut next_job = 1u64;
+        let mut root = Node::build(trace, &model, &mut next_job);
+
+        let mut last_progress = 0u64;
+        if let Some(c) = resume {
+            c.matches(p, &out.config, opts)
+                .map_err(SimError::Checkpoint)?;
+            res.restore(&c.resources)
+                .map_err(|m| SimError::Checkpoint(CheckpointError::Format(m)))?;
+            root.restore(&c.tree, &model)
+                .map_err(|m| SimError::Checkpoint(CheckpointError::Format(m)))?;
+            last_progress = c.last_progress;
+        }
+        Ok(SimKernel {
+            p: p.clone(),
+            out: out.clone(),
+            opts: opts.clone(),
+            model,
+            res,
+            root,
+            last_progress,
+            next_due: None,
+            skip_begin: false,
+            done: false,
+        })
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.res.now
+    }
+
+    /// Whether the program has run to completion.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The program this kernel simulates.
+    pub fn program(&self) -> &Program {
+        &self.p
+    }
+
+    /// The compiled output this kernel simulates against.
+    pub fn output(&self) -> &CompileOutput {
+        &self.out
+    }
+
+    /// Runs the simulation loop until the program finishes or — when
+    /// `until` is given — the first cycle boundary at or past `until`.
+    /// In event stepping a quiescent fast-forward may overshoot `until`;
+    /// the pause lands on the next boundary after it, which is still a
+    /// valid checkpoint point.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the schedule stops making progress for
+    /// `stall_limit` cycles, [`SimError::CycleBudgetExceeded`] at
+    /// `max_cycles`, and [`SimError::FaultExhaustion`] when transient
+    /// injection exhausts its retry budget.
+    pub fn advance(
+        &mut self,
+        until: Option<u64>,
+        mut ckpt: Option<CheckpointSink<'_>>,
+    ) -> Result<Advance, SimError> {
+        if self.done {
+            return Ok(Advance::Finished);
+        }
+        if self.next_due.is_none() {
+            if let Some(e) = ckpt.as_ref().and_then(|s| s.policy.every) {
+                self.next_due = Some((self.res.now / e + 1) * e);
+            }
+        }
+        loop {
+            if !self.skip_begin {
+                // Pause/checkpoint point: top of the loop, *before*
+                // `begin_cycle`, where the state is exactly what a fresh
+                // build-plus-restore reproduces.
+                if until.is_some_and(|u| self.res.now >= u) {
+                    return Ok(Advance::Paused);
+                }
+                if let (Some(due), Some(s)) = (self.next_due, ckpt.as_mut()) {
+                    if self.res.now >= due {
+                        let c = self.checkpoint();
+                        (s.emit)(&c);
+                        let e = s.policy.every.expect("next_due implies every");
+                        self.next_due = Some((self.res.now / e + 1) * e);
+                    }
+                }
+                self.res.begin_cycle();
+            }
+            self.skip_begin = false;
+            self.res.pre_tick();
+            let done = self.root.tick(&mut self.res, &self.model);
+            // Exactly one commit per simulated cycle (including the last),
+            // so every unit's busy + ctrl + mem + idle total equals
+            // `res.now`.
+            self.res.commit_cycle();
+            if self.res.take_progress() {
+                self.last_progress = self.res.now;
+            }
+            if let Some((addr, attempts)) = self.res.take_fault_exhaustion() {
+                return Err(SimError::FaultExhaustion {
+                    cycle: self.res.now,
+                    addr,
+                    attempts,
+                });
+            }
+            if done {
+                self.done = true;
+                return Ok(Advance::Finished);
+            }
+            let changed = self.res.take_changed();
+            if self.res.now >= self.opts.max_cycles {
+                self.emit_on_error(&mut ckpt);
+                return Err(SimError::CycleBudgetExceeded {
+                    cycle: self.res.now,
+                    budget: self.opts.max_cycles,
+                });
+            }
+            if self.res.now.saturating_sub(self.last_progress) > self.opts.stall_limit {
+                self.emit_on_error(&mut ckpt);
+                let mut report = DeadlockReport {
+                    cycle: self.res.now,
+                    stall_limit: self.opts.stall_limit,
+                    last_progress: self.last_progress,
+                    ..DeadlockReport::default()
+                };
+                self.root
+                    .collect_blocked(&self.res, &self.model, &mut report.blocked);
+                report.finalize(|c| self.p.ctrl(c).name.clone());
+                if let Some(mut t) = self.res.take_trace() {
+                    let now = self.res.now;
+                    for b in &report.blocked {
+                        let what = b
+                            .waits
+                            .iter()
+                            .map(|w| w.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ");
+                        t.events.push(TraceEvent::Instant {
+                            ctrl: b.ctrl,
+                            label: format!("DEADLOCK: awaits {what}"),
+                            at: now,
+                        });
+                    }
+                    report.trace = Some(t);
+                }
+                return Err(SimError::Deadlock(Box::new(report)));
+            }
+            if self.opts.step == StepMode::Event && !changed && !self.res.is_forced() {
+                // The iteration was quiescent: replaying it verbatim would
+                // change nothing, so jump to the next cycle where anything
+                // can. A forced cycle (columns issued while coalescer
+                // lines wait on capacity) must run as a full iteration
+                // anyway, so skip the fast-forward entry — and its
+                // per-entry tree-wake walk — while the DRAM backlog
+                // drains; this is what keeps event stepping ≥ cycle
+                // stepping even in latency-bound phases.
+                match self.res.fast_forward(
+                    self.root.next_wake(),
+                    self.opts.stall_limit,
+                    self.opts.max_cycles,
+                    &mut self.last_progress,
+                ) {
+                    FastForward::NeedBegin => {}
+                    FastForward::Begun => self.skip_begin = true,
+                }
+            }
+        }
+    }
+
+    /// Snapshot at the current cycle boundary. Only valid when the kernel
+    /// is at a pause point — right after construction or an
+    /// [`Advance::Paused`] return — which the kernel guarantees by never
+    /// returning `Paused` mid-fast-forward.
+    pub fn checkpoint(&self) -> Checkpoint {
+        debug_assert!(!self.skip_begin, "checkpoint taken mid-fast-forward");
+        Checkpoint::new(
+            &self.p,
+            &self.out.config,
+            &self.opts,
+            self.res.now,
+            self.last_progress,
+            self.res.snapshot(),
+            self.root.snapshot(),
+        )
+    }
+
+    /// Emits a snapshot of the current state if the sink's `on_error`
+    /// asks for one. Called at the `CycleBudgetExceeded` and watchdog
+    /// error sites; the state there is a valid cycle-boundary checkpoint
+    /// (the cycle has committed), so a diagnosed failure still leaves a
+    /// resumable artifact — resume with a bigger `max_cycles` /
+    /// `stall_limit`.
+    fn emit_on_error(&self, ckpt: &mut Option<CheckpointSink<'_>>) {
+        if let Some(s) = ckpt {
+            if s.policy.on_error {
+                let c = Checkpoint::new(
+                    &self.p,
+                    &self.out.config,
+                    &self.opts,
+                    self.res.now,
+                    self.last_progress,
+                    self.res.snapshot(),
+                    self.root.snapshot(),
+                );
+                (s.emit)(&c);
+            }
+        }
+    }
+
+    /// Harvests the final stats (and the event trace, when tracing was
+    /// enabled). Call after [`advance`](SimKernel::advance) returned
+    /// [`Advance::Finished`].
+    pub fn finish(mut self) -> (SimResult, Option<SimTrace>) {
+        let units = self.res.unit_stats(&self.model);
+        let sim_trace = self.res.take_trace();
+        (
+            SimResult {
+                cycles: self.res.now,
+                activity: self.res.activity,
+                dram: self.res.dram_stats(),
+                coalesce: self.res.coalesce_stats(),
+                units,
+                faults: self.res.fault_stats(),
+                span_work: self.res.span_work,
+            },
+            sim_trace,
+        )
+    }
+}

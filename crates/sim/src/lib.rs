@@ -39,7 +39,9 @@
 mod checkpoint;
 mod deadlock;
 mod exit;
+mod kernel;
 mod model;
+mod multi;
 mod parallel;
 mod resources;
 mod sched;
@@ -48,9 +50,10 @@ mod trace;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use deadlock::{BlockedUnit, DeadlockReport, HeldResource, WaitCause};
 pub use exit::ExitStatus;
+pub use kernel::{Advance, CheckpointSink, SimKernel};
 pub use model::{ComputeModel, OuterModel, SimModel, TransferModel};
+pub use multi::{MultiSim, Tenant, TenantId};
 pub use parallel::SpanWork;
-use resources::FastForward;
 pub use resources::{Activity, FaultStats, Resources, SimError};
 pub use sched::Node;
 pub use trace::{
@@ -61,7 +64,7 @@ use plasticine_arch::{FaultMap, MachineConfig};
 use plasticine_compiler::CompileOutput;
 use plasticine_dram::{CoalesceStats, DramConfig, DramStats};
 use plasticine_json::Json;
-use plasticine_ppir::{Machine, Program, TraceRecorder};
+use plasticine_ppir::{Machine, Program};
 
 /// How the run loop advances simulated time.
 ///
@@ -284,7 +287,9 @@ pub fn simulate(
     machine: &mut Machine,
     opts: &SimOptions,
 ) -> Result<SimResult, SimError> {
-    run_sim(p, out, machine, opts, false, None).map(|(r, _)| r)
+    let mut k = SimKernel::new(p, out, machine, opts, false, None)?;
+    k.advance(None, None)?;
+    Ok(k.finish().0)
 }
 
 /// Like [`simulate`], but also records the structured event trace (leaf
@@ -301,47 +306,10 @@ pub fn simulate_traced(
     machine: &mut Machine,
     opts: &SimOptions,
 ) -> Result<(SimResult, SimTrace), SimError> {
-    run_sim(p, out, machine, opts, true, None).map(|(r, t)| (r, t.expect("tracing was enabled")))
-}
-
-/// Checkpoint wiring threaded through [`run_sim`]: when to emit, what (if
-/// anything) to resume from, and where emitted checkpoints go. The `emit`
-/// callback owns persistence (and its error handling) so the run loop
-/// never blocks on I/O decisions.
-struct CheckpointCtl<'a> {
-    policy: CheckpointPolicy,
-    resume: Option<&'a Checkpoint>,
-    emit: &'a mut dyn FnMut(&Checkpoint),
-}
-
-impl CheckpointCtl<'_> {
-    /// Emits a snapshot of the current state if `on_error` asks for one.
-    /// Called at the `CycleBudgetExceeded` and watchdog error sites; the
-    /// state there is a valid cycle-boundary checkpoint (the cycle has
-    /// committed), so a diagnosed failure still leaves a resumable
-    /// artifact — resume with a bigger `max_cycles` / `stall_limit`.
-    fn emit_on_error(
-        &mut self,
-        p: &Program,
-        out: &CompileOutput,
-        opts: &SimOptions,
-        res: &Resources,
-        root: &Node,
-        last_progress: u64,
-    ) {
-        if self.policy.on_error {
-            let c = Checkpoint::new(
-                p,
-                &out.config,
-                opts,
-                res.now,
-                last_progress,
-                res.snapshot(),
-                root.snapshot(),
-            );
-            (self.emit)(&c);
-        }
-    }
+    let mut k = SimKernel::new(p, out, machine, opts, true, None)?;
+    k.advance(None, None)?;
+    let (r, t) = k.finish();
+    Ok((r, t.expect("tracing was enabled")))
 }
 
 /// Like [`simulate`], but with checkpoint support: emits a [`Checkpoint`]
@@ -365,188 +333,9 @@ pub fn simulate_checkpointed(
     resume: Option<&Checkpoint>,
     emit: &mut dyn FnMut(&Checkpoint),
 ) -> Result<SimResult, SimError> {
-    let ctl = CheckpointCtl {
-        policy,
-        resume,
-        emit,
-    };
-    run_sim(p, out, machine, opts, false, Some(ctl)).map(|(r, _)| r)
-}
-
-fn run_sim(
-    p: &Program,
-    out: &CompileOutput,
-    machine: &mut Machine,
-    opts: &SimOptions,
-    traced: bool,
-    mut ckpt: Option<CheckpointCtl>,
-) -> Result<(SimResult, Option<SimTrace>), SimError> {
-    let mut rec = TraceRecorder::new();
-    machine.run_traced(&mut rec)?;
-    let trace = rec.into_trace();
-
-    let mut model = SimModel::build(p, out);
-    if let Some(cap) = opts.credit_cap {
-        for om in model.outer.values_mut() {
-            for d in &mut om.deps {
-                d.2 = d.2.min(cap);
-            }
-        }
-    }
-    let mut res = Resources::new(&model, &out.config.params, opts.dram.clone());
-    res.set_coalescing(opts.coalescing);
-    res.set_transients(&opts.faults.transient);
-    res.set_threads(opts.threads);
-    if !opts.faults.offline_channels.is_empty() {
-        let offline: Vec<usize> = opts.faults.offline_channels.iter().copied().collect();
-        if !res.dram.set_offline(&offline) {
-            return Err(SimError::Config(
-                "fault map takes every DRAM channel offline".to_string(),
-            ));
-        }
-    }
-    if traced {
-        res.enable_tracing();
-    }
-    let mut next_job = 1u64;
-    let mut root = Node::build(trace, &model, &mut next_job);
-
-    let mut last_progress = 0u64;
-    // Overlay a resume snapshot onto the freshly built state. `Node::build`
-    // is deterministic, so the fresh tree has the same shape and leaf job
-    // ids as the one the checkpointing run built; the snapshot supplies
-    // only the mutable progress state.
-    if let Some(c) = ckpt.as_ref().and_then(|c| c.resume) {
-        c.matches(p, &out.config, opts)
-            .map_err(SimError::Checkpoint)?;
-        res.restore(&c.resources)
-            .map_err(|m| SimError::Checkpoint(CheckpointError::Format(m)))?;
-        root.restore(&c.tree, &model)
-            .map_err(|m| SimError::Checkpoint(CheckpointError::Format(m)))?;
-        last_progress = c.last_progress;
-    }
-    // Next cycle at which a periodic checkpoint is due. Checkpoints are
-    // taken at the top of the loop, *before* `begin_cycle`, where the state
-    // is exactly what a fresh build-plus-restore reproduces.
-    let every = ckpt.as_ref().and_then(|c| c.policy.every);
-    let mut next_due = every.map(|e| (res.now / e + 1) * e);
-    // Set when the event kernel already ran this cycle's `begin_cycle` (it
-    // found the cycle tree-observable): the iteration must tick without
-    // beginning again.
-    let mut skip_begin = false;
-    loop {
-        if !skip_begin {
-            if let (Some(due), Some(ctl)) = (next_due, ckpt.as_mut()) {
-                if res.now >= due {
-                    let c = Checkpoint::new(
-                        p,
-                        &out.config,
-                        opts,
-                        res.now,
-                        last_progress,
-                        res.snapshot(),
-                        root.snapshot(),
-                    );
-                    (ctl.emit)(&c);
-                    let e = every.expect("next_due implies every");
-                    next_due = Some((res.now / e + 1) * e);
-                }
-            }
-            res.begin_cycle();
-        }
-        skip_begin = false;
-        res.pre_tick();
-        let done = root.tick(&mut res, &model);
-        // Exactly one commit per simulated cycle (including the last), so
-        // every unit's busy + ctrl + mem + idle total equals `res.now`.
-        res.commit_cycle();
-        if res.take_progress() {
-            last_progress = res.now;
-        }
-        if let Some((addr, attempts)) = res.take_fault_exhaustion() {
-            return Err(SimError::FaultExhaustion {
-                cycle: res.now,
-                addr,
-                attempts,
-            });
-        }
-        if done {
-            break;
-        }
-        let changed = res.take_changed();
-        if res.now >= opts.max_cycles {
-            if let Some(ctl) = ckpt.as_mut() {
-                ctl.emit_on_error(p, out, opts, &res, &root, last_progress);
-            }
-            return Err(SimError::CycleBudgetExceeded {
-                cycle: res.now,
-                budget: opts.max_cycles,
-            });
-        }
-        if res.now.saturating_sub(last_progress) > opts.stall_limit {
-            if let Some(ctl) = ckpt.as_mut() {
-                ctl.emit_on_error(p, out, opts, &res, &root, last_progress);
-            }
-            let mut report = DeadlockReport {
-                cycle: res.now,
-                stall_limit: opts.stall_limit,
-                last_progress,
-                ..DeadlockReport::default()
-            };
-            root.collect_blocked(&res, &model, &mut report.blocked);
-            report.finalize(|c| p.ctrl(c).name.clone());
-            if let Some(mut t) = res.take_trace() {
-                let now = res.now;
-                for b in &report.blocked {
-                    let what = b
-                        .waits
-                        .iter()
-                        .map(|w| w.to_string())
-                        .collect::<Vec<_>>()
-                        .join("; ");
-                    t.events.push(TraceEvent::Instant {
-                        ctrl: b.ctrl,
-                        label: format!("DEADLOCK: awaits {what}"),
-                        at: now,
-                    });
-                }
-                report.trace = Some(t);
-            }
-            return Err(SimError::Deadlock(Box::new(report)));
-        }
-        if opts.step == StepMode::Event && !changed && !res.is_forced() {
-            // The iteration was quiescent: replaying it verbatim would
-            // change nothing, so jump to the next cycle where anything can.
-            // A forced cycle (columns issued while coalescer lines wait on
-            // capacity) must run as a full iteration anyway, so skip the
-            // fast-forward entry — and its per-entry tree-wake walk — while
-            // the DRAM backlog drains; this is what keeps event stepping
-            // ≥ cycle stepping even in latency-bound phases.
-            match res.fast_forward(
-                root.next_wake(),
-                opts.stall_limit,
-                opts.max_cycles,
-                &mut last_progress,
-            ) {
-                FastForward::NeedBegin => {}
-                FastForward::Begun => skip_begin = true,
-            }
-        }
-    }
-    let units = res.unit_stats(&model);
-    let sim_trace = res.take_trace();
-    Ok((
-        SimResult {
-            cycles: res.now,
-            activity: res.activity,
-            dram: res.dram_stats(),
-            coalesce: res.coalesce_stats(),
-            units,
-            faults: res.fault_stats(),
-            span_work: res.span_work,
-        },
-        sim_trace,
-    ))
+    let mut k = SimKernel::new(p, out, machine, opts, false, resume)?;
+    k.advance(None, Some(CheckpointSink { policy, emit }))?;
+    Ok(k.finish().0)
 }
 
 #[cfg(test)]

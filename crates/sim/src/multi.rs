@@ -1,0 +1,272 @@
+//! Multi-tenant simulation: several programs co-resident on one chip.
+//!
+//! Each tenant occupies a disjoint fabric [`Partition`] (a horizontal
+//! band) and a disjoint DRAM-channel share, so co-residents share no
+//! physical resource: sites, switches, in-band links, edge AGs, and
+//! memory channels are all private. [`MultiSim`] therefore interleaves
+//! one independent [`SimKernel`] per tenant in deterministic weighted
+//! round-robin quanta — a tenant with a `c`-channel share advances
+//! `c × quantum` cycles per round — and each tenant's final
+//! [`SimResult`] is *byte-identical* to running it alone on a dedicated
+//! fabric of its partition's geometry. That is the headline isolation
+//! invariant, and it holds by construction: the per-tenant kernel is the
+//! same object the solo path runs, fed the same inputs.
+//!
+//! The quantum only schedules wall-clock work between tenants; it is
+//! invisible in any tenant's stats. Eviction ([`MultiSim::evict`])
+//! checkpoints a tenant at a quantum boundary; because checkpoint config
+//! hashes are partition-offset-normalized, the evicted tenant can resume
+//! ([`MultiSim::admit`] with a resume checkpoint) on any free
+//! [pattern-equivalent](Partition::pattern_equivalent) band — same
+//! height, offset congruent modulo the grid mix's vertical period — and
+//! still finish with byte-identical stats. Bands at incompatible offsets
+//! cover a different PCU/PMU site pattern and the checkpoint guard
+//! refuses them; callers pick resume bands accordingly.
+
+use crate::kernel::{Advance, SimKernel};
+use crate::{Checkpoint, SimError, SimOptions, SimResult};
+use plasticine_arch::Partition;
+use plasticine_compiler::CompileOutput;
+use plasticine_ppir::{Machine, Program};
+
+/// Identifies a tenant within one [`MultiSim`] (its admission index;
+/// stable for the life of the simulation — evicted and finished tenants
+/// keep their slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub usize);
+
+enum State {
+    Running(Box<SimKernel>),
+    Evicted { at: u64 },
+    Done(Box<SimResult>),
+}
+
+/// One co-resident program: identity, band, and progress.
+pub struct Tenant {
+    name: String,
+    partition: Option<Partition>,
+    weight: u64,
+    state: State,
+}
+
+impl Tenant {
+    /// The tenant's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fabric band the tenant's bitstream targets (`None` = the
+    /// whole chip, only possible for a lone tenant).
+    pub fn partition(&self) -> Option<Partition> {
+        self.partition
+    }
+
+    /// The tenant's round-robin credit weight (its DRAM-channel share).
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// The tenant's current simulated cycle (final cycle once done, the
+    /// eviction cycle while evicted).
+    pub fn now(&self) -> u64 {
+        match &self.state {
+            State::Running(k) => k.now(),
+            State::Evicted { at } => *at,
+            State::Done(r) => r.cycles,
+        }
+    }
+
+    /// Whether the tenant ran to completion.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done(_))
+    }
+
+    /// Whether the tenant was evicted (checkpointed off the fabric) and
+    /// has not been re-admitted.
+    pub fn is_evicted(&self) -> bool {
+        matches!(self.state, State::Evicted { .. })
+    }
+
+    /// The final result, once [`Tenant::is_done`].
+    pub fn result(&self) -> Option<&SimResult> {
+        match &self.state {
+            State::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic driver for co-resident tenant simulations (see the
+/// module docs).
+pub struct MultiSim {
+    quantum: u64,
+    channels: usize,
+    tenants: Vec<Tenant>,
+}
+
+impl MultiSim {
+    /// A driver over a chip with `channels` DRAM channels, advancing each
+    /// tenant `weight × quantum` cycles per round (`quantum` is clamped
+    /// to ≥ 1).
+    pub fn new(channels: usize, quantum: u64) -> MultiSim {
+        MultiSim {
+            quantum: quantum.max(1),
+            channels,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// All tenants in admission order (including finished and evicted
+    /// ones — slots are never reused).
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Admits a program onto the fabric: builds its kernel (running the
+    /// functional interpreter on `machine`, which the caller pre-loads
+    /// with input data), optionally resuming from an eviction checkpoint.
+    ///
+    /// The bitstream's partition must be disjoint from every live
+    /// tenant's band, fit the channel budget, and agree with the
+    /// tenant's DRAM configuration (`opts.dram.channels` must equal the
+    /// band's channel share — the tenant simulates against exactly its
+    /// share of the memory system).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] on partition conflicts, plus every
+    /// [`SimKernel::new`] error.
+    pub fn admit(
+        &mut self,
+        name: &str,
+        p: &Program,
+        out: &CompileOutput,
+        machine: &mut Machine,
+        opts: &SimOptions,
+        resume: Option<&Checkpoint>,
+    ) -> Result<TenantId, SimError> {
+        let band = out.config.partition;
+        let live: Vec<&Tenant> = self
+            .tenants
+            .iter()
+            .filter(|t| matches!(t.state, State::Running(_)))
+            .collect();
+        match band {
+            Some(b) => {
+                if opts.dram.channels != b.channels {
+                    return Err(SimError::Config(format!(
+                        "tenant `{name}` simulates {} DRAM channels but its partition \
+                         owns {}",
+                        opts.dram.channels, b.channels
+                    )));
+                }
+                let share: usize = live
+                    .iter()
+                    .filter_map(|t| t.partition)
+                    .map(|q| q.channels)
+                    .sum();
+                if share + b.channels > self.channels {
+                    return Err(SimError::Config(format!(
+                        "tenant `{name}` wants {} DRAM channels but only {} of {} are free",
+                        b.channels,
+                        self.channels - share,
+                        self.channels
+                    )));
+                }
+                for t in &live {
+                    match t.partition {
+                        Some(q) if b.y0 < q.y0 + q.rows && q.y0 < b.y0 + b.rows => {
+                            return Err(SimError::Config(format!(
+                                "tenant `{name}` partition {b} overlaps tenant `{}` \
+                                 partition {q}",
+                                t.name
+                            )));
+                        }
+                        None => {
+                            return Err(SimError::Config(format!(
+                                "tenant `{}` owns the whole chip; no band is free",
+                                t.name
+                            )));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            None => {
+                if let Some(t) = live.first() {
+                    return Err(SimError::Config(format!(
+                        "tenant `{name}` wants the whole chip but tenant `{}` is \
+                         resident",
+                        t.name
+                    )));
+                }
+            }
+        }
+        let kernel = SimKernel::new(p, out, machine, opts, false, resume)?;
+        let weight = band.map(|b| b.channels as u64).unwrap_or(1);
+        self.tenants.push(Tenant {
+            name: name.to_string(),
+            partition: band,
+            weight,
+            state: State::Running(Box::new(kernel)),
+        });
+        Ok(TenantId(self.tenants.len() - 1))
+    }
+
+    /// Runs one round-robin round: every live tenant advances
+    /// `weight × quantum` cycles (or to completion). Returns whether all
+    /// tenants are settled (done or evicted).
+    ///
+    /// # Errors
+    ///
+    /// The first failing tenant's id and error; the other tenants keep
+    /// their state and can still be evicted or inspected.
+    pub fn round(&mut self) -> Result<bool, (TenantId, SimError)> {
+        let mut settled = true;
+        for (i, t) in self.tenants.iter_mut().enumerate() {
+            let State::Running(k) = &mut t.state else {
+                continue;
+            };
+            let target = k.now() + t.weight * self.quantum;
+            match k.advance(Some(target), None) {
+                Ok(Advance::Finished) => {
+                    let State::Running(k) = std::mem::replace(
+                        &mut t.state,
+                        State::Evicted { at: 0 }, // placeholder, replaced below
+                    ) else {
+                        unreachable!("matched Running above");
+                    };
+                    t.state = State::Done(Box::new(k.finish().0));
+                }
+                Ok(Advance::Paused) => settled = false,
+                Err(e) => return Err((TenantId(i), e)),
+            }
+        }
+        Ok(settled)
+    }
+
+    /// Runs rounds until every tenant is done or evicted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultiSim::round`].
+    pub fn run(&mut self) -> Result<(), (TenantId, SimError)> {
+        while !self.round()? {}
+        Ok(())
+    }
+
+    /// Evicts a live tenant: checkpoints it at its current quantum
+    /// boundary and frees its band. Returns `None` when the tenant is
+    /// already done/evicted or the id is unknown. Resume the checkpoint
+    /// with [`MultiSim::admit`] against a bitstream compiled for any
+    /// same-geometry band.
+    pub fn evict(&mut self, id: TenantId) -> Option<Checkpoint> {
+        let t = self.tenants.get_mut(id.0)?;
+        let State::Running(k) = &t.state else {
+            return None;
+        };
+        let c = k.checkpoint();
+        t.state = State::Evicted { at: c.cycle };
+        Some(c)
+    }
+}

@@ -16,7 +16,8 @@
 //! 5 transient-fault exhaustion, 6 cycle budget exceeded.
 
 use plasticine::arch::{
-    DseGrid, FaultMap, FaultSpec, GridMix, MachineConfig, PlasticineParams, Topology,
+    DseGrid, FaultMap, FaultSpec, GridMix, MachineConfig, Partition, PartitionTable,
+    PlasticineParams, Topology,
 };
 use plasticine::compiler::{compile_degraded, Bitstream, CompileCache, CompileOptions};
 use plasticine::dse::{PointOutcome, SearchReport};
@@ -31,7 +32,7 @@ use plasticine::service::{
 };
 use plasticine::sim::{
     simulate, simulate_checkpointed, simulate_traced, Checkpoint, CheckpointPolicy, ExitStatus,
-    SimError, SimOptions, SimResult, StepMode, UnitKind, UnitStats,
+    MultiSim, SimError, SimOptions, SimResult, StepMode, TenantId, UnitKind, UnitStats,
 };
 use plasticine::workloads::{all, Bench, Scale};
 use std::fmt::Write as _;
@@ -44,7 +45,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--out FILE] [--bitstream FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n  plasticine-run dse search <benchmark...|all> [--scale N] [--lanes L1,L2] [--stages S1,S2] [--mix M1,M2] [--scratchpad-kb K1,K2] [--channels C1,C2] [--jobs N] [--threads N] [--step-mode MODE] [--max-cycles N] [--limit N] [--journal FILE] [--out FILE]\n  plasticine-run serve [--workers N] [--queue-depth N] [--deadline-ms N] [--socket PATH] [--retries N] [--scale N] [--threads N] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\ndse search options:\n  a resumable multi-objective search over the PlasticineParams design\n  space: each grid point (cross product of the axis lists below) is\n  compiled + simulated against the chosen workload mix and priced with\n  the area/power models; the output is the Pareto frontier over\n  perf / area / perf-per-W (dominated points pruned incrementally)\n  --lanes L1,L2      candidate PCU SIMD lane counts (default 8,16)\n  --stages S1,S2     candidate PCU pipeline stage counts (default 5,6)\n  --mix M1,M2        candidate grid mixes: `checkerboard`/`cb` or\n                     `pmuheavy`/`ph` (default checkerboard)\n  --scratchpad-kb K1,K2  candidate per-PMU scratchpad KiB (default 128,256)\n  --channels C1,C2   candidate DRAM channel counts (default 2,4)\n  --limit N          evaluate at most N new points this invocation; the\n                     rest are reported `not run` and picked up when the\n                     same --journal is passed again\n  --journal FILE     progress journal (shared format with `batch`); done\n                     points are restored with their exact measured\n                     objectives, so a resumed search emits a frontier\n                     byte-identical to an uninterrupted one\n  --out FILE         write the cumulative report (all points + frontier)\n                     as JSON; deterministic across worker counts\n  points the design cannot run (invalid params, does not fit even after\n  degradation, deadlock, cycle budget) are typed `infeasible` skips, not\n  failures; the exit code reflects only real failures\n\nserve options:\n  a long-lived daemon: line-delimited JSON requests on stdin (responses on\n  stdout) and, with --socket, on a Unix socket shared by many clients;\n  ops: compile, run, batch, stats, shutdown (see DESIGN.md section 13)\n  --workers N        worker threads executing requests (default: cores)\n  --queue-depth N    admission-queue bound (default: 2x workers); requests\n                     beyond it are shed with a typed `overloaded` response\n  --deadline-ms N    per-request wall-clock deadline measured from admission\n                     (default 60000); a request past it is abandoned with a\n                     typed error while the daemon keeps serving\n  --retries N        re-run a request failing with fault exhaustion up to N\n                     extra times (jittered backoff), then degrade its\n                     parallelization until it fits the surviving fabric\n  (the remaining flags set per-request defaults; response `status` strings\n  mirror the exit codes below, plus service-only `overloaded` and\n  `shutting_down` with code 7)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--partition ROWS@Y0[/CH]] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--partition ROWS@Y0[/CH]] [--out FILE] [--bitstream FILE]\n  plasticine-run multi <NAME=ROWS[@Y0][/CH]...> [--scale N] [--step-mode MODE] [--threads N] [--max-cycles N] [--quantum N] [--evict IDX] [--stats-json FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n  plasticine-run dse search <benchmark...|all> [--scale N] [--lanes L1,L2] [--stages S1,S2] [--mix M1,M2] [--mixes NAME1,NAME2] [--scratchpad-kb K1,K2] [--channels C1,C2] [--jobs N] [--threads N] [--step-mode MODE] [--max-cycles N] [--limit N] [--journal FILE] [--out FILE]\n  plasticine-run serve [--workers N] [--queue-depth N] [--deadline-ms N] [--socket PATH] [--retries N] [--scale N] [--threads N] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --partition ROWS@Y0[/CH]  compile and run on a horizontal band: ROWS fabric\n                     rows starting at row Y0 owning CH DRAM channels\n                     (default 1); with --config, the flag must match the\n                     partition the artifact was compiled for (a mismatch\n                     is a usage error) and the simulated DRAM shrinks to\n                     the band's channel share, so the stats are\n                     byte-identical to the same tenant co-located under\n                     `multi`\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n  --partition ROWS@Y0[/CH]  confine placement and routing to the band; the\n                     partition is recorded in the artifact, and the same\n                     geometry at a different Y0 yields a relocated,\n                     hash-distinct bitstream\n\nmulti options:\n  co-locate several programs on one chip, each on its own disjoint band\n  with its own DRAM-channel share, under deterministic weighted\n  round-robin channel arbitration; every tenant's stats are byte-identical\n  to running it alone via `run --partition` on the same band\n  NAME=ROWS[/CH]     tenant spec: bench NAME on a best-fit band of ROWS rows\n                     owning CH channels (default 1); NAME=ROWS@Y0[/CH] pins\n                     the band at row Y0 instead\n  --quantum N        cycles per arbitration credit: each round a tenant\n                     advances CH x N cycles (default 2048); stats are\n                     quantum-independent\n  --evict IDX        after one round, evict tenant IDX (checkpoint at its\n                     quantum boundary, free its band) and resume it as a new\n                     tenant — final stats match an uninterrupted run\n  --stats-json FILE  per-tenant stats snapshots (bench name inserted into\n                     the file name)\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\ndse search options:\n  a resumable multi-objective search over the PlasticineParams design\n  space: each grid point (cross product of the axis lists below) is\n  compiled + simulated against the chosen workload mix and priced with\n  the area/power models; the output is the Pareto frontier over\n  perf / area / perf-per-W (dominated points pruned incrementally)\n  --lanes L1,L2      candidate PCU SIMD lane counts (default 8,16)\n  --stages S1,S2     candidate PCU pipeline stage counts (default 5,6)\n  --mix M1,M2        candidate grid mixes: `checkerboard`/`cb` or\n                     `pmuheavy`/`ph` (default checkerboard)\n  --mixes NAME1,NAME2  score named workload mixes (`dense`, `sparse`, `ml`)\n                     in the same pass: every point is still compiled and\n                     simulated once per workload, but each mix re-weights\n                     the shared measurements into its own objectives and\n                     Pareto frontier, and the report adds the\n                     robust-across-mixes intersection\n  --scratchpad-kb K1,K2  candidate per-PMU scratchpad KiB (default 128,256)\n  --channels C1,C2   candidate DRAM channel counts (default 2,4)\n  --limit N          evaluate at most N new points this invocation; the\n                     rest are reported `not run` and picked up when the\n                     same --journal is passed again\n  --journal FILE     progress journal (shared format with `batch`); done\n                     points are restored with their exact measured\n                     objectives, so a resumed search emits a frontier\n                     byte-identical to an uninterrupted one\n  --out FILE         write the cumulative report (all points + frontier)\n                     as JSON; deterministic across worker counts\n  points the design cannot run (invalid params, does not fit even after\n  degradation, deadlock, cycle budget) are typed `infeasible` skips, not\n  failures; the exit code reflects only real failures\n\nserve options:\n  a long-lived daemon: line-delimited JSON requests on stdin (responses on\n  stdout) and, with --socket, on a Unix socket shared by many clients;\n  ops: compile, run, batch, stats, shutdown, plus the multi-tenant\n  scheduler ops submit (queue a program onto a free partition), tenants\n  (list tenant states), and evict (checkpoint + requeue a resident)\n  (see DESIGN.md sections 13 and 15)\n  --workers N        worker threads executing requests (default: cores)\n  --queue-depth N    admission-queue bound (default: 2x workers); requests\n                     beyond it are shed with a typed `overloaded` response\n  --deadline-ms N    per-request wall-clock deadline measured from admission\n                     (default 60000); a request past it is abandoned with a\n                     typed error while the daemon keeps serving\n  --retries N        re-run a request failing with fault exhaustion up to N\n                     extra times (jittered backoff), then degrade its\n                     parallelization until it fits the surviving fabric\n  (the remaining flags set per-request defaults; response `status` strings\n  mirror the exit codes below, plus service-only `overloaded` and\n  `shutting_down` with code 7)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
     );
     ExitStatus::Usage.into()
 }
@@ -88,6 +89,10 @@ struct Flags {
     scratchpad_kb: Option<Vec<usize>>,
     channels: Option<Vec<usize>>,
     limit: Option<usize>,
+    partition: Option<Partition>,
+    workload_mixes: Option<Vec<String>>,
+    quantum: Option<u64>,
+    evict: Option<usize>,
 }
 
 /// `--lanes 8,16` → `[8, 16]`; every element must be a positive integer.
@@ -215,6 +220,32 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                         format!("--limit requires a positive integer, got `{v}`")
                     })?);
             }
+            "--partition" => {
+                f.partition = Some(
+                    v.parse::<Partition>()
+                        .map_err(|e| format!("--partition: {e}"))?,
+                );
+            }
+            "--mixes" => {
+                f.workload_mixes = Some(
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--quantum" => {
+                f.quantum =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--quantum requires a positive integer, got `{v}`")
+                    })?);
+            }
+            "--evict" => {
+                f.evict = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--evict requires a tenant index, got `{v}`"))?,
+                );
+            }
             "--socket" => f.socket = Some(v),
             "--trace" => f.trace = Some(v),
             "--stats-json" => f.stats = Some(v),
@@ -336,6 +367,7 @@ struct RunConfig {
     checkpoint_every: Option<u64>,
     checkpoint_dir: Option<String>,
     resume: Option<String>,
+    partition: Option<Partition>,
 }
 
 /// A failed run, carrying the exit status it maps to.
@@ -416,10 +448,35 @@ fn load_artifact(
 
 fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<(), RunFailure> {
     let (out, prog) = match &cfg.config {
-        Some(path) => load_artifact(path, bench)?,
+        Some(path) => {
+            let loaded = load_artifact(path, bench)?;
+            // A partition-mismatched artifact is a usage error, not a
+            // runtime one: the caller asked to run on a band the bitstream
+            // was not compiled for, and silently honoring either side
+            // would violate the placement the artifact encodes.
+            if let Some(requested) = &cfg.partition {
+                if loaded.0.config.partition != cfg.partition {
+                    let artifact = match &loaded.0.config.partition {
+                        Some(p) => p.to_string(),
+                        None => "the whole fabric".to_string(),
+                    };
+                    return Err(RunFailure {
+                        code: ExitStatus::Usage,
+                        message: format!(
+                            "--partition {requested} does not match {path}: the \
+                             artifact was compiled for {artifact} (recompile \
+                             with `compile --partition`, or drop the flag to \
+                             use the artifact's own partition)",
+                        ),
+                    });
+                }
+            }
+            loaded
+        }
         None => {
             let copts = CompileOptions {
                 faults: cfg.faults.clone(),
+                partition: cfg.partition,
                 ..CompileOptions::new()
             };
             let (out, prog, degraded) =
@@ -443,6 +500,12 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
     };
     if let Some(n) = cfg.max_cycles {
         opts.max_cycles = n;
+    }
+    // A partitioned run owns only its band's share of the DRAM channels;
+    // shrinking the simulated channel count is what makes a solo run on a
+    // band byte-identical to the same tenant co-located under `multi`.
+    if let Some(p) = cfg.partition.or(out.config.partition) {
+        opts.dram.channels = p.channels;
     }
     let checkpointing = cfg.checkpoint_every.is_some() || cfg.checkpoint_dir.is_some();
     let sim_res = if checkpointing || cfg.resume.is_some() {
@@ -913,12 +976,12 @@ fn fault_map(spec: &Option<FaultSpec>, params: &PlasticineParams) -> FaultMap {
 fn print_dse_report(report: &SearchReport) {
     for (p, o) in &report.points {
         match o {
-            PointOutcome::Done(obj) => println!(
+            PointOutcome::Done(d) => println!(
                 "{:<18} perf {:>11.4e}  area {:>7.1} mm2  perf/W {:>11.4e}",
                 p.label(),
-                obj.perf,
-                obj.area_mm2,
-                obj.perf_per_w
+                d.obj.perf,
+                d.obj.area_mm2,
+                d.obj.perf_per_w
             ),
             PointOutcome::Infeasible { message, .. } => {
                 println!("{:<18} infeasible: {message}", p.label());
@@ -941,6 +1004,21 @@ fn print_dse_report(report: &SearchReport) {
             "  {:<16} perf {:>11.4e}  area {:>7.1} mm2  perf/W {:>11.4e}",
             e.id, e.obj.perf, e.obj.area_mm2, e.obj.perf_per_w
         );
+    }
+    for (name, f) in &report.mix_frontiers {
+        println!("{name} frontier ({} points):", f.len());
+        for e in f.entries() {
+            println!(
+                "  {:<16} perf {:>11.4e}  area {:>7.1} mm2  perf/W {:>11.4e}",
+                e.id, e.obj.perf, e.obj.area_mm2, e.obj.perf_per_w
+            );
+        }
+    }
+    if !report.mix_frontiers.is_empty() {
+        println!("robust across mixes ({} points):", report.robust.len());
+        for l in &report.robust {
+            println!("  {l}");
+        }
     }
 }
 
@@ -981,6 +1059,7 @@ fn main() -> ExitCode {
                     "--checkpoint-every",
                     "--checkpoint-dir",
                     "--resume",
+                    "--partition",
                 ],
             ) {
                 Ok(f) => f,
@@ -989,6 +1068,12 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
+            if let Some(p) = &flags.partition {
+                if let Err(e) = p.validate(&params) {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            }
             if flags.config.is_some() && name == "all" {
                 eprintln!("--config loads one artifact and cannot be combined with `run all`");
                 return usage();
@@ -1056,10 +1141,231 @@ fn main() -> ExitCode {
                     checkpoint_every: flags.checkpoint_every,
                     checkpoint_dir: flags.checkpoint_dir.clone(),
                     resume: flags.resume.clone(),
+                    partition: flags.partition,
                 };
                 if let Err(e) = run_one(b, &params, &cfg) {
                     eprintln!("{}: {}", b.name, e.message);
                     return e.code.into();
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("multi") => {
+            let specs: Vec<&String> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            if specs.len() < 2 {
+                eprintln!("`multi` requires at least two NAME=ROWS[@Y0][/CHANNELS] tenant specs");
+                return usage();
+            }
+            let flags = match parse_flags(
+                &args[1 + specs.len()..],
+                &[
+                    "--scale",
+                    "--step-mode",
+                    "--threads",
+                    "--max-cycles",
+                    "--quantum",
+                    "--evict",
+                    "--stats-json",
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let scale = Scale(flags.scale);
+            // Claim bands in spec order: explicit `ROWS@Y0` specs insert at
+            // their offset, bare `ROWS` specs take the best-fit gap.
+            let mut table = PartitionTable::new(&params);
+            let mut placed: Vec<(Bench, Partition)> = Vec::new();
+            for s in &specs {
+                let Some((name, geom)) = s.split_once('=') else {
+                    eprintln!("`{s}` is not NAME=ROWS[@Y0][/CHANNELS]");
+                    return usage();
+                };
+                let Some(bench) = find_bench(name, scale) else {
+                    eprintln!("unknown benchmark `{name}` (try `plasticine-run list`)");
+                    return ExitCode::FAILURE;
+                };
+                let band = if geom.contains('@') {
+                    let p: Partition = match geom.parse() {
+                        Ok(p) => p,
+                        Err(e) => {
+                            eprintln!("{name}: {e}");
+                            return usage();
+                        }
+                    };
+                    if let Err(e) = p.validate(&params) {
+                        eprintln!("{name}: {e}");
+                        return usage();
+                    }
+                    if let Err(e) = table.insert(p) {
+                        eprintln!("{name}: {e}");
+                        return usage();
+                    }
+                    p
+                } else {
+                    let (rows_s, channels) = match geom.split_once('/') {
+                        Some((r, c)) => match c.parse::<usize>().ok().filter(|&n| n >= 1) {
+                            Some(ch) => (r, ch),
+                            None => {
+                                eprintln!("{name}: `{c}` is not a channel count");
+                                return usage();
+                            }
+                        },
+                        None => (geom, 1),
+                    };
+                    let Some(rows) = rows_s.parse::<usize>().ok().filter(|&n| n >= 1) else {
+                        eprintln!("{name}: `{rows_s}` is not a row count");
+                        return usage();
+                    };
+                    match table.allocate(rows, channels) {
+                        Some(p) => p,
+                        None => {
+                            eprintln!(
+                                "{name}: no free band of {rows} rows / {channels} channels \
+                                 ({} rows and {} channels left)",
+                                table.free_rows(),
+                                table.free_channels()
+                            );
+                            return usage();
+                        }
+                    }
+                };
+                placed.push((bench, band));
+            }
+            let quantum = flags.quantum.unwrap_or(2048);
+            let mut ms = MultiSim::new(params.coalescing_units, quantum);
+            let mut meta: Vec<(Bench, plasticine::compiler::CompileOutput)> = Vec::new();
+            let admit = |ms: &mut MultiSim,
+                         bench: &Bench,
+                         band: Partition,
+                         resume: Option<&Checkpoint>|
+             -> Result<
+                (TenantId, plasticine::compiler::CompileOutput),
+                (String, ExitStatus),
+            > {
+                let copts = CompileOptions {
+                    partition: Some(band),
+                    ..CompileOptions::new()
+                };
+                let (out, prog, degraded) = compile_degraded(&bench.program, &params, &copts)
+                    .map_err(|e| (format!("{}: {e}", bench.name), ExitStatus::Compile))?;
+                for note in &degraded {
+                    println!("  {}: degraded: {note}", bench.name);
+                }
+                let mut opts = SimOptions {
+                    step: flags.step,
+                    threads: flags.threads,
+                    ..SimOptions::default()
+                };
+                if let Some(n) = flags.max_cycles {
+                    opts.max_cycles = n;
+                }
+                // The tenant simulates against exactly its channel share —
+                // the same override a solo `run --partition` applies, which
+                // is what makes the two byte-identical.
+                opts.dram.channels = band.channels;
+                let mut m = Machine::new(&prog);
+                bench.load(&mut m);
+                let id = ms
+                    .admit(&bench.name, &prog, &out, &mut m, &opts, resume)
+                    .map_err(|e| (format!("{}: {e}", bench.name), ExitStatus::from(&e)))?;
+                // Simulation is two-phase: the functional interpreter ran to
+                // completion inside admit, so the output is checkable now,
+                // before a single timing cycle.
+                bench
+                    .verify(&m)
+                    .map_err(|e| (format!("{}: {e}", bench.name), ExitStatus::Runtime))?;
+                Ok((id, out))
+            };
+            for (bench, band) in placed {
+                match admit(&mut ms, &bench, band, None) {
+                    Ok((id, out)) => {
+                        println!("tenant {}: {} on {band}", id.0, bench.name);
+                        meta.push((bench, out));
+                    }
+                    Err((msg, code)) => {
+                        eprintln!("{msg}");
+                        return code.into();
+                    }
+                }
+            }
+            if let Some(idx) = flags.evict {
+                if idx >= meta.len() {
+                    eprintln!("--evict {idx}: tenants are numbered 0..{}", meta.len());
+                    return usage();
+                }
+                // Let every tenant make one round of progress so the
+                // eviction checkpoint is mid-flight, then check the
+                // resume round-trips.
+                if let Err((tid, e)) = ms.round() {
+                    eprintln!("{}: {e}", meta[tid.0].0.name);
+                    return ExitStatus::from(&e).into();
+                }
+                match ms.evict(TenantId(idx)) {
+                    Some(ckpt) => {
+                        let band = meta[idx]
+                            .1
+                            .config
+                            .partition
+                            .expect("multi tenants have bands");
+                        println!(
+                            "tenant {idx}: {} evicted at cycle {} ({band} freed)",
+                            meta[idx].0.name, ckpt.cycle
+                        );
+                        table.release(&band);
+                        // Resume only on a band the checkpointed bitstream
+                        // relocates onto (offset congruent modulo the grid
+                        // mix's vertical period).
+                        let new_band = table
+                            .allocate_compatible(band.rows, band.channels, band.y0, params.mix)
+                            .expect("the freed band itself is still compatible and fits");
+                        let bench = meta[idx].0.clone();
+                        match admit(&mut ms, &bench, new_band, Some(&ckpt)) {
+                            Ok((id, out)) => {
+                                println!(
+                                    "tenant {}: {} resumed from cycle {} on {new_band}",
+                                    id.0, bench.name, ckpt.cycle
+                                );
+                                meta.push((bench, out));
+                            }
+                            Err((msg, code)) => {
+                                eprintln!("{msg}");
+                                return code.into();
+                            }
+                        }
+                    }
+                    None => println!("tenant {idx}: finished before the eviction point"),
+                }
+            }
+            if let Err((tid, e)) = ms.run() {
+                eprintln!("{}: {e}", ms.tenants()[tid.0].name());
+                return ExitStatus::from(&e).into();
+            }
+            for (i, t) in ms.tenants().iter().enumerate() {
+                let (bench, out) = &meta[i];
+                if t.is_evicted() {
+                    println!(
+                        "tenant {i}: {:<14} evicted at cycle {} (resumed above)",
+                        t.name(),
+                        t.now()
+                    );
+                    continue;
+                }
+                let r = t.result().expect("run() settles every live tenant");
+                println!("tenant {i}: {}", summary_line(bench, &params, out, r));
+                if let Some(p) = &flags.stats {
+                    let path = per_bench_path(p, &bench.name);
+                    if let Err(e) = std::fs::write(&path, stats_with_bench(bench, r).pretty()) {
+                        eprintln!("writing {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("  stats written to {path}");
                 }
             }
             ExitCode::SUCCESS
@@ -1072,14 +1378,22 @@ fn main() -> ExitCode {
                 eprintln!("`compile` requires a benchmark name before options");
                 return usage();
             }
-            let flags =
-                match parse_flags(&args[2..], &["--scale", "--faults", "--bitstream", "--out"]) {
-                    Ok(f) => f,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return usage();
-                    }
-                };
+            let flags = match parse_flags(
+                &args[2..],
+                &["--scale", "--faults", "--bitstream", "--out", "--partition"],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            if let Some(p) = &flags.partition {
+                if let Err(e) = p.validate(&params) {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            }
             let Some(bench) = find_bench(name, Scale(flags.scale)) else {
                 eprintln!("unknown benchmark `{name}`");
                 return ExitCode::FAILURE;
@@ -1090,6 +1404,7 @@ fn main() -> ExitCode {
             }
             let copts = CompileOptions {
                 faults,
+                partition: flags.partition,
                 ..CompileOptions::new()
             };
             let (out, degraded) = match compile_degraded(&bench.program, &params, &copts) {
@@ -1248,6 +1563,7 @@ fn main() -> ExitCode {
                     "--lanes",
                     "--stages",
                     "--mix",
+                    "--mixes",
                     "--scratchpad-kb",
                     "--channels",
                 ],
@@ -1295,6 +1611,7 @@ fn main() -> ExitCode {
                 max_cycles: flags.max_cycles.unwrap_or(SimOptions::default().max_cycles),
                 threads: flags.threads,
                 limit: flags.limit,
+                mixes: flags.workload_mixes.clone().unwrap_or_default(),
             };
             let mut journal = match Journal::load(flags.journal.as_deref()) {
                 Ok(j) => j,

@@ -73,6 +73,14 @@ pub struct SearchConfig {
     /// invocation. This is how tests interrupt a search mid-flight
     /// deterministically.
     pub limit: Option<usize>,
+    /// Named workload mixes (`dense`, `sparse`, `ml`) scored in the same
+    /// pass: every point is still compiled and simulated once per
+    /// selected benchmark, but each mix re-weights those shared
+    /// measurements into its own objectives and Pareto frontier, and the
+    /// report adds the robust-across-mixes intersection. Empty (the
+    /// default) scores only the union of the selected benchmarks,
+    /// exactly as before.
+    pub mixes: Vec<String>,
 }
 
 impl Default for SearchConfig {
@@ -85,15 +93,73 @@ impl Default for SearchConfig {
             max_cycles: SimOptions::default().max_cycles,
             threads: 1,
             limit: None,
+            mixes: Vec::new(),
         }
     }
+}
+
+/// The benchmarks a named workload mix covers, following the paper's
+/// application classes: `dense` is the tiled linear-algebra and
+/// streaming kernels, `sparse` the pointer-chasing graph/SpMV kernels,
+/// `ml` the iterative training and inference workloads.
+pub fn mix_members(name: &str) -> Option<&'static [&'static str]> {
+    match name {
+        "dense" => Some(&[
+            "InnerProduct",
+            "OuterProduct",
+            "BlackScholes",
+            "TPCHQ6",
+            "GEMM",
+        ]),
+        "sparse" => Some(&["SMDV", "PageRank", "BFS"]),
+        "ml" => Some(&["GDA", "LogReg", "SGD", "Kmeans", "CNN"]),
+        _ => None,
+    }
+}
+
+/// Resolves mix names to indices into the selected benchmark list. Every
+/// mix member must be present: a mix scored over a partial member set
+/// would silently mean something different between invocations.
+fn resolve_mixes(names: &[String], benches: &[Bench]) -> Result<Vec<(String, Vec<usize>)>, String> {
+    names
+        .iter()
+        .map(|name| {
+            let members = mix_members(name).ok_or_else(|| {
+                format!("unknown workload mix `{name}` (known mixes: dense, sparse, ml)")
+            })?;
+            let idx = members
+                .iter()
+                .map(|m| {
+                    benches.iter().position(|b| b.name == *m).ok_or_else(|| {
+                        format!(
+                            "mix `{name}` includes {m}, which is not in the selected \
+                                 benchmarks (select `all` when using --mixes)"
+                        )
+                    })
+                })
+                .collect::<Result<Vec<usize>, String>>()?;
+            Ok((name.clone(), idx))
+        })
+        .collect()
+}
+
+/// Measured outcome of a feasible point: the objectives over the whole
+/// selected benchmark set, plus each configured named mix's objectives
+/// over the shared per-benchmark measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DonePoint {
+    /// Objectives over every selected benchmark (the union mix).
+    pub obj: Objectives,
+    /// Per-named-mix objectives, in [`SearchConfig::mixes`] order (empty
+    /// when no named mixes are configured).
+    pub mixes: Vec<(String, Objectives)>,
 }
 
 /// Final disposition of one design point.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PointOutcome {
     /// Compiled, simulated, and verified on every benchmark in the mix.
-    Done(Objectives),
+    Done(DonePoint),
     /// The design cannot run this mix (typed skip, final): invalid
     /// parameters, compile failure after degradation, deadlock, cycle
     /// budget, or fault exhaustion.
@@ -118,11 +184,19 @@ pub enum PointOutcome {
 /// The cumulative result of a search invocation: every grid point's
 /// disposition (including those restored from the journal) plus the
 /// frontier over all `Done` points.
+#[derive(Debug)]
 pub struct SearchReport {
     /// Per-point outcomes in enumeration order.
     pub points: Vec<(DsePoint, PointOutcome)>,
-    /// Non-dominated `Done` points.
+    /// Non-dominated `Done` points (over the union objectives).
     pub frontier: ParetoFrontier,
+    /// One frontier per configured named mix, in [`SearchConfig::mixes`]
+    /// order.
+    pub mix_frontiers: Vec<(String, ParetoFrontier)>,
+    /// Labels of the points on *every* named mix's frontier — the
+    /// designs that are robust across workload mixes — in enumeration
+    /// order. Empty when no named mixes are configured.
+    pub robust: Vec<String>,
     /// How many points were evaluated fresh this invocation (as opposed
     /// to restored from the journal).
     pub evaluated_now: usize,
@@ -166,11 +240,31 @@ impl SearchReport {
             .map(|(p, o)| {
                 let mut fields = vec![("point", Json::from(p.label()))];
                 match o {
-                    PointOutcome::Done(obj) => {
+                    PointOutcome::Done(d) => {
                         fields.push(("status", Json::from("done")));
-                        fields.push(("perf", Json::from(obj.perf)));
-                        fields.push(("area_mm2", Json::from(obj.area_mm2)));
-                        fields.push(("perf_per_w", Json::from(obj.perf_per_w)));
+                        fields.push(("perf", Json::from(d.obj.perf)));
+                        fields.push(("area_mm2", Json::from(d.obj.area_mm2)));
+                        fields.push(("perf_per_w", Json::from(d.obj.perf_per_w)));
+                        if !d.mixes.is_empty() {
+                            fields.push((
+                                "mixes",
+                                Json::Obj(
+                                    d.mixes
+                                        .iter()
+                                        .map(|(n, obj)| {
+                                            (
+                                                n.clone(),
+                                                Json::obj([
+                                                    ("perf", Json::from(obj.perf)),
+                                                    ("area_mm2", Json::from(obj.area_mm2)),
+                                                    ("perf_per_w", Json::from(obj.perf_per_w)),
+                                                ]),
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            ));
+                        }
                     }
                     PointOutcome::Infeasible { code, message } => {
                         fields.push(("status", Json::from("infeasible")));
@@ -189,20 +283,23 @@ impl SearchReport {
                 Json::obj(fields)
             })
             .collect();
-        let frontier: Vec<Json> = self
-            .frontier
-            .entries()
-            .iter()
-            .map(|e| {
-                Json::obj([
-                    ("point", Json::from(e.id.clone())),
-                    ("perf", Json::from(e.obj.perf)),
-                    ("area_mm2", Json::from(e.obj.area_mm2)),
-                    ("perf_per_w", Json::from(e.obj.perf_per_w)),
-                ])
-            })
-            .collect();
-        Json::obj([
+        let frontier_json = |f: &ParetoFrontier| -> Json {
+            Json::Arr(
+                f.entries()
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("point", Json::from(e.id.clone())),
+                            ("perf", Json::from(e.obj.perf)),
+                            ("area_mm2", Json::from(e.obj.area_mm2)),
+                            ("perf_per_w", Json::from(e.obj.perf_per_w)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let frontier = frontier_json(&self.frontier);
+        let mut fields = vec![
             ("version", Json::from(1u64)),
             (
                 "benches",
@@ -219,8 +316,29 @@ impl SearchReport {
                 ]),
             ),
             ("points", Json::Arr(points)),
-            ("frontier", Json::Arr(frontier)),
-        ])
+            ("frontier", frontier),
+        ];
+        if !self.mix_frontiers.is_empty() {
+            fields.push((
+                "mixes",
+                Json::Arr(
+                    self.mix_frontiers
+                        .iter()
+                        .map(|(name, f)| {
+                            Json::obj([
+                                ("name", Json::from(name.clone())),
+                                ("frontier", frontier_json(f)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push((
+                "robust",
+                Json::Arr(self.robust.iter().map(|l| Json::from(l.clone())).collect()),
+            ));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -229,7 +347,7 @@ impl SearchReport {
 /// hashed in: the point itself, the benchmark programs, the scale, the
 /// step mode, and the cycle budget.
 fn point_key(point: &DsePoint, bench_sig: &str, cfg: &SearchConfig) -> String {
-    let desc = format!(
+    let mut desc = format!(
         "dse|{}|{}|{}|{:?}|{}",
         point.label(),
         bench_sig,
@@ -237,20 +355,46 @@ fn point_key(point: &DsePoint, bench_sig: &str, cfg: &SearchConfig) -> String {
         cfg.step,
         cfg.max_cycles
     );
+    // Named mixes change what the journal payload must hold, so they are
+    // part of the evaluation's identity. Mix-less searches keep their
+    // historical keys.
+    if !cfg.mixes.is_empty() {
+        desc.push_str("|mixes=");
+        desc.push_str(&cfg.mixes.join(","));
+    }
     format!("{:016x}", fnv1a_str(&desc))
 }
 
 /// Encodes measured objectives as exact f64 bit patterns for the
-/// journal, so a resumed search reproduces them bit-for-bit.
-fn encode_objectives(obj: &Objectives) -> Json {
-    Json::obj([
-        ("perf", Json::hex(obj.perf.to_bits())),
-        ("area_mm2", Json::hex(obj.area_mm2.to_bits())),
-        ("perf_per_w", Json::hex(obj.perf_per_w.to_bits())),
-    ])
+/// journal, so a resumed search reproduces them bit-for-bit. Per-mix
+/// objectives ride along under a `mixes` sub-object.
+fn encode_objectives(d: &DonePoint) -> Json {
+    let one = |obj: &Objectives| {
+        vec![
+            ("perf".to_string(), Json::hex(obj.perf.to_bits())),
+            ("area_mm2".to_string(), Json::hex(obj.area_mm2.to_bits())),
+            (
+                "perf_per_w".to_string(),
+                Json::hex(obj.perf_per_w.to_bits()),
+            ),
+        ]
+    };
+    let mut fields = one(&d.obj);
+    if !d.mixes.is_empty() {
+        fields.push((
+            "mixes".to_string(),
+            Json::Obj(
+                d.mixes
+                    .iter()
+                    .map(|(n, obj)| (n.clone(), Json::Obj(one(obj))))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields)
 }
 
-fn decode_objectives(data: &Json) -> Option<Objectives> {
+fn decode_one(data: &Json) -> Option<Objectives> {
     Some(Objectives {
         perf: f64::from_bits(hex_of(data, "perf").ok()?),
         area_mm2: f64::from_bits(hex_of(data, "area_mm2").ok()?),
@@ -258,13 +402,34 @@ fn decode_objectives(data: &Json) -> Option<Objectives> {
     })
 }
 
+/// Decodes a `done` payload against the configured mix list; a payload
+/// missing any required mix (e.g. written before that mix existed) is
+/// rejected so the point is re-evaluated.
+fn decode_objectives(data: &Json, mixes: &[String]) -> Option<DonePoint> {
+    let obj = decode_one(data)?;
+    let per_mix = mixes
+        .iter()
+        .map(|name| {
+            let sub = data.get("mixes")?.get(name)?;
+            Some((name.clone(), decode_one(sub)?))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(DonePoint {
+        obj,
+        mixes: per_mix,
+    })
+}
+
 /// Compiles, simulates, verifies, and prices one design point against
 /// the whole mix. Perf and perf-per-W are geometric means across the
 /// mix (each benchmark counts equally regardless of its absolute
-/// runtime); area is the priced chip area of the point.
+/// runtime); area is the priced chip area of the point. Named mixes
+/// reuse the same per-benchmark measurements — one compile + simulate
+/// per benchmark no matter how many mixes score it.
 fn evaluate(
     point: &DsePoint,
     benches: &[Bench],
+    mix_sets: &[(String, Vec<usize>)],
     cache: &CompileCache,
     cfg: &SearchConfig,
 ) -> PointOutcome {
@@ -285,8 +450,9 @@ fn evaluate(
         ..SimOptions::default()
     };
     opts.dram.channels = point.dram_channels;
-    let mut ln_perf = 0.0f64;
-    let mut ln_ppw = 0.0f64;
+    // Per-benchmark (1/seconds, 1/(seconds*watts)) log-measurements, the
+    // shared raw material every mix's geomean is folded from.
+    let mut ln_measured: Vec<(f64, f64)> = Vec::with_capacity(benches.len());
     for bench in benches {
         let compiled = match cache.compile_degraded(&bench.program, &params, &copts) {
             Ok(c) => c,
@@ -330,20 +496,35 @@ fn evaluate(
         }
         let seconds = r.seconds(params.clock_ghz);
         let watts = PowerModel::new().estimate(&r, &out.config).total_w;
-        ln_perf += (1.0 / seconds).ln();
-        ln_ppw += (1.0 / (seconds * watts)).ln();
+        ln_measured.push(((1.0 / seconds).ln(), (1.0 / (seconds * watts)).ln()));
     }
-    let n = benches.len() as f64;
-    PointOutcome::Done(Objectives {
-        perf: (ln_perf / n).exp(),
-        area_mm2: AreaModel::new().chip(&params).total,
-        perf_per_w: (ln_ppw / n).exp(),
+    let area = AreaModel::new().chip(&params).total;
+    let geomean = |idx: &mut dyn Iterator<Item = usize>| -> Objectives {
+        let (mut ln_perf, mut ln_ppw, mut n) = (0.0f64, 0.0f64, 0usize);
+        for i in idx {
+            ln_perf += ln_measured[i].0;
+            ln_ppw += ln_measured[i].1;
+            n += 1;
+        }
+        let n = n as f64;
+        Objectives {
+            perf: (ln_perf / n).exp(),
+            area_mm2: area,
+            perf_per_w: (ln_ppw / n).exp(),
+        }
+    };
+    PointOutcome::Done(DonePoint {
+        obj: geomean(&mut (0..benches.len())),
+        mixes: mix_sets
+            .iter()
+            .map(|(name, idx)| (name.clone(), geomean(&mut idx.iter().copied())))
+            .collect(),
     })
 }
 
 fn final_entry(key: &str, point: &DsePoint, outcome: &PointOutcome, attempts: u32) -> JournalEntry {
     let (status, code, message, data) = match outcome {
-        PointOutcome::Done(obj) => (JobStatus::Done, 0, String::new(), encode_objectives(obj)),
+        PointOutcome::Done(d) => (JobStatus::Done, 0, String::new(), encode_objectives(d)),
         PointOutcome::Infeasible { code, message } => {
             (JobStatus::Infeasible, *code, message.clone(), Json::Null)
         }
@@ -381,6 +562,7 @@ pub fn search(
     if benches.is_empty() {
         return Err("no benchmarks selected for the workload mix".into());
     }
+    let mix_sets = resolve_mixes(&cfg.mixes, benches)?;
     let points = cfg.grid.enumerate();
     let bench_sig: String = benches
         .iter()
@@ -401,18 +583,20 @@ pub fn search(
     let mut pending: Vec<usize> = Vec::new();
     for (i, key) in keys.iter().enumerate() {
         match journal.find(key) {
-            Some(e) if e.status == JobStatus::Done => match decode_objectives(&e.data) {
-                Some(obj) => {
-                    outcomes[i] = PointOutcome::Done(obj);
-                    restored[i] = true;
+            Some(e) if e.status == JobStatus::Done => {
+                match decode_objectives(&e.data, &cfg.mixes) {
+                    Some(d) => {
+                        outcomes[i] = PointOutcome::Done(d);
+                        restored[i] = true;
+                    }
+                    // A done entry without decodable objectives predates the
+                    // data payload or was hand-edited: re-evaluate.
+                    None => {
+                        prior_attempts[i] = e.attempts;
+                        pending.push(i);
+                    }
                 }
-                // A done entry without decodable objectives predates the
-                // data payload or was hand-edited: re-evaluate.
-                None => {
-                    prior_attempts[i] = e.attempts;
-                    pending.push(i);
-                }
-            },
+            }
             Some(e) if e.status == JobStatus::Infeasible => {
                 outcomes[i] = PointOutcome::Infeasible {
                     code: e.code,
@@ -455,7 +639,7 @@ pub fn search(
                     message: String::new(),
                     data: Json::Null,
                 });
-                let outcome = evaluate(point, benches, &cache, cfg);
+                let outcome = evaluate(point, benches, &mix_sets, &cache, cfg);
                 journal_mx
                     .lock()
                     .unwrap()
@@ -477,18 +661,50 @@ pub fn search(
     // insertion-order independent, but a fixed order makes the stored
     // entry sequence (and thus the report bytes) deterministic too.
     let mut frontier = ParetoFrontier::new();
+    let mut mix_frontiers: Vec<(String, ParetoFrontier)> = cfg
+        .mixes
+        .iter()
+        .map(|n| (n.clone(), ParetoFrontier::new()))
+        .collect();
     for (i, o) in outcomes.iter().enumerate() {
-        if let PointOutcome::Done(obj) = o {
+        if let PointOutcome::Done(d) = o {
             frontier.insert(FrontierPoint {
                 id: points[i].label(),
-                obj: *obj,
+                obj: d.obj,
             });
+            for (name, obj) in &d.mixes {
+                let (_, f) = mix_frontiers
+                    .iter_mut()
+                    .find(|(n, _)| n == name)
+                    .expect("mix objectives always come from cfg.mixes");
+                f.insert(FrontierPoint {
+                    id: points[i].label(),
+                    obj: *obj,
+                });
+            }
         }
     }
+    // The robust set: points every mix keeps on its frontier. Enumeration
+    // order keeps the list deterministic.
+    let robust: Vec<String> = if mix_frontiers.is_empty() {
+        Vec::new()
+    } else {
+        points
+            .iter()
+            .map(|p| p.label())
+            .filter(|l| {
+                mix_frontiers
+                    .iter()
+                    .all(|(_, f)| f.entries().iter().any(|e| &e.id == l))
+            })
+            .collect()
+    };
     let _ = restored;
     Ok(SearchReport {
         points: points.into_iter().zip(outcomes).collect(),
         frontier,
+        mix_frontiers,
+        robust,
         evaluated_now,
     })
 }
@@ -528,8 +744,40 @@ mod tests {
             area_mm2: 102.3,
             perf_per_w: 0.000_123_456,
         };
-        assert_eq!(decode_objectives(&encode_objectives(&obj)), Some(obj));
-        assert_eq!(decode_objectives(&Json::Null), None);
+        let plain = DonePoint {
+            obj,
+            mixes: Vec::new(),
+        };
+        assert_eq!(
+            decode_objectives(&encode_objectives(&plain), &[]),
+            Some(plain.clone())
+        );
+        assert_eq!(decode_objectives(&Json::Null, &[]), None);
+
+        // Per-mix objectives ride along and round-trip exactly.
+        let with_mixes = DonePoint {
+            obj,
+            mixes: vec![(
+                "dense".to_string(),
+                Objectives {
+                    perf: 2.0,
+                    area_mm2: 102.3,
+                    perf_per_w: 0.5,
+                },
+            )],
+        };
+        let data = encode_objectives(&with_mixes);
+        assert_eq!(
+            decode_objectives(&data, &["dense".to_string()]),
+            Some(with_mixes)
+        );
+        // A payload missing a required mix is rejected → re-evaluated.
+        assert_eq!(
+            decode_objectives(&encode_objectives(&plain), &["dense".to_string()]),
+            None
+        );
+        // Extra mixes in the payload do not disturb a mix-less decode.
+        assert_eq!(decode_objectives(&data, &[]), Some(plain));
     }
 
     #[test]
@@ -586,6 +834,64 @@ mod tests {
             full.to_json(&benches, &cfg).pretty(),
             "resumed report must be byte-identical to the cold run"
         );
+    }
+
+    #[test]
+    fn named_mixes_share_one_pass_and_resume_byte_identically() {
+        let benches = all(Scale(1));
+        let cfg = SearchConfig {
+            grid: DseGrid {
+                lanes: vec![16],
+                stages: vec![6],
+                mixes: vec![GridMix::Checkerboard],
+                scratchpad_kb: vec![256],
+                dram_channels: vec![4],
+            },
+            mixes: vec!["dense".into(), "sparse".into(), "ml".into()],
+            ..SearchConfig::default()
+        };
+        let mut journal = Journal::load(None).unwrap();
+        let report = search(&benches, &cfg, &mut journal).unwrap();
+        assert_eq!(report.counts().0, 1, "{:?}", report.points);
+        assert_eq!(report.mix_frontiers.len(), 3);
+        for (name, f) in &report.mix_frontiers {
+            assert_eq!(f.len(), 1, "mix `{name}` must keep the only point");
+        }
+        assert_eq!(report.robust.len(), 1, "the only point is robust");
+        let PointOutcome::Done(d) = &report.points[0].1 else {
+            panic!("point must be done");
+        };
+        assert_eq!(d.mixes.len(), 3);
+        // Each mix geomeans a different benchmark subset, so the
+        // objectives differ from the union and from each other.
+        assert!(d.mixes.iter().any(|(_, o)| o.perf != d.obj.perf));
+        // The journal payload carries every mix.
+        let entry = journal.entries()[0].clone();
+        assert_eq!(entry.status, JobStatus::Done);
+        assert!(entry.data.get("mixes").is_some());
+        // Resuming restores the per-mix objectives without re-evaluating.
+        let resumed = search(&benches, &cfg, &mut journal).unwrap();
+        assert_eq!(resumed.evaluated_now, 0);
+        assert_eq!(
+            resumed.to_json(&benches, &cfg).pretty(),
+            report.to_json(&benches, &cfg).pretty()
+        );
+    }
+
+    #[test]
+    fn mix_setup_errors_are_reported() {
+        let benches = all(Scale(1));
+        let mut cfg = SearchConfig {
+            mixes: vec!["warehouse".into()],
+            ..tiny_cfg()
+        };
+        let err = search(&benches, &cfg, &mut Journal::load(None).unwrap()).unwrap_err();
+        assert!(err.contains("unknown workload mix"), "{err}");
+
+        cfg.mixes = vec!["sparse".into()];
+        let narrow = mix(&["InnerProduct"]);
+        let err = search(&narrow, &cfg, &mut Journal::load(None).unwrap()).unwrap_err();
+        assert!(err.contains("not in the selected"), "{err}");
     }
 
     #[test]

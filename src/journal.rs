@@ -17,7 +17,8 @@
 
 use crate::json::decode::{arr_of, str_of, u64_of};
 use crate::json::Json;
-use std::path::PathBuf;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Lifecycle of one journaled work item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,11 +85,97 @@ pub struct JournalEntry {
     pub data: Json,
 }
 
+/// Is the process with this pid alive? `/proc/<pid>` is the
+/// dependency-free probe; our own pid is alive by definition (covers the
+/// same process opening the same journal twice — still two writers).
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> bool {
+    pid == std::process::id() || Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Without `/proc` there is no dependency-free liveness probe. Err on
+/// the side of refusing — the error message names the lockfile so a
+/// human can remove it after checking the pid themselves.
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> bool {
+    true
+}
+
+/// Exclusive writer lock on a file-backed journal: `<journal>.lock`
+/// holding the owner's pid, released on drop.
+///
+/// Every [`Journal::set`] rewrites the whole file, so two concurrent
+/// writers silently lose each other's entries — the second writer must
+/// be refused up front, not merged after the fact. Same liveness logic
+/// as the serve daemon's socket reclaim: a lockfile whose pid is dead
+/// (crashed or killed writer) is stale and reclaimed; a live pid is a
+/// hard error.
+#[derive(Debug)]
+struct JournalLock {
+    path: PathBuf,
+}
+
+impl JournalLock {
+    fn acquire(journal: &Path) -> Result<JournalLock, String> {
+        let path = PathBuf::from(format!("{}.lock", journal.display()));
+        // Two passes: the first may reclaim a stale lockfile; losing the
+        // re-create race on the second means a genuinely live competitor.
+        for reclaimed in [false, true] {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return Ok(JournalLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    if let Some(pid) = holder.filter(|&p| pid_alive(p)) {
+                        return Err(format!(
+                            "journal {} is locked by a live writer (pid {pid}); a second \
+                             concurrent writer would corrupt it — wait for that run, or \
+                             remove {} if the process is really gone",
+                            journal.display(),
+                            path.display()
+                        ));
+                    }
+                    if reclaimed {
+                        return Err(format!(
+                            "journal {}: lost the lockfile race to another writer",
+                            journal.display()
+                        ));
+                    }
+                    // Dead pid or unreadable contents: a stale lock from a
+                    // crashed writer. Reclaim and retry once.
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(e) => return Err(format!("journal lock {}: {e}", path.display())),
+            }
+        }
+        unreachable!("second pass always returns");
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// The progress journal. Constructed with [`Journal::load`]; every
 /// [`Journal::set`] rewrites the backing file (when one is configured).
+/// File-backed journals hold an exclusive writer lock for their whole
+/// lifetime; loading the same path from a second live process (or twice
+/// from one) is an error.
+#[derive(Debug)]
 pub struct Journal {
     path: Option<PathBuf>,
     entries: Vec<JournalEntry>,
+    _lock: Option<JournalLock>,
 }
 
 impl Journal {
@@ -103,13 +190,20 @@ impl Journal {
             return Ok(Journal {
                 path: None,
                 entries: Vec::new(),
+                _lock: None,
             });
         };
         let pb = PathBuf::from(path);
+        // Lock before reading: the snapshot below is only trustworthy if
+        // no live writer can rewrite the file under us. The lock is
+        // dropped (and its file removed) on every error path out of this
+        // function, so a failed load never wedges the journal.
+        let lock = JournalLock::acquire(&pb)?;
         if !pb.exists() {
             return Ok(Journal {
                 path: Some(pb),
                 entries: Vec::new(),
+                _lock: Some(lock),
             });
         }
         let text =
@@ -131,6 +225,7 @@ impl Journal {
         Ok(Journal {
             path: Some(pb),
             entries,
+            _lock: Some(lock),
         })
     }
 
@@ -226,6 +321,8 @@ mod tests {
         // Batch compatibility: entries without a payload keep the original
         // field set, so existing journal greps keep matching.
         assert!(!text.contains("\"data\"") || text.matches("\"data\"").count() == 1);
+        // Release the writer lock before re-reading.
+        drop(j);
         let re = Journal::load(Some(p)).unwrap();
         assert_eq!(re.entries().len(), 2);
         assert_eq!(re.find("a").unwrap().data, Json::Null);
@@ -245,6 +342,41 @@ mod tests {
         j.set(entry("x", JobStatus::Done, Json::Null));
         assert_eq!(j.entries().len(), 1);
         assert_eq!(j.find("x").unwrap().status, JobStatus::Done);
+    }
+
+    #[test]
+    fn second_live_writer_is_refused_and_stale_locks_reclaim() {
+        let path = scratch("locked.json");
+        let lock = scratch("locked.json.lock");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&lock);
+        let p = path.to_str().unwrap();
+
+        // Before the lock existed, this second load would silently become
+        // a second writer and the two would overwrite each other's
+        // snapshots; now it is a typed refusal naming the live pid.
+        let first = Journal::load(Some(p)).unwrap();
+        let err = Journal::load(Some(p)).unwrap_err();
+        assert!(err.contains("locked by a live writer"), "{err}");
+        assert!(err.contains(&std::process::id().to_string()), "{err}");
+
+        // Dropping the holder releases the lock for the next writer.
+        drop(first);
+        assert!(!lock.exists(), "drop must remove the lockfile");
+        let again = Journal::load(Some(p)).unwrap();
+        drop(again);
+
+        // A lockfile from a dead pid (crashed writer) is stale and
+        // reclaimed, like the serve daemon's socket file. Pids are
+        // capped at 2^22 on Linux, so u32::MAX can never be live.
+        std::fs::write(&lock, "4294967295\n").unwrap();
+        let reclaimed = Journal::load(Some(p)).unwrap();
+        drop(reclaimed);
+
+        // Unreadable lock contents are also stale, not a wedge.
+        std::fs::write(&lock, "not-a-pid\n").unwrap();
+        assert!(Journal::load(Some(p)).is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

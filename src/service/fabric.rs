@@ -1,0 +1,563 @@
+//! The multi-tenant fabric scheduler behind the `submit`/`tenants`/
+//! `evict` serve ops.
+//!
+//! Tenants are programs compiled into disjoint fabric bands
+//! ([`Partition`]) and admitted from a FIFO queue by best-fit against the
+//! chip-level [`PartitionTable`]. One dedicated scheduler thread owns
+//! every resident tenant's [`SimKernel`] and advances them in
+//! deterministic weighted round-robin quanta — a tenant with a
+//! `c`-channel share advances `c × QUANTUM` cycles per round, mirroring
+//! the per-tenant DRAM-channel credit weights. Because co-resident bands
+//! share no simulated resource, each tenant's final stats are
+//! byte-identical to a solo run on a dedicated fabric of its partition's
+//! geometry (the isolation invariant; see DESIGN.md §15).
+//!
+//! Preemption: when the tenant at the head of the queue cannot be placed
+//! and strictly smaller tenants are resident, the smaller residents are
+//! checkpointed off the fabric and requeued; checkpoint config hashes are
+//! partition-offset-normalized, so a preempted tenant later resumes on
+//! any free [pattern-equivalent](Partition::pattern_equivalent) band —
+//! same height, offset congruent modulo the grid mix's vertical period
+//! (same parity on the checkerboard) — and still finishes with
+//! byte-identical stats. Admission planning enforces the equivalence
+//! when it places a checkpointed tenant. The `evict` op drives the same
+//! path on demand.
+//!
+//! Control-plane calls ([`FabricScheduler::submit`],
+//! [`FabricScheduler::tenants_json`], [`FabricScheduler::request_evict`])
+//! touch only the metadata table under a mutex; the kernels themselves
+//! live on the scheduler thread, so a long-running quantum never blocks
+//! observability.
+
+use super::metrics::{Metrics, TenantEvent};
+use super::stats_with_bench;
+use plasticine_arch::{GridMix, Partition, PartitionTable, PlasticineParams};
+use plasticine_compiler::{CompileCache, CompileOptions};
+use plasticine_json::Json;
+use plasticine_ppir::Machine;
+use plasticine_sim::{Advance, Checkpoint, SimKernel, SimOptions, StepMode};
+use plasticine_workloads::{all, Bench, Scale};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cycles a weight-1 tenant advances per scheduler round. Small enough
+/// that evictions land promptly, large enough that the round-robin
+/// overhead (a map walk) is negligible against simulated work.
+pub const QUANTUM: u64 = 2048;
+
+/// What a `submit` request asks for.
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    /// Canonical benchmark name (already resolved by the server).
+    pub bench: String,
+    /// Problem-size multiplier.
+    pub scale: usize,
+    /// Fabric rows requested.
+    pub rows: usize,
+    /// DRAM-channel share requested (also the round-robin credit weight).
+    pub channels: usize,
+    /// Step mode for the tenant's simulation.
+    pub step: StepMode,
+    /// Simulator threads for the tenant's simulation.
+    pub threads: usize,
+    /// Cycle budget (`None` = simulator default).
+    pub max_cycles: Option<u64>,
+}
+
+/// Lifecycle of a tenant. `Queued` covers both a fresh submission and a
+/// preempted/evicted tenant waiting to resume (the latter carries a
+/// checkpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Done => "done",
+            Phase::Failed => "failed",
+        }
+    }
+}
+
+struct TenantEntry {
+    spec: SubmitSpec,
+    phase: Phase,
+    partition: Option<Partition>,
+    /// The band the live checkpoint was taken on. A resumed tenant may
+    /// only be placed on a [pattern-equivalent](Partition::pattern_equivalent)
+    /// band — same height, offset congruent modulo the grid mix's
+    /// vertical period — or the checkpoint guard will (rightly) refuse
+    /// the relocated bitstream.
+    anchor: Option<Partition>,
+    checkpoint: Option<Checkpoint>,
+    cycles: u64,
+    preemptions: u64,
+    /// This waiting tenant already triggered one preemption sweep;
+    /// never fire a second for it (livelock guard).
+    preempt_fired: bool,
+    /// Eviction requested (by the `evict` op or the preemption planner);
+    /// honored by the scheduler thread at the next quantum boundary.
+    evict_requested: bool,
+    /// The pending eviction is a scheduler preemption, not an operator
+    /// request (metrics attribution).
+    preempted: bool,
+    error: Option<String>,
+    stats: Option<Json>,
+}
+
+struct FabricState {
+    table: PartitionTable,
+    mix: GridMix,
+    rows_total: usize,
+    channels_total: usize,
+    tenants: Vec<TenantEntry>,
+    pending: VecDeque<usize>,
+    stop: bool,
+}
+
+/// Shared scheduler state: the metadata table every transport thread may
+/// read, and the command flags the scheduler thread consumes.
+pub struct FabricScheduler {
+    state: Mutex<FabricState>,
+    cv: Condvar,
+}
+
+impl FabricScheduler {
+    /// An empty scheduler over a chip's fabric rows and DRAM channels.
+    pub fn new(params: &PlasticineParams) -> FabricScheduler {
+        FabricScheduler {
+            state: Mutex::new(FabricState {
+                table: PartitionTable::new(params),
+                mix: params.mix,
+                rows_total: params.rows,
+                channels_total: params.coalescing_units,
+                tenants: Vec::new(),
+                pending: VecDeque::new(),
+                stop: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queues a tenant for admission. Returns its id.
+    ///
+    /// # Errors
+    ///
+    /// A usage-class message when the requested geometry cannot ever fit
+    /// the chip (zero or over-size rows/channels).
+    pub fn submit(&self, spec: SubmitSpec) -> Result<usize, String> {
+        let mut g = self.state.lock().unwrap();
+        if spec.rows == 0 || spec.rows > g.rows_total {
+            return Err(format!(
+                "`rows` must be in 1..={} (got {})",
+                g.rows_total, spec.rows
+            ));
+        }
+        if spec.channels == 0 || spec.channels > g.channels_total {
+            return Err(format!(
+                "`channels` must be in 1..={} (got {})",
+                g.channels_total, spec.channels
+            ));
+        }
+        if g.stop {
+            return Err("scheduler is shut down".to_string());
+        }
+        let id = g.tenants.len();
+        g.tenants.push(TenantEntry {
+            spec,
+            phase: Phase::Queued,
+            partition: None,
+            anchor: None,
+            checkpoint: None,
+            cycles: 0,
+            preemptions: 0,
+            preempt_fired: false,
+            evict_requested: false,
+            preempted: false,
+            error: None,
+            stats: None,
+        });
+        g.pending.push_back(id);
+        self.cv.notify_all();
+        Ok(id)
+    }
+
+    /// The `tenants` op payload: every tenant ever submitted, in id
+    /// order, with its current phase, band, progress, and (once done) the
+    /// same stats object a solo run reports.
+    pub fn tenants_json(&self) -> Json {
+        let g = self.state.lock().unwrap();
+        Json::Arr(
+            g.tenants
+                .iter()
+                .enumerate()
+                .map(|(id, t)| {
+                    let mut pairs = vec![
+                        ("tenant".to_string(), Json::from(id)),
+                        ("bench".to_string(), Json::from(t.spec.bench.clone())),
+                        ("state".to_string(), Json::from(t.phase.name())),
+                        ("rows".to_string(), Json::from(t.spec.rows)),
+                        ("channels".to_string(), Json::from(t.spec.channels)),
+                        ("cycles".to_string(), Json::from(t.cycles)),
+                    ];
+                    if let Some(p) = &t.partition {
+                        pairs.push(("partition".to_string(), Json::from(p.to_string())));
+                    }
+                    if t.preemptions > 0 {
+                        pairs.push(("preemptions".to_string(), Json::from(t.preemptions)));
+                    }
+                    if t.checkpoint.is_some() {
+                        pairs.push(("resumable".to_string(), Json::from(true)));
+                    }
+                    if let Some(e) = &t.error {
+                        pairs.push(("error".to_string(), Json::from(e.clone())));
+                    }
+                    if let Some(s) = &t.stats {
+                        pairs.push(("stats".to_string(), s.clone()));
+                    }
+                    Json::Obj(pairs)
+                })
+                .collect(),
+        )
+    }
+
+    /// The `evict` op: asks the scheduler thread to checkpoint a running
+    /// tenant off the fabric and requeue it, then waits (bounded by
+    /// `wait`) for the eviction to land. Returns the op payload.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the problem: unknown id, tenant not running, or
+    /// the wait timing out.
+    pub fn request_evict(&self, id: usize, wait: Duration) -> Result<Vec<(String, Json)>, String> {
+        let mut g = self.state.lock().unwrap();
+        let n = g.tenants.len();
+        let t = g
+            .tenants
+            .get_mut(id)
+            .ok_or_else(|| format!("unknown tenant {id} ({n} submitted)"))?;
+        if t.phase != Phase::Running {
+            return Err(format!("tenant {id} is {}, not running", t.phase.name()));
+        }
+        t.evict_requested = true;
+        t.preempted = false;
+        self.cv.notify_all();
+        let deadline = Instant::now() + wait;
+        while g.tenants[id].phase == Phase::Running {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(format!(
+                    "eviction of tenant {id} did not land within {}ms",
+                    wait.as_millis()
+                ));
+            }
+            let (guard, _) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            g = guard;
+        }
+        let t = &g.tenants[id];
+        Ok(vec![
+            ("tenant".to_string(), Json::from(id)),
+            ("bench".to_string(), Json::from(t.spec.bench.clone())),
+            ("state".to_string(), Json::from(t.phase.name())),
+            ("cycle".to_string(), Json::from(t.cycles)),
+            ("resumable".to_string(), Json::from(t.checkpoint.is_some())),
+        ])
+    }
+
+    /// Stops the scheduler thread (daemon drain). Unfinished tenants are
+    /// abandoned; their final `tenants` listing keeps the last phase.
+    pub fn stop(&self) {
+        self.state.lock().unwrap().stop = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A tenant resident on the fabric: its kernel and round-robin weight.
+/// Functional verification already happened at admission (simulation is
+/// two-phase: the functional interpreter runs to completion while the
+/// kernel is built, so the machine's final state exists before the first
+/// timing cycle).
+struct Resident {
+    kernel: Box<SimKernel>,
+    bench: Bench,
+    weight: u64,
+}
+
+/// What one pass over the shared state decided the scheduler thread
+/// should do next.
+enum Decision {
+    Stop,
+    Evict(Vec<usize>),
+    Admit(Vec<(usize, Partition, Option<Checkpoint>, SubmitSpec)>),
+    Advance,
+}
+
+/// The scheduler thread: admit, preempt, advance, repeat until
+/// [`FabricScheduler::stop`].
+pub fn scheduler_loop(
+    f: &FabricScheduler,
+    params: &PlasticineParams,
+    cache: &CompileCache,
+    metrics: &Metrics,
+) {
+    let mut residents: BTreeMap<usize, Resident> = BTreeMap::new();
+    loop {
+        let decision = {
+            let mut g = f.state.lock().unwrap();
+            loop {
+                if g.stop {
+                    break Decision::Stop;
+                }
+                let evicts: Vec<usize> = residents
+                    .keys()
+                    .copied()
+                    .filter(|&id| g.tenants[id].evict_requested)
+                    .collect();
+                if !evicts.is_empty() {
+                    break Decision::Evict(evicts);
+                }
+                let admits = plan_admissions(&mut g);
+                if !admits.is_empty() {
+                    break Decision::Admit(admits);
+                }
+                if plan_preemption(&mut g, &residents) {
+                    continue; // eviction requests were just filed
+                }
+                if !residents.is_empty() {
+                    break Decision::Advance;
+                }
+                g = f.cv.wait(g).unwrap();
+            }
+        };
+        match decision {
+            Decision::Stop => return,
+            Decision::Evict(ids) => {
+                for id in ids {
+                    let r = residents.remove(&id).expect("evict targets a resident");
+                    let c = r.kernel.checkpoint();
+                    let cycle = c.cycle;
+                    let mut g = f.state.lock().unwrap();
+                    let t = &mut g.tenants[id];
+                    let event = if t.preempted {
+                        TenantEvent::Preempted
+                    } else {
+                        TenantEvent::Evicted
+                    };
+                    metrics.record_tenant(&t.spec.bench, event);
+                    t.checkpoint = Some(c);
+                    t.cycles = cycle;
+                    t.phase = Phase::Queued;
+                    t.preemptions += 1;
+                    t.evict_requested = false;
+                    t.preempted = false;
+                    let band = t.partition.take().expect("resident owns a band");
+                    t.anchor = Some(band);
+                    g.table.release(&band);
+                    g.pending.push_back(id);
+                    f.cv.notify_all();
+                }
+            }
+            Decision::Admit(list) => {
+                for (id, band, resume, spec) in list {
+                    match build_resident(params, cache, &spec, band, resume.as_ref()) {
+                        Ok(r) => {
+                            residents.insert(id, r);
+                            metrics.record_tenant(&spec.bench, TenantEvent::Admitted);
+                            f.cv.notify_all();
+                        }
+                        Err(msg) => fail_tenant(f, metrics, id, msg),
+                    }
+                }
+            }
+            Decision::Advance => {
+                let mut paused: Vec<(usize, u64)> = Vec::new();
+                let mut finished: Vec<usize> = Vec::new();
+                let mut failed: Vec<(usize, String)> = Vec::new();
+                for (&id, r) in residents.iter_mut() {
+                    let target = r.kernel.now() + r.weight * QUANTUM;
+                    match r.kernel.advance(Some(target), None) {
+                        Ok(Advance::Finished) => finished.push(id),
+                        Ok(Advance::Paused) => paused.push((id, r.kernel.now())),
+                        Err(e) => failed.push((id, e.to_string())),
+                    }
+                }
+                if !paused.is_empty() {
+                    let mut g = f.state.lock().unwrap();
+                    for (id, now) in paused {
+                        g.tenants[id].cycles = now;
+                    }
+                }
+                for id in finished {
+                    let r = residents.remove(&id).expect("finished id is resident");
+                    let (result, _) = r.kernel.finish();
+                    let stats = stats_with_bench(&r.bench, &result);
+                    let mut g = f.state.lock().unwrap();
+                    let t = &mut g.tenants[id];
+                    metrics.record_tenant(&t.spec.bench, TenantEvent::Completed);
+                    t.phase = Phase::Done;
+                    t.cycles = result.cycles;
+                    t.stats = Some(stats);
+                    t.checkpoint = None;
+                    t.anchor = None;
+                    t.evict_requested = false;
+                    if let Some(band) = t.partition.take() {
+                        g.table.release(&band);
+                    }
+                    f.cv.notify_all();
+                }
+                for (id, msg) in failed {
+                    residents.remove(&id);
+                    fail_tenant(f, metrics, id, msg);
+                }
+            }
+        }
+    }
+}
+
+/// Walks the pending queue in FIFO order, best-fit allocating every
+/// tenant that fits right now. Admitted tenants are marked `Running` (and
+/// own their band) immediately so a failed compile can release cleanly.
+fn plan_admissions(g: &mut FabricState) -> Vec<(usize, Partition, Option<Checkpoint>, SubmitSpec)> {
+    let mut admits = Vec::new();
+    let mut still_pending = VecDeque::new();
+    while let Some(id) = g.pending.pop_front() {
+        let (rows, channels, anchor) = {
+            let t = &g.tenants[id];
+            // A checkpointed tenant must land on a band its bitstream
+            // relocates onto; a fresh tenant takes any best-fit band.
+            let anchor = t.checkpoint.as_ref().and(t.anchor);
+            (t.spec.rows, t.spec.channels, anchor)
+        };
+        let mix = g.mix;
+        match match anchor {
+            Some(a) => g.table.allocate_compatible(rows, channels, a.y0, mix),
+            None => g.table.allocate(rows, channels),
+        } {
+            Some(band) => {
+                let t = &mut g.tenants[id];
+                t.phase = Phase::Running;
+                t.partition = Some(band);
+                admits.push((id, band, t.checkpoint.take(), t.spec.clone()));
+            }
+            None => still_pending.push_back(id),
+        }
+    }
+    g.pending = still_pending;
+    admits
+}
+
+/// When the head of the queue cannot fit but would after checkpointing
+/// off every strictly smaller resident, files eviction requests for those
+/// residents (once per waiting tenant). Returns whether any were filed.
+fn plan_preemption(g: &mut FabricState, residents: &BTreeMap<usize, Resident>) -> bool {
+    let Some(&head) = g.pending.front() else {
+        return false;
+    };
+    let (rows, channels, fired) = {
+        let t = &g.tenants[head];
+        (t.spec.rows, t.spec.channels, t.preempt_fired)
+    };
+    if fired {
+        return false;
+    }
+    let victims: Vec<usize> = residents
+        .keys()
+        .copied()
+        .filter(|&id| g.tenants[id].spec.rows < rows)
+        .collect();
+    if victims.is_empty() {
+        return false;
+    }
+    // Would the head fit once every smaller resident is gone? Count the
+    // rows and channels the larger residents keep.
+    let keep_rows: usize = residents
+        .keys()
+        .filter(|&&id| g.tenants[id].spec.rows >= rows)
+        .map(|&id| g.tenants[id].spec.rows)
+        .sum();
+    let keep_channels: usize = residents
+        .keys()
+        .filter(|&&id| g.tenants[id].spec.rows >= rows)
+        .map(|&id| g.tenants[id].spec.channels)
+        .sum();
+    if rows > g.rows_total - keep_rows || channels > g.channels_total - keep_channels {
+        return false;
+    }
+    for id in victims {
+        let t = &mut g.tenants[id];
+        t.evict_requested = true;
+        t.preempted = true;
+    }
+    g.tenants[head].preempt_fired = true;
+    true
+}
+
+/// Compiles a tenant into its band (through the shared cache) and builds
+/// its kernel, resuming from an eviction checkpoint when one exists.
+fn build_resident(
+    params: &PlasticineParams,
+    cache: &CompileCache,
+    spec: &SubmitSpec,
+    band: Partition,
+    resume: Option<&Checkpoint>,
+) -> Result<Resident, String> {
+    let bench = all(Scale(spec.scale))
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(&spec.bench))
+        .ok_or_else(|| format!("unknown benchmark `{}`", spec.bench))?;
+    let copts = CompileOptions {
+        partition: Some(band),
+        ..CompileOptions::new()
+    };
+    let cached = cache
+        .compile_degraded(&bench.program, params, &copts)
+        .map_err(|e| format!("compile: {e}"))?;
+    let (out, prog, _degraded) = &*cached;
+    let mut m = Machine::new(prog);
+    bench.load(&mut m);
+    let mut opts = SimOptions {
+        step: spec.step,
+        threads: spec.threads,
+        ..SimOptions::default()
+    };
+    // The tenant simulates against exactly its DRAM-channel share.
+    opts.dram.channels = band.channels;
+    if let Some(n) = spec.max_cycles {
+        opts.max_cycles = n;
+    }
+    let kernel =
+        SimKernel::new(prog, out, &mut m, &opts, false, resume).map_err(|e| e.to_string())?;
+    // The functional pass ran to completion inside `SimKernel::new`;
+    // verify the answer now and let the timing simulation proceed knowing
+    // the tenant's output is already correct.
+    bench
+        .verify(&m)
+        .map_err(|e| format!("verification failed: {e}"))?;
+    Ok(Resident {
+        kernel: Box::new(kernel),
+        bench,
+        weight: band.channels as u64,
+    })
+}
+
+/// Publishes a tenant failure and releases its band.
+fn fail_tenant(f: &FabricScheduler, metrics: &Metrics, id: usize, msg: String) {
+    let mut g = f.state.lock().unwrap();
+    let t = &mut g.tenants[id];
+    metrics.record_tenant(&t.spec.bench, TenantEvent::Failed);
+    t.phase = Phase::Failed;
+    t.error = Some(msg);
+    t.evict_requested = false;
+    if let Some(band) = t.partition.take() {
+        g.table.release(&band);
+    }
+    f.cv.notify_all();
+}

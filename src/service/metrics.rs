@@ -11,7 +11,6 @@
 
 use plasticine_json::Json;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -21,6 +20,34 @@ use std::time::{Duration, Instant};
 /// robustness bug), so percentiles always describe the most recent
 /// `MAX_LATENCY_SAMPLES` requests.
 pub const MAX_LATENCY_SAMPLES: usize = 100_000;
+
+/// A multi-tenant scheduler event, counted per benchmark name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantEvent {
+    /// A `submit` request queued the tenant.
+    Submitted,
+    /// The scheduler placed the tenant on a fabric band.
+    Admitted,
+    /// The tenant ran to completion and verified.
+    Completed,
+    /// An `evict` request checkpointed the tenant off the fabric.
+    Evicted,
+    /// The scheduler preempted the tenant for a larger arrival.
+    Preempted,
+    /// The tenant failed (compile, simulation, or verification).
+    Failed,
+}
+
+/// Per-benchmark tenant counters (see [`TenantEvent`]).
+#[derive(Default, Clone)]
+struct TenantCounts {
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    evicted: u64,
+    preempted: u64,
+    failed: u64,
+}
 
 #[derive(Default)]
 struct Inner {
@@ -32,12 +59,20 @@ struct Inner {
     next: usize,
     served: u64,
     shed: u64,
+    /// Requests currently executing. Lives under the same lock as every
+    /// other counter so any snapshot is internally consistent: a request
+    /// leaving flight and landing in `by_status`/`served` is one critical
+    /// section, never observable half-done (the `stats`-during-drain
+    /// race).
+    in_flight: usize,
+    /// Multi-tenant scheduler counters, keyed by benchmark name — same
+    /// lock, same consistency argument.
+    tenants: BTreeMap<String, TenantCounts>,
 }
 
 /// Thread-safe request accounting shared by every worker and connection.
 pub struct Metrics {
     start: Instant,
-    in_flight: AtomicUsize,
     inner: Mutex<Inner>,
 }
 
@@ -52,21 +87,23 @@ impl Metrics {
     pub fn new() -> Metrics {
         Metrics {
             start: Instant::now(),
-            in_flight: AtomicUsize::new(0),
             inner: Mutex::new(Inner::default()),
         }
     }
 
     /// A request entered execution.
     pub fn begin(&self) {
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().unwrap().in_flight += 1;
     }
 
     /// A request finished with `status` after `latency`; pairs with
-    /// [`begin`](Self::begin).
+    /// [`begin`](Self::begin). The flight decrement and the status/served
+    /// increments are one critical section: a concurrent snapshot sees
+    /// the request either still in flight or fully counted, never lost
+    /// between the two.
     pub fn finish(&self, status: &str, latency: Duration) {
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
         let mut g = self.inner.lock().unwrap();
+        g.in_flight -= 1;
         *g.by_status.entry(status.to_string()).or_insert(0) += 1;
         g.served += 1;
         let ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
@@ -96,6 +133,20 @@ impl Metrics {
         g.served += 1;
     }
 
+    /// A multi-tenant scheduler event for `bench`.
+    pub fn record_tenant(&self, bench: &str, ev: TenantEvent) {
+        let mut g = self.inner.lock().unwrap();
+        let c = g.tenants.entry(bench.to_string()).or_default();
+        match ev {
+            TenantEvent::Submitted => c.submitted += 1,
+            TenantEvent::Admitted => c.admitted += 1,
+            TenantEvent::Completed => c.completed += 1,
+            TenantEvent::Evicted => c.evicted += 1,
+            TenantEvent::Preempted => c.preempted += 1,
+            TenantEvent::Failed => c.failed += 1,
+        }
+    }
+
     /// Requests shed so far.
     pub fn shed(&self) -> u64 {
         self.inner.lock().unwrap().shed
@@ -103,7 +154,7 @@ impl Metrics {
 
     /// Requests currently executing on workers.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.load(Ordering::Relaxed)
+        self.inner.lock().unwrap().in_flight
     }
 
     /// The stats payload: uptime, served/shed/in-flight/queue counters,
@@ -124,28 +175,46 @@ impl Metrics {
             .iter()
             .map(|(k, v)| (k.clone(), Json::from(*v)))
             .collect();
-        Json::obj([
+        let mut pairs = vec![
             (
-                "uptime_ms",
+                "uptime_ms".to_string(),
                 Json::from(u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)),
             ),
-            ("served", Json::from(g.served)),
-            ("shed", Json::from(g.shed)),
+            ("served".to_string(), Json::from(g.served)),
+            ("shed".to_string(), Json::from(g.shed)),
+            ("in_flight".to_string(), Json::from(g.in_flight)),
+            ("queue_len".to_string(), Json::from(queue_len)),
+            ("cache_hits".to_string(), Json::from(cache_hits)),
+            ("cache_misses".to_string(), Json::from(cache_misses)),
+            ("latency_p50_ms".to_string(), Json::from(pct(0.50))),
+            ("latency_p99_ms".to_string(), Json::from(pct(0.99))),
             (
-                "in_flight",
-                Json::from(self.in_flight.load(Ordering::Relaxed)),
-            ),
-            ("queue_len", Json::from(queue_len)),
-            ("cache_hits", Json::from(cache_hits)),
-            ("cache_misses", Json::from(cache_misses)),
-            ("latency_p50_ms", Json::from(pct(0.50))),
-            ("latency_p99_ms", Json::from(pct(0.99))),
-            (
-                "latency_max_ms",
+                "latency_max_ms".to_string(),
                 Json::from(sorted.last().copied().unwrap_or(0)),
             ),
-            ("by_status", Json::Obj(by_status)),
-        ])
+            ("by_status".to_string(), Json::Obj(by_status)),
+        ];
+        if !g.tenants.is_empty() {
+            let tenants: Vec<(String, Json)> = g
+                .tenants
+                .iter()
+                .map(|(k, c)| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("submitted", Json::from(c.submitted)),
+                            ("admitted", Json::from(c.admitted)),
+                            ("completed", Json::from(c.completed)),
+                            ("evicted", Json::from(c.evicted)),
+                            ("preempted", Json::from(c.preempted)),
+                            ("failed", Json::from(c.failed)),
+                        ]),
+                    )
+                })
+                .collect();
+            pairs.push(("tenants".to_string(), Json::Obj(tenants)));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -220,5 +289,80 @@ mod tests {
         let s = m.snapshot(0, 0, 0);
         assert_eq!(s.get("served").unwrap().as_u64(), Some(0));
         assert_eq!(s.get("latency_p50_ms").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn tenant_counters_aggregate_per_bench() {
+        let m = Metrics::new();
+        m.record_tenant("GEMM", TenantEvent::Submitted);
+        m.record_tenant("GEMM", TenantEvent::Admitted);
+        m.record_tenant("GEMM", TenantEvent::Preempted);
+        m.record_tenant("GEMM", TenantEvent::Admitted);
+        m.record_tenant("GEMM", TenantEvent::Completed);
+        m.record_tenant("BFS", TenantEvent::Submitted);
+        m.record_tenant("BFS", TenantEvent::Failed);
+        let s = m.snapshot(0, 0, 0);
+        let t = s.get("tenants").unwrap();
+        let g = t.get("GEMM").unwrap();
+        assert_eq!(g.get("submitted").unwrap().as_u64(), Some(1));
+        assert_eq!(g.get("admitted").unwrap().as_u64(), Some(2));
+        assert_eq!(g.get("preempted").unwrap().as_u64(), Some(1));
+        assert_eq!(g.get("completed").unwrap().as_u64(), Some(1));
+        let b = t.get("BFS").unwrap();
+        assert_eq!(b.get("failed").unwrap().as_u64(), Some(1));
+        // No tenants → no tenants key (legacy stats shape preserved).
+        assert!(Metrics::new().snapshot(0, 0, 0).get("tenants").is_none());
+    }
+
+    /// Regression test for the stats-during-drain race: `finish` used to
+    /// decrement an *atomic* in-flight gauge before taking the counter
+    /// lock, so a concurrent snapshot could observe a request that was
+    /// neither in flight nor counted in `served`/`by_status` — the final
+    /// stats report raced the drain. With every counter under one lock,
+    /// `served + in_flight` is exactly the number of `begin` calls so
+    /// far, which is monotone; any observed decrease is the torn state.
+    #[test]
+    fn snapshot_is_consistent_against_concurrent_finish() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let m = Arc::new(Metrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        m.begin();
+                        m.finish("ok", Duration::from_millis(1));
+                        m.record_tenant("GEMM", TenantEvent::Completed);
+                    }
+                })
+            })
+            .collect();
+        let mut last = 0u64;
+        for _ in 0..2000 {
+            let s = m.snapshot(0, 0, 0);
+            let served = s.get("served").unwrap().as_u64().unwrap();
+            let in_flight = s.get("in_flight").unwrap().as_u64().unwrap();
+            let begun = served + in_flight;
+            assert!(
+                begun >= last,
+                "snapshot lost a request: served+in_flight fell {last} -> {begun}"
+            );
+            // Per-status counts must agree with the aggregates in the
+            // same snapshot — they are read under one lock.
+            let by: u64 = match s.get("by_status").unwrap() {
+                Json::Obj(pairs) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+                _ => unreachable!(),
+            };
+            let shed = s.get("shed").unwrap().as_u64().unwrap();
+            assert_eq!(by, served + shed, "per-status counts tore");
+            last = begun;
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! apart — the byte-identity contract (a served `run`'s stats equal the
 //! one-shot `--stats-json` output) depends on it.
 
+pub mod fabric;
 pub mod metrics;
 pub mod proto;
 mod server;

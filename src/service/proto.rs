@@ -36,6 +36,16 @@ pub enum Op {
     /// Report live server metrics. Control-plane: answered inline on the
     /// connection thread, never queued or shed.
     Stats,
+    /// Queue a benchmark as a multi-tenant fabric tenant (`rows` ×
+    /// `channels` partition request). Answered inline with the tenant id;
+    /// the scheduler admits it best-fit when a band frees up.
+    Submit,
+    /// List every submitted tenant with its phase, band, progress, and
+    /// (once done) solo-identical stats. Control-plane.
+    Tenants,
+    /// Checkpoint a running tenant off the fabric and requeue it
+    /// (`tenant` field). Control-plane; replies once the eviction lands.
+    Evict,
     /// Drain in-flight requests and exit. Control-plane; the response is
     /// the final stats report, sent after the drain completes.
     Shutdown,
@@ -49,6 +59,9 @@ impl Op {
             Op::Run => "run",
             Op::Batch => "batch",
             Op::Stats => "stats",
+            Op::Submit => "submit",
+            Op::Tenants => "tenants",
+            Op::Evict => "evict",
             Op::Shutdown => "shutdown",
         }
     }
@@ -78,6 +91,12 @@ pub struct Request {
     pub max_cycles: Option<u64>,
     /// `compile` only: server-side path to write the artifact to.
     pub out: Option<String>,
+    /// `submit` only: fabric rows the tenant's partition needs.
+    pub rows: Option<usize>,
+    /// `submit` only: DRAM-channel share (defaults to 1).
+    pub channels: Option<usize>,
+    /// `evict` only: the tenant id to evict.
+    pub tenant: Option<u64>,
 }
 
 /// Parses one request line. The error string is ready to ship back as a
@@ -91,6 +110,9 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Json>, String)> {
         Some("run") => Op::Run,
         Some("batch") => Op::Batch,
         Some("stats") => Op::Stats,
+        Some("submit") => Op::Submit,
+        Some("tenants") => Op::Tenants,
+        Some("evict") => Op::Evict,
         Some("shutdown") => Op::Shutdown,
         Some(other) => return Err(err(format!("unknown op `{other}`"))),
         None => return Err(err("missing `op` field".to_string())),
@@ -157,6 +179,29 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Json>, String)> {
     };
     let faults = str_field("faults")?;
     let out = str_field("out")?;
+    let rows = match j.get("rows") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| err("`rows` must be a positive integer".to_string()))?,
+        ),
+    };
+    let channels = match j.get("channels") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| err("`channels` must be a positive integer".to_string()))?,
+        ),
+    };
+    let tenant = match j.get("tenant") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| err("`tenant` must be a non-negative integer".to_string()))?,
+        ),
+    };
     Ok(Request {
         id,
         op,
@@ -168,6 +213,9 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Json>, String)> {
         threads,
         max_cycles,
         out,
+        rows,
+        channels,
+        tenant,
     })
 }
 
@@ -233,6 +281,25 @@ mod tests {
         assert_eq!(r.step, Some(StepMode::Cycle));
         assert_eq!(r.faults.as_deref(), Some("drop=0.1,seed=3"));
         assert_eq!(r.id.unwrap().as_i64(), Some(7));
+    }
+
+    #[test]
+    fn parses_tenant_ops() {
+        let r = parse_request(r#"{"op": "submit", "bench": "GEMM", "rows": 4, "channels": 2}"#)
+            .unwrap();
+        assert_eq!(r.op, Op::Submit);
+        assert_eq!(r.rows, Some(4));
+        assert_eq!(r.channels, Some(2));
+        let r = parse_request(r#"{"op": "evict", "tenant": 3}"#).unwrap();
+        assert_eq!(r.op, Op::Evict);
+        assert_eq!(r.tenant, Some(3));
+        assert_eq!(
+            parse_request(r#"{"op": "tenants"}"#).unwrap().op,
+            Op::Tenants
+        );
+        let (_, msg) =
+            parse_request(r#"{"op": "submit", "bench": "GEMM", "rows": 0}"#).unwrap_err();
+        assert!(msg.contains("rows"), "{msg}");
     }
 
     #[test]

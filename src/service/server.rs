@@ -37,7 +37,8 @@
 //! deadline), joins the workers, and sends the final stats report as the
 //! shutdown response.
 
-use super::metrics::Metrics;
+use super::fabric::{self, FabricScheduler, SubmitSpec};
+use super::metrics::{Metrics, TenantEvent};
 use super::proto::{
     error_response, overloaded_response, parse_request, response_head, shutting_down_response, Op,
     Request,
@@ -224,6 +225,7 @@ struct Shared {
     opts: ServeOptions,
     cache: CompileCache,
     metrics: Metrics,
+    fabric: FabricScheduler,
     queue: Queue,
     shutting_down: AtomicBool,
     stop_accept: AtomicBool,
@@ -309,6 +311,7 @@ pub fn serve(params: &PlasticineParams, opts: ServeOptions) -> Result<Json, Stri
         opts,
         cache: CompileCache::new(),
         metrics: Metrics::new(),
+        fabric: FabricScheduler::new(params),
         shutting_down: AtomicBool::new(false),
         stop_accept: AtomicBool::new(false),
         signal: Mutex::new(None),
@@ -320,6 +323,17 @@ pub fn serve(params: &PlasticineParams, opts: ServeOptions) -> Result<Json, Stri
             std::thread::spawn(move || worker_loop(&shared))
         })
         .collect();
+    let fabric_handle = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            fabric::scheduler_loop(
+                &shared.fabric,
+                &shared.params,
+                &shared.cache,
+                &shared.metrics,
+            )
+        })
+    };
     let accept_handle = listener.map(|l| {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(&shared, l))
@@ -345,12 +359,14 @@ pub fn serve(params: &PlasticineParams, opts: ServeOptions) -> Result<Json, Stri
     // its deadline — is gone.
     shared.stop_accept.store(true, Ordering::SeqCst);
     shared.queue.close();
+    shared.fabric.stop();
     let mut joined = 0usize;
     for h in workers {
         if h.join().is_ok() {
             joined += 1;
         }
     }
+    let _ = fabric_handle.join();
     if let Some(h) = accept_handle {
         let _ = h.join();
     }
@@ -472,6 +488,54 @@ fn handle_line(shared: &Arc<Shared>, line: &str, reply: &Reply) {
             reply.send(&Json::Obj(pairs));
         }
         Op::Shutdown => shared.initiate_shutdown(req.id.clone(), Some(reply.clone()), true),
+        Op::Submit => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                shared.metrics.record_shed("shutting_down");
+                reply.send(&shutting_down_response(&req.id, "submit"));
+                return;
+            }
+            match submit_tenant(shared, &req) {
+                Ok(pairs) => {
+                    shared.metrics.record_inline("ok");
+                    let mut head = response_head(&req.id, "submit", "ok", 0);
+                    head.extend(pairs);
+                    reply.send(&Json::Obj(head));
+                }
+                Err(f) => {
+                    shared.metrics.record_inline(f.status.name());
+                    reply.send(&error_response(&req.id, "submit", f.status, &f.message));
+                }
+            }
+        }
+        Op::Tenants => {
+            let mut pairs = response_head(&req.id, "tenants", "ok", 0);
+            pairs.push(("tenants".to_string(), shared.fabric.tenants_json()));
+            reply.send(&Json::Obj(pairs));
+        }
+        Op::Evict => {
+            let resp = match req.tenant {
+                None => error_response(
+                    &req.id,
+                    "evict",
+                    ExitStatus::Usage,
+                    "`evict` requires a `tenant` field",
+                ),
+                Some(id) => {
+                    // Bounded wait on the connection thread: the eviction
+                    // lands at the tenant's next quantum boundary.
+                    let wait = shared.opts.deadline.min(Duration::from_secs(30));
+                    match shared.fabric.request_evict(id as usize, wait) {
+                        Ok(pairs) => {
+                            let mut head = response_head(&req.id, "evict", "ok", 0);
+                            head.extend(pairs);
+                            Json::Obj(head)
+                        }
+                        Err(msg) => error_response(&req.id, "evict", ExitStatus::Runtime, &msg),
+                    }
+                }
+            };
+            reply.send(&resp);
+        }
         Op::Compile | Op::Run | Op::Batch => {
             let op = req.op.as_str();
             if shared.shutting_down.load(Ordering::SeqCst) {
@@ -520,6 +584,57 @@ struct Eff {
     step: StepMode,
     threads: usize,
     max_cycles: Option<u64>,
+}
+
+/// Validates a `submit` request and queues the tenant with the fabric
+/// scheduler. Answered inline — the heavy work (compile, simulate) runs
+/// on the scheduler thread.
+fn submit_tenant(shared: &Shared, req: &Request) -> Result<Vec<(String, Json)>, Failure> {
+    let name = req
+        .bench
+        .as_deref()
+        .ok_or_else(|| Failure::new(ExitStatus::Usage, "`submit` requires a `bench` field"))?;
+    let rows = req
+        .rows
+        .ok_or_else(|| Failure::new(ExitStatus::Usage, "`submit` requires a `rows` field"))?;
+    let d = &shared.opts.defaults;
+    let scale = req.scale.unwrap_or(d.scale);
+    // Resolve to the canonical name now so a typo fails the submission,
+    // not the scheduler thread later.
+    let bench = all(Scale(scale))
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            Failure::new(
+                ExitStatus::Runtime,
+                format!("unknown benchmark `{name}` (try `plasticine-run list`)"),
+            )
+        })?;
+    let spec = SubmitSpec {
+        bench: bench.name.clone(),
+        scale,
+        rows,
+        channels: req.channels.unwrap_or(1),
+        step: req.step.unwrap_or(d.step),
+        threads: req.threads.unwrap_or(d.threads),
+        max_cycles: req.max_cycles.or(d.max_cycles),
+    };
+    let bench_name = spec.bench.clone();
+    let (rows, channels) = (spec.rows, spec.channels);
+    let id = shared
+        .fabric
+        .submit(spec)
+        .map_err(|m| Failure::new(ExitStatus::Usage, m))?;
+    shared
+        .metrics
+        .record_tenant(&bench_name, TenantEvent::Submitted);
+    Ok(vec![
+        ("tenant".to_string(), Json::from(id)),
+        ("bench".to_string(), Json::from(bench_name)),
+        ("rows".to_string(), Json::from(rows)),
+        ("channels".to_string(), Json::from(channels)),
+        ("state".to_string(), Json::from("queued")),
+    ])
 }
 
 fn resolve_faults(shared: &Shared, req: &Request) -> Result<(FaultMap, u64), Failure> {
@@ -576,7 +691,7 @@ fn execute_job(shared: &Arc<Shared>, req: Request) -> Json {
         Op::Compile => execute_compile(shared, &req),
         Op::Batch => execute_batch(shared, &req),
         // Control-plane ops are answered in `handle_line`, never queued.
-        Op::Stats | Op::Shutdown => {
+        Op::Stats | Op::Shutdown | Op::Submit | Op::Tenants | Op::Evict => {
             return error_response(&id, op, ExitStatus::Usage, "control-plane op was queued")
         }
     };

@@ -80,9 +80,9 @@ proptest! {
             }
         }
         for (p, o) in &report.points {
-            if let PointOutcome::Done(obj) = o {
+            if let PointOutcome::Done(done) = o {
                 let on_front = front.iter().any(|e| e.id == p.label());
-                let dominated = front.iter().any(|e| e.obj.dominates(obj));
+                let dominated = front.iter().any(|e| e.obj.dominates(&done.obj));
                 prop_assert!(
                     on_front || dominated,
                     "done point {} neither on the frontier nor dominated", p.label()

@@ -1,0 +1,149 @@
+//! CLI-level partition contract, driven through the real binary:
+//! `--partition` compiles relocatable, hash-distinct artifacts per
+//! offset; `run --config` with a mismatched `--partition` is a typed
+//! usage error (exit 2); and partitioned solo runs are byte-identical
+//! across offsets (aggregate stats are translation-invariant).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_plasticine-run")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str], cwd: &Path) -> Output {
+    Command::new(bin())
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawning plasticine-run")
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn wrong_partition_against_artifact_is_a_usage_error() {
+    let dir = scratch("partition-mismatch");
+    let o = run(
+        &[
+            "compile",
+            "GEMM",
+            "--partition",
+            "3@2/1",
+            "--out",
+            "gemm.json",
+        ],
+        &dir,
+    );
+    assert!(o.status.success(), "compile failed: {}", stderr(&o));
+
+    // The artifact knows its band; a contradicting flag is exit 2 with a
+    // message naming both sides, not a silent override.
+    let o = run(
+        &[
+            "run",
+            "GEMM",
+            "--config",
+            "gemm.json",
+            "--partition",
+            "3@0/1",
+        ],
+        &dir,
+    );
+    assert_eq!(
+        o.status.code(),
+        Some(2),
+        "mismatched --partition must be a usage error\nstderr: {}",
+        stderr(&o)
+    );
+    assert!(
+        stderr(&o).contains("3@0/1") && stderr(&o).contains("3@2/1"),
+        "error must name both partitions:\n{}",
+        stderr(&o)
+    );
+
+    // A whole-chip artifact contradicts any banded flag the same way.
+    let o = run(&["compile", "GEMM", "--out", "full.json"], &dir);
+    assert!(o.status.success(), "compile failed: {}", stderr(&o));
+    let o = run(
+        &[
+            "run",
+            "GEMM",
+            "--config",
+            "full.json",
+            "--partition",
+            "3@0/1",
+        ],
+        &dir,
+    );
+    assert_eq!(o.status.code(), Some(2), "stderr: {}", stderr(&o));
+    assert!(
+        stderr(&o).contains("whole fabric"),
+        "error must say the artifact covers the whole fabric:\n{}",
+        stderr(&o)
+    );
+
+    // The matching flag — and no flag at all — both run fine.
+    let o = run(
+        &[
+            "run",
+            "GEMM",
+            "--config",
+            "gemm.json",
+            "--partition",
+            "3@2/1",
+        ],
+        &dir,
+    );
+    assert!(o.status.success(), "matching flag: {}", stderr(&o));
+    let o = run(&["run", "GEMM", "--config", "gemm.json"], &dir);
+    assert!(o.status.success(), "artifact's own band: {}", stderr(&o));
+
+    // Out-of-bounds and malformed bands are usage errors up front.
+    for band in ["9@0/1", "4@6/1", "3@0/9", "3x0", "0@0/1"] {
+        let o = run(&["run", "GEMM", "--partition", band], &dir);
+        assert_eq!(
+            o.status.code(),
+            Some(2),
+            "`--partition {band}` must be a usage error\nstderr: {}",
+            stderr(&o)
+        );
+    }
+}
+
+#[test]
+fn same_geometry_relocates_to_hash_distinct_equivalent_artifacts() {
+    let dir = scratch("partition-relocate");
+    for (band, out) in [("3@0/1", "a.json"), ("3@4/1", "b.json")] {
+        let o = run(
+            &["compile", "GEMM", "--partition", band, "--out", out],
+            &dir,
+        );
+        assert!(o.status.success(), "compile {band}: {}", stderr(&o));
+    }
+    let a = std::fs::read_to_string(dir.join("a.json")).unwrap();
+    let b = std::fs::read_to_string(dir.join("b.json")).unwrap();
+    assert_ne!(a, b, "different offsets place different resources");
+
+    // Both run and verify, and the aggregate stats agree byte-for-byte:
+    // band placement is translation-equivariant.
+    for (artifact, stats) in [("a.json", "sa.json"), ("b.json", "sb.json")] {
+        let o = run(
+            &["run", "GEMM", "--config", artifact, "--stats-json", stats],
+            &dir,
+        );
+        assert!(o.status.success(), "run {artifact}: {}", stderr(&o));
+    }
+    let sa = std::fs::read_to_string(dir.join("sa.json")).unwrap();
+    let sb = std::fs::read_to_string(dir.join("sb.json")).unwrap();
+    assert_eq!(sa, sb, "stats must be offset-independent");
+}

@@ -435,3 +435,101 @@ fn served_batch_contains_per_bench_failures() {
     assert_eq!(resp.get("failed").and_then(Json::as_u64), Some(0));
     daemon.shutdown(&dir);
 }
+
+/// The multi-tenant ops end to end: `submit` places tenants on disjoint
+/// fabric bands, `tenants` reports their lifecycle, `evict` checkpoints
+/// a running tenant and requeues it — and every tenant (including the
+/// preempted one) finishes with stats byte-identical to the partitioned
+/// one-shot CLI on a band of the same geometry.
+#[test]
+fn submitted_tenants_match_partitioned_oneshot_and_survive_eviction() {
+    let dir = scratch("svc-tenants");
+    let daemon = Daemon::start(&dir, &[], &[]);
+    let mut c = daemon.connect();
+
+    for (id, bench) in [("t0", "GEMM"), ("t1", "BFS")] {
+        let r = c.ask(&format!(
+            r#"{{"id": "{id}", "op": "submit", "bench": "{bench}", "rows": 3, "channels": 1}}"#
+        ));
+        assert_eq!(status_of(&r), ("ok", 0), "{r:?}");
+    }
+
+    // Bad submissions and evictions are typed, inline, and nonfatal.
+    let r = c.ask(r#"{"id": "no-bench", "op": "submit", "rows": 3}"#);
+    assert_eq!(status_of(&r), ("usage", 2), "{r:?}");
+    let r = c.ask(r#"{"id": "no-such", "op": "evict", "tenant": 99}"#);
+    assert_eq!(status_of(&r), ("runtime", 1), "{r:?}");
+
+    let deadline = Instant::now() + Duration::from_secs(240);
+    let tenant = |c: &mut Client, i: usize| -> Json {
+        let r = c.ask(r#"{"id": "ls", "op": "tenants"}"#);
+        assert_eq!(status_of(&r), ("ok", 0), "{r:?}");
+        r.get("tenants").unwrap().as_arr().unwrap()[i].clone()
+    };
+    let state_of = |t: &Json| t.get("state").unwrap().as_str().unwrap().to_string();
+
+    // Evict GEMM mid-run: the eviction lands at a quantum boundary, the
+    // checkpointed tenant goes back on the queue, and the scheduler
+    // resumes it on whatever same-geometry band is free.
+    while state_of(&tenant(&mut c, 0)) != "running" {
+        assert!(Instant::now() < deadline, "GEMM was never placed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let r = c.ask(r#"{"id": "ev", "op": "evict", "tenant": 0}"#);
+    assert_eq!(status_of(&r), ("ok", 0), "{r:?}");
+    assert_eq!(
+        r.get("resumable").and_then(Json::as_bool),
+        Some(true),
+        "evicted tenant must carry a checkpoint: {r:?}"
+    );
+
+    loop {
+        let states: Vec<String> = (0..2).map(|i| state_of(&tenant(&mut c, i))).collect();
+        if states.iter().all(|s| s == "done") {
+            break;
+        }
+        if let Some(i) = states.iter().position(|s| s == "failed") {
+            panic!("tenant {i} failed: {:?}", tenant(&mut c, i));
+        }
+        assert!(
+            Instant::now() < deadline,
+            "tenants never finished: {states:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let t0 = tenant(&mut c, 0);
+    assert!(
+        t0.get("preemptions").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "the evicted tenant must record its preemption: {t0:?}"
+    );
+
+    // Byte-identity against the partitioned one-shot CLI. The offset is
+    // irrelevant — aggregate stats are translation-invariant, so even a
+    // tenant resumed on a different band matches the 3@0/1 reference.
+    for (i, bench) in [(0usize, "GEMM"), (1, "BFS")] {
+        let served = tenant(&mut c, i)
+            .get("stats")
+            .expect("done tenant carries stats")
+            .pretty();
+        let file = format!("{}.band.json", bench.to_ascii_lowercase());
+        let o = Command::new(bin())
+            .args(["run", bench, "--partition", "3@0/1", "--stats-json", &file])
+            .current_dir(&dir)
+            .output()
+            .expect("spawning partitioned one-shot run");
+        assert_eq!(
+            o.status.code(),
+            Some(0),
+            "one-shot {bench}: {}",
+            String::from_utf8_lossy(&o.stderr)
+        );
+        let solo = std::fs::read_to_string(dir.join(&file)).unwrap();
+        assert_eq!(
+            served, solo,
+            "{bench}: a served tenant's stats must match the partitioned one-shot CLI"
+        );
+    }
+
+    daemon.shutdown(&dir);
+}
