@@ -29,6 +29,7 @@ mod geom;
 mod params;
 mod partition;
 mod space;
+mod timeline;
 
 pub use config::{
     AgCfg, AgMode, BitstreamError, ComputeCfg, DramAlloc, LinkCfg, MachineConfig, MemoryCfg,
@@ -39,3 +40,7 @@ pub use geom::{AgId, Site, SiteId, SiteKind, SwitchId, Topology};
 pub use params::{GridMix, ParamError, PcuParams, PlasticineParams, PmuParams};
 pub use partition::{Partition, PartitionSpecError, PartitionTable};
 pub use space::{DseGrid, DsePoint};
+pub use timeline::{
+    EccPolicy, FaultArrival, FaultEvent, FaultTimeline, FaultTimelineSpec, HealthMap,
+    TimelineSpecError,
+};

@@ -396,6 +396,103 @@ impl PartitionTable {
         Some(p)
     }
 
+    /// Like [`fit`](Self::fit), but only offsets whose band satisfies
+    /// `ok` qualify (e.g. [`HealthMap::band_is_healthy`] steering
+    /// placements off dead fabric regions). Unlike `fit`, every offset
+    /// inside a gap is considered, not just the gap bottom: a fault in
+    /// the middle of a tall gap must not disqualify the whole gap.
+    /// Selection order stays deterministic — smallest gap first, then
+    /// lowest qualifying offset.
+    ///
+    /// [`HealthMap::band_is_healthy`]: crate::HealthMap::band_is_healthy
+    pub fn fit_where(
+        &self,
+        rows: usize,
+        channels: usize,
+        ok: impl Fn(&Partition) -> bool,
+    ) -> Option<Partition> {
+        self.fit_stepped(rows, channels, 0, 1, ok)
+    }
+
+    /// [`fit_where`](Self::fit_where) + insert.
+    pub fn allocate_where(
+        &mut self,
+        rows: usize,
+        channels: usize,
+        ok: impl Fn(&Partition) -> bool,
+    ) -> Option<Partition> {
+        let p = self.fit_where(rows, channels, ok)?;
+        self.insert(p)
+            .expect("fit_where() result must insert cleanly");
+        Some(p)
+    }
+
+    /// Like [`fit_compatible`](Self::fit_compatible), but only
+    /// pattern-equivalent offsets whose band satisfies `ok` qualify.
+    pub fn fit_compatible_where(
+        &self,
+        rows: usize,
+        channels: usize,
+        anchor_y0: usize,
+        mix: GridMix,
+        ok: impl Fn(&Partition) -> bool,
+    ) -> Option<Partition> {
+        let period = mix.vertical_period();
+        self.fit_stepped(rows, channels, anchor_y0 % period, period, ok)
+    }
+
+    /// [`fit_compatible_where`](Self::fit_compatible_where) + insert.
+    pub fn allocate_compatible_where(
+        &mut self,
+        rows: usize,
+        channels: usize,
+        anchor_y0: usize,
+        mix: GridMix,
+        ok: impl Fn(&Partition) -> bool,
+    ) -> Option<Partition> {
+        let p = self.fit_compatible_where(rows, channels, anchor_y0, mix, ok)?;
+        self.insert(p)
+            .expect("fit_compatible_where() must insert cleanly");
+        Some(p)
+    }
+
+    /// Shared scan for the `_where` fits: within each gap, offsets
+    /// congruent to `phase` modulo `period` are tried bottom-up and the
+    /// first to satisfy `ok` represents the gap; gaps then compete by
+    /// (height, offset) exactly like [`fit`](Self::fit).
+    fn fit_stepped(
+        &self,
+        rows: usize,
+        channels: usize,
+        phase: usize,
+        period: usize,
+        ok: impl Fn(&Partition) -> bool,
+    ) -> Option<Partition> {
+        if rows == 0 || channels == 0 || channels > self.free_channels() {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for (y0, h) in self.gaps() {
+            let mut a = y0 + (phase + period - y0 % period) % period;
+            while a + rows <= y0 + h {
+                let p = Partition {
+                    y0: a,
+                    rows,
+                    channels,
+                };
+                if ok(&p) {
+                    let cand = (h, a);
+                    if best.map(|b| cand < b).unwrap_or(true) {
+                        best = Some(cand);
+                    }
+                    break;
+                }
+                a += period;
+            }
+        }
+        best.map(|(_, y0)| Partition { y0, rows, channels })
+    }
+
     /// Inserts an explicitly placed partition, enforcing band
     /// disjointness, fabric bounds, and the channel budget.
     ///

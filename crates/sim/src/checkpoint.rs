@@ -42,8 +42,11 @@ use plasticine_json::Json;
 use plasticine_ppir::{stable_hash_of, Program};
 use std::path::Path;
 
-/// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 added the healing overlay
+/// (`heal` per unit, `healing_cycles`) and the ECC escalation window
+/// (`ecc`) to the resources snapshot, and folded the fault timeline into
+/// the options guard.
+pub const VERSION: u32 = 2;
 
 /// Why a checkpoint could not be decoded or resumed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,12 +141,22 @@ pub struct Checkpoint {
     pub(crate) tree: Json,
 }
 
-/// The options-guard hash: DRAM config, coalescing, fault map, and credit
-/// cap — everything that steers the deterministic event stream. Budgets
-/// (`max_cycles`, `stall_limit`) and the step mode are excluded so a
-/// budget-failure checkpoint can resume with bigger limits.
+/// The options-guard hash: DRAM config, coalescing, fault map, fault
+/// timeline, and credit cap — everything that steers the deterministic
+/// event stream. Budgets (`max_cycles`, `stall_limit`) and the step mode
+/// are excluded so a budget-failure checkpoint can resume with bigger
+/// limits. The timeline is included because resuming under a different
+/// arrival schedule would diverge from the interrupted run — and because
+/// requiring the *same* schedule is what makes a healed resume bit-identical
+/// to a manual one.
 pub(crate) fn options_guard_hash(opts: &SimOptions) -> u64 {
-    stable_hash_of(&(&opts.dram, opts.coalescing, &opts.faults, opts.credit_cap))
+    stable_hash_of(&(
+        &opts.dram,
+        opts.coalescing,
+        &opts.faults,
+        &opts.timeline,
+        opts.credit_cap,
+    ))
 }
 
 impl Checkpoint {

@@ -28,11 +28,19 @@ pub enum ExitStatus {
     /// The simulation hit its cycle budget without finishing
     /// ([`SimError::CycleBudgetExceeded`]).
     CycleBudget,
+    /// An online fault arrival degraded a resource the run was using
+    /// ([`SimError::FabricDegraded`]); the run exited with an
+    /// auto-checkpoint for a healing layer to relocate and resume.
+    /// (Code `7` is reserved: the serve protocol uses it for
+    /// overloaded/shutting-down responses.)
+    FabricDegraded,
 }
 
 impl ExitStatus {
     /// The process exit code: `0` ok, `1` runtime, `2` usage, `3` compile,
-    /// `4` deadlock, `5` fault exhaustion, `6` cycle budget.
+    /// `4` deadlock, `5` fault exhaustion, `6` cycle budget, `8` fabric
+    /// degraded (`7` is reserved for the serve protocol's
+    /// overloaded/shutting-down responses).
     pub fn code(self) -> i32 {
         match self {
             ExitStatus::Ok => 0,
@@ -42,6 +50,7 @@ impl ExitStatus {
             ExitStatus::Deadlock => 4,
             ExitStatus::FaultExhaustion => 5,
             ExitStatus::CycleBudget => 6,
+            ExitStatus::FabricDegraded => 8,
         }
     }
 
@@ -57,6 +66,7 @@ impl ExitStatus {
             ExitStatus::Deadlock => "deadlock",
             ExitStatus::FaultExhaustion => "fault_exhaustion",
             ExitStatus::CycleBudget => "cycle_budget",
+            ExitStatus::FabricDegraded => "fabric_degraded",
         }
     }
 
@@ -70,6 +80,7 @@ impl ExitStatus {
             // A checkpoint that cannot be decoded or does not match the
             // run is a caller mistake (wrong file / wrong flags).
             SimError::Checkpoint(_) => ExitStatus::Usage,
+            SimError::FabricDegraded(_) => ExitStatus::FabricDegraded,
         }
     }
 }
@@ -82,7 +93,7 @@ impl From<&SimError> for ExitStatus {
 
 impl From<ExitStatus> for std::process::ExitCode {
     fn from(s: ExitStatus) -> std::process::ExitCode {
-        // `code()` is always in 0..=6, so the cast is lossless.
+        // `code()` is always in 0..=8, so the cast is lossless.
         std::process::ExitCode::from(s.code() as u8)
     }
 }
@@ -102,6 +113,7 @@ mod tests {
         assert_eq!(ExitStatus::Deadlock.code(), 4);
         assert_eq!(ExitStatus::FaultExhaustion.code(), 5);
         assert_eq!(ExitStatus::CycleBudget.code(), 6);
+        assert_eq!(ExitStatus::FabricDegraded.code(), 8);
     }
 
     #[test]
@@ -116,6 +128,7 @@ mod tests {
             (ExitStatus::Deadlock, "deadlock"),
             (ExitStatus::FaultExhaustion, "fault_exhaustion"),
             (ExitStatus::CycleBudget, "cycle_budget"),
+            (ExitStatus::FabricDegraded, "fabric_degraded"),
         ] {
             assert_eq!(s.name(), name);
         }

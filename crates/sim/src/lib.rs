@@ -50,7 +50,7 @@ mod trace;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use deadlock::{BlockedUnit, DeadlockReport, HeldResource, WaitCause};
 pub use exit::ExitStatus;
-pub use kernel::{Advance, CheckpointSink, SimKernel};
+pub use kernel::{Advance, CheckpointSink, DegradedReport, SimKernel};
 pub use model::{ComputeModel, OuterModel, SimModel, TransferModel};
 pub use multi::{MultiSim, Tenant, TenantId};
 pub use parallel::SpanWork;
@@ -60,7 +60,7 @@ pub use trace::{
     SimTrace, TraceEvent, TrackedUnit, UnitCycles, UnitKind, UnitStat, UnitStats, WaitKind,
 };
 
-use plasticine_arch::{FaultMap, MachineConfig};
+use plasticine_arch::{FaultMap, FaultTimeline, MachineConfig};
 use plasticine_compiler::CompileOutput;
 use plasticine_dram::{CoalesceStats, DramConfig, DramStats};
 use plasticine_json::Json;
@@ -102,6 +102,16 @@ pub struct SimOptions {
     /// and the offline channels remap DRAM traffic. The default (pristine)
     /// map leaves every run bit-identical to the fault-free baseline.
     pub faults: FaultMap,
+    /// Online fault-arrival schedule. Arrivals fire at exact simulated
+    /// cycles in either step mode; an arrival that impacts a resource the
+    /// run is using rides out the timeline's detect delay (attributed to
+    /// the `healing` overlay) and then exits with
+    /// [`SimError::FabricDegraded`] carrying an auto-checkpoint. The
+    /// timeline participates in the checkpoint options guard: resuming
+    /// must present the same timeline, which is what makes healed resumes
+    /// bit-identical to manual ones. The default (empty) timeline leaves
+    /// every run bit-identical to a timeline-free one.
+    pub timeline: FaultTimeline,
     /// Cycles without global progress (no grant, push, or completion
     /// anywhere) before the run is declared deadlocked and diagnosed. Must
     /// comfortably exceed the largest DRAM-retry backoff.
@@ -127,6 +137,7 @@ impl Default for SimOptions {
             max_cycles: 500_000_000,
             coalescing: true,
             faults: FaultMap::default(),
+            timeline: FaultTimeline::default(),
             stall_limit: 100_000,
             credit_cap: None,
             step: StepMode::default(),
@@ -254,18 +265,26 @@ impl SimResult {
             ),
             (
                 "faults",
-                Json::obj([
-                    ("ecc_corrected", Json::from(self.faults.ecc_corrected)),
-                    ("parity_replays", Json::from(self.faults.parity_replays)),
-                    ("lane_replays", Json::from(self.faults.lane_replays)),
-                    ("recovery_cycles", Json::from(self.faults.recovery_cycles)),
-                    ("dram_dropped", Json::from(self.faults.dram_dropped)),
-                    ("dram_retries", Json::from(self.faults.dram_retries)),
-                    (
-                        "dram_retry_wait_cycles",
-                        Json::from(self.faults.dram_retry_wait_cycles),
-                    ),
-                ]),
+                Json::obj({
+                    let mut fields = vec![
+                        ("ecc_corrected", Json::from(self.faults.ecc_corrected)),
+                        ("parity_replays", Json::from(self.faults.parity_replays)),
+                        ("lane_replays", Json::from(self.faults.lane_replays)),
+                        ("recovery_cycles", Json::from(self.faults.recovery_cycles)),
+                        ("dram_dropped", Json::from(self.faults.dram_dropped)),
+                        ("dram_retries", Json::from(self.faults.dram_retries)),
+                        (
+                            "dram_retry_wait_cycles",
+                            Json::from(self.faults.dram_retry_wait_cycles),
+                        ),
+                    ];
+                    // Omitted when zero so timeline-free runs keep their
+                    // historical stats bytes.
+                    if self.faults.healing_cycles != 0 {
+                        fields.push(("healing_cycles", Json::from(self.faults.healing_cycles)));
+                    }
+                    fields
+                }),
             ),
             ("units", self.units.to_json()),
         ])

@@ -269,4 +269,21 @@ impl MultiSim {
         t.state = State::Evicted { at: c.cycle };
         Some(c)
     }
+
+    /// Removes a running tenant *without* checkpointing it — the degraded
+    /// exit already carries its auto-checkpoint, so when a healing layer
+    /// relocates the tenant it re-admits from the report, not from here.
+    /// The partition is released like a normal eviction. Returns false if
+    /// the tenant is not running or the id is unknown.
+    pub fn expel(&mut self, id: TenantId) -> bool {
+        let Some(t) = self.tenants.get_mut(id.0) else {
+            return false;
+        };
+        let State::Running(k) = &t.state else {
+            return false;
+        };
+        let at = k.now();
+        t.state = State::Evicted { at };
+        true
+    }
 }

@@ -6,11 +6,11 @@ use crate::model::SimModel;
 use crate::trace::{
     SimTrace, Tracer, UnitCycles, UnitStat, UnitStats, CLASS_BUSY, CLASS_IDLE, CLASS_MEM,
 };
-use plasticine_arch::{FaultRng, PlasticineParams, TransientFaults, UnitId};
+use plasticine_arch::{EccPolicy, FaultRng, PlasticineParams, TransientFaults, UnitId};
 use plasticine_dram::{CoalescingUnit, DramConfig, DramStats, DramSystem, ElemRequest, MemRequest};
 use plasticine_json::Json;
 use plasticine_ppir::CtrlId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Dynamic activity accumulated during simulation — the input to the power
 /// model and the source of Table 7's utilization columns.
@@ -73,6 +73,11 @@ pub enum SimError {
     /// A checkpoint could not be decoded or does not match the run it was
     /// asked to resume (wrong program/bitstream/options, corrupt file).
     Checkpoint(crate::checkpoint::CheckpointError),
+    /// An online fault arrival (or ECC-threshold escalation) hit a resource
+    /// this run is actually using. The report carries an auto-checkpoint
+    /// taken at the degrade boundary and the updated live fault map, so a
+    /// healing layer can relocate or recompile the run and resume it.
+    FabricDegraded(Box<crate::kernel::DegradedReport>),
 }
 
 impl std::fmt::Display for SimError {
@@ -97,6 +102,7 @@ impl std::fmt::Display for SimError {
             ),
             SimError::Config(msg) => write!(f, "bad simulation configuration: {msg}"),
             SimError::Checkpoint(e) => write!(f, "{e}"),
+            SimError::FabricDegraded(report) => write!(f, "{report}"),
         }
     }
 }
@@ -130,6 +136,11 @@ pub struct FaultStats {
     pub dram_retries: u64,
     /// Cycles spent waiting out retry backoff, summed over retries.
     pub dram_retry_wait_cycles: u64,
+    /// Unit-cycles spent inside a healing (detection/quiesce) window — an
+    /// impacting fault arrival was observed and the run is riding out the
+    /// detect delay before its degraded exit (the sum of the per-unit
+    /// `healing` overlays).
+    pub healing_cycles: u64,
 }
 
 impl FaultStats {
@@ -192,6 +203,26 @@ pub struct Resources {
     transients: TransientFaults,
     /// Recovery accounting.
     pub(crate) fault_stats: FaultStats,
+    /// While an impacting fault arrival rides out its detect window, every
+    /// committed or skipped cycle also accrues the `healing` overlay.
+    healing_active: bool,
+    /// ECC-threshold escalation policy (inactive by default).
+    ecc_policy: EccPolicy,
+    /// Physical site charged with a unit's correctable errors, indexed by
+    /// raw unit id (`u32::MAX` = not a scratchpad unit). Site-keyed so a
+    /// pending escalation survives relocation correctly: after a heal the
+    /// logical unit sits on fresh silicon and the old site is no longer
+    /// used, which is exactly how resume decides to drop the entry.
+    ecc_site: Vec<u32>,
+    /// Correctable-error cycles within the rolling window, per site.
+    ecc_errs: BTreeMap<u32, Vec<u64>>,
+    /// Sites whose correctable-error count crossed the threshold, not yet
+    /// drained by the kernel (drained every committed cycle).
+    ecc_escalated: Vec<u32>,
+    /// Escalations awaiting their degraded exit: (site, escalation cycle).
+    /// Serialized so a cadence checkpoint taken inside the detect window
+    /// re-arms the pending degrade on resume.
+    ecc_pending: Vec<(u32, u64)>,
     /// Drop-retry ledger: request id → attempts so far.
     drop_attempts: HashMap<u64, u32>,
     /// Requests waiting out their retry backoff.
@@ -308,6 +339,12 @@ impl Resources {
             rng: None,
             transients: TransientFaults::default(),
             fault_stats: FaultStats::default(),
+            healing_active: false,
+            ecc_policy: EccPolicy::default(),
+            ecc_site: Vec::new(),
+            ecc_errs: BTreeMap::new(),
+            ecc_escalated: Vec::new(),
+            ecc_pending: Vec::new(),
             drop_attempts: HashMap::new(),
             retry_queue: Vec::new(),
             fault_exhausted: None,
@@ -353,6 +390,52 @@ impl Resources {
         } else {
             None
         };
+    }
+
+    /// Raises the transient-fault rates in place (each rate is max'ed with
+    /// the current one, so escalation is monotone). The RNG stream is left
+    /// untouched when already armed; when injection was off it is armed
+    /// fresh from `seed` — both paths are replayed identically at resume, so
+    /// determinism is preserved.
+    pub fn escalate_transients(&mut self, lane: f64, sram: f64, drop: f64, seed: u64) {
+        self.transients.lane_flip = self.transients.lane_flip.max(lane);
+        self.transients.sram_flip = self.transients.sram_flip.max(sram);
+        self.transients.dram_drop = self.transients.dram_drop.max(drop);
+        if self.rng.is_none() && self.transients.any() {
+            self.rng = Some(FaultRng::new(seed));
+        }
+    }
+
+    /// Arms ECC-threshold escalation: `policy.threshold` correctable errors
+    /// charged to one site within `policy.window` cycles escalate to
+    /// permanent unit death. `site_of_unit` maps raw unit ids to the
+    /// physical site charged (`u32::MAX` = untracked).
+    pub fn set_ecc_policy(&mut self, policy: EccPolicy, site_of_unit: Vec<u32>) {
+        self.ecc_policy = policy;
+        self.ecc_site = site_of_unit;
+    }
+
+    /// Turns the healing overlay on or off (kernel-driven: on while a
+    /// degrade deadline is pending, off otherwise).
+    pub(crate) fn set_healing(&mut self, on: bool) {
+        self.healing_active = on;
+    }
+
+    /// Sites whose correctable-error count crossed the ECC threshold since
+    /// the last drain.
+    pub(crate) fn take_ecc_escalations(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.ecc_escalated)
+    }
+
+    /// Escalations awaiting their degraded exit: (site, cycle).
+    pub(crate) fn ecc_pending(&self) -> &[(u32, u64)] {
+        &self.ecc_pending
+    }
+
+    /// Replaces the pending-escalation ledger (resume filters entries that
+    /// no longer concern the resumed configuration).
+    pub(crate) fn set_ecc_pending(&mut self, pending: Vec<(u32, u64)>) {
+        self.ecc_pending = pending;
     }
 
     /// Takes and clears the progress flag (set when any resource was
@@ -430,7 +513,7 @@ impl Resources {
             replay = true;
         }
         if self.transients.sram_flip > 0.0 {
-            for _ in reads {
+            for u in reads {
                 if rng.chance(self.transients.sram_flip) {
                     // ~90% of flips are single-bit: ECC corrects them with
                     // no timing cost. The remainder only parity-detects and
@@ -440,6 +523,24 @@ impl Resources {
                         replay = true;
                     } else {
                         self.fault_stats.ecc_corrected += 1;
+                        let site = self.ecc_site.get(u.0 as usize).copied().unwrap_or(u32::MAX);
+                        if self.ecc_policy.active() && site != u32::MAX {
+                            // ECC-threshold escalation: too many corrected
+                            // errors on one scratchpad within the window is
+                            // read as incipient permanent failure. The
+                            // window clears on escalation so a healed
+                            // resume starts the (relocated) unit fresh.
+                            let at = self.now;
+                            let w = self.ecc_policy.window;
+                            let errs = self.ecc_errs.entry(site).or_default();
+                            errs.push(at);
+                            errs.retain(|&c| c + w > at);
+                            if errs.len() as u64 >= self.ecc_policy.threshold as u64 {
+                                errs.clear();
+                                self.ecc_escalated.push(site);
+                                self.ecc_pending.push((site, at));
+                            }
+                        }
                     }
                 }
             }
@@ -471,6 +572,7 @@ impl Resources {
     /// class (defaulting to idle), so per unit the four counters always sum
     /// to the number of committed cycles.
     pub(crate) fn commit_cycle(&mut self) {
+        let heal = self.healing_active;
         for ((p, c), l) in self
             .pending_class
             .iter_mut()
@@ -478,8 +580,14 @@ impl Resources {
             .zip(&mut self.last_class)
         {
             c.bump(*p);
+            if heal {
+                c.healing += 1;
+            }
             *l = *p;
             *p = CLASS_IDLE;
+        }
+        if heal {
+            self.fault_stats.healing_cycles += self.unit_cycles.len() as u64;
         }
     }
 
@@ -489,8 +597,15 @@ impl Resources {
     /// class. Keeps the per-unit invariant busy+ctrl+mem+idle == total
     /// cycles exact.
     pub(crate) fn commit_skipped(&mut self, k: u64) {
+        let heal = self.healing_active;
         for (l, c) in self.last_class.iter().zip(&mut self.unit_cycles) {
             c.bump_by(*l, k);
+            if heal {
+                c.healing += k;
+            }
+        }
+        if heal {
+            self.fault_stats.healing_cycles += self.unit_cycles.len() as u64 * k;
         }
     }
 
@@ -695,6 +810,7 @@ impl Resources {
         tree_wake: u64,
         stall_limit: u64,
         max_cycles: u64,
+        hard_stop: u64,
         last_progress: &mut u64,
     ) -> FastForward {
         loop {
@@ -708,19 +824,20 @@ impl Resources {
             let trig_ev = trigger.saturating_sub(1);
             let forced = self.begin_cols && self.cu_pending;
             if !forced {
-                if let Some(ff) = self.parallel_span(tree_ev.min(trig_ev)) {
+                // `hard_stop` bounds the span at the next fault-timeline
+                // arrival or degrade deadline: the run loop must observe
+                // that exact cycle boundary, so the skip never crosses it.
+                let cap = tree_ev.min(trig_ev).min(hard_stop);
+                if let Some(ff) = self.parallel_span(cap) {
                     return ff;
                 }
-                let m = tree_ev
-                    .min(trig_ev)
-                    .min(self.dram.next_event())
-                    .min(self.retry_next_due());
+                let m = cap.min(self.dram.next_event()).min(self.retry_next_due());
                 debug_assert!(m >= self.now, "event {m} in the past (now {})", self.now);
                 if m > self.now {
                     self.skip_cycles(m - self.now);
                 }
             }
-            if self.now == tree_ev || self.now == trig_ev {
+            if self.now == tree_ev || self.now == trig_ev || self.now == hard_stop {
                 return FastForward::NeedBegin;
             }
             self.begin_cycle();
@@ -1308,6 +1425,7 @@ impl Resources {
                                 ("mem", Json::from(u.mem_stall)),
                                 ("idle", Json::from(u.idle)),
                                 ("rec", Json::from(u.recovery)),
+                                ("heal", Json::from(u.healing)),
                             ])
                         })
                         .collect(),
@@ -1333,7 +1451,43 @@ impl Resources {
                         "dram_retry_wait_cycles",
                         Json::from(f.dram_retry_wait_cycles),
                     ),
+                    ("healing_cycles", Json::from(f.healing_cycles)),
                 ]),
+            ),
+            (
+                "ecc",
+                if self.ecc_policy.active() {
+                    Json::obj([
+                        (
+                            "errs",
+                            Json::Arr(
+                                self.ecc_errs
+                                    .iter()
+                                    .filter(|(_, cs)| !cs.is_empty())
+                                    .map(|(&u, cs)| {
+                                        Json::Arr(vec![
+                                            Json::from(u64::from(u)),
+                                            Json::Arr(cs.iter().map(|&c| Json::from(c)).collect()),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "pending",
+                            Json::Arr(
+                                self.ecc_pending
+                                    .iter()
+                                    .map(|&(u, c)| {
+                                        Json::Arr(vec![Json::from(u64::from(u)), Json::from(c)])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                } else {
+                    Json::Null
+                },
             ),
             (
                 "drop_attempts",
@@ -1474,6 +1628,7 @@ impl Resources {
                 mem_stall: u64_of(uj, "mem")?,
                 idle: u64_of(uj, "idle")?,
                 recovery: u64_of(uj, "rec")?,
+                healing: u64_of(uj, "heal")?,
             };
         }
         self.rng = match field(j, "rng")? {
@@ -1491,7 +1646,48 @@ impl Resources {
             dram_dropped: u64_of(f, "dram_dropped")?,
             dram_retries: u64_of(f, "dram_retries")?,
             dram_retry_wait_cycles: u64_of(f, "dram_retry_wait_cycles")?,
+            healing_cycles: u64_of(f, "healing_cycles")?,
         };
+        self.ecc_errs.clear();
+        self.ecc_pending.clear();
+        self.ecc_escalated.clear();
+        match field(j, "ecc")? {
+            Json::Null => {}
+            e => {
+                for entry in arr_of(e, "errs")? {
+                    let p = entry
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| "ecc errs entry is not a pair".to_string())?;
+                    let u = p[0]
+                        .as_u64()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| "bad ecc unit id".to_string())?;
+                    let cs = p[1]
+                        .as_arr()
+                        .ok_or_else(|| "ecc cycles is not an array".to_string())?
+                        .iter()
+                        .map(|c| c.as_u64().ok_or_else(|| "bad ecc cycle".to_string()))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    self.ecc_errs.insert(u, cs);
+                }
+                for entry in arr_of(e, "pending")? {
+                    let p = entry
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| "ecc pending entry is not a pair".to_string())?;
+                    let u = p[0]
+                        .as_u64()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| "bad ecc unit id".to_string())?;
+                    let c = p[1]
+                        .as_u64()
+                        .ok_or_else(|| "bad ecc escalation cycle".to_string())?;
+                    self.ecc_pending.push((u, c));
+                }
+            }
+        }
+        self.healing_active = false;
         self.drop_attempts.clear();
         for e in arr_of(j, "drop_attempts")? {
             let p = e

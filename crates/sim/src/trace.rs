@@ -74,6 +74,12 @@ pub struct UnitCycles {
     /// `recovery` is NOT part of [`total`](Self::total) — it attributes
     /// fault-recovery cost without breaking the sum invariant.
     pub recovery: u64,
+    /// Healing overlay: cycles spent inside a degrade detect window — an
+    /// online fault arrival impacted this run and the kernel is riding out
+    /// the detection delay before its degraded exit. Like `recovery`, an
+    /// overlay on the four exclusive classes, excluded from
+    /// [`total`](Self::total).
+    pub healing: u64,
 }
 
 impl UnitCycles {
@@ -100,6 +106,7 @@ impl UnitCycles {
         self.mem_stall += o.mem_stall;
         self.idle += o.idle;
         self.recovery += o.recovery;
+        self.healing += o.healing;
     }
 
     pub(crate) fn bump(&mut self, class: u8) {
@@ -170,7 +177,7 @@ impl UnitStats {
             self.units
                 .iter()
                 .map(|u| {
-                    Json::obj([
+                    let mut fields = vec![
                         ("unit", Json::from(u.unit.0)),
                         ("kind", Json::from(u.kind.as_str())),
                         ("label", Json::from(u.label.as_str())),
@@ -179,7 +186,13 @@ impl UnitStats {
                         ("mem_stall", Json::from(u.cycles.mem_stall)),
                         ("idle", Json::from(u.cycles.idle)),
                         ("recovery", Json::from(u.cycles.recovery)),
-                    ])
+                    ];
+                    // Omitted when zero so fault-free runs keep their
+                    // historical stats bytes.
+                    if u.cycles.healing != 0 {
+                        fields.push(("healing", Json::from(u.cycles.healing)));
+                    }
+                    Json::obj(fields)
                 })
                 .collect(),
         )
@@ -576,6 +589,7 @@ mod tests {
             mem_stall: 1,
             idle: 4,
             recovery: 0,
+            healing: 0,
         };
         assert_eq!(a.total(), 10);
         assert!((a.busy_frac() - 0.3).abs() < 1e-12);

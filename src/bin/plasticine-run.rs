@@ -13,12 +13,15 @@
 //! Exit codes are the [`ExitStatus`] contract: 0 success, 1 runtime
 //! failure (bad data, I/O, verification), 2 usage error, 3 compilation
 //! failure (including insufficient degraded fabric), 4 deadlock,
-//! 5 transient-fault exhaustion, 6 cycle budget exceeded.
+//! 5 transient-fault exhaustion, 6 cycle budget exceeded, 8 fabric
+//! degraded by an online fault arrival (the exit leaves a resumable
+//! auto-checkpoint when a checkpoint dir is set).
 
 use plasticine::arch::{
-    DseGrid, FaultMap, FaultSpec, GridMix, MachineConfig, Partition, PartitionTable,
-    PlasticineParams, Topology,
+    DseGrid, FaultMap, FaultSpec, FaultTimeline, FaultTimelineSpec, GridMix, MachineConfig,
+    Partition, PartitionTable, PlasticineParams, Topology,
 };
+use plasticine::chaos::{self, SoakMode};
 use plasticine::compiler::{compile_degraded, Bitstream, CompileCache, CompileOptions};
 use plasticine::dse::{PointOutcome, SearchReport};
 use plasticine::fpga::FpgaModel;
@@ -27,8 +30,8 @@ use plasticine::json::Json;
 use plasticine::models::PowerModel;
 use plasticine::ppir::Machine;
 use plasticine::service::{
-    checkpoint_path, env_lists_bench, jittered_backoff_ms, stats_with_bench, RequestDefaults,
-    ServeOptions,
+    checkpoint_path, emit_checkpoint, env_lists_bench, jittered_backoff_ms, stats_with_bench,
+    RequestDefaults, ServeOptions,
 };
 use plasticine::sim::{
     simulate, simulate_checkpointed, simulate_traced, Checkpoint, CheckpointPolicy, ExitStatus,
@@ -45,7 +48,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--partition ROWS@Y0[/CH]] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--partition ROWS@Y0[/CH]] [--out FILE] [--bitstream FILE]\n  plasticine-run multi <NAME=ROWS[@Y0][/CH]...> [--scale N] [--step-mode MODE] [--threads N] [--max-cycles N] [--quantum N] [--evict IDX] [--stats-json FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR]\n  plasticine-run dse search <benchmark...|all> [--scale N] [--lanes L1,L2] [--stages S1,S2] [--mix M1,M2] [--mixes NAME1,NAME2] [--scratchpad-kb K1,K2] [--channels C1,C2] [--jobs N] [--threads N] [--step-mode MODE] [--max-cycles N] [--limit N] [--journal FILE] [--out FILE]\n  plasticine-run serve [--workers N] [--queue-depth N] [--deadline-ms N] [--socket PATH] [--retries N] [--scale N] [--threads N] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --partition ROWS@Y0[/CH]  compile and run on a horizontal band: ROWS fabric\n                     rows starting at row Y0 owning CH DRAM channels\n                     (default 1); with --config, the flag must match the\n                     partition the artifact was compiled for (a mismatch\n                     is a usage error) and the simulated DRAM shrinks to\n                     the band's channel share, so the stats are\n                     byte-identical to the same tenant co-located under\n                     `multi`\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n  --partition ROWS@Y0[/CH]  confine placement and routing to the band; the\n                     partition is recorded in the artifact, and the same\n                     geometry at a different Y0 yields a relocated,\n                     hash-distinct bitstream\n\nmulti options:\n  co-locate several programs on one chip, each on its own disjoint band\n  with its own DRAM-channel share, under deterministic weighted\n  round-robin channel arbitration; every tenant's stats are byte-identical\n  to running it alone via `run --partition` on the same band\n  NAME=ROWS[/CH]     tenant spec: bench NAME on a best-fit band of ROWS rows\n                     owning CH channels (default 1); NAME=ROWS@Y0[/CH] pins\n                     the band at row Y0 instead\n  --quantum N        cycles per arbitration credit: each round a tenant\n                     advances CH x N cycles (default 2048); stats are\n                     quantum-independent\n  --evict IDX        after one round, evict tenant IDX (checkpoint at its\n                     quantum boundary, free its band) and resume it as a new\n                     tenant — final stats match an uninterrupted run\n  --stats-json FILE  per-tenant stats snapshots (bench name inserted into\n                     the file name)\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\ndse search options:\n  a resumable multi-objective search over the PlasticineParams design\n  space: each grid point (cross product of the axis lists below) is\n  compiled + simulated against the chosen workload mix and priced with\n  the area/power models; the output is the Pareto frontier over\n  perf / area / perf-per-W (dominated points pruned incrementally)\n  --lanes L1,L2      candidate PCU SIMD lane counts (default 8,16)\n  --stages S1,S2     candidate PCU pipeline stage counts (default 5,6)\n  --mix M1,M2        candidate grid mixes: `checkerboard`/`cb` or\n                     `pmuheavy`/`ph` (default checkerboard)\n  --mixes NAME1,NAME2  score named workload mixes (`dense`, `sparse`, `ml`)\n                     in the same pass: every point is still compiled and\n                     simulated once per workload, but each mix re-weights\n                     the shared measurements into its own objectives and\n                     Pareto frontier, and the report adds the\n                     robust-across-mixes intersection\n  --scratchpad-kb K1,K2  candidate per-PMU scratchpad KiB (default 128,256)\n  --channels C1,C2   candidate DRAM channel counts (default 2,4)\n  --limit N          evaluate at most N new points this invocation; the\n                     rest are reported `not run` and picked up when the\n                     same --journal is passed again\n  --journal FILE     progress journal (shared format with `batch`); done\n                     points are restored with their exact measured\n                     objectives, so a resumed search emits a frontier\n                     byte-identical to an uninterrupted one\n  --out FILE         write the cumulative report (all points + frontier)\n                     as JSON; deterministic across worker counts\n  points the design cannot run (invalid params, does not fit even after\n  degradation, deadlock, cycle budget) are typed `infeasible` skips, not\n  failures; the exit code reflects only real failures\n\nserve options:\n  a long-lived daemon: line-delimited JSON requests on stdin (responses on\n  stdout) and, with --socket, on a Unix socket shared by many clients;\n  ops: compile, run, batch, stats, shutdown, plus the multi-tenant\n  scheduler ops submit (queue a program onto a free partition), tenants\n  (list tenant states), and evict (checkpoint + requeue a resident)\n  (see DESIGN.md sections 13 and 15)\n  --workers N        worker threads executing requests (default: cores)\n  --queue-depth N    admission-queue bound (default: 2x workers); requests\n                     beyond it are shed with a typed `overloaded` response\n  --deadline-ms N    per-request wall-clock deadline measured from admission\n                     (default 60000); a request past it is abandoned with a\n                     typed error while the daemon keeps serving\n  --retries N        re-run a request failing with fault exhaustion up to N\n                     extra times (jittered backoff), then degrade its\n                     parallelization until it fits the surviving fabric\n  (the remaining flags set per-request defaults; response `status` strings\n  mirror the exit codes below, plus service-only `overloaded` and\n  `shutting_down` with code 7)\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded"
+        "usage:\n  plasticine-run list\n  plasticine-run run <benchmark|all> [--scale N] [--config FILE] [--partition ROWS@Y0[/CH]] [--trace FILE] [--stats-json FILE] [--units] [--faults SPEC] [--step-mode MODE] [--threads N] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--checkpoint-keep N] [--resume FILE] [--fault-timeline SPEC] [--heal]\n  plasticine-run compile <benchmark> [--scale N] [--faults SPEC] [--partition ROWS@Y0[/CH]] [--out FILE] [--bitstream FILE]\n  plasticine-run multi <NAME=ROWS[@Y0][/CH]...> [--scale N] [--step-mode MODE] [--threads N] [--max-cycles N] [--quantum N] [--evict IDX] [--stats-json FILE]\n  plasticine-run batch <benchmark...|all> [--scale N] [--jobs N] [--threads N] [--stats-json FILE] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--timeout SECS] [--retries N] [--journal FILE] [--fail-fast] [--checkpoint-every N] [--checkpoint-dir DIR] [--checkpoint-keep N]\n  plasticine-run dse search <benchmark...|all> [--scale N] [--lanes L1,L2] [--stages S1,S2] [--mix M1,M2] [--mixes NAME1,NAME2] [--scratchpad-kb K1,K2] [--channels C1,C2] [--jobs N] [--threads N] [--step-mode MODE] [--max-cycles N] [--limit N] [--journal FILE] [--out FILE]\n  plasticine-run serve [--workers N] [--queue-depth N] [--deadline-ms N] [--socket PATH] [--retries N] [--scale N] [--threads N] [--faults SPEC] [--step-mode MODE] [--max-cycles N] [--checkpoint-every N] [--checkpoint-dir DIR] [--checkpoint-keep N]\n  plasticine-run chaos [benchmark...|all] [--seeds N] [--scale N] [--step-mode MODE] [--threads N] [--modes M1,M2] [--out FILE]\n\nrun options:\n  --config FILE      load a serialized artifact (`compile --out`) instead of compiling\n  --partition ROWS@Y0[/CH]  compile and run on a horizontal band: ROWS fabric\n                     rows starting at row Y0 owning CH DRAM channels\n                     (default 1); with --config, the flag must match the\n                     partition the artifact was compiled for (a mismatch\n                     is a usage error) and the simulated DRAM shrinks to\n                     the band's channel share, so the stats are\n                     byte-identical to the same tenant co-located under\n                     `multi`\n  --trace FILE       write a Chrome trace-viewer JSON (chrome://tracing, ui.perfetto.dev)\n  --stats-json FILE  write a machine-readable stats snapshot\n  --units            print the per-unit stall breakdown table\n  --faults SPEC      inject faults, e.g. pcu=3,pmu=2,links=5,banks=4,chan=1,seed=42\n                     (hard faults; transient rates: lane=P,sram=P,drop=P,retries=N)\n  --step-mode MODE   `event` (default: skip quiescent cycles) or `cycle`\n                     (step every cycle); statistics are bit-identical\n  --threads N        worker threads for the event kernel (default 1); results\n                     are byte-identical at any value — only wall-clock changes\n  --max-cycles N     cycle budget (default 500000000); exceeding it exits 6\n  --checkpoint-every N  write a checkpoint every N simulated cycles\n  --checkpoint-dir DIR  where checkpoints go (default `.`); enabling any\n                     checkpointing also auto-checkpoints on cycle-budget and\n                     deadlock failures, so those cycles can be resumed\n  --checkpoint-keep N  cycle-stamped auto-checkpoints retained per benchmark\n                     (default 3; older ones are pruned atomically — the\n                     fixed `<bench>.ckpt.json` slot always holds the newest)\n  --resume FILE      resume from a checkpoint instead of starting at cycle 0\n                     (stats are bit-identical to an uninterrupted run)\n  --fault-timeline SPEC  schedule online fault arrivals, e.g.\n                     units=2,links=1,banks=1,esc=1,horizon=4096,seed=7,band=4@0,detect=8\n                     (sampled deterministically; an arrival that impacts the\n                     running program exits 8 `fabric degraded` with a\n                     resumable auto-checkpoint when a checkpoint dir is set)\n  --heal             self-heal through degraded exits instead of exiting 8:\n                     absorb the arrivals, relocate to the lowest healthy\n                     pattern-equivalent band, resume the degrade checkpoint\n                     there; final stats are byte-identical to resuming the\n                     checkpoint on that band manually (requires --partition;\n                     incompatible with --config/--trace/--resume and the\n                     checkpointing flags)\n  (checkpointing and --trace are mutually exclusive)\n(with `run all`, the benchmark name is inserted into each output file name)\n\ncompile options:\n  --out FILE         write the full compile artifact (config + placement +\n                     analysis, versioned and content-hashed) for `run --config`\n  --bitstream FILE   write only the machine configuration\n  --partition ROWS@Y0[/CH]  confine placement and routing to the band; the\n                     partition is recorded in the artifact, and the same\n                     geometry at a different Y0 yields a relocated,\n                     hash-distinct bitstream\n\nmulti options:\n  co-locate several programs on one chip, each on its own disjoint band\n  with its own DRAM-channel share, under deterministic weighted\n  round-robin channel arbitration; every tenant's stats are byte-identical\n  to running it alone via `run --partition` on the same band\n  NAME=ROWS[/CH]     tenant spec: bench NAME on a best-fit band of ROWS rows\n                     owning CH channels (default 1); NAME=ROWS@Y0[/CH] pins\n                     the band at row Y0 instead\n  --quantum N        cycles per arbitration credit: each round a tenant\n                     advances CH x N cycles (default 2048); stats are\n                     quantum-independent\n  --evict IDX        after one round, evict tenant IDX (checkpoint at its\n                     quantum boundary, free its band) and resume it as a new\n                     tenant — final stats match an uninterrupted run\n  --stats-json FILE  per-tenant stats snapshots (bench name inserted into\n                     the file name)\n\nbatch options:\n  --jobs N           concurrent jobs (default: available cores / --threads,\n                     so jobs x threads covers the machine exactly once)\n  --threads N        simulator threads per job (default 1); byte-identical\n  --timeout SECS     per-job wall-clock limit; a job past it is abandoned and\n                     reported as timed out while the rest of the batch continues\n  --retries N        re-run a job that fails with transient-fault exhaustion up\n                     to N extra times (exponential backoff between attempts)\n  --journal FILE     append-style progress journal; a re-invoked batch with the\n                     same journal skips completed jobs and, with a checkpoint\n                     dir, resumes interrupted ones mid-run\n  --fail-fast        stop scheduling new jobs after the first failure (the\n                     default runs everything and prints a failure report)\n  (workers share one compile cache; output order is deterministic)\n\ndse search options:\n  a resumable multi-objective search over the PlasticineParams design\n  space: each grid point (cross product of the axis lists below) is\n  compiled + simulated against the chosen workload mix and priced with\n  the area/power models; the output is the Pareto frontier over\n  perf / area / perf-per-W (dominated points pruned incrementally)\n  --lanes L1,L2      candidate PCU SIMD lane counts (default 8,16)\n  --stages S1,S2     candidate PCU pipeline stage counts (default 5,6)\n  --mix M1,M2        candidate grid mixes: `checkerboard`/`cb` or\n                     `pmuheavy`/`ph` (default checkerboard)\n  --mixes NAME1,NAME2  score named workload mixes (`dense`, `sparse`, `ml`)\n                     in the same pass: every point is still compiled and\n                     simulated once per workload, but each mix re-weights\n                     the shared measurements into its own objectives and\n                     Pareto frontier, and the report adds the\n                     robust-across-mixes intersection\n  --scratchpad-kb K1,K2  candidate per-PMU scratchpad KiB (default 128,256)\n  --channels C1,C2   candidate DRAM channel counts (default 2,4)\n  --limit N          evaluate at most N new points this invocation; the\n                     rest are reported `not run` and picked up when the\n                     same --journal is passed again\n  --journal FILE     progress journal (shared format with `batch`); done\n                     points are restored with their exact measured\n                     objectives, so a resumed search emits a frontier\n                     byte-identical to an uninterrupted one\n  --out FILE         write the cumulative report (all points + frontier)\n                     as JSON; deterministic across worker counts\n  points the design cannot run (invalid params, does not fit even after\n  degradation, deadlock, cycle budget) are typed `infeasible` skips, not\n  failures; the exit code reflects only real failures\n\nserve options:\n  a long-lived daemon: line-delimited JSON requests on stdin (responses on\n  stdout) and, with --socket, on a Unix socket shared by many clients;\n  ops: compile, run, batch, stats, shutdown, plus the multi-tenant\n  scheduler ops submit (queue a program onto a free partition), tenants\n  (list tenant states), and evict (checkpoint + requeue a resident)\n  (see DESIGN.md sections 13 and 15)\n  --workers N        worker threads executing requests (default: cores)\n  --queue-depth N    admission-queue bound (default: 2x workers); requests\n                     beyond it are shed with a typed `overloaded` response\n  --deadline-ms N    per-request wall-clock deadline measured from admission\n                     (default 60000); a request past it is abandoned with a\n                     typed error while the daemon keeps serving\n  --retries N        re-run a request failing with fault exhaustion up to N\n                     extra times (jittered backoff), then degrade its\n                     parallelization until it fits the surviving fabric\n  (the remaining flags set per-request defaults; response `status` strings\n  mirror the exit codes below, plus service-only `overloaded` and\n  `shutting_down` with code 7)\n\nchaos options:\n  a deterministic chaos soak: every pinned seed replays a random fault\n  timeline against one workload on one surface (solo self-healing run,\n  two co-resident `multi` tenants, or a live fabric scheduler) and checks\n  the robustness invariants — no panics, typed statuses only, healed\n  stats byte-identical to a manual resume, co-resident isolation intact\n  (exit 0 only when every iteration holds them)\n  --seeds N          iterations; seeds are pinned 1..=N (default 20)\n  --modes M1,M2      surfaces to rotate through: solo, multi, sched\n                     (default all three)\n  --out FILE         write the machine-readable soak report as JSON\n\nexit codes: 0 ok, 1 runtime, 2 usage, 3 compile, 4 deadlock, 5 fault exhaustion,\n            6 cycle budget exceeded, 8 fabric degraded"
     );
     ExitStatus::Usage.into()
 }
@@ -93,6 +96,11 @@ struct Flags {
     workload_mixes: Option<Vec<String>>,
     quantum: Option<u64>,
     evict: Option<usize>,
+    fault_timeline: Option<FaultTimelineSpec>,
+    heal: bool,
+    checkpoint_keep: Option<usize>,
+    seeds: Option<u64>,
+    modes: Option<Vec<SoakMode>>,
 }
 
 /// `--lanes 8,16` → `[8, 16]`; every element must be a positive integer.
@@ -124,9 +132,10 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
         if !allowed.contains(&a) {
             return Err(format!("unknown option `{a}`"));
         }
-        if a == "--units" || a == "--fail-fast" {
+        if a == "--units" || a == "--fail-fast" || a == "--heal" {
             f.units |= a == "--units";
             f.fail_fast |= a == "--fail-fast";
+            f.heal |= a == "--heal";
             i += 1;
             continue;
         }
@@ -244,6 +253,35 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                 f.evict = Some(
                     v.parse::<usize>()
                         .map_err(|_| format!("--evict requires a tenant index, got `{v}`"))?,
+                );
+            }
+            "--checkpoint-keep" => {
+                f.checkpoint_keep =
+                    Some(v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--checkpoint-keep requires a positive integer, got `{v}`")
+                    })?);
+            }
+            "--seeds" => {
+                f.seeds =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--seeds requires a positive integer, got `{v}`")
+                    })?);
+            }
+            "--modes" => {
+                f.modes = Some(
+                    v.split(',')
+                        .map(|s| {
+                            SoakMode::parse(s).ok_or_else(|| {
+                                format!("--modes: `{s}` is not solo, multi, or sched")
+                            })
+                        })
+                        .collect::<Result<Vec<SoakMode>, String>>()?,
+                );
+            }
+            "--fault-timeline" => {
+                f.fault_timeline = Some(
+                    v.parse::<FaultTimelineSpec>()
+                        .map_err(|e| format!("--fault-timeline: {e}"))?,
                 );
             }
             "--socket" => f.socket = Some(v),
@@ -366,8 +404,11 @@ struct RunConfig {
     max_cycles: Option<u64>,
     checkpoint_every: Option<u64>,
     checkpoint_dir: Option<String>,
+    checkpoint_keep: usize,
     resume: Option<String>,
     partition: Option<Partition>,
+    timeline: Option<FaultTimelineSpec>,
+    heal: bool,
 }
 
 /// A failed run, carrying the exit status it maps to.
@@ -507,6 +548,36 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
     if let Some(p) = cfg.partition.or(out.config.partition) {
         opts.dram.channels = p.channels;
     }
+    // The timeline samples after the channel override so a partitioned
+    // run draws the exact arrivals the service-side scheduler would for
+    // the same band — the byte-identity contracts depend on it.
+    if let Some(spec) = &cfg.timeline {
+        opts.timeline = FaultTimeline::sample(&Topology::new(params), spec, opts.dram.channels);
+        println!("  fault timeline: {}", opts.timeline.summary());
+    }
+    if cfg.heal {
+        let band = cfg
+            .partition
+            .expect("`run` validates that --heal requires --partition");
+        let h = chaos::run_healed(bench, params, band, &opts, 16).map_err(RunFailure::from_sim)?;
+        println!("{}", summary_line(bench, params, &out, &h.result));
+        if h.heals > 0 {
+            let bands: Vec<String> = h.bands.iter().map(Partition::to_string).collect();
+            println!(
+                "  healed {} degraded exit(s) ({} migration(s)) at cycle(s) {:?}; bands {}",
+                h.heals,
+                h.migrations,
+                h.degrade_cycles,
+                bands.join(" -> "),
+            );
+        }
+        if let Some(path) = &cfg.stats {
+            std::fs::write(path, stats_with_bench(bench, &h.result).pretty())
+                .map_err(|e| RunFailure::other(format!("writing {path}: {e}")))?;
+            println!("  stats written to {path}");
+        }
+        return Ok(());
+    }
     let checkpointing = cfg.checkpoint_every.is_some() || cfg.checkpoint_dir.is_some();
     let sim_res = if checkpointing || cfg.resume.is_some() {
         let resume = match &cfg.resume {
@@ -519,7 +590,6 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
             None => None,
         };
         let dir = cfg.checkpoint_dir.as_deref().unwrap_or(".");
-        let ckpt_path = checkpoint_path(dir, &bench.name);
         let policy = CheckpointPolicy {
             every: cfg.checkpoint_every,
             // Any checkpointing flag also opts into auto-checkpoints at
@@ -535,11 +605,11 @@ fn run_one(bench: &Bench, params: &PlasticineParams, cfg: &RunConfig) -> Result<
             &opts,
             policy,
             resume.as_ref(),
-            &mut |c| match c.save(&ckpt_path) {
-                Ok(()) => println!(
+            &mut |c| match emit_checkpoint(dir, &bench.name, cfg.checkpoint_keep, c) {
+                Ok(stamped) => println!(
                     "  checkpoint at cycle {} written to {}",
                     c.cycle,
-                    ckpt_path.display()
+                    stamped.display()
                 ),
                 // A failed write must not kill a healthy run: report it
                 // and keep simulating.
@@ -616,6 +686,7 @@ struct BatchConfig {
     fail_fast: bool,
     checkpoint_every: Option<u64>,
     checkpoint_dir: Option<String>,
+    checkpoint_keep: usize,
 }
 
 /// Stable identity of a batch job across invocations: the same bench at
@@ -713,7 +784,7 @@ fn batch_one(
             policy,
             resume.as_ref(),
             &mut |c| {
-                if let Err(e) = c.save(&ckpt_path) {
+                if let Err(e) = emit_checkpoint(dir, &bench.name, cfg.checkpoint_keep, c) {
                     eprintln!("{}: checkpoint write failed: {e}", bench.name);
                 }
             },
@@ -1058,8 +1129,11 @@ fn main() -> ExitCode {
                     "--max-cycles",
                     "--checkpoint-every",
                     "--checkpoint-dir",
+                    "--checkpoint-keep",
                     "--resume",
                     "--partition",
+                    "--fault-timeline",
+                    "--heal",
                 ],
             ) {
                 Ok(f) => f,
@@ -1092,6 +1166,31 @@ fn main() -> ExitCode {
                      reconstructed across an interrupted run"
                 );
                 return usage();
+            }
+            if flags.heal {
+                if flags.partition.is_none() {
+                    eprintln!(
+                        "--heal requires --partition: healing relocates the run between \
+                         pattern-equivalent bands, so it must start on one"
+                    );
+                    return usage();
+                }
+                if flags.fault_timeline.is_none() {
+                    eprintln!("--heal requires --fault-timeline: there is nothing to heal from");
+                    return usage();
+                }
+                if flags.config.is_some()
+                    || flags.trace.is_some()
+                    || flags.resume.is_some()
+                    || flags.checkpoint_every.is_some()
+                    || flags.checkpoint_dir.is_some()
+                {
+                    eprintln!(
+                        "--heal recompiles and resumes internally and cannot be combined \
+                         with --config, --trace, --resume, or the checkpointing flags"
+                    );
+                    return usage();
+                }
             }
             if let Some(dir) = &flags.checkpoint_dir {
                 if let Err(e) = ensure_checkpoint_dir(dir) {
@@ -1140,8 +1239,11 @@ fn main() -> ExitCode {
                     max_cycles: flags.max_cycles,
                     checkpoint_every: flags.checkpoint_every,
                     checkpoint_dir: flags.checkpoint_dir.clone(),
+                    checkpoint_keep: flags.checkpoint_keep.unwrap_or(3),
                     resume: flags.resume.clone(),
                     partition: flags.partition,
+                    timeline: flags.fault_timeline.clone(),
+                    heal: flags.heal,
                 };
                 if let Err(e) = run_one(b, &params, &cfg) {
                     eprintln!("{}: {}", b.name, e.message);
@@ -1191,6 +1293,17 @@ fn main() -> ExitCode {
                     eprintln!("unknown benchmark `{name}` (try `plasticine-run list`)");
                     return ExitCode::FAILURE;
                 };
+                // Tenant names are the per-tenant identity everywhere
+                // downstream (stats files, eviction messages): a duplicate
+                // would silently alias two tenants, so reject it up front
+                // like an overlapping band.
+                if placed.iter().any(|(b, _)| b.name == bench.name) {
+                    eprintln!(
+                        "duplicate tenant `{}`: each tenant needs a distinct benchmark",
+                        bench.name
+                    );
+                    return usage();
+                }
                 let band = if geom.contains('@') {
                     let p: Partition = match geom.parse() {
                         Ok(p) => p,
@@ -1478,6 +1591,7 @@ fn main() -> ExitCode {
                     "--fail-fast",
                     "--checkpoint-every",
                     "--checkpoint-dir",
+                    "--checkpoint-keep",
                 ],
             ) {
                 Ok(f) => f,
@@ -1533,6 +1647,7 @@ fn main() -> ExitCode {
                 fail_fast: flags.fail_fast,
                 checkpoint_every: flags.checkpoint_every,
                 checkpoint_dir: flags.checkpoint_dir.clone(),
+                checkpoint_keep: flags.checkpoint_keep.unwrap_or(3),
             };
             run_batch(&benches, &params, &cfg)
         }
@@ -1640,6 +1755,100 @@ fn main() -> ExitCode {
             // `code()` is always in 0..=6, so the cast is lossless.
             ExitCode::from(report.exit_code() as u8)
         }
+        Some("chaos") => {
+            let names: Vec<&String> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            let flags = match parse_flags(
+                &args[1 + names.len()..],
+                &[
+                    "--seeds",
+                    "--scale",
+                    "--step-mode",
+                    "--threads",
+                    "--modes",
+                    "--out",
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let mut cfg = chaos::SoakConfig {
+                scale: flags.scale,
+                step: flags.step,
+                threads: flags.threads,
+                ..chaos::SoakConfig::default()
+            };
+            if let Some(n) = flags.seeds {
+                cfg.seeds = n;
+            }
+            if let Some(modes) = &flags.modes {
+                cfg.modes = modes.clone();
+            }
+            let scale = Scale(flags.scale);
+            if names.iter().any(|n| n.as_str() == "all") {
+                cfg.benches = all(scale).into_iter().map(|b| b.name).collect();
+            } else if !names.is_empty() {
+                let mut benches = Vec::new();
+                for name in &names {
+                    match find_bench(name, scale) {
+                        // Store the canonical name so reports and rotation
+                        // are case-independent of what the user typed.
+                        Some(b) => benches.push(b.name),
+                        None => {
+                            eprintln!("unknown benchmark `{name}` (try `plasticine-run list`)");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                cfg.benches = benches;
+            }
+            println!(
+                "chaos soak: {} seeds over {} ({} mode(s))",
+                cfg.seeds,
+                cfg.benches.join(", "),
+                cfg.modes.len(),
+            );
+            let report = chaos::soak(&params, &cfg);
+            for it in &report.iterations {
+                let detail = match &it.violation {
+                    Some(v) => format!("  VIOLATION: {v}"),
+                    None if it.heals > 0 => {
+                        format!("  ({} heal(s), {} migration(s))", it.heals, it.migrations)
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "  seed {:>3}  {:<6} {:<14} {}{detail}",
+                    it.seed, it.mode, it.bench, it.status,
+                );
+            }
+            println!(
+                "{} iterations: {} healed, {} panics, {} violations -> {}",
+                report.iterations.len(),
+                report.healed(),
+                report.panics(),
+                report.violations(),
+                if report.passed() { "PASS" } else { "FAIL" },
+            );
+            if let Some(path) = &flags.out {
+                let text = report.to_json().pretty() + "\n";
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("writing {path}: {e}");
+                    return ExitStatus::Runtime.into();
+                }
+                println!("report written to {path}");
+            }
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitStatus::Runtime.into()
+            }
+        }
         Some("serve") => {
             let flags = match parse_flags(
                 &args[1..],
@@ -1656,6 +1865,7 @@ fn main() -> ExitCode {
                     "--max-cycles",
                     "--checkpoint-every",
                     "--checkpoint-dir",
+                    "--checkpoint-keep",
                 ],
             ) {
                 Ok(f) => f,
@@ -1690,6 +1900,7 @@ fn main() -> ExitCode {
                 faults: flags.faults.clone(),
                 checkpoint_every: flags.checkpoint_every,
                 checkpoint_dir: flags.checkpoint_dir.clone(),
+                checkpoint_keep: flags.checkpoint_keep.unwrap_or(3),
             };
             match plasticine::service::serve(&params, opts) {
                 Ok(_) => ExitCode::SUCCESS,

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod dse;
 pub mod journal;
 pub mod service;

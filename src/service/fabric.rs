@@ -31,11 +31,16 @@
 
 use super::metrics::{Metrics, TenantEvent};
 use super::stats_with_bench;
-use plasticine_arch::{GridMix, Partition, PartitionTable, PlasticineParams};
+use plasticine_arch::{
+    FaultMap, FaultTimeline, GridMix, HealthMap, Partition, PartitionTable, PlasticineParams,
+    Topology,
+};
 use plasticine_compiler::{CompileCache, CompileOptions};
 use plasticine_json::Json;
 use plasticine_ppir::Machine;
-use plasticine_sim::{Advance, Checkpoint, SimKernel, SimOptions, StepMode};
+use plasticine_sim::{
+    Advance, Checkpoint, DegradedReport, SimError, SimKernel, SimOptions, StepMode,
+};
 use plasticine_workloads::{all, Bench, Scale};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
@@ -63,6 +68,9 @@ pub struct SubmitSpec {
     pub threads: usize,
     /// Cycle budget (`None` = simulator default).
     pub max_cycles: Option<u64>,
+    /// Scheduled online fault arrivals for the tenant's run (sampled by
+    /// the server from the request's `timeline` spec; inert by default).
+    pub timeline: FaultTimeline,
 }
 
 /// Lifecycle of a tenant. `Queued` covers both a fresh submission and a
@@ -109,15 +117,39 @@ struct TenantEntry {
     /// The pending eviction is a scheduler preemption, not an operator
     /// request (metrics attribution).
     preempted: bool,
+    /// The tenant is queued because a fault arrival degraded its band
+    /// (the next successful admission is a heal, not a plain resume).
+    healing: bool,
+    /// Successful heals: degraded exits followed by a resumed admission.
+    healed: u64,
+    /// Heals that landed on a band other than the one the tenant
+    /// degraded on.
+    migrations: u64,
+    /// Simulated cycles of progress lost to healing (zero while every
+    /// heal resumes the degraded exit's own checkpoint; a forced restart
+    /// forfeits the checkpointed progress).
+    downtime_cycles: u64,
+    /// Latest arrival cycle already absorbed into the chip [`HealthMap`]
+    /// from this tenant's degradation reports. A re-degraded tenant
+    /// replays the fired prefix of its timeline, so its next report
+    /// lists old arrivals again; the watermark keeps bank-failure
+    /// counters from double-absorbing them.
+    absorbed_through: u64,
     error: Option<String>,
     stats: Option<Json>,
 }
 
 struct FabricState {
     table: PartitionTable,
+    topo: Topology,
     mix: GridMix,
     rows_total: usize,
     channels_total: usize,
+    /// Hard faults the chip has accumulated from degraded tenants.
+    /// Admission steers placements onto healthy bands while any exist;
+    /// when no healthy band fits, the compile goes through the degraded
+    /// path against the merged map.
+    health: HealthMap,
     tenants: Vec<TenantEntry>,
     pending: VecDeque<usize>,
     stop: bool,
@@ -136,9 +168,11 @@ impl FabricScheduler {
         FabricScheduler {
             state: Mutex::new(FabricState {
                 table: PartitionTable::new(params),
+                topo: Topology::new(params),
                 mix: params.mix,
                 rows_total: params.rows,
                 channels_total: params.coalescing_units,
+                health: HealthMap::new(),
                 tenants: Vec::new(),
                 pending: VecDeque::new(),
                 stop: false,
@@ -182,6 +216,11 @@ impl FabricScheduler {
             preempt_fired: false,
             evict_requested: false,
             preempted: false,
+            healing: false,
+            healed: 0,
+            migrations: 0,
+            downtime_cycles: 0,
+            absorbed_through: 0,
             error: None,
             stats: None,
         });
@@ -213,6 +252,15 @@ impl FabricScheduler {
                     }
                     if t.preemptions > 0 {
                         pairs.push(("preemptions".to_string(), Json::from(t.preemptions)));
+                    }
+                    if t.healed > 0 {
+                        pairs.push(("healed".to_string(), Json::from(t.healed)));
+                    }
+                    if t.migrations > 0 {
+                        pairs.push(("migrations".to_string(), Json::from(t.migrations)));
+                    }
+                    if t.downtime_cycles > 0 {
+                        pairs.push(("downtime_cycles".to_string(), Json::from(t.downtime_cycles)));
                     }
                     if t.checkpoint.is_some() {
                         pairs.push(("resumable".to_string(), Json::from(true)));
@@ -272,6 +320,22 @@ impl FabricScheduler {
         ])
     }
 
+    /// A snapshot of the chip's accumulated hard faults (dead units,
+    /// dead links, degraded banks), for observability payloads.
+    pub fn health_json(&self) -> Json {
+        let g = self.state.lock().unwrap();
+        let m = g.health.faults();
+        Json::obj([
+            ("dead_pcus", Json::from(m.dead_pcus.len())),
+            ("dead_pmus", Json::from(m.dead_pmus.len())),
+            ("dead_links", Json::from(m.dead_links.len())),
+            (
+                "dead_banks",
+                Json::from(m.dead_banks.values().sum::<usize>()),
+            ),
+        ])
+    }
+
     /// Stops the scheduler thread (daemon drain). Unfinished tenants are
     /// abandoned; their final `tenants` listing keeps the last phase.
     pub fn stop(&self) {
@@ -296,8 +360,20 @@ struct Resident {
 enum Decision {
     Stop,
     Evict(Vec<usize>),
-    Admit(Vec<(usize, Partition, Option<Checkpoint>, SubmitSpec)>),
+    Admit(Vec<Admission>),
     Advance,
+}
+
+/// One planned admission: which tenant, onto which band, resuming which
+/// checkpoint, compiled against which fault map (non-default only when
+/// the band carries accumulated chip damage and the bitstream must route
+/// around it).
+struct Admission {
+    id: usize,
+    band: Partition,
+    resume: Option<Checkpoint>,
+    spec: SubmitSpec,
+    faults: FaultMap,
 }
 
 /// The scheduler thread: admit, preempt, advance, repeat until
@@ -366,14 +442,35 @@ pub fn scheduler_loop(
                 }
             }
             Decision::Admit(list) => {
-                for (id, band, resume, spec) in list {
-                    match build_resident(params, cache, &spec, band, resume.as_ref()) {
+                for a in list {
+                    match build_resident(
+                        params,
+                        cache,
+                        &a.spec,
+                        a.band,
+                        &a.faults,
+                        a.resume.as_ref(),
+                    ) {
                         Ok(r) => {
-                            residents.insert(id, r);
-                            metrics.record_tenant(&spec.bench, TenantEvent::Admitted);
+                            residents.insert(a.id, r);
+                            metrics.record_tenant(&a.spec.bench, TenantEvent::Admitted);
+                            let mut g = f.state.lock().unwrap();
+                            let t = &mut g.tenants[a.id];
+                            if t.healing {
+                                // The degraded tenant is back on the
+                                // fabric: count the heal, and the
+                                // migration when it landed off its
+                                // degraded band.
+                                t.healing = false;
+                                t.healed += 1;
+                                if t.anchor != Some(a.band) {
+                                    t.migrations += 1;
+                                }
+                                metrics.record_tenant(&t.spec.bench, TenantEvent::Healed);
+                            }
                             f.cv.notify_all();
                         }
-                        Err(msg) => fail_tenant(f, metrics, id, msg),
+                        Err(msg) => fail_tenant(f, metrics, a.id, msg),
                     }
                 }
             }
@@ -381,11 +478,13 @@ pub fn scheduler_loop(
                 let mut paused: Vec<(usize, u64)> = Vec::new();
                 let mut finished: Vec<usize> = Vec::new();
                 let mut failed: Vec<(usize, String)> = Vec::new();
+                let mut degraded: Vec<(usize, Box<DegradedReport>)> = Vec::new();
                 for (&id, r) in residents.iter_mut() {
                     let target = r.kernel.now() + r.weight * QUANTUM;
                     match r.kernel.advance(Some(target), None) {
                         Ok(Advance::Finished) => finished.push(id),
                         Ok(Advance::Paused) => paused.push((id, r.kernel.now())),
+                        Err(SimError::FabricDegraded(report)) => degraded.push((id, report)),
                         Err(e) => failed.push((id, e.to_string())),
                     }
                 }
@@ -413,6 +512,38 @@ pub fn scheduler_loop(
                     }
                     f.cv.notify_all();
                 }
+                for (id, report) in degraded {
+                    // Self-healing: the degraded exit already carries the
+                    // tenant's auto-checkpoint and the arrivals that
+                    // struck it. Fold the hard faults into the chip
+                    // health map, release the damaged band, and requeue
+                    // the tenant at the head of the line — admission
+                    // will steer it onto a healthy pattern-equivalent
+                    // band (or restart it degraded when none can exist).
+                    residents.remove(&id);
+                    let report = *report;
+                    let mut g = f.state.lock().unwrap();
+                    let t = &mut g.tenants[id];
+                    metrics.record_tenant(&t.spec.bench, TenantEvent::Degraded);
+                    let watermark = t.absorbed_through;
+                    t.absorbed_through = report.cycle;
+                    t.checkpoint = Some(report.checkpoint);
+                    t.cycles = report.cycle;
+                    t.phase = Phase::Queued;
+                    t.healing = true;
+                    t.evict_requested = false;
+                    t.preempted = false;
+                    let band = t.partition.take().expect("degraded tenant owned a band");
+                    t.anchor = Some(band);
+                    for (cycle, a) in &report.arrivals {
+                        if *cycle > watermark {
+                            g.health.absorb(a);
+                        }
+                    }
+                    g.table.release(&band);
+                    g.pending.push_front(id);
+                    f.cv.notify_all();
+                }
                 for (id, msg) in failed {
                     residents.remove(&id);
                     fail_tenant(f, metrics, id, msg);
@@ -425,10 +556,20 @@ pub fn scheduler_loop(
 /// Walks the pending queue in FIFO order, best-fit allocating every
 /// tenant that fits right now. Admitted tenants are marked `Running` (and
 /// own their band) immediately so a failed compile can release cleanly.
-fn plan_admissions(g: &mut FabricState) -> Vec<(usize, Partition, Option<Checkpoint>, SubmitSpec)> {
+///
+/// Placement is health-aware: a checkpointed tenant lands only on a
+/// *healthy* [pattern-equivalent](Partition::pattern_equivalent) band
+/// (the unmodified bitstream cannot run over dead silicon, and a
+/// degraded recompile would break the checkpoint's config guard); if
+/// chip damage means no such band can ever exist the checkpoint is
+/// forfeited and the tenant restarts degraded, charging the lost cycles
+/// to its downtime counter. Fresh tenants prefer healthy bands and fall
+/// back to compiling around the accumulated faults.
+fn plan_admissions(g: &mut FabricState) -> Vec<Admission> {
     let mut admits = Vec::new();
     let mut still_pending = VecDeque::new();
-    while let Some(id) = g.pending.pop_front() {
+    let mut queue = std::mem::take(&mut g.pending);
+    while let Some(id) = queue.pop_front() {
         let (rows, channels, anchor) = {
             let t = &g.tenants[id];
             // A checkpointed tenant must land on a band its bitstream
@@ -437,21 +578,99 @@ fn plan_admissions(g: &mut FabricState) -> Vec<(usize, Partition, Option<Checkpo
             (t.spec.rows, t.spec.channels, anchor)
         };
         let mix = g.mix;
-        match match anchor {
-            Some(a) => g.table.allocate_compatible(rows, channels, a.y0, mix),
-            None => g.table.allocate(rows, channels),
-        } {
-            Some(band) => {
+        let rows_total = g.rows_total;
+        let FabricState {
+            table,
+            topo,
+            health,
+            ..
+        } = &mut *g;
+        let healthy = |p: &Partition| health.band_is_healthy(topo, p);
+        // `(band, clean)`: a clean band carries no accumulated fault and
+        // runs the pristine bitstream; a dirty one needs the degraded
+        // compile. `restart` forfeits the checkpoint.
+        let mut restart = false;
+        let placed: Option<(Partition, bool)> = match anchor {
+            Some(a) => {
+                match table.allocate_compatible_where(rows, channels, a.y0, mix, healthy) {
+                    Some(band) => Some((band, true)),
+                    None if healthy_compatible_band_exists(
+                        topo, health, rows_total, rows, channels, a.y0, mix,
+                    ) =>
+                    {
+                        // A healthy compatible band exists but is
+                        // occupied: wait for it rather than forfeit the
+                        // checkpoint.
+                        None
+                    }
+                    None => {
+                        // Chip damage covers every compatible offset:
+                        // the checkpoint can never resume. Restart from
+                        // scratch.
+                        restart = true;
+                        table
+                            .allocate_where(rows, channels, healthy)
+                            .map(|b| (b, true))
+                            .or_else(|| table.allocate(rows, channels).map(|b| (b, false)))
+                    }
+                }
+            }
+            None => table
+                .allocate_where(rows, channels, healthy)
+                .map(|b| (b, true))
+                .or_else(|| table.allocate(rows, channels).map(|b| (b, false))),
+        };
+        match placed {
+            Some((band, clean)) => {
+                let faults = if clean {
+                    FaultMap::default()
+                } else {
+                    g.health.merged(&FaultMap::default())
+                };
                 let t = &mut g.tenants[id];
+                if restart {
+                    t.downtime_cycles += t.checkpoint.as_ref().map(|c| c.cycle).unwrap_or(0);
+                    t.checkpoint = None;
+                }
                 t.phase = Phase::Running;
                 t.partition = Some(band);
-                admits.push((id, band, t.checkpoint.take(), t.spec.clone()));
+                admits.push(Admission {
+                    id,
+                    band,
+                    resume: t.checkpoint.take(),
+                    spec: t.spec.clone(),
+                    faults,
+                });
             }
             None => still_pending.push_back(id),
         }
     }
     g.pending = still_pending;
     admits
+}
+
+/// Could a healthy band pattern-equivalent to `anchor_y0` exist on an
+/// *empty* chip? When even that fails, the accumulated damage blankets
+/// every compatible offset and a checkpointed tenant waiting for one
+/// would wait forever.
+fn healthy_compatible_band_exists(
+    topo: &Topology,
+    health: &HealthMap,
+    rows_total: usize,
+    rows: usize,
+    channels: usize,
+    anchor_y0: usize,
+    mix: GridMix,
+) -> bool {
+    let period = mix.vertical_period().max(1);
+    let mut y0 = anchor_y0 % period;
+    while y0 + rows <= rows_total {
+        if health.band_is_healthy(topo, &Partition::new(y0, rows, channels)) {
+            return true;
+        }
+        y0 += period;
+    }
+    false
 }
 
 /// When the head of the queue cannot fit but would after checkpointing
@@ -502,11 +721,15 @@ fn plan_preemption(g: &mut FabricState, residents: &BTreeMap<usize, Resident>) -
 
 /// Compiles a tenant into its band (through the shared cache) and builds
 /// its kernel, resuming from an eviction checkpoint when one exists.
+/// `faults` is the chip damage the bitstream must route around (default
+/// on a clean band — resumed checkpoints require it, since the fault map
+/// participates in the checkpoint options guard).
 fn build_resident(
     params: &PlasticineParams,
     cache: &CompileCache,
     spec: &SubmitSpec,
     band: Partition,
+    faults: &FaultMap,
     resume: Option<&Checkpoint>,
 ) -> Result<Resident, String> {
     let bench = all(Scale(spec.scale))
@@ -515,6 +738,7 @@ fn build_resident(
         .ok_or_else(|| format!("unknown benchmark `{}`", spec.bench))?;
     let copts = CompileOptions {
         partition: Some(band),
+        faults: faults.clone(),
         ..CompileOptions::new()
     };
     let cached = cache
@@ -530,6 +754,8 @@ fn build_resident(
     };
     // The tenant simulates against exactly its DRAM-channel share.
     opts.dram.channels = band.channels;
+    opts.faults = faults.clone();
+    opts.timeline = spec.timeline.clone();
     if let Some(n) = spec.max_cycles {
         opts.max_cycles = n;
     }

@@ -36,6 +36,11 @@ pub enum TenantEvent {
     Preempted,
     /// The tenant failed (compile, simulation, or verification).
     Failed,
+    /// A fault arrival degraded the tenant's fabric band mid-run; the
+    /// scheduler checkpointed it off for healing.
+    Degraded,
+    /// A degraded tenant resumed (possibly on a relocated band).
+    Healed,
 }
 
 /// Per-benchmark tenant counters (see [`TenantEvent`]).
@@ -47,6 +52,8 @@ struct TenantCounts {
     evicted: u64,
     preempted: u64,
     failed: u64,
+    degraded: u64,
+    healed: u64,
 }
 
 #[derive(Default)]
@@ -144,6 +151,8 @@ impl Metrics {
             TenantEvent::Evicted => c.evicted += 1,
             TenantEvent::Preempted => c.preempted += 1,
             TenantEvent::Failed => c.failed += 1,
+            TenantEvent::Degraded => c.degraded += 1,
+            TenantEvent::Healed => c.healed += 1,
         }
     }
 
@@ -208,6 +217,8 @@ impl Metrics {
                             ("evicted", Json::from(c.evicted)),
                             ("preempted", Json::from(c.preempted)),
                             ("failed", Json::from(c.failed)),
+                            ("degraded", Json::from(c.degraded)),
+                            ("healed", Json::from(c.healed)),
                         ]),
                     )
                 })

@@ -8,7 +8,9 @@
 //! for the full protocol narrative.
 //!
 //! The helpers at this level ([`stats_with_bench`], [`checkpoint_path`],
-//! [`env_lists_bench`], [`jittered_backoff_ms`]) are shared between the
+//! the [`emit_checkpoint`]/[`latest_checkpoint`]/[`prune_checkpoints`]
+//! retention family, [`env_lists_bench`], [`jittered_backoff_ms`]) are
+//! shared between the
 //! daemon and the one-shot CLI binary so their behavior cannot drift
 //! apart — the byte-identity contract (a served `run`'s stats equal the
 //! one-shot `--stats-json` output) depends on it.
@@ -39,10 +41,98 @@ pub fn stats_with_bench(bench: &Bench, r: &SimResult) -> Json {
     stats
 }
 
-/// Where a benchmark's checkpoint lives: `<dir>/<bench>.ckpt.json`,
-/// overwritten at every emission so the newest snapshot always wins.
+/// The legacy single-slot checkpoint path: `<dir>/<bench>.ckpt.json`.
+/// Kept as a resume fallback so snapshots written by older builds still
+/// load; new emissions go to cycle-stamped files ([`checkpoint_file`])
+/// pruned by [`prune_checkpoints`].
 pub fn checkpoint_path(dir: &str, bench: &str) -> PathBuf {
     Path::new(dir).join(format!("{}.ckpt.json", bench.to_ascii_lowercase()))
+}
+
+/// A cycle-stamped auto-checkpoint: `<dir>/<bench>-c<cycle:012>.ckpt.json`.
+/// The zero-padded stamp makes lexical order equal cycle order, so
+/// retention and "latest" scans need no parsing beyond the prefix.
+pub fn checkpoint_file(dir: &str, bench: &str, cycle: u64) -> PathBuf {
+    Path::new(dir).join(format!(
+        "{}-c{cycle:012}.ckpt.json",
+        bench.to_ascii_lowercase()
+    ))
+}
+
+/// Writes a checkpoint through a temp file + rename so a crash mid-write
+/// can never leave a torn snapshot under the final name.
+pub fn save_checkpoint_atomic(c: &plasticine_sim::Checkpoint, path: &Path) -> Result<(), String> {
+    let tmp = path.with_extension("json.tmp");
+    c.save(&tmp).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming {}: {e}", path.display()))
+}
+
+/// Every cycle-stamped checkpoint for `bench` in `dir`, sorted oldest
+/// first (lexical order = cycle order).
+fn stamped_checkpoints(dir: &str, bench: &str) -> Vec<PathBuf> {
+    let prefix = format!("{}-c", bench.to_ascii_lowercase());
+    let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".ckpt.json"))
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+/// The newest resumable checkpoint for `bench` in `dir`: the highest
+/// cycle-stamped file, falling back to the legacy fixed-name slot.
+pub fn latest_checkpoint(dir: &str, bench: &str) -> Option<PathBuf> {
+    if let Some(p) = stamped_checkpoints(dir, bench).pop() {
+        return Some(p);
+    }
+    let legacy = checkpoint_path(dir, bench);
+    legacy.exists().then_some(legacy)
+}
+
+/// Persists one auto-checkpoint emission with bounded retention: writes
+/// the cycle-stamped history file, refreshes the legacy fixed-name slot
+/// (the newest snapshot always wins there — it is what
+/// `--resume <bench>.ckpt.json`, batch resume, and older tooling read),
+/// and prunes history beyond `keep`. Both writes go through a temp file +
+/// rename, so a crash mid-emission never leaves a torn snapshot. Returns
+/// the stamped path.
+pub fn emit_checkpoint(
+    dir: &str,
+    bench: &str,
+    keep: usize,
+    c: &plasticine_sim::Checkpoint,
+) -> Result<PathBuf, String> {
+    let stamped = checkpoint_file(dir, bench, c.cycle);
+    save_checkpoint_atomic(c, &stamped)?;
+    let legacy = checkpoint_path(dir, bench);
+    let tmp = legacy.with_extension("json.new");
+    std::fs::copy(&stamped, &tmp)
+        .map_err(|e| format!("copying {} -> {}: {e}", stamped.display(), tmp.display()))?;
+    std::fs::rename(&tmp, &legacy).map_err(|e| format!("renaming {}: {e}", legacy.display()))?;
+    prune_checkpoints(dir, bench, keep);
+    Ok(stamped)
+}
+
+/// Bounds `--checkpoint-dir` growth: deletes all but the newest `keep`
+/// cycle-stamped checkpoints for `bench` (each removal is an atomic
+/// unlink; a concurrently-vanished file is not an error). `keep == 0` is
+/// clamped to 1 — pruning must never delete the snapshot just written.
+/// Returns how many files were removed.
+pub fn prune_checkpoints(dir: &str, bench: &str, keep: usize) -> usize {
+    let keep = keep.max(1);
+    let files = stamped_checkpoints(dir, bench);
+    let excess = files.len().saturating_sub(keep);
+    files[..excess]
+        .iter()
+        .filter(|p| std::fs::remove_file(p).is_ok())
+        .count()
 }
 
 /// Is `bench` named in the comma-separated env var `var`? Test hook used

@@ -97,6 +97,9 @@ pub struct Request {
     pub channels: Option<usize>,
     /// `evict` only: the tenant id to evict.
     pub tenant: Option<u64>,
+    /// `submit` only: fault-timeline spec in the CLI `--fault-timeline`
+    /// syntax, sampled against the tenant's channel share.
+    pub timeline: Option<String>,
 }
 
 /// Parses one request line. The error string is ready to ship back as a
@@ -179,6 +182,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Json>, String)> {
     };
     let faults = str_field("faults")?;
     let out = str_field("out")?;
+    let timeline = str_field("timeline")?;
     let rows = match j.get("rows") {
         None => None,
         Some(v) => Some(
@@ -216,6 +220,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Json>, String)> {
         rows,
         channels,
         tenant,
+        timeline,
     })
 }
 

@@ -44,7 +44,9 @@ use super::proto::{
     Request,
 };
 use super::{checkpoint_path, env_lists_bench, jittered_backoff_ms, stats_with_bench};
-use plasticine_arch::{FaultMap, FaultSpec, PlasticineParams, Topology};
+use plasticine_arch::{
+    FaultMap, FaultSpec, FaultTimeline, FaultTimelineSpec, PlasticineParams, Topology,
+};
 use plasticine_compiler::{Bitstream, CompileCache, CompileOptions};
 use plasticine_json::Json;
 use plasticine_ppir::{Machine, Program};
@@ -82,10 +84,14 @@ pub struct RequestDefaults {
     /// Where served simulations checkpoint. Setting either checkpoint
     /// field opts every served `run` into the auto-checkpoint path:
     /// budget/watchdog failures and deadline-abandoned requests leave
-    /// resumable snapshots behind (`<dir>/<bench>.ckpt.json`, one slot
-    /// per benchmark — concurrent same-bench requests share it,
+    /// resumable snapshots behind (cycle-stamped history files plus the
+    /// legacy `<dir>/<bench>.ckpt.json` slot, which always holds the
+    /// newest snapshot — concurrent same-bench requests share it,
     /// last-writer-wins).
     pub checkpoint_dir: Option<String>,
+    /// How many cycle-stamped auto-checkpoints to retain per benchmark
+    /// (`--checkpoint-keep`; older ones are pruned atomically).
+    pub checkpoint_keep: usize,
 }
 
 impl Default for RequestDefaults {
@@ -98,6 +104,7 @@ impl Default for RequestDefaults {
             faults: None,
             checkpoint_every: None,
             checkpoint_dir: None,
+            checkpoint_keep: 3,
         }
     }
 }
@@ -485,6 +492,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, reply: &Reply) {
         Op::Stats => {
             let mut pairs = response_head(&req.id, "stats", "ok", 0);
             pairs.push(("stats".to_string(), shared.stats_snapshot()));
+            pairs.push(("fabric_health".to_string(), shared.fabric.health_json()));
             reply.send(&Json::Obj(pairs));
         }
         Op::Shutdown => shared.initiate_shutdown(req.id.clone(), Some(reply.clone()), true),
@@ -610,14 +618,29 @@ fn submit_tenant(shared: &Shared, req: &Request) -> Result<Vec<(String, Json)>, 
                 format!("unknown benchmark `{name}` (try `plasticine-run list`)"),
             )
         })?;
+    let channels = req.channels.unwrap_or(1);
+    // Sample the tenant's fault-arrival schedule now so a malformed spec
+    // fails the submission, not the scheduler thread later. Channel
+    // failures are sampled against the tenant's private share.
+    let timeline = match &req.timeline {
+        Some(s) => {
+            let tspec: FaultTimelineSpec = s
+                .parse()
+                .map_err(|e| Failure::new(ExitStatus::Usage, format!("timeline: {e}")))?;
+            let topo = Topology::new(&shared.params);
+            FaultTimeline::sample(&topo, &tspec, channels)
+        }
+        None => FaultTimeline::default(),
+    };
     let spec = SubmitSpec {
         bench: bench.name.clone(),
         scale,
         rows,
-        channels: req.channels.unwrap_or(1),
+        channels,
         step: req.step.unwrap_or(d.step),
         threads: req.threads.unwrap_or(d.threads),
         max_cycles: req.max_cycles.or(d.max_cycles),
+        timeline,
     };
     let bench_name = spec.bench.clone();
     let (rows, channels) = (spec.rows, spec.channels);
@@ -821,7 +844,7 @@ fn run_once(
             policy,
             resume.as_ref(),
             &mut |c| {
-                if let Err(e) = c.save(&ckpt_path) {
+                if let Err(e) = super::emit_checkpoint(dir, &eff.bench.name, d.checkpoint_keep, c) {
                     eprintln!("serve: {}: checkpoint write failed: {e}", eff.bench.name);
                 }
             },

@@ -1,0 +1,482 @@
+//! Self-healing and chaos-soak robustness suite.
+//!
+//! Pins the healing invariant at the heart of the robustness layer: a run
+//! healed through online fault arrivals ([`chaos::run_healed`]) finishes
+//! with stats **byte-identical** to manually resuming each degrade
+//! checkpoint on the same relocated band ([`chaos::resume_on`]) — healing
+//! is pure orchestration and never perturbs simulated state. Also covers:
+//!
+//! - the fault-arrives-exactly-at-checkpoint-cadence collision (the
+//!   degrade report wins the boundary cycle and round-trips);
+//! - byte-stable sampling: `FaultMap::sample` and `FaultTimeline::sample`
+//!   are pure functions of (topology, spec, channels) — proptested;
+//! - bounded `--checkpoint-dir` growth: cycle-stamped retention keeps the
+//!   newest K snapshots while the legacy fixed slot tracks the newest;
+//! - the 20-seed chaos soak: no panics, typed statuses only, zero
+//!   invariant violations across solo/multi/scheduler surfaces;
+//! - `multi` usage validation: duplicate tenants and overlapping pinned
+//!   bands are typed exit-2 rejections before any work starts.
+
+use plasticine::arch::{
+    FaultMap, FaultSpec, FaultTimeline, FaultTimelineSpec, Partition, PlasticineParams, Topology,
+};
+use plasticine::chaos::{self, SoakConfig};
+use plasticine::compiler::{compile_degraded, CompileOptions};
+use plasticine::ppir::Machine;
+use plasticine::service::{checkpoint_path, emit_checkpoint, latest_checkpoint, prune_checkpoints};
+use plasticine::sim::{
+    simulate_checkpointed, Checkpoint, CheckpointPolicy, SimError, SimOptions, SimResult,
+};
+use plasticine::workloads::{all, Bench, Scale};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn paper() -> PlasticineParams {
+    PlasticineParams::paper_final()
+}
+
+/// The band every solo test runs on: the lower half of the chip with two
+/// DRAM channels, leaving pattern-equivalent bands above it to heal onto.
+fn band() -> Partition {
+    Partition::new(0, 4, 2)
+}
+
+fn timeline(params: &PlasticineParams, spec: &str) -> FaultTimeline {
+    let spec: FaultTimelineSpec = spec.parse().expect("well-formed timeline spec");
+    FaultTimeline::sample(&Topology::new(params), &spec, band().channels)
+}
+
+/// Compile-and-run one segment the way the chaos layer does, with an
+/// optional checkpoint cadence. The degrade report carries its own
+/// checkpoint, so `every: None` still yields a resumable exit.
+fn run_on(
+    bench: &Bench,
+    params: &PlasticineParams,
+    band: Partition,
+    opts: &SimOptions,
+    every: Option<u64>,
+    emit: &mut dyn FnMut(&Checkpoint),
+) -> Result<SimResult, SimError> {
+    let copts = CompileOptions {
+        partition: Some(band),
+        faults: opts.faults.clone(),
+        ..CompileOptions::new()
+    };
+    let (out, prog, _notes) = compile_degraded(&bench.program, params, &copts)
+        .map_err(|e| SimError::Config(format!("compile: {e}")))?;
+    let mut m = Machine::new(&prog);
+    bench.load(&mut m);
+    let mut o = opts.clone();
+    o.dram.channels = band.channels;
+    let policy = CheckpointPolicy {
+        every,
+        on_error: every.is_some(),
+    };
+    let r = simulate_checkpointed(&prog, &out, &mut m, &o, policy, None, emit)?;
+    bench
+        .verify(&m)
+        .map_err(|e| SimError::Config(format!("verification failed: {e}")))?;
+    Ok(r)
+}
+
+/// Replays the band history a healed run reported, resuming each degrade
+/// checkpoint manually — the baseline the healed stats must match byte
+/// for byte.
+fn manual_chain(
+    bench: &Bench,
+    params: &PlasticineParams,
+    bands: &[Partition],
+    opts: &SimOptions,
+    first: Checkpoint,
+) -> SimResult {
+    let mut ckpt = first;
+    for (k, b) in bands.iter().enumerate().skip(1) {
+        match chaos::resume_on(bench, params, *b, opts, &ckpt) {
+            Ok(r) => {
+                assert_eq!(
+                    k,
+                    bands.len() - 1,
+                    "{}: manual chain finished on band {k} but the healed run \
+                     reported {} bands",
+                    bench.name,
+                    bands.len()
+                );
+                return r;
+            }
+            Err(SimError::FabricDegraded(next)) => {
+                assert!(
+                    k < bands.len() - 1,
+                    "{}: manual chain degraded again on the final band",
+                    bench.name
+                );
+                ckpt = next.checkpoint;
+            }
+            Err(e) => panic!("{}: manual resume on band {k} failed: {e}", bench.name),
+        }
+    }
+    unreachable!("the band history always ends in a completing segment")
+}
+
+/// The healing invariant, pinned for **every** Table 4 workload: probe
+/// pinned seeds until a timeline degrades the run mid-flight, heal it,
+/// and byte-compare the healed stats against manually resuming the same
+/// degrade checkpoints on the same bands.
+#[test]
+fn healed_stats_match_manual_resume_for_every_workload() {
+    let params = paper();
+    for bench in all(Scale(1)) {
+        // Calibrate the arrival horizon to the workload's own run length
+        // so arrivals land mid-run rather than after completion.
+        let plain = run_on(
+            &bench,
+            &params,
+            band(),
+            &SimOptions::default(),
+            None,
+            &mut |_| {},
+        )
+        .unwrap_or_else(|e| panic!("{}: pristine run failed: {e}", bench.name));
+        let horizon = (plain.cycles * 3 / 4).max(64);
+        let mut checked = false;
+        for seed in 1..=60u64 {
+            let spec = format!(
+                "units=6,links=3,banks=2,esc=1,horizon={horizon},seed={seed},band=4@0,detect=8"
+            );
+            let opts = SimOptions {
+                timeline: timeline(&params, &spec),
+                ..SimOptions::default()
+            };
+            let report = match run_on(&bench, &params, band(), &opts, None, &mut |_| {}) {
+                Ok(_) => continue, // this seed's arrivals missed the program
+                Err(SimError::FabricDegraded(report)) => report,
+                // Heavier transient rates can exhaust retries instead of
+                // degrading the fabric — a typed outcome, not this seed.
+                Err(SimError::FaultExhaustion { .. }) => continue,
+                Err(e) => panic!("{}: seed {seed}: unexpected error: {e}", bench.name),
+            };
+            let h = match chaos::run_healed(&bench, &params, band(), &opts, 8) {
+                Ok(h) => h,
+                // Damage can cover every compatible band; typed, try the
+                // next seed.
+                Err(SimError::FabricDegraded(_)) => continue,
+                Err(e) => panic!("{}: seed {seed}: healing failed: {e}", bench.name),
+            };
+            assert!(
+                h.heals >= 1,
+                "{}: degraded run healed zero times",
+                bench.name
+            );
+            assert_eq!(h.bands.len() as u64, h.heals + 1);
+            let manual = manual_chain(&bench, &params, &h.bands, &opts, report.checkpoint);
+            assert_eq!(
+                h.result.stats_json().compact(),
+                manual.stats_json().compact(),
+                "{}: seed {seed}: healed stats diverge from the manual resume chain",
+                bench.name
+            );
+            checked = true;
+            break;
+        }
+        assert!(
+            checked,
+            "{}: no seed in 1..=60 produced a healable degraded run",
+            bench.name
+        );
+    }
+}
+
+/// Regression: an arrival landing **exactly** on a checkpoint-cadence
+/// boundary. Arrivals fire before the cadence emission at the top of the
+/// cycle, so the boundary cycle produces the degrade checkpoint (not a
+/// cadence checkpoint that silently skips the arrival), and both healing
+/// and a manual resume round-trip through it byte-identically.
+#[test]
+fn arrival_on_checkpoint_cadence_boundary_round_trips() {
+    const EVERY: u64 = 256;
+    let params = paper();
+    let bench = all(Scale(1))
+        .into_iter()
+        .find(|b| b.name == "InnerProduct")
+        .expect("InnerProduct is a Table 4 workload");
+    for seed in 1..=60u64 {
+        let spec = format!("units=6,links=3,banks=2,horizon=4096,seed={seed},band=4@0,detect=0");
+        let mut tl = timeline(&params, &spec);
+        // Re-pin every sampled event onto a cadence multiple, preserving
+        // the sampled order (sorted, one event per boundary).
+        for (i, e) in tl.events.iter_mut().enumerate() {
+            e.cycle = EVERY * (i as u64 + 1);
+        }
+        tl.detect_delay = 0;
+        let opts = SimOptions {
+            timeline: tl,
+            ..SimOptions::default()
+        };
+        let mut cadence: Vec<u64> = Vec::new();
+        let report = match run_on(&bench, &params, band(), &opts, Some(EVERY), &mut |c| {
+            cadence.push(c.cycle)
+        }) {
+            Ok(_) => continue,
+            Err(SimError::FabricDegraded(r)) => r,
+            Err(e) => panic!("seed {seed}: unexpected error: {e}"),
+        };
+        assert_eq!(
+            report.cycle % EVERY,
+            0,
+            "every event was pinned to a cadence boundary"
+        );
+        assert_eq!(report.checkpoint.cycle, report.cycle);
+        // The boundary cycle belongs to the degrade report: the cadence
+        // sink got the auto-checkpoint (on_error), not a separate cadence
+        // emission racing the arrival.
+        assert_eq!(
+            cadence.iter().filter(|&&c| c == report.cycle).count(),
+            1,
+            "seed {seed}: boundary cycle {} checkpointed {:?}",
+            report.cycle,
+            cadence
+        );
+        let h = match chaos::run_healed(&bench, &params, band(), &opts, 8) {
+            Ok(h) => h,
+            Err(SimError::FabricDegraded(_)) => continue,
+            Err(e) => panic!("seed {seed}: healing failed: {e}"),
+        };
+        assert_eq!(h.degrade_cycles[0], report.cycle);
+        let manual = manual_chain(&bench, &params, &h.bands, &opts, report.checkpoint);
+        assert_eq!(
+            h.result.stats_json().compact(),
+            manual.stats_json().compact(),
+            "seed {seed}: cadence-boundary heal diverges from manual resume"
+        );
+        return;
+    }
+    panic!("no seed in 1..=60 degraded InnerProduct on a cadence boundary");
+}
+
+/// The chaos soak at its default 20 pinned seeds: every iteration ends in
+/// a typed status, nothing panics, no invariant violation — and healing
+/// is actually exercised, not vacuously green.
+#[test]
+fn chaos_soak_twenty_pinned_seeds_holds_every_invariant() {
+    let params = paper();
+    let cfg = SoakConfig::default();
+    assert!(cfg.seeds >= 20, "the default soak must cover >= 20 seeds");
+    let report = chaos::soak(&params, &cfg);
+    assert_eq!(report.iterations.len(), cfg.seeds as usize);
+    let typed = [
+        "ok",
+        "healed",
+        "failed",
+        "runtime",
+        "usage",
+        "compile",
+        "deadlock",
+        "fault_exhaustion",
+        "cycle_budget",
+        "fabric_degraded",
+    ];
+    for it in &report.iterations {
+        assert!(
+            typed.contains(&it.status.as_str()),
+            "seed {} ({} {}): untyped status `{}`",
+            it.seed,
+            it.mode,
+            it.bench,
+            it.status
+        );
+    }
+    assert_eq!(report.panics(), 0, "soak iterations panicked");
+    let violations: Vec<&str> = report
+        .iterations
+        .iter()
+        .filter_map(|i| i.violation.as_deref())
+        .collect();
+    assert!(violations.is_empty(), "soak violations: {violations:?}");
+    assert!(report.passed());
+    assert!(
+        report.healed() >= 1,
+        "20 seeds never healed anything — the soak is vacuous"
+    );
+    // The machine-readable report mirrors the verdict.
+    let json = report.to_json();
+    let summary = json.get("summary").expect("report has a summary");
+    assert_eq!(summary.get("passed").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        summary.get("iterations").and_then(|v| v.as_u64()),
+        Some(cfg.seeds)
+    );
+}
+
+/// Retention: `emit_checkpoint` keeps the newest K cycle-stamped
+/// snapshots, always refreshes the legacy fixed-name slot with the newest
+/// bytes, and `latest_checkpoint` falls back to the legacy slot when no
+/// stamped history exists.
+#[test]
+fn checkpoint_retention_bounds_growth_and_tracks_newest() {
+    let params = paper();
+    let bench = all(Scale(1))
+        .into_iter()
+        .find(|b| b.name == "InnerProduct")
+        .expect("InnerProduct is a Table 4 workload");
+    // Harvest real checkpoints from a cadence run (no timeline).
+    let mut cs: Vec<Checkpoint> = Vec::new();
+    run_on(
+        &bench,
+        &params,
+        band(),
+        &SimOptions::default(),
+        Some(128),
+        &mut |c| cs.push(c.clone()),
+    )
+    .expect("pristine cadence run completes");
+    assert!(cs.len() >= 4, "need >= 4 checkpoints, got {}", cs.len());
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("retention");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let dir_s = dir.to_str().expect("utf-8 scratch path");
+    let keep = 3usize;
+    for c in &cs {
+        emit_checkpoint(dir_s, &bench.name, keep, c).expect("emit succeeds");
+    }
+    let stamped: Vec<PathBuf> = {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("scratch dir readable")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("innerproduct-c"))
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        stamped.len(),
+        keep,
+        "retention keeps exactly K stamped files"
+    );
+    // The survivors are the newest K, in cycle order.
+    let want: Vec<u64> = cs[cs.len() - keep..].iter().map(|c| c.cycle).collect();
+    let got: Vec<String> = stamped
+        .iter()
+        .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+        .collect();
+    for (name, cycle) in got.iter().zip(&want) {
+        assert_eq!(
+            name,
+            &format!("innerproduct-c{cycle:012}.ckpt.json"),
+            "stamped survivors are the newest {keep}"
+        );
+    }
+    // The legacy slot holds the newest snapshot, byte for byte.
+    let legacy = checkpoint_path(dir_s, &bench.name);
+    assert!(legacy.exists(), "legacy fixed slot is always refreshed");
+    assert_eq!(
+        std::fs::read(&legacy).unwrap(),
+        std::fs::read(stamped.last().unwrap()).unwrap(),
+        "legacy slot tracks the newest stamped snapshot"
+    );
+    assert_eq!(
+        latest_checkpoint(dir_s, &bench.name).as_deref(),
+        Some(stamped.last().unwrap().as_path())
+    );
+    // keep=0 clamps to 1: pruning never deletes the newest snapshot.
+    prune_checkpoints(dir_s, &bench.name, 0);
+    assert!(stamped.last().unwrap().exists());
+    assert!(!stamped[0].exists());
+    // With the stamped history gone, the legacy slot is the fallback.
+    for p in &stamped {
+        let _ = std::fs::remove_file(p);
+    }
+    assert_eq!(
+        latest_checkpoint(dir_s, &bench.name),
+        Some(legacy.clone()),
+        "latest_checkpoint falls back to the legacy slot"
+    );
+    // Resumability: the retained snapshot loads.
+    let c = Checkpoint::load(&legacy).expect("legacy snapshot loads");
+    assert_eq!(c.cycle, cs.last().unwrap().cycle);
+}
+
+/// `multi` rejects duplicate tenants and overlapping pinned bands up
+/// front with usage errors (exit 2), before any compilation or
+/// simulation starts.
+#[test]
+fn multi_rejects_duplicates_and_overlaps_with_exit_two() {
+    let bin = env!("CARGO_BIN_EXE_plasticine-run");
+    // Duplicate tenant (case-insensitive: names are canonicalized).
+    let out = Command::new(bin)
+        .args(["multi", "InnerProduct=2@0", "innerproduct=2@4"])
+        .output()
+        .expect("spawning plasticine-run");
+    assert_eq!(out.status.code(), Some(2), "duplicate tenant must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("duplicate tenant `InnerProduct`"),
+        "stderr names the duplicate: {err}"
+    );
+    // Overlapping pinned bands.
+    let out = Command::new(bin)
+        .args(["multi", "InnerProduct=4@0", "OuterProduct=4@2"])
+        .output()
+        .expect("spawning plasticine-run");
+    assert_eq!(out.status.code(), Some(2), "overlapping bands must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("overlaps allocated partition"),
+        "stderr names the overlap: {err}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `FaultTimeline::sample` and `FaultMap::sample` are pure: the same
+    /// (topology, spec, channels) triple yields byte-identical results on
+    /// every call — the property the checkpoint options guard, the soak's
+    /// pinned seeds, and the CI gate all lean on. The timeline spec goes
+    /// through the public string grammar, so the parse path is covered
+    /// too.
+    #[test]
+    fn fault_sampling_is_byte_stable_at_pinned_seeds(
+        units in 0usize..=6,
+        links in 0usize..=6,
+        banks in 0usize..=4,
+        esc in 0usize..=2,
+        horizon in 1u64..10_000,
+        seed in 0u64..1_000_000,
+        rows in 1usize..=8,
+        channels in 1usize..=4,
+    ) {
+        let params = paper();
+        let topo = Topology::new(&params);
+        let y0 = (seed as usize) % (params.rows - rows + 1);
+        let text = format!(
+            "units={units},links={links},banks={banks},esc={esc},\
+             horizon={horizon},seed={seed},band={rows}@{y0},detect=8"
+        );
+        let spec: FaultTimelineSpec = text.parse().expect("grammar accepts the spec");
+        let a = FaultTimeline::sample(&topo, &spec, channels);
+        let b = FaultTimeline::sample(&topo, &spec, channels);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        prop_assert!(a.events.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+            "sampled events are sorted by cycle");
+        let fspec = FaultSpec {
+            pcus: units,
+            pmus: units,
+            links,
+            banks,
+            channels: channels.saturating_sub(1).min(1),
+            seed,
+            ..FaultSpec::default()
+        };
+        let m1 = FaultMap::sample(&topo, &fspec, channels);
+        let m2 = FaultMap::sample(&topo, &fspec, channels);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(format!("{m1:?}"), format!("{m2:?}"));
+        prop_assert_eq!(m1.summary(), m2.summary());
+    }
+}
